@@ -1,0 +1,28 @@
+//! Tuple algebra for XML view maintenance.
+//!
+//! Implements the logical algebra **A** of Section 2.2 — n-ary cartesian
+//! product, selection (with value and structural `≺` / `≺≺` predicates),
+//! projection, duplicate elimination and sort — plus the physical
+//! operators the paper's Section 3.4 assumes from the host XML engine:
+//! stack-based *structural joins* over Dewey IDs [Al-Khalifa et al.
+//! 2002], *Path Filter* and *Path Navigate*.
+//!
+//! Relations are ordered bags of [`Tuple`]s over a [`Schema`] of view
+//! columns; each tuple field carries a structural ID and, when the view
+//! stores them, the node's value and/or serialized content.
+
+pub mod logical;
+pub mod ops;
+pub mod pathops;
+pub mod predicate;
+pub mod relation;
+pub mod structjoin;
+pub mod tuple;
+pub mod twigjoin;
+
+pub use logical::Plan;
+pub use predicate::{Axis, Predicate};
+pub use relation::{Column, Relation, Schema};
+pub use structjoin::structural_join;
+pub use twigjoin::{path_stack, twig_join, ChainLevel, TwigNode};
+pub use tuple::{Field, Tuple};

@@ -1,0 +1,100 @@
+//! The Dewey-specific physical operators of Section 3.4: **Path
+//! Filter** (check whether a node's ID lies on a path satisfying a
+//! label condition) and **Path Navigate** (derive ancestor IDs from a
+//! node's ID without touching the document).
+
+use crate::relation::Relation;
+use xivm_xml::{DeweyId, LabelId};
+
+/// Label-path conditions checkable purely from a Dewey ID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathCondition {
+    /// Some proper ancestor carries the label.
+    HasProperAncestor(LabelId),
+    /// No proper ancestor carries the label.
+    LacksProperAncestor(LabelId),
+    /// The node itself or an ancestor carries the label.
+    HasSelfOrAncestor(LabelId),
+}
+
+impl PathCondition {
+    pub fn holds(self, id: &DeweyId) -> bool {
+        match self {
+            PathCondition::HasProperAncestor(l) => id.has_proper_ancestor_labeled(l),
+            PathCondition::LacksProperAncestor(l) => !id.has_proper_ancestor_labeled(l),
+            PathCondition::HasSelfOrAncestor(l) => id.has_self_or_ancestor_labeled(l),
+        }
+    }
+}
+
+/// Path Filter: keeps tuples whose `col` ID satisfies `cond`.
+pub fn path_filter(input: &Relation, col: usize, cond: PathCondition) -> Relation {
+    Relation {
+        schema: input.schema.clone(),
+        rows: input.rows.iter().filter(|t| cond.holds(&t.field(col).id)).cloned().collect(),
+    }
+}
+
+/// Path Navigate: from the ID in `col`, computes the ID of the nearest
+/// ancestor labeled `label` (self excluded), for every tuple that has
+/// one. The resulting IDs are *derived*, not looked up in the store —
+/// the defining trick of Dewey navigation.
+pub fn path_navigate_to_ancestor(id: &DeweyId, label: LabelId) -> Option<DeweyId> {
+    let steps = id.steps();
+    if steps.len() < 2 {
+        return None;
+    }
+    for cut in (1..steps.len()).rev() {
+        if steps[cut - 1].label == label {
+            return Some(DeweyId::from_steps(steps[..cut].to_vec()));
+        }
+    }
+    None
+}
+
+/// Path Navigate to the parent ID.
+pub fn path_navigate_to_parent(id: &DeweyId) -> Option<DeweyId> {
+    id.parent()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{Column, Schema};
+    use crate::tuple::{Field, Tuple};
+    use xivm_xml::dewey::Step;
+
+    fn id(parts: &[(u32, u64)]) -> DeweyId {
+        DeweyId::from_steps(parts.iter().map(|&(a, b)| Step::new(LabelId(a), b)).collect())
+    }
+
+    #[test]
+    fn path_filter_keeps_matching() {
+        let rows = vec![
+            Tuple::new(vec![Field::id_only(id(&[(0, 1), (1, 2), (2, 3)]))]),
+            Tuple::new(vec![Field::id_only(id(&[(0, 1), (2, 9)]))]),
+        ];
+        let r = Relation::with_rows(Schema::new(vec![Column::id_only("c")]), rows);
+        let f = path_filter(&r, 0, PathCondition::HasProperAncestor(LabelId(1)));
+        assert_eq!(f.len(), 1);
+        let g = path_filter(&r, 0, PathCondition::LacksProperAncestor(LabelId(1)));
+        assert_eq!(g.len(), 1);
+        assert_ne!(f.rows[0], g.rows[0]);
+    }
+
+    #[test]
+    fn navigate_to_nearest_labeled_ancestor() {
+        let d = id(&[(0, 1), (1, 2), (1, 3), (2, 4)]);
+        let up = path_navigate_to_ancestor(&d, LabelId(1)).unwrap();
+        assert_eq!(up, id(&[(0, 1), (1, 2), (1, 3)]));
+        assert_eq!(path_navigate_to_ancestor(&d, LabelId(7)), None);
+        assert_eq!(path_navigate_to_parent(&d).unwrap().depth(), 3);
+    }
+
+    #[test]
+    fn navigate_on_root_returns_none() {
+        let d = id(&[(0, 1)]);
+        assert_eq!(path_navigate_to_ancestor(&d, LabelId(0)), None);
+        assert_eq!(path_navigate_to_parent(&d), None);
+    }
+}

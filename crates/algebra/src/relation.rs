@@ -1,0 +1,143 @@
+//! Relations: ordered bags of tuples over a named schema.
+
+use crate::tuple::Tuple;
+use std::fmt;
+
+/// One view column: the pattern-node name it binds plus which extra
+/// items (`val`, `cont`) the view stores for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub stores_val: bool,
+    pub stores_cont: bool,
+}
+
+impl Column {
+    pub fn id_only(name: impl Into<String>) -> Self {
+        Column { name: name.into(), stores_val: false, stores_cont: false }
+    }
+
+    pub fn with(name: impl Into<String>, val: bool, cont: bool) -> Self {
+        Column { name: name.into(), stores_val: val, stores_cont: cont }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by pattern-node name.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Concatenation of two schemas (product / join output schema).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    pub fn project(&self, cols: &[usize]) -> Schema {
+        Schema { columns: cols.iter().map(|&c| self.columns[c].clone()).collect() }
+    }
+}
+
+/// An ordered bag of tuples.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Relation {
+    pub schema: Schema,
+    pub rows: Vec<Tuple>,
+}
+
+impl Relation {
+    pub fn new(schema: Schema) -> Self {
+        Relation { schema, rows: Vec::new() }
+    }
+
+    pub fn with_rows(schema: Schema, rows: Vec<Tuple>) -> Self {
+        debug_assert!(rows.iter().all(|t| t.arity() == schema.arity()));
+        Relation { schema, rows }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Sorts rows by the document order of the ID in `col` (stable, so
+    /// ties keep their relative order).
+    pub fn sort_by_col(&mut self, col: usize) {
+        self.rows.sort_by(|a, b| a.field(col).id.doc_cmp(&b.field(col).id));
+    }
+
+    /// True iff rows are sorted by document order of column `col`.
+    pub fn is_sorted_by_col(&self, col: usize) -> bool {
+        self.rows.windows(2).all(|w| w[0].field(col).id.doc_cmp(&w[1].field(col).id).is_le())
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<_> = self.schema.columns.iter().map(|c| c.name.as_str()).collect();
+        writeln!(f, "[{}] ({} rows)", names.join(", "), self.rows.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Field;
+    use xivm_xml::{dewey::Step, DeweyId, LabelId};
+
+    fn id(parts: &[(u32, u64)]) -> DeweyId {
+        DeweyId::from_steps(parts.iter().map(|&(a, b)| Step::new(LabelId(a), b)).collect())
+    }
+
+    fn row(ords: &[u64]) -> Tuple {
+        Tuple::new(ords.iter().map(|&o| Field::id_only(id(&[(0, o)]))).collect())
+    }
+
+    #[test]
+    fn schema_lookup_and_concat() {
+        let s1 = Schema::new(vec![Column::id_only("a"), Column::with("b", true, false)]);
+        let s2 = Schema::new(vec![Column::id_only("c")]);
+        assert_eq!(s1.col("b"), Some(1));
+        assert_eq!(s1.col("z"), None);
+        let s = s1.concat(&s2);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.col("c"), Some(2));
+    }
+
+    #[test]
+    fn sort_by_col_orders_rows() {
+        let schema = Schema::new(vec![Column::id_only("a")]);
+        let mut rel = Relation::with_rows(schema, vec![row(&[30]), row(&[10]), row(&[20])]);
+        assert!(!rel.is_sorted_by_col(0));
+        rel.sort_by_col(0);
+        assert!(rel.is_sorted_by_col(0));
+        let ords: Vec<_> = rel.rows.iter().map(|t| t.field(0).id.steps()[0].ord).collect();
+        assert_eq!(ords, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn projection_of_schema() {
+        let s = Schema::new(vec![Column::id_only("a"), Column::id_only("b")]);
+        let p = s.project(&[1]);
+        assert_eq!(p.columns[0].name, "b");
+    }
+}

@@ -1,0 +1,265 @@
+//! Stack-based structural join.
+//!
+//! The physical join the paper assumes from the host engine
+//! (Section 3.4): given two relations sorted in document order on their
+//! join columns, produce all concatenated tuples whose IDs satisfy a
+//! `≺` (parent) or `≺≺` (ancestor) relationship, in time
+//! `O(|L| + |R| + |out|)` — the Stack-Tree join of Al-Khalifa et al.,
+//! adapted to Dewey IDs where the ancestor test is a prefix test.
+
+use crate::predicate::Axis;
+use crate::relation::Relation;
+use std::ops::Range;
+use xivm_xml::DeweyId;
+
+/// Joins `left` (the upper/ancestor side, on `left_col`) with `right`
+/// (the lower/descendant side, on `right_col`).
+///
+/// Both inputs must be sorted in document order on their join columns;
+/// this is asserted in debug builds. The output schema is the
+/// concatenation of the input schemas and the output is sorted by the
+/// right join column (a property downstream joins rely on).
+pub fn structural_join(
+    left: &Relation,
+    left_col: usize,
+    right: &Relation,
+    right_col: usize,
+    axis: Axis,
+) -> Relation {
+    debug_assert!(left.is_sorted_by_col(left_col), "left input must be sorted");
+    debug_assert!(right.is_sorted_by_col(right_col), "right input must be sorted");
+
+    let schema = left.schema.concat(&right.schema);
+    let mut out = Relation::new(schema);
+    if left.is_empty() || right.is_empty() {
+        return out;
+    }
+
+    let left_groups = group_by_id(left, left_col);
+    let right_groups = group_by_id(right, right_col);
+
+    // Stack of left groups forming a nested ancestor chain.
+    let mut stack: Vec<(DeweyId, Range<usize>)> = Vec::new();
+    let mut li = 0usize;
+
+    for (rid, rrange) in right_groups {
+        // Push every left group that starts before (or at) the current
+        // right node in document order.
+        while li < left_groups.len() && left_groups[li].0.doc_cmp(&rid).is_le() {
+            let (lid, lrange) = left_groups[li].clone();
+            while let Some((top, _)) = stack.last() {
+                if top.is_ancestor_or_self_of(&lid) {
+                    break;
+                }
+                stack.pop();
+            }
+            stack.push((lid, lrange));
+            li += 1;
+        }
+        // Drop finished groups: anything on the stack that is neither
+        // the current right node nor an ancestor of it precedes it in
+        // document order with a closed subtree, so it can never match a
+        // later right node either. Ancestor-*or-self* keeps left nodes
+        // equal to the right node alive for their own descendants.
+        while let Some((top, _)) = stack.last() {
+            if top.is_ancestor_or_self_of(&rid) {
+                break;
+            }
+            stack.pop();
+        }
+        if stack.is_empty() {
+            continue;
+        }
+        match axis {
+            Axis::Descendant => {
+                for (lid, lrange) in &stack {
+                    if lid.is_ancestor_of(&rid) {
+                        emit(&mut out, left, lrange.clone(), right, rrange.clone());
+                    }
+                }
+            }
+            Axis::Child => {
+                // In a nested chain at most one entry can be the parent.
+                let want_depth = rid.depth().saturating_sub(1);
+                if let Some((lid, lrange)) =
+                    stack.iter().find(|(lid, _)| lid.depth() == want_depth)
+                {
+                    if lid.is_parent_of(&rid) {
+                        emit(&mut out, left, lrange.clone(), right, rrange.clone());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn group_by_id(rel: &Relation, col: usize) -> Vec<(DeweyId, Range<usize>)> {
+    let mut groups = Vec::new();
+    let mut start = 0usize;
+    while start < rel.rows.len() {
+        let id = rel.rows[start].field(col).id.clone();
+        let mut end = start + 1;
+        while end < rel.rows.len() && rel.rows[end].field(col).id == id {
+            end += 1;
+        }
+        groups.push((id, start..end));
+        start = end;
+    }
+    groups
+}
+
+fn emit(out: &mut Relation, left: &Relation, lrange: Range<usize>, right: &Relation, rrange: Range<usize>) {
+    for l in lrange {
+        for r in rrange.clone() {
+            out.rows.push(left.rows[l].concat(&right.rows[r]));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{Column, Schema};
+    use crate::tuple::{Field, Tuple};
+    use xivm_xml::{dewey::Step, LabelId};
+
+    fn id(parts: &[(u32, u64)]) -> DeweyId {
+        DeweyId::from_steps(parts.iter().map(|&(a, b)| Step::new(LabelId(a), b)).collect())
+    }
+
+    fn rel(name: &str, ids: Vec<DeweyId>) -> Relation {
+        let schema = Schema::new(vec![Column::id_only(name)]);
+        let rows = ids.into_iter().map(|i| Tuple::new(vec![Field::id_only(i)])).collect();
+        let mut r = Relation::with_rows(schema, rows);
+        r.sort_by_col(0);
+        r
+    }
+
+    /// Nested-loop reference implementation.
+    fn naive(left: &Relation, right: &Relation, axis: Axis) -> Vec<(DeweyId, DeweyId)> {
+        let mut out = Vec::new();
+        for l in &left.rows {
+            for r in &right.rows {
+                if axis.holds(&l.field(0).id, &r.field(0).id) {
+                    out.push((l.field(0).id.clone(), r.field(0).id.clone()));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.1.doc_cmp(&b.1).then(a.0.doc_cmp(&b.0)));
+        out
+    }
+
+    fn run_both(left: &Relation, right: &Relation, axis: Axis) {
+        let joined = structural_join(left, 0, right, 0, axis);
+        let mut got: Vec<_> = joined
+            .rows
+            .iter()
+            .map(|t| (t.field(0).id.clone(), t.field(1).id.clone()))
+            .collect();
+        got.sort_by(|a, b| a.1.doc_cmp(&b.1).then(a.0.doc_cmp(&b.0)));
+        assert_eq!(got, naive(left, right, axis));
+    }
+
+    #[test]
+    fn ancestor_join_matches_naive() {
+        // a tree:  a1 { b1 { c1 }, b2, a2 { b3 { c2 } } }
+        let ancestors = rel(
+            "a",
+            vec![id(&[(0, 1)]), id(&[(0, 1), (0, 9)])], // a1, a2
+        );
+        let descendants = rel(
+            "c",
+            vec![
+                id(&[(0, 1), (1, 2), (2, 3)]),         // c1 under b1
+                id(&[(0, 1), (0, 9), (1, 4), (2, 5)]), // c2 under a2/b3
+            ],
+        );
+        run_both(&ancestors, &descendants, Axis::Descendant);
+        let j = structural_join(&ancestors, 0, &descendants, 0, Axis::Descendant);
+        assert_eq!(j.len(), 3); // (a1,c1), (a1,c2), (a2,c2)
+    }
+
+    #[test]
+    fn parent_join_matches_naive() {
+        let parents = rel("b", vec![id(&[(0, 1), (1, 2)]), id(&[(0, 1), (1, 8)])]);
+        let kids = rel(
+            "c",
+            vec![
+                id(&[(0, 1), (1, 2), (2, 3)]),
+                id(&[(0, 1), (1, 2), (2, 4)]),
+                id(&[(0, 1), (1, 8), (3, 1), (2, 9)]), // grandchild, not child
+            ],
+        );
+        run_both(&parents, &kids, Axis::Child);
+        let j = structural_join(&parents, 0, &kids, 0, Axis::Child);
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_output() {
+        let a = rel("a", vec![id(&[(0, 1)])]);
+        let none = rel("b", vec![]);
+        assert!(structural_join(&a, 0, &none, 0, Axis::Descendant).is_empty());
+        assert!(structural_join(&none, 0, &a, 0, Axis::Descendant).is_empty());
+    }
+
+    #[test]
+    fn duplicate_ids_produce_cross_products() {
+        // Two left tuples share the same a-node; both must pair with the
+        // descendant.
+        let schema = Schema::new(vec![Column::id_only("a"), Column::id_only("x")]);
+        let a = id(&[(0, 1)]);
+        let rows = vec![
+            Tuple::new(vec![Field::id_only(a.clone()), Field::id_only(id(&[(9, 1)]))]),
+            Tuple::new(vec![Field::id_only(a.clone()), Field::id_only(id(&[(9, 2)]))]),
+        ];
+        let left = Relation::with_rows(schema, rows);
+        let right = rel("b", vec![id(&[(0, 1), (1, 5)])]);
+        let j = structural_join(&left, 0, &right, 0, Axis::Descendant);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.schema.arity(), 3);
+    }
+
+    #[test]
+    fn output_is_sorted_by_right_column() {
+        let ancestors = rel("a", vec![id(&[(0, 1)])]);
+        let descendants = rel(
+            "b",
+            vec![id(&[(0, 1), (1, 2)]), id(&[(0, 1), (1, 5)]), id(&[(0, 1), (1, 9)])],
+        );
+        let j = structural_join(&ancestors, 0, &descendants, 0, Axis::Descendant);
+        assert!(j.is_sorted_by_col(1));
+    }
+
+    #[test]
+    fn randomized_against_naive() {
+        // Deterministic pseudo-random tree exercise.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..20 {
+            let mut left_ids = Vec::new();
+            let mut right_ids = Vec::new();
+            for _ in 0..30 {
+                let depth = 1 + (next() % 4) as usize;
+                let steps: Vec<_> =
+                    (0..depth).map(|d| (d as u32, 1 + next() % 3)).collect();
+                let d = id(&steps);
+                if next() % 2 == 0 {
+                    left_ids.push(d);
+                } else {
+                    right_ids.push(d);
+                }
+            }
+            let l = rel("l", left_ids);
+            let r = rel("r", right_ids);
+            run_both(&l, &r, Axis::Descendant);
+            run_both(&l, &r, Axis::Child);
+        }
+    }
+}

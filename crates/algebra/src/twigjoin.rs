@@ -1,0 +1,395 @@
+//! Holistic twig joins.
+//!
+//! The paper's complexity argument (Proposition 3.15) assumes
+//! "efficient join algorithms such as the holistic twig joins [that]
+//! allow evaluating a term in time proportional to the cumulated size
+//! of its inputs". This module provides them: **PathStack**
+//! [Bruno et al. 2002] for root-to-leaf chains — one coordinated sweep
+//! over all input streams with a stack per query node, never
+//! materializing intermediate binary-join results — and a twig
+//! evaluator that decomposes a branching pattern into its root-to-leaf
+//! paths, PathStacks each, and merge-joins the solutions on the shared
+//! branching columns.
+//!
+//! With Dewey IDs the ancestor test is a prefix test, so the classic
+//! region-encoding stack discipline carries over directly.
+
+use crate::predicate::Axis;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use std::collections::HashMap;
+use xivm_xml::DeweyId;
+
+/// One level of a chain query: its input stream and the axis
+/// connecting it to the level above (ignored for the root).
+pub struct ChainLevel<'a> {
+    pub input: &'a Relation,
+    pub axis: Axis,
+}
+
+/// Evaluates a root-to-leaf chain holistically.
+///
+/// Every input must be a one-column relation sorted in document order.
+/// The output has one column per level (root first) and contains every
+/// binding of the chain, like the equivalent cascade of binary
+/// structural joins — but computed with a single synchronized scan.
+pub fn path_stack(levels: &[ChainLevel<'_>]) -> Relation {
+    assert!(!levels.is_empty(), "empty chain");
+    for l in levels {
+        debug_assert_eq!(l.input.schema.arity(), 1, "streams are one-column");
+        debug_assert!(l.input.is_sorted_by_col(0), "streams are doc-ordered");
+    }
+    let mut schema = levels[0].input.schema.clone();
+    for l in &levels[1..] {
+        schema = schema.concat(&l.input.schema);
+    }
+    let mut out = Relation::new(schema);
+
+    let k = levels.len();
+    // Cursor into each stream.
+    let mut cursor = vec![0usize; k];
+    // Per-level stack: (row index in the stream, number of entries on
+    // the parent stack at push time — the "pointer" of PathStack).
+    let mut stacks: Vec<Vec<(usize, usize)>> = vec![Vec::new(); k];
+
+    let head = |lvl: usize, cur: &[usize]| -> Option<&DeweyId> {
+        levels[lvl].input.rows.get(cur[lvl]).map(|t| &t.field(0).id)
+    };
+
+    loop {
+        // q_min: the stream whose next element is first in doc order.
+        let mut q_min = None;
+        for q in 0..k {
+            if let Some(id) = head(q, &cursor) {
+                match q_min {
+                    None => q_min = Some((q, id.clone())),
+                    Some((_, ref best)) if id.doc_cmp(best).is_lt() => {
+                        q_min = Some((q, id.clone()))
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let Some((q, next)) = q_min else { break };
+
+        // Pop every stack entry that cannot be an ancestor of anything
+        // at or after `next` (its subtree closed before `next`).
+        for (lvl, stack) in stacks.iter_mut().enumerate() {
+            while let Some(&(row, _)) = stack.last() {
+                let id = &levels[lvl].input.rows[row].field(0).id;
+                if id.is_ancestor_or_self_of(&next) {
+                    break;
+                }
+                stack.pop();
+            }
+        }
+
+        // Push onto St_q with a pointer to the current parent stack.
+        let parent_len = if q == 0 { 0 } else { stacks[q - 1].len() };
+        // An element is only useful if its whole ancestor chain is
+        // represented (for q == 0 it always is).
+        if q == 0 || parent_len > 0 {
+            stacks[q].push((cursor[q], parent_len));
+            if q == k - 1 {
+                emit(levels, &stacks, &mut out);
+                stacks[q].pop(); // leaf entries never stay on the stack
+            }
+        }
+        cursor[q] += 1;
+    }
+    out
+}
+
+/// Expands every root-to-leaf combination ending at the just-pushed
+/// leaf entry, checking parent-child axes during expansion.
+fn emit(levels: &[ChainLevel<'_>], stacks: &[Vec<(usize, usize)>], out: &mut Relation) {
+    let k = levels.len();
+    let (leaf_row, leaf_ptr) = *stacks[k - 1].last().expect("leaf was pushed");
+    // rows[i] = candidate row indices at level i, bounded by pointers
+    let mut chain: Vec<usize> = vec![0; k];
+    chain[k - 1] = leaf_row;
+    expand(levels, stacks, k - 1, leaf_ptr, &mut chain, out);
+}
+
+fn expand(
+    levels: &[ChainLevel<'_>],
+    stacks: &[Vec<(usize, usize)>],
+    lvl: usize,
+    parent_limit: usize,
+    chain: &mut Vec<usize>,
+    out: &mut Relation,
+) {
+    if lvl == 0 {
+        let tuple: Tuple = {
+            let mut t = levels[0].input.rows[chain[0]].clone();
+            for (i, l) in levels.iter().enumerate().skip(1) {
+                t = t.concat(&l.input.rows[chain[i]]);
+            }
+            t
+        };
+        out.rows.push(tuple);
+        return;
+    }
+    let lower_id = levels[lvl].input.rows[chain[lvl]].field(0).id.clone();
+    for &(row, ptr) in &stacks[lvl - 1][..parent_limit] {
+        let upper_id = &levels[lvl - 1].input.rows[row].field(0).id;
+        let ok = match levels[lvl].axis {
+            Axis::Descendant => upper_id.is_ancestor_of(&lower_id),
+            Axis::Child => upper_id.is_parent_of(&lower_id),
+        };
+        if !ok {
+            continue;
+        }
+        chain[lvl - 1] = row;
+        expand(levels, stacks, lvl - 1, ptr, chain, out);
+    }
+}
+
+/// A twig query node for [`twig_join`]: parent index (None for the
+/// root) and the connecting axis.
+pub struct TwigNode<'a> {
+    pub input: &'a Relation,
+    pub parent: Option<usize>,
+    pub axis: Axis,
+}
+
+/// Evaluates a twig (branching) pattern holistically: decomposes it
+/// into root-to-leaf paths, PathStacks each, and hash-joins the path
+/// solutions on their shared prefix columns. Output columns follow the
+/// `nodes` order.
+pub fn twig_join(nodes: &[TwigNode<'_>]) -> Relation {
+    assert!(!nodes.is_empty());
+    // Collect root-to-leaf paths (node index sequences).
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (i, n) in nodes.iter().enumerate() {
+        if let Some(p) = n.parent {
+            children[p].push(i);
+        }
+    }
+    let mut paths: Vec<Vec<usize>> = Vec::new();
+    let mut stack = vec![vec![0usize]];
+    while let Some(path) = stack.pop() {
+        let last = *path.last().expect("non-empty");
+        if children[last].is_empty() {
+            paths.push(path);
+        } else {
+            for &c in &children[last] {
+                let mut next = path.clone();
+                next.push(c);
+                stack.push(next);
+            }
+        }
+    }
+    paths.sort();
+
+    // Evaluate each path with PathStack.
+    let mut solutions: Vec<(Vec<usize>, Relation)> = paths
+        .into_iter()
+        .map(|path| {
+            let levels: Vec<ChainLevel<'_>> = path
+                .iter()
+                .map(|&i| ChainLevel { input: nodes[i].input, axis: nodes[i].axis })
+                .collect();
+            let rel = path_stack(&levels);
+            (path, rel)
+        })
+        .collect();
+
+    // Merge path solutions pairwise on shared columns (the common
+    // prefix of node indices).
+    let (mut acc_nodes, mut acc) = solutions.remove(0);
+    for (path, rel) in solutions {
+        let shared: Vec<usize> = path.iter().copied().filter(|i| acc_nodes.contains(i)).collect();
+        let acc_cols: Vec<usize> =
+            shared.iter().map(|i| acc_nodes.iter().position(|a| a == i).expect("shared")).collect();
+        let rel_cols: Vec<usize> =
+            shared.iter().map(|i| path.iter().position(|a| a == i).expect("shared")).collect();
+        // hash join on shared column IDs
+        let mut index: HashMap<Vec<DeweyId>, Vec<usize>> = HashMap::new();
+        for (r, t) in rel.rows.iter().enumerate() {
+            let key: Vec<DeweyId> = rel_cols.iter().map(|&c| t.field(c).id.clone()).collect();
+            index.entry(key).or_default().push(r);
+        }
+        let new_cols: Vec<usize> =
+            (0..path.len()).filter(|c| !rel_cols.contains(c)).collect();
+        let mut schema = acc.schema.clone();
+        for &c in &new_cols {
+            schema = schema.concat(&rel.schema.project(&[c]));
+        }
+        let mut joined = Relation::new(schema);
+        for t in &acc.rows {
+            let key: Vec<DeweyId> = acc_cols.iter().map(|&c| t.field(c).id.clone()).collect();
+            if let Some(matches) = index.get(&key) {
+                for &r in matches {
+                    let mut row = t.clone();
+                    for &c in &new_cols {
+                        row = row.concat(&rel.rows[r].project(&[c]));
+                    }
+                    joined.rows.push(row);
+                }
+            }
+        }
+        for &c in &new_cols {
+            acc_nodes.push(path[c]);
+        }
+        acc = joined;
+    }
+
+    // Reorder columns to the caller's node order.
+    let cols: Vec<usize> = (0..nodes.len())
+        .map(|i| acc_nodes.iter().position(|&a| a == i).expect("all nodes joined"))
+        .collect();
+    if cols.iter().enumerate().all(|(i, &c)| i == c) {
+        acc
+    } else {
+        crate::ops::project(&acc, &cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{Column, Schema};
+    use crate::structjoin::structural_join;
+    use crate::tuple::Field;
+    use xivm_xml::{dewey::Step, LabelId};
+
+    fn id(parts: &[(u32, u64)]) -> DeweyId {
+        DeweyId::from_steps(parts.iter().map(|&(a, b)| Step::new(LabelId(a), b)).collect())
+    }
+
+    fn rel(name: &str, ids: Vec<DeweyId>) -> Relation {
+        let mut r = Relation::with_rows(
+            Schema::new(vec![Column::id_only(name)]),
+            ids.into_iter().map(|i| Tuple::new(vec![Field::id_only(i)])).collect(),
+        );
+        r.sort_by_col(0);
+        r
+    }
+
+    /// Binary-join reference for a chain.
+    fn chain_by_binary_joins(levels: &[ChainLevel<'_>]) -> Relation {
+        let mut acc = levels[0].input.clone();
+        for (i, l) in levels.iter().enumerate().skip(1) {
+            acc.sort_by_col(i - 1);
+            acc = structural_join(&acc, i - 1, l.input, 0, l.axis);
+        }
+        acc
+    }
+
+    fn sorted_rows(mut r: Relation) -> Vec<Tuple> {
+        crate::ops::sort_all(&mut r);
+        r.rows
+    }
+
+    fn random_ids(seed: &mut u64, n: usize, max_depth: usize) -> Vec<DeweyId> {
+        let next = move |s: &mut u64| {
+            *s ^= *s << 13;
+            *s ^= *s >> 7;
+            *s ^= *s << 17;
+            *s
+        };
+        let mut out = Vec::new();
+        for _ in 0..n {
+            let depth = 1 + (next(seed) as usize) % max_depth;
+            let steps: Vec<(u32, u64)> =
+                (0..depth).map(|d| (d as u32, 1 + next(seed) % 4)).collect();
+            out.push(id(&steps));
+        }
+        out.sort_by(|a, b| a.doc_cmp(b));
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn path_stack_matches_binary_joins_on_random_chains() {
+        let mut seed = 0xc0ffee;
+        for trial in 0..25 {
+            let a = rel("a", random_ids(&mut seed, 12, 2));
+            let b = rel("b", random_ids(&mut seed, 16, 4));
+            let c = rel("c", random_ids(&mut seed, 16, 6));
+            for axis2 in [Axis::Descendant, Axis::Child] {
+                let levels = [
+                    ChainLevel { input: &a, axis: Axis::Descendant },
+                    ChainLevel { input: &b, axis: Axis::Descendant },
+                    ChainLevel { input: &c, axis: axis2 },
+                ];
+                let holistic = sorted_rows(path_stack(&levels));
+                let binary = sorted_rows(chain_by_binary_joins(&levels));
+                assert_eq!(holistic, binary, "trial {trial} axis {axis2:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn path_stack_single_level_is_identity() {
+        let a = rel("a", vec![id(&[(0, 1)]), id(&[(0, 2)])]);
+        let out = path_stack(&[ChainLevel { input: &a, axis: Axis::Descendant }]);
+        assert_eq!(out.rows, a.rows);
+    }
+
+    #[test]
+    fn path_stack_nested_ancestors_multiply() {
+        // a1 ≺≺ a2 ≺≺ b : both a's pair with b
+        let a = rel("a", vec![id(&[(0, 1)]), id(&[(0, 1), (0, 2)])]);
+        let b = rel("b", vec![id(&[(0, 1), (0, 2), (1, 3)])]);
+        let out = path_stack(&[
+            ChainLevel { input: &a, axis: Axis::Descendant },
+            ChainLevel { input: &b, axis: Axis::Descendant },
+        ]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn twig_join_matches_pairwise_plan() {
+        // pattern a[//b]//c over a small forest
+        let mut seed = 0xabcdef;
+        for trial in 0..25 {
+            let a = rel("a", random_ids(&mut seed, 10, 2));
+            let b = rel("b", random_ids(&mut seed, 14, 5));
+            let c = rel("c", random_ids(&mut seed, 14, 5));
+            let twig = twig_join(&[
+                TwigNode { input: &a, parent: None, axis: Axis::Descendant },
+                TwigNode { input: &b, parent: Some(0), axis: Axis::Descendant },
+                TwigNode { input: &c, parent: Some(0), axis: Axis::Descendant },
+            ]);
+            // reference: (a ⋈ b) ⋈ c on column 0
+            let mut ab = structural_join(&a, 0, &b, 0, Axis::Descendant);
+            ab.sort_by_col(0);
+            let abc = structural_join(&ab, 0, &c, 0, Axis::Descendant);
+            assert_eq!(
+                sorted_rows(twig),
+                sorted_rows(abc),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn twig_join_deep_branching() {
+        // a//b[//d]//c-like: branch below the second level
+        let a = rel("a", vec![id(&[(0, 1)])]);
+        let b = rel("b", vec![id(&[(0, 1), (1, 2)])]);
+        let c = rel("c", vec![id(&[(0, 1), (1, 2), (2, 3)]), id(&[(0, 1), (1, 2), (2, 4)])]);
+        let d = rel("d", vec![id(&[(0, 1), (1, 2), (3, 9)])]);
+        let out = twig_join(&[
+            TwigNode { input: &a, parent: None, axis: Axis::Descendant },
+            TwigNode { input: &b, parent: Some(0), axis: Axis::Child },
+            TwigNode { input: &c, parent: Some(1), axis: Axis::Descendant },
+            TwigNode { input: &d, parent: Some(1), axis: Axis::Descendant },
+        ]);
+        assert_eq!(out.len(), 2, "two c's × one d under the same (a, b)");
+        assert_eq!(out.schema.arity(), 4);
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_result() {
+        let a = rel("a", vec![id(&[(0, 1)])]);
+        let empty = rel("b", vec![]);
+        let out = path_stack(&[
+            ChainLevel { input: &a, axis: Axis::Descendant },
+            ChainLevel { input: &empty, axis: Axis::Descendant },
+        ]);
+        assert!(out.is_empty());
+    }
+}

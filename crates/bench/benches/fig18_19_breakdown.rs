@@ -1,0 +1,48 @@
+//! Figures 18 and 19: per-phase time breakdown of insert propagation
+//! (PINT/PIMT) and delete propagation (PDDT/MT) for the XMark views
+//! Q1, Q3 and Q6, each against its five update classes, on the
+//! reference document.
+
+use xivm_bench::{averaged, figure_header, phase_cells, repetitions, row, PHASE_COLUMNS};
+use xivm_core::{MaintenanceEngine, SnowcapStrategy};
+use xivm_xmark::sizes::reference_size;
+use xivm_xmark::{generate_sized, updates_for_view, view_pattern};
+
+fn main() {
+    let size = reference_size();
+    let doc = generate_sized(size.bytes);
+    let reps = repetitions();
+
+    for (figure, is_insert) in [("Figure 18", true), ("Figure 19", false)] {
+        let kind = if is_insert { "insert (PINT/PIMT)" } else { "delete (PDDT/MT)" };
+        figure_header(
+            figure,
+            &format!("{kind} time breakdown, views Q1/Q3/Q6, {} document", size.label),
+        );
+        let mut header = vec!["view".to_owned(), "update".to_owned(), "class".to_owned()];
+        header.extend(PHASE_COLUMNS.iter().map(|s| s.to_string()));
+        row(&header);
+        for view in ["Q1", "Q3", "Q6"] {
+            let pattern = view_pattern(view);
+            for u in updates_for_view(view) {
+                let stmt = if is_insert { u.insert_stmt() } else { u.delete_stmt() };
+                let t = averaged(reps, || {
+                    xivm_bench::run_once(
+                        &doc,
+                        &pattern,
+                        &stmt,
+                        SnowcapStrategy::MinimalChain,
+                    )
+                    .timings
+                });
+                let mut cells =
+                    vec![view.to_owned(), u.name.to_owned(), u.class.name().to_owned()];
+                cells.extend(phase_cells(&t));
+                row(&cells);
+            }
+        }
+        // One fresh engine per run keeps measurements independent; the
+        // report object itself is what the paper's bars decompose.
+        let _ = MaintenanceEngine::new(&doc, view_pattern("Q1"), SnowcapStrategy::MinimalChain);
+    }
+}

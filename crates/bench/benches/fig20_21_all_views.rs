@@ -1,0 +1,37 @@
+//! Figures 20 and 21: total view-maintenance time for all 35
+//! (view, update) pairs — insert propagation (Figure 20) and delete
+//! propagation (Figure 21) on the reference document.
+
+use xivm_bench::{averaged, figure_header, ms, repetitions, row};
+use xivm_core::SnowcapStrategy;
+use xivm_xmark::sizes::reference_size;
+use xivm_xmark::{generate_sized, updates_for_view, view_pattern, VIEW_NAMES};
+
+fn main() {
+    let size = reference_size();
+    let doc = generate_sized(size.bytes);
+    let reps = repetitions();
+
+    for (figure, is_insert) in [("Figure 20", true), ("Figure 21", false)] {
+        let kind = if is_insert { "insert" } else { "delete" };
+        figure_header(
+            figure,
+            &format!("view {kind} performance, all views, {} document", size.label),
+        );
+        row(&["pair".to_owned(), "total_maintenance_ms".to_owned()]);
+        for view in VIEW_NAMES {
+            let pattern = view_pattern(view);
+            for u in updates_for_view(view) {
+                let stmt = if is_insert { u.insert_stmt() } else { u.delete_stmt() };
+                let t = averaged(reps, || {
+                    xivm_bench::run_once(&doc, &pattern, &stmt, SnowcapStrategy::MinimalChain)
+                        .timings
+                });
+                row(&[
+                    format!("{view}_{}", u.name),
+                    format!("{:.3}", ms(t.maintenance_total())),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Figures 22 and 23: maintenance time of deletion updates of varying
+//! path depth (X1_L ladder /site … /site/people/person/name) against
+//! the fixed view Q1, on a 100 KB and on the reference document.
+//!
+//! Expected shape: time *decreases* as the path lengthens — shorter
+//! paths delete more of the document, producing larger Δ⁻ tables.
+
+use xivm_bench::{averaged, figure_header, ms, repetitions, row};
+use xivm_core::SnowcapStrategy;
+use xivm_update::UpdateStatement;
+use xivm_xmark::sizes::{reference_size, small_size};
+use xivm_xmark::{generate_sized, view_pattern, DEPTH_LADDER};
+
+fn main() {
+    let reps = repetitions();
+    for size in [small_size(), reference_size()] {
+        let figure = if size.bytes <= small_size().bytes { "Figure 22" } else { "Figure 23" };
+        figure_header(
+            figure,
+            &format!("deletion X1_L of varying depth against view Q1, {} document", size.label),
+        );
+        row(&["path".to_owned(), "total_maintenance_ms".to_owned()]);
+        let doc = generate_sized(size.bytes);
+        let pattern = view_pattern("Q1");
+        for path in DEPTH_LADDER {
+            let stmt = UpdateStatement::delete(path).expect("ladder paths parse");
+            let t = averaged(reps, || {
+                xivm_bench::run_once(&doc, &pattern, &stmt, SnowcapStrategy::MinimalChain)
+                    .timings
+            });
+            row(&[path.to_owned(), format!("{:.3}", ms(t.maintenance_total()))]);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 24: impact of the view-node annotations on deletion
+//! propagation. The fixed predicated update X1_L
+//! (`delete /site/people/person[@id="person0"]`) runs against the five
+//! Q1 annotation variants (IDs, VC Leaf, VC Root, VC All-but-root,
+//! VC All).
+//!
+//! Expected shape: the closer `val`/`cont` sit to the root, the more
+//! expensive PDDT/PDMT become (larger stored text to recompute).
+
+use xivm_bench::{averaged, figure_header, ms, repetitions, row};
+use xivm_core::SnowcapStrategy;
+use xivm_update::UpdateStatement;
+use xivm_xmark::sizes::small_size;
+use xivm_xmark::{generate_sized, q1_variant, Q1Variant, X1_L_PRED};
+
+fn main() {
+    let size = small_size();
+    let doc = generate_sized(size.bytes);
+    let reps = repetitions();
+    figure_header(
+        "Figure 24",
+        &format!(
+            "fixed update delete {X1_L_PRED} against Q1 with varying annotations, {} document",
+            size.label
+        ),
+    );
+    row(&["variant".to_owned(), "total_maintenance_ms".to_owned()]);
+    let stmt = UpdateStatement::delete(X1_L_PRED).expect("predicated path parses");
+    for variant in Q1Variant::ALL {
+        let pattern = q1_variant(variant);
+        let t = averaged(reps, || {
+            xivm_bench::run_once(&doc, &pattern, &stmt, SnowcapStrategy::MinimalChain).timings
+        });
+        row(&[variant.name().to_owned(), format!("{:.3}", ms(t.maintenance_total()))]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Figures 26 and 27: incremental maintenance vs. full recomputation
+//! for the XMark views Q1, Q2 and Q4 and their update classes —
+//! insertions (Figure 26) and deletions (Figure 27).
+//!
+//! Expected shape: full recomputation is prohibitive in most
+//! scenarios; incremental maintenance wins, and by more on deletions.
+
+use std::time::Instant;
+use xivm_bench::{averaged, figure_header, ms, repetitions, row};
+use xivm_core::SnowcapStrategy;
+use xivm_ivma::recompute_store;
+use xivm_update::{apply_pul, compute_pul};
+use xivm_xmark::sizes::reference_size;
+use xivm_xmark::{generate_sized, updates_for_view, view_pattern};
+
+fn main() {
+    let size = reference_size();
+    let doc = generate_sized(size.bytes);
+    let reps = repetitions();
+    for (figure, is_insert) in [("Figure 26", true), ("Figure 27", false)] {
+        let algo = if is_insert { "PINT/PIMT" } else { "PDDT/PDMT" };
+        figure_header(
+            figure,
+            &format!("{algo} versus full re-computation, {} document", size.label),
+        );
+        row(&[
+            "pair".to_owned(),
+            "incremental_ms".to_owned(),
+            "full_recompute_ms".to_owned(),
+            "speedup".to_owned(),
+        ]);
+        for view in ["Q1", "Q2", "Q4"] {
+            let pattern = view_pattern(view);
+            // the catalog pairs plus a low-selectivity variant: the
+            // paper's updates touch large document fractions, where
+            // incremental and full costs converge by necessity; the
+            // narrow variant shows the incremental win when the
+            // update's footprint is small relative to the document
+            let narrow = narrow_update(view, is_insert);
+            let stmts = updates_for_view(view)
+                .iter()
+                .map(|u| {
+                    (
+                        u.name.to_owned(),
+                        if is_insert { u.insert_stmt() } else { u.delete_stmt() },
+                    )
+                })
+                .chain(std::iter::once(narrow))
+                .collect::<Vec<_>>();
+            for (uname, stmt) in stmts {
+                // incremental
+                let inc = averaged(reps, || {
+                    xivm_bench::run_once(&doc, &pattern, &stmt, SnowcapStrategy::MinimalChain)
+                        .timings
+                });
+                let inc_ms = ms(inc.maintenance_total());
+                // full recomputation: apply the update, then evaluate
+                // the view from scratch (target finding included, as
+                // it is part of applying the update either way)
+                let mut full_ms = 0.0;
+                for _ in 0..reps {
+                    let mut d = doc.clone();
+                    let pul = compute_pul(&d, &stmt);
+                    apply_pul(&mut d, &pul).expect("update applies");
+                    let start = Instant::now();
+                    let store = recompute_store(&d, &pattern);
+                    full_ms += ms(start.elapsed());
+                    std::hint::black_box(store.len());
+                }
+                full_ms /= reps as f64;
+                row(&[
+                    format!("{view}_{uname}"),
+                    format!("{inc_ms:.3}"),
+                    format!("{full_ms:.3}"),
+                    format!("{:.2}", full_ms / inc_ms.max(1e-6)),
+                ]);
+            }
+        }
+    }
+}
+
+/// A low-selectivity update for each view's subject area: one person
+/// (or one auction's bidders) instead of all of them.
+fn narrow_update(view: &str, is_insert: bool) -> (String, xivm_update::UpdateStatement) {
+    use xivm_update::UpdateStatement;
+    let path = match view {
+        "Q1" => "/site/people/person[@id=\"person3\"]",
+        _ => "/site/open_auctions/open_auction[@id=\"open_auction3\"]/bidder",
+    };
+    let stmt = if is_insert {
+        UpdateStatement::insert(path, "<name>narrow<name>x</name></name>").unwrap()
+    } else {
+        UpdateStatement::delete(path).unwrap()
+    };
+    ("narrow".to_owned(), stmt)
+}

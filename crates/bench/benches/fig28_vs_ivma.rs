@@ -1,0 +1,71 @@
+//! Figure 28: PINT/PIMT versus the node-at-a-time IVMA algorithm
+//! [Sawires et al. 2005] on view Q1 over a 100 KB document.
+//!
+//! The workload inserts a fixed five-node XML tree (a root with four
+//! children) under each update target: one bulk statement for our
+//! engine, five consecutive single-node calls for IVMA. Expected
+//! shape: the bulk algorithm wins by an order of magnitude or more.
+
+use std::time::Instant;
+use xivm_bench::{figure_header, ms, repetitions, row};
+use xivm_core::SnowcapStrategy;
+use xivm_ivma::IvmaView;
+use xivm_update::UpdateStatement;
+use xivm_xmark::sizes::small_size;
+use xivm_xmark::{generate_sized, update_by_name, view_pattern};
+
+/// The fixed five-node tree of the experiment.
+const FIVE_NODE_TREE: &str = "<name>r<name>c1</name><name>c2</name><name>c3</name>\
+                              <name>c4</name></name>";
+
+fn main() {
+    let size = small_size();
+    let doc = generate_sized(size.bytes);
+    let reps = repetitions();
+    let pattern = view_pattern("Q1");
+    figure_header(
+        "Figure 28",
+        &format!("PINT/PIMT versus IVMA, view Q1, {} document", size.label),
+    );
+    row(&[
+        "update".to_owned(),
+        "execute_update_ms".to_owned(),
+        "execute_update_ivma_ms".to_owned(),
+        "ivma_calls".to_owned(),
+        "speedup".to_owned(),
+    ]);
+    // the paper's Q1 update set
+    for u in ["X1_L", "A6_A", "A7_O", "A8_AO", "B7_LB"] {
+        let upd = update_by_name(u);
+        let stmt = UpdateStatement::Insert {
+            target: xivm_pattern::xpath::parse_xpath(upd.path).unwrap(),
+            xml: FIVE_NODE_TREE.to_owned(),
+        };
+        // bulk engine
+        let mut bulk_ms = 0.0;
+        for _ in 0..reps {
+            let report =
+                xivm_bench::run_once(&doc, &pattern, &stmt, SnowcapStrategy::MinimalChain);
+            bulk_ms += ms(report.timings.maintenance_total());
+        }
+        bulk_ms /= reps as f64;
+        // IVMA node-at-a-time
+        let mut ivma_ms = 0.0;
+        let mut calls = 0usize;
+        for _ in 0..reps {
+            let mut d = doc.clone();
+            let mut view = IvmaView::new(&d, pattern.clone());
+            let start = Instant::now();
+            calls = view.apply_insert(&mut d, &stmt).expect("ivma applies");
+            ivma_ms += ms(start.elapsed());
+        }
+        ivma_ms /= reps as f64;
+        row(&[
+            u.to_owned(),
+            format!("{bulk_ms:.3}"),
+            format!("{ivma_ms:.3}"),
+            calls.to_string(),
+            format!("{:.2}", ivma_ms / bulk_ms.max(1e-6)),
+        ]);
+    }
+}

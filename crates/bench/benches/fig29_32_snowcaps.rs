@@ -1,0 +1,51 @@
+//! Figures 29–32: materializing snowcaps versus leaves only
+//! (Section 6.7), for views Q4 and Q6 across document sizes.
+//!
+//! Reports, per strategy: (R) the time to evaluate the maintenance
+//! terms ("Execute Update"), (U) the time to update the materialized
+//! structures ("Update Lattice"), and their total. Expected shape:
+//! the snowcap strategy beats leaves-only, with a larger gap for Q6
+//! than for Q4.
+
+use xivm_bench::{averaged, figure_header, ms, repetitions, row};
+use xivm_core::SnowcapStrategy;
+use xivm_xmark::sizes::ladder;
+use xivm_xmark::{generate_sized, update_by_name, view_pattern};
+
+fn main() {
+    let reps = repetitions();
+    for (figure, view) in [("Figures 29/31", "Q4"), ("Figures 30/32", "Q6")] {
+        figure_header(
+            figure,
+            &format!("snowcaps vs leaves for view {view}: eval (R), update (U), total"),
+        );
+        row(&[
+            "doc_size".to_owned(),
+            "strategy".to_owned(),
+            "eval_terms_ms(R)".to_owned(),
+            "update_structures_ms(U)".to_owned(),
+            "total_ms".to_owned(),
+        ]);
+        let pattern = view_pattern(view);
+        // the update used for maintenance load: the view's L-class entry
+        let update = if view == "Q4" { update_by_name("X2_L") } else { update_by_name("E6_L") };
+        for size in ladder() {
+            let doc = generate_sized(size.bytes);
+            for strategy in [SnowcapStrategy::MinimalChain, SnowcapStrategy::LeavesOnly] {
+                let stmt = update.insert_stmt();
+                let t = averaged(reps, || {
+                    xivm_bench::run_once(&doc, &pattern, &stmt, strategy).timings
+                });
+                let r = ms(t.execute_update);
+                let u = ms(t.update_lattice);
+                row(&[
+                    size.label.to_owned(),
+                    strategy.name().to_owned(),
+                    format!("{r:.3}"),
+                    format!("{u:.3}"),
+                    format!("{:.3}", r + u),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks for the substrate operators: Dewey ID
+//! operations, the stack-based structural join, XPath target finding
+//! and full pattern evaluation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use xivm_algebra::{structural_join, Axis, Column, Field, Relation, Schema, Tuple};
+use xivm_pattern::compile::view_tuples;
+use xivm_pattern::xpath::{eval_path, parse_xpath};
+use xivm_xmark::{generate_sized, view_pattern};
+use xivm_xml::{dewey::Step, DeweyId, LabelId};
+
+fn dewey_ops(c: &mut Criterion) {
+    let deep = DeweyId::from_steps((0..12).map(|i| Step::new(LabelId(i), 7 + u64::from(i))).collect());
+    let mid = deep.parent().unwrap().parent().unwrap();
+    c.bench_function("dewey/is_ancestor_of", |b| {
+        b.iter(|| black_box(mid.is_ancestor_of(black_box(&deep))))
+    });
+    c.bench_function("dewey/doc_cmp", |b| {
+        b.iter(|| black_box(mid.doc_cmp(black_box(&deep))))
+    });
+    c.bench_function("dewey/encode_decode", |b| {
+        b.iter(|| {
+            let enc = deep.encode();
+            black_box(DeweyId::decode(&enc))
+        })
+    });
+}
+
+fn one_col(name: &str, ids: Vec<DeweyId>) -> Relation {
+    let mut r = Relation::with_rows(
+        Schema::new(vec![Column::id_only(name)]),
+        ids.into_iter().map(|i| Tuple::new(vec![Field::id_only(i)])).collect(),
+    );
+    r.sort_by_col(0);
+    r
+}
+
+fn struct_join(c: &mut Criterion) {
+    // a synthetic two-level tree: 1000 parents × 10 children
+    let parents: Vec<DeweyId> = (0..1000u64)
+        .map(|i| DeweyId::from_steps(vec![Step::new(LabelId(0), 1), Step::new(LabelId(1), i + 1)]))
+        .collect();
+    let children: Vec<DeweyId> = parents
+        .iter()
+        .flat_map(|p| (0..10u64).map(move |j| p.child(LabelId(2), j + 1)))
+        .collect();
+    let left = one_col("p", parents);
+    let right = one_col("c", children);
+    c.bench_function("structjoin/1000x10000_descendant", |b| {
+        b.iter(|| black_box(structural_join(&left, 0, &right, 0, Axis::Descendant).len()))
+    });
+    c.bench_function("structjoin/1000x10000_child", |b| {
+        b.iter(|| black_box(structural_join(&left, 0, &right, 0, Axis::Child).len()))
+    });
+}
+
+fn xpath_and_views(c: &mut Criterion) {
+    let doc = generate_sized(200 * 1024);
+    let path = parse_xpath("/site/people/person[phone and homepage]").unwrap();
+    c.bench_function("xpath/find_targets_200KB", |b| {
+        b.iter(|| black_box(eval_path(&doc, &path).len()))
+    });
+    let q1 = view_pattern("Q1");
+    c.bench_function("pattern/eval_q1_200KB", |b| {
+        b.iter_batched(
+            || (),
+            |_| black_box(view_tuples(&doc, &q1).len()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn holistic_vs_binary(c: &mut Criterion) {
+    use xivm_algebra::{path_stack, ChainLevel};
+    // three-level chain: 200 a's × 5 b's × 4 c's
+    let a: Vec<DeweyId> = (0..200u64)
+        .map(|i| DeweyId::from_steps(vec![Step::new(LabelId(0), 1), Step::new(LabelId(1), i + 1)]))
+        .collect();
+    let b: Vec<DeweyId> =
+        a.iter().flat_map(|p| (0..5u64).map(move |j| p.child(LabelId(2), j + 1))).collect();
+    let cs: Vec<DeweyId> =
+        b.iter().flat_map(|p| (0..4u64).map(move |j| p.child(LabelId(3), j + 1))).collect();
+    let (ra, rb, rc) = (one_col("a", a), one_col("b", b), one_col("c", cs));
+    c.bench_function("twig/path_stack_chain3", |bch| {
+        bch.iter(|| {
+            let levels = [
+                ChainLevel { input: &ra, axis: Axis::Descendant },
+                ChainLevel { input: &rb, axis: Axis::Descendant },
+                ChainLevel { input: &rc, axis: Axis::Descendant },
+            ];
+            black_box(path_stack(&levels).len())
+        })
+    });
+    c.bench_function("twig/binary_joins_chain3", |bch| {
+        bch.iter(|| {
+            let mut ab = structural_join(&ra, 0, &rb, 0, Axis::Descendant);
+            ab.sort_by_col(1);
+            black_box(structural_join(&ab, 1, &rc, 0, Axis::Descendant).len())
+        })
+    });
+}
+
+criterion_group!(benches, dewey_ops, struct_join, xpath_and_views, holistic_vs_binary);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Appendix A ("Test Set") coverage table: every catalog update of
+//! every class runs as an insertion and a deletion against every view
+//! it is paired with, reporting target counts and view impact — the
+//! machine-checkable version of the paper's test-set listing.
+
+use xivm_bench::{figure_header, row};
+use xivm_core::SnowcapStrategy;
+use xivm_pattern::xpath::{eval_path, parse_xpath};
+use xivm_xmark::sizes::small_size;
+use xivm_xmark::{generate_sized, updates_for_view, view_pattern, VIEW_NAMES};
+
+fn main() {
+    let size = small_size();
+    let doc = generate_sized(size.bytes);
+    figure_header(
+        "Table A",
+        &format!("test-set coverage: targets and view impact, {} document", size.label),
+    );
+    row(&[
+        "view".to_owned(),
+        "update".to_owned(),
+        "class".to_owned(),
+        "targets".to_owned(),
+        "ins_tuples_added".to_owned(),
+        "ins_tuples_modified".to_owned(),
+        "del_derivations_removed".to_owned(),
+    ]);
+    for view in VIEW_NAMES {
+        let pattern = view_pattern(view);
+        for u in updates_for_view(view) {
+            let targets = eval_path(&doc, &parse_xpath(u.path).unwrap()).len();
+            let ins = xivm_bench::run_once(
+                &doc,
+                &pattern,
+                &u.insert_stmt(),
+                SnowcapStrategy::MinimalChain,
+            );
+            let del = xivm_bench::run_once(
+                &doc,
+                &pattern,
+                &u.delete_stmt(),
+                SnowcapStrategy::MinimalChain,
+            );
+            row(&[
+                view.to_owned(),
+                u.name.to_owned(),
+                u.class.name().to_owned(),
+                targets.to_string(),
+                ins.tuples_added.to_string(),
+                ins.tuples_modified.to_string(),
+                del.derivations_removed.to_string(),
+            ]);
+        }
+    }
+}

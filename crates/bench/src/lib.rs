@@ -1,0 +1,121 @@
+//! Shared plumbing for the experiment runners (Section 6).
+//!
+//! Every figure of the paper's evaluation has a dedicated runner under
+//! `benches/` (plain `harness = false` binaries, so `cargo bench`
+//! regenerates every figure); this crate holds the measurement and
+//! table-printing helpers they share.
+
+use std::time::Duration;
+use xivm_core::{MaintenanceEngine, SnowcapStrategy, Timings, UpdateReport};
+use xivm_pattern::TreePattern;
+use xivm_update::UpdateStatement;
+use xivm_xml::Document;
+
+/// Milliseconds with two decimals — the unit of the paper's plots.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Prints a figure header in a stable, greppable format.
+pub fn figure_header(figure: &str, caption: &str) {
+    println!();
+    println!("## {figure}: {caption}");
+}
+
+/// Prints one CSV row.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join(","));
+}
+
+/// The five measured phases, as column labels (Section 6.1).
+pub const PHASE_COLUMNS: [&str; 6] = [
+    "find_target_nodes_ms",
+    "compute_delta_tables_ms",
+    "get_update_expression_ms",
+    "execute_update_ms",
+    "update_lattice_ms",
+    "maintenance_total_ms",
+];
+
+/// Formats a [`Timings`] into the phase columns.
+pub fn phase_cells(t: &Timings) -> Vec<String> {
+    vec![
+        format!("{:.3}", ms(t.find_target_nodes)),
+        format!("{:.3}", ms(t.compute_delta_tables)),
+        format!("{:.3}", ms(t.get_update_expression)),
+        format!("{:.3}", ms(t.execute_update)),
+        format!("{:.3}", ms(t.update_lattice)),
+        format!("{:.3}", ms(t.maintenance_total())),
+    ]
+}
+
+/// Runs one (document, view, statement) propagation on fresh copies
+/// and returns the report. The document build and view
+/// materialization are excluded from the measured phases by
+/// construction.
+pub fn run_once(
+    doc: &Document,
+    pattern: &TreePattern,
+    stmt: &UpdateStatement,
+    strategy: SnowcapStrategy,
+) -> UpdateReport {
+    let mut doc = doc.clone();
+    let mut engine = MaintenanceEngine::new(&doc, pattern.clone(), strategy);
+    engine.apply_statement(&mut doc, stmt).expect("propagation succeeds")
+}
+
+/// Averages a measurement over `n` runs (the paper averages over five
+/// executions).
+pub fn averaged<F: FnMut() -> Timings>(n: usize, mut f: F) -> Timings {
+    let mut acc = Timings::default();
+    for _ in 0..n {
+        acc.accumulate(&f());
+    }
+    Timings {
+        find_target_nodes: acc.find_target_nodes / n as u32,
+        compute_delta_tables: acc.compute_delta_tables / n as u32,
+        get_update_expression: acc.get_update_expression / n as u32,
+        execute_update: acc.execute_update / n as u32,
+        update_lattice: acc.update_lattice / n as u32,
+        apply_document: acc.apply_document / n as u32,
+    }
+}
+
+/// Number of repetitions per measurement (5 in the paper; 3 in quick
+/// mode to keep `cargo bench` short).
+pub fn repetitions() -> usize {
+    if xivm_xmark::sizes::full_scale() {
+        5
+    } else {
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_converts() {
+        assert!((ms(Duration::from_millis(1500)) - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn averaged_divides() {
+        let t = averaged(2, || Timings {
+            execute_update: Duration::from_millis(10),
+            ..Default::default()
+        });
+        assert_eq!(t.execute_update, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn run_once_is_side_effect_free() {
+        let doc = xivm_xmark::generate_sized(30 * 1024);
+        let p = xivm_xmark::view_pattern("Q1");
+        let stmt = xivm_xmark::update_by_name("X1_L").insert_stmt();
+        let before = xivm_xml::serialize_document(&doc);
+        let _ = run_once(&doc, &p, &stmt, SnowcapStrategy::MinimalChain);
+        assert_eq!(xivm_xml::serialize_document(&doc), before);
+    }
+}

@@ -1,0 +1,610 @@
+//! The end-to-end maintenance engine.
+//!
+//! Wires the whole pipeline of Figures 8 and 9 together: compute the
+//! PUL, apply it to the document, build Δ tables (CD±), expand and
+//! prune the update expression, evaluate the surviving terms with
+//! structural joins (ET-INS / ET-DEL), patch the view store
+//! (PINT + PIMT for insertions, PDDT + PDMT for deletions — the
+//! combined PINT/MT and PDDT/MT the paper actually runs), and keep the
+//! materialized snowcaps current. Each phase is timed, producing the
+//! breakdowns of the Section 6 experiments.
+
+use crate::pddt::{delete_terms, eval_delete_terms, DeleteContext};
+use crate::pdmt::propagate_delete_modifications;
+use crate::pimt::propagate_insert_modifications;
+use crate::pint::{eval_insert_terms, insert_terms, InsertContext, OldLeafCache};
+use crate::prune::PruneStats;
+use crate::snowcap::{enumerate_snowcaps, minimal_chain, MaterializedSnowcap};
+use crate::strategy::SnowcapStrategy;
+use crate::timing::{timed, Timings};
+use crate::view_store::ViewStore;
+use std::collections::{BTreeSet, HashSet};
+use xivm_pattern::compile::{compile_plan_over, canonical_relation, project_to_view, view_tuples};
+use xivm_pattern::{PatternNodeId, TreePattern};
+use xivm_update::{apply_pul, compute_pul, DeltaMinus, DeltaPlus, Pul, UpdateStatement};
+use xivm_xml::{Document, NodeId, XmlError};
+
+/// What one propagated update did, and how long each phase took.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateReport {
+    pub timings: Timings,
+    /// Term pruning statistics for the insertion side.
+    pub insert_prune: PruneStats,
+    /// Term pruning statistics for the deletion side.
+    pub delete_prune: PruneStats,
+    /// Distinct view tuples added / removed / text-modified.
+    pub tuples_added: usize,
+    pub tuples_removed: usize,
+    pub tuples_modified: usize,
+    /// Raw embeddings (derivations) added / removed.
+    pub derivations_added: u64,
+    pub derivations_removed: u64,
+}
+
+/// A materialized view plus the auxiliary structures needed to
+/// maintain it incrementally.
+pub struct MaintenanceEngine {
+    pattern: TreePattern,
+    strategy: SnowcapStrategy,
+    /// Cost-model-chosen sets overriding the strategy's default
+    /// (see [`crate::costmodel`]).
+    custom_sets: Option<Vec<BTreeSet<PatternNodeId>>>,
+    store: ViewStore,
+    snowcaps: Vec<MaterializedSnowcap>,
+    /// Ablation switches for the dynamic prunings (Section 6.8).
+    pub use_delta_pruning: bool,
+    pub use_id_pruning: bool,
+}
+
+impl MaintenanceEngine {
+    /// Materializes the view and its auxiliary snowcaps over `doc`.
+    pub fn new(doc: &Document, pattern: TreePattern, strategy: SnowcapStrategy) -> Self {
+        let store = ViewStore::from_counted(&pattern, view_tuples(doc, &pattern));
+        let snowcaps = Self::materialize_sets(doc, &pattern, Self::default_sets(&pattern, strategy));
+        MaintenanceEngine {
+            pattern,
+            strategy,
+            custom_sets: None,
+            store,
+            snowcaps,
+            use_delta_pruning: true,
+            use_id_pruning: true,
+        }
+    }
+
+    /// Materializes the view with the snowcap set chosen by the cost
+    /// model (Section 3.5's deferred optimization, implemented in
+    /// [`crate::costmodel`]) for the given update profile.
+    pub fn new_cost_based(
+        doc: &Document,
+        pattern: TreePattern,
+        profile: &crate::costmodel::UpdateProfile,
+    ) -> Self {
+        let stats = crate::costmodel::DocStats::collect(doc);
+        let sets = crate::costmodel::choose_snowcaps(&pattern, &stats, profile);
+        let store = ViewStore::from_counted(&pattern, view_tuples(doc, &pattern));
+        let snowcaps = Self::materialize_sets(doc, &pattern, sets.clone());
+        MaintenanceEngine {
+            pattern,
+            strategy: SnowcapStrategy::MinimalChain,
+            custom_sets: Some(sets),
+            store,
+            snowcaps,
+            use_delta_pruning: true,
+            use_id_pruning: true,
+        }
+    }
+
+    fn default_sets(
+        pattern: &TreePattern,
+        strategy: SnowcapStrategy,
+    ) -> Vec<BTreeSet<PatternNodeId>> {
+        let k = pattern.len();
+        match strategy {
+            SnowcapStrategy::MinimalChain => {
+                minimal_chain(pattern).into_iter().filter(|s| s.len() < k).collect()
+            }
+            SnowcapStrategy::AllSnowcaps => {
+                enumerate_snowcaps(pattern).into_iter().filter(|s| s.len() < k).collect()
+            }
+            SnowcapStrategy::LeavesOnly => Vec::new(),
+        }
+    }
+
+    fn materialize_sets(
+        doc: &Document,
+        pattern: &TreePattern,
+        sets: Vec<BTreeSet<PatternNodeId>>,
+    ) -> Vec<MaterializedSnowcap> {
+        sets.into_iter()
+            .map(|set| {
+                let nodes: Vec<PatternNodeId> =
+                    pattern.preorder().into_iter().filter(|n| set.contains(n)).collect();
+                let plan =
+                    compile_plan_over(pattern, &nodes, |n| canonical_relation(doc, pattern, n));
+                MaterializedSnowcap { nodes, rel: plan.eval() }
+            })
+            .collect()
+    }
+
+    /// The snowcap node sets this engine maintains (strategy default
+    /// or cost-model choice).
+    fn current_sets(&self) -> Vec<BTreeSet<PatternNodeId>> {
+        match &self.custom_sets {
+            Some(s) => s.clone(),
+            None => Self::default_sets(&self.pattern, self.strategy),
+        }
+    }
+
+    pub fn pattern(&self) -> &TreePattern {
+        &self.pattern
+    }
+
+    pub fn strategy(&self) -> SnowcapStrategy {
+        self.strategy
+    }
+
+    pub fn store(&self) -> &ViewStore {
+        &self.store
+    }
+
+    pub fn snowcaps(&self) -> &[MaterializedSnowcap] {
+        &self.snowcaps
+    }
+
+    /// Full recomputation (the baseline of Section 6.5); also used to
+    /// re-sync in tests.
+    pub fn recompute(&mut self, doc: &Document) {
+        self.store = ViewStore::from_counted(&self.pattern, view_tuples(doc, &self.pattern));
+        self.snowcaps = Self::materialize_sets(doc, &self.pattern, self.current_sets());
+    }
+
+    /// Propagates a statement-level update: computes the PUL ("Find
+    /// Target Nodes"), applies it to the document, and maintains the
+    /// view.
+    pub fn apply_statement(
+        &mut self,
+        doc: &mut Document,
+        stmt: &UpdateStatement,
+    ) -> Result<UpdateReport, XmlError> {
+        let (pul, t_find) = timed(|| compute_pul(doc, stmt));
+        let mut report = self.propagate_pul(doc, &pul)?;
+        report.timings.find_target_nodes = t_find;
+        Ok(report)
+    }
+
+    /// Pre-update state this view needs before a PUL touches the
+    /// document: the Δ⁻ tables, the deleted subtree roots and the
+    /// predicate-truth capture. Produced by [`Self::prepare`] and
+    /// consumed by [`Self::finish`]; a multi-view host prepares every
+    /// view, applies the PUL once, then finishes every view.
+    pub fn prepare(&self, doc: &Document, pul: &Pul) -> PreparedUpdate {
+        let start = std::time::Instant::now();
+        let (dminus, delete_roots) = DeltaMinus::collect(doc, &self.pattern, pul);
+        let pred_capture = crate::predflip::capture(doc, &self.pattern, pul);
+        PreparedUpdate { dminus, delete_roots, pred_capture, prep_time: start.elapsed() }
+    }
+
+    /// Propagates an already-computed (possibly optimizer-reduced,
+    /// Section 5) pending update list.
+    pub fn propagate_pul(
+        &mut self,
+        doc: &mut Document,
+        pul: &Pul,
+    ) -> Result<UpdateReport, XmlError> {
+        let prepared = self.prepare(doc, pul);
+        let (apply_res, t_apply) = timed(|| apply_pul(doc, pul));
+        let apply_res = apply_res?;
+        let mut report = self.finish(doc, &apply_res, prepared);
+        report.timings.apply_document = t_apply;
+        Ok(report)
+    }
+
+    /// Completes propagation after the PUL was applied to the document
+    /// (the counterpart of [`Self::prepare`]).
+    pub fn finish(
+        &mut self,
+        doc: &mut Document,
+        apply_res: &xivm_update::ApplyResult,
+        prepared: PreparedUpdate,
+    ) -> UpdateReport {
+        let PreparedUpdate { dminus, delete_roots, pred_capture, prep_time: t_dm } = prepared;
+        let mut report = UpdateReport::default();
+
+        // --- Compute Delta Tables, part 2: CD+.
+        let (dplus, t_dp) = timed(|| DeltaPlus::compute(doc, &self.pattern, &apply_res.inserted));
+        report.timings.compute_delta_tables = t_dm + t_dp;
+
+        let inserted: HashSet<NodeId> = apply_res.inserted.iter().copied().collect();
+        let has_deletes = !delete_roots.is_empty();
+        let has_inserts = !apply_res.inserted.is_empty();
+
+        // Value-predicate flips (see `predflip`): when text changes
+        // under a predicate-carrying node, bindings can appear or
+        // vanish without structural change. Rare; handled exactly on a
+        // slower path that bypasses the snowcap shortcuts.
+        let flips = crate::predflip::diff(doc, &self.pattern, &pred_capture);
+        let flips_exist = flips.any();
+
+        // --- Update Lattice, part 1: drop snowcap tuples that bind a
+        // deleted node (any node under a deleted root is gone). Under
+        // flips the snowcaps are rebuilt wholesale at the end instead.
+        let delete_forest = xivm_xml::DeweyForest::new(delete_roots.clone());
+        let (_, t_lat1) = timed(|| {
+            if has_deletes && !flips_exist {
+                for m in &mut self.snowcaps {
+                    m.rel.rows.retain(|t| !t.fields().iter().any(|f| delete_forest.covers(&f.id)));
+                }
+            }
+        });
+
+        let full_order = self.pattern.preorder();
+        let full_set: BTreeSet<PatternNodeId> = full_order.iter().copied().collect();
+
+        let del_ctx = DeleteContext {
+            doc,
+            pattern: &self.pattern,
+            deltas: &dminus,
+            inserted: &inserted,
+            use_delta_pruning: self.use_delta_pruning,
+            use_id_pruning: self.use_id_pruning,
+        };
+        let ins_ctx = InsertContext {
+            doc,
+            pattern: &self.pattern,
+            deltas: &dplus,
+            targets: &apply_res.insert_targets,
+            inserted: &inserted,
+            use_delta_pruning: self.use_delta_pruning,
+            use_id_pruning: self.use_id_pruning,
+        };
+
+        // --- Get Update Expression: expand and prune both directions.
+        let ((del_terms, ins_terms), t_expr) = timed(|| {
+            let d = if has_deletes {
+                let (t, s) = delete_terms(&del_ctx, &full_set);
+                report.delete_prune = s;
+                t
+            } else {
+                Vec::new()
+            };
+            let i = if has_inserts {
+                let (t, s) = insert_terms(&ins_ctx, &full_set);
+                report.insert_prune = s;
+                t
+            } else {
+                Vec::new()
+            };
+            (d, i)
+        });
+        report.timings.get_update_expression = t_expr;
+
+        // --- Execute Update: evaluate terms and patch the store.
+        let mut leaves = OldLeafCache::default();
+        let no_snowcaps: [MaterializedSnowcap; 0] = [];
+        let (_, t_exec) = timed(|| {
+            if has_deletes {
+                // Under flips the R-parts must reflect *old* predicate
+                // truth, so the lost bindings are exactly the old
+                // view's (see predflip::old_truth_leaf).
+                let removed = if flips_exist {
+                    let mut cache: std::collections::HashMap<PatternNodeId, xivm_algebra::Relation> =
+                        std::collections::HashMap::new();
+                    crate::etins::eval_terms(
+                        &self.pattern,
+                        &full_order,
+                        &del_terms,
+                        &no_snowcaps,
+                        &mut |n| {
+                            cache
+                                .entry(n)
+                                .or_insert_with(|| {
+                                    crate::predflip::old_truth_leaf(
+                                        doc,
+                                        &self.pattern,
+                                        n,
+                                        &inserted,
+                                        &flips,
+                                    )
+                                })
+                                .clone()
+                        },
+                        &mut |n| dminus.relation(&self.pattern, n),
+                    )
+                } else {
+                    eval_delete_terms(&del_ctx, &full_order, &del_terms, &self.snowcaps, &mut leaves)
+                };
+                if !removed.is_empty() {
+                    for (t, c) in project_to_view(&self.pattern, &removed) {
+                        report.derivations_removed += c;
+                        if self.store.remove_derivations(&t.id_key(), c) {
+                            report.tuples_removed += 1;
+                        }
+                    }
+                }
+                report.tuples_modified += propagate_delete_modifications(
+                    &mut self.store,
+                    doc,
+                    &self.pattern,
+                    &delete_roots,
+                );
+            }
+            if flips_exist {
+                let lost = crate::predflip::removed_by_flips(doc, &self.pattern, &flips, &inserted);
+                if !lost.is_empty() {
+                    for (t, c) in project_to_view(&self.pattern, &lost) {
+                        report.derivations_removed += c;
+                        if self.store.remove_derivations(&t.id_key(), c) {
+                            report.tuples_removed += 1;
+                        }
+                    }
+                }
+                let gained = crate::predflip::added_by_flips(doc, &self.pattern, &flips, &inserted);
+                if !gained.is_empty() {
+                    for (t, c) in project_to_view(&self.pattern, &gained) {
+                        report.derivations_added += c;
+                        if !self.store.contains(&t.id_key()) {
+                            report.tuples_added += 1;
+                        }
+                        self.store.add(t, c);
+                    }
+                }
+            }
+            if has_inserts {
+                let mats: &[MaterializedSnowcap] =
+                    if flips_exist { &no_snowcaps } else { &self.snowcaps };
+                let added = eval_insert_terms(&ins_ctx, &full_order, &ins_terms, mats, &mut leaves);
+                if !added.is_empty() {
+                    for (t, c) in project_to_view(&self.pattern, &added) {
+                        report.derivations_added += c;
+                        if !self.store.contains(&t.id_key()) {
+                            report.tuples_added += 1;
+                        }
+                        self.store.add(t, c);
+                    }
+                }
+                report.tuples_modified += propagate_insert_modifications(
+                    &mut self.store,
+                    doc,
+                    &self.pattern,
+                    &apply_res.insert_targets,
+                );
+            }
+        });
+        report.timings.execute_update = t_exec;
+
+        // --- Update Lattice, part 2: add each snowcap's own new
+        // bindings. All deltas are computed against the old-surviving
+        // materializations before any of them is patched, keeping the
+        // term bags disjoint. Under flips, rebuild from scratch — the
+        // materializations embed stale predicate truth.
+        let sets_for_rebuild =
+            if flips_exist && !self.snowcaps.is_empty() { Some(self.current_sets()) } else { None };
+        let (_, t_lat2) = timed(|| {
+            if let Some(sets) = sets_for_rebuild {
+                self.snowcaps = Self::materialize_sets(doc, &self.pattern, sets);
+            } else if has_inserts && !self.snowcaps.is_empty() && !flips_exist {
+                let mut deltas = Vec::with_capacity(self.snowcaps.len());
+                for m in &self.snowcaps {
+                    let (rel, _) =
+                        crate::pint::added_bindings(&ins_ctx, &m.nodes, &self.snowcaps, &mut leaves);
+                    deltas.push(rel);
+                }
+                for (m, d) in self.snowcaps.iter_mut().zip(deltas) {
+                    m.rel.rows.extend(d.rows);
+                }
+            }
+        });
+        report.timings.update_lattice = t_lat1 + t_lat2;
+
+        report
+    }
+}
+
+/// Pre-update state captured by [`MaintenanceEngine::prepare`].
+pub struct PreparedUpdate {
+    dminus: DeltaMinus,
+    delete_roots: Vec<xivm_xml::DeweyId>,
+    pred_capture: crate::predflip::PredCapture,
+    prep_time: std::time::Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xivm_pattern::parse_pattern;
+    use xivm_xml::parse_document;
+
+    /// Oracle: after any propagated update, the store must equal the
+    /// from-scratch evaluation on the updated document.
+    fn check(
+        doc_xml: &str,
+        pattern: &str,
+        stmts: &[&str],
+        strategy: SnowcapStrategy,
+    ) -> UpdateReport {
+        let mut doc = parse_document(doc_xml).unwrap();
+        let p = parse_pattern(pattern).unwrap();
+        let mut engine = MaintenanceEngine::new(&doc, p.clone(), strategy);
+        let mut last = UpdateReport::default();
+        for s in stmts {
+            let stmt = xivm_update::statement::parse_statement(s).unwrap();
+            last = engine.apply_statement(&mut doc, &stmt).unwrap();
+            let expected = ViewStore::from_counted(&p, view_tuples(&doc, &p));
+            assert!(
+                engine.store().same_content_as(&expected),
+                "{pattern} after {s}:\n{}",
+                engine.store().diff_description(&expected)
+            );
+        }
+        last
+    }
+
+    const FIG12: &str = "<a><c><b/><b/></c><f><c><b/></c><b/></f></a>";
+
+    #[test]
+    fn insert_new_tuples() {
+        for strat in [
+            SnowcapStrategy::MinimalChain,
+            SnowcapStrategy::LeavesOnly,
+            SnowcapStrategy::AllSnowcaps,
+        ] {
+            let r = check(
+                "<a><b/></a>",
+                "//a{id}//b{id}//c{id}",
+                &["insert <c><d/></c> into //b"],
+                strat,
+            );
+            assert_eq!(r.tuples_added, 1, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn insert_affecting_multiple_terms() {
+        check(
+            FIG12,
+            "//a{id}[//c{id}]//b{id}",
+            &["insert <c><b/></c> into //f", "insert <b/> into /a"],
+            SnowcapStrategy::MinimalChain,
+        );
+    }
+
+    #[test]
+    fn delete_tuples_and_counts() {
+        let r = check(
+            FIG12,
+            "//a{id}[//c{id}]//b{id}",
+            &["delete /a/f/c"],
+            SnowcapStrategy::MinimalChain,
+        );
+        assert_eq!(r.derivations_removed, 5, "Example 4.5: 8 embeddings drop to 3");
+    }
+
+    #[test]
+    fn derivation_count_decrement_without_removal() {
+        // Example 4.8: //a[//b] with two b's — deleting one keeps the
+        // tuple at count 1; deleting the second removes it.
+        let r = check(
+            "<a><c><b/></c><f><b/></f></a>",
+            "//a{id}[//b]",
+            &["delete //c//b"],
+            SnowcapStrategy::MinimalChain,
+        );
+        assert_eq!(r.tuples_removed, 0);
+        assert_eq!(r.derivations_removed, 1);
+        let r2 = check(
+            "<a><c><b/></c><f><b/></f></a>",
+            "//a{id}[//b]",
+            &["delete //c//b", "delete //f//b"],
+            SnowcapStrategy::MinimalChain,
+        );
+        assert_eq!(r2.tuples_removed, 1);
+    }
+
+    #[test]
+    fn value_predicates_respected_on_both_directions() {
+        check(
+            "<r><a>5<b/></a><a>3<b/></a><t/></r>",
+            "//a[val=\"5\"]//b{id}",
+            &["insert <b/> into //t", "delete //a//b"],
+            SnowcapStrategy::MinimalChain,
+        );
+    }
+
+    #[test]
+    fn modifications_of_stored_content() {
+        let r = check(
+            "<a><b><c>x</c></b></a>",
+            "//b{id,cont}[//c{id,val}]",
+            &["insert <extra>y</extra> into //c"],
+            SnowcapStrategy::MinimalChain,
+        );
+        assert_eq!(r.tuples_modified, 1);
+        let r2 = check(
+            "<a><b><c>x</c><d>z</d></b></a>",
+            "//b{id,val}",
+            &["delete //d"],
+            SnowcapStrategy::MinimalChain,
+        );
+        assert_eq!(r2.tuples_modified, 1);
+    }
+
+    #[test]
+    fn update_sequences_stay_consistent() {
+        check(
+            "<site><people><person><name>x</name></person></people></site>",
+            "/site{id}/people{id}/person{id}/name{id,val}",
+            &[
+                "insert <person><name>y</name></person> into /site/people",
+                "insert <name>z</name> into /site/people/person",
+                "delete /site/people/person/name",
+                "insert <person/> into /site/people",
+            ],
+            SnowcapStrategy::MinimalChain,
+        );
+    }
+
+    #[test]
+    fn deleting_everything_empties_the_view() {
+        let r = check(
+            FIG12,
+            "//a{id}[//c{id}]//b{id}",
+            &["delete /a"],
+            SnowcapStrategy::MinimalChain,
+        );
+        assert_eq!(r.derivations_removed, 8);
+    }
+
+    #[test]
+    fn no_op_updates_cost_nothing() {
+        let r = check(
+            "<a><b/></a>",
+            "//a{id}//b{id}",
+            &["delete //zz", "insert <q/> into //zz"],
+            SnowcapStrategy::MinimalChain,
+        );
+        assert_eq!(r.tuples_added + r.tuples_removed + r.tuples_modified, 0);
+    }
+
+    #[test]
+    fn wildcard_views_are_maintained() {
+        check(
+            "<r><x><item/></x><y><item/></y></r>",
+            "/r{id}/*/item{id}",
+            &["insert <item/> into //x", "delete //y"],
+            SnowcapStrategy::MinimalChain,
+        );
+    }
+
+    #[test]
+    fn attribute_views_are_maintained() {
+        check(
+            "<r><p id=\"1\"/><p/></r>",
+            "//p{id}[/@id{id,val}]",
+            &["insert <p id=\"2\"><q/></p> into /r"],
+            SnowcapStrategy::MinimalChain,
+        );
+    }
+
+    #[test]
+    fn snowcaps_stay_consistent_with_document() {
+        let mut doc = parse_document(FIG12).unwrap();
+        let p = parse_pattern("//a{id}[//c{id}]//b{id}").unwrap();
+        let mut engine =
+            MaintenanceEngine::new(&doc, p.clone(), SnowcapStrategy::MinimalChain);
+        for s in ["insert <c><b/></c> into //f", "delete /a/c"] {
+            let stmt = xivm_update::statement::parse_statement(s).unwrap();
+            engine.apply_statement(&mut doc, &stmt).unwrap();
+            // each snowcap must equal its from-scratch evaluation
+            let fresh = MaintenanceEngine::new(&doc, p.clone(), SnowcapStrategy::MinimalChain);
+            for (m, f) in engine.snowcaps().iter().zip(fresh.snowcaps()) {
+                let mut a = m.rel.clone();
+                let mut b = f.rel.clone();
+                xivm_algebra::ops::sort_all(&mut a);
+                xivm_algebra::ops::sort_all(&mut b);
+                assert_eq!(a.rows.len(), b.rows.len(), "snowcap {:?} after {s}", m.nodes);
+                assert_eq!(a.rows, b.rows, "snowcap {:?} after {s}", m.nodes);
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Term expansion (Sections 3.1 and 4.1).
+//!
+//! Distributing the view's joins over `R_a ∪ Δ⁺_a` (insertions) or
+//! `R_a \ Δ⁻_a` (deletions) produces `2^k` terms; dropping the pure-R
+//! term (the view itself) leaves `2^k − 1` maintenance terms. The
+//! update-independent prunings (Propositions 3.3 / 4.2) are applied at
+//! view-creation time, which is why [`surviving_terms`] is separate
+//! from the full expansion.
+
+use crate::term::Term;
+use xivm_pattern::{PatternNodeId, TreePattern};
+
+/// All `2^k − 1` maintenance terms (every non-empty Δ-node subset),
+/// before any pruning. Exposed for the pruning ablation and for tests.
+pub fn all_terms(pattern: &TreePattern) -> Vec<Term> {
+    let nodes: Vec<PatternNodeId> = pattern.preorder();
+    let k = nodes.len();
+    assert!(k < 31, "term expansion is exponential; view too large");
+    let mut out = Vec::with_capacity((1usize << k) - 1);
+    for mask in 1u32..(1 << k) {
+        let delta =
+            nodes.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, &n)| n);
+        out.push(Term::from_iter(delta));
+    }
+    out.sort();
+    out
+}
+
+/// The terms surviving the update-independent pruning: Δ-sets closed
+/// under pattern descendants (Proposition 3.3 for insertions,
+/// Proposition 4.2 for deletions — the criterion is the same because
+/// both XQuery insertion and deletion move whole subtrees).
+///
+/// By Proposition 3.12 these are exactly the complements of snowcaps
+/// (plus the all-Δ term, whose R-part is the empty snowcap).
+pub fn surviving_terms(pattern: &TreePattern) -> Vec<Term> {
+    all_terms(pattern)
+        .into_iter()
+        .filter(|t| t.is_delta_descendant_closed(pattern))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snowcap::enumerate_snowcaps;
+    use xivm_pattern::parse_pattern;
+
+    #[test]
+    fn expansion_counts() {
+        let p = parse_pattern("//a//b//c").unwrap();
+        assert_eq!(all_terms(&p).len(), 7, "2^3 - 1");
+        // chain: surviving Δ-sets are suffixes {c}, {b,c}, {a,b,c}
+        assert_eq!(surviving_terms(&p).len(), 3);
+    }
+
+    /// Example 3.2: for v1 = //a//b//c only RaRbΔc, RaΔbΔc and
+    /// ΔaΔbΔc survive.
+    #[test]
+    fn example_3_2_surviving_terms() {
+        let p = parse_pattern("//a//b//c").unwrap();
+        let surv = surviving_terms(&p);
+        let mut sizes: Vec<usize> = surv.iter().map(|t| t.delta_count()).collect();
+        sizes.sort();
+        assert_eq!(sizes, vec![1, 2, 3]);
+        // the singleton Δ must be c (node 2)
+        let singleton = surv.iter().find(|t| t.delta_count() == 1).unwrap();
+        assert!(singleton.is_delta(xivm_pattern::PatternNodeId(2)));
+    }
+
+    /// Proposition 3.12: surviving terms ↔ proper snowcaps ∪ {∅}.
+    #[test]
+    fn surviving_terms_biject_with_snowcaps() {
+        for pat in ["//a//b//c", "//a[//b//c]//d", "//a[//b][//c]//d", "//a"] {
+            let p = parse_pattern(pat).unwrap();
+            let surv = surviving_terms(&p);
+            // snowcaps exclude ∅ but include the full pattern; terms
+            // exclude the full-R term but include all-Δ. Counts match.
+            assert_eq!(surv.len(), enumerate_snowcaps(&p).len(), "{pat}");
+            // and each survivor's R-part is a snowcap or empty
+            for t in &surv {
+                let r = t.r_part(&p);
+                if !r.is_empty() {
+                    let set = r.iter().copied().collect();
+                    assert!(crate::snowcap::is_snowcap(&p, &set));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_view() {
+        let p = parse_pattern("//a{id}").unwrap();
+        assert_eq!(all_terms(&p).len(), 1);
+        assert_eq!(surviving_terms(&p).len(), 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! The sub-pattern lattice (Section 3.5, Figures 6–7).
+//!
+//! An AND-OR DAG whose pattern-labeled nodes are the connected
+//! sub-patterns of the view; a sub-pattern of size `n` can be computed
+//! by joining any two sub-patterns that partition it along an edge
+//! (the ∨ / ⋈ nodes of the figures). The engine materializes only a
+//! subset of the lattice (snowcaps or leaves, per
+//! [`crate::strategy::SnowcapStrategy`]); the full lattice is exposed
+//! for inspection and for the strategy ablation experiments.
+
+use crate::snowcap::is_snowcap;
+use std::collections::BTreeSet;
+use xivm_pattern::{PatternNodeId, TreePattern};
+
+/// One lattice node: a connected sub-pattern of the view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatticeNode {
+    pub nodes: BTreeSet<PatternNodeId>,
+    /// True iff this sub-pattern is a snowcap of the view.
+    pub snowcap: bool,
+    /// Ways of producing this node by joining two smaller lattice
+    /// nodes (indices into [`Lattice::nodes`]): the ∨-alternatives.
+    pub derivations: Vec<(usize, usize)>,
+}
+
+/// The lattice of all connected sub-patterns.
+#[derive(Debug, Clone)]
+pub struct Lattice {
+    pub nodes: Vec<LatticeNode>,
+}
+
+impl Lattice {
+    /// Builds the full lattice of `pattern`. Exponential in the view
+    /// size — views have ≤ 10 nodes in practice (the paper's have ≤ 7).
+    pub fn build(pattern: &TreePattern) -> Lattice {
+        let all: Vec<PatternNodeId> = pattern.preorder();
+        let k = all.len();
+        assert!(k <= 16, "lattice construction is exponential; view too large");
+        let mut subsets: Vec<BTreeSet<PatternNodeId>> = Vec::new();
+        for mask in 1u32..(1 << k) {
+            let set: BTreeSet<PatternNodeId> =
+                all.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, &n)| n).collect();
+            if is_connected(pattern, &set) {
+                subsets.push(set);
+            }
+        }
+        subsets.sort_by_key(|s| (s.len(), s.iter().map(|n| n.0).collect::<Vec<_>>()));
+        let index_of = |s: &BTreeSet<PatternNodeId>, nodes: &[LatticeNode]| {
+            nodes.iter().position(|n| &n.nodes == s)
+        };
+        let mut nodes: Vec<LatticeNode> = Vec::with_capacity(subsets.len());
+        for set in subsets {
+            let mut derivations = Vec::new();
+            // Split along every pattern edge inside the set: removing
+            // the edge (p, c) splits the subtree into the part
+            // containing c's subtree and the rest.
+            for &n in &set {
+                if let Some(p) = pattern.node(n).parent {
+                    if set.contains(&p) {
+                        let below: BTreeSet<PatternNodeId> = set
+                            .iter()
+                            .copied()
+                            .filter(|&x| x == n || pattern.is_ancestor(n, x))
+                            .collect();
+                        let above: BTreeSet<PatternNodeId> =
+                            set.difference(&below).copied().collect();
+                        if let (Some(a), Some(b)) =
+                            (index_of(&above, &nodes), index_of(&below, &nodes))
+                        {
+                            derivations.push((a, b));
+                        }
+                    }
+                }
+            }
+            let snowcap = is_snowcap(pattern, &set);
+            nodes.push(LatticeNode { nodes: set, snowcap, derivations });
+        }
+        Lattice { nodes }
+    }
+
+    /// Number of pattern-labeled lattice nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The snowcap nodes (the boxed nodes of Figures 6–7).
+    pub fn snowcaps(&self) -> Vec<&LatticeNode> {
+        self.nodes.iter().filter(|n| n.snowcap).collect()
+    }
+
+    /// The leaves (single-node sub-patterns).
+    pub fn leaves(&self) -> Vec<&LatticeNode> {
+        self.nodes.iter().filter(|n| n.nodes.len() == 1).collect()
+    }
+}
+
+/// A subset is connected iff every node except the subset-root has its
+/// parent in the subset, and there is exactly one subset-root... more
+/// precisely: the induced subgraph of tree edges is a single tree.
+fn is_connected(pattern: &TreePattern, set: &BTreeSet<PatternNodeId>) -> bool {
+    // Count nodes whose parent is outside the set: connected subtrees
+    // of a tree have exactly one such "local root".
+    let local_roots = set
+        .iter()
+        .filter(|&&n| match pattern.node(n).parent {
+            Some(p) => !set.contains(&p),
+            None => true,
+        })
+        .count();
+    if local_roots != 1 {
+        return false;
+    }
+    // All other nodes reach the local root via in-set parents — which
+    // is already guaranteed by the local-root count in a tree.
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xivm_pattern::parse_pattern;
+
+    fn label_string(p: &TreePattern, s: &BTreeSet<PatternNodeId>) -> String {
+        s.iter().map(|&n| p.node(n).base_label()).collect::<Vec<_>>().join("")
+    }
+
+    /// Figure 6: the lattice of //a[//b//c]//d has pattern nodes
+    /// a, b, c, d, ab, ad, bc, abc, abd, abcd (and acd? no: a-c not an
+    /// edge, but {a,c} is disconnected; {a,c,d} too). The figure shows:
+    /// a, b, c, d, ab, ac?, ad, bc, abc, abd, acd, abcd — the figure
+    /// lists ab, ac, ad, bc at level 2 and abc, abd, acd at level 3.
+    /// `ac` and `acd` are connected only through b in the pattern, so
+    /// with strict tree-edge connectivity they are excluded; the paper
+    /// draws them because //-edges compose (a//c holds when a//b//c
+    /// does). We follow the figure: composition across elided
+    /// intermediate nodes is future work, so our lattice keeps strictly
+    /// connected subsets — the snowcap set (what maintenance actually
+    /// uses) is identical either way.
+    #[test]
+    fn figure_6_lattice_snowcaps() {
+        let p = parse_pattern("//a[//b//c]//d").unwrap();
+        let lat = Lattice::build(&p);
+        let caps: Vec<String> =
+            lat.snowcaps().iter().map(|n| label_string(&p, &n.nodes)).collect();
+        assert_eq!(caps, vec!["a", "ab", "ad", "abc", "abd", "abcd"]);
+        assert_eq!(lat.leaves().len(), 4);
+    }
+
+    #[test]
+    fn disconnected_subsets_are_excluded() {
+        let p = parse_pattern("//a//b//c").unwrap();
+        let lat = Lattice::build(&p);
+        let sets: Vec<String> = lat.nodes.iter().map(|n| label_string(&p, &n.nodes)).collect();
+        assert!(sets.contains(&"ab".to_owned()));
+        assert!(sets.contains(&"bc".to_owned()));
+        assert!(!sets.contains(&"ac".to_owned()), "a and c are not adjacent");
+        assert_eq!(lat.len(), 6); // a, b, c, ab, bc, abc
+    }
+
+    #[test]
+    fn derivations_partition_along_edges() {
+        let p = parse_pattern("//a//b").unwrap();
+        let lat = Lattice::build(&p);
+        let ab = lat.nodes.iter().find(|n| n.nodes.len() == 2).unwrap();
+        assert_eq!(ab.derivations.len(), 1);
+        let (l, r) = ab.derivations[0];
+        assert_eq!(lat.nodes[l].nodes.len(), 1);
+        assert_eq!(lat.nodes[r].nodes.len(), 1);
+    }
+
+    #[test]
+    fn top_node_has_multiple_derivations_for_branching_views() {
+        // Figure 6: abcd can be produced in three ways.
+        let p = parse_pattern("//a[//b//c]//d").unwrap();
+        let lat = Lattice::build(&p);
+        let top = lat.nodes.iter().find(|n| n.nodes.len() == 4).unwrap();
+        assert_eq!(top.derivations.len(), 3);
+    }
+}

@@ -1,0 +1,49 @@
+//! Algebraic incremental maintenance of XML materialized views — the
+//! paper's primary contribution.
+//!
+//! Given a view `v` (a tree pattern with stored attributes) over a
+//! document `d`, and a statement-level update `u`, the engine
+//! transforms the materialized `v(d)` into `v(d')` without
+//! recomputation:
+//!
+//! * [`term`] / [`expand`] — the `2^k − 1` union (resp. difference)
+//!   terms obtained by distributing joins over `R ∪ Δ⁺` (`R \ Δ⁻`),
+//!   Sections 3.1 / 4.1;
+//! * [`prune`] — Propositions 3.3, 3.6, 3.8 (insertions) and 4.2, 4.3,
+//!   4.7 (deletions);
+//! * [`snowcap`] / [`lattice`] — the sub-pattern lattice, snowcap
+//!   enumeration (Definition 3.11) and materialization strategies
+//!   (Section 3.5 / experiment 6.7);
+//! * [`etins`] — bulk term evaluation with structural joins
+//!   (Algorithm 3 and its deletion counterpart);
+//! * [`pint`] / [`pimt`] / [`pddt`] / [`pdmt`] — the four propagation
+//!   algorithms (Algorithms 1, 4, 5, 6);
+//! * [`view_store`] — the materialized view with derivation counts;
+//! * [`engine`] — the end-to-end [`engine::MaintenanceEngine`] with the
+//!   per-phase [`timing::Timings`] breakdown reported in Section 6.
+
+pub mod costmodel;
+pub mod engine;
+pub mod etins;
+pub mod expand;
+pub mod lattice;
+pub mod multiview;
+pub mod pddt;
+pub mod pdmt;
+pub mod pimt;
+pub mod pint;
+pub mod predflip;
+pub mod prune;
+pub mod snapshot;
+pub mod snowcap;
+pub mod strategy;
+pub mod term;
+pub mod timing;
+pub mod view_store;
+
+pub use engine::{MaintenanceEngine, PreparedUpdate, UpdateReport};
+pub use multiview::MultiViewEngine;
+pub use strategy::SnowcapStrategy;
+pub use term::Term;
+pub use timing::Timings;
+pub use view_store::ViewStore;

@@ -1,0 +1,152 @@
+//! Maintaining several materialized views over one document.
+//!
+//! Section 3.5 notes that "in a context where several views are
+//! materialized and some snowcaps may be shared, it makes sense to sum
+//! up the respective maintenance costs" — the first step of which is
+//! sharing the per-update work that does not depend on the view: the
+//! PUL is computed once and the document is updated once; each view
+//! then runs only its own Δ-table extraction and term evaluation.
+
+use crate::engine::{MaintenanceEngine, UpdateReport};
+use crate::strategy::SnowcapStrategy;
+use crate::timing::timed;
+use xivm_pattern::TreePattern;
+use xivm_update::{apply_pul, compute_pul, UpdateStatement};
+use xivm_xml::{Document, XmlError};
+
+/// A set of named views maintained together.
+pub struct MultiViewEngine {
+    views: Vec<(String, MaintenanceEngine)>,
+}
+
+impl MultiViewEngine {
+    /// Materializes every view over `doc`.
+    pub fn new(
+        doc: &Document,
+        views: impl IntoIterator<Item = (String, TreePattern, SnowcapStrategy)>,
+    ) -> Self {
+        MultiViewEngine {
+            views: views
+                .into_iter()
+                .map(|(name, pattern, strategy)| {
+                    (name, MaintenanceEngine::new(doc, pattern, strategy))
+                })
+                .collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    pub fn view(&self, name: &str) -> Option<&MaintenanceEngine> {
+        self.views.iter().find(|(n, _)| n == name).map(|(_, e)| e)
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.views.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Propagates one statement to *all* views: the target path is
+    /// evaluated once, the document updated once, and each view
+    /// finishes its own propagation. Returns per-view reports in
+    /// declaration order.
+    pub fn apply_statement(
+        &mut self,
+        doc: &mut Document,
+        stmt: &UpdateStatement,
+    ) -> Result<Vec<(String, UpdateReport)>, XmlError> {
+        // Find Target Nodes — once, shared by every view.
+        let (pul, t_find) = timed(|| compute_pul(doc, stmt));
+        // Per-view pre-update capture against the intact document.
+        let prepared: Vec<_> =
+            self.views.iter().map(|(_, e)| e.prepare(doc, &pul)).collect();
+        // One document update.
+        let (apply_res, t_apply) = timed(|| apply_pul(doc, &pul));
+        let apply_res = apply_res?;
+        // Per-view propagation.
+        let mut out = Vec::with_capacity(self.views.len());
+        for ((name, engine), prep) in self.views.iter_mut().zip(prepared) {
+            let mut report = engine.finish(doc, &apply_res, prep);
+            report.timings.find_target_nodes = t_find;
+            report.timings.apply_document = t_apply;
+            out.push((name.clone(), report));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view_store::ViewStore;
+    use xivm_pattern::compile::view_tuples;
+    use xivm_pattern::parse_pattern;
+    use xivm_update::statement::parse_statement;
+    use xivm_xml::parse_document;
+
+    fn multi() -> (Document, MultiViewEngine) {
+        let doc = parse_document("<a><c><b/><b/></c><f><c><b/></c><b/></f></a>").unwrap();
+        let engine = MultiViewEngine::new(
+            &doc,
+            [
+                (
+                    "ab".to_owned(),
+                    parse_pattern("//a{id}//b{id}").unwrap(),
+                    SnowcapStrategy::MinimalChain,
+                ),
+                (
+                    "acb".to_owned(),
+                    parse_pattern("//a{id}[//c{id}]//b{id}").unwrap(),
+                    SnowcapStrategy::LeavesOnly,
+                ),
+                (
+                    "c_cont".to_owned(),
+                    parse_pattern("//c{id,cont}").unwrap(),
+                    SnowcapStrategy::MinimalChain,
+                ),
+            ],
+        );
+        (doc, engine)
+    }
+
+    #[test]
+    fn all_views_stay_consistent_under_a_shared_update() {
+        let (mut doc, mut engine) = multi();
+        assert_eq!(engine.len(), 3);
+        for stmt_text in ["delete /a/f/c", "insert <c><b/></c> into /a/f", "delete //b"] {
+            let stmt = parse_statement(stmt_text).unwrap();
+            let reports = engine.apply_statement(&mut doc, &stmt).unwrap();
+            assert_eq!(reports.len(), 3);
+            for name in engine.names() {
+                let pattern = engine.view(name).unwrap().pattern().clone();
+                let expected = ViewStore::from_counted(&pattern, view_tuples(&doc, &pattern));
+                assert!(
+                    engine.view(name).unwrap().store().same_content_as(&expected),
+                    "view {name} diverged after {stmt_text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_target_finding_reports_identical_find_times() {
+        let (mut doc, mut engine) = multi();
+        let stmt = parse_statement("insert <b/> into //c").unwrap();
+        let reports = engine.apply_statement(&mut doc, &stmt).unwrap();
+        let t0 = reports[0].1.timings.find_target_nodes;
+        assert!(reports.iter().all(|(_, r)| r.timings.find_target_nodes == t0));
+    }
+
+    #[test]
+    fn view_lookup() {
+        let (_, engine) = multi();
+        assert!(engine.view("ab").is_some());
+        assert!(engine.view("nope").is_none());
+        assert!(!engine.is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! PDDT — Propagate Delete by Deleting Tuples (Algorithm 5).
+//!
+//! The deletion expression of Section 4.1, pruned by Propositions 4.2
+//! / 4.7 and the Δ⁻-emptiness check. Terms are evaluated with R-parts
+//! bound to the *surviving* data (post-deletion canonical relations /
+//! retain-filtered snowcaps), which makes the terms pairwise disjoint:
+//! a binding appears in exactly the term whose Δ-set is its set of
+//! deleted nodes. The bag union of the terms is therefore exactly the
+//! multiset of *lost embeddings*, so decrementing derivation counts by
+//! it (removing tuples that reach zero, Algorithm 5's final loop) is
+//! exact.
+//!
+//! This refines the paper's presentation, which evaluates against the
+//! pre-update relations and relies on Proposition 4.3 to drop the
+//! even-k (∪) terms — sound for membership, while the disjoint form
+//! also keeps derivation counts exact without inclusion–exclusion.
+
+use crate::etins::{eval_terms, subset_terms};
+use crate::pint::OldLeafCache;
+use crate::prune::{prune_delete_by_deltas, prune_delete_by_ids, PruneStats};
+use crate::snowcap::MaterializedSnowcap;
+use std::collections::{BTreeSet, HashSet};
+use xivm_algebra::Relation;
+use xivm_pattern::{PatternNodeId, TreePattern};
+use xivm_update::DeltaMinus;
+use xivm_xml::{Document, NodeId};
+
+/// Everything a deletion propagation needs to see.
+pub struct DeleteContext<'a> {
+    pub doc: &'a Document,
+    pub pattern: &'a TreePattern,
+    pub deltas: &'a DeltaMinus,
+    /// Arena ids of nodes inserted *by the same PUL* (mixed PULs):
+    /// excluded from R-parts so old-state semantics hold. Empty for
+    /// pure deletions.
+    pub inserted: &'a HashSet<NodeId>,
+    pub use_delta_pruning: bool,
+    pub use_id_pruning: bool,
+}
+
+/// "Get Update Expression" for a deletion: terms surviving
+/// Propositions 4.2 (built into [`subset_terms`]), Δ⁻-emptiness and
+/// 4.7.
+pub fn delete_terms(
+    ctx: &DeleteContext<'_>,
+    subset: &BTreeSet<PatternNodeId>,
+) -> (Vec<crate::term::Term>, PruneStats) {
+    let mut terms = subset_terms(ctx.pattern, subset);
+    let mut stats = PruneStats { before: terms.len(), ..Default::default() };
+    if ctx.use_delta_pruning {
+        terms = prune_delete_by_deltas(terms, ctx.deltas);
+    }
+    stats.after_delta_emptiness = terms.len();
+    if ctx.use_id_pruning {
+        terms = prune_delete_by_ids(ctx.doc, ctx.pattern, subset, terms, ctx.deltas);
+    }
+    stats.after_id_reasoning = terms.len();
+    (terms, stats)
+}
+
+/// "Execute Update" for a deletion: evaluates the surviving terms.
+pub fn eval_delete_terms(
+    ctx: &DeleteContext<'_>,
+    subset_preorder: &[PatternNodeId],
+    terms: &[crate::term::Term],
+    materialized: &[MaterializedSnowcap],
+    leaves: &mut OldLeafCache,
+) -> Relation {
+    // R-leaves: surviving old data = current canonical minus same-PUL
+    // insertions (the document is already post-update, so deleted
+    // nodes are gone from the canonical relations).
+    let insert_ctx = crate::pint::InsertContext {
+        doc: ctx.doc,
+        pattern: ctx.pattern,
+        deltas: &EMPTY_DELTA_PLUS, // unused by the leaf cache
+        targets: &[],
+        inserted: ctx.inserted,
+        use_delta_pruning: false,
+        use_id_pruning: false,
+    };
+    eval_terms(
+        ctx.pattern,
+        subset_preorder,
+        terms,
+        materialized,
+        &mut |n| leaves.get(&insert_ctx, n),
+        &mut |n| ctx.deltas.relation(ctx.pattern, n),
+    )
+}
+
+/// The bag of lost bindings for the sub-pattern `subset_preorder`,
+/// plus pruning statistics.
+pub fn removed_bindings(
+    ctx: &DeleteContext<'_>,
+    subset_preorder: &[PatternNodeId],
+    materialized: &[MaterializedSnowcap],
+    leaves: &mut OldLeafCache,
+) -> (Relation, PruneStats) {
+    let subset: BTreeSet<PatternNodeId> = subset_preorder.iter().copied().collect();
+    let (terms, stats) = delete_terms(ctx, &subset);
+    let rel = eval_delete_terms(ctx, subset_preorder, &terms, materialized, leaves);
+    (rel, stats)
+}
+
+// A shared empty Δ⁺ so the leaf cache can be reused verbatim.
+static EMPTY_DELTA_PLUS: std::sync::LazyLock<xivm_update::DeltaPlus> =
+    std::sync::LazyLock::new(xivm_update::DeltaPlus::default);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xivm_pattern::parse_pattern;
+    use xivm_update::{apply_pul, compute_pul, Pul, UpdateStatement};
+    use xivm_xml::parse_document;
+
+    fn run_delete(
+        doc_xml: &str,
+        path: &str,
+        pattern: &str,
+    ) -> (Relation, PruneStats) {
+        let mut d = parse_document(doc_xml).unwrap();
+        let p = parse_pattern(pattern).unwrap();
+        let stmt = UpdateStatement::delete(path).unwrap();
+        let pul: Pul = compute_pul(&d, &stmt);
+        let (dm, _roots) = DeltaMinus::collect(&d, &p, &pul);
+        apply_pul(&mut d, &pul).unwrap();
+        let inserted = HashSet::new();
+        let ctx = DeleteContext {
+            doc: &d,
+            pattern: &p,
+            deltas: &dm,
+            inserted: &inserted,
+            use_delta_pruning: true,
+            use_id_pruning: true,
+        };
+        let mut leaves = OldLeafCache::default();
+        removed_bindings(&ctx, &p.preorder(), &[], &mut leaves)
+    }
+
+    /// Example 4.1: deleting //c//b from Figure 11's document removes
+    /// the (a1, a1.c1.b1) tuple from //a//b.
+    #[test]
+    fn example_4_1_simple_deletion() {
+        let (rel, _) = run_delete("<a><c><b/></c><f><b/></f></a>", "//c//b", "//a{id}//b{id}");
+        assert_eq!(rel.len(), 1, "exactly the (a, c/b) embedding is lost");
+    }
+
+    /// Example 4.5: deleting //a/f/c from Figure 12's document leaves
+    /// tuples 1, 2 and 4 of the 8-tuple view //a[//c]//b.
+    #[test]
+    fn example_4_5_lost_bindings() {
+        let (rel, stats) = run_delete(
+            "<a><c><b/><b/></c><f><c><b/></c><b/></f></a>",
+            "/a/f/c",
+            "//a{id}[//c{id}]//b{id}",
+        );
+        // 8 embeddings before, 3 survive → 5 lost
+        assert_eq!(rel.len(), 5);
+        assert_eq!(stats.before, 4, "Prop 4.2 leaves 4 Δ-sets");
+        assert_eq!(stats.after_delta_emptiness, 3, "Δ⁻_a = ∅ removes one");
+    }
+
+    /// Example 4.6: Rc Δ⁻b pruned by IDs — no bindings lost.
+    #[test]
+    fn example_4_6_no_loss() {
+        let (rel, stats) = run_delete("<a><c><b/></c><f><b/></f></a>", "//f", "//c{id}//b{id}");
+        assert!(rel.is_empty());
+        assert_eq!(stats.after_id_reasoning, 0, "the Rc Δ⁻b term is ID-pruned");
+    }
+
+    /// Derivation-exactness: deleting one of two witnesses must lose
+    /// exactly one embedding, not two.
+    #[test]
+    fn partial_witness_loss() {
+        let (rel, _) = run_delete("<a><c/><b/><f><b/></f></a>", "//f", "//a{id}[//b]");
+        assert_eq!(rel.len(), 1, "only the f/b witness embedding is lost");
+    }
+}

@@ -1,0 +1,117 @@
+//! PDMT — Propagate Delete by Modifying Tuples (the deletion
+//! counterpart of Algorithm 4, run from within Algorithm 6).
+//!
+//! A deletion strictly inside a stored node's subtree shrinks that
+//! node's `val` / `cont` without removing the tuple. A surviving
+//! stored node is affected iff it is a *proper ancestor* of a deleted
+//! subtree root (if it were the root itself or below it, the tuple
+//! would have been deleted by PDDT).
+
+use crate::view_store::ViewStore;
+use std::sync::Arc;
+use xivm_pattern::TreePattern;
+use xivm_xml::{Document, DeweyForest, DeweyId};
+
+/// Patches `val` / `cont` of surviving affected tuples from the
+/// (already updated) document. Returns the number of modified tuples.
+pub fn propagate_delete_modifications(
+    store: &mut ViewStore,
+    doc: &Document,
+    pattern: &TreePattern,
+    deleted_roots: &[DeweyId],
+) -> usize {
+    let cvn = pattern.cvn();
+    if cvn.is_empty() || deleted_roots.is_empty() {
+        return 0;
+    }
+    let stored = pattern.stored_nodes();
+    let cvn_cols: Vec<(usize, bool, bool)> = cvn
+        .iter()
+        .filter_map(|&n| {
+            stored.iter().position(|&s| s == n).map(|col| {
+                let ann = pattern.node(n).ann;
+                (col, ann.val, ann.cont)
+            })
+        })
+        .collect();
+    let forest = DeweyForest::new(deleted_roots.to_vec());
+    let mut modified = 0;
+    for key in store.keys() {
+        let mut touched = false;
+        for &(col, want_val, want_cont) in &cvn_cols {
+            let id = key[col].clone();
+            let affected = forest.has_proper_descendant_root(&id);
+            if !affected {
+                continue;
+            }
+            let Some(node) = doc.find_node(&id) else { continue };
+            let tuple = store.tuple_mut(&key).expect("key snapshot is current");
+            let field = tuple.field_mut(col);
+            if want_val {
+                field.val = Some(Arc::from(doc.value(node).as_str()));
+            }
+            if want_cont {
+                field.cont = Some(Arc::from(doc.content(node).as_str()));
+            }
+            touched = true;
+        }
+        if touched {
+            modified += 1;
+        }
+    }
+    modified
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xivm_pattern::compile::view_tuples;
+    use xivm_pattern::parse_pattern;
+    use xivm_update::{apply_pul, compute_pul, UpdateStatement};
+    use xivm_xml::parse_document;
+
+    #[test]
+    fn content_shrinks_after_inner_deletion() {
+        let mut d = parse_document("<a><c><x/><y>keep</y></c></a>").unwrap();
+        let p = parse_pattern("//c{id,cont}").unwrap();
+        let mut store = ViewStore::from_counted(&p, view_tuples(&d, &p));
+        let stmt = UpdateStatement::delete("//x").unwrap();
+        let pul = compute_pul(&d, &stmt);
+        let roots: Vec<DeweyId> = pul
+            .ops
+            .iter()
+            .map(|o| o.target().clone())
+            .collect();
+        apply_pul(&mut d, &pul).unwrap();
+        let n = propagate_delete_modifications(&mut store, &d, &p, &roots);
+        assert_eq!(n, 1);
+        let cont = store.sorted_tuples()[0].0.field(0).cont.clone().unwrap();
+        assert_eq!(cont.as_ref(), "<c><y>keep</y></c>");
+    }
+
+    #[test]
+    fn val_shrinks_after_text_subtree_deletion() {
+        let mut d = parse_document("<a><w>hello</w><gone>noise</gone></a>").unwrap();
+        let p = parse_pattern("//a{id,val}").unwrap();
+        let mut store = ViewStore::from_counted(&p, view_tuples(&d, &p));
+        let stmt = UpdateStatement::delete("//gone").unwrap();
+        let pul = compute_pul(&d, &stmt);
+        let roots: Vec<DeweyId> = pul.ops.iter().map(|o| o.target().clone()).collect();
+        apply_pul(&mut d, &pul).unwrap();
+        propagate_delete_modifications(&mut store, &d, &p, &roots);
+        let v = store.sorted_tuples()[0].0.field(0).val.clone().unwrap();
+        assert_eq!(v.as_ref(), "hello");
+    }
+
+    #[test]
+    fn deletion_of_sibling_subtree_is_ignored() {
+        let mut d = parse_document("<r><a>x</a><b/></r>").unwrap();
+        let p = parse_pattern("//a{id,val}").unwrap();
+        let mut store = ViewStore::from_counted(&p, view_tuples(&d, &p));
+        let stmt = UpdateStatement::delete("//b").unwrap();
+        let pul = compute_pul(&d, &stmt);
+        let roots: Vec<DeweyId> = pul.ops.iter().map(|o| o.target().clone()).collect();
+        apply_pul(&mut d, &pul).unwrap();
+        assert_eq!(propagate_delete_modifications(&mut store, &d, &p, &roots), 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! PIMT — Propagate Insert by Modifying Tuples (Algorithm 4).
+//!
+//! An insertion below (or at) a node whose `val` / `cont` the view
+//! stores changes that stored text without adding or removing tuples.
+//! For every view tuple and every `cvn` (content-or-value) column, the
+//! tuple is affected iff the stored node's ID equals or is an ancestor
+//! of an insertion target — a pure ID comparison, enabled by storing
+//! IDs alongside every `val` / `cont` (the algorithm's precondition).
+
+use crate::view_store::ViewStore;
+use std::sync::Arc;
+use xivm_pattern::TreePattern;
+use xivm_xml::{Document, DeweyForest, DeweyId};
+
+/// Patches the `val` / `cont` fields of affected tuples by re-reading
+/// the (already updated) document. Returns the number of modified
+/// tuples.
+pub fn propagate_insert_modifications(
+    store: &mut ViewStore,
+    doc: &Document,
+    pattern: &TreePattern,
+    targets: &[DeweyId],
+) -> usize {
+    let cvn = pattern.cvn();
+    if cvn.is_empty() || targets.is_empty() {
+        // If cvn is empty, insertions cannot modify view tuples
+        // (Section 3.6).
+        return 0;
+    }
+    let stored = pattern.stored_nodes();
+    let cvn_cols: Vec<(usize, bool, bool)> = cvn
+        .iter()
+        .filter_map(|&n| {
+            stored.iter().position(|&s| s == n).map(|col| {
+                let ann = pattern.node(n).ann;
+                (col, ann.val, ann.cont)
+            })
+        })
+        .collect();
+    let forest = DeweyForest::new(targets.to_vec());
+    let mut modified = 0;
+    for key in store.keys() {
+        let mut touched = false;
+        for &(col, want_val, want_cont) in &cvn_cols {
+            let id = key[col].clone();
+            let affected = forest.has_descendant_or_self_root(&id);
+            if !affected {
+                continue;
+            }
+            let Some(node) = doc.find_node(&id) else { continue };
+            let tuple = store.tuple_mut(&key).expect("key snapshot is current");
+            let field = tuple.field_mut(col);
+            if want_val {
+                field.val = Some(Arc::from(doc.value(node).as_str()));
+            }
+            if want_cont {
+                field.cont = Some(Arc::from(doc.content(node).as_str()));
+            }
+            touched = true;
+        }
+        if touched {
+            modified += 1;
+        }
+    }
+    modified
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xivm_pattern::compile::view_tuples;
+    use xivm_pattern::parse_pattern;
+    use xivm_update::{apply_pul, compute_pul, UpdateStatement};
+    use xivm_xml::parse_document;
+
+    /// Example 3.14's shape: an insertion that adds no view matches but
+    /// lands inside a cont-stored node.
+    #[test]
+    fn insertion_inside_stored_content() {
+        let mut d = parse_document("<a><b><c><d/></c></b></a>").unwrap();
+        let p = parse_pattern("/a{id}/b{id}//c{id,cont}").unwrap();
+        let mut store = ViewStore::from_counted(&p, view_tuples(&d, &p));
+        assert_eq!(store.len(), 1);
+        let before = store.sorted_tuples()[0].0.field(2).cont.clone().unwrap();
+        assert_eq!(before.as_ref(), "<c><d/></c>");
+
+        let stmt = UpdateStatement::insert("//d", "<extra>some value</extra>").unwrap();
+        let pul = compute_pul(&d, &stmt);
+        let res = apply_pul(&mut d, &pul).unwrap();
+        let n = propagate_insert_modifications(&mut store, &d, &p, &res.insert_targets);
+        assert_eq!(n, 1);
+        let after = store.sorted_tuples()[0].0.field(2).cont.clone().unwrap();
+        assert_eq!(after.as_ref(), "<c><d><extra>some value</extra></d></c>");
+    }
+
+    #[test]
+    fn val_annotation_updated_on_text_growth() {
+        let mut d = parse_document("<a><name>Jim</name></a>").unwrap();
+        let p = parse_pattern("//name{id,val}").unwrap();
+        let mut store = ViewStore::from_counted(&p, view_tuples(&d, &p));
+        let stmt = UpdateStatement::insert("//name", "<x>my</x>").unwrap();
+        let pul = compute_pul(&d, &stmt);
+        let res = apply_pul(&mut d, &pul).unwrap();
+        propagate_insert_modifications(&mut store, &d, &p, &res.insert_targets);
+        let v = store.sorted_tuples()[0].0.field(0).val.clone().unwrap();
+        assert_eq!(v.as_ref(), "Jimmy");
+    }
+
+    #[test]
+    fn unrelated_insertions_touch_nothing() {
+        let mut d = parse_document("<r><a>x</a><other/></r>").unwrap();
+        let p = parse_pattern("//a{id,val}").unwrap();
+        let mut store = ViewStore::from_counted(&p, view_tuples(&d, &p));
+        let stmt = UpdateStatement::insert("//other", "<y>zzz</y>").unwrap();
+        let pul = compute_pul(&d, &stmt);
+        let res = apply_pul(&mut d, &pul).unwrap();
+        assert_eq!(propagate_insert_modifications(&mut store, &d, &p, &res.insert_targets), 0);
+    }
+
+    #[test]
+    fn id_only_views_are_never_modified() {
+        let mut d = parse_document("<a><b/></a>").unwrap();
+        let p = parse_pattern("//a{id}//b{id}").unwrap();
+        let mut store = ViewStore::from_counted(&p, view_tuples(&d, &p));
+        let stmt = UpdateStatement::insert("//b", "<c/>").unwrap();
+        let pul = compute_pul(&d, &stmt);
+        let res = apply_pul(&mut d, &pul).unwrap();
+        assert_eq!(propagate_insert_modifications(&mut store, &d, &p, &res.insert_targets), 0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Value-predicate flips under updates.
+//!
+//! The view dialect's `[val = c]` predicates compare the *string
+//! value* of a node — the concatenation of its text descendants. An
+//! update that inserts or deletes text strictly inside such a node
+//! changes its value and can therefore flip the predicate, silently
+//! invalidating existing view bindings (true → false) or enabling new
+//! all-old bindings (false → true), with no structural change at all.
+//! The paper's Δ-table machinery does not cover this case (its
+//! workloads never flip predicates); handling it is required for the
+//! engine to be *exact* on the full dialect.
+//!
+//! The treatment stays bulk-algebraic:
+//!
+//! * before the PUL is applied, predicate truth is captured for every
+//!   predicate-labeled node on the ancestor chains of the update
+//!   targets ([`capture`]);
+//! * after application, the surviving captured nodes are re-checked;
+//!   the differences form the flip sets F↑ / F↓ ([`diff`]);
+//! * lost bindings (old-valid, no deleted node, ≥1 F↓ node) and gained
+//!   bindings (now-valid, no inserted node, ≥1 F↑ node) are computed
+//!   with the same term evaluator used by PINT/PDDT, partitioning by
+//!   *which* predicate positions bind flipped nodes so the term bags
+//!   stay disjoint and derivation counts exact.
+
+use crate::etins::eval_terms;
+use crate::term::Term;
+use std::collections::{HashMap, HashSet};
+use xivm_algebra::Relation;
+use xivm_pattern::compile::{
+    canonical_node_ids, relation_from_nodes, relation_from_nodes_raw,
+};
+use xivm_pattern::{NodeTest, PatternNodeId, TreePattern};
+use xivm_update::Pul;
+use xivm_xml::{Document, NodeId, NodeKind};
+
+/// Pre-update predicate truth for `(pattern node, document node)`
+/// pairs on the update targets' ancestor chains.
+pub type PredCapture = Vec<(PatternNodeId, NodeId, bool)>;
+
+/// The flip sets of one update.
+#[derive(Debug, Default)]
+pub struct Flips {
+    /// false → true (per predicate-carrying pattern node).
+    pub up: HashMap<PatternNodeId, Vec<NodeId>>,
+    /// true → false.
+    pub down: HashMap<PatternNodeId, Vec<NodeId>>,
+}
+
+impl Flips {
+    pub fn any(&self) -> bool {
+        self.up.values().any(|v| !v.is_empty()) || self.down.values().any(|v| !v.is_empty())
+    }
+
+    /// F↑ node set for leaf-building exclusion.
+    pub fn up_set(&self, n: PatternNodeId) -> HashSet<NodeId> {
+        self.up.get(&n).map(|v| v.iter().copied().collect()).unwrap_or_default()
+    }
+}
+
+/// Captures predicate truth on the ancestor-or-self chains of every
+/// update target (for deletions: of the target's parent — the target
+/// itself disappears). Runs against the still-intact document.
+pub fn capture(doc: &Document, pattern: &TreePattern, pul: &Pul) -> PredCapture {
+    let preds: Vec<(PatternNodeId, Option<&str>, &str)> = pattern
+        .node_ids()
+        .filter_map(|p| {
+            let pn = pattern.node(p);
+            pn.val_pred.as_ref().map(|v| {
+                let label = match &pn.test {
+                    NodeTest::Name(n) => Some(n.as_str()),
+                    NodeTest::Wildcard => None,
+                };
+                (p, label, v.as_str())
+            })
+        })
+        .collect();
+    if preds.is_empty() {
+        return Vec::new();
+    }
+    let mut seen: HashSet<(PatternNodeId, NodeId)> = HashSet::new();
+    let mut out = Vec::new();
+    for op in &pul.ops {
+        let Some(target) = doc.find_node(op.target()) else {
+            continue;
+        };
+        let start = if op.is_insert() { Some(target) } else { doc.parent_of(target) };
+        let mut cur = start;
+        while let Some(n) = cur {
+            for &(p, label, pred) in &preds {
+                let matches = match label {
+                    Some(l) => doc.label_name(doc.node(n).label) == l,
+                    None => doc.node(n).kind == NodeKind::Element,
+                };
+                if matches && seen.insert((p, n)) {
+                    out.push((p, n, doc.value(n) == pred));
+                }
+            }
+            cur = doc.parent_of(n);
+        }
+    }
+    out
+}
+
+/// Re-checks the captured nodes against the updated document and
+/// returns the flip sets (deleted nodes are skipped — structural
+/// removal is PDDT's business).
+pub fn diff(doc: &Document, pattern: &TreePattern, captured: &PredCapture) -> Flips {
+    let mut flips = Flips::default();
+    for &(p, n, was) in captured {
+        if !doc.is_alive(n) {
+            continue;
+        }
+        let pred = pattern.node(p).val_pred.as_deref().expect("captured nodes carry predicates");
+        let now = doc.value(n) == pred;
+        if was && !now {
+            flips.down.entry(p).or_default().push(n);
+        } else if !was && now {
+            flips.up.entry(p).or_default().push(n);
+        }
+    }
+    flips
+}
+
+/// "Stayed-true" leaf: surviving old nodes satisfying the predicate
+/// both before and after the update (current-satisfying minus F↑).
+fn stayed_true_leaf(
+    doc: &Document,
+    pattern: &TreePattern,
+    n: PatternNodeId,
+    inserted: &HashSet<NodeId>,
+    flips: &Flips,
+) -> Relation {
+    let up = flips.up_set(n);
+    let ids: Vec<NodeId> = canonical_node_ids(doc, pattern, n)
+        .into_iter()
+        .filter(|id| !inserted.contains(id) && !up.contains(id))
+        .collect();
+    relation_from_nodes(doc, pattern, n, &ids)
+}
+
+/// Old-truth leaf for the deletion phase: nodes whose predicate held
+/// *before* the update — (current-satisfying \ F↑) ∪ F↓ — so PDDT
+/// removes exactly the bindings that were in the old view.
+pub fn old_truth_leaf(
+    doc: &Document,
+    pattern: &TreePattern,
+    n: PatternNodeId,
+    inserted: &HashSet<NodeId>,
+    flips: &Flips,
+) -> Relation {
+    if pattern.node(n).val_pred.is_none() {
+        let ids: Vec<NodeId> = canonical_node_ids(doc, pattern, n)
+            .into_iter()
+            .filter(|id| !inserted.contains(id))
+            .collect();
+        return relation_from_nodes(doc, pattern, n, &ids);
+    }
+    let mut rel = stayed_true_leaf(doc, pattern, n, inserted, flips);
+    if let Some(down) = flips.down.get(&n) {
+        let extra = relation_from_nodes_raw(doc, pattern, n, down);
+        rel.rows.extend(extra.rows);
+        rel.sort_by_col(0);
+    }
+    rel
+}
+
+/// Bindings *lost purely to predicate flips*: old-valid, entirely over
+/// surviving old nodes, using ≥1 F↓ node. Columns in pattern
+/// pre-order.
+pub fn removed_by_flips(
+    doc: &Document,
+    pattern: &TreePattern,
+    flips: &Flips,
+    inserted: &HashSet<NodeId>,
+) -> Relation {
+    bindings_by_flips(doc, pattern, flips, inserted, false)
+}
+
+/// Bindings *gained purely by predicate flips*: now-valid, entirely
+/// over surviving old nodes, using ≥1 F↑ node.
+pub fn added_by_flips(
+    doc: &Document,
+    pattern: &TreePattern,
+    flips: &Flips,
+    inserted: &HashSet<NodeId>,
+) -> Relation {
+    bindings_by_flips(doc, pattern, flips, inserted, true)
+}
+
+fn bindings_by_flips(
+    doc: &Document,
+    pattern: &TreePattern,
+    flips: &Flips,
+    inserted: &HashSet<NodeId>,
+    gained: bool,
+) -> Relation {
+    let table = if gained { &flips.up } else { &flips.down };
+    let positions: Vec<PatternNodeId> =
+        table.iter().filter(|(_, v)| !v.is_empty()).map(|(&p, _)| p).collect();
+    if positions.is_empty() {
+        return Relation::default();
+    }
+    // All non-empty subsets of flipped positions; bindings are
+    // partitioned by exactly which positions bind flipped nodes.
+    let mut terms = Vec::new();
+    for mask in 1u32..(1 << positions.len()) {
+        let subset = positions
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &p)| p);
+        terms.push(Term::from_iter(subset));
+    }
+    let order = pattern.preorder();
+    let mut leaf_cache: HashMap<PatternNodeId, Relation> = HashMap::new();
+    eval_terms(
+        pattern,
+        &order,
+        &terms,
+        &[],
+        &mut |n| {
+            leaf_cache
+                .entry(n)
+                .or_insert_with(|| stayed_true_leaf(doc, pattern, n, inserted, flips))
+                .clone()
+        },
+        &mut |p| {
+            let ids = &table[&p];
+            if gained {
+                // F↑ nodes satisfy the predicate now: the standard
+                // builder keeps them and materializes val/cont.
+                relation_from_nodes(doc, pattern, p, ids)
+            } else {
+                // F↓ nodes fail the predicate now: bypass the filter.
+                relation_from_nodes_raw(doc, pattern, p, ids)
+            }
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xivm_pattern::parse_pattern;
+    use xivm_update::{apply_pul, compute_pul, UpdateStatement};
+    use xivm_xml::parse_document;
+
+    #[test]
+    fn capture_and_diff_detect_a_flip() {
+        let mut doc = parse_document("<r><a><d>5</d></a></r>").unwrap();
+        let p = parse_pattern("//a{id}[//d[val=\"5\"]]//b{id}").unwrap();
+        let stmt = UpdateStatement::insert("//d", "<d>5</d>").unwrap();
+        let pul = compute_pul(&doc, &stmt);
+        let cap = capture(&doc, &p, &pul);
+        assert_eq!(cap.len(), 1, "the outer d is on the target chain");
+        assert!(cap[0].2, "outer d satisfied [val=5] before");
+        apply_pul(&mut doc, &pul).unwrap();
+        let flips = diff(&doc, &p, &cap);
+        assert!(flips.any());
+        let d_node = p.preorder()[1];
+        assert_eq!(flips.down.get(&d_node).map(Vec::len), Some(1), "value became 55");
+    }
+
+    #[test]
+    fn no_predicates_no_capture() {
+        let doc = parse_document("<r><a><b/></a></r>").unwrap();
+        let p = parse_pattern("//a{id}//b{id}").unwrap();
+        let stmt = UpdateStatement::insert("//b", "<c/>").unwrap();
+        let pul = compute_pul(&doc, &stmt);
+        assert!(capture(&doc, &p, &pul).is_empty());
+    }
+
+    #[test]
+    fn deletion_chains_start_at_the_parent() {
+        let doc = parse_document("<r><d>5<x>junk</x></d></r>").unwrap();
+        let p = parse_pattern("//d{id}[val=\"5\"]").unwrap();
+        let stmt = UpdateStatement::delete("//x").unwrap();
+        let pul = compute_pul(&doc, &stmt);
+        let cap = capture(&doc, &p, &pul);
+        assert_eq!(cap.len(), 1);
+        assert!(!cap[0].2, "value is 5junk before the deletion");
+    }
+}

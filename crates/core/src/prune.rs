@@ -1,0 +1,232 @@
+//! Data-driven term pruning.
+//!
+//! * Proposition 3.6 — a term is empty when σ(Δ⁺) is empty for one of
+//!   its Δ-nodes (the inserted trees simply do not contain matches);
+//! * Proposition 3.8 — a term containing `R_{n1} Δ⁺_{n2}` (with `n1`
+//!   an ancestor of `n2` in the view) is empty when no insertion
+//!   target's ID carries the label of `n1` on its root path;
+//! * Proposition 4.7 — a term containing `R_{n1} Δ⁻_{n2}` is empty
+//!   when no deleted `n2`-node's ID carries the label of `n1` above
+//!   it.
+//!
+//! The ID-driven checks read only the Compact Dynamic Dewey IDs — no
+//! document access — which is why "Get Update Expression" stays cheap
+//! in the Section 6 breakdowns.
+
+use crate::term::Term;
+use std::collections::BTreeSet;
+use xivm_pattern::{NodeTest, PatternNodeId, TreePattern};
+use xivm_update::{DeltaMinus, DeltaPlus};
+use xivm_xml::{Document, DeweyId};
+
+/// Statistics of a pruning pass, reported by the engine and checked in
+/// the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    pub before: usize,
+    pub after_delta_emptiness: usize,
+    pub after_id_reasoning: usize,
+}
+
+/// Proposition 3.6: keep terms whose Δ-nodes all have non-empty
+/// σ(Δ⁺).
+pub fn prune_insert_by_deltas(terms: Vec<Term>, deltas: &DeltaPlus) -> Vec<Term> {
+    terms
+        .into_iter()
+        .filter(|t| t.delta_nodes().iter().all(|&n| !deltas.is_empty(n)))
+        .collect()
+}
+
+/// Proposition 3.8: keep terms whose every (R-ancestor, Δ-node) pair
+/// is *witnessed* by at least one insertion target whose ID carries
+/// the ancestor's label on its root path (self included: the target
+/// itself may match the ancestor node).
+///
+/// `subset` is the sub-pattern the terms range over — the full view
+/// for PINT proper, or a snowcap when maintaining the lattice.
+pub fn prune_insert_by_target_ids(
+    doc: &Document,
+    pattern: &TreePattern,
+    subset: &BTreeSet<PatternNodeId>,
+    terms: Vec<Term>,
+    targets: &[DeweyId],
+) -> Vec<Term> {
+    terms
+        .into_iter()
+        .filter(|t| {
+            t.delta_nodes().iter().all(|&n| {
+                r_ancestors_in(pattern, t, n, subset).into_iter().all(|anc| {
+                    match &pattern.node(anc).test {
+                        // wildcards match any element: no label to reason on
+                        NodeTest::Wildcard => true,
+                        NodeTest::Name(name) => match doc.label_id(name) {
+                            // label never seen in the document: R_anc is empty
+                            None => false,
+                            Some(l) => {
+                                targets.iter().any(|p| p.has_self_or_ancestor_labeled(l))
+                            }
+                        },
+                    }
+                })
+            })
+        })
+        .collect()
+}
+
+/// R-bound ancestors of `node` that belong to the sub-pattern.
+fn r_ancestors_in(
+    pattern: &TreePattern,
+    term: &Term,
+    node: PatternNodeId,
+    subset: &BTreeSet<PatternNodeId>,
+) -> Vec<PatternNodeId> {
+    term.r_ancestors_of(pattern, node).into_iter().filter(|a| subset.contains(a)).collect()
+}
+
+/// Δ⁻-emptiness: keep deletion terms whose Δ-nodes all have non-empty
+/// Δ⁻ (the deletion analogue of Proposition 3.6, used implicitly in
+/// Example 4.5 when Δ⁻_a = ∅ removes the ΔaΔbΔc term).
+pub fn prune_delete_by_deltas(terms: Vec<Term>, deltas: &DeltaMinus) -> Vec<Term> {
+    terms
+        .into_iter()
+        .filter(|t| t.delta_nodes().iter().all(|&n| !deltas.is_empty(n)))
+        .collect()
+}
+
+/// Proposition 4.7: keep deletion terms whose every (R-ancestor,
+/// Δ-node) pair is witnessed by a deleted node whose ID has the
+/// ancestor's label strictly above it.
+pub fn prune_delete_by_ids(
+    doc: &Document,
+    pattern: &TreePattern,
+    subset: &BTreeSet<PatternNodeId>,
+    terms: Vec<Term>,
+    deltas: &DeltaMinus,
+) -> Vec<Term> {
+    terms
+        .into_iter()
+        .filter(|t| {
+            t.delta_nodes().iter().all(|&n| {
+                r_ancestors_in(pattern, t, n, subset).into_iter().all(|anc| {
+                    match &pattern.node(anc).test {
+                        NodeTest::Wildcard => true,
+                        NodeTest::Name(name) => match doc.label_id(name) {
+                            None => false,
+                            Some(l) => deltas
+                                .ids(n)
+                                .iter()
+                                .any(|id| id.has_proper_ancestor_labeled(l)),
+                        },
+                    }
+                })
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand::surviving_terms;
+    use xivm_pattern::parse_pattern;
+    use xivm_update::{apply_pul, compute_pul, UpdateStatement};
+    use xivm_xml::parse_document;
+
+    /// Example 3.4: inserting <a><b/><b/></a> (no c) empties every
+    /// term of v1 = //a//b//c.
+    #[test]
+    fn example_3_4_all_terms_pruned() {
+        let mut d = parse_document("<root><t/></root>").unwrap();
+        let stmt = UpdateStatement::insert("//t", "<a><b/><b/></a>").unwrap();
+        let pul = compute_pul(&d, &stmt);
+        let res = apply_pul(&mut d, &pul).unwrap();
+        let v = parse_pattern("//a//b//c").unwrap();
+        let dp = DeltaPlus::compute(&d, &v, &res.inserted);
+        let terms = prune_insert_by_deltas(surviving_terms(&v), &dp);
+        assert!(terms.is_empty(), "Δ⁺_c = ∅ kills all three surviving terms");
+    }
+
+    /// Example 3.5: value predicates participate in Δ-emptiness.
+    #[test]
+    fn example_3_5_value_pruning() {
+        let mut d = parse_document("<root><t/></root>").unwrap();
+        let stmt = UpdateStatement::insert("//t", "<a>3<b/><b/></a>").unwrap();
+        let pul = compute_pul(&d, &stmt);
+        let res = apply_pul(&mut d, &pul).unwrap();
+        let v = parse_pattern("//a[val=\"5\"]//b{id}").unwrap();
+        let dp = DeltaPlus::compute(&d, &v, &res.inserted);
+        let terms = prune_insert_by_deltas(surviving_terms(&v), &dp);
+        // Δ{b} survives Δ-emptiness (two new b's) …
+        assert_eq!(terms.len(), 1);
+        // … but Prop 3.8 kills it: the target t has no 'a' above it
+        // satisfying anything — more precisely there is no a at all on
+        // the target's path.
+        let full: std::collections::BTreeSet<_> = v.node_ids().collect();
+        let terms = prune_insert_by_target_ids(&d, &v, &full, terms, &res.insert_targets);
+        assert!(terms.is_empty());
+    }
+
+    /// Example 3.7: inserting <b><c/></b> under an `a` whose path has
+    /// no other b: the RaRbΔc term dies, Ra ΔbΔc survives.
+    #[test]
+    fn example_3_7_id_driven_pruning() {
+        let mut d = parse_document("<a><x/></a>").unwrap();
+        let stmt = UpdateStatement::insert("//a", "<b><c/></b>").unwrap();
+        let pul = compute_pul(&d, &stmt);
+        let res = apply_pul(&mut d, &pul).unwrap();
+        let v = parse_pattern("//a//b//c").unwrap();
+        let dp = DeltaPlus::compute(&d, &v, &res.inserted);
+        let terms = prune_insert_by_deltas(surviving_terms(&v), &dp);
+        // Δ⁺_a = ∅ removes the all-Δ term; {c} and {b,c} remain
+        assert_eq!(terms.len(), 2);
+        let full: std::collections::BTreeSet<_> = v.node_ids().collect();
+        let terms = prune_insert_by_target_ids(&d, &v, &full, terms, &res.insert_targets);
+        // For Δ{c}: R-ancestors of c are a and b. The target (the a
+        // node) has label a on its path but no b → pruned.
+        // For Δ{b,c}: R-ancestor is a only → witnessed → survives.
+        assert_eq!(terms.len(), 1);
+        assert_eq!(terms[0].delta_count(), 2);
+    }
+
+    /// Example 4.6: deleting //f removes a b with no c ancestor, so
+    /// the Rc Δ⁻b term of //c//b is empty.
+    #[test]
+    fn example_4_6_delete_id_pruning() {
+        let mut d = parse_document("<a><c><b/></c><f><b/></f></a>").unwrap();
+        let stmt = UpdateStatement::delete("//f").unwrap();
+        let pul = compute_pul(&d, &stmt);
+        let res = apply_pul(&mut d, &pul).unwrap();
+        let v = parse_pattern("//c{id}//b{id}").unwrap();
+        let dm = DeltaMinus::compute(&v, &res.deleted);
+        let terms = prune_delete_by_deltas(surviving_terms(&v), &dm);
+        // Δ⁻_c = ∅ kills the {c,b} term; {b} remains
+        assert_eq!(terms.len(), 1);
+        let full: std::collections::BTreeSet<_> = v.node_ids().collect();
+        let terms = prune_delete_by_ids(&d, &v, &full, terms, &dm);
+        assert!(terms.is_empty(), "deleted b has no c ancestor in its ID");
+    }
+
+    /// Example 4.5: the full pipeline on //a[//c]//b under delete //a/f/c.
+    #[test]
+    fn example_4_5_full_deletion_pruning() {
+        let d0 = "<a><c><b/><b/></c><f><c><b/></c><b/></f></a>";
+        let mut d = parse_document(d0).unwrap();
+        let stmt = UpdateStatement::delete("/a/f/c").unwrap();
+        let pul = compute_pul(&d, &stmt);
+        let res = apply_pul(&mut d, &pul).unwrap();
+        let v = parse_pattern("//a{id}[//c{id}]//b{id}").unwrap();
+        let dm = DeltaMinus::compute(&v, &res.deleted);
+        // Prop 4.2 leaves Δ-sets {b}, {c}, {b,c}, {a,b,c}
+        let surv = surviving_terms(&v);
+        assert_eq!(surv.len(), 4);
+        // Δ⁻_a = ∅ removes {a,b,c}
+        let terms = prune_delete_by_deltas(surv, &dm);
+        assert_eq!(terms.len(), 3);
+    }
+
+    #[test]
+    fn prune_stats_default() {
+        let s = PruneStats::default();
+        assert_eq!(s.before, 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Binary snapshots of materialized views.
+//!
+//! Section 7 contrasts the approach with Galax's algebra-based
+//! maintenance precisely on this point: "our approach requires
+//! manipulating only tuples of IDs, that may be stored on disk … and
+//! read as needed". This module provides the on-disk image: a compact
+//! self-describing encoding of a [`ViewStore`] built on the
+//! variable-length Dewey ID encoding.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "XIVM" · version u16 · arity u16
+//! per column:  name (len-prefixed utf-8) · flags u8 (val|cont)
+//! tuple count u64
+//! per tuple:   derivation count u64
+//!              per field: dewey (len-prefixed) ·
+//!                         val  (0u32 or len-prefixed utf-8) ·
+//!                         cont (0u32 or len-prefixed utf-8)
+//! ```
+
+use crate::view_store::ViewStore;
+use std::sync::Arc;
+use xivm_algebra::{Column, Field, Schema, Tuple};
+use xivm_xml::DeweyId;
+
+const MAGIC: &[u8; 4] = b"XIVM";
+const VERSION: u16 = 1;
+
+/// Snapshot decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    BadMagic,
+    UnsupportedVersion(u16),
+    Truncated,
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a xivm snapshot"),
+            SnapshotError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Serializes the store (schema, tuples, derivation counts).
+pub fn encode_store(store: &ViewStore) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + store.len() * 32);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    let schema = store.schema();
+    out.extend_from_slice(&(schema.arity() as u16).to_le_bytes());
+    for col in &schema.columns {
+        write_bytes(&mut out, col.name.as_bytes());
+        out.push(u8::from(col.stores_val) | (u8::from(col.stores_cont) << 1));
+    }
+    let tuples = store.sorted_tuples();
+    out.extend_from_slice(&(tuples.len() as u64).to_le_bytes());
+    for (t, count) in tuples {
+        out.extend_from_slice(&count.to_le_bytes());
+        for field in t.fields() {
+            write_bytes(&mut out, &field.id.encode());
+            write_opt_str(&mut out, field.val.as_deref());
+            write_opt_str(&mut out, field.cont.as_deref());
+        }
+    }
+    out
+}
+
+/// Reconstructs a store from [`encode_store`]'s output.
+pub fn decode_store(bytes: &[u8]) -> Result<ViewStore, SnapshotError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u16::from_le_bytes(r.take(2)?.try_into().expect("2 bytes"));
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let arity = u16::from_le_bytes(r.take(2)?.try_into().expect("2 bytes")) as usize;
+    let mut columns = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let name = String::from_utf8(r.bytes_field()?.to_vec())
+            .map_err(|_| SnapshotError::Corrupt("column name"))?;
+        let flags = r.take(1)?[0];
+        columns.push(Column::with(name, flags & 1 != 0, flags & 2 != 0));
+    }
+    let schema = Schema::new(columns);
+    let n = u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes")) as usize;
+    let mut store = ViewStore::from_schema(schema);
+    for _ in 0..n {
+        let count = u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes"));
+        let mut fields = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let id = DeweyId::decode(r.bytes_field()?)
+                .ok_or(SnapshotError::Corrupt("dewey id"))?;
+            let val = read_opt_str(&mut r)?;
+            let cont = read_opt_str(&mut r)?;
+            fields.push(Field::new(id, val, cont));
+        }
+        store.add(Tuple::new(fields), count);
+    }
+    if r.pos != bytes.len() {
+        return Err(SnapshotError::Corrupt("trailing bytes"));
+    }
+    Ok(store)
+}
+
+fn write_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn write_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => out.extend_from_slice(&u32::MAX.to_le_bytes()),
+        Some(s) => write_bytes(out, s.as_bytes()),
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn bytes_field(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let len = u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")) as usize;
+        self.take(len)
+    }
+}
+
+fn read_opt_str(r: &mut Reader<'_>) -> Result<Option<Arc<str>>, SnapshotError> {
+    let len = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"));
+    if len == u32::MAX {
+        return Ok(None);
+    }
+    let s = std::str::from_utf8(r.take(len as usize)?)
+        .map_err(|_| SnapshotError::Corrupt("utf-8 string"))?;
+    Ok(Some(Arc::from(s)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xivm_pattern::compile::view_tuples;
+    use xivm_pattern::parse_pattern;
+    use xivm_xml::parse_document;
+
+    fn sample_store() -> ViewStore {
+        let d = parse_document("<a>x<c><b>t</b><b/></c><f><c><b/></c></f></a>").unwrap();
+        let p = parse_pattern("//a{id,val}[//c{id}]//b{id,cont}").unwrap();
+        ViewStore::from_counted(&p, view_tuples(&d, &p))
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let store = sample_store();
+        let bytes = encode_store(&store);
+        let back = decode_store(&bytes).unwrap();
+        assert!(store.same_content_as(&back));
+        assert_eq!(store.schema(), back.schema());
+        // val/cont strings survive too
+        let (orig, dec) = (store.sorted_tuples(), back.sorted_tuples());
+        for ((a, ca), (b, cb)) in orig.iter().zip(dec.iter()) {
+            assert_eq!(ca, cb);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let p = parse_pattern("//a{id}").unwrap();
+        let store = ViewStore::new(&p);
+        let back = decode_store(&encode_store(&store)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let store = sample_store();
+        let bytes = encode_store(&store);
+        assert!(matches!(decode_store(b"nope"), Err(SnapshotError::BadMagic)));
+        assert_eq!(
+            decode_store(&bytes[..bytes.len() - 3]).map(|_| ()).unwrap_err(),
+            SnapshotError::Truncated
+        );
+        let mut versioned = bytes.clone();
+        versioned[4] = 99;
+        assert!(matches!(
+            decode_store(&versioned),
+            Err(SnapshotError::UnsupportedVersion(_))
+        ));
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            decode_store(&trailing).map(|_| ()).unwrap_err(),
+            SnapshotError::Corrupt("trailing bytes")
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(SnapshotError::BadMagic.to_string().contains("snapshot"));
+        assert!(SnapshotError::Corrupt("x").to_string().contains("x"));
+    }
+}

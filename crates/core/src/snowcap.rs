@@ -1,0 +1,185 @@
+//! Snowcaps (Definition 3.11) and their materialization.
+//!
+//! A snowcap of a view `v` is a non-empty subtree that contains, with
+//! every node, that node's parent — "snow covers mountains from the
+//! top downward". Proposition 3.12 identifies the R-parts of surviving
+//! insertion terms exactly with snowcaps, and Proposition 3.13 shows
+//! snowcaps can be maintained from smaller snowcaps, the lattice
+//! leaves and the Δ relations.
+
+use std::collections::BTreeSet;
+use xivm_algebra::Relation;
+use xivm_pattern::{PatternNodeId, TreePattern};
+
+/// True iff `set` is a snowcap of `pattern`: non-empty and closed
+/// under taking parents.
+pub fn is_snowcap(pattern: &TreePattern, set: &BTreeSet<PatternNodeId>) -> bool {
+    !set.is_empty()
+        && set.iter().all(|&n| match pattern.node(n).parent {
+            Some(p) => set.contains(&p),
+            None => true,
+        })
+}
+
+/// Enumerates every snowcap of the pattern (including the full
+/// pattern itself), in increasing size order.
+///
+/// The recursive structure: a snowcap contains the root, and for each
+/// child subtree independently either skips it entirely or contains a
+/// snowcap of it.
+pub fn enumerate_snowcaps(pattern: &TreePattern) -> Vec<BTreeSet<PatternNodeId>> {
+    fn rec(pattern: &TreePattern, node: PatternNodeId) -> Vec<BTreeSet<PatternNodeId>> {
+        let mut result: Vec<BTreeSet<PatternNodeId>> =
+            vec![BTreeSet::from([node])];
+        for &c in &pattern.node(node).children {
+            let child_caps = rec(pattern, c);
+            let mut extended = Vec::with_capacity(result.len() * (child_caps.len() + 1));
+            for base in &result {
+                extended.push(base.clone()); // skip this child subtree
+                for cc in &child_caps {
+                    let mut s = base.clone();
+                    s.extend(cc.iter().copied());
+                    extended.push(s);
+                }
+            }
+            result = extended;
+        }
+        result
+    }
+    let mut caps = rec(pattern, pattern.root());
+    caps.sort_by_key(|s| (s.len(), s.iter().map(|n| n.0).collect::<Vec<_>>()));
+    caps
+}
+
+/// The *minimal chain* used in the experiments (Section 6.7,
+/// "Snowcaps"): one snowcap per level, built as pre-order prefixes
+/// (pre-order guarantees parents precede children, so every prefix is
+/// a snowcap), sizes `1 … k−1`. The full pattern (size `k`) is the
+/// view itself and is materialized as the view store.
+pub fn minimal_chain(pattern: &TreePattern) -> Vec<BTreeSet<PatternNodeId>> {
+    let order = pattern.preorder();
+    (1..order.len()).map(|len| order[..len].iter().copied().collect()).collect()
+}
+
+/// A materialized snowcap: the full-ID binding relation of the
+/// sub-pattern induced by `nodes`, kept up to date by the engine.
+#[derive(Debug, Clone)]
+pub struct MaterializedSnowcap {
+    /// The sub-pattern's nodes in pattern pre-order (= column order of
+    /// `rel`).
+    pub nodes: Vec<PatternNodeId>,
+    pub rel: Relation,
+}
+
+impl MaterializedSnowcap {
+    pub fn node_set(&self) -> BTreeSet<PatternNodeId> {
+        self.nodes.iter().copied().collect()
+    }
+
+    /// Column index of a pattern node within this snowcap's relation.
+    pub fn col_of(&self, n: PatternNodeId) -> Option<usize> {
+        self.nodes.iter().position(|&x| x == n)
+    }
+}
+
+/// Picks the largest materialized snowcap whose nodes are all within
+/// `r_part` — the best starting point for evaluating a term.
+pub fn best_cover<'a>(
+    materialized: &'a [MaterializedSnowcap],
+    r_part: &BTreeSet<PatternNodeId>,
+) -> Option<&'a MaterializedSnowcap> {
+    materialized
+        .iter()
+        .filter(|m| m.nodes.iter().all(|n| r_part.contains(n)))
+        .max_by_key(|m| m.nodes.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xivm_pattern::parse_pattern;
+
+    fn names(pattern: &TreePattern, set: &BTreeSet<PatternNodeId>) -> String {
+        set.iter().map(|&n| pattern.node(n).base_label()).collect::<Vec<_>>().join("")
+    }
+
+    /// Figure 6: the view //a[//b//c]//d has snowcaps
+    /// a, ab, ad, abc, abd, acd?? — no: c requires b. The boxed nodes
+    /// in Figure 6 are: a, ab, ad, abc, abd, abcd (and abd etc.).
+    #[test]
+    fn figure_6_snowcaps() {
+        let p = parse_pattern("//a[//b//c]//d").unwrap();
+        let caps = enumerate_snowcaps(&p);
+        let got: Vec<String> = caps.iter().map(|s| names(&p, s)).collect();
+        assert_eq!(got, vec!["a", "ab", "ad", "abc", "abd", "abcd"]);
+    }
+
+    /// Figure 7: the star view //a[//b][//c]//d has more snowcaps.
+    #[test]
+    fn figure_7_snowcaps() {
+        let p = parse_pattern("//a[//b][//c]//d").unwrap();
+        let caps = enumerate_snowcaps(&p);
+        let got: Vec<String> = caps.iter().map(|s| names(&p, s)).collect();
+        assert_eq!(got, vec!["a", "ab", "ac", "ad", "abc", "abd", "acd", "abcd"]);
+    }
+
+    #[test]
+    fn every_enumerated_set_is_a_snowcap() {
+        let p = parse_pattern("//a[//b[//x]//c]//d//e").unwrap();
+        for s in enumerate_snowcaps(&p) {
+            assert!(is_snowcap(&p, &s));
+        }
+    }
+
+    #[test]
+    fn non_snowcaps_are_rejected() {
+        let p = parse_pattern("//a//b//c").unwrap();
+        let no_root: BTreeSet<_> = [PatternNodeId(1), PatternNodeId(2)].into();
+        assert!(!is_snowcap(&p, &no_root));
+        assert!(!is_snowcap(&p, &BTreeSet::new()));
+        let gap: BTreeSet<_> = [PatternNodeId(0), PatternNodeId(2)].into();
+        assert!(!is_snowcap(&p, &gap));
+    }
+
+    #[test]
+    fn minimal_chain_is_nested_snowcaps() {
+        let p = parse_pattern("//a[//b//c]//d").unwrap();
+        let chain = minimal_chain(&p);
+        assert_eq!(chain.len(), 3); // sizes 1, 2, 3
+        for (i, s) in chain.iter().enumerate() {
+            assert_eq!(s.len(), i + 1);
+            assert!(is_snowcap(&p, s));
+            if i > 0 {
+                assert!(s.is_superset(&chain[i - 1]));
+            }
+        }
+    }
+
+    #[test]
+    fn best_cover_picks_largest_contained() {
+        let p = parse_pattern("//a[//b//c]//d").unwrap();
+        let mats: Vec<MaterializedSnowcap> = minimal_chain(&p)
+            .into_iter()
+            .map(|s| MaterializedSnowcap {
+                nodes: p.preorder().into_iter().filter(|n| s.contains(n)).collect(),
+                rel: Relation::default(),
+            })
+            .collect();
+        // r_part = {a, b, c} (term Δ{d}): best cover is abc
+        let r: BTreeSet<_> = [PatternNodeId(0), PatternNodeId(1), PatternNodeId(2)].into();
+        assert_eq!(best_cover(&mats, &r).unwrap().nodes.len(), 3);
+        // r_part = {a, d}: abc not contained, ab not contained; only a
+        let r2: BTreeSet<_> = [PatternNodeId(0), PatternNodeId(3)].into();
+        assert_eq!(best_cover(&mats, &r2).unwrap().nodes.len(), 1);
+    }
+
+    #[test]
+    fn snowcap_count_formula() {
+        // chain of n nodes has n snowcaps
+        let p = parse_pattern("//a//b//c//d//e").unwrap();
+        assert_eq!(enumerate_snowcaps(&p).len(), 5);
+        // star with 3 children: root + any subset of children = 8
+        let p2 = parse_pattern("//a[//b][//c]//d").unwrap();
+        assert_eq!(enumerate_snowcaps(&p2).len(), 8);
+    }
+}

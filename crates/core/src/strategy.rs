@@ -1,0 +1,39 @@
+//! Materialization strategies for the sub-pattern lattice
+//! (Section 3.5; compared experimentally in Section 6.7).
+
+/// Which lattice nodes the engine materializes and maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnowcapStrategy {
+    /// The experiments' "Snowcaps" alternative: a minimal chain of
+    /// snowcaps, one per level (pre-order prefixes of sizes 1…k−1),
+    /// plus the view itself.
+    MinimalChain,
+    /// Every snowcap of the lattice (the upper bound of Section 3.5's
+    /// discussion — expensive to keep, cheapest to read).
+    AllSnowcaps,
+    /// The experiments' "Leaves" alternative: nothing but the
+    /// canonical relations; term R-parts are recomputed on the fly.
+    LeavesOnly,
+}
+
+impl SnowcapStrategy {
+    pub fn name(self) -> &'static str {
+        match self {
+            SnowcapStrategy::MinimalChain => "snowcaps",
+            SnowcapStrategy::AllSnowcaps => "all-snowcaps",
+            SnowcapStrategy::LeavesOnly => "leaves",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SnowcapStrategy::MinimalChain.name(), "snowcaps");
+        assert_eq!(SnowcapStrategy::LeavesOnly.name(), "leaves");
+        assert_eq!(SnowcapStrategy::AllSnowcaps.name(), "all-snowcaps");
+    }
+}

@@ -1,0 +1,102 @@
+//! Per-phase maintenance timings — the measured quantities of the
+//! Section 6 experiments (Figures 18–25).
+
+use std::fmt;
+use std::time::Duration;
+
+/// The five measured phases of the paper's Section 6.1, plus the
+/// document-update time itself (reported separately: the paper folds
+/// it into the update process, not into view maintenance).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Timings {
+    /// "Find Target Nodes": evaluating the update's target path.
+    pub find_target_nodes: Duration,
+    /// "Compute Delta Tables": building Δ⁺ / Δ⁻ from the PUL.
+    pub compute_delta_tables: Duration,
+    /// "Get Update Expression": expanding and pruning the terms.
+    pub get_update_expression: Duration,
+    /// "Execute Update": evaluating surviving terms and patching the
+    /// view store (including PIMT / PDMT tuple modifications).
+    pub execute_update: Duration,
+    /// "Update Lattice": maintaining the materialized snowcaps.
+    pub update_lattice: Duration,
+    /// Applying the PUL to the source document (not view maintenance).
+    pub apply_document: Duration,
+}
+
+impl Timings {
+    /// Total *view maintenance* time: everything except the document
+    /// update itself, matching the paper's stacked bars.
+    pub fn maintenance_total(&self) -> Duration {
+        self.find_target_nodes
+            + self.compute_delta_tables
+            + self.get_update_expression
+            + self.execute_update
+            + self.update_lattice
+    }
+
+    /// Component-wise sum, for aggregating over update sequences.
+    pub fn accumulate(&mut self, other: &Timings) {
+        self.find_target_nodes += other.find_target_nodes;
+        self.compute_delta_tables += other.compute_delta_tables;
+        self.get_update_expression += other.get_update_expression;
+        self.execute_update += other.execute_update;
+        self.update_lattice += other.update_lattice;
+        self.apply_document += other.apply_document;
+    }
+}
+
+impl fmt::Display for Timings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "find-targets {:?} | deltas {:?} | expression {:?} | execute {:?} | lattice {:?}",
+            self.find_target_nodes,
+            self.compute_delta_tables,
+            self.get_update_expression,
+            self.execute_update,
+            self.update_lattice,
+        )
+    }
+}
+
+/// Measures one closure, returning its result and elapsed time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_exclude_document_apply() {
+        let t = Timings {
+            find_target_nodes: Duration::from_millis(5),
+            compute_delta_tables: Duration::from_millis(1),
+            get_update_expression: Duration::from_millis(2),
+            execute_update: Duration::from_millis(3),
+            update_lattice: Duration::from_millis(4),
+            apply_document: Duration::from_millis(100),
+        };
+        assert_eq!(t.maintenance_total(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn accumulate_sums_componentwise() {
+        let mut a = Timings::default();
+        let b = Timings { execute_update: Duration::from_millis(7), ..Default::default() };
+        a.accumulate(&b);
+        a.accumulate(&b);
+        assert_eq!(a.execute_update, Duration::from_millis(14));
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let (v, d) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+}

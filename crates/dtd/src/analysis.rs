@@ -1,0 +1,104 @@
+//! Grammar analyses deriving Δ⁺ constraints.
+
+use crate::grammar::Dtd;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// For every element label, the set of element labels that *must*
+/// occur somewhere inside any valid subtree rooted at it.
+///
+/// Non-terminals are spliced transparently (their required symbols are
+/// inherited by whoever requires them). Cycles through required
+/// positions would make the language empty; they are cut off
+/// conservatively.
+pub fn mandatory_descendants(dtd: &Dtd) -> HashMap<String, BTreeSet<String>> {
+    let mut out = HashMap::new();
+    for label in dtd.order.iter() {
+        let mut visiting = HashSet::new();
+        let set = required_closure(dtd, label, &mut visiting);
+        out.insert(label.clone(), set);
+    }
+    out
+}
+
+fn required_closure(
+    dtd: &Dtd,
+    symbol: &str,
+    visiting: &mut HashSet<String>,
+) -> BTreeSet<String> {
+    if !visiting.insert(symbol.to_owned()) {
+        return BTreeSet::new(); // cycle: cut off
+    }
+    let mut out = BTreeSet::new();
+    if let Some(rx) = dtd.rule(symbol) {
+        for req in rx.required_symbols() {
+            let sub = required_closure(dtd, &req, visiting);
+            if dtd.is_nonterminal(&req) {
+                // splice the non-terminal: only its own requirements
+                out.extend(sub);
+            } else {
+                out.insert(req.clone());
+                out.extend(sub);
+            }
+        }
+    }
+    visiting.remove(symbol);
+    out
+}
+
+/// Sibling co-occurrence groups: for each element label, the
+/// required-symbol sets of repeated groups in its content model.
+/// Inserting one member of a group as a child requires inserting the
+/// others (Example 3.10).
+pub fn cooccurrence_groups(dtd: &Dtd) -> HashMap<String, Vec<BTreeSet<String>>> {
+    let mut out = HashMap::new();
+    for label in dtd.order.iter() {
+        if let Some(rx) = dtd.rule(label) {
+            let groups = rx.repeated_groups();
+            if !groups.is_empty() {
+                out.insert(label.clone(), groups);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{figure_5a, figure_5b};
+
+    /// Example 3.9: in d1, every b must contain a c.
+    #[test]
+    fn figure_5a_b_requires_c() {
+        let m = mandatory_descendants(&figure_5a());
+        assert!(m["b"].contains("c"));
+        assert!(m["a"].contains("b"), "a → BS → b+ requires b");
+        assert!(m["a"].contains("c"), "transitively through b");
+        assert!(m["c"].is_empty());
+    }
+
+    /// Example 3.10: in d2, a/b/c must be inserted together under d2.
+    #[test]
+    fn figure_5b_abc_cooccur() {
+        let g = cooccurrence_groups(&figure_5b());
+        let groups = &g["d2"];
+        assert_eq!(groups.len(), 1);
+        let expected: BTreeSet<String> =
+            ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(groups[0], expected);
+    }
+
+    /// In d2, `a`'s content is BS → x | ε: nothing mandatory.
+    #[test]
+    fn figure_5b_a_has_no_mandatory_children() {
+        let m = mandatory_descendants(&figure_5b());
+        assert!(m["a"].is_empty());
+    }
+
+    #[test]
+    fn recursive_rules_terminate() {
+        // x → x |  (recursive, nullable): the analysis must not loop.
+        let m = mandatory_descendants(&figure_5b());
+        assert!(m["x"].is_empty());
+    }
+}

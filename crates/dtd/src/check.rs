@@ -1,0 +1,221 @@
+//! Runtime Δ⁺ constraint checking (Section 3.3).
+//!
+//! "From the DTD rules, one can infer a set of constraints on the Δ⁺
+//! tables, and check them before applying the update." Two constraint
+//! families are derived:
+//!
+//! 1. *mandatory descendants* — every inserted node labeled `l` must
+//!    contain each label of `mandatory(l)` in its subtree
+//!    (Example 3.9: inserting `<a><b/></a>` under d1 is rejected
+//!    because `b` requires a `c`);
+//! 2. *sibling co-occurrence* — inserting a child whose label belongs
+//!    to a repeated group of the target's content model requires the
+//!    whole group in the same insertion (Example 3.10).
+
+use crate::analysis::{cooccurrence_groups, mandatory_descendants};
+use crate::grammar::Dtd;
+use std::collections::BTreeSet;
+use std::fmt;
+use xivm_xml::{parse_document, Document, NodeId, XmlError};
+
+/// A Δ⁺ implication derived from the DTD, e.g.
+/// `Δ⁺_b ≠ ∅ ⇒ Δ⁺_c ≠ ∅`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Implication {
+    pub if_present: String,
+    pub then_present: String,
+}
+
+impl fmt::Display for Implication {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Δ⁺_{} ≠ ∅ ⇒ Δ⁺_{} ≠ ∅", self.if_present, self.then_present)
+    }
+}
+
+/// Why an insertion was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaViolation {
+    /// A node labeled `label` lacks mandatory descendant `missing`.
+    MissingDescendant { label: String, missing: String },
+    /// Label `label` was inserted under `target` without its group
+    /// partners.
+    MissingSibling { target: String, label: String, missing: String },
+    /// The inserted fragment is not well-formed XML.
+    Malformed(String),
+}
+
+impl fmt::Display for SchemaViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaViolation::MissingDescendant { label, missing } => {
+                write!(f, "inserted <{label}> lacks mandatory descendant <{missing}>")
+            }
+            SchemaViolation::MissingSibling { target, label, missing } => write!(
+                f,
+                "inserting <{label}> under <{target}> requires <{missing}> in the same insertion"
+            ),
+            SchemaViolation::Malformed(m) => write!(f, "malformed insertion fragment: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaViolation {}
+
+/// The full set of pairwise Δ⁺ implications the DTD induces
+/// (Examples 3.9 / 3.10 list instances of these).
+pub fn implications(dtd: &Dtd) -> Vec<Implication> {
+    let mut out = Vec::new();
+    for (label, mandatory) in mandatory_descendants(dtd) {
+        for m in mandatory {
+            out.push(Implication { if_present: label.clone(), then_present: m });
+        }
+    }
+    for groups in cooccurrence_groups(dtd).values() {
+        for group in groups {
+            for a in group {
+                for b in group {
+                    if a != b {
+                        out.push(Implication {
+                            if_present: a.clone(),
+                            then_present: b.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by(|x, y| {
+        (x.if_present.as_str(), x.then_present.as_str())
+            .cmp(&(y.if_present.as_str(), y.then_present.as_str()))
+    });
+    out.dedup();
+    out
+}
+
+/// Checks an insertion of `forest_xml` under an element labeled
+/// `target_label` against the DTD-derived constraints. `Ok(())` means
+/// the update passes the (necessary, not sufficient) Δ⁺ checks; an
+/// `Err` identifies a certain violation, letting the user "proceed or
+/// reformulate the update".
+pub fn check_insert(
+    dtd: &Dtd,
+    target_label: &str,
+    forest_xml: &str,
+) -> Result<(), SchemaViolation> {
+    let scratch = parse_document(&format!("<dtd-check-root>{forest_xml}</dtd-check-root>"))
+        .map_err(|e: XmlError| SchemaViolation::Malformed(e.to_string()))?;
+    let root = scratch.root().expect("scratch root exists");
+
+    // 1. mandatory descendants, per inserted node
+    let mandatory = mandatory_descendants(dtd);
+    for n in scratch.descendants_or_self(root) {
+        if n == root || !scratch.node(n).is_element() {
+            continue;
+        }
+        let label = scratch.label_name(scratch.node(n).label).to_owned();
+        if let Some(required) = mandatory.get(&label) {
+            for miss in required {
+                if !subtree_contains_label(&scratch, n, miss) {
+                    return Err(SchemaViolation::MissingDescendant {
+                        label,
+                        missing: miss.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    // 2. sibling co-occurrence under the target
+    let top_labels: BTreeSet<String> = scratch
+        .children_of(root)
+        .iter()
+        .filter(|&&c| scratch.node(c).is_element())
+        .map(|&c| scratch.label_name(scratch.node(c).label).to_owned())
+        .collect();
+    if let Some(groups) = cooccurrence_groups(dtd).get(target_label) {
+        for group in groups {
+            let touches = top_labels.iter().any(|l| group.contains(l));
+            if touches {
+                for member in group {
+                    if !top_labels.contains(member) {
+                        return Err(SchemaViolation::MissingSibling {
+                            target: target_label.to_owned(),
+                            label: top_labels
+                                .iter()
+                                .find(|l| group.contains(*l))
+                                .cloned()
+                                .unwrap_or_default(),
+                            missing: member.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn subtree_contains_label(doc: &Document, node: NodeId, label: &str) -> bool {
+    doc.descendants_or_self(node)
+        .into_iter()
+        .skip(1)
+        .any(|n| doc.node(n).is_element() && doc.label_name(doc.node(n).label) == label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{figure_5a, figure_5b};
+
+    /// Example 3.9: inserting <a><b/></a> violates d1 (b needs a c).
+    #[test]
+    fn example_3_9_rejected() {
+        let dtd = figure_5a();
+        let err = check_insert(&dtd, "AS", "<a><b></b></a>").unwrap_err();
+        // detected on `a` (whose transitive requirements include c) —
+        // the same root cause the paper pins on b's missing c
+        assert!(matches!(
+            err,
+            SchemaViolation::MissingDescendant { ref missing, .. } if missing == "c"
+        ));
+        // the repaired update passes
+        assert!(check_insert(&dtd, "AS", "<a><b><c/></b></a>").is_ok());
+    }
+
+    /// Example 3.10: inserting an `a` under d2 without b and c fails.
+    #[test]
+    fn example_3_10_sibling_groups() {
+        let dtd = figure_5b();
+        let err = check_insert(&dtd, "d2", "<a/>").unwrap_err();
+        assert!(matches!(err, SchemaViolation::MissingSibling { .. }));
+        assert!(check_insert(&dtd, "d2", "<a/><b/><c/>").is_ok());
+    }
+
+    #[test]
+    fn implications_match_the_examples() {
+        let d1 = implications(&figure_5a());
+        assert!(d1
+            .iter()
+            .any(|i| i.if_present == "b" && i.then_present == "c"), "{d1:?}");
+        let d2 = implications(&figure_5b());
+        assert!(d2.iter().any(|i| i.if_present == "a" && i.then_present == "b"));
+        assert!(d2.iter().any(|i| i.if_present == "a" && i.then_present == "c"));
+        // display form
+        assert!(d2[0].to_string().contains("≠ ∅"));
+    }
+
+    #[test]
+    fn malformed_fragment_is_reported() {
+        let dtd = figure_5a();
+        assert!(matches!(
+            check_insert(&dtd, "AS", "<a><b></a>"),
+            Err(SchemaViolation::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unconstrained_labels_pass() {
+        let dtd = figure_5a();
+        assert!(check_insert(&dtd, "c", "<unknown/>").is_ok());
+    }
+}

@@ -1,0 +1,274 @@
+//! DTDs as extended context-free grammars (Figure 5) and their
+//! textual syntax.
+//!
+//! ```text
+//! dtd   := rule+
+//! rule  := name "->" rx
+//! rx    := alt
+//! alt   := seq ("|" seq)*
+//! seq   := rep ("," rep)*
+//! rep   := atom ("*" | "+" | "?")?
+//! atom  := name | "(" rx ")" | "()"          ("()" is ε)
+//! ```
+//!
+//! Symbols with a rule whose name starts with an uppercase letter are
+//! treated as *non-terminals* (the `AS`, `BS` of Figure 5); everything
+//! else is an element label.
+
+use crate::regex::Rx;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed DTD.
+#[derive(Debug, Clone, Default)]
+pub struct Dtd {
+    pub rules: HashMap<String, Rx>,
+    /// Rule names in declaration order; the first is the start symbol.
+    pub order: Vec<String>,
+}
+
+impl Dtd {
+    pub fn start(&self) -> Option<&str> {
+        self.order.first().map(|s| s.as_str())
+    }
+
+    pub fn rule(&self, symbol: &str) -> Option<&Rx> {
+        self.rules.get(symbol)
+    }
+
+    /// Non-terminals: rule names starting with an uppercase letter.
+    pub fn is_nonterminal(&self, symbol: &str) -> bool {
+        self.rules.contains_key(symbol)
+            && symbol.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+    }
+
+    /// Element labels: rule names that are not non-terminals.
+    pub fn element_labels(&self) -> Vec<&str> {
+        self.order.iter().filter(|s| !self.is_nonterminal(s)).map(|s| s.as_str()).collect()
+    }
+}
+
+/// DTD syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DtdParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for DtdParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dtd parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DtdParseError {}
+
+/// Parses one rule per line; blank lines and `#` comments are skipped.
+pub fn parse_dtd(input: &str) -> Result<Dtd, DtdParseError> {
+    let mut dtd = Dtd::default();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, rhs) = line.split_once("->").ok_or_else(|| DtdParseError {
+            line: lineno + 1,
+            message: "expected 'name -> rx'".into(),
+        })?;
+        let name = name.trim().to_owned();
+        let rx = parse_rx(rhs.trim()).map_err(|message| DtdParseError {
+            line: lineno + 1,
+            message,
+        })?;
+        if dtd.rules.insert(name.clone(), rx).is_none() {
+            dtd.order.push(name);
+        }
+    }
+    Ok(dtd)
+}
+
+fn parse_rx(input: &str) -> Result<Rx, String> {
+    let mut p = RxParser { bytes: input.as_bytes(), pos: 0 };
+    let rx = p.alt()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(format!("trailing input at byte {}", p.pos));
+    }
+    Ok(rx)
+}
+
+struct RxParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RxParser<'a> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn alt(&mut self) -> Result<Rx, String> {
+        let mut parts = vec![self.seq()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'|') {
+                self.pos += 1;
+                self.skip_ws();
+                // a trailing `|` (Figure 5's `x |` notation) means "or ε"
+                if self.peek().is_none() || self.peek() == Some(b')') {
+                    parts.push(Rx::Epsilon);
+                } else {
+                    parts.push(self.seq()?);
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Rx::Alt(parts) })
+    }
+
+    fn seq(&mut self) -> Result<Rx, String> {
+        let mut parts = vec![self.rep()?];
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b',') {
+                self.pos += 1;
+                parts.push(self.rep()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Rx::Seq(parts) })
+    }
+
+    fn rep(&mut self) -> Result<Rx, String> {
+        let atom = self.atom()?;
+        self.skip_ws();
+        Ok(match self.peek() {
+            Some(b'*') => {
+                self.pos += 1;
+                Rx::Star(Box::new(atom))
+            }
+            Some(b'+') => {
+                self.pos += 1;
+                Rx::Plus(Box::new(atom))
+            }
+            Some(b'?') => {
+                self.pos += 1;
+                Rx::Opt(Box::new(atom))
+            }
+            _ => atom,
+        })
+    }
+
+    fn atom(&mut self) -> Result<Rx, String> {
+        self.skip_ws();
+        if self.peek() == Some(b'(') {
+            self.pos += 1;
+            self.skip_ws();
+            if self.peek() == Some(b')') {
+                self.pos += 1;
+                return Ok(Rx::Epsilon);
+            }
+            let inner = self.alt()?;
+            self.skip_ws();
+            if self.peek() != Some(b')') {
+                return Err("expected ')'".into());
+            }
+            self.pos += 1;
+            return Ok(inner);
+        }
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected a symbol at byte {}", self.pos));
+        }
+        Ok(Rx::Symbol(
+            std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_owned(),
+        ))
+    }
+}
+
+/// The DTD `d1` of Figure 5(a).
+pub fn figure_5a() -> Dtd {
+    parse_dtd(
+        "d1 -> AS\n\
+         AS -> a+\n\
+         a -> BS\n\
+         BS -> b+\n\
+         b -> c\n\
+         c -> ()",
+    )
+    .expect("figure 5a is well-formed")
+}
+
+/// The DTD `d2` of Figure 5(b).
+pub fn figure_5b() -> Dtd {
+    parse_dtd(
+        "d2 -> (a, b, c)+\n\
+         a -> BS\n\
+         BS -> x |\n\
+         x -> x |\n\
+         b -> ()\n\
+         c -> ()",
+    )
+    .expect("figure 5b is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_figure_5a() {
+        let d = figure_5a();
+        assert_eq!(d.start(), Some("d1"));
+        assert!(d.is_nonterminal("AS"));
+        assert!(!d.is_nonterminal("a"));
+        assert_eq!(d.rule("b"), Some(&Rx::sym("c")));
+        assert_eq!(d.rule("c"), Some(&Rx::Epsilon));
+    }
+
+    #[test]
+    fn parse_figure_5b() {
+        let d = figure_5b();
+        let d2 = d.rule("d2").unwrap();
+        assert_eq!(d2.to_string(), "(a, b, c)+");
+        // BS -> x |  (alternation with ε)
+        assert!(d.rule("BS").unwrap().nullable());
+        assert!(d.rule("x").unwrap().nullable());
+    }
+
+    #[test]
+    fn element_labels_exclude_nonterminals() {
+        let d = figure_5a();
+        let labels = d.element_labels();
+        assert!(labels.contains(&"a"));
+        assert!(labels.contains(&"b"));
+        assert!(!labels.contains(&"AS"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_dtd("oops").is_err());
+        assert!(parse_dtd("a -> (b").is_err());
+        assert!(parse_dtd("a -> b,, c").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let d = parse_dtd("# a comment\n\na -> b?\n").unwrap();
+        assert_eq!(d.order, vec!["a"]);
+    }
+}

@@ -1,0 +1,21 @@
+//! DTDs as extended context-free grammars, and the runtime
+//! schema-violation checks of Section 3.3.
+//!
+//! A DTD is a set of rules `symbol → regular expression` over
+//! terminals (element labels) and non-terminals (Figure 5). From the
+//! rules we derive constraints on the Δ⁺ tables of an insertion —
+//! e.g. Example 3.9's `Δ⁺_c = ∅ ⇒ Δ⁺_b = ∅` (every inserted `b`
+//! requires a `c` below it) and Example 3.10's
+//! `Δ⁺_a ≠ ∅ ⇒ Δ⁺_b ≠ ∅ ∧ Δ⁺_c ≠ ∅` (siblings grouped under a
+//! repetition must be inserted together) — and check them before an
+//! update is applied.
+
+pub mod analysis;
+pub mod check;
+pub mod grammar;
+pub mod regex;
+
+pub use analysis::{cooccurrence_groups, mandatory_descendants};
+pub use check::{check_insert, implications, Implication, SchemaViolation};
+pub use grammar::{parse_dtd, Dtd};
+pub use regex::Rx;

@@ -1,0 +1,197 @@
+//! Regular expressions over grammar symbols (the right-hand sides of
+//! DTD rules).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A regular expression over symbol names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rx {
+    /// ε — the empty word.
+    Epsilon,
+    /// A terminal or non-terminal symbol.
+    Symbol(String),
+    /// Concatenation.
+    Seq(Vec<Rx>),
+    /// Alternation.
+    Alt(Vec<Rx>),
+    /// Zero or more.
+    Star(Box<Rx>),
+    /// One or more.
+    Plus(Box<Rx>),
+    /// Zero or one.
+    Opt(Box<Rx>),
+}
+
+impl Rx {
+    pub fn sym(s: &str) -> Rx {
+        Rx::Symbol(s.to_owned())
+    }
+
+    /// Symbols that occur in *every* word of the language — the
+    /// "required" symbols driving the mandatory-descendant analysis.
+    pub fn required_symbols(&self) -> BTreeSet<String> {
+        match self {
+            Rx::Epsilon => BTreeSet::new(),
+            Rx::Symbol(s) => BTreeSet::from([s.clone()]),
+            Rx::Seq(parts) => {
+                let mut out = BTreeSet::new();
+                for p in parts {
+                    out.extend(p.required_symbols());
+                }
+                out
+            }
+            Rx::Alt(parts) => {
+                let mut iter = parts.iter().map(Rx::required_symbols);
+                match iter.next() {
+                    None => BTreeSet::new(),
+                    Some(first) => {
+                        iter.fold(first, |acc, s| acc.intersection(&s).cloned().collect())
+                    }
+                }
+            }
+            Rx::Star(_) | Rx::Opt(_) => BTreeSet::new(),
+            Rx::Plus(inner) => inner.required_symbols(),
+        }
+    }
+
+    /// All symbols mentioned anywhere in the expression.
+    pub fn all_symbols(&self) -> BTreeSet<String> {
+        match self {
+            Rx::Epsilon => BTreeSet::new(),
+            Rx::Symbol(s) => BTreeSet::from([s.clone()]),
+            Rx::Seq(parts) | Rx::Alt(parts) => {
+                parts.iter().flat_map(Rx::all_symbols).collect()
+            }
+            Rx::Star(inner) | Rx::Plus(inner) | Rx::Opt(inner) => inner.all_symbols(),
+        }
+    }
+
+    /// Can the expression produce the empty word?
+    pub fn nullable(&self) -> bool {
+        match self {
+            Rx::Epsilon => true,
+            Rx::Symbol(_) => false,
+            Rx::Seq(parts) => parts.iter().all(Rx::nullable),
+            Rx::Alt(parts) => parts.iter().any(Rx::nullable),
+            Rx::Star(_) | Rx::Opt(_) => true,
+            Rx::Plus(inner) => inner.nullable(),
+        }
+    }
+
+    /// Repeated groups: required-symbol sets of `+`/`*` sub-expressions
+    /// with at least two members. Adding one more instance of such a
+    /// group forces its other members along — the basis of
+    /// Example 3.10's sibling constraints.
+    pub fn repeated_groups(&self) -> Vec<BTreeSet<String>> {
+        let mut out = Vec::new();
+        self.collect_repeated(&mut out);
+        out
+    }
+
+    fn collect_repeated(&self, out: &mut Vec<BTreeSet<String>>) {
+        match self {
+            Rx::Star(inner) | Rx::Plus(inner) => {
+                let req = inner.required_symbols();
+                if req.len() > 1 {
+                    out.push(req);
+                }
+                inner.collect_repeated(out);
+            }
+            Rx::Seq(parts) | Rx::Alt(parts) => {
+                for p in parts {
+                    p.collect_repeated(out);
+                }
+            }
+            Rx::Opt(inner) => inner.collect_repeated(out),
+            Rx::Epsilon | Rx::Symbol(_) => {}
+        }
+    }
+}
+
+impl fmt::Display for Rx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rx::Epsilon => write!(f, "()"),
+            Rx::Symbol(s) => write!(f, "{s}"),
+            Rx::Seq(p) => {
+                write!(f, "(")?;
+                for (i, x) in p.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Rx::Alt(p) => {
+                write!(f, "(")?;
+                for (i, x) in p.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Rx::Star(x) => write!(f, "{x}*"),
+            Rx::Plus(x) => write!(f, "{x}+"),
+            Rx::Opt(x) => write!(f, "{x}?"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn required_of_seq_and_alt() {
+        // (a, b) requires both; (a | b) requires none; (a | a, b)
+        // requires a.
+        let seq = Rx::Seq(vec![Rx::sym("a"), Rx::sym("b")]);
+        assert_eq!(seq.required_symbols(), set(&["a", "b"]));
+        let alt = Rx::Alt(vec![Rx::sym("a"), Rx::sym("b")]);
+        assert!(alt.required_symbols().is_empty());
+        let mixed = Rx::Alt(vec![
+            Rx::sym("a"),
+            Rx::Seq(vec![Rx::sym("a"), Rx::sym("b")]),
+        ]);
+        assert_eq!(mixed.required_symbols(), set(&["a"]));
+    }
+
+    #[test]
+    fn required_through_repetition() {
+        // a+ requires a; a* requires nothing; a? requires nothing.
+        assert_eq!(Rx::Plus(Box::new(Rx::sym("a"))).required_symbols(), set(&["a"]));
+        assert!(Rx::Star(Box::new(Rx::sym("a"))).required_symbols().is_empty());
+        assert!(Rx::Opt(Box::new(Rx::sym("a"))).required_symbols().is_empty());
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(Rx::Epsilon.nullable());
+        assert!(!Rx::sym("a").nullable());
+        assert!(Rx::Alt(vec![Rx::sym("a"), Rx::Epsilon]).nullable());
+        assert!(!Rx::Plus(Box::new(Rx::sym("a"))).nullable());
+    }
+
+    #[test]
+    fn repeated_groups_of_figure_5b() {
+        // d2 → (a, b, c)+ : one group {a, b, c}
+        let rx = Rx::Plus(Box::new(Rx::Seq(vec![Rx::sym("a"), Rx::sym("b"), Rx::sym("c")])));
+        assert_eq!(rx.repeated_groups(), vec![set(&["a", "b", "c"])]);
+        // b+ : no multi-symbol group
+        assert!(Rx::Plus(Box::new(Rx::sym("b"))).repeated_groups().is_empty());
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let rx = Rx::Plus(Box::new(Rx::Seq(vec![Rx::sym("a"), Rx::sym("b")])));
+        assert_eq!(rx.to_string(), "(a, b)+");
+    }
+}

@@ -1,0 +1,30 @@
+//! Full view recomputation — the baseline the incremental algorithms
+//! are compared against in Figures 26–27.
+
+use xivm_core::ViewStore;
+use xivm_pattern::compile::view_tuples;
+use xivm_pattern::TreePattern;
+use xivm_xml::Document;
+
+/// Evaluates the view from scratch over the (already updated)
+/// document and builds a fresh store.
+pub fn recompute_store(doc: &Document, pattern: &TreePattern) -> ViewStore {
+    ViewStore::from_counted(pattern, view_tuples(doc, pattern))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xivm_pattern::parse_pattern;
+    use xivm_xml::parse_document;
+
+    #[test]
+    fn recompute_equals_initial_materialization() {
+        let d = parse_document("<a><b/><b><c/></b></a>").unwrap();
+        let p = parse_pattern("//a{id}//b{id}").unwrap();
+        let s1 = recompute_store(&d, &p);
+        let s2 = recompute_store(&d, &p);
+        assert!(s1.same_content_as(&s2));
+        assert_eq!(s1.len(), 2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Embedding-based reference evaluation.
+//!
+//! The customary tree-embedding semantics of tree patterns
+//! [Amer-Yahia et al. 2002], implemented naively: enumerate all
+//! functions from pattern nodes to document nodes that respect labels,
+//! edges and value predicates. Used as the *oracle* against which the
+//! algebraic evaluation ([`crate::compile`]) and the incremental
+//! maintenance engine are tested — the paper states both semantics are
+//! equivalent (Section 2.2).
+
+use crate::pattern::{NodeTest, PatternNodeId, TreePattern};
+use xivm_algebra::Axis;
+use xivm_xml::{Document, NodeId, NodeKind};
+
+/// All embeddings of `pattern` into `doc`, each as a vector of document
+/// nodes indexed by the pattern's pre-order positions.
+pub fn embeddings(doc: &Document, pattern: &TreePattern) -> Vec<Vec<NodeId>> {
+    let Some(root) = doc.root() else {
+        return Vec::new();
+    };
+    let order = pattern.preorder();
+    let proot = pattern.root();
+    let root_candidates: Vec<NodeId> = if pattern.node(proot).edge == Axis::Child {
+        // anchored at the document root
+        if node_matches(doc, root, pattern, proot) {
+            vec![root]
+        } else {
+            Vec::new()
+        }
+    } else {
+        doc.descendants_or_self(root)
+            .into_iter()
+            .filter(|&n| node_matches(doc, n, pattern, proot))
+            .collect()
+    };
+
+    let mut out = Vec::new();
+    for rc in root_candidates {
+        let mut assignment: Vec<Option<NodeId>> = vec![None; order.len()];
+        assignment[0] = Some(rc);
+        extend(doc, pattern, &order, 1, &mut assignment, &mut out);
+    }
+    out
+}
+
+fn extend(
+    doc: &Document,
+    pattern: &TreePattern,
+    order: &[PatternNodeId],
+    pos: usize,
+    assignment: &mut Vec<Option<NodeId>>,
+    out: &mut Vec<Vec<NodeId>>,
+) {
+    if pos == order.len() {
+        out.push(assignment.iter().map(|a| a.expect("complete assignment")).collect());
+        return;
+    }
+    let pnode = order[pos];
+    let parent = pattern.node(pnode).parent.expect("non-root");
+    let parent_pos = order.iter().position(|&n| n == parent).expect("parent before child");
+    let anchor = assignment[parent_pos].expect("parent assigned");
+    let axis = pattern.node(pnode).edge;
+    let candidates: Vec<NodeId> = match axis {
+        Axis::Child => doc.children_of(anchor).to_vec(),
+        Axis::Descendant => {
+            doc.descendants_or_self(anchor).into_iter().filter(|&n| n != anchor).collect()
+        }
+    };
+    for c in candidates {
+        if node_matches(doc, c, pattern, pnode) {
+            assignment[pos] = Some(c);
+            extend(doc, pattern, order, pos + 1, assignment, out);
+            assignment[pos] = None;
+        }
+    }
+}
+
+fn node_matches(doc: &Document, n: NodeId, pattern: &TreePattern, pnode: PatternNodeId) -> bool {
+    let p = pattern.node(pnode);
+    let node = doc.node(n);
+    let label_ok = match &p.test {
+        NodeTest::Name(name) => {
+            (node.kind == NodeKind::Element || node.kind == NodeKind::Attribute)
+                && doc.label_name(node.label) == name
+        }
+        NodeTest::Wildcard => node.kind == NodeKind::Element,
+    };
+    if !label_ok {
+        return false;
+    }
+    match &p.val_pred {
+        Some(v) => doc.value(n) == *v,
+        None => true,
+    }
+}
+
+/// View tuples via embeddings: project each embedding onto stored
+/// nodes, then collapse duplicates counting multiplicity — the
+/// embedding-side definition of the derivation count.
+pub fn view_tuples_by_embedding(
+    doc: &Document,
+    pattern: &TreePattern,
+) -> Vec<(Vec<xivm_xml::DeweyId>, u64)> {
+    let order = pattern.preorder();
+    let stored = pattern.stored_nodes();
+    let cols: Vec<usize> =
+        stored.iter().map(|&s| order.iter().position(|&n| n == s).unwrap()).collect();
+    let mut counted: Vec<(Vec<xivm_xml::DeweyId>, u64)> = Vec::new();
+    for emb in embeddings(doc, pattern) {
+        let key: Vec<_> = cols.iter().map(|&c| doc.dewey(emb[c])).collect();
+        match counted.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, c)) => *c += 1,
+            None => counted.push((key, 1)),
+        }
+    }
+    counted.sort_by(|a, b| {
+        for (x, y) in a.0.iter().zip(b.0.iter()) {
+            let c = x.doc_cmp(y);
+            if c.is_ne() {
+                return c;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    counted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::view_tuples;
+    use crate::parse_pattern::parse_pattern;
+    use xivm_xml::parse_document;
+
+    fn assert_semantics_agree(xml: &str, pat: &str) {
+        let d = parse_document(xml).unwrap();
+        let p = parse_pattern(pat).unwrap();
+        let algebraic: Vec<(Vec<_>, u64)> =
+            view_tuples(&d, &p).into_iter().map(|(t, c)| (t.id_key(), c)).collect();
+        let by_embedding = view_tuples_by_embedding(&d, &p);
+        assert_eq!(algebraic, by_embedding, "xml={xml} pattern={pat}");
+    }
+
+    #[test]
+    fn simple_chain_agrees() {
+        assert_semantics_agree("<a><b><c/></b><b/></a>", "//a{id}//b{id}");
+        assert_semantics_agree("<a><b><c/></b><b/></a>", "//a{id}/b{id}/c{id}");
+    }
+
+    #[test]
+    fn branches_agree() {
+        assert_semantics_agree(
+            "<a><c><b/><b/></c><f><c><b/></c><b/></f></a>",
+            "//a{id}[//c{id}]//b{id}",
+        );
+        assert_semantics_agree(
+            "<a><c><b/><b/></c><f><c><b/></c><b/></f></a>",
+            "//a{id}[//c]//b{id}",
+        );
+    }
+
+    #[test]
+    fn value_predicates_agree() {
+        assert_semantics_agree("<r><a>5<b/></a><a>3<b/></a></r>", "//a[val=\"5\"]//b{id}");
+    }
+
+    #[test]
+    fn nested_same_label_agrees() {
+        // recursive nesting of the same label stresses // matching
+        assert_semantics_agree("<a><a><b/><a><b/></a></a></a>", "//a{id}//b{id}");
+        assert_semantics_agree("<a><a><b/><a><b/></a></a></a>", "//a{id}//a{id}//b{id}");
+    }
+
+    #[test]
+    fn anchored_vs_floating_agree() {
+        assert_semantics_agree("<site><site><x/></site><x/></site>", "/site{id}/x{id}");
+        assert_semantics_agree("<site><site><x/></site><x/></site>", "//site{id}/x{id}");
+    }
+
+    #[test]
+    fn wildcards_agree() {
+        assert_semantics_agree("<r><x><i/></x><y><i/></y></r>", "/r{id}/*{id}/i{id}");
+    }
+
+    #[test]
+    fn empty_document_has_no_embeddings() {
+        let d = xivm_xml::Document::new();
+        let p = parse_pattern("//a{id}").unwrap();
+        assert!(embeddings(&d, &p).is_empty());
+    }
+}

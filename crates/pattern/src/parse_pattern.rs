@@ -1,0 +1,258 @@
+//! Compact textual syntax for tree patterns.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! pattern := step
+//! step    := ('/' | '//') test ann? vpred? branch* step?
+//! test    := name | '@' name | '*'
+//! ann     := '{' item (',' item)* '}'     item ∈ {id, val, cont}
+//! vpred   := '[val=' '"' chars '"' ']'
+//! branch  := '[' step ']'
+//! ```
+//!
+//! Examples: `//a{id}//b{id}`, `//a[val="5"]//b{id}`,
+//! `/site/people/person{id}[/@id]/name{id,val}`.
+
+use crate::pattern::{Annotations, NodeTest, PatternNodeId, TreePattern};
+use std::fmt;
+use xivm_algebra::Axis;
+
+/// Pattern syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for PatternParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern parse error at {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for PatternParseError {}
+
+/// Parses the compact pattern syntax into a [`TreePattern`].
+pub fn parse_pattern(input: &str) -> Result<TreePattern, PatternParseError> {
+    let mut p = Parser { bytes: input.trim().as_bytes(), pos: 0 };
+    let (axis, test) = p.axis_and_test()?;
+    let mut pattern = TreePattern::new(test);
+    // The root's incoming edge encodes whether the pattern is anchored
+    // at the document root (`/site…`) or floats (`//a…`).
+    pattern.set_root_edge(axis);
+    let root = pattern.root();
+    p.node_suffix(&mut pattern, root)?;
+    p.steps(&mut pattern, root)?;
+    if !p.at_end() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(pattern)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn err(&self, m: &str) -> PatternParseError {
+        PatternParseError { offset: self.pos, message: m.to_owned() }
+    }
+
+    fn axis(&mut self) -> Result<Axis, PatternParseError> {
+        if self.starts_with("//") {
+            self.pos += 2;
+            Ok(Axis::Descendant)
+        } else if self.peek() == Some(b'/') {
+            self.pos += 1;
+            Ok(Axis::Child)
+        } else {
+            Err(self.err("expected '/' or '//'"))
+        }
+    }
+
+    fn axis_and_test(&mut self) -> Result<(Axis, NodeTest), PatternParseError> {
+        let axis = self.axis()?;
+        let test = self.test()?;
+        Ok((axis, test))
+    }
+
+    fn test(&mut self) -> Result<NodeTest, PatternParseError> {
+        match self.peek() {
+            Some(b'*') => {
+                self.pos += 1;
+                Ok(NodeTest::Wildcard)
+            }
+            Some(b'@') => {
+                self.pos += 1;
+                let n = self.name()?;
+                Ok(NodeTest::Name(format!("@{n}")))
+            }
+            _ => Ok(NodeTest::Name(self.name()?)),
+        }
+    }
+
+    fn name(&mut self) -> Result<String, PatternParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a label"));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_owned())
+    }
+
+    /// Annotations, value predicate and branches of the current node.
+    fn node_suffix(
+        &mut self,
+        pattern: &mut TreePattern,
+        node: PatternNodeId,
+    ) -> Result<(), PatternParseError> {
+        if self.peek() == Some(b'{') {
+            self.pos += 1;
+            let mut ann = Annotations::NONE;
+            loop {
+                let item = self.name()?;
+                match item.as_str() {
+                    "id" => ann.id = true,
+                    "val" => ann.val = true,
+                    "cont" => ann.cont = true,
+                    other => return Err(self.err(&format!("unknown annotation '{other}'"))),
+                }
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(self.err("expected ',' or '}'")),
+                }
+            }
+            pattern.annotate(node, ann);
+        }
+        if self.starts_with("[val=") {
+            self.pos += 5;
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected '\"' after [val="));
+            }
+            self.pos += 1;
+            let start = self.pos;
+            while self.peek() != Some(b'"') {
+                if self.at_end() {
+                    return Err(self.err("unterminated value predicate"));
+                }
+                self.pos += 1;
+            }
+            let value = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_owned();
+            self.pos += 1;
+            if self.peek() != Some(b']') {
+                return Err(self.err("expected ']' after value predicate"));
+            }
+            self.pos += 1;
+            pattern.set_val_pred(node, value);
+        }
+        // branches
+        while self.peek() == Some(b'[') {
+            self.pos += 1;
+            let (axis, test) = self.axis_and_test()?;
+            let child = pattern.add_child(node, axis, test);
+            self.node_suffix(pattern, child)?;
+            self.steps(pattern, child)?;
+            if self.peek() != Some(b']') {
+                return Err(self.err("expected ']' to close branch"));
+            }
+            self.pos += 1;
+        }
+        Ok(())
+    }
+
+    /// Continuation of the main path under `node`.
+    fn steps(
+        &mut self,
+        pattern: &mut TreePattern,
+        node: PatternNodeId,
+    ) -> Result<(), PatternParseError> {
+        let mut cur = node;
+        while !self.at_end() && self.peek() == Some(b'/') {
+            let (axis, test) = self.axis_and_test()?;
+            let child = pattern.add_child(cur, axis, test);
+            self.node_suffix(pattern, child)?;
+            cur = child;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_chain() {
+        let p = parse_pattern("//a{id}//b{id}//c{id}").unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.to_text(), "//a{id}//b{id}//c{id}");
+    }
+
+    #[test]
+    fn parse_branches_and_predicates() {
+        let p = parse_pattern("//a{id}[//b//c]//d{id,cont}").unwrap();
+        assert_eq!(p.len(), 4);
+        let root = p.root();
+        assert_eq!(p.node(root).children.len(), 2);
+        let d = *p.node(root).children.last().unwrap();
+        assert!(p.node(d).ann.cont);
+        assert_eq!(p.to_text(), "//a{id}[//b//c]//d{id,cont}");
+    }
+
+    #[test]
+    fn parse_value_predicate() {
+        let p = parse_pattern("//a[val=\"5\"]//b{id}").unwrap();
+        assert_eq!(p.node(p.root()).val_pred.as_deref(), Some("5"));
+        assert_eq!(p.to_text(), "//a[val=\"5\"]//b{id}");
+    }
+
+    #[test]
+    fn parse_child_edges_attributes_wildcards() {
+        let p = parse_pattern("/site{id}/regions/*{id}/item{id}[/@id{id,val}]").unwrap();
+        assert_eq!(p.len(), 5);
+        let order = p.preorder();
+        let names: Vec<_> = order.iter().map(|&n| p.node(n).base_label()).collect();
+        assert_eq!(names, vec!["site", "regions", "*", "item", "@id"]);
+        assert_eq!(p.node(order[4]).edge, Axis::Child);
+    }
+
+    #[test]
+    fn roundtrip_nested_branches() {
+        let src = "//a{id}[//b[//x]//c]//d{id}";
+        let p = parse_pattern(src).unwrap();
+        assert_eq!(p.to_text(), src);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_pattern("a//b").is_err());
+        assert!(parse_pattern("//a{bogus}").is_err());
+        assert!(parse_pattern("//a[//b").is_err());
+        assert!(parse_pattern("//a]").is_err());
+        assert!(parse_pattern("//a[val=5]").is_err());
+    }
+}

@@ -1,0 +1,346 @@
+//! The tree pattern dialect **P** (Section 2.2).
+
+use xivm_algebra::Axis;
+
+/// Index of a node within its [`TreePattern`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatternNodeId(pub usize);
+
+impl PatternNodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What a pattern node matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// An element (or, with a leading `@`, an attribute) label.
+    Name(String),
+    /// `*` — any element.
+    Wildcard,
+}
+
+impl NodeTest {
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            NodeTest::Name(n) => Some(n),
+            NodeTest::Wildcard => None,
+        }
+    }
+}
+
+/// The stored-attribute annotations of a pattern node: which items the
+/// view materializes for each matching XML node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Annotations {
+    pub id: bool,
+    pub val: bool,
+    pub cont: bool,
+}
+
+impl Annotations {
+    pub const NONE: Annotations = Annotations { id: false, val: false, cont: false };
+    pub const ID: Annotations = Annotations { id: true, val: false, cont: false };
+
+    pub fn any(self) -> bool {
+        self.id || self.val || self.cont
+    }
+
+    /// val or cont — the node belongs to the paper's `cvn` set
+    /// (content-or-value nodes, Algorithm 4).
+    pub fn stores_text(self) -> bool {
+        self.val || self.cont
+    }
+
+    pub fn union(self, other: Annotations) -> Annotations {
+        Annotations {
+            id: self.id || other.id,
+            val: self.val || other.val,
+            cont: self.cont || other.cont,
+        }
+    }
+}
+
+/// One node of a tree pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternNode {
+    pub test: NodeTest,
+    /// Edge from the parent: `/` ([`Axis::Child`]) or `//`
+    /// ([`Axis::Descendant`]). Meaningless for the root.
+    pub edge: Axis,
+    pub ann: Annotations,
+    /// Optional `[val = c]` value predicate.
+    pub val_pred: Option<String>,
+    pub parent: Option<PatternNodeId>,
+    pub children: Vec<PatternNodeId>,
+    /// Unique column name ("label", or "label#k" on repeated labels).
+    pub name: String,
+}
+
+/// A rooted tree pattern. Node 0 is the root; nodes are stored in
+/// insertion (pre-order if built top-down) order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreePattern {
+    nodes: Vec<PatternNode>,
+}
+
+impl TreePattern {
+    /// Creates a pattern with only a root node.
+    pub fn new(root_test: NodeTest) -> Self {
+        let name = Self::fresh_name(&[], &root_test);
+        TreePattern {
+            nodes: vec![PatternNode {
+                test: root_test,
+                edge: Axis::Descendant,
+                ann: Annotations::NONE,
+                val_pred: None,
+                parent: None,
+                children: Vec::new(),
+                name,
+            }],
+        }
+    }
+
+    pub fn root(&self) -> PatternNodeId {
+        PatternNodeId(0)
+    }
+
+    /// Adds a child under `parent` via the given edge.
+    pub fn add_child(
+        &mut self,
+        parent: PatternNodeId,
+        edge: Axis,
+        test: NodeTest,
+    ) -> PatternNodeId {
+        let name = Self::fresh_name(&self.nodes, &test);
+        let id = PatternNodeId(self.nodes.len());
+        self.nodes.push(PatternNode {
+            test,
+            edge,
+            ann: Annotations::NONE,
+            val_pred: None,
+            parent: Some(parent),
+            children: Vec::new(),
+            name,
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    fn fresh_name(existing: &[PatternNode], test: &NodeTest) -> String {
+        let base = match test {
+            NodeTest::Name(n) => n.clone(),
+            NodeTest::Wildcard => "*".to_owned(),
+        };
+        let dups = existing.iter().filter(|n| n.base_label() == base).count();
+        if dups == 0 {
+            base
+        } else {
+            format!("{base}#{dups}")
+        }
+    }
+
+    /// Sets the root's incoming edge: [`Axis::Child`] anchors the
+    /// pattern at the document root (`/site…`); [`Axis::Descendant`]
+    /// (the default) lets the root match anywhere (`//a…`).
+    pub fn set_root_edge(&mut self, axis: Axis) {
+        self.nodes[0].edge = axis;
+    }
+
+    pub fn annotate(&mut self, node: PatternNodeId, ann: Annotations) {
+        self.nodes[node.index()].ann = self.nodes[node.index()].ann.union(ann);
+    }
+
+    pub fn set_val_pred(&mut self, node: PatternNodeId, value: impl Into<String>) {
+        self.nodes[node.index()].val_pred = Some(value.into());
+    }
+
+    pub fn node(&self, id: PatternNodeId) -> &PatternNode {
+        &self.nodes[id.index()]
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // a pattern always has a root
+    }
+
+    pub fn node_ids(&self) -> impl Iterator<Item = PatternNodeId> {
+        (0..self.nodes.len()).map(PatternNodeId)
+    }
+
+    /// Nodes annotated with `val` or `cont` — the `cvn` set of
+    /// Algorithm 4 (PIMT) / Algorithm 6 (PDDT/MT).
+    pub fn cvn(&self) -> Vec<PatternNodeId> {
+        self.node_ids().filter(|&n| self.node(n).ann.stores_text()).collect()
+    }
+
+    /// Nodes with at least one stored attribute, in pattern order —
+    /// the columns of the materialized view.
+    pub fn stored_nodes(&self) -> Vec<PatternNodeId> {
+        self.node_ids().filter(|&n| self.node(n).ann.any()).collect()
+    }
+
+    /// True iff `anc` is a proper ancestor of `desc` in the pattern.
+    pub fn is_ancestor(&self, anc: PatternNodeId, desc: PatternNodeId) -> bool {
+        let mut cur = self.node(desc).parent;
+        while let Some(p) = cur {
+            if p == anc {
+                return true;
+            }
+            cur = self.node(p).parent;
+        }
+        false
+    }
+
+    /// Pre-order node ids (root first, children in declaration order).
+    pub fn preorder(&self) -> Vec<PatternNodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root()];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &c in self.node(n).children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Renders the pattern in the compact textual syntax accepted by
+    /// [`crate::parse_pattern`].
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.write_node(self.root(), &mut out);
+        out
+    }
+
+    fn write_node(&self, id: PatternNodeId, out: &mut String) {
+        let n = self.node(id);
+        out.push_str(match n.edge {
+            Axis::Child => "/",
+            Axis::Descendant => "//",
+        });
+        out.push_str(match &n.test {
+            NodeTest::Name(l) => l,
+            NodeTest::Wildcard => "*",
+        });
+        if n.ann.any() {
+            let mut parts = Vec::new();
+            if n.ann.id {
+                parts.push("id");
+            }
+            if n.ann.val {
+                parts.push("val");
+            }
+            if n.ann.cont {
+                parts.push("cont");
+            }
+            out.push('{');
+            out.push_str(&parts.join(","));
+            out.push('}');
+        }
+        if let Some(v) = &n.val_pred {
+            out.push_str("[val=\"");
+            out.push_str(v);
+            out.push_str("\"]");
+        }
+        let kids = &n.children;
+        if kids.is_empty() {
+            return;
+        }
+        // all but the last child render as branches; the last continues
+        // the main path, matching the usual XPath-like reading
+        for &c in &kids[..kids.len() - 1] {
+            out.push('[');
+            self.write_node(c, out);
+            out.push(']');
+        }
+        self.write_node(kids[kids.len() - 1], out);
+    }
+}
+
+impl PatternNode {
+    /// Label without disambiguation suffix.
+    pub fn base_label(&self) -> String {
+        match &self.test {
+            NodeTest::Name(n) => n.clone(),
+            NodeTest::Wildcard => "*".to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abcd() -> TreePattern {
+        // //a[//b//c]//d  (the view of Figure 6)
+        let mut p = TreePattern::new(NodeTest::Name("a".into()));
+        let b = p.add_child(p.root(), Axis::Descendant, NodeTest::Name("b".into()));
+        let _c = p.add_child(b, Axis::Descendant, NodeTest::Name("c".into()));
+        let d = p.add_child(p.root(), Axis::Descendant, NodeTest::Name("d".into()));
+        p.annotate(d, Annotations::ID);
+        p
+    }
+
+    #[test]
+    fn construction_and_structure() {
+        let p = abcd();
+        assert_eq!(p.len(), 4);
+        let root = p.root();
+        assert_eq!(p.node(root).children.len(), 2);
+        let b = p.node(root).children[0];
+        let c = p.node(b).children[0];
+        assert!(p.is_ancestor(root, c));
+        assert!(p.is_ancestor(b, c));
+        assert!(!p.is_ancestor(c, b));
+    }
+
+    #[test]
+    fn preorder_visits_root_first() {
+        let p = abcd();
+        let order = p.preorder();
+        assert_eq!(order[0], p.root());
+        assert_eq!(order.len(), 4);
+        // a, b, c, d
+        let names: Vec<_> = order.iter().map(|&n| p.node(n).name.clone()).collect();
+        assert_eq!(names, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn duplicate_labels_get_unique_names() {
+        let mut p = TreePattern::new(NodeTest::Name("b".into()));
+        let b2 = p.add_child(p.root(), Axis::Descendant, NodeTest::Name("b".into()));
+        assert_eq!(p.node(p.root()).name, "b");
+        assert_eq!(p.node(b2).name, "b#1");
+    }
+
+    #[test]
+    fn cvn_and_stored_nodes() {
+        let mut p = abcd();
+        let d = PatternNodeId(3);
+        p.annotate(d, Annotations { id: false, val: true, cont: false });
+        assert_eq!(p.cvn(), vec![d]);
+        assert_eq!(p.stored_nodes(), vec![d]);
+    }
+
+    #[test]
+    fn to_text_roundtrips_structure() {
+        let p = abcd();
+        assert_eq!(p.to_text(), "//a[//b//c]//d{id}");
+    }
+
+    #[test]
+    fn annotations_union() {
+        let a = Annotations::ID;
+        let b = Annotations { id: false, val: true, cont: true };
+        let u = a.union(b);
+        assert!(u.id && u.val && u.cont);
+        assert!(u.stores_text());
+        assert!(!Annotations::NONE.any());
+    }
+}

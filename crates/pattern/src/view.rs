@@ -1,0 +1,598 @@
+//! The conjunctive XQuery view dialect of Figure 3 and its translation
+//! into tree patterns (after [Arion et al. 2006]).
+//!
+//! ```text
+//! q      := (let absVar return)? for (absVar,)? relVar (relVar,)*
+//!           (where pred (and pred)*)? return ret
+//! absVar := $x in doc(uri)/p          p ∈ XPath{/,//,*,[]}
+//! relVar := $x in $y/p
+//! pred   := string($x) = c  |  $x/p = c  |  $x/p
+//! ret    := <l> elem* </l>  |  expr (, expr)*
+//! elem   := <li>{ expr }</li>
+//! expr   := $x | string($x) | id($x) | $x/p | $x/p/text()
+//! ```
+//!
+//! Every node that contributes a stored attribute also stores its ID —
+//! Algorithm 4 (PIMT) requires IDs alongside any `val`/`cont`.
+
+use crate::pattern::{Annotations, NodeTest, PatternNodeId, TreePattern};
+use crate::xpath::ast::{LocationPath, XNodeTest, XPred};
+use crate::xpath::parser::parse_xpath;
+use std::collections::HashMap;
+use std::fmt;
+
+/// View-language error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewParseError {
+    pub message: String,
+}
+
+impl fmt::Display for ViewParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "view parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ViewParseError {}
+
+fn err(message: impl Into<String>) -> ViewParseError {
+    ViewParseError { message: message.into() }
+}
+
+/// Parses a view in the Figure 3 dialect and translates it to its tree
+/// pattern.
+pub fn parse_view(input: &str) -> Result<TreePattern, ViewParseError> {
+    let mut text = input.trim();
+
+    // Optional `let $v := doc("uri") return` prefix.
+    let mut doc_vars: Vec<String> = Vec::new();
+    while text.starts_with("let ") {
+        let (var, rest) = parse_let(text)?;
+        doc_vars.push(var);
+        text = rest;
+    }
+
+    if !text.starts_with("for ") {
+        return Err(err("expected 'for'"));
+    }
+    text = &text["for ".len()..];
+
+    let (for_part, rest) = split_keyword(text, &["where", "return"]);
+    let (where_part, return_part) = if rest.starts_with("where") {
+        let after = rest.strip_prefix("where").expect("split at keyword");
+        let (w, r) = split_keyword(after, &["return"]);
+        if !r.starts_with("return") {
+            return Err(err("expected 'return' after where clause"));
+        }
+        (Some(w.trim().to_owned()), r["return".len()..].trim().to_owned())
+    } else if rest.starts_with("return") {
+        let body = rest.strip_prefix("return").expect("split at keyword");
+        (None, body.trim().to_owned())
+    } else {
+        return Err(err("expected 'return'"));
+    };
+
+    let mut t = Translator { pattern: None, vars: HashMap::new(), doc_vars };
+    for decl in split_top_level(&for_part, ',') {
+        t.for_binding(decl.trim())?;
+    }
+    if let Some(w) = where_part {
+        for cond in split_on_and(&w) {
+            t.where_condition(cond.trim())?;
+        }
+    }
+    t.return_clause(&return_part)?;
+    t.pattern.ok_or_else(|| err("view binds no variables"))
+}
+
+fn parse_let(text: &str) -> Result<(String, &str), ViewParseError> {
+    // let $v := doc("uri") return REST
+    let body = text.strip_prefix("let ").ok_or_else(|| err("expected let"))?;
+    let body = body.trim_start();
+    let var = parse_var_name(body)?;
+    let after_var = body[var.len() + 1..].trim_start();
+    let after_assign = after_var.strip_prefix(":=").ok_or_else(|| err("expected ':='"))?.trim_start();
+    if !after_assign.starts_with("doc(") {
+        return Err(err("let bindings must be doc(...) sources"));
+    }
+    let close = after_assign.find(')').ok_or_else(|| err("unterminated doc(...)"))?;
+    let rest = after_assign[close + 1..].trim_start();
+    let rest = rest.strip_prefix("return").ok_or_else(|| err("expected 'return' after let"))?;
+    Ok((var, rest.trim_start()))
+}
+
+fn parse_var_name(text: &str) -> Result<String, ViewParseError> {
+    if !text.starts_with('$') {
+        return Err(err(format!("expected a variable, found: {text:.20}")));
+    }
+    let name: String = text[1..]
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        return Err(err("empty variable name"));
+    }
+    Ok(name)
+}
+
+/// Splits off everything up to the first *top-level* occurrence of one
+/// of the keywords (outside brackets/quotes), returning (head, tail
+/// starting at the keyword or empty).
+fn split_keyword<'a>(text: &'a str, keywords: &[&str]) -> (String, &'a str) {
+    let bytes = text.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'[' | b'(' => depth += 1,
+            b']' | b')' => depth -= 1,
+            b'"' | b'\'' => {
+                let q = bytes[i];
+                i += 1;
+                while i < bytes.len() && bytes[i] != q {
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        if depth == 0 {
+            for kw in keywords {
+                if text[i..].starts_with(kw) {
+                    let before = i == 0
+                        || bytes[i - 1].is_ascii_whitespace();
+                    let after_idx = i + kw.len();
+                    let after = after_idx >= bytes.len()
+                        || bytes[after_idx].is_ascii_whitespace()
+                        || bytes[after_idx] == b'<'
+                        || bytes[after_idx] == b'(';
+                    if before && after {
+                        return (text[..i].to_owned(), &text[i..]);
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    (text.to_owned(), "")
+}
+
+/// Splits on a separator at bracket/paren/quote depth 0.
+fn split_top_level(text: &str, sep: char) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut depth = 0i32;
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'[' | b'(' => depth += 1,
+            b']' | b')' => depth -= 1,
+            b'"' | b'\'' => {
+                let q = bytes[i];
+                i += 1;
+                while i < bytes.len() && bytes[i] != q {
+                    i += 1;
+                }
+            }
+            c if c == sep as u8 && depth == 0 => {
+                parts.push(text[start..i].to_owned());
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    parts.push(text[start..].to_owned());
+    parts.retain(|p| !p.trim().is_empty());
+    parts
+}
+
+fn split_on_and(text: &str) -> Vec<String> {
+    // split on top-level ' and '
+    let mut parts = Vec::new();
+    let mut rest = text;
+    loop {
+        let (head, tail) = split_keyword(rest, &["and"]);
+        parts.push(head);
+        if tail.is_empty() {
+            break;
+        }
+        rest = &tail["and".len()..];
+    }
+    parts
+}
+
+struct Translator {
+    pattern: Option<TreePattern>,
+    vars: HashMap<String, PatternNodeId>,
+    doc_vars: Vec<String>,
+}
+
+impl Translator {
+    fn for_binding(&mut self, decl: &str) -> Result<(), ViewParseError> {
+        let var = parse_var_name(decl)?;
+        let after = decl[var.len() + 1..].trim_start();
+        let after = after.strip_prefix("in").ok_or_else(|| err("expected 'in'"))?.trim_start();
+        let (anchor, path_text) = self.split_anchor(after)?;
+        let path = parse_xpath(&path_text).map_err(|e| err(e.to_string()))?;
+        let node = self.extend_with_path(anchor, &path, false)?;
+        self.vars.insert(var, node);
+        Ok(())
+    }
+
+    /// Splits `doc("uri")/p`, `$x/p` or `/p` into an anchor node and
+    /// the path text.
+    fn split_anchor(&self, text: &str) -> Result<(Option<PatternNodeId>, String), ViewParseError> {
+        if let Some(rest) = text.strip_prefix("doc(") {
+            let close = rest.find(')').ok_or_else(|| err("unterminated doc(...)"))?;
+            return Ok((None, rest[close + 1..].trim().to_owned()));
+        }
+        if text.starts_with('$') {
+            let var = parse_var_name(text)?;
+            let rest = text[var.len() + 1..].trim().to_owned();
+            if self.doc_vars.contains(&var) {
+                return Ok((None, rest)); // let-bound document variable
+            }
+            let node = *self
+                .vars
+                .get(&var)
+                .ok_or_else(|| err(format!("unknown variable ${var}")))?;
+            return Ok((Some(node), rest));
+        }
+        Ok((None, text.trim().to_owned()))
+    }
+
+    /// Walks `path` from `anchor` (or the pattern root when `None`),
+    /// adding pattern nodes; returns the node for the last step.
+    /// `for_return` marks chains built for return expressions.
+    fn extend_with_path(
+        &mut self,
+        anchor: Option<PatternNodeId>,
+        path: &LocationPath,
+        _for_return: bool,
+    ) -> Result<PatternNodeId, ViewParseError> {
+        let mut steps = path.steps.as_slice();
+        let mut cur: PatternNodeId = match anchor {
+            Some(n) => n,
+            None => {
+                // absolute: the first step is (or merges with) the root
+                let first = steps.first().ok_or_else(|| err("empty path"))?;
+                let test = Self::step_test(&first.test)?;
+                match &mut self.pattern {
+                    None => {
+                        let mut p = TreePattern::new(test);
+                        p.set_root_edge(first.axis);
+                        self.pattern = Some(p);
+                    }
+                    Some(p) => {
+                        let root = p.root();
+                        if p.node(root).test != test || p.node(root).edge != first.axis {
+                            return Err(err(
+                                "absolute variables must share the same first step",
+                            ));
+                        }
+                    }
+                }
+                let p = self.pattern.as_mut().unwrap();
+                let root = p.root();
+                let preds = first.preds.clone();
+                for pr in &preds {
+                    self.translate_pred(root, pr)?;
+                }
+                steps = &steps[1..];
+                root
+            }
+        };
+        for step in steps {
+            if matches!(step.test, XNodeTest::SelfNode) {
+                continue;
+            }
+            let test = Self::step_test(&step.test)?;
+            let p = self.pattern.as_mut().ok_or_else(|| err("relative path before any absolute"))?;
+            let node = p.add_child(cur, step.axis, test);
+            for pr in &step.preds {
+                self.translate_pred(node, pr)?;
+            }
+            cur = node;
+        }
+        Ok(cur)
+    }
+
+    fn step_test(test: &XNodeTest) -> Result<NodeTest, ViewParseError> {
+        match test {
+            XNodeTest::Name(n) => Ok(NodeTest::Name(n.clone())),
+            XNodeTest::Attribute(a) => Ok(NodeTest::Name(format!("@{a}"))),
+            XNodeTest::Wildcard => Ok(NodeTest::Wildcard),
+            XNodeTest::Text => Err(err("text() only allowed at the end of return expressions")),
+            XNodeTest::SelfNode => Err(err("'.' steps are not part of the view dialect")),
+        }
+    }
+
+    /// Predicates become existential branches (conjunctive only).
+    fn translate_pred(
+        &mut self,
+        node: PatternNodeId,
+        pred: &XPred,
+    ) -> Result<(), ViewParseError> {
+        match pred {
+            XPred::Exists(path) => {
+                self.extend_with_path(Some(node), path, false)?;
+                Ok(())
+            }
+            XPred::ValEq(path, c) => {
+                let target = if path.steps.len() == 1
+                    && matches!(path.steps[0].test, XNodeTest::SelfNode)
+                {
+                    node
+                } else {
+                    self.extend_with_path(Some(node), path, false)?
+                };
+                self.pattern.as_mut().unwrap().set_val_pred(target, c.clone());
+                Ok(())
+            }
+            XPred::And(a, b) => {
+                self.translate_pred(node, a)?;
+                self.translate_pred(node, b)
+            }
+            XPred::Or(_, _) => Err(err("the view dialect is conjunctive: 'or' not allowed")),
+        }
+    }
+
+    fn where_condition(&mut self, cond: &str) -> Result<(), ViewParseError> {
+        // string($x) = "c"
+        if let Some(rest) = cond.strip_prefix("string(") {
+            let var = parse_var_name(rest.trim_start())?;
+            let node = *self.vars.get(&var).ok_or_else(|| err(format!("unknown ${var}")))?;
+            let after = rest[rest.find(')').ok_or_else(|| err("expected ')'"))? + 1..].trim();
+            let value = parse_eq_const(after)?;
+            self.pattern.as_mut().unwrap().set_val_pred(node, value);
+            return Ok(());
+        }
+        // $x/p = "c"   or   $x/p (existential)
+        let var = parse_var_name(cond)?;
+        let node = *self.vars.get(&var).ok_or_else(|| err(format!("unknown ${var}")))?;
+        let rest = cond[var.len() + 1..].trim();
+        let (path_text, eq_part) = match find_top_level_eq(rest) {
+            Some(i) => (&rest[..i], Some(rest[i + 1..].trim())),
+            None => (rest, None),
+        };
+        let target = if path_text.trim().is_empty() {
+            node
+        } else {
+            let path = parse_xpath(path_text.trim()).map_err(|e| err(e.to_string()))?;
+            self.extend_with_path(Some(node), &path, false)?
+        };
+        if let Some(eq) = eq_part {
+            let value = strip_quotes(eq)?;
+            self.pattern.as_mut().unwrap().set_val_pred(target, value);
+        }
+        Ok(())
+    }
+
+    fn return_clause(&mut self, ret: &str) -> Result<(), ViewParseError> {
+        let ret = ret.trim();
+        let exprs: Vec<String> = if ret.starts_with('<') {
+            extract_braced_exprs(ret)
+        } else {
+            let inner = ret.strip_prefix('(').and_then(|r| r.strip_suffix(')')).unwrap_or(ret);
+            split_top_level(inner, ',')
+        };
+        if exprs.is_empty() {
+            return Err(err("return clause stores nothing"));
+        }
+        for e in exprs {
+            self.return_expr(e.trim())?;
+        }
+        Ok(())
+    }
+
+    fn return_expr(&mut self, expr: &str) -> Result<(), ViewParseError> {
+        // id($x) | string($x) | $x | $x/p | $x/p/text()
+        let annotate = |this: &mut Self, node: PatternNodeId, ann: Annotations| {
+            let mut with_id = ann;
+            with_id.id = true; // IDs accompany every stored attribute
+            this.pattern.as_mut().unwrap().annotate(node, with_id);
+        };
+        if let Some(rest) = expr.strip_prefix("id(") {
+            let var = parse_var_name(rest.trim_start())?;
+            let node = *self.vars.get(&var).ok_or_else(|| err(format!("unknown ${var}")))?;
+            annotate(self, node, Annotations::ID);
+            return Ok(());
+        }
+        if let Some(rest) = expr.strip_prefix("string(") {
+            let var = parse_var_name(rest.trim_start())?;
+            let node = *self.vars.get(&var).ok_or_else(|| err(format!("unknown ${var}")))?;
+            annotate(self, node, Annotations { id: true, val: true, cont: false });
+            return Ok(());
+        }
+        let var = parse_var_name(expr)?;
+        let node = *self.vars.get(&var).ok_or_else(|| err(format!("unknown ${var}")))?;
+        let rest = expr[var.len() + 1..].trim();
+        if rest.is_empty() {
+            annotate(self, node, Annotations { id: true, val: false, cont: true });
+            return Ok(());
+        }
+        // $x/p or $x/p/text()
+        let (path_text, want_val) = match rest.strip_suffix("/text()") {
+            Some(head) => (head, true),
+            None => (rest, false),
+        };
+        let target = if path_text.is_empty() {
+            node
+        } else {
+            let path = parse_xpath(path_text).map_err(|e| err(e.to_string()))?;
+            self.extend_with_path(Some(node), &path, true)?
+        };
+        let ann = if want_val {
+            Annotations { id: true, val: true, cont: false }
+        } else {
+            Annotations { id: true, val: false, cont: true }
+        };
+        annotate(self, target, ann);
+        Ok(())
+    }
+}
+
+fn parse_eq_const(text: &str) -> Result<String, ViewParseError> {
+    let rest = text.strip_prefix('=').ok_or_else(|| err("expected '='"))?.trim();
+    strip_quotes(rest)
+}
+
+fn strip_quotes(text: &str) -> Result<String, ViewParseError> {
+    let t = text.trim();
+    if (t.starts_with('"') && t.ends_with('"') && t.len() >= 2)
+        || (t.starts_with('\'') && t.ends_with('\'') && t.len() >= 2)
+    {
+        Ok(t[1..t.len() - 1].to_owned())
+    } else {
+        Err(err(format!("expected a quoted constant, found: {t}")))
+    }
+}
+
+fn find_top_level_eq(text: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'[' | b'(' => depth += 1,
+            b']' | b')' => depth -= 1,
+            b'"' | b'\'' => {
+                let q = bytes[i];
+                i += 1;
+                while i < bytes.len() && bytes[i] != q {
+                    i += 1;
+                }
+            }
+            b'=' if depth == 0 => return Some(i),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Pulls the `{ expr }` bodies out of an element-constructor return.
+fn extract_braced_exprs(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'{' {
+            let start = i + 1;
+            let mut depth = 1;
+            i += 1;
+            while i < bytes.len() && depth > 0 {
+                match bytes[i] {
+                    b'{' => depth += 1,
+                    b'}' => depth -= 1,
+                    _ => {}
+                }
+                i += 1;
+            }
+            out.push(text[start..i - 1].trim().to_owned());
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_3_sample_view() {
+        // The paper's running example (Figures 3–4).
+        let p = parse_view(
+            "for $p in doc(\"confs\")//confs//paper, $a in $p/affiliation \
+             return <result> <pid>{id($p)}</pid> <aid>{id($a)}</aid> \
+             <acont>{$a}</acont> </result>",
+        )
+        .unwrap();
+        assert_eq!(p.to_text(), "//confs//paper{id}/affiliation{id,cont}");
+    }
+
+    #[test]
+    fn xmark_q1_shape() {
+        let p = parse_view(
+            "let $auction := doc(\"auction.xml\") return \
+             for $b in $auction/site/people/person[@id] return $b/name/text()",
+        )
+        .unwrap();
+        assert_eq!(p.to_text(), "/site/people/person[/@id]/name{id,val}");
+    }
+
+    #[test]
+    fn where_clause_value_predicate() {
+        let p = parse_view(
+            "for $b in doc(\"a\")/site/open_auctions/open_auction \
+             where $b/bidder/increase = \"4.50\" \
+             return $b/bidder/increase/text()",
+        )
+        .unwrap();
+        // the where-branch and the return-branch are distinct chains
+        assert!(p.to_text().contains("increase[val=\"4.50\"]"));
+        assert!(p.to_text().contains("increase{id,val}"));
+        // site, open_auctions, open_auction, then two separate
+        // bidder/increase chains (where-branch and return-branch)
+        assert_eq!(p.len(), 7);
+    }
+
+    #[test]
+    fn where_string_of_variable() {
+        let p = parse_view(
+            "for $x in doc(\"d\")//a, $y in $x/b where string($y) = \"5\" return id($x)",
+        )
+        .unwrap();
+        assert_eq!(p.to_text(), "//a{id}/b[val=\"5\"]");
+    }
+
+    #[test]
+    fn multiple_return_items() {
+        let p = parse_view(
+            "for $i in doc(\"d\")/site/regions/namerica/item \
+             return ($i/name/text(), $i/description)",
+        )
+        .unwrap();
+        assert_eq!(
+            p.to_text(),
+            "/site/regions/namerica/item[/name{id,val}]/description{id,cont}"
+        );
+    }
+
+    #[test]
+    fn predicate_with_value_inside_path() {
+        let p = parse_view(
+            "for $b in doc(\"a\")//open_auction \
+             where $b/bidder/personref[@person = \"person12\"] \
+             return $b/bidder/increase/text()",
+        )
+        .unwrap();
+        assert!(p.to_text().contains("@person[val=\"person12\"]"));
+    }
+
+    #[test]
+    fn or_in_view_is_rejected() {
+        let r = parse_view("for $x in doc(\"d\")//a[b or c] return id($x)");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn unknown_variable_is_rejected() {
+        assert!(parse_view("for $x in doc(\"d\")//a return id($y)").is_err());
+        assert!(parse_view("for $x in $nope/a return id($x)").is_err());
+    }
+
+    #[test]
+    fn returned_subtree_of_variable() {
+        let p = parse_view("for $b in doc(\"d\")/site/regions return $b//item").unwrap();
+        assert_eq!(p.to_text(), "/site/regions//item{id,cont}");
+    }
+
+    #[test]
+    fn missing_return_is_rejected() {
+        assert!(parse_view("for $x in doc(\"d\")//a").is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! XPath abstract syntax.
+
+use xivm_algebra::Axis;
+
+/// A (possibly relative) location path: a sequence of steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocationPath {
+    pub steps: Vec<XStep>,
+}
+
+impl LocationPath {
+    pub fn new(steps: Vec<XStep>) -> Self {
+        LocationPath { steps }
+    }
+
+    /// Number of steps (the paper's "path length", Figs. 22–23 vary it).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// One step: axis, node test and zero or more predicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XStep {
+    pub axis: Axis,
+    pub test: XNodeTest,
+    pub preds: Vec<XPred>,
+}
+
+/// Node tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XNodeTest {
+    /// `name` — elements with this tag.
+    Name(String),
+    /// `*` — any element.
+    Wildcard,
+    /// `@name` — an attribute.
+    Attribute(String),
+    /// `text()` — text nodes.
+    Text,
+    /// `.` — the context node itself (only useful in predicates).
+    SelfNode,
+}
+
+/// Predicates: existential paths, value comparisons, boolean
+/// combinations (the L / LB / A / O / AO update classes of Appendix A).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XPred {
+    /// `[p]` — the relative path has at least one result.
+    Exists(LocationPath),
+    /// `[p = "c"]` — some result of `p` has string value `c`.
+    ValEq(LocationPath, String),
+    And(Box<XPred>, Box<XPred>),
+    Or(Box<XPred>, Box<XPred>),
+}
+
+impl XPred {
+    pub fn and(a: XPred, b: XPred) -> XPred {
+        XPred::And(Box::new(a), Box::new(b))
+    }
+
+    pub fn or(a: XPred, b: XPred) -> XPred {
+        XPred::Or(Box::new(a), Box::new(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_len() {
+        let p = LocationPath::new(vec![
+            XStep { axis: Axis::Child, test: XNodeTest::Name("a".into()), preds: vec![] },
+            XStep { axis: Axis::Descendant, test: XNodeTest::Wildcard, preds: vec![] },
+        ]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+}

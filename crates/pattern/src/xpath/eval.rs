@@ -1,0 +1,264 @@
+//! XPath evaluation over the document store.
+//!
+//! This is the component that plays Saxon's role in the paper's
+//! implementation: locating the *target nodes* of updates ("Find
+//! Target Nodes" in the Section 6 time breakdowns) and supporting the
+//! full-recomputation baseline.
+
+use super::ast::{LocationPath, XNodeTest, XPred, XStep};
+use xivm_algebra::Axis;
+use xivm_xml::{Document, NodeId, NodeKind};
+
+/// Evaluates an absolute location path against a document, returning
+/// matching nodes in document order without duplicates.
+pub fn eval_path(doc: &Document, path: &LocationPath) -> Vec<NodeId> {
+    let Some(root) = doc.root() else {
+        return Vec::new();
+    };
+    let mut context: Option<Vec<NodeId>> = None; // None = the document node
+    for (i, step) in path.steps.iter().enumerate() {
+        let next = match &context {
+            None => eval_step_from_document(doc, root, step, i == 0),
+            Some(nodes) => eval_step(doc, nodes, step),
+        };
+        context = Some(next);
+        if context.as_ref().is_some_and(|c| c.is_empty()) {
+            return Vec::new();
+        }
+    }
+    context.unwrap_or_default()
+}
+
+/// Evaluates a relative path from a single context node.
+pub fn eval_relative(doc: &Document, ctx: NodeId, path: &LocationPath) -> Vec<NodeId> {
+    let mut context = vec![ctx];
+    for step in &path.steps {
+        context = eval_step(doc, &context, step);
+        if context.is_empty() {
+            return context;
+        }
+    }
+    context
+}
+
+fn eval_step_from_document(
+    doc: &Document,
+    root: NodeId,
+    step: &XStep,
+    _first: bool,
+) -> Vec<NodeId> {
+    let mut out = match step.axis {
+        // `/x` from the document node: the root element if it matches.
+        Axis::Child => {
+            if test_matches(doc, root, &step.test) {
+                vec![root]
+            } else {
+                Vec::new()
+            }
+        }
+        // `//x` from the document node: any node in the document. Use
+        // the canonical relation as a fast path for name tests — this
+        // is where structural identifiers pay off for target finding.
+        Axis::Descendant => match &step.test {
+            XNodeTest::Name(n) => doc.canonical_nodes_named(n).to_vec(),
+            XNodeTest::Attribute(a) => doc.canonical_nodes_named(&format!("@{a}")).to_vec(),
+            _ => doc
+                .descendants_or_self(root)
+                .into_iter()
+                .filter(|&n| test_matches(doc, n, &step.test))
+                .collect(),
+        },
+    };
+    out.retain(|&n| apply_preds(doc, n, &step.preds));
+    out
+}
+
+fn eval_step(doc: &Document, context: &[NodeId], step: &XStep) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = Vec::new();
+    if matches!(step.test, XNodeTest::SelfNode) {
+        out.extend(context.iter().copied());
+    } else {
+        for &ctx in context {
+            match step.axis {
+                Axis::Child => {
+                    for &c in doc.children_of(ctx) {
+                        if test_matches(doc, c, &step.test) {
+                            out.push(c);
+                        }
+                    }
+                }
+                Axis::Descendant => {
+                    for n in doc.descendants_or_self(ctx) {
+                        if n != ctx && test_matches(doc, n, &step.test) {
+                            out.push(n);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dedup_doc_order(doc, &mut out);
+    out.retain(|&n| apply_preds(doc, n, &step.preds));
+    out
+}
+
+/// Sorts by document order and removes duplicates (contexts can
+/// overlap when `//` steps nest).
+fn dedup_doc_order(doc: &Document, nodes: &mut Vec<NodeId>) {
+    if nodes.len() <= 1 {
+        return;
+    }
+    let mut keyed: Vec<(xivm_xml::DeweyId, NodeId)> =
+        nodes.drain(..).map(|n| (doc.dewey(n), n)).collect();
+    keyed.sort_by(|a, b| a.0.doc_cmp(&b.0));
+    keyed.dedup_by(|a, b| a.1 == b.1);
+    nodes.extend(keyed.into_iter().map(|(_, n)| n));
+}
+
+fn test_matches(doc: &Document, node: NodeId, test: &XNodeTest) -> bool {
+    let n = doc.node(node);
+    match test {
+        XNodeTest::Name(name) => n.kind == NodeKind::Element && doc.label_name(n.label) == name,
+        XNodeTest::Wildcard => n.kind == NodeKind::Element,
+        XNodeTest::Attribute(name) => {
+            n.kind == NodeKind::Attribute && doc.label_name(n.label) == format!("@{name}")
+        }
+        XNodeTest::Text => n.kind == NodeKind::Text,
+        XNodeTest::SelfNode => true,
+    }
+}
+
+fn apply_preds(doc: &Document, node: NodeId, preds: &[XPred]) -> bool {
+    preds.iter().all(|p| eval_pred(doc, node, p))
+}
+
+fn eval_pred(doc: &Document, node: NodeId, pred: &XPred) -> bool {
+    match pred {
+        XPred::Exists(path) => !eval_relative(doc, node, path).is_empty(),
+        XPred::ValEq(path, c) => {
+            eval_relative(doc, node, path).iter().any(|&n| doc.value(n) == *c)
+        }
+        XPred::And(a, b) => eval_pred(doc, node, a) && eval_pred(doc, node, b),
+        XPred::Or(a, b) => eval_pred(doc, node, a) || eval_pred(doc, node, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xpath::parser::parse_xpath;
+    use xivm_xml::parse_document;
+
+    fn doc() -> Document {
+        parse_document(
+            "<site><people>\
+               <person id=\"person0\"><name>Jim</name><phone>1</phone></person>\
+               <person id=\"person1\"><name>Ann</name><homepage>h</homepage>\
+                 <profile income=\"30k\"><age>33</age></profile></person>\
+               <person id=\"person2\"><name>Bob</name></person>\
+             </people>\
+             <regions><namerica><item><name>i1</name></item></namerica>\
+                      <asia><item><mailbox/></item></asia></regions></site>",
+        )
+        .unwrap()
+    }
+
+    fn run(d: &Document, xp: &str) -> Vec<String> {
+        let path = parse_xpath(xp).unwrap();
+        eval_path(d, &path)
+            .into_iter()
+            .map(|n| {
+                let node = d.node(n);
+                match node.kind {
+                    NodeKind::Element => d.label_name(node.label).to_owned(),
+                    _ => d.value(n),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn absolute_child_path() {
+        let d = doc();
+        assert_eq!(run(&d, "/site/people/person").len(), 3);
+        assert_eq!(run(&d, "/wrong/people").len(), 0);
+    }
+
+    #[test]
+    fn descendant_path_uses_all_depths() {
+        let d = doc();
+        assert_eq!(run(&d, "//name").len(), 4);
+        assert_eq!(run(&d, "/site//item//name").len(), 1);
+    }
+
+    #[test]
+    fn wildcard_steps() {
+        let d = doc();
+        assert_eq!(run(&d, "/site/regions/*/item").len(), 2);
+    }
+
+    #[test]
+    fn attribute_and_text_tests() {
+        let d = doc();
+        assert_eq!(run(&d, "//person/@id").len(), 3);
+        assert_eq!(run(&d, "//person/name/text()"), vec!["Jim", "Ann", "Bob"]);
+    }
+
+    #[test]
+    fn exists_predicate() {
+        let d = doc();
+        assert_eq!(run(&d, "//person[phone]").len(), 1);
+        assert_eq!(run(&d, "//person[profile/age]").len(), 1);
+        assert_eq!(run(&d, "//person[@id]").len(), 3);
+    }
+
+    #[test]
+    fn value_predicates() {
+        let d = doc();
+        assert_eq!(run(&d, "//person[@id=\"person1\"]/name/text()"), vec!["Ann"]);
+        assert_eq!(run(&d, "//person[name=\"Bob\"]").len(), 1);
+        assert_eq!(run(&d, "//person[name='Nobody']").len(), 0);
+    }
+
+    #[test]
+    fn boolean_predicates() {
+        let d = doc();
+        assert_eq!(run(&d, "//person[phone or homepage]").len(), 2);
+        assert_eq!(run(&d, "//person[phone and homepage]").len(), 0);
+        assert_eq!(run(&d, "//person[name and (phone or homepage)]").len(), 2);
+        assert_eq!(run(&d, "//item[description or name]").len(), 1);
+    }
+
+    #[test]
+    fn results_in_document_order_without_duplicates() {
+        let d = doc();
+        let path = parse_xpath("//person//name").unwrap();
+        let nodes = eval_path(&d, &path);
+        for w in nodes.windows(2) {
+            assert!(d.dewey(w[0]).doc_cmp(&d.dewey(w[1])).is_lt());
+        }
+    }
+
+    #[test]
+    fn self_node_in_predicate_path() {
+        let d = doc();
+        // [. = "Jim"] on name nodes
+        assert_eq!(run(&d, "//name[. = \"Jim\"]").len(), 1);
+    }
+
+    #[test]
+    fn empty_document_yields_nothing() {
+        let d = Document::new();
+        let path = parse_xpath("//a").unwrap();
+        assert!(eval_path(&d, &path).is_empty());
+    }
+
+    #[test]
+    fn deleted_nodes_are_invisible() {
+        let mut d = doc();
+        let path = parse_xpath("//person").unwrap();
+        let persons = eval_path(&d, &path);
+        d.remove_subtree(persons[0]).unwrap();
+        assert_eq!(eval_path(&d, &path).len(), 2);
+    }
+}

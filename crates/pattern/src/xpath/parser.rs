@@ -1,0 +1,346 @@
+//! Recursive-descent XPath parser.
+//!
+//! Accepts the fragment used throughout the paper's test set
+//! (Appendix A): `/`, `//`, `*`, name and `@name` tests, `text()`,
+//! nested predicates with `and` / `or`, parenthesised predicate
+//! expressions, relative paths inside predicates and string
+//! comparisons `p = "c"` / `p = 'c'`.
+
+use super::ast::{LocationPath, XNodeTest, XPred, XStep};
+use std::fmt;
+use xivm_algebra::Axis;
+
+/// XPath syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for XPathParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xpath parse error at {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XPathParseError {}
+
+/// Parses an absolute or relative location path.
+pub fn parse_xpath(input: &str) -> Result<LocationPath, XPathParseError> {
+    let mut p = Parser { bytes: input.trim().as_bytes(), pos: 0 };
+    let path = p.location_path(true)?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(path)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn err(&self, m: &str) -> XPathParseError {
+        XPathParseError { offset: self.pos, message: m.to_owned() }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// `location_path := step+` where each step starts with `/` or `//`
+    /// (for absolute paths) — relative paths inside predicates may also
+    /// start with a bare name.
+    fn location_path(&mut self, allow_bare_start: bool) -> Result<LocationPath, XPathParseError> {
+        let mut steps = Vec::new();
+        self.skip_ws();
+        // first step
+        let axis = if self.starts_with("//") {
+            self.pos += 2;
+            Axis::Descendant
+        } else if self.peek() == Some(b'/') {
+            self.pos += 1;
+            Axis::Child
+        } else if allow_bare_start {
+            Axis::Child
+        } else {
+            return Err(self.err("expected '/' or '//'"));
+        };
+        steps.push(self.step(axis)?);
+        loop {
+            self.skip_ws();
+            let axis = if self.starts_with("//") {
+                self.pos += 2;
+                Axis::Descendant
+            } else if self.peek() == Some(b'/') {
+                self.pos += 1;
+                Axis::Child
+            } else {
+                break;
+            };
+            steps.push(self.step(axis)?);
+        }
+        Ok(LocationPath::new(steps))
+    }
+
+    fn step(&mut self, axis: Axis) -> Result<XStep, XPathParseError> {
+        self.skip_ws();
+        let test = match self.peek() {
+            Some(b'*') => {
+                self.pos += 1;
+                XNodeTest::Wildcard
+            }
+            Some(b'@') => {
+                self.pos += 1;
+                XNodeTest::Attribute(self.name()?)
+            }
+            Some(b'.') => {
+                self.pos += 1;
+                XNodeTest::SelfNode
+            }
+            _ => {
+                let n = self.name()?;
+                if n == "text" && self.starts_with("()") {
+                    self.pos += 2;
+                    XNodeTest::Text
+                } else {
+                    XNodeTest::Name(n)
+                }
+            }
+        };
+        let mut preds = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'[') {
+                self.pos += 1;
+                let p = self.pred_or()?;
+                self.skip_ws();
+                if self.peek() != Some(b']') {
+                    return Err(self.err("expected ']'"));
+                }
+                self.pos += 1;
+                preds.push(p);
+            } else {
+                break;
+            }
+        }
+        Ok(XStep { axis, test, preds })
+    }
+
+    fn name(&mut self) -> Result<String, XPathParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b'.' && self.pos > start
+            {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_owned())
+    }
+
+    /// `or_expr := and_expr ('or' and_expr)*`
+    fn pred_or(&mut self) -> Result<XPred, XPathParseError> {
+        let mut left = self.pred_and()?;
+        loop {
+            self.skip_ws();
+            if self.keyword("or") {
+                let right = self.pred_and()?;
+                left = XPred::or(left, right);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    /// `and_expr := primary ('and' primary)*`
+    fn pred_and(&mut self) -> Result<XPred, XPathParseError> {
+        let mut left = self.pred_primary()?;
+        loop {
+            self.skip_ws();
+            if self.keyword("and") {
+                let right = self.pred_primary()?;
+                left = XPred::and(left, right);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        if self.starts_with(kw) {
+            let after = self.bytes.get(self.pos + kw.len()).copied();
+            let boundary = !matches!(after, Some(c) if c.is_ascii_alphanumeric() || c == b'_');
+            if boundary {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// `primary := '(' or_expr ')' | relpath ('=' string)?`
+    fn pred_primary(&mut self) -> Result<XPred, XPathParseError> {
+        self.skip_ws();
+        if self.peek() == Some(b'(') {
+            self.pos += 1;
+            let inner = self.pred_or()?;
+            self.skip_ws();
+            if self.peek() != Some(b')') {
+                return Err(self.err("expected ')'"));
+            }
+            self.pos += 1;
+            return Ok(inner);
+        }
+        let path = self.location_path(true)?;
+        self.skip_ws();
+        if self.peek() == Some(b'=') {
+            self.pos += 1;
+            self.skip_ws();
+            let s = self.string_literal()?;
+            return Ok(XPred::ValEq(path, s));
+        }
+        Ok(XPred::Exists(path))
+    }
+
+    fn string_literal(&mut self) -> Result<String, XPathParseError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected a string literal")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while self.peek() != Some(quote) {
+            if self.at_end() {
+                return Err(self.err("unterminated string literal"));
+            }
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_owned();
+        self.pos += 1;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_linear_path() {
+        let p = parse_xpath("/site/people/person").unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.steps[0].axis, Axis::Child);
+        assert_eq!(p.steps[0].test, XNodeTest::Name("site".into()));
+    }
+
+    #[test]
+    fn parse_descendant_wildcard_attribute() {
+        let p = parse_xpath("//regions/*/item/@id").unwrap();
+        assert_eq!(p.steps[0].axis, Axis::Descendant);
+        assert_eq!(p.steps[1].test, XNodeTest::Wildcard);
+        assert_eq!(p.steps[3].test, XNodeTest::Attribute("id".into()));
+    }
+
+    #[test]
+    fn parse_text_test() {
+        let p = parse_xpath("/a/b/text()").unwrap();
+        assert_eq!(p.steps[2].test, XNodeTest::Text);
+    }
+
+    #[test]
+    fn parse_exists_predicate() {
+        let p = parse_xpath("//person[profile]").unwrap();
+        assert_eq!(p.steps[0].preds.len(), 1);
+        assert!(matches!(p.steps[0].preds[0], XPred::Exists(_)));
+    }
+
+    #[test]
+    fn parse_value_predicate() {
+        let p = parse_xpath("/site/people/person[@id=\"person0\"]").unwrap();
+        match &p.steps[2].preds[0] {
+            XPred::ValEq(path, c) => {
+                assert_eq!(path.steps[0].test, XNodeTest::Attribute("id".into()));
+                assert_eq!(c, "person0");
+            }
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_and_or_nesting() {
+        // A8_AO's shape: address and (phone or homepage) and (creditcard or profile)
+        let p = parse_xpath(
+            "//person[address and (phone or homepage) and (creditcard or profile)]",
+        )
+        .unwrap();
+        match &p.steps[0].preds[0] {
+            XPred::And(left, _right) => {
+                assert!(matches!(**left, XPred::And(_, _)));
+            }
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_multiple_bracket_predicates() {
+        let p = parse_xpath("//item[description][name]").unwrap();
+        assert_eq!(p.steps[0].preds.len(), 2);
+    }
+
+    #[test]
+    fn parse_relative_paths_in_predicates() {
+        let p = parse_xpath("//open_auction[bidder/increase = \"4.50\"]").unwrap();
+        match &p.steps[0].preds[0] {
+            XPred::ValEq(path, c) => {
+                assert_eq!(path.len(), 2);
+                assert_eq!(c, "4.50");
+            }
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_xpath("//a[").is_err());
+        assert!(parse_xpath("//a]").is_err());
+        assert!(parse_xpath("//a[b=]").is_err());
+        assert!(parse_xpath("//a[b='x]").is_err());
+        assert!(parse_xpath("//").is_err());
+        assert!(parse_xpath("").is_err());
+    }
+
+    #[test]
+    fn and_is_not_a_name_prefix_confusion() {
+        // element names starting with 'and'/'or' must still parse
+        let p = parse_xpath("//android[oracle]").unwrap();
+        assert_eq!(p.steps[0].test, XNodeTest::Name("android".into()));
+        match &p.steps[0].preds[0] {
+            XPred::Exists(path) => {
+                assert_eq!(path.steps[0].test, XNodeTest::Name("oracle".into()))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

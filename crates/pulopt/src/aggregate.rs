@@ -1,0 +1,187 @@
+//! Aggregation rules A1, A2 and D6 (Figure 16), for PULs to be run
+//! sequentially (`Δ1 ; Δ2`).
+//!
+//! * **A1** — matching `ins↘(v, L1) ∈ Δ1` and `ins↘(v, L2) ∈ Δ2`:
+//!   combine into `ins↘(v, [L1, L2])` inside Δ1;
+//! * **A2** — A1 in reverse: combine into Δ2;
+//! * **D6** — an operation of Δ2 references a node *inside a tree that
+//!   Δ1 is about to insert*: splice Δ2's forest into Δ1's parameter
+//!   tree and drop the Δ2 operation.
+//!
+//! D6 resolution: a Δ2 target strictly below a Δ1 insertion target and
+//! absent from the current document can only refer to a node of the
+//! pending forest. We resolve the remaining label path against the
+//! forest (first match per label step) — sufficient for the paper's
+//! Example 5.3 and documented as an approximation of Cavalieri et
+//! al.'s full ID-projection.
+
+use xivm_update::{AtomicOp, Pul};
+use xivm_xml::{parse_document, serialize_node, Document, DeweyId};
+
+/// What the aggregation did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggregationOutcome {
+    pub a1_fired: usize,
+    pub d6_fired: usize,
+    pub ops_before: usize,
+    pub ops_after: usize,
+}
+
+/// Aggregates `Δ1 ; Δ2` into a single PUL equivalent to running them
+/// in sequence. `doc` is the document *before* Δ1, used to decide
+/// whether a Δ2 target already exists (D6 applies only to
+/// forest-internal targets).
+pub fn aggregate(doc: &Document, first: &Pul, second: &Pul) -> (Pul, AggregationOutcome) {
+    let mut outcome = AggregationOutcome {
+        ops_before: first.len() + second.len(),
+        ..Default::default()
+    };
+    let mut merged: Vec<AtomicOp> = first.ops.clone();
+    'second: for op2 in &second.ops {
+        match op2 {
+            AtomicOp::InsertInto { target: t2, forest: f2 } => {
+                // A1 / A2: same-target insertion merges into Δ1's op.
+                for op1 in merged.iter_mut() {
+                    if let AtomicOp::InsertInto { target: t1, forest: f1 } = op1 {
+                        if t1 == t2 {
+                            f1.push_str(f2);
+                            outcome.a1_fired += 1;
+                            continue 'second;
+                        }
+                    }
+                }
+                // D6: the target lives inside a pending forest of Δ1.
+                if doc.find_node(t2).is_none() {
+                    for op1 in merged.iter_mut() {
+                        let AtomicOp::InsertInto { target: t1, forest: f1 } = op1 else {
+                            continue;
+                        };
+                        if t1.is_ancestor_of(t2) {
+                            if let Some(spliced) = splice_into_forest(doc, f1, t1, t2, f2) {
+                                *f1 = spliced;
+                                outcome.d6_fired += 1;
+                                continue 'second;
+                            }
+                        }
+                    }
+                }
+                merged.push(op2.clone());
+            }
+            AtomicOp::Delete { .. } => merged.push(op2.clone()),
+        }
+    }
+    outcome.ops_after = merged.len();
+    (Pul::new(merged), outcome)
+}
+
+/// Splices `addition` under the forest node addressed by the label
+/// path `t1 → t2`, returning the re-serialized forest.
+fn splice_into_forest(
+    doc: &Document,
+    forest: &str,
+    t1: &DeweyId,
+    t2: &DeweyId,
+    addition: &str,
+) -> Option<String> {
+    // Parse the forest under a scratch root.
+    let mut scratch = parse_document(&format!("<scratch-root>{forest}</scratch-root>")).ok()?;
+    let root = scratch.root()?;
+    // Walk the label path below t1 through the forest.
+    let rel_steps = &t2.steps()[t1.depth()..];
+    let mut cur = root;
+    for step in rel_steps {
+        let label_name = doc.labels().name(step.label).to_owned();
+        let next = scratch
+            .children_of(cur)
+            .iter()
+            .copied()
+            .find(|&c| scratch.node(c).is_element() && scratch.label_name(scratch.node(c).label) == label_name)?;
+        cur = next;
+    }
+    xivm_xml::parser::parse_forest_into(&mut scratch, cur, addition).ok()?;
+    // Serialize children of the scratch root back into a forest.
+    let out: String =
+        scratch.children_of(root).to_vec().iter().map(|&c| serialize_node(&scratch, c)).collect();
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xivm_update::{apply_pul, compute_pul};
+    use xivm_xml::serialize_document;
+
+    fn pul(doc: &Document, stmt: &str) -> Pul {
+        let s = xivm_update::statement::parse_statement(stmt).unwrap();
+        compute_pul(doc, &s)
+    }
+
+    const DOC: &str = "<r><x/><y/></r>";
+
+    /// A1: same-target insertions merge across the two PULs.
+    #[test]
+    fn a1_merges_same_target() {
+        let d = parse_document(DOC).unwrap();
+        let p1 = pul(&d, "insert <c><b/></c> into //x");
+        let p2 = pul(&d, "insert <b/> into //x");
+        let (agg, out) = aggregate(&d, &p1, &p2);
+        assert_eq!(out.a1_fired, 1);
+        assert_eq!(agg.len(), 1);
+        match &agg.ops[0] {
+            AtomicOp::InsertInto { forest, .. } => assert_eq!(forest, "<c><b/></c><b/>"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// D6 (Example 5.3's third case): Δ2 inserts under a node that only
+    /// exists inside Δ1's pending forest.
+    #[test]
+    fn d6_splices_into_pending_forest() {
+        let mut d = parse_document(DOC).unwrap();
+        let p1 = pul(&d, "insert <d><b/></d> into //x");
+        // Fabricate a Δ2 op addressing the pending d under x: its ID
+        // extends the x target by a d step.
+        let x_target = p1.ops[0].target().clone();
+        let d_label = d.intern_label("d");
+        let inner = x_target.child(d_label, xivm_xml::dewey::ORD_STRIDE);
+        let p2 = Pul::new(vec![AtomicOp::InsertInto {
+            target: inner,
+            forest: "<b/>".to_owned(),
+        }]);
+        let (agg, out) = aggregate(&d, &p1, &p2);
+        assert_eq!(out.d6_fired, 1);
+        assert_eq!(agg.len(), 1);
+        match &agg.ops[0] {
+            AtomicOp::InsertInto { forest, .. } => assert_eq!(forest, "<d><b/><b/></d>"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Aggregation must equal sequential application.
+    #[test]
+    fn aggregation_preserves_semantics() {
+        let d0 = parse_document(DOC).unwrap();
+        let p1 = pul(&d0, "insert <a/> into //x");
+        let p2 = pul(&d0, "insert <b/> into //x");
+
+        let mut seq = parse_document(DOC).unwrap();
+        apply_pul(&mut seq, &p1).unwrap();
+        apply_pul(&mut seq, &p2).unwrap();
+
+        let (agg, _) = aggregate(&d0, &p1, &p2);
+        let mut once = parse_document(DOC).unwrap();
+        apply_pul(&mut once, &agg).unwrap();
+
+        assert_eq!(serialize_document(&seq), serialize_document(&once));
+    }
+
+    #[test]
+    fn unrelated_ops_concatenate() {
+        let d = parse_document(DOC).unwrap();
+        let p1 = pul(&d, "insert <a/> into //x");
+        let p2 = pul(&d, "delete //y");
+        let (agg, out) = aggregate(&d, &p1, &p2);
+        assert_eq!(agg.len(), 2);
+        assert_eq!(out.a1_fired + out.d6_fired, 0);
+    }
+}

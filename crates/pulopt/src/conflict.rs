@@ -1,0 +1,219 @@
+//! Conflict rules IO, LO and NLO (Figure 15), for PULs to be run in
+//! parallel.
+//!
+//! * **IO** (Insertion Order, symmetric) — two `ins↘` on the same
+//!   target: the result depends on execution order;
+//! * **LO** (Local Override) — a `del` in one PUL and an `ins↘` on the
+//!   same target in the other: the deletion erases the insertion's
+//!   effect;
+//! * **NLO** (Non-Local Override) — a `del` whose target is an
+//!   ancestor of the other PUL's `ins↘` target.
+
+use xivm_update::{AtomicOp, Pul};
+
+/// The kind of conflict detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictKind {
+    InsertionOrder,
+    LocalOverride,
+    NonLocalOverride,
+}
+
+/// A conflict between operation `left_idx` of the first PUL and
+/// `right_idx` of the second.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conflict {
+    pub kind: ConflictKind,
+    pub left_idx: usize,
+    pub right_idx: usize,
+    /// For the override kinds: true when the *left* operation is the
+    /// overridden one. IO is symmetric and ignores this flag.
+    pub left_overridden: bool,
+}
+
+/// How [`integrate`] resolves conflicts — the "conflict resolution
+/// policies" PUL producers specify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictPolicy {
+    /// Refuse to integrate when any conflict exists (the algorithm
+    /// "fails if it cannot identify a valid reconciliation").
+    Fail,
+    /// Keep the first PUL's operation, drop the conflicting one.
+    FirstWins,
+    /// Keep the second PUL's operation.
+    SecondWins,
+}
+
+/// Detects all IO / LO / NLO conflicts between two PULs.
+pub fn find_conflicts(first: &Pul, second: &Pul) -> Vec<Conflict> {
+    let mut out = Vec::new();
+    for (i, a) in first.ops.iter().enumerate() {
+        for (j, b) in second.ops.iter().enumerate() {
+            match (a, b) {
+                (
+                    AtomicOp::InsertInto { target: ta, .. },
+                    AtomicOp::InsertInto { target: tb, .. },
+                ) if ta == tb => {
+                    out.push(Conflict {
+                        kind: ConflictKind::InsertionOrder,
+                        left_idx: i,
+                        right_idx: j,
+                        left_overridden: false,
+                    });
+                }
+                (AtomicOp::Delete { node }, AtomicOp::InsertInto { target, .. }) => {
+                    if node == target {
+                        // the deletion (left) is overridden: its effect
+                        // hides the insertion — order-dependent; the
+                        // paper marks op1 (del) as overridden by op2.
+                        out.push(Conflict {
+                            kind: ConflictKind::LocalOverride,
+                            left_idx: i,
+                            right_idx: j,
+                            left_overridden: true,
+                        });
+                    } else if node.is_ancestor_of(target) {
+                        out.push(Conflict {
+                            kind: ConflictKind::NonLocalOverride,
+                            left_idx: i,
+                            right_idx: j,
+                            left_overridden: true,
+                        });
+                    }
+                }
+                (AtomicOp::InsertInto { target, .. }, AtomicOp::Delete { node }) => {
+                    if node == target {
+                        out.push(Conflict {
+                            kind: ConflictKind::LocalOverride,
+                            left_idx: i,
+                            right_idx: j,
+                            left_overridden: false,
+                        });
+                    } else if node.is_ancestor_of(target) {
+                        out.push(Conflict {
+                            kind: ConflictKind::NonLocalOverride,
+                            left_idx: i,
+                            right_idx: j,
+                            left_overridden: false,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Integrates two parallel PULs into one, applying `policy` to every
+/// conflict. Returns the conflicts alongside `Err` under
+/// [`ConflictPolicy::Fail`].
+pub fn integrate(
+    first: &Pul,
+    second: &Pul,
+    policy: ConflictPolicy,
+) -> Result<Pul, Vec<Conflict>> {
+    let conflicts = find_conflicts(first, second);
+    if !conflicts.is_empty() && policy == ConflictPolicy::Fail {
+        return Err(conflicts);
+    }
+    let mut drop_first = vec![false; first.ops.len()];
+    let mut drop_second = vec![false; second.ops.len()];
+    for c in &conflicts {
+        match policy {
+            ConflictPolicy::Fail => unreachable!("handled above"),
+            ConflictPolicy::FirstWins => drop_second[c.right_idx] = true,
+            ConflictPolicy::SecondWins => drop_first[c.left_idx] = true,
+        }
+    }
+    let mut ops = Vec::with_capacity(first.ops.len() + second.ops.len());
+    for (i, op) in first.ops.iter().enumerate() {
+        if !drop_first[i] {
+            ops.push(op.clone());
+        }
+    }
+    for (j, op) in second.ops.iter().enumerate() {
+        if !drop_second[j] {
+            ops.push(op.clone());
+        }
+    }
+    Ok(Pul::new(ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xivm_update::compute_pul;
+    use xivm_xml::parse_document;
+
+    fn pul(doc_xml: &str, stmt: &str) -> Pul {
+        let d = parse_document(doc_xml).unwrap();
+        let s = xivm_update::statement::parse_statement(stmt).unwrap();
+        compute_pul(&d, &s)
+    }
+
+    const DOC: &str = "<r><x><y/></x><z/></r>";
+
+    /// Example 5.2's three conflict kinds.
+    #[test]
+    fn all_three_conflict_kinds() {
+        // IO: both insert into //z
+        let io = find_conflicts(
+            &pul(DOC, "insert <a/> into //z"),
+            &pul(DOC, "insert <b/> into //z"),
+        );
+        assert_eq!(io.len(), 1);
+        assert_eq!(io[0].kind, ConflictKind::InsertionOrder);
+
+        // LO: delete //x vs insert into //x
+        let lo = find_conflicts(&pul(DOC, "delete //x"), &pul(DOC, "insert <b/> into //x"));
+        assert_eq!(lo.len(), 1);
+        assert_eq!(lo[0].kind, ConflictKind::LocalOverride);
+        assert!(lo[0].left_overridden);
+
+        // NLO: delete //x vs insert into //x/y (descendant)
+        let nlo = find_conflicts(&pul(DOC, "delete //x"), &pul(DOC, "insert <b/> into //y"));
+        assert_eq!(nlo.len(), 1);
+        assert_eq!(nlo[0].kind, ConflictKind::NonLocalOverride);
+    }
+
+    #[test]
+    fn fail_policy_rejects() {
+        let a = pul(DOC, "delete //x");
+        let b = pul(DOC, "insert <b/> into //x");
+        assert!(integrate(&a, &b, ConflictPolicy::Fail).is_err());
+        // conflict-free integration succeeds
+        let c = pul(DOC, "insert <b/> into //z");
+        let merged = integrate(&a, &c, ConflictPolicy::Fail).unwrap();
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn first_and_second_wins() {
+        let a = pul(DOC, "delete //x");
+        let b = pul(DOC, "insert <b/> into //x");
+        let fw = integrate(&a, &b, ConflictPolicy::FirstWins).unwrap();
+        assert_eq!(fw.len(), 1, "the insertion is dropped");
+        assert!(matches!(fw.ops[0], xivm_update::AtomicOp::Delete { .. }));
+        let sw = integrate(&a, &b, ConflictPolicy::SecondWins).unwrap();
+        assert_eq!(sw.len(), 1, "the deletion is dropped");
+        assert!(sw.ops[0].is_insert());
+    }
+
+    #[test]
+    fn symmetric_detection_when_roles_swap() {
+        let a = pul(DOC, "insert <b/> into //y");
+        let b = pul(DOC, "delete //x");
+        let c = find_conflicts(&a, &b);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].kind, ConflictKind::NonLocalOverride);
+        assert!(!c[0].left_overridden);
+    }
+
+    #[test]
+    fn disjoint_puls_have_no_conflicts() {
+        let a = pul(DOC, "insert <b/> into //y");
+        let b = pul(DOC, "insert <b/> into //z");
+        assert!(find_conflicts(&a, &b).is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Reduction rules O1, O3 and I5 (Figure 14).
+//!
+//! * **O1** — `op(n,·) ; del(n)` with `op ∈ {ins↘, del}`: only the
+//!   second deletion needs to run;
+//! * **O3** — `op(n,·) ; del(n′)` with `n` a descendant of `n′`: the
+//!   later deletion of the ancestor swallows the earlier operation;
+//! * **I5** — `ins↘(n, L1) ; ins↘(n, L2)`: one combined
+//!   `ins↘(n, [L1, L2])`.
+
+use xivm_update::{AtomicOp, Pul};
+
+/// Which rules fired, for reporting (the Section 6.8 experiments count
+/// eliminated operations).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReductionTrace {
+    pub o1_fired: usize,
+    pub o3_fired: usize,
+    pub i5_fired: usize,
+    pub ops_before: usize,
+    pub ops_after: usize,
+}
+
+/// Applies O1, O3 and I5 to a single PUL, preserving the relative
+/// order of the surviving operations.
+pub fn reduce(pul: &Pul) -> (Pul, ReductionTrace) {
+    let mut trace = ReductionTrace { ops_before: pul.len(), ..Default::default() };
+    // Pass 1 — O1 / O3: an operation is dropped if a *later* deletion
+    // targets the same node (O1) or an ancestor of its target (O3).
+    let mut keep: Vec<AtomicOp> = Vec::with_capacity(pul.ops.len());
+    for (i, op) in pul.ops.iter().enumerate() {
+        let mut dropped = false;
+        for later in &pul.ops[i + 1..] {
+            let AtomicOp::Delete { node: del } = later else {
+                continue;
+            };
+            if del == op.target() {
+                // An insertion or deletion followed by a deletion of
+                // the same target: just perform the second deletion.
+                // (For del;del the first is the one dropped, keeping
+                // the later occurrence, which preserves sequencing.)
+                trace.o1_fired += 1;
+                dropped = true;
+                break;
+            }
+            if del.is_ancestor_of(op.target()) {
+                trace.o3_fired += 1;
+                dropped = true;
+                break;
+            }
+        }
+        if !dropped {
+            keep.push(op.clone());
+        }
+    }
+    // Pass 2 — I5: merge insertions with the same target into the
+    // first occurrence, concatenating the forests in order.
+    let mut merged: Vec<AtomicOp> = Vec::with_capacity(keep.len());
+    for op in keep {
+        match op {
+            AtomicOp::InsertInto { target, forest } => {
+                if let Some(AtomicOp::InsertInto { forest: existing, .. }) =
+                    merged.iter_mut().find(|m| {
+                        matches!(m, AtomicOp::InsertInto { target: t, .. } if *t == target)
+                    })
+                {
+                    existing.push_str(&forest);
+                    trace.i5_fired += 1;
+                } else {
+                    merged.push(AtomicOp::InsertInto { target, forest });
+                }
+            }
+            del => merged.push(del),
+        }
+    }
+    trace.ops_after = merged.len();
+    (Pul::new(merged), trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xivm_update::{apply_pul, compute_pul, UpdateStatement};
+    use xivm_xml::{parse_document, serialize_document, Document};
+
+    fn ins(doc: &Document, path: &str, xml: &str) -> Vec<AtomicOp> {
+        compute_pul(doc, &UpdateStatement::insert(path, xml).unwrap()).ops
+    }
+
+    fn del(doc: &Document, path: &str) -> Vec<AtomicOp> {
+        compute_pul(doc, &UpdateStatement::delete(path).unwrap()).ops
+    }
+
+    /// Example 5.1's structure: O1, O3 and I5 all fire.
+    #[test]
+    fn example_5_1_reduction() {
+        // document with distinct targets x (killed by its own delete),
+        // y-child (killed by delete of y), z (insertions merged)
+        let d = parse_document("<r><x/><y><w/></y><z/></r>").unwrap();
+        let mut ops = Vec::new();
+        ops.extend(ins(&d, "//x", "<b><d/></b>")); // op1: killed by O1
+        ops.extend(del(&d, "//x")); // op2
+        ops.extend(ins(&d, "//y/w", "<b/>")); // op3: killed by O3
+        ops.extend(del(&d, "//y")); // op4
+        ops.extend(ins(&d, "//z", "<b/>")); // op5: merged by I5
+        ops.extend(ins(&d, "//z", "<d><b/></d>")); // op6
+        let (reduced, trace) = reduce(&Pul::new(ops));
+        assert_eq!(trace.o1_fired, 1);
+        assert_eq!(trace.o3_fired, 1);
+        assert_eq!(trace.i5_fired, 1);
+        assert_eq!(reduced.len(), 3, "del(x), del(y), ins(z, combined)");
+        match &reduced.ops[2] {
+            AtomicOp::InsertInto { forest, .. } => assert_eq!(forest, "<b/><d><b/></d>"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Reduction must not change the final document.
+    #[test]
+    fn reduction_preserves_semantics() {
+        let base = "<r><x><k/></x><y><w/></y><z/></r>";
+        let d0 = parse_document(base).unwrap();
+        let mut ops = Vec::new();
+        ops.extend(ins(&d0, "//k", "<q/>"));
+        ops.extend(ins(&d0, "//x", "<p/>"));
+        ops.extend(del(&d0, "//x"));
+        ops.extend(ins(&d0, "//z", "<m/>"));
+        ops.extend(ins(&d0, "//z", "<n/>"));
+        ops.extend(del(&d0, "//y/w"));
+        let pul = Pul::new(ops);
+
+        let mut plain = parse_document(base).unwrap();
+        apply_pul(&mut plain, &pul).unwrap();
+
+        let (reduced, _) = reduce(&pul);
+        let mut optimized = parse_document(base).unwrap();
+        apply_pul(&mut optimized, &reduced).unwrap();
+
+        assert_eq!(serialize_document(&plain), serialize_document(&optimized));
+        assert!(reduced.len() < pul.len());
+    }
+
+    #[test]
+    fn no_rules_fire_on_independent_ops() {
+        let d = parse_document("<r><x/><y/></r>").unwrap();
+        let mut ops = ins(&d, "//x", "<a/>");
+        ops.extend(del(&d, "//y"));
+        let (reduced, trace) = reduce(&Pul::new(ops));
+        assert_eq!(reduced.len(), 2);
+        assert_eq!(trace.o1_fired + trace.o3_fired + trace.i5_fired, 0);
+    }
+
+    #[test]
+    fn duplicate_deletes_collapse() {
+        let d = parse_document("<r><x/></r>").unwrap();
+        let mut ops = del(&d, "//x");
+        ops.extend(del(&d, "//x"));
+        let (reduced, trace) = reduce(&Pul::new(ops));
+        assert_eq!(reduced.len(), 1);
+        assert_eq!(trace.o1_fired, 1);
+    }
+
+    #[test]
+    fn insert_after_delete_is_kept() {
+        // del(x) then ins(x): the insert targets a now-dead node; the
+        // rules only drop operations *before* a deletion, so order is
+        // preserved and apply-time no-op semantics decide.
+        let d = parse_document("<r><x/></r>").unwrap();
+        let mut ops = del(&d, "//x");
+        ops.extend(ins(&d, "//x", "<a/>"));
+        let (reduced, _) = reduce(&Pul::new(ops));
+        assert_eq!(reduced.len(), 2);
+    }
+}

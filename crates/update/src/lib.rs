@@ -1,0 +1,21 @@
+//! The XQuery Update subset of Section 2.3 and its runtime.
+//!
+//! * [`statement`] — statement-level updates: `delete q`,
+//!   `insert xml into q`, `for $x in q insert xml into $x`, and
+//!   `insert q1 into q2`;
+//! * [`pul`] — pending update lists (`compute-pul`, Section 3.4):
+//!   atomic `ins↘` / `del` operations over structural IDs;
+//! * [`apply`] — applying a PUL to the document (`apply-insert`),
+//!   assigning Dewey IDs to the copied trees as a side effect;
+//! * [`delta`] — the Δ⁺ / Δ⁻ tables (Algorithm 2, CD+ and its deletion
+//!   counterpart CD−).
+
+pub mod apply;
+pub mod delta;
+pub mod pul;
+pub mod statement;
+
+pub use apply::{apply_pul, ApplyResult, DeletedNode};
+pub use delta::{DeltaMinus, DeltaPlus};
+pub use pul::{compute_pul, AtomicOp, Pul};
+pub use statement::UpdateStatement;

@@ -1,0 +1,168 @@
+//! Statement-level updates (Section 2.3).
+
+use std::fmt;
+use xivm_pattern::xpath::{parse_xpath, LocationPath, XPathParseError};
+
+/// A statement-level XML update.
+///
+/// `for $x in q insert xml into $x` and `insert xml into q` coincide
+/// here: both insert the forest under every node returned by `q`.
+/// `insert q1 into q2` copies the forests rooted at `q1`'s results
+/// under every `q2` result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateStatement {
+    /// `delete q`.
+    Delete { target: LocationPath },
+    /// `insert xml into q` / `for $x in q insert xml into $x`.
+    Insert { target: LocationPath, xml: String },
+    /// `insert q1 into q2` — both paths over the same document.
+    InsertFrom { source: LocationPath, target: LocationPath },
+}
+
+impl UpdateStatement {
+    /// `delete <path>`.
+    pub fn delete(path: &str) -> Result<Self, XPathParseError> {
+        Ok(UpdateStatement::Delete { target: parse_xpath(path)? })
+    }
+
+    /// `insert <xml> into <path>`.
+    pub fn insert(path: &str, xml: impl Into<String>) -> Result<Self, XPathParseError> {
+        Ok(UpdateStatement::Insert { target: parse_xpath(path)?, xml: xml.into() })
+    }
+
+    /// `insert <source-path> into <target-path>`.
+    pub fn insert_from(source: &str, target: &str) -> Result<Self, XPathParseError> {
+        Ok(UpdateStatement::InsertFrom {
+            source: parse_xpath(source)?,
+            target: parse_xpath(target)?,
+        })
+    }
+
+    /// True for the insertion variants.
+    pub fn is_insert(&self) -> bool {
+        !matches!(self, UpdateStatement::Delete { .. })
+    }
+
+    /// The statement's target path (where nodes are added / removed).
+    pub fn target(&self) -> &LocationPath {
+        match self {
+            UpdateStatement::Delete { target }
+            | UpdateStatement::Insert { target, .. }
+            | UpdateStatement::InsertFrom { target, .. } => target,
+        }
+    }
+}
+
+/// Parses the textual statement forms used in the paper's test set:
+/// `delete PATH`, `insert XML into PATH`,
+/// `for $x in PATH insert XML into $x`, `insert PATH1 into PATH2`.
+pub fn parse_statement(input: &str) -> Result<UpdateStatement, StatementParseError> {
+    let text = input.trim();
+    if let Some(rest) = text.strip_prefix("delete ") {
+        return UpdateStatement::delete(rest.trim()).map_err(StatementParseError::from);
+    }
+    if let Some(rest) = text.strip_prefix("for ") {
+        // for $x in PATH insert XML into $x
+        let in_pos = rest.find(" in ").ok_or_else(|| StatementParseError::syntax("missing 'in'"))?;
+        let after_in = &rest[in_pos + 4..];
+        let ins_pos = after_in
+            .find(" insert ")
+            .ok_or_else(|| StatementParseError::syntax("missing 'insert'"))?;
+        let path = after_in[..ins_pos].trim();
+        let after_insert = &after_in[ins_pos + " insert ".len()..];
+        let into_pos = after_insert
+            .rfind(" into ")
+            .ok_or_else(|| StatementParseError::syntax("missing 'into'"))?;
+        let xml = after_insert[..into_pos].trim();
+        return UpdateStatement::insert(path, xml).map_err(StatementParseError::from);
+    }
+    if let Some(rest) = text.strip_prefix("insert ") {
+        let into_pos =
+            rest.rfind(" into ").ok_or_else(|| StatementParseError::syntax("missing 'into'"))?;
+        let what = rest[..into_pos].trim();
+        let target = rest[into_pos + " into ".len()..].trim();
+        if what.starts_with('<') {
+            return UpdateStatement::insert(target, what).map_err(StatementParseError::from);
+        }
+        return UpdateStatement::insert_from(what, target).map_err(StatementParseError::from);
+    }
+    Err(StatementParseError::syntax("expected 'delete', 'insert' or 'for'"))
+}
+
+/// Statement parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatementParseError {
+    pub message: String,
+}
+
+impl StatementParseError {
+    fn syntax(m: &str) -> Self {
+        StatementParseError { message: m.to_owned() }
+    }
+}
+
+impl From<XPathParseError> for StatementParseError {
+    fn from(e: XPathParseError) -> Self {
+        StatementParseError { message: e.to_string() }
+    }
+}
+
+impl fmt::Display for StatementParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "update statement parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for StatementParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_delete() {
+        let s = parse_statement("delete //c//b").unwrap();
+        assert!(matches!(s, UpdateStatement::Delete { .. }));
+        assert!(!s.is_insert());
+        assert_eq!(s.target().len(), 2);
+    }
+
+    #[test]
+    fn parse_insert_xml() {
+        let s = parse_statement("insert <a><b/></a> into //x/y").unwrap();
+        match s {
+            UpdateStatement::Insert { xml, target } => {
+                assert_eq!(xml, "<a><b/></a>");
+                assert_eq!(target.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_for_insert() {
+        let s =
+            parse_statement("for $x in //site/people/person insert <name>N</name> into $x")
+                .unwrap();
+        match s {
+            UpdateStatement::Insert { xml, target } => {
+                assert_eq!(xml, "<name>N</name>");
+                assert_eq!(target.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_insert_from_path() {
+        let s = parse_statement("insert //templates/item into //regions/asia").unwrap();
+        assert!(matches!(s, UpdateStatement::InsertFrom { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_statement("replace //a with <b/>").is_err());
+        assert!(parse_statement("insert <a/> //x").is_err());
+        assert!(parse_statement("for $x insert <a/> into $x").is_err());
+    }
+}

@@ -1,0 +1,323 @@
+//! Deterministic XMark-like document generator.
+//!
+//! Emits the element hierarchy of the XMark auction schema that the
+//! paper's views and updates exercise — `site / regions / * / item`,
+//! `people / person`, `open_auctions / open_auction / bidder`,
+//! `closed_auctions / closed_auction` — with the optional-element
+//! probabilities (phone?, homepage?, reserve?, …) that give the
+//! XPathMark predicate classes non-trivial selectivities. Documents
+//! are built directly in the arena store; serialized size tracks the
+//! byte target within a few percent (checked by tests).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xivm_xml::{Document, NodeId};
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct XmarkConfig {
+    /// Approximate serialized size of the generated document.
+    pub target_bytes: usize,
+    pub seed: u64,
+}
+
+impl Default for XmarkConfig {
+    fn default() -> Self {
+        XmarkConfig { target_bytes: 100 * 1024, seed: 42 }
+    }
+}
+
+const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+
+const WORDS: [&str; 24] = [
+    "gold", "vintage", "rare", "auction", "preferred", "mint", "boxed", "classic", "large",
+    "small", "signed", "limited", "edition", "antique", "modern", "series", "original",
+    "replica", "premium", "standard", "deluxe", "compact", "heavy", "light",
+];
+
+const FIRST_NAMES: [&str; 12] = [
+    "Jim", "Ann", "Bob", "Eve", "Ida", "Max", "Ola", "Pia", "Rex", "Sue", "Tom", "Zoe",
+];
+
+const LAST_NAMES: [&str; 10] =
+    ["Smith", "Jones", "Brown", "Diaz", "Kumar", "Lee", "Novak", "Okoro", "Park", "Weiss"];
+
+/// The paper's Q3 filters on increase = "4.50"; keep it common.
+const INCREASES: [&str; 6] = ["1.50", "3.00", "4.50", "4.50", "6.00", "7.50"];
+
+/// Calibrated average serialized bytes contributed per entity,
+/// including its share of the fixed skeleton.
+const BYTES_PER_UNIT: usize = 1500;
+
+/// Generates a document of roughly `cfg.target_bytes` serialized
+/// bytes, deterministically from `cfg.seed`.
+pub fn generate(cfg: &XmarkConfig) -> Document {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // One "unit" = one person + one item + one open auction + one
+    // closed auction (plus skeleton amortization).
+    let units = (cfg.target_bytes / BYTES_PER_UNIT).max(3);
+    let n_persons = units;
+    let n_items = units;
+    let n_open = units.div_ceil(2);
+    let n_closed = units.div_ceil(3);
+
+    let mut doc = Document::new();
+    let site = doc.set_root("site").expect("fresh document");
+
+    // regions
+    let regions = doc.append_element(site, "regions").unwrap();
+    let region_nodes: Vec<NodeId> =
+        REGIONS.iter().map(|r| doc.append_element(regions, r).unwrap()).collect();
+    for i in 0..n_items {
+        let region = region_nodes[rng.random_range(0..region_nodes.len())];
+        gen_item(&mut doc, &mut rng, region, i);
+    }
+
+    // people
+    let people = doc.append_element(site, "people").unwrap();
+    for i in 0..n_persons {
+        gen_person(&mut doc, &mut rng, people, i);
+    }
+
+    // open auctions
+    let opens = doc.append_element(site, "open_auctions").unwrap();
+    for i in 0..n_open {
+        gen_open_auction(&mut doc, &mut rng, opens, i, n_persons, n_items);
+    }
+
+    // closed auctions
+    let closeds = doc.append_element(site, "closed_auctions").unwrap();
+    for i in 0..n_closed {
+        gen_closed_auction(&mut doc, &mut rng, closeds, i, n_persons, n_items);
+    }
+
+    doc
+}
+
+/// Shorthand: default seed, explicit size.
+pub fn generate_sized(bytes: usize) -> Document {
+    generate(&XmarkConfig { target_bytes: bytes, ..Default::default() })
+}
+
+fn words(rng: &mut StdRng, n: usize) -> String {
+    (0..n).map(|_| WORDS[rng.random_range(0..WORDS.len())]).collect::<Vec<_>>().join(" ")
+}
+
+fn text_child(doc: &mut Document, parent: NodeId, tag: &str, text: &str) -> NodeId {
+    let e = doc.append_element(parent, tag).unwrap();
+    doc.append_text(e, text).unwrap();
+    e
+}
+
+fn gen_item(doc: &mut Document, rng: &mut StdRng, region: NodeId, idx: usize) {
+    let item = doc.append_element(region, "item").unwrap();
+    doc.append_attribute(item, "id", &format!("item{idx}")).unwrap();
+    text_child(doc, item, "location", if rng.random_bool(0.5) { "United States" } else { "Internal" });
+    text_child(doc, item, "quantity", &format!("{}", 1 + rng.random_range(0..5)));
+    let name = words(rng, 2);
+    text_child(doc, item, "name", &name);
+    text_child(doc, item, "payment", "Creditcard, Personal Check, Cash");
+    if rng.random_bool(0.9) {
+        let d = doc.append_element(item, "description").unwrap();
+        let n = 6 + rng.random_range(0..10);
+        let t = words(rng, n);
+        text_child(doc, d, "parlist", &t);
+    }
+    if rng.random_bool(0.5) {
+        let mb = doc.append_element(item, "mailbox").unwrap();
+        for _ in 0..rng.random_range(0..3) {
+            let mail = doc.append_element(mb, "mail").unwrap();
+            text_child(doc, mail, "from", &format!("{} {}", pick(rng, &FIRST_NAMES), pick(rng, &LAST_NAMES)));
+            text_child(doc, mail, "date", &gen_date(rng));
+            text_child(doc, mail, "text", &words(rng, 5));
+        }
+    }
+}
+
+fn gen_person(doc: &mut Document, rng: &mut StdRng, people: NodeId, idx: usize) {
+    let p = doc.append_element(people, "person").unwrap();
+    doc.append_attribute(p, "id", &format!("person{idx}")).unwrap();
+    let name = format!("{} {}", pick(rng, &FIRST_NAMES), pick(rng, &LAST_NAMES));
+    text_child(doc, p, "name", &name);
+    text_child(doc, p, "emailaddress", &format!("mailto:p{idx}@example.org"));
+    if rng.random_bool(0.4) {
+        text_child(doc, p, "phone", &format!("+1 ({}) {}", rng.random_range(100..999), rng.random_range(1000000..9999999)));
+    }
+    if rng.random_bool(0.3) {
+        let addr = doc.append_element(p, "address").unwrap();
+        text_child(doc, addr, "street", &format!("{} {} St", rng.random_range(1..99), pick(rng, &WORDS)));
+        text_child(doc, addr, "city", pick(rng, &LAST_NAMES));
+        text_child(doc, addr, "country", "United States");
+        text_child(doc, addr, "zipcode", &format!("{}", rng.random_range(10000..99999)));
+    }
+    if rng.random_bool(0.3) {
+        text_child(doc, p, "homepage", &format!("http://www.example.org/~p{idx}"));
+    }
+    if rng.random_bool(0.25) {
+        text_child(doc, p, "creditcard", &format!("{} {} {} {}", rng.random_range(1000..9999), rng.random_range(1000..9999), rng.random_range(1000..9999), rng.random_range(1000..9999)));
+    }
+    if rng.random_bool(0.6) {
+        let prof = doc.append_element(p, "profile").unwrap();
+        doc.append_attribute(prof, "income", &format!("{}", rng.random_range(20000..99999))).unwrap();
+        for _ in 0..rng.random_range(0..3) {
+            let i = doc.append_element(prof, "interest").unwrap();
+            doc.append_attribute(i, "category", &format!("category{}", rng.random_range(0..20))).unwrap();
+        }
+        if rng.random_bool(0.5) {
+            text_child(doc, prof, "education", "Graduate School");
+        }
+        if rng.random_bool(0.5) {
+            text_child(doc, prof, "gender", if rng.random_bool(0.5) { "male" } else { "female" });
+        }
+        text_child(doc, prof, "business", if rng.random_bool(0.5) { "Yes" } else { "No" });
+        if rng.random_bool(0.4) {
+            text_child(doc, prof, "age", &format!("{}", rng.random_range(18..80)));
+        }
+    }
+    let watches = doc.append_element(p, "watches").unwrap();
+    for _ in 0..rng.random_range(0..3) {
+        let w = doc.append_element(watches, "watch").unwrap();
+        doc.append_attribute(w, "open_auction", &format!("open_auction{}", rng.random_range(0..50))).unwrap();
+    }
+}
+
+fn gen_open_auction(
+    doc: &mut Document,
+    rng: &mut StdRng,
+    opens: NodeId,
+    idx: usize,
+    n_persons: usize,
+    n_items: usize,
+) {
+    let a = doc.append_element(opens, "open_auction").unwrap();
+    doc.append_attribute(a, "id", &format!("open_auction{idx}")).unwrap();
+    text_child(doc, a, "initial", INCREASES[rng.random_range(0..INCREASES.len())]);
+    if rng.random_bool(0.5) {
+        text_child(doc, a, "reserve", &format!("{}.00", rng.random_range(10..500)));
+    }
+    for _ in 0..rng.random_range(0..4) {
+        let b = doc.append_element(a, "bidder").unwrap();
+        text_child(doc, b, "date", &gen_date(rng));
+        text_child(doc, b, "time", &format!("{:02}:{:02}:{:02}", rng.random_range(0..24), rng.random_range(0..60), rng.random_range(0..60)));
+        let pr = doc.append_element(b, "personref").unwrap();
+        doc.append_attribute(pr, "person", &format!("person{}", rng.random_range(0..n_persons))).unwrap();
+        text_child(doc, b, "increase", INCREASES[rng.random_range(0..INCREASES.len())]);
+    }
+    text_child(doc, a, "current", &format!("{}.00", rng.random_range(10..999)));
+    if rng.random_bool(0.3) {
+        text_child(doc, a, "privacy", "Yes");
+    }
+    let ir = doc.append_element(a, "itemref").unwrap();
+    doc.append_attribute(ir, "item", &format!("item{}", rng.random_range(0..n_items))).unwrap();
+    let seller = doc.append_element(a, "seller").unwrap();
+    doc.append_attribute(seller, "person", &format!("person{}", rng.random_range(0..n_persons))).unwrap();
+    let ann = doc.append_element(a, "annotation").unwrap();
+    let d = doc.append_element(ann, "description").unwrap();
+    doc.append_text(d, &words(rng, 4)).unwrap();
+    text_child(doc, a, "quantity", "1");
+    text_child(doc, a, "type", "Regular");
+    let iv = doc.append_element(a, "interval").unwrap();
+    text_child(doc, iv, "start", &gen_date(rng));
+    text_child(doc, iv, "end", &gen_date(rng));
+}
+
+fn gen_closed_auction(
+    doc: &mut Document,
+    rng: &mut StdRng,
+    closeds: NodeId,
+    _idx: usize,
+    n_persons: usize,
+    n_items: usize,
+) {
+    let a = doc.append_element(closeds, "closed_auction").unwrap();
+    let seller = doc.append_element(a, "seller").unwrap();
+    doc.append_attribute(seller, "person", &format!("person{}", rng.random_range(0..n_persons))).unwrap();
+    let buyer = doc.append_element(a, "buyer").unwrap();
+    doc.append_attribute(buyer, "person", &format!("person{}", rng.random_range(0..n_persons))).unwrap();
+    let ir = doc.append_element(a, "itemref").unwrap();
+    doc.append_attribute(ir, "item", &format!("item{}", rng.random_range(0..n_items))).unwrap();
+    text_child(doc, a, "price", &format!("{}.00", rng.random_range(10..999)));
+    text_child(doc, a, "date", &gen_date(rng));
+    text_child(doc, a, "quantity", "1");
+    text_child(doc, a, "type", "Regular");
+    let ann = doc.append_element(a, "annotation").unwrap();
+    let d = doc.append_element(ann, "description").unwrap();
+    doc.append_text(d, &words(rng, 4)).unwrap();
+}
+
+fn gen_date(rng: &mut StdRng) -> String {
+    format!("{:02}/{:02}/{}", rng.random_range(1..13), rng.random_range(1..29), rng.random_range(1999..2011))
+}
+
+fn pick<'a>(rng: &mut StdRng, xs: &[&'a str]) -> &'a str {
+    xs[rng.random_range(0..xs.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xivm_xml::serialize_document;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&XmarkConfig { target_bytes: 50_000, seed: 7 });
+        let b = generate(&XmarkConfig { target_bytes: 50_000, seed: 7 });
+        assert_eq!(serialize_document(&a), serialize_document(&b));
+        let c = generate(&XmarkConfig { target_bytes: 50_000, seed: 8 });
+        assert_ne!(serialize_document(&a), serialize_document(&c));
+    }
+
+    #[test]
+    fn size_tracks_target() {
+        for target in [100 * 1024, 500 * 1024] {
+            let d = generate_sized(target);
+            let size = serialize_document(&d).len();
+            let ratio = size as f64 / target as f64;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "target {target} produced {size} bytes (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn schema_elements_are_present() {
+        let d = generate_sized(100 * 1024);
+        for label in [
+            "site", "regions", "namerica", "item", "people", "person", "name", "profile",
+            "open_auctions", "open_auction", "bidder", "increase", "closed_auctions",
+        ] {
+            assert!(
+                !d.canonical_nodes_named(label).is_empty(),
+                "expected at least one <{label}>"
+            );
+        }
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn optional_elements_have_expected_frequencies() {
+        let d = generate_sized(200 * 1024);
+        let persons = d.canonical_nodes_named("person").len() as f64;
+        let phones = d.canonical_nodes_named("phone").len() as f64;
+        let homepages = d.canonical_nodes_named("homepage").len() as f64;
+        assert!((0.2..0.6).contains(&(phones / persons)), "phone ratio {}", phones / persons);
+        assert!(
+            (0.15..0.5).contains(&(homepages / persons)),
+            "homepage ratio {}",
+            homepages / persons
+        );
+    }
+
+    #[test]
+    fn q3_selectivity_nonzero() {
+        // some increase must be exactly 4.50 for Q3 to be non-trivial
+        let d = generate_sized(100 * 1024);
+        let hits = d
+            .canonical_nodes_named("increase")
+            .iter()
+            .filter(|&&n| d.value(n) == "4.50")
+            .count();
+        assert!(hits > 0);
+    }
+}

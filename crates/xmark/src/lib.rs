@@ -1,0 +1,24 @@
+//! XMark-like workloads (Section 6.1).
+//!
+//! The paper evaluates on XMark [Schmidt et al. 2002] documents,
+//! XMark queries as views, and XPathMark-derived updates
+//! (Appendix A). This crate re-creates that workload deterministically:
+//!
+//! * [`generator`] — a seeded generator emitting the XMark auction
+//!   schema subset the views and updates touch, scaled by a byte
+//!   target;
+//! * [`views`] — the view catalog (Q1, Q2, Q3, Q4, Q6, Q13, Q17 of
+//!   Appendix A.6, parsed from their XQuery text) and the Q1
+//!   annotation variants of Figure 24;
+//! * [`updates`] — the update catalog of Appendix A (classes L, LB,
+//!   A, O, AO), each usable as an insertion or a deletion;
+//! * [`sizes`] — the document-size ladder of the experiments.
+
+pub mod generator;
+pub mod sizes;
+pub mod updates;
+pub mod views;
+
+pub use generator::{generate, generate_sized, XmarkConfig};
+pub use updates::{all_updates, update_by_name, updates_for_view, BenchUpdate, UpdateClass, DEPTH_LADDER, X1_L_PRED};
+pub use views::{q1_variant, view_pattern, view_query, Q1Variant, VIEW_NAMES};

@@ -1,0 +1,83 @@
+//! The document-size ladder of Section 6.
+//!
+//! The paper measures at 100 KB, 500 KB, 1 MB, 10 MB and 50 MB. The
+//! harness defaults to a scaled-down ladder so `cargo bench` completes
+//! in minutes; set `XIVM_FULL=1` to use the paper's sizes.
+
+/// A named document size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DocSize {
+    pub label: &'static str,
+    pub bytes: usize,
+}
+
+pub const KB: usize = 1024;
+pub const MB: usize = 1024 * 1024;
+
+/// The paper's ladder (Figure 25 spans 500 KB – 50 MB).
+pub const PAPER_LADDER: [DocSize; 5] = [
+    DocSize { label: "100KB", bytes: 100 * KB },
+    DocSize { label: "500KB", bytes: 500 * KB },
+    DocSize { label: "1MB", bytes: MB },
+    DocSize { label: "10MB", bytes: 10 * MB },
+    DocSize { label: "50MB", bytes: 50 * MB },
+];
+
+/// Scaled-down ladder for default harness runs.
+pub const QUICK_LADDER: [DocSize; 5] = [
+    DocSize { label: "100KB", bytes: 100 * KB },
+    DocSize { label: "250KB", bytes: 250 * KB },
+    DocSize { label: "500KB", bytes: 500 * KB },
+    DocSize { label: "1MB", bytes: MB },
+    DocSize { label: "2MB", bytes: 2 * MB },
+]; // labels keep the relative 1:20 span of the paper's ladder in spirit
+
+/// True when the environment asks for paper-scale runs.
+pub fn full_scale() -> bool {
+    std::env::var("XIVM_FULL").is_ok_and(|v| v == "1")
+}
+
+/// The ladder to use for scalability experiments.
+pub fn ladder() -> &'static [DocSize] {
+    if full_scale() {
+        &PAPER_LADDER
+    } else {
+        &QUICK_LADDER
+    }
+}
+
+/// The single "reference document" size (the paper's 10 MB; 1 MB in
+/// quick mode).
+pub fn reference_size() -> DocSize {
+    if full_scale() {
+        DocSize { label: "10MB", bytes: 10 * MB }
+    } else {
+        DocSize { label: "1MB", bytes: MB }
+    }
+}
+
+/// The small comparison size (the paper's 100 KB).
+pub fn small_size() -> DocSize {
+    DocSize { label: "100KB", bytes: 100 * KB }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladders_are_increasing() {
+        for w in PAPER_LADDER.windows(2) {
+            assert!(w[0].bytes < w[1].bytes);
+        }
+        for w in QUICK_LADDER.windows(2) {
+            assert!(w[0].bytes < w[1].bytes);
+        }
+    }
+
+    #[test]
+    fn reference_sizes() {
+        assert_eq!(small_size().bytes, 100 * KB);
+        assert!(reference_size().bytes >= MB);
+    }
+}

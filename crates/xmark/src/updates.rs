@@ -1,0 +1,293 @@
+//! The update catalog of Appendix A.
+//!
+//! Each entry carries the XPath of its target nodes and the XML
+//! fragment its insertion variant adds; its deletion variant removes
+//! the target nodes instead ("inserting dummy elements into each of —
+//! or deleting, respectively — the nodes returned by the respective
+//! XPathMark query"). The five syntactic classes are those of the
+//! appendix: L (linear), LB (linear + boolean filter), A (and), O
+//! (or), AO (and + or).
+
+use xivm_pattern::xpath::parse_xpath;
+use xivm_update::UpdateStatement;
+
+/// The update's syntactic class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateClass {
+    L,
+    LB,
+    A,
+    O,
+    AO,
+}
+
+impl UpdateClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            UpdateClass::L => "L",
+            UpdateClass::LB => "LB",
+            UpdateClass::A => "A",
+            UpdateClass::O => "O",
+            UpdateClass::AO => "AO",
+        }
+    }
+}
+
+/// One catalog entry.
+#[derive(Debug, Clone)]
+pub struct BenchUpdate {
+    pub name: &'static str,
+    pub class: UpdateClass,
+    /// Target path (over the generated auction document).
+    pub path: &'static str,
+    /// The forest its insertion variant adds under each target.
+    pub insert_xml: &'static str,
+}
+
+impl BenchUpdate {
+    /// `for $x in path insert xml into $x`.
+    pub fn insert_stmt(&self) -> UpdateStatement {
+        UpdateStatement::Insert {
+            target: parse_xpath(self.path).expect("catalog paths parse"),
+            xml: self.insert_xml.to_owned(),
+        }
+    }
+
+    /// `delete path`.
+    pub fn delete_stmt(&self) -> UpdateStatement {
+        UpdateStatement::Delete { target: parse_xpath(self.path).expect("catalog paths parse") }
+    }
+}
+
+const NAME_XML: &str = "<name>Martin<name>and</name><name>some</name><name>test</name>\
+                        <name>nodes</name></name>";
+const INCREASE_XML: &str = "<increase>inserted 100.00<increase>and</increase>\
+                            <increase>some</increase><increase>test</increase>\
+                            <increase>nodes</increase></increase>";
+const ITEM_XML: &str = "<item><location>Unknown</location><quantity>1</quantity>\
+                        <name>inserted item</name>\
+                        <payment>Creditcard, Personal Check, Cash</payment></item>";
+const ITEM_DESC_XML: &str = "<item><location>Unknown</location><quantity>1</quantity>\
+                             <name>inserted item</name>\
+                             <payment>Creditcard, Personal Check, Cash</payment>\
+                             <description>Test description</description></item>";
+
+/// The full catalog (Appendix A.1–A.5).
+pub fn all_updates() -> Vec<BenchUpdate> {
+    use UpdateClass::*;
+    vec![
+        // --- A.1 linear path expressions
+        BenchUpdate { name: "X1_L", class: L, path: "/site/people/person", insert_xml: NAME_XML },
+        BenchUpdate {
+            name: "X2_L",
+            class: L,
+            path: "/site/open_auctions/open_auction/bidder",
+            insert_xml: INCREASE_XML,
+        },
+        BenchUpdate {
+            name: "B3_L",
+            class: L,
+            path: "//open_auction/bidder",
+            insert_xml: INCREASE_XML,
+        },
+        BenchUpdate { name: "E6_L", class: L, path: "/site/regions/*/item", insert_xml: ITEM_XML },
+        BenchUpdate {
+            name: "X17_L",
+            class: L,
+            path: "/site/regions//item",
+            insert_xml: ITEM_DESC_XML,
+        },
+        BenchUpdate {
+            name: "B5_L",
+            class: L,
+            path: "/site/regions/*/item/name",
+            insert_xml: ITEM_XML,
+        },
+        // --- A.2 linear with boolean filter
+        BenchUpdate {
+            name: "B7_LB",
+            class: LB,
+            path: "//person[profile/@income]",
+            insert_xml: NAME_XML,
+        },
+        BenchUpdate {
+            name: "B3_LB",
+            class: LB,
+            path: "/site/open_auctions/open_auction[reserve]/bidder",
+            insert_xml: INCREASE_XML,
+        },
+        BenchUpdate {
+            name: "B5_LB",
+            class: LB,
+            path: "/site/regions/*/item[name]",
+            insert_xml: ITEM_XML,
+        },
+        // --- A.3 AND predicates
+        BenchUpdate {
+            name: "A6_A",
+            class: A,
+            path: "/site/people/person[phone and homepage]",
+            insert_xml: NAME_XML,
+        },
+        BenchUpdate {
+            name: "X3_A",
+            class: A,
+            path: "/site/open_auctions/open_auction[privacy and bidder]/bidder",
+            insert_xml: INCREASE_XML,
+        },
+        BenchUpdate {
+            name: "B1_A",
+            class: A,
+            path: "/site/regions[namerica or samerica]//item",
+            insert_xml: ITEM_XML,
+        },
+        BenchUpdate {
+            name: "E6_A",
+            class: A,
+            path: "/site/regions/*/item[description][name]",
+            insert_xml: ITEM_XML,
+        },
+        BenchUpdate {
+            name: "X16_A",
+            class: A,
+            path: "/site/regions//item[description][name]",
+            insert_xml: ITEM_DESC_XML,
+        },
+        // --- A.4 OR predicates
+        BenchUpdate {
+            name: "A7_O",
+            class: O,
+            path: "/site/people/person[phone or homepage]",
+            insert_xml: NAME_XML,
+        },
+        BenchUpdate {
+            name: "X4_O",
+            class: O,
+            path: "/site/open_auctions/open_auction[bidder or privacy]/bidder",
+            insert_xml: INCREASE_XML,
+        },
+        BenchUpdate {
+            name: "X7_O",
+            class: O,
+            path: "/site/regions//item[description or name]",
+            insert_xml: ITEM_XML,
+        },
+        BenchUpdate {
+            name: "B1_O",
+            class: O,
+            path: "/site/regions[namerica or samerica]/item",
+            insert_xml: ITEM_DESC_XML,
+        },
+        // --- A.5 AND + OR predicates
+        BenchUpdate {
+            name: "A8_AO",
+            class: AO,
+            path: "/site/people/person[address and (phone or homepage) and (creditcard or profile)]",
+            insert_xml: NAME_XML,
+        },
+        BenchUpdate {
+            name: "X5_AO",
+            class: AO,
+            path: "/site/open_auctions/open_auction[current and (bidder or reserve)]/bidder",
+            insert_xml: INCREASE_XML,
+        },
+        BenchUpdate {
+            name: "X8_AO",
+            class: AO,
+            path: "/site/regions//item[description and (name or mailbox)]",
+            insert_xml: ITEM_XML,
+        },
+    ]
+}
+
+/// Looks up a catalog entry by name.
+pub fn update_by_name(name: &str) -> BenchUpdate {
+    all_updates().into_iter().find(|u| u.name == name).unwrap_or_else(|| {
+        panic!("unknown update {name}")
+    })
+}
+
+/// The (view, update) pairs of Figures 18–21: five updates per view,
+/// one per class.
+pub fn updates_for_view(view: &str) -> Vec<BenchUpdate> {
+    let names: [&str; 5] = match view {
+        "Q1" | "Q17" => ["X1_L", "A6_A", "A7_O", "A8_AO", "B7_LB"],
+        "Q2" | "Q3" | "Q4" => ["X2_L", "X3_A", "X4_O", "X5_AO", "B3_LB"],
+        "Q6" => ["B1_A", "B5_LB", "E6_L", "X7_O", "X8_AO"],
+        "Q13" => ["B1_O", "B5_LB", "X16_A", "X17_L", "X8_AO"],
+        other => panic!("unknown view {other}"),
+    };
+    names.into_iter().map(update_by_name).collect()
+}
+
+/// The X1_L depth ladder of Figures 22–23.
+pub const DEPTH_LADDER: [&str; 5] = [
+    "/site",
+    "/site/people",
+    "/site/people/person",
+    "/site/people/person/@id",
+    "/site/people/person/name",
+];
+
+/// The fixed predicated X1_L of Figure 24.
+pub const X1_L_PRED: &str = "/site/people/person[@id=\"person0\"]";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate_sized;
+    use xivm_pattern::xpath::eval_path;
+    use xivm_update::compute_pul;
+
+    #[test]
+    fn catalog_paths_parse_and_match() {
+        let d = generate_sized(120 * 1024);
+        for u in all_updates() {
+            let path = parse_xpath(u.path).unwrap();
+            let targets = eval_path(&d, &path);
+            // B1_O legitimately matches nothing (regions has no direct
+            // item children); everything else must hit.
+            if u.name != "B1_O" {
+                assert!(!targets.is_empty(), "{} matched nothing", u.name);
+            }
+        }
+    }
+
+    #[test]
+    fn classes_cover_all_five() {
+        let classes: std::collections::BTreeSet<&str> =
+            all_updates().iter().map(|u| u.class.name()).collect();
+        assert_eq!(classes.len(), 5);
+    }
+
+    #[test]
+    fn per_view_catalog_is_one_per_class() {
+        for v in crate::views::VIEW_NAMES {
+            let ups = updates_for_view(v);
+            assert_eq!(ups.len(), 5, "{v}");
+            let classes: std::collections::BTreeSet<&str> =
+                ups.iter().map(|u| u.class.name()).collect();
+            assert_eq!(classes.len(), 5, "{v} must span all classes");
+        }
+    }
+
+    #[test]
+    fn statements_expand_to_puls() {
+        let d = generate_sized(60 * 1024);
+        let u = update_by_name("X1_L");
+        let ins = compute_pul(&d, &u.insert_stmt());
+        let del = compute_pul(&d, &u.delete_stmt());
+        assert!(!ins.is_empty());
+        assert_eq!(ins.len(), del.len(), "same targets for both variants");
+        assert!(ins.ops.iter().all(|o| o.is_insert()));
+        assert!(del.ops.iter().all(|o| !o.is_insert()));
+    }
+
+    #[test]
+    fn depth_ladder_parses() {
+        for p in DEPTH_LADDER {
+            parse_xpath(p).unwrap();
+        }
+        parse_xpath(X1_L_PRED).unwrap();
+    }
+}

@@ -1,0 +1,162 @@
+//! The view catalog (Appendix A.6) and the Q1 annotation variants of
+//! Figure 24.
+
+use xivm_pattern::view::parse_view;
+use xivm_pattern::{parse_pattern, TreePattern};
+
+/// The XMark views the experiments use.
+pub const VIEW_NAMES: [&str; 7] = ["Q1", "Q2", "Q3", "Q4", "Q6", "Q13", "Q17"];
+
+/// The XQuery text of a view, as listed in Appendix A.6 (modulo the
+/// auction.xml binding).
+pub fn view_query(name: &str) -> &'static str {
+    match name {
+        "Q1" => {
+            "let $auction := doc(\"auction.xml\") return \
+             for $b in $auction/site/people/person[@id] return $b/name/text()"
+        }
+        "Q2" => {
+            "let $auction := doc(\"auction.xml\") return \
+             for $b in $auction/site/open_auctions/open_auction \
+             return $b/bidder/increase"
+        }
+        "Q3" => {
+            "let $auction := doc(\"auction.xml\") return \
+             for $b in $auction/site/open_auctions/open_auction \
+             where $b/bidder/increase = \"4.50\" \
+             return $b/bidder/increase/text()"
+        }
+        "Q4" => {
+            "let $auction := doc(\"auction.xml\") return \
+             for $b in $auction/site/open_auctions/open_auction \
+             where $b/bidder/personref[@person = \"person12\"] \
+             return $b/bidder/increase/text()"
+        }
+        "Q6" => {
+            "let $auction := doc(\"auction.xml\") return \
+             for $b in $auction/site/regions return $b//item"
+        }
+        "Q13" => {
+            "let $auction := doc(\"auction.xml\") return \
+             for $i in $auction/site/regions/namerica/item \
+             return ($i/name/text(), $i/description)"
+        }
+        "Q17" => {
+            "let $auction := doc(\"auction.xml\") return \
+             for $b in $auction/site/people/person[homepage] return $b/name/text()"
+        }
+        other => panic!("unknown view {other}"),
+    }
+}
+
+/// The view's tree pattern, via the Figure 3 dialect translation.
+pub fn view_pattern(name: &str) -> TreePattern {
+    parse_view(view_query(name)).expect("catalog views are well-formed")
+}
+
+/// The Q1 annotation variants of Figure 24 (Section 6.3). All variants
+/// store IDs for all nodes; they differ in where `val`+`cont` sit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Q1Variant {
+    /// IDs only.
+    Ids,
+    /// val+cont on the `name` leaf.
+    VcLeaf,
+    /// val+cont on the `site` root.
+    VcRoot,
+    /// val+cont on every node but the root.
+    VcAllButRoot,
+    /// val+cont everywhere.
+    VcAll,
+}
+
+impl Q1Variant {
+    pub const ALL: [Q1Variant; 5] = [
+        Q1Variant::Ids,
+        Q1Variant::VcLeaf,
+        Q1Variant::VcRoot,
+        Q1Variant::VcAllButRoot,
+        Q1Variant::VcAll,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Q1Variant::Ids => "IDs",
+            Q1Variant::VcLeaf => "VC Leaf",
+            Q1Variant::VcRoot => "VC Root",
+            Q1Variant::VcAllButRoot => "VC All Nodes but Root",
+            Q1Variant::VcAll => "VC All Nodes",
+        }
+    }
+}
+
+/// Builds the Q1 pattern
+/// `/site/people/person[@id]/name` with the variant's annotations.
+pub fn q1_variant(variant: Q1Variant) -> TreePattern {
+    let vc = "{id,val,cont}";
+    let id = "{id}";
+    let (site, people, person, at_id, name) = match variant {
+        Q1Variant::Ids => (id, id, id, id, id),
+        Q1Variant::VcLeaf => (id, id, id, id, vc),
+        Q1Variant::VcRoot => (vc, id, id, id, id),
+        Q1Variant::VcAllButRoot => (id, vc, vc, id, vc),
+        Q1Variant::VcAll => (vc, vc, vc, id, vc),
+    };
+    let text =
+        format!("/site{site}/people{people}/person{person}[/@id{at_id}]/name{name}");
+    parse_pattern(&text).expect("variant syntax is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_views_parse_to_patterns() {
+        for name in VIEW_NAMES {
+            let p = view_pattern(name);
+            assert!(p.len() >= 2, "{name} has at least two nodes");
+            assert!(!p.stored_nodes().is_empty(), "{name} stores something");
+        }
+    }
+
+    #[test]
+    fn view_shapes_match_the_appendix() {
+        assert_eq!(view_pattern("Q1").to_text(), "/site/people/person[/@id]/name{id,val}");
+        assert_eq!(
+            view_pattern("Q2").to_text(),
+            "/site/open_auctions/open_auction/bidder/increase{id,cont}"
+        );
+        assert_eq!(view_pattern("Q6").to_text(), "/site/regions//item{id,cont}");
+        assert!(view_pattern("Q3").to_text().contains("[val=\"4.50\"]"));
+        assert!(view_pattern("Q4").to_text().contains("@person[val=\"person12\"]"));
+        assert!(view_pattern("Q17").to_text().contains("[/homepage]"));
+    }
+
+    #[test]
+    fn q1_variants_differ_only_in_annotations() {
+        for v in Q1Variant::ALL {
+            let p = q1_variant(v);
+            assert_eq!(p.len(), 5, "{}", v.name());
+        }
+        let ids = q1_variant(Q1Variant::Ids);
+        assert!(ids.cvn().is_empty());
+        let all = q1_variant(Q1Variant::VcAll);
+        assert_eq!(all.cvn().len(), 4, "every element node stores text");
+        let leaf = q1_variant(Q1Variant::VcLeaf);
+        assert_eq!(leaf.cvn().len(), 1);
+    }
+
+    #[test]
+    fn views_evaluate_on_generated_documents() {
+        let d = crate::generator::generate_sized(60 * 1024);
+        for name in VIEW_NAMES {
+            let p = view_pattern(name);
+            let tuples = xivm_pattern::compile::view_tuples(&d, &p);
+            // Q4 may be empty on tiny documents; everything else must hit
+            if name != "Q4" {
+                assert!(!tuples.is_empty(), "{name} found nothing");
+            }
+        }
+    }
+}

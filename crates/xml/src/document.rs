@@ -1,0 +1,509 @@
+//! The arena-based XML document store.
+
+use crate::canonical::CanonicalIndex;
+use crate::dewey::{between_ord, next_sibling_ord, DeweyId};
+use crate::error::XmlError;
+use crate::label::{attribute_label, LabelId, LabelInterner, TEXT_LABEL};
+use crate::node::{Node, NodeId, NodeKind};
+use crate::serializer::serialize_node;
+
+/// An ordered labeled tree of element, attribute and text nodes, with
+/// update-stable Dewey identifiers and per-label canonical relations.
+///
+/// Deletion marks nodes dead rather than reclaiming arena slots, so
+/// `NodeId`s held by in-flight operations never dangle; all traversal
+/// APIs skip dead nodes.
+#[derive(Debug, Default, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: Option<NodeId>,
+    labels: LabelInterner,
+    canonical: CanonicalIndex,
+}
+
+impl Document {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Label management
+    // ------------------------------------------------------------------
+
+    pub fn labels(&self) -> &LabelInterner {
+        &self.labels
+    }
+
+    pub fn intern_label(&mut self, name: &str) -> LabelId {
+        self.labels.intern(name)
+    }
+
+    pub fn label_id(&self, name: &str) -> Option<LabelId> {
+        self.labels.get(name)
+    }
+
+    pub fn label_name(&self, id: LabelId) -> &str {
+        self.labels.name(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Creates the root element. Fails if a root already exists.
+    pub fn set_root(&mut self, tag: &str) -> Result<NodeId, XmlError> {
+        if self.root.is_some() {
+            return Err(XmlError::InvalidTarget("document already has a root".into()));
+        }
+        let label = self.labels.intern(tag);
+        let id = self.push_node(Node {
+            kind: NodeKind::Element,
+            label,
+            ord: next_sibling_ord(None),
+            parent: None,
+            children: Vec::new(),
+            text: None,
+            alive: true,
+            max_child_ord: 0,
+        });
+        self.root = Some(id);
+        self.canonical.insert(&self.nodes, label, id);
+        Ok(id)
+    }
+
+    /// Appends a new element child after the current last child.
+    pub fn append_element(&mut self, parent: NodeId, tag: &str) -> Result<NodeId, XmlError> {
+        let label = self.labels.intern(tag);
+        self.append_node(parent, NodeKind::Element, label, None)
+    }
+
+    /// Appends an attribute node (interned under `@name`).
+    pub fn append_attribute(
+        &mut self,
+        parent: NodeId,
+        name: &str,
+        value: &str,
+    ) -> Result<NodeId, XmlError> {
+        let label = self.labels.intern(&attribute_label(name));
+        self.append_node(parent, NodeKind::Attribute, label, Some(value.to_owned()))
+    }
+
+    /// Appends a text node.
+    pub fn append_text(&mut self, parent: NodeId, text: &str) -> Result<NodeId, XmlError> {
+        let label = self.labels.intern(TEXT_LABEL);
+        self.append_node(parent, NodeKind::Text, label, Some(text.to_owned()))
+    }
+
+    /// Inserts a new element *before* an existing child, exercising the
+    /// midpoint ordinal allocation (no relabeling of existing nodes).
+    pub fn insert_element_before(
+        &mut self,
+        parent: NodeId,
+        before: NodeId,
+        tag: &str,
+    ) -> Result<NodeId, XmlError> {
+        self.check_alive(parent)?;
+        self.check_alive(before)?;
+        let pos = self.nodes[parent.index()]
+            .children
+            .iter()
+            .position(|&c| c == before)
+            .ok_or_else(|| XmlError::InvalidTarget("`before` is not a child of parent".into()))?;
+        let right = self.nodes[before.index()].ord;
+        let left = if pos == 0 {
+            0
+        } else {
+            let prev = self.nodes[parent.index()].children[pos - 1];
+            self.nodes[prev.index()].ord
+        };
+        let ord = between_ord(left, right)
+            .ok_or_else(|| XmlError::InvalidTarget("sibling ordinal gap exhausted".into()))?;
+        let label = self.labels.intern(tag);
+        let id = self.push_node(Node {
+            kind: NodeKind::Element,
+            label,
+            ord,
+            parent: Some(parent),
+            children: Vec::new(),
+            text: None,
+            alive: true,
+            max_child_ord: 0,
+        });
+        self.nodes[parent.index()].children.insert(pos, id);
+        self.canonical.insert(&self.nodes, label, id);
+        Ok(id)
+    }
+
+    fn append_node(
+        &mut self,
+        parent: NodeId,
+        kind: NodeKind,
+        label: LabelId,
+        text: Option<String>,
+    ) -> Result<NodeId, XmlError> {
+        self.check_alive(parent)?;
+        if !self.nodes[parent.index()].is_element() {
+            return Err(XmlError::InvalidTarget("children can only be added to elements".into()));
+        }
+        // Allocate past the highest ordinal *ever* used under this
+        // parent (not just the current last child): ordinals of deleted
+        // children are never reused, so their IDs stay dead forever.
+        let max = self.nodes[parent.index()].max_child_ord;
+        let ord = next_sibling_ord((max > 0).then_some(max));
+        let id = self.push_node(Node {
+            kind,
+            label,
+            ord,
+            parent: Some(parent),
+            children: Vec::new(),
+            text,
+            alive: true,
+            max_child_ord: 0,
+        });
+        self.nodes[parent.index()].children.push(id);
+        self.nodes[parent.index()].max_child_ord = ord;
+        self.canonical.insert(&self.nodes, label, id);
+        Ok(id)
+    }
+
+    fn push_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion
+    // ------------------------------------------------------------------
+
+    /// Removes the subtree rooted at `node` (XQuery Update `delete`
+    /// semantics: all descendants go too). Returns the removed nodes in
+    /// pre-order, which is exactly what Δ⁻ extraction needs.
+    pub fn remove_subtree(&mut self, node: NodeId) -> Result<Vec<NodeId>, XmlError> {
+        self.check_alive(node)?;
+        if Some(node) == self.root {
+            self.root = None;
+        }
+        if let Some(p) = self.nodes[node.index()].parent {
+            self.nodes[p.index()].children.retain(|&c| c != node);
+        }
+        let removed = self.descendants_or_self(node);
+        for &n in &removed {
+            let label = self.nodes[n.index()].label;
+            self.canonical.remove(label, n);
+            self.nodes[n.index()].alive = false;
+        }
+        Ok(removed)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        id.index() < self.nodes.len() && self.nodes[id.index()].alive
+    }
+
+    pub fn parent_of(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Live children in document order.
+    pub fn children_of(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// All nodes in the arena (including dead ones); mostly for
+    /// debugging and invariant checks.
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    // ------------------------------------------------------------------
+    // Structure queries
+    // ------------------------------------------------------------------
+
+    /// Materializes the full Dewey ID of a node by climbing to the root.
+    pub fn dewey(&self, id: NodeId) -> DeweyId {
+        let mut steps = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let n = &self.nodes[c.index()];
+            steps.push(crate::dewey::Step::new(n.label, n.ord));
+            cur = n.parent;
+        }
+        steps.reverse();
+        DeweyId::from_steps(steps)
+    }
+
+    /// Finds the live node identified by a Dewey ID, if any.
+    pub fn find_node(&self, id: &DeweyId) -> Option<NodeId> {
+        let root = self.root?;
+        let steps = id.steps();
+        if steps.is_empty() || self.nodes[root.index()].ord != steps[0].ord {
+            return None;
+        }
+        let mut cur = root;
+        for step in &steps[1..] {
+            let children = &self.nodes[cur.index()].children;
+            let found = children
+                .binary_search_by(|c| self.nodes[c.index()].ord.cmp(&step.ord))
+                .ok()?;
+            cur = children[found];
+            if self.nodes[cur.index()].label != step.label {
+                return None; // stale ID from a different document era
+            }
+        }
+        self.nodes[cur.index()].alive.then_some(cur)
+    }
+
+    /// Pre-order traversal of the live subtree rooted at `id`
+    /// (attributes included, in document order).
+    pub fn descendants_or_self(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if !self.nodes[n.index()].alive {
+                continue;
+            }
+            out.push(n);
+            // push children reversed so pop yields document order
+            for &c in self.nodes[n.index()].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// The string *value* of a node: concatenation of its text
+    /// descendants in document order (XPath string-value). Attribute
+    /// subtrees are excluded for elements; attributes and text nodes
+    /// yield their own text.
+    pub fn value(&self, id: NodeId) -> String {
+        let n = &self.nodes[id.index()];
+        match n.kind {
+            NodeKind::Text | NodeKind::Attribute => n.text.clone().unwrap_or_default(),
+            NodeKind::Element => {
+                let mut out = String::new();
+                self.collect_text(id, &mut out);
+                out
+            }
+        }
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        for &c in &self.nodes[id.index()].children {
+            let n = &self.nodes[c.index()];
+            if !n.alive {
+                continue;
+            }
+            match n.kind {
+                NodeKind::Text => out.push_str(n.text.as_deref().unwrap_or("")),
+                NodeKind::Element => self.collect_text(c, out),
+                NodeKind::Attribute => {}
+            }
+        }
+    }
+
+    /// The *content* of a node: its full serialized subtree image.
+    pub fn content(&self, id: NodeId) -> String {
+        serialize_node(self, id)
+    }
+
+    /// Live members of the canonical relation `R_label`, in document
+    /// order.
+    pub fn canonical_nodes(&self, label: LabelId) -> &[NodeId] {
+        self.canonical.nodes(label)
+    }
+
+    /// Canonical relation by label *name*; empty when the label never
+    /// occurred in the document.
+    pub fn canonical_nodes_named(&self, name: &str) -> &[NodeId] {
+        match self.labels.get(name) {
+            Some(l) => self.canonical.nodes(l),
+            None => &[],
+        }
+    }
+
+    fn check_alive(&self, id: NodeId) -> Result<(), XmlError> {
+        if self.is_alive(id) {
+            Ok(())
+        } else {
+            Err(XmlError::DeadNode)
+        }
+    }
+
+    /// Verifies internal invariants (parent/child symmetry, ordinal
+    /// monotonicity, canonical-index consistency). Used by tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.alive {
+                continue;
+            }
+            let id = NodeId(i as u32);
+            let mut last_ord = 0u64;
+            for &c in &n.children {
+                let cn = &self.nodes[c.index()];
+                if !cn.alive {
+                    return Err(format!("dead child {c:?} retained under {id:?}"));
+                }
+                if cn.parent != Some(id) {
+                    return Err(format!("child {c:?} does not point back to {id:?}"));
+                }
+                if cn.ord <= last_ord {
+                    return Err(format!("non-monotonic ordinals under {id:?}"));
+                }
+                last_ord = cn.ord;
+            }
+            if !self.canonical.contains(n.label, id) {
+                return Err(format!("node {id:?} missing from canonical relation"));
+            }
+        }
+        self.canonical.check_sorted(&self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Document, NodeId, NodeId, NodeId) {
+        // <a><c><b/></c><f><b/></f></a>  (Figure 2 of the paper)
+        let mut d = Document::new();
+        let a = d.set_root("a").unwrap();
+        let c = d.append_element(a, "c").unwrap();
+        let b1 = d.append_element(c, "b").unwrap();
+        let f = d.append_element(a, "f").unwrap();
+        let _b2 = d.append_element(f, "b").unwrap();
+        d.check_invariants().unwrap();
+        (d, a, c, b1)
+    }
+
+    #[test]
+    fn structure_matches_figure_2() {
+        let (d, a, c, b1) = sample();
+        assert!(d.dewey(a).is_parent_of(&d.dewey(c)));
+        assert!(d.dewey(a).is_ancestor_of(&d.dewey(b1)));
+        assert!(d.dewey(c).is_parent_of(&d.dewey(b1)));
+        let b_label = d.label_id("b").unwrap();
+        assert_eq!(d.canonical_nodes(b_label).len(), 2);
+    }
+
+    #[test]
+    fn only_one_root_allowed() {
+        let mut d = Document::new();
+        d.set_root("a").unwrap();
+        assert!(d.set_root("b").is_err());
+    }
+
+    #[test]
+    fn value_concatenates_text_descendants() {
+        let mut d = Document::new();
+        let r = d.set_root("a").unwrap();
+        d.append_text(r, "x").unwrap();
+        let b = d.append_element(r, "b").unwrap();
+        d.append_attribute(b, "id", "skip-me").unwrap();
+        d.append_text(b, "y").unwrap();
+        assert_eq!(d.value(r), "xy");
+        assert_eq!(d.value(b), "y");
+    }
+
+    #[test]
+    fn attribute_value_is_its_own_value() {
+        let mut d = Document::new();
+        let r = d.set_root("a").unwrap();
+        let at = d.append_attribute(r, "id", "person0").unwrap();
+        assert_eq!(d.value(at), "person0");
+        assert_eq!(d.label_name(d.node(at).label), "@id");
+    }
+
+    #[test]
+    fn remove_subtree_returns_preorder_and_updates_canonical() {
+        let (mut d, _a, c, b1) = sample();
+        let removed = d.remove_subtree(c).unwrap();
+        assert_eq!(removed, vec![c, b1]);
+        assert!(!d.is_alive(c));
+        assert!(!d.is_alive(b1));
+        let b_label = d.label_id("b").unwrap();
+        assert_eq!(d.canonical_nodes(b_label).len(), 1);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_then_access_is_error() {
+        let (mut d, _, c, _) = sample();
+        d.remove_subtree(c).unwrap();
+        assert_eq!(d.remove_subtree(c), Err(XmlError::DeadNode));
+        assert!(d.append_element(c, "z").is_err());
+    }
+
+    #[test]
+    fn dewey_find_roundtrip() {
+        let (d, a, c, b1) = sample();
+        for n in [a, c, b1] {
+            assert_eq!(d.find_node(&d.dewey(n)), Some(n));
+        }
+        // deleted node is not found
+        let mut d2 = d.clone();
+        let id = d2.dewey(b1);
+        d2.remove_subtree(b1).unwrap();
+        assert_eq!(d2.find_node(&id), None);
+    }
+
+    #[test]
+    fn insert_before_keeps_existing_ids_stable() {
+        let (mut d, a, c, _) = sample();
+        let c_id_before = d.dewey(c);
+        let f = d.children_of(a)[1];
+        let new = d.insert_element_before(a, f, "z").unwrap();
+        assert_eq!(d.dewey(c), c_id_before, "existing IDs must not change");
+        let ids: Vec<_> = d.children_of(a).to_vec();
+        assert_eq!(ids, vec![c, new, f]);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn descendants_or_self_is_preorder() {
+        let (d, a, c, b1) = sample();
+        let all = d.descendants_or_self(a);
+        assert_eq!(all[0], a);
+        assert_eq!(all[1], c);
+        assert_eq!(all[2], b1);
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn canonical_relation_in_document_order() {
+        let (d, _, _, _) = sample();
+        let b = d.label_id("b").unwrap();
+        let rel = d.canonical_nodes(b);
+        assert!(d.dewey(rel[0]).doc_cmp(&d.dewey(rel[1])).is_lt());
+    }
+
+    #[test]
+    fn children_can_only_be_added_to_elements() {
+        let mut d = Document::new();
+        let r = d.set_root("a").unwrap();
+        let t = d.append_text(r, "hello").unwrap();
+        assert!(d.append_element(t, "b").is_err());
+    }
+
+    #[test]
+    fn content_serializes_subtree() {
+        let (d, _, c, _) = sample();
+        assert_eq!(d.content(c), "<c><b/></c>");
+    }
+}

@@ -1,0 +1,155 @@
+//! A sorted index over a set of subtree roots (a "forest" of Dewey
+//! IDs), answering coverage queries in `O(log n)`.
+//!
+//! The maintenance engine asks two questions against potentially large
+//! root sets (e.g. the targets of `delete /site/people/person`):
+//! *is this node inside any of the subtrees?* (snowcap retain
+//! filtering) and *does this node's subtree contain any root?*
+//! (PIMT / PDMT affectedness). Linear scans make both O(|rel|·|roots|);
+//! this index reduces them to binary searches over the maximal roots.
+
+use crate::dewey::DeweyId;
+
+/// An immutable set of subtree roots, reduced to its maximal elements
+/// (roots nested under other roots are redundant for coverage).
+#[derive(Debug, Clone, Default)]
+pub struct DeweyForest {
+    /// Maximal roots in document order; no element is an ancestor of
+    /// another.
+    roots: Vec<DeweyId>,
+}
+
+impl DeweyForest {
+    pub fn new(mut roots: Vec<DeweyId>) -> Self {
+        roots.sort_by(|a, b| a.doc_cmp(b));
+        let mut maximal: Vec<DeweyId> = Vec::with_capacity(roots.len());
+        for r in roots {
+            match maximal.last() {
+                Some(last) if last.is_ancestor_or_self_of(&r) => {} // nested: drop
+                _ => maximal.push(r),
+            }
+        }
+        DeweyForest { roots: maximal }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.roots.len()
+    }
+
+    pub fn roots(&self) -> &[DeweyId] {
+        &self.roots
+    }
+
+    /// True iff `id` lies inside (or is) one of the subtrees.
+    ///
+    /// Because the maximal roots are disjoint subtrees in document
+    /// order, the only candidate is the last root ≤ `id`.
+    pub fn covers(&self, id: &DeweyId) -> bool {
+        let pos = self.roots.partition_point(|r| r.doc_cmp(id).is_le());
+        pos > 0 && self.roots[pos - 1].is_ancestor_or_self_of(id)
+    }
+
+    /// True iff the subtree rooted at `id` contains at least one root
+    /// (including `id` itself).
+    ///
+    /// Roots inside `id`'s subtree form a contiguous doc-order range
+    /// starting at the first root ≥ `id`.
+    pub fn intersects_subtree(&self, id: &DeweyId) -> bool {
+        let pos = self.roots.partition_point(|r| r.doc_cmp(id).is_lt());
+        if pos < self.roots.len() && id.is_ancestor_or_self_of(&self.roots[pos]) {
+            return true;
+        }
+        // a root strictly before `id` could still cover it
+        pos > 0 && self.roots[pos - 1].is_ancestor_or_self_of(id)
+    }
+
+    /// True iff the subtree rooted at `id` *properly* contains a root
+    /// (the PDMT condition: a surviving node whose content shrank).
+    pub fn has_proper_descendant_root(&self, id: &DeweyId) -> bool {
+        let pos = self.roots.partition_point(|r| r.doc_cmp(id).is_le());
+        pos < self.roots.len() && id.is_ancestor_of(&self.roots[pos])
+    }
+
+    /// True iff the subtree rooted at `id` contains a root, `id`
+    /// itself included (the PIMT condition: the stored node is an
+    /// insertion target or an ancestor of one).
+    pub fn has_descendant_or_self_root(&self, id: &DeweyId) -> bool {
+        let pos = self.roots.partition_point(|r| r.doc_cmp(id).is_lt());
+        pos < self.roots.len() && id.is_ancestor_or_self_of(&self.roots[pos])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dewey::Step;
+    use crate::label::LabelId;
+
+    fn id(parts: &[(u32, u64)]) -> DeweyId {
+        DeweyId::from_steps(parts.iter().map(|&(a, b)| Step::new(LabelId(a), b)).collect())
+    }
+
+    #[test]
+    fn nested_roots_are_reduced() {
+        let f = DeweyForest::new(vec![
+            id(&[(0, 1), (1, 2)]),
+            id(&[(0, 1), (1, 2), (2, 3)]), // nested under the first
+            id(&[(0, 1), (1, 9)]),
+        ]);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn covers_matches_linear_scan() {
+        let roots =
+            vec![id(&[(0, 1), (1, 2)]), id(&[(0, 1), (1, 7)]), id(&[(0, 1), (1, 9), (2, 1)])];
+        let f = DeweyForest::new(roots.clone());
+        let probes = [
+            id(&[(0, 1)]),
+            id(&[(0, 1), (1, 2)]),
+            id(&[(0, 1), (1, 2), (5, 5)]),
+            id(&[(0, 1), (1, 3)]),
+            id(&[(0, 1), (1, 7), (2, 2), (3, 3)]),
+            id(&[(0, 1), (1, 9)]),
+            id(&[(0, 1), (1, 9), (2, 1), (9, 9)]),
+        ];
+        for p in &probes {
+            let expected = roots.iter().any(|r| r.is_ancestor_or_self_of(p));
+            assert_eq!(f.covers(p), expected, "{p}");
+        }
+    }
+
+    #[test]
+    fn subtree_intersection_matches_linear_scan() {
+        let roots = vec![id(&[(0, 1), (1, 2), (2, 3)]), id(&[(0, 1), (1, 7)])];
+        let f = DeweyForest::new(roots.clone());
+        let probes = [
+            id(&[(0, 1)]),
+            id(&[(0, 1), (1, 2)]),
+            id(&[(0, 1), (1, 2), (2, 3)]),
+            id(&[(0, 1), (1, 2), (2, 4)]),
+            id(&[(0, 1), (1, 3)]),
+            id(&[(0, 1), (1, 7), (2, 8)]),
+        ];
+        for p in &probes {
+            let expected = roots
+                .iter()
+                .any(|r| p.is_ancestor_or_self_of(r) || r.is_ancestor_or_self_of(p));
+            assert_eq!(f.intersects_subtree(p), expected, "{p}");
+            let expected_proper = roots.iter().any(|r| p.is_ancestor_of(r));
+            assert_eq!(f.has_proper_descendant_root(p), expected_proper, "{p}");
+        }
+    }
+
+    #[test]
+    fn empty_forest() {
+        let f = DeweyForest::new(vec![]);
+        assert!(f.is_empty());
+        assert!(!f.covers(&id(&[(0, 1)])));
+        assert!(!f.intersects_subtree(&id(&[(0, 1)])));
+    }
+}

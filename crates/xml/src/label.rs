@@ -1,0 +1,120 @@
+//! Interned node labels.
+//!
+//! Element tags, attribute names (stored with a leading `@`) and the
+//! pseudo-label for text nodes are interned into dense [`LabelId`]s so
+//! canonical relations, Dewey steps and pattern nodes can compare labels
+//! with a single integer comparison.
+
+use std::collections::HashMap;
+
+/// Pseudo-label under which all text nodes are registered.
+pub const TEXT_LABEL: &str = "#text";
+
+/// A dense identifier for an interned label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// Raw index, usable to address side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional label ↔ id mapping.
+///
+/// Interners are append-only: ids are stable for the lifetime of the
+/// owning document, which is what keeps Dewey steps self-describing.
+#[derive(Debug, Default, Clone)]
+pub struct LabelInterner {
+    names: Vec<String>,
+    ids: HashMap<String, LabelId>,
+}
+
+impl LabelInterner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing id when already present.
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = LabelId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned label.
+    pub fn get(&self, name: &str) -> Option<LabelId> {
+        self.ids.get(name).copied()
+    }
+
+    /// The textual name of `id`.
+    pub fn name(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (LabelId(i as u32), n.as_str()))
+    }
+}
+
+/// Conventional interned spelling of an attribute named `name`.
+pub fn attribute_label(name: &str) -> String {
+    format!("@{name}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut li = LabelInterner::new();
+        let a = li.intern("a");
+        let b = li.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(li.intern("a"), a);
+        assert_eq!(li.len(), 2);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        let mut li = LabelInterner::new();
+        let id = li.intern("open_auction");
+        assert_eq!(li.name(id), "open_auction");
+        assert_eq!(li.get("open_auction"), Some(id));
+        assert_eq!(li.get("missing"), None);
+    }
+
+    #[test]
+    fn attribute_labels_are_prefixed() {
+        assert_eq!(attribute_label("id"), "@id");
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut li = LabelInterner::new();
+        li.intern("x");
+        li.intern("y");
+        let names: Vec<_> = li.iter().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+}

@@ -1,0 +1,28 @@
+//! XML storage substrate for algebraic incremental view maintenance.
+//!
+//! This crate provides the document substrate the paper's algorithms run
+//! on: ordered labeled trees with element / attribute / text nodes
+//! ([`Document`]), update-stable structural identifiers in the style of
+//! Compact Dynamic Dewey IDs ([`DeweyId`]), per-label canonical
+//! relations kept in document order ([`CanonicalIndex`]), and a small
+//! XML parser / serializer pair.
+
+pub mod canonical;
+pub mod dewey;
+pub mod document;
+pub mod error;
+pub mod forest;
+pub mod label;
+pub mod node;
+pub mod parser;
+pub mod serializer;
+
+pub use canonical::CanonicalIndex;
+pub use dewey::{DeweyId, Step};
+pub use document::Document;
+pub use error::XmlError;
+pub use forest::DeweyForest;
+pub use label::{LabelId, LabelInterner, TEXT_LABEL};
+pub use node::{Node, NodeId, NodeKind};
+pub use parser::parse_document;
+pub use serializer::{serialize_document, serialize_node};

@@ -1,0 +1,381 @@
+//! A small, dependency-free XML parser.
+//!
+//! Supports the subset the paper's workloads need: elements,
+//! attributes, character data with the five predefined entities,
+//! comments, processing instructions and doctype declarations (the
+//! latter three are skipped). Namespaces, CDATA sections and DTD
+//! internal subsets are out of scope (see DESIGN.md §8).
+
+use crate::document::Document;
+use crate::error::XmlError;
+use crate::node::NodeId;
+
+/// Parses `input` into a fresh [`Document`].
+pub fn parse_document(input: &str) -> Result<Document, XmlError> {
+    let mut doc = Document::new();
+    let root = parse_into(&mut doc, None, input)?;
+    if root.is_none() {
+        return Err(XmlError::NoRoot);
+    }
+    Ok(doc)
+}
+
+/// Parses an XML *forest* and appends each top-level tree as a child of
+/// `parent`. Returns the ids of the appended roots. This is the
+/// workhorse of `apply-insert` (Section 3.4): the inserted snippet is
+/// parsed directly into its new context so the new nodes receive their
+/// final Dewey IDs.
+pub fn parse_forest_into(
+    doc: &mut Document,
+    parent: NodeId,
+    input: &str,
+) -> Result<Vec<NodeId>, XmlError> {
+    let mut p = Parser::new(input);
+    let mut roots = Vec::new();
+    loop {
+        p.skip_misc();
+        if p.at_end() {
+            break;
+        }
+        if p.peek() == Some('<') {
+            roots.push(p.element(doc, Some(parent))?);
+        } else {
+            // Top-level text inside a forest: attach as a text node.
+            let text = p.text()?;
+            if !text.trim().is_empty() {
+                roots.push(doc.append_text(parent, &text)?);
+            }
+        }
+    }
+    Ok(roots)
+}
+
+fn parse_into(
+    doc: &mut Document,
+    parent: Option<NodeId>,
+    input: &str,
+) -> Result<Option<NodeId>, XmlError> {
+    let mut p = Parser::new(input);
+    p.skip_misc();
+    if p.at_end() {
+        return Ok(None);
+    }
+    let root = p.element(doc, parent)?;
+    p.skip_misc();
+    if !p.at_end() {
+        return Err(p.err("content after document root"));
+    }
+    Ok(Some(root))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { bytes: input.as_bytes(), pos: 0 }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.bytes.get(self.pos).map(|&b| b as char)
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.bytes.get(self.pos + 1).map(|&b| b as char)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn err(&self, msg: &str) -> XmlError {
+        XmlError::Parse { offset: self.pos, message: msg.to_owned() }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), XmlError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{c}'")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\r' | '\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, XML declarations, comments, PIs and doctypes.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('<') {
+                match self.peek2() {
+                    Some('?') => {
+                        self.skip_until("?>");
+                        continue;
+                    }
+                    Some('!') => {
+                        if self.starts_with("<!--") {
+                            self.skip_until("-->");
+                        } else {
+                            self.skip_until(">");
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            break;
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_until(&mut self, end: &str) {
+        while !self.at_end() && !self.starts_with(end) {
+            self.pos += 1;
+        }
+        self.pos = (self.pos + end.len()).min(self.bytes.len());
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_owned())
+    }
+
+    fn element(&mut self, doc: &mut Document, parent: Option<NodeId>) -> Result<NodeId, XmlError> {
+        self.expect('<')?;
+        let tag = self.name()?;
+        let node = match parent {
+            Some(p) => doc.append_element(p, &tag)?,
+            None => doc.set_root(&tag)?,
+        };
+        // attributes
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('/') => {
+                    self.pos += 1;
+                    self.expect('>')?;
+                    return Ok(node);
+                }
+                Some('>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let name = self.name()?;
+                    self.skip_ws();
+                    self.expect('=')?;
+                    self.skip_ws();
+                    let quote = self.bump().ok_or_else(|| self.err("unterminated attribute"))?;
+                    if quote != '"' && quote != '\'' {
+                        return Err(self.err("attribute value must be quoted"));
+                    }
+                    let start = self.pos;
+                    while self.peek() != Some(quote) {
+                        if self.at_end() {
+                            return Err(self.err("unterminated attribute value"));
+                        }
+                        self.pos += 1;
+                    }
+                    let raw =
+                        std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_owned();
+                    self.pos += 1;
+                    doc.append_attribute(node, &name, &unescape(&raw))?;
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+        // content
+        loop {
+            if self.at_end() {
+                return Err(self.err("unterminated element"));
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != tag {
+                    return Err(self.err(&format!("mismatched close tag </{close}> for <{tag}>")));
+                }
+                self.skip_ws();
+                self.expect('>')?;
+                return Ok(node);
+            }
+            if self.starts_with("<!--") {
+                self.skip_until("-->");
+                continue;
+            }
+            if self.starts_with("<?") {
+                self.skip_until("?>");
+                continue;
+            }
+            if self.peek() == Some('<') {
+                self.element(doc, Some(node))?;
+            } else {
+                let text = self.text()?;
+                if !text.trim().is_empty() {
+                    doc.append_text(node, &text)?;
+                }
+            }
+        }
+    }
+
+    fn text(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == '<' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in text"))?;
+        Ok(unescape(raw))
+    }
+}
+
+fn unescape(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_owned();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let (rep, consumed) = if rest.starts_with("&lt;") {
+            ("<", 4)
+        } else if rest.starts_with("&gt;") {
+            (">", 4)
+        } else if rest.starts_with("&amp;") {
+            ("&", 5)
+        } else if rest.starts_with("&quot;") {
+            ("\"", 6)
+        } else if rest.starts_with("&apos;") {
+            ("'", 6)
+        } else {
+            ("&", 1)
+        };
+        out.push_str(rep);
+        rest = &rest[consumed..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serializer::serialize_document;
+
+    #[test]
+    fn parse_simple_document() {
+        let d = parse_document("<a><b/><b><c/></b></a>").unwrap();
+        let b = d.label_id("b").unwrap();
+        assert_eq!(d.canonical_nodes(b).len(), 2);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_through_serializer() {
+        let src = "<site><people><person id=\"person0\"><name>Jim</name></person></people></site>";
+        let d = parse_document(src).unwrap();
+        assert_eq!(serialize_document(&d), src);
+    }
+
+    #[test]
+    fn whitespace_between_elements_is_dropped() {
+        let d = parse_document("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        let root = d.root().unwrap();
+        assert_eq!(d.children_of(root).len(), 2);
+    }
+
+    #[test]
+    fn mixed_content_text_is_kept() {
+        let d = parse_document("<a>3<b/></a>").unwrap();
+        assert_eq!(d.value(d.root().unwrap()), "3");
+    }
+
+    #[test]
+    fn entities_are_unescaped() {
+        let d = parse_document("<a t=\"x&quot;y\">1 &lt; 2 &amp; 3</a>").unwrap();
+        let r = d.root().unwrap();
+        assert_eq!(d.value(r), "1 < 2 & 3");
+        let at = d.children_of(r)[0];
+        assert_eq!(d.value(at), "x\"y");
+    }
+
+    #[test]
+    fn skips_prolog_comments_and_pis() {
+        let d = parse_document(
+            "<?xml version=\"1.0\"?><!-- hi --><!DOCTYPE a><a><?pi data?><!-- in --><b/></a>",
+        )
+        .unwrap();
+        assert_eq!(serialize_document(&d), "<a><b/></a>");
+    }
+
+    #[test]
+    fn errors_on_mismatched_tags() {
+        assert!(matches!(parse_document("<a><b></a></b>"), Err(XmlError::Parse { .. })));
+    }
+
+    #[test]
+    fn errors_on_trailing_content() {
+        assert!(parse_document("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn errors_on_empty_input() {
+        assert!(matches!(parse_document("   "), Err(XmlError::NoRoot)));
+    }
+
+    #[test]
+    fn parse_forest_appends_children() {
+        let mut d = parse_document("<a><b/></a>").unwrap();
+        let root = d.root().unwrap();
+        let roots = parse_forest_into(&mut d, root, "<x/><y><z/></y>").unwrap();
+        assert_eq!(roots.len(), 2);
+        assert_eq!(serialize_document(&d), "<a><b/><x/><y><z/></y></a>");
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn forest_preserves_existing_ids() {
+        let mut d = parse_document("<a><b/></a>").unwrap();
+        let root = d.root().unwrap();
+        let b = d.children_of(root)[0];
+        let b_id = d.dewey(b);
+        parse_forest_into(&mut d, root, "<c/>").unwrap();
+        assert_eq!(d.dewey(b), b_id);
+    }
+
+    #[test]
+    fn unescape_handles_lone_ampersand() {
+        assert_eq!(unescape("a&b"), "a&b");
+        assert_eq!(unescape("no entities"), "no entities");
+    }
+}

@@ -1,0 +1,136 @@
+//! Serialization of documents and subtrees back to XML text.
+
+use crate::document::Document;
+use crate::node::{NodeId, NodeKind};
+
+/// Serializes the subtree rooted at `id` (the node's *content* in the
+/// paper's terminology).
+pub fn serialize_node(doc: &Document, id: NodeId) -> String {
+    let mut out = String::new();
+    write_node(doc, id, &mut out);
+    out
+}
+
+/// Serializes the whole document.
+pub fn serialize_document(doc: &Document) -> String {
+    match doc.root() {
+        Some(r) => serialize_node(doc, r),
+        None => String::new(),
+    }
+}
+
+fn write_node(doc: &Document, id: NodeId, out: &mut String) {
+    let n = doc.node(id);
+    if !n.alive {
+        return;
+    }
+    match n.kind {
+        NodeKind::Text => escape_into(n.text.as_deref().unwrap_or(""), out),
+        NodeKind::Attribute => {
+            // Standalone attribute serialization (only used when an
+            // attribute node itself is a view return node).
+            let name = doc.label_name(n.label).trim_start_matches('@');
+            out.push_str(name);
+            out.push_str("=\"");
+            escape_attr_into(n.text.as_deref().unwrap_or(""), out);
+            out.push('"');
+        }
+        NodeKind::Element => {
+            let tag = doc.label_name(n.label);
+            out.push('<');
+            out.push_str(tag);
+            let mut content_children = Vec::new();
+            for &c in doc.children_of(id) {
+                let cn = doc.node(c);
+                if !cn.alive {
+                    continue;
+                }
+                if cn.kind == NodeKind::Attribute {
+                    out.push(' ');
+                    out.push_str(doc.label_name(cn.label).trim_start_matches('@'));
+                    out.push_str("=\"");
+                    escape_attr_into(cn.text.as_deref().unwrap_or(""), out);
+                    out.push('"');
+                } else {
+                    content_children.push(c);
+                }
+            }
+            if content_children.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for c in content_children {
+                    write_node(doc, c, out);
+                }
+                out.push_str("</");
+                out.push_str(tag);
+                out.push('>');
+            }
+        }
+    }
+}
+
+pub(crate) fn escape_into(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+fn escape_attr_into(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::Document;
+
+    #[test]
+    fn serializes_elements_attributes_text() {
+        let mut d = Document::new();
+        let r = d.set_root("person").unwrap();
+        d.append_attribute(r, "id", "person0").unwrap();
+        let name = d.append_element(r, "name").unwrap();
+        d.append_text(name, "Jim & Co <x>").unwrap();
+        d.append_element(r, "watches").unwrap();
+        assert_eq!(
+            serialize_document(&d),
+            "<person id=\"person0\"><name>Jim &amp; Co &lt;x&gt;</name><watches/></person>"
+        );
+    }
+
+    #[test]
+    fn empty_document_serializes_to_empty_string() {
+        assert_eq!(serialize_document(&Document::new()), "");
+    }
+
+    #[test]
+    fn attribute_node_standalone() {
+        let mut d = Document::new();
+        let r = d.set_root("a").unwrap();
+        let at = d.append_attribute(r, "id", "x\"y").unwrap();
+        assert_eq!(serialize_node(&d, at), "id=\"x&quot;y\"");
+    }
+
+    #[test]
+    fn deleted_children_are_skipped() {
+        let mut d = Document::new();
+        let r = d.set_root("a").unwrap();
+        let b = d.append_element(r, "b").unwrap();
+        d.append_element(r, "c").unwrap();
+        d.remove_subtree(b).unwrap();
+        assert_eq!(serialize_document(&d), "<a><c/></a>");
+    }
+}

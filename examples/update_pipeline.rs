@@ -1,0 +1,81 @@
+//! Update-sequence pipeline: schema guarding and PUL optimization.
+//!
+//! Shows the two companion facilities around the maintenance engine:
+//!
+//! 1. **DTD Δ⁺ checks** (Section 3.3) — rejecting an insertion that
+//!    would certainly violate the schema, before touching anything;
+//! 2. **PUL reduction** (Section 5) — collapsing a sequence of
+//!    statements into fewer atomic operations before propagating them
+//!    in one pass (Figure 13's CP → OR → PINT/PDDT pipeline).
+//!
+//! ```sh
+//! cargo run --example update_pipeline
+//! ```
+
+use xivm::core::{MaintenanceEngine, SnowcapStrategy};
+use xivm::dtd::{check_insert, implications, parse_dtd};
+use xivm::pattern::parse_pattern;
+use xivm::pulopt::reduce;
+use xivm::update::statement::parse_statement;
+use xivm::update::{compute_pul, Pul};
+use xivm::xml::parse_document;
+
+fn main() {
+    // --- 1. schema guarding -------------------------------------------------
+    // Figure 5(a): every b must contain a c.
+    let dtd = parse_dtd(
+        "d1 -> AS\n\
+         AS -> a+\n\
+         a -> BS\n\
+         BS -> b+\n\
+         b -> c\n\
+         c -> ()",
+    )
+    .expect("valid DTD");
+    println!("Δ⁺ implications derived from the DTD:");
+    for imp in implications(&dtd) {
+        println!("  {imp}");
+    }
+    // Example 3.9: this insertion cannot be valid.
+    let bad = check_insert(&dtd, "AS", "<a><b></b></a>");
+    println!("\ninsert <a><b/></a>      → {}", bad.unwrap_err());
+    let good = check_insert(&dtd, "AS", "<a><b><c/></b></a>");
+    println!("insert <a><b><c/></b></a> → {:?} (accepted)", good);
+
+    // --- 2. PUL reduction ---------------------------------------------------
+    let mut doc = parse_document(
+        "<r><x><w/></x><y/><z/></r>",
+    )
+    .expect("well-formed XML");
+    let view = parse_pattern("//r{id}//b{id}").expect("valid pattern");
+    let mut engine = MaintenanceEngine::new(&doc, view, SnowcapStrategy::MinimalChain);
+
+    // A sequence of statements, as an application would issue them.
+    let statements = [
+        "insert <b/> into //w",  // pointless: //x is deleted below (rule O3)
+        "insert <b/> into //x",  // pointless: //x is deleted below (rule O1)
+        "delete //x",            //
+        "insert <b>1</b> into //z", // merged with the next (rule I5)
+        "insert <b>2</b> into //z",
+    ];
+    let mut ops = Vec::new();
+    for s in statements {
+        let stmt = parse_statement(s).expect("valid statement");
+        ops.extend(compute_pul(&doc, &stmt).ops);
+    }
+    let pul = Pul::new(ops);
+    let (reduced, trace) = reduce(&pul);
+    println!(
+        "\nreduced the sequence from {} to {} atomic operations \
+         (O1 fired {}, O3 fired {}, I5 fired {})",
+        trace.ops_before, trace.ops_after, trace.o1_fired, trace.o3_fired, trace.i5_fired
+    );
+
+    let report = engine.propagate_pul(&mut doc, &reduced).expect("propagation succeeds");
+    println!(
+        "propagated in one pass: +{} tuples, -{} tuples, document now: {}",
+        report.tuples_added,
+        report.tuples_removed,
+        xivm::xml::serialize_document(&doc)
+    );
+}

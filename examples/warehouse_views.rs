@@ -1,0 +1,75 @@
+//! Warehouse scenario: several views over one document, chosen
+//! auxiliary structures, and durable snapshots.
+//!
+//! Demonstrates the three extensions built on top of the paper's core
+//! (DESIGN.md §5b): the multi-view engine (one target-finding pass and
+//! one document update shared by all views), cost-based snowcap
+//! selection from a workload log, and binary view snapshots.
+//!
+//! ```sh
+//! cargo run --release --example warehouse_views
+//! ```
+
+use xivm::core::costmodel::{choose_snowcaps, DocStats, UpdateProfile};
+use xivm::core::snapshot::{decode_store, encode_store};
+use xivm::core::{MaintenanceEngine, MultiViewEngine, SnowcapStrategy};
+use xivm::xmark::{generate_sized, update_by_name, view_pattern};
+
+fn main() {
+    let mut doc = generate_sized(150 * 1024);
+
+    // --- several views, one maintenance pass per update ---------------
+    let mut warehouse = MultiViewEngine::new(
+        &doc,
+        ["Q1", "Q2", "Q6", "Q17"]
+            .map(|v| (v.to_owned(), view_pattern(v), SnowcapStrategy::MinimalChain)),
+    );
+    println!("materialized {} views over one auction document", warehouse.len());
+
+    for u in ["A6_A", "X4_O", "B5_LB"] {
+        let stmt = update_by_name(u).insert_stmt();
+        let reports = warehouse.apply_statement(&mut doc, &stmt).expect("propagates");
+        let touched: Vec<String> = reports
+            .iter()
+            .filter(|(_, r)| r.tuples_added + r.tuples_removed + r.tuples_modified > 0)
+            .map(|(n, r)| format!("{n}(+{})", r.tuples_added))
+            .collect();
+        println!(
+            "  {u:<6} found targets once ({:>7.3} ms), affected: {}",
+            reports[0].1.timings.find_target_nodes.as_secs_f64() * 1e3,
+            if touched.is_empty() { "none".to_owned() } else { touched.join(" ") },
+        );
+    }
+
+    // --- cost-based snowcap choice from a workload log ----------------
+    let pattern = view_pattern("Q2");
+    let log =
+        vec![update_by_name("X2_L").insert_stmt(), update_by_name("X4_O").insert_stmt()];
+    let stats = DocStats::collect(&doc);
+    let profile = UpdateProfile::from_log(&doc, &pattern, &log);
+    let chosen = choose_snowcaps(&pattern, &stats, &profile);
+    println!(
+        "\ncost model chose {} snowcap(s) for Q2 under this workload profile",
+        chosen.len()
+    );
+    let mut engine = MaintenanceEngine::new_cost_based(&doc, pattern, &profile);
+    let report = engine
+        .apply_statement(&mut doc, &update_by_name("X2_L").insert_stmt())
+        .expect("propagates");
+    println!(
+        "  maintained Q2 in {:.3} ms (+{} tuples)",
+        report.timings.maintenance_total().as_secs_f64() * 1e3,
+        report.tuples_added
+    );
+
+    // --- durable snapshots ---------------------------------------------
+    let bytes = encode_store(engine.store());
+    let restored = decode_store(&bytes).expect("snapshot decodes");
+    assert!(engine.store().same_content_as(&restored));
+    println!(
+        "\nsnapshotted Q2: {} tuples in {} bytes ({} bytes/tuple), restored losslessly",
+        engine.store().len(),
+        bytes.len(),
+        bytes.len() / engine.store().len().max(1)
+    );
+}

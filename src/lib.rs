@@ -1,0 +1,16 @@
+//! Umbrella crate re-exporting the full xivm public API.
+//!
+//! See the individual crates for details:
+//! [`xivm_xml`], [`xivm_algebra`], [`xivm_pattern`], [`xivm_update`],
+//! [`xivm_core`], [`xivm_pulopt`], [`xivm_dtd`], [`xivm_xmark`],
+//! [`xivm_ivma`].
+
+pub use xivm_algebra as algebra;
+pub use xivm_core as core;
+pub use xivm_dtd as dtd;
+pub use xivm_ivma as ivma;
+pub use xivm_pattern as pattern;
+pub use xivm_pulopt as pulopt;
+pub use xivm_update as update;
+pub use xivm_xmark as xmark;
+pub use xivm_xml as xml;

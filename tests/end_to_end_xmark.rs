@@ -1,0 +1,212 @@
+//! Full-workload oracle: every catalog view × every paired catalog
+//! update, insertion and deletion, across materialization strategies —
+//! the incremental store must always equal the from-scratch
+//! evaluation, and the IVMA baseline must agree too.
+
+use xivm::core::{MaintenanceEngine, SnowcapStrategy, ViewStore};
+use xivm::ivma::IvmaView;
+use xivm::pattern::compile::view_tuples;
+use xivm::xmark::{generate_sized, updates_for_view, view_pattern, VIEW_NAMES};
+
+const DOC_BYTES: usize = 40 * 1024;
+
+#[test]
+fn engine_matches_recomputation_on_all_pairs_inserts() {
+    let doc0 = generate_sized(DOC_BYTES);
+    for view in VIEW_NAMES {
+        let pattern = view_pattern(view);
+        for u in updates_for_view(view) {
+            let mut doc = doc0.clone();
+            let mut engine =
+                MaintenanceEngine::new(&doc, pattern.clone(), SnowcapStrategy::MinimalChain);
+            engine.apply_statement(&mut doc, &u.insert_stmt()).unwrap();
+            let expected = ViewStore::from_counted(&pattern, view_tuples(&doc, &pattern));
+            assert!(
+                engine.store().same_content_as(&expected),
+                "{view} + insert {}:\n{}",
+                u.name,
+                engine.store().diff_description(&expected)
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_matches_recomputation_on_all_pairs_deletes() {
+    let doc0 = generate_sized(DOC_BYTES);
+    for view in VIEW_NAMES {
+        let pattern = view_pattern(view);
+        for u in updates_for_view(view) {
+            let mut doc = doc0.clone();
+            let mut engine =
+                MaintenanceEngine::new(&doc, pattern.clone(), SnowcapStrategy::MinimalChain);
+            engine.apply_statement(&mut doc, &u.delete_stmt()).unwrap();
+            let expected = ViewStore::from_counted(&pattern, view_tuples(&doc, &pattern));
+            assert!(
+                engine.store().same_content_as(&expected),
+                "{view} + delete {}:\n{}",
+                u.name,
+                engine.store().diff_description(&expected)
+            );
+        }
+    }
+}
+
+#[test]
+fn strategies_agree_with_each_other() {
+    let doc0 = generate_sized(DOC_BYTES / 2);
+    for view in ["Q1", "Q3", "Q6"] {
+        let pattern = view_pattern(view);
+        for u in updates_for_view(view).into_iter().take(2) {
+            for stmt in [u.insert_stmt(), u.delete_stmt()] {
+                let mut stores = Vec::new();
+                for strategy in [
+                    SnowcapStrategy::MinimalChain,
+                    SnowcapStrategy::AllSnowcaps,
+                    SnowcapStrategy::LeavesOnly,
+                ] {
+                    let mut doc = doc0.clone();
+                    let mut engine =
+                        MaintenanceEngine::new(&doc, pattern.clone(), strategy);
+                    engine.apply_statement(&mut doc, &stmt).unwrap();
+                    stores.push((strategy, engine));
+                }
+                for w in stores.windows(2) {
+                    assert!(
+                        w[0].1.store().same_content_as(w[1].1.store()),
+                        "{view} {}: {:?} vs {:?} disagree",
+                        u.name,
+                        w[0].0,
+                        w[1].0
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ivma_agrees_with_engine_on_small_workloads() {
+    // IVMA is node-at-a-time; keep the workload small but real.
+    let doc0 = generate_sized(20 * 1024);
+    for view in ["Q1", "Q6"] {
+        let pattern = view_pattern(view);
+        for u in updates_for_view(view).into_iter().take(2) {
+            // insertion
+            let mut d1 = doc0.clone();
+            let mut engine =
+                MaintenanceEngine::new(&d1, pattern.clone(), SnowcapStrategy::MinimalChain);
+            engine.apply_statement(&mut d1, &u.insert_stmt()).unwrap();
+
+            let mut d2 = doc0.clone();
+            let mut ivma = IvmaView::new(&d2, pattern.clone());
+            ivma.apply_insert(&mut d2, &u.insert_stmt()).unwrap();
+
+            assert!(
+                engine.store().same_content_as(ivma.store()),
+                "{view} + insert {}: engine vs IVMA:\n{}",
+                u.name,
+                engine.store().diff_description(ivma.store())
+            );
+        }
+    }
+}
+
+#[test]
+fn sequences_of_mixed_updates_stay_in_sync() {
+    let mut doc = generate_sized(DOC_BYTES / 2);
+    let pattern = view_pattern("Q2");
+    let mut engine =
+        MaintenanceEngine::new(&doc, pattern.clone(), SnowcapStrategy::MinimalChain);
+    let script = [
+        updates_for_view("Q2")[0].insert_stmt(),
+        updates_for_view("Q2")[1].delete_stmt(),
+        updates_for_view("Q2")[2].insert_stmt(),
+        updates_for_view("Q2")[3].delete_stmt(),
+        updates_for_view("Q2")[4].insert_stmt(),
+    ];
+    for (i, stmt) in script.iter().enumerate() {
+        engine.apply_statement(&mut doc, stmt).unwrap();
+        let expected = ViewStore::from_counted(&pattern, view_tuples(&doc, &pattern));
+        assert!(
+            engine.store().same_content_as(&expected),
+            "diverged at step {i}:\n{}",
+            engine.store().diff_description(&expected)
+        );
+    }
+    doc.check_invariants().unwrap();
+}
+
+#[test]
+fn q1_annotation_variants_maintained_correctly() {
+    use xivm::update::statement::parse_statement;
+    let doc0 = generate_sized(20 * 1024);
+    let del = parse_statement(&format!("delete {}", xivm::xmark::X1_L_PRED)).unwrap();
+    let ins = parse_statement("insert <phone>+1</phone> into /site/people/person").unwrap();
+    for variant in xivm::xmark::Q1Variant::ALL {
+        let pattern = xivm::xmark::q1_variant(variant);
+        let mut doc = doc0.clone();
+        let mut engine =
+            MaintenanceEngine::new(&doc, pattern.clone(), SnowcapStrategy::MinimalChain);
+        for stmt in [&ins, &del] {
+            engine.apply_statement(&mut doc, stmt).unwrap();
+            let expected = ViewStore::from_counted(&pattern, view_tuples(&doc, &pattern));
+            assert!(
+                engine.store().same_content_as(&expected),
+                "variant {} diverged",
+                variant.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn cost_based_engine_is_maintained_correctly() {
+    use xivm::core::costmodel::UpdateProfile;
+    let doc0 = generate_sized(20 * 1024);
+    let pattern = view_pattern("Q2");
+    // profile extracted from a representative statement log
+    let log = vec![
+        updates_for_view("Q2")[0].insert_stmt(),
+        updates_for_view("Q2")[1].insert_stmt(),
+    ];
+    let profile = UpdateProfile::from_log(&doc0, &pattern, &log);
+    let mut doc = doc0.clone();
+    let mut engine = MaintenanceEngine::new_cost_based(&doc, pattern.clone(), &profile);
+    for u in updates_for_view("Q2") {
+        for stmt in [u.insert_stmt(), u.delete_stmt()] {
+            engine.apply_statement(&mut doc, &stmt).unwrap();
+            let expected = ViewStore::from_counted(&pattern, view_tuples(&doc, &pattern));
+            assert!(
+                engine.store().same_content_as(&expected),
+                "cost-based engine diverged on {}:\n{}",
+                u.name,
+                engine.store().diff_description(&expected)
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_view_engine_on_xmark_workload() {
+    use xivm::core::{MultiViewEngine, SnowcapStrategy};
+    let mut doc = generate_sized(20 * 1024);
+    let mut engine = MultiViewEngine::new(
+        &doc,
+        VIEW_NAMES.map(|v| (v.to_owned(), view_pattern(v), SnowcapStrategy::MinimalChain)),
+    );
+    for u in ["X1_L", "E6_L", "X4_O"] {
+        let upd = xivm::xmark::update_by_name(u);
+        for stmt in [upd.insert_stmt(), upd.delete_stmt()] {
+            engine.apply_statement(&mut doc, &stmt).unwrap();
+            for name in VIEW_NAMES {
+                let pattern = view_pattern(name);
+                let expected = ViewStore::from_counted(&pattern, view_tuples(&doc, &pattern));
+                assert!(
+                    engine.view(name).unwrap().store().same_content_as(&expected),
+                    "multi-view {name} diverged after {u}"
+                );
+            }
+        }
+    }
+}

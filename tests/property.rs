@@ -1,0 +1,189 @@
+//! Property-based tests over random documents, views and updates.
+
+use proptest::prelude::*;
+use xivm::core::{MaintenanceEngine, SnowcapStrategy, ViewStore};
+use xivm::pattern::compile::view_tuples;
+use xivm::pattern::parse_pattern;
+use xivm::update::UpdateStatement;
+use xivm::xml::dewey::Step;
+use xivm::xml::{parse_document, DeweyId, LabelId};
+
+// ---------------------------------------------------------------------
+// Random document generation (small alphabets so patterns hit)
+// ---------------------------------------------------------------------
+
+fn arb_tree(depth: u32) -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("<b/>".to_owned()),
+        Just("<c/>".to_owned()),
+        Just("<d>5</d>".to_owned()),
+        Just("x".to_owned()),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        (prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")], prop::collection::vec(inner, 0..4))
+            .prop_map(|(tag, kids)| {
+                if kids.is_empty() {
+                    format!("<{tag}/>")
+                } else {
+                    format!("<{tag}>{}</{tag}>", kids.join(""))
+                }
+            })
+    })
+}
+
+fn arb_doc() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_tree(3), 1..5).prop_map(|kids| format!("<r>{}</r>", kids.join("")))
+}
+
+const PATTERNS: [&str; 6] = [
+    "//a{id}//b{id}",
+    "//a{id}[//c{id}]//b{id}",
+    "//a{id}//b{id}//c{id}",
+    "//r{id}//d{id,val}",
+    "//a{id}[//d[val=\"5\"]]//b{id}",
+    "//a{id,cont}[//b]",
+];
+
+const TARGETS: [&str; 4] = ["//a", "//b", "//a//c", "//d"];
+const FORESTS: [&str; 4] = ["<b/>", "<a><b/><c/></a>", "<c><b/></c>", "<d>5</d>"];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The central invariant: incrementally maintained view ==
+    /// from-scratch evaluation, for random docs and update sequences.
+    #[test]
+    fn engine_equals_recompute(
+        doc_xml in arb_doc(),
+        pattern_idx in 0usize..PATTERNS.len(),
+        script in prop::collection::vec(
+            (0usize..TARGETS.len(), 0usize..FORESTS.len(), prop::bool::ANY),
+            1..4
+        ),
+        strategy_idx in 0usize..3,
+    ) {
+        let strategy = [
+            SnowcapStrategy::MinimalChain,
+            SnowcapStrategy::AllSnowcaps,
+            SnowcapStrategy::LeavesOnly,
+        ][strategy_idx];
+        let mut doc = parse_document(&doc_xml).unwrap();
+        let pattern = parse_pattern(PATTERNS[pattern_idx]).unwrap();
+        let mut engine = MaintenanceEngine::new(&doc, pattern.clone(), strategy);
+        for (t, f, is_insert) in script {
+            let stmt = if is_insert {
+                UpdateStatement::insert(TARGETS[t], FORESTS[f]).unwrap()
+            } else {
+                UpdateStatement::delete(TARGETS[t]).unwrap()
+            };
+            engine.apply_statement(&mut doc, &stmt).unwrap();
+            let expected = ViewStore::from_counted(&pattern, view_tuples(&doc, &pattern));
+            prop_assert!(
+                engine.store().same_content_as(&expected),
+                "doc={doc_xml} pattern={} stmt={stmt:?}\n{}",
+                PATTERNS[pattern_idx],
+                engine.store().diff_description(&expected),
+            );
+            doc.check_invariants().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    /// Algebraic evaluation == embedding semantics on random documents.
+    #[test]
+    fn algebra_equals_embeddings(doc_xml in arb_doc(), pattern_idx in 0usize..PATTERNS.len()) {
+        let doc = parse_document(&doc_xml).unwrap();
+        let pattern = parse_pattern(PATTERNS[pattern_idx]).unwrap();
+        let algebraic: Vec<(Vec<DeweyId>, u64)> = view_tuples(&doc, &pattern)
+            .into_iter()
+            .map(|(t, c)| (t.id_key(), c))
+            .collect();
+        let by_embedding = xivm::pattern::embed::view_tuples_by_embedding(&doc, &pattern);
+        prop_assert_eq!(algebraic, by_embedding);
+    }
+
+    /// Dewey encode/decode roundtrip on arbitrary step sequences.
+    #[test]
+    fn dewey_roundtrip(steps in prop::collection::vec((0u32..500, 1u64..u64::MAX / 2), 0..12)) {
+        let id = DeweyId::from_steps(
+            steps.into_iter().map(|(l, o)| Step::new(LabelId(l), o)).collect(),
+        );
+        let decoded = DeweyId::decode(&id.encode());
+        prop_assert_eq!(decoded, Some(id));
+    }
+
+    /// Document order is a total order consistent with the ancestor
+    /// relation.
+    #[test]
+    fn dewey_order_laws(
+        a in prop::collection::vec((0u32..4, 1u64..6), 1..5),
+        b in prop::collection::vec((0u32..4, 1u64..6), 1..5),
+    ) {
+        let x = DeweyId::from_steps(a.into_iter().map(|(l, o)| Step::new(LabelId(l), o)).collect());
+        let y = DeweyId::from_steps(b.into_iter().map(|(l, o)| Step::new(LabelId(l), o)).collect());
+        // antisymmetry (over ordinal paths: labels don't affect order)
+        if x.doc_cmp(&y).is_eq() && y.doc_cmp(&x).is_eq() {
+            // same ordinal path: ancestor of each other only if equal length
+            prop_assert_eq!(x.depth(), y.depth());
+        }
+        // ancestors precede descendants
+        if x.is_ancestor_of(&y) {
+            prop_assert!(x.doc_cmp(&y).is_lt());
+            prop_assert!(!y.is_ancestor_of(&x));
+        }
+    }
+
+    /// PUL reduction preserves the final document.
+    #[test]
+    fn reduction_is_semantics_preserving(
+        doc_xml in arb_doc(),
+        script in prop::collection::vec(
+            (0usize..TARGETS.len(), 0usize..FORESTS.len(), prop::bool::ANY),
+            1..5
+        ),
+    ) {
+        let d0 = parse_document(&doc_xml).unwrap();
+        let mut ops = Vec::new();
+        for (t, f, is_insert) in script {
+            let stmt = if is_insert {
+                UpdateStatement::insert(TARGETS[t], FORESTS[f]).unwrap()
+            } else {
+                UpdateStatement::delete(TARGETS[t]).unwrap()
+            };
+            ops.extend(xivm::update::compute_pul(&d0, &stmt).ops);
+        }
+        let pul = xivm::update::Pul::new(ops);
+        let (reduced, trace) = xivm::pulopt::reduce(&pul);
+        prop_assert!(trace.ops_after <= trace.ops_before);
+
+        let mut plain = parse_document(&doc_xml).unwrap();
+        xivm::update::apply_pul(&mut plain, &pul).unwrap();
+        let mut optimized = parse_document(&doc_xml).unwrap();
+        xivm::update::apply_pul(&mut optimized, &reduced).unwrap();
+        prop_assert_eq!(
+            xivm::xml::serialize_document(&plain),
+            xivm::xml::serialize_document(&optimized)
+        );
+    }
+
+    /// View snapshots roundtrip for arbitrary documents and patterns.
+    #[test]
+    fn snapshot_roundtrip(doc_xml in arb_doc(), pattern_idx in 0usize..PATTERNS.len()) {
+        use xivm::core::snapshot::{decode_store, encode_store};
+        let doc = parse_document(&doc_xml).unwrap();
+        let pattern = parse_pattern(PATTERNS[pattern_idx]).unwrap();
+        let store = ViewStore::from_counted(&pattern, view_tuples(&doc, &pattern));
+        let back = decode_store(&encode_store(&store)).unwrap();
+        prop_assert!(store.same_content_as(&back));
+        prop_assert_eq!(store.schema(), back.schema());
+    }
+
+    /// Parser/serializer roundtrip stability: serialize(parse(x))
+    /// serializes to itself again.
+    #[test]
+    fn serializer_fixpoint(doc_xml in arb_doc()) {
+        let d = parse_document(&doc_xml).unwrap();
+        let s1 = xivm::xml::serialize_document(&d);
+        let d2 = parse_document(&s1).unwrap();
+        prop_assert_eq!(s1, xivm::xml::serialize_document(&d2));
+    }
+}
