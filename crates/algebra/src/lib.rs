@@ -24,5 +24,5 @@ pub use logical::Plan;
 pub use predicate::{Axis, Predicate};
 pub use relation::{Column, Relation, Schema};
 pub use structjoin::structural_join;
-pub use twigjoin::{path_stack, twig_join, ChainLevel, TwigNode};
 pub use tuple::{Field, Tuple};
+pub use twigjoin::{path_stack, twig_join, ChainLevel, TwigNode};

@@ -101,15 +101,10 @@ mod tests {
     #[test]
     fn product_select_equals_structural_join() {
         let ra = one_col("a", vec![id(&[(0, 1)]), id(&[(0, 1), (0, 2)])]);
-        let rb = one_col(
-            "b",
-            vec![id(&[(0, 1), (1, 3)]), id(&[(0, 1), (0, 2), (1, 4)]), id(&[(9, 9)])],
-        );
+        let rb =
+            one_col("b", vec![id(&[(0, 1), (1, 3)]), id(&[(0, 1), (0, 2), (1, 4)]), id(&[(9, 9)])]);
         let via_product = Plan::Select {
-            input: Box::new(Plan::Product(vec![
-                Plan::Scan(ra.clone()),
-                Plan::Scan(rb.clone()),
-            ])),
+            input: Box::new(Plan::Product(vec![Plan::Scan(ra.clone()), Plan::Scan(rb.clone())])),
             pred: Predicate::Structural { upper: 0, lower: 1, axis: Axis::Descendant },
         };
         let via_join = Plan::StructJoin {

@@ -16,11 +16,7 @@ pub enum Axis {
 
 impl Axis {
     /// Evaluates the axis over two structural IDs (upper vs. lower).
-    pub fn holds(
-        self,
-        upper: &xivm_xml::DeweyId,
-        lower: &xivm_xml::DeweyId,
-    ) -> bool {
+    pub fn holds(self, upper: &xivm_xml::DeweyId, lower: &xivm_xml::DeweyId) -> bool {
         match self {
             Axis::Child => upper.is_parent_of(lower),
             Axis::Descendant => upper.is_ancestor_of(lower),
@@ -44,9 +40,7 @@ pub enum Predicate {
 impl Predicate {
     pub fn eval(&self, t: &Tuple) -> bool {
         match self {
-            Predicate::ValEq(col, c) => {
-                t.field(*col).val.as_deref() == Some(c.as_ref())
-            }
+            Predicate::ValEq(col, c) => t.field(*col).val.as_deref() == Some(c.as_ref()),
             Predicate::Structural { upper, lower, axis } => {
                 axis.holds(&t.field(*upper).id, &t.field(*lower).id)
             }

@@ -81,8 +81,7 @@ pub fn structural_join(
             Axis::Child => {
                 // In a nested chain at most one entry can be the parent.
                 let want_depth = rid.depth().saturating_sub(1);
-                if let Some((lid, lrange)) =
-                    stack.iter().find(|(lid, _)| lid.depth() == want_depth)
+                if let Some((lid, lrange)) = stack.iter().find(|(lid, _)| lid.depth() == want_depth)
                 {
                     if lid.is_parent_of(&rid) {
                         emit(&mut out, left, lrange.clone(), right, rrange.clone());
@@ -109,7 +108,13 @@ fn group_by_id(rel: &Relation, col: usize) -> Vec<(DeweyId, Range<usize>)> {
     groups
 }
 
-fn emit(out: &mut Relation, left: &Relation, lrange: Range<usize>, right: &Relation, rrange: Range<usize>) {
+fn emit(
+    out: &mut Relation,
+    left: &Relation,
+    lrange: Range<usize>,
+    right: &Relation,
+    rrange: Range<usize>,
+) {
     for l in lrange {
         for r in rrange.clone() {
             out.rows.push(left.rows[l].concat(&right.rows[r]));
@@ -152,11 +157,8 @@ mod tests {
 
     fn run_both(left: &Relation, right: &Relation, axis: Axis) {
         let joined = structural_join(left, 0, right, 0, axis);
-        let mut got: Vec<_> = joined
-            .rows
-            .iter()
-            .map(|t| (t.field(0).id.clone(), t.field(1).id.clone()))
-            .collect();
+        let mut got: Vec<_> =
+            joined.rows.iter().map(|t| (t.field(0).id.clone(), t.field(1).id.clone())).collect();
         got.sort_by(|a, b| a.1.doc_cmp(&b.1).then(a.0.doc_cmp(&b.0)));
         assert_eq!(got, naive(left, right, axis));
     }
@@ -224,10 +226,8 @@ mod tests {
     #[test]
     fn output_is_sorted_by_right_column() {
         let ancestors = rel("a", vec![id(&[(0, 1)])]);
-        let descendants = rel(
-            "b",
-            vec![id(&[(0, 1), (1, 2)]), id(&[(0, 1), (1, 5)]), id(&[(0, 1), (1, 9)])],
-        );
+        let descendants =
+            rel("b", vec![id(&[(0, 1), (1, 2)]), id(&[(0, 1), (1, 5)]), id(&[(0, 1), (1, 9)])]);
         let j = structural_join(&ancestors, 0, &descendants, 0, Axis::Descendant);
         assert!(j.is_sorted_by_col(1));
     }
@@ -247,8 +247,7 @@ mod tests {
             let mut right_ids = Vec::new();
             for _ in 0..30 {
                 let depth = 1 + (next() % 4) as usize;
-                let steps: Vec<_> =
-                    (0..depth).map(|d| (d as u32, 1 + next() % 3)).collect();
+                let steps: Vec<_> = (0..depth).map(|d| (d as u32, 1 + next() % 3)).collect();
                 let d = id(&steps);
                 if next() % 2 == 0 {
                     left_ids.push(d);

@@ -210,8 +210,7 @@ pub fn twig_join(nodes: &[TwigNode<'_>]) -> Relation {
             let key: Vec<DeweyId> = rel_cols.iter().map(|&c| t.field(c).id.clone()).collect();
             index.entry(key).or_default().push(r);
         }
-        let new_cols: Vec<usize> =
-            (0..path.len()).filter(|c| !rel_cols.contains(c)).collect();
+        let new_cols: Vec<usize> = (0..path.len()).filter(|c| !rel_cols.contains(c)).collect();
         let mut schema = acc.schema.clone();
         for &c in &new_cols {
             schema = schema.concat(&rel.schema.project(&[c]));
@@ -357,11 +356,7 @@ mod tests {
             let mut ab = structural_join(&a, 0, &b, 0, Axis::Descendant);
             ab.sort_by_col(0);
             let abc = structural_join(&ab, 0, &c, 0, Axis::Descendant);
-            assert_eq!(
-                sorted_rows(twig),
-                sorted_rows(abc),
-                "trial {trial}"
-            );
+            assert_eq!(sorted_rows(twig), sorted_rows(abc), "trial {trial}");
         }
     }
 

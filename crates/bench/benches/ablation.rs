@@ -18,11 +18,7 @@ fn main() {
     let reps = repetitions();
 
     figure_header("Ablation 1", "dynamic term pruning on/off (view Q1, delete X1_L)");
-    row(&[
-        "pruning".to_owned(),
-        "terms_surviving".to_owned(),
-        "total_maintenance_ms".to_owned(),
-    ]);
+    row(&["pruning".to_owned(), "terms_surviving".to_owned(), "total_maintenance_ms".to_owned()]);
     for pruning in [true, false] {
         let (t, terms) = run_pruned(&doc, pruning, reps);
         row(&[
@@ -39,11 +35,9 @@ fn main() {
     row(&["strategy".to_owned(), "total_maintenance_ms".to_owned()]);
     let pattern = view_pattern("Q6");
     let stmt = update_by_name("E6_L").insert_stmt();
-    for strategy in [
-        SnowcapStrategy::MinimalChain,
-        SnowcapStrategy::AllSnowcaps,
-        SnowcapStrategy::LeavesOnly,
-    ] {
+    for strategy in
+        [SnowcapStrategy::MinimalChain, SnowcapStrategy::AllSnowcaps, SnowcapStrategy::LeavesOnly]
+    {
         let mut total = 0.0;
         for _ in 0..reps {
             let report = xivm_bench::run_once(&doc, &pattern, &stmt, strategy);
@@ -60,8 +54,7 @@ fn run_pruned(doc: &Document, pruning: bool, reps: usize) -> (f64, usize) {
     let mut terms = 0;
     for _ in 0..reps {
         let mut d = doc.clone();
-        let mut engine =
-            MaintenanceEngine::new(&d, pattern.clone(), SnowcapStrategy::MinimalChain);
+        let mut engine = MaintenanceEngine::new(&d, pattern.clone(), SnowcapStrategy::MinimalChain);
         engine.use_delta_pruning = pruning;
         engine.use_id_pruning = pruning;
         let report = engine.apply_statement(&mut d, &stmt).expect("propagation succeeds");

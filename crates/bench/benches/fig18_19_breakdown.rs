@@ -27,16 +27,10 @@ fn main() {
             for u in updates_for_view(view) {
                 let stmt = if is_insert { u.insert_stmt() } else { u.delete_stmt() };
                 let t = averaged(reps, || {
-                    xivm_bench::run_once(
-                        &doc,
-                        &pattern,
-                        &stmt,
-                        SnowcapStrategy::MinimalChain,
-                    )
-                    .timings
+                    xivm_bench::run_once(&doc, &pattern, &stmt, SnowcapStrategy::MinimalChain)
+                        .timings
                 });
-                let mut cells =
-                    vec![view.to_owned(), u.name.to_owned(), u.class.name().to_owned()];
+                let mut cells = vec![view.to_owned(), u.name.to_owned(), u.class.name().to_owned()];
                 cells.extend(phase_cells(&t));
                 row(&cells);
             }

@@ -27,10 +27,7 @@ fn main() {
                     xivm_bench::run_once(&doc, &pattern, &stmt, SnowcapStrategy::MinimalChain)
                         .timings
                 });
-                row(&[
-                    format!("{view}_{}", u.name),
-                    format!("{:.3}", ms(t.maintenance_total())),
-                ]);
+                row(&[format!("{view}_{}", u.name), format!("{:.3}", ms(t.maintenance_total()))]);
             }
         }
     }

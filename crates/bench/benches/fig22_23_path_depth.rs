@@ -25,8 +25,7 @@ fn main() {
         for path in DEPTH_LADDER {
             let stmt = UpdateStatement::delete(path).expect("ladder paths parse");
             let t = averaged(reps, || {
-                xivm_bench::run_once(&doc, &pattern, &stmt, SnowcapStrategy::MinimalChain)
-                    .timings
+                xivm_bench::run_once(&doc, &pattern, &stmt, SnowcapStrategy::MinimalChain).timings
             });
             row(&[path.to_owned(), format!("{:.3}", ms(t.maintenance_total()))]);
         }

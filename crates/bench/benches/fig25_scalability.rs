@@ -13,10 +13,7 @@ fn main() {
     let update = update_by_name("A6_A");
     for (figure, is_insert) in [("Figure 25a", true), ("Figure 25b", false)] {
         let kind = if is_insert { "insert" } else { "delete" };
-        figure_header(
-            figure,
-            &format!("scalability of view {kind} (view Q1, update A6_A)"),
-        );
+        figure_header(figure, &format!("scalability of view {kind} (view Q1, update A6_A)"));
         let mut header = vec!["doc_size".to_owned()];
         header.extend(PHASE_COLUMNS.iter().map(|s| s.to_string()));
         row(&header);
@@ -24,8 +21,7 @@ fn main() {
             let doc = generate_sized(size.bytes);
             let stmt = if is_insert { update.insert_stmt() } else { update.delete_stmt() };
             let t = averaged(reps, || {
-                xivm_bench::run_once(&doc, &pattern, &stmt, SnowcapStrategy::MinimalChain)
-                    .timings
+                xivm_bench::run_once(&doc, &pattern, &stmt, SnowcapStrategy::MinimalChain).timings
             });
             let mut cells = vec![size.label.to_owned()];
             cells.extend(phase_cells(&t));

@@ -40,10 +40,7 @@ fn main() {
             let stmts = updates_for_view(view)
                 .iter()
                 .map(|u| {
-                    (
-                        u.name.to_owned(),
-                        if is_insert { u.insert_stmt() } else { u.delete_stmt() },
-                    )
+                    (u.name.to_owned(), if is_insert { u.insert_stmt() } else { u.delete_stmt() })
                 })
                 .chain(std::iter::once(narrow))
                 .collect::<Vec<_>>();

@@ -23,10 +23,7 @@ fn main() {
     let doc = generate_sized(size.bytes);
     let reps = repetitions();
     let pattern = view_pattern("Q1");
-    figure_header(
-        "Figure 28",
-        &format!("PINT/PIMT versus IVMA, view Q1, {} document", size.label),
-    );
+    figure_header("Figure 28", &format!("PINT/PIMT versus IVMA, view Q1, {} document", size.label));
     row(&[
         "update".to_owned(),
         "execute_update_ms".to_owned(),
@@ -44,8 +41,7 @@ fn main() {
         // bulk engine
         let mut bulk_ms = 0.0;
         for _ in 0..reps {
-            let report =
-                xivm_bench::run_once(&doc, &pattern, &stmt, SnowcapStrategy::MinimalChain);
+            let report = xivm_bench::run_once(&doc, &pattern, &stmt, SnowcapStrategy::MinimalChain);
             bulk_ms += ms(report.timings.maintenance_total());
         }
         bulk_ms /= reps as f64;

@@ -90,16 +90,12 @@ fn build_sequence(doc: &Document, rule: &str, pct: usize) -> Pul {
         }
         "I5" => {
             // two insertions on the same person targets
-            let ins1 = UpdateStatement::insert(
-                "/site/people/person",
-                "<name>first<name>a</name></name>",
-            )
-            .unwrap();
-            let ins2 = UpdateStatement::insert(
-                "/site/people/person",
-                "<name>second<name>b</name></name>",
-            )
-            .unwrap();
+            let ins1 =
+                UpdateStatement::insert("/site/people/person", "<name>first<name>a</name></name>")
+                    .unwrap();
+            let ins2 =
+                UpdateStatement::insert("/site/people/person", "<name>second<name>b</name></name>")
+                    .unwrap();
             let p1 = compute_pul(doc, &ins1);
             let p2 = compute_pul(doc, &ins2);
             let mut ops = p1.ops;

@@ -11,14 +11,13 @@ use xivm_xmark::{generate_sized, view_pattern};
 use xivm_xml::{dewey::Step, DeweyId, LabelId};
 
 fn dewey_ops(c: &mut Criterion) {
-    let deep = DeweyId::from_steps((0..12).map(|i| Step::new(LabelId(i), 7 + u64::from(i))).collect());
+    let deep =
+        DeweyId::from_steps((0..12).map(|i| Step::new(LabelId(i), 7 + u64::from(i))).collect());
     let mid = deep.parent().unwrap().parent().unwrap();
     c.bench_function("dewey/is_ancestor_of", |b| {
         b.iter(|| black_box(mid.is_ancestor_of(black_box(&deep))))
     });
-    c.bench_function("dewey/doc_cmp", |b| {
-        b.iter(|| black_box(mid.doc_cmp(black_box(&deep))))
-    });
+    c.bench_function("dewey/doc_cmp", |b| b.iter(|| black_box(mid.doc_cmp(black_box(&deep)))));
     c.bench_function("dewey/encode_decode", |b| {
         b.iter(|| {
             let enc = deep.encode();
@@ -41,10 +40,8 @@ fn struct_join(c: &mut Criterion) {
     let parents: Vec<DeweyId> = (0..1000u64)
         .map(|i| DeweyId::from_steps(vec![Step::new(LabelId(0), 1), Step::new(LabelId(1), i + 1)]))
         .collect();
-    let children: Vec<DeweyId> = parents
-        .iter()
-        .flat_map(|p| (0..10u64).map(move |j| p.child(LabelId(2), j + 1)))
-        .collect();
+    let children: Vec<DeweyId> =
+        parents.iter().flat_map(|p| (0..10u64).map(move |j| p.child(LabelId(2), j + 1))).collect();
     let left = one_col("p", parents);
     let right = one_col("c", children);
     c.bench_function("structjoin/1000x10000_descendant", |b| {
@@ -63,11 +60,7 @@ fn xpath_and_views(c: &mut Criterion) {
     });
     let q1 = view_pattern("Q1");
     c.bench_function("pattern/eval_q1_200KB", |b| {
-        b.iter_batched(
-            || (),
-            |_| black_box(view_tuples(&doc, &q1).len()),
-            BatchSize::SmallInput,
-        )
+        b.iter_batched(|| (), |_| black_box(view_tuples(&doc, &q1).len()), BatchSize::SmallInput)
     });
 }
 

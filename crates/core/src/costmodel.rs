@@ -89,8 +89,7 @@ impl UpdateProfile {
     /// target count to every view node its inserted forest (or deleted
     /// subtree root) can match.
     pub fn from_log(doc: &Document, pattern: &TreePattern, log: &[UpdateStatement]) -> Self {
-        let mut rates: HashMap<PatternNodeId, f64> =
-            pattern.node_ids().map(|n| (n, 0.0)).collect();
+        let mut rates: HashMap<PatternNodeId, f64> = pattern.node_ids().map(|n| (n, 0.0)).collect();
         for stmt in log {
             let targets = eval_path(doc, stmt.target()).len() as f64;
             if targets == 0.0 {
@@ -154,11 +153,8 @@ pub fn expected_cost(
             .map(|m| m.len())
             .max()
             .unwrap_or(0);
-        let uncovered: f64 = r_part
-            .iter()
-            .skip(covered)
-            .map(|&x| stats.node_cardinality(pattern, x) as f64)
-            .sum();
+        let uncovered: f64 =
+            r_part.iter().skip(covered).map(|&x| stats.node_cardinality(pattern, x) as f64).sum();
         let cover_scan = if covered > 0 {
             stats.subset_cardinality(pattern, &order[..covered]) as f64
         } else {

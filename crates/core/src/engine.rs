@@ -19,7 +19,7 @@ use crate::strategy::SnowcapStrategy;
 use crate::timing::{timed, Timings};
 use crate::view_store::ViewStore;
 use std::collections::{BTreeSet, HashSet};
-use xivm_pattern::compile::{compile_plan_over, canonical_relation, project_to_view, view_tuples};
+use xivm_pattern::compile::{canonical_relation, compile_plan_over, project_to_view, view_tuples};
 use xivm_pattern::{PatternNodeId, TreePattern};
 use xivm_update::{apply_pul, compute_pul, DeltaMinus, DeltaPlus, Pul, UpdateStatement};
 use xivm_xml::{Document, NodeId, XmlError};
@@ -60,7 +60,8 @@ impl MaintenanceEngine {
     /// Materializes the view and its auxiliary snowcaps over `doc`.
     pub fn new(doc: &Document, pattern: TreePattern, strategy: SnowcapStrategy) -> Self {
         let store = ViewStore::from_counted(&pattern, view_tuples(doc, &pattern));
-        let snowcaps = Self::materialize_sets(doc, &pattern, Self::default_sets(&pattern, strategy));
+        let snowcaps =
+            Self::materialize_sets(doc, &pattern, Self::default_sets(&pattern, strategy));
         MaintenanceEngine {
             pattern,
             strategy,
@@ -288,8 +289,10 @@ impl MaintenanceEngine {
                 // truth, so the lost bindings are exactly the old
                 // view's (see predflip::old_truth_leaf).
                 let removed = if flips_exist {
-                    let mut cache: std::collections::HashMap<PatternNodeId, xivm_algebra::Relation> =
-                        std::collections::HashMap::new();
+                    let mut cache: std::collections::HashMap<
+                        PatternNodeId,
+                        xivm_algebra::Relation,
+                    > = std::collections::HashMap::new();
                     crate::etins::eval_terms(
                         &self.pattern,
                         &full_order,
@@ -312,7 +315,13 @@ impl MaintenanceEngine {
                         &mut |n| dminus.relation(&self.pattern, n),
                     )
                 } else {
-                    eval_delete_terms(&del_ctx, &full_order, &del_terms, &self.snowcaps, &mut leaves)
+                    eval_delete_terms(
+                        &del_ctx,
+                        &full_order,
+                        &del_terms,
+                        &self.snowcaps,
+                        &mut leaves,
+                    )
                 };
                 if !removed.is_empty() {
                     for (t, c) in project_to_view(&self.pattern, &removed) {
@@ -386,8 +395,12 @@ impl MaintenanceEngine {
             } else if has_inserts && !self.snowcaps.is_empty() && !flips_exist {
                 let mut deltas = Vec::with_capacity(self.snowcaps.len());
                 for m in &self.snowcaps {
-                    let (rel, _) =
-                        crate::pint::added_bindings(&ins_ctx, &m.nodes, &self.snowcaps, &mut leaves);
+                    let (rel, _) = crate::pint::added_bindings(
+                        &ins_ctx,
+                        &m.nodes,
+                        &self.snowcaps,
+                        &mut leaves,
+                    );
                     deltas.push(rel);
                 }
                 for (m, d) in self.snowcaps.iter_mut().zip(deltas) {
@@ -546,12 +559,8 @@ mod tests {
 
     #[test]
     fn deleting_everything_empties_the_view() {
-        let r = check(
-            FIG12,
-            "//a{id}[//c{id}]//b{id}",
-            &["delete /a"],
-            SnowcapStrategy::MinimalChain,
-        );
+        let r =
+            check(FIG12, "//a{id}[//c{id}]//b{id}", &["delete /a"], SnowcapStrategy::MinimalChain);
         assert_eq!(r.derivations_removed, 8);
     }
 
@@ -590,8 +599,7 @@ mod tests {
     fn snowcaps_stay_consistent_with_document() {
         let mut doc = parse_document(FIG12).unwrap();
         let p = parse_pattern("//a{id}[//c{id}]//b{id}").unwrap();
-        let mut engine =
-            MaintenanceEngine::new(&doc, p.clone(), SnowcapStrategy::MinimalChain);
+        let mut engine = MaintenanceEngine::new(&doc, p.clone(), SnowcapStrategy::MinimalChain);
         for s in ["insert <c><b/></c> into //f", "delete /a/c"] {
             let stmt = xivm_update::statement::parse_statement(s).unwrap();
             engine.apply_statement(&mut doc, &stmt).unwrap();

@@ -88,10 +88,8 @@ pub fn eval_term(
             placed.push(n);
             continue;
         }
-        let parent = pattern
-            .node(n)
-            .parent
-            .expect("non-root nodes of a parent-closed subset have parents");
+        let parent =
+            pattern.node(n).parent.expect("non-root nodes of a parent-closed subset have parents");
         let pcol = placed
             .iter()
             .position(|&p| p == parent)
@@ -178,14 +176,10 @@ mod tests {
         let order = p.preorder();
         let full: BTreeSet<_> = order.iter().copied().collect();
         let all_delta = Term::new(full.clone());
-        let rel = eval_term(
-            &p,
-            &order,
-            &all_delta,
-            &[],
-            &mut |_| unreachable!("no R nodes"),
-            &mut |n| canonical_relation(&d, &p, n),
-        );
+        let rel =
+            eval_term(&p, &order, &all_delta, &[], &mut |_| unreachable!("no R nodes"), &mut |n| {
+                canonical_relation(&d, &p, n)
+            });
         let direct = xivm_pattern::compile::eval_bindings(&d, &p);
         assert_eq!(rel.len(), direct.len());
         assert_eq!(rel.len(), 1);
@@ -232,25 +226,17 @@ mod tests {
         let order = p.preorder();
         let full: BTreeSet<_> = order.iter().copied().collect();
         let terms = subset_terms(&p, &full); // Δ{b}, Δ{a,b}
-        let rel = eval_terms(
-            &p,
-            &order,
-            &terms,
-            &[],
-            &mut |n| canonical_relation(&d, &p, n),
-            &mut |n| canonical_relation(&d, &p, n),
-        );
+        let rel =
+            eval_terms(&p, &order, &terms, &[], &mut |n| canonical_relation(&d, &p, n), &mut |n| {
+                canonical_relation(&d, &p, n)
+            });
         // Δ{b}: 2 bindings; Δ{a,b}: 2 bindings — bag accumulation
         assert_eq!(rel.len(), 4);
         // empty delta leaf kills terms
-        let empty = eval_terms(
-            &p,
-            &order,
-            &terms,
-            &[],
-            &mut |n| canonical_relation(&d, &p, n),
-            &mut |n| relation_from_nodes(&d, &p, n, &[]),
-        );
+        let empty =
+            eval_terms(&p, &order, &terms, &[], &mut |n| canonical_relation(&d, &p, n), &mut |n| {
+                relation_from_nodes(&d, &p, n, &[])
+            });
         assert!(empty.is_empty());
     }
 }

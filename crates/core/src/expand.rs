@@ -18,8 +18,7 @@ pub fn all_terms(pattern: &TreePattern) -> Vec<Term> {
     assert!(k < 31, "term expansion is exponential; view too large");
     let mut out = Vec::with_capacity((1usize << k) - 1);
     for mask in 1u32..(1 << k) {
-        let delta =
-            nodes.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, &n)| n);
+        let delta = nodes.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, &n)| n);
         out.push(Term::from_iter(delta));
     }
     out.sort();
@@ -34,10 +33,7 @@ pub fn all_terms(pattern: &TreePattern) -> Vec<Term> {
 /// By Proposition 3.12 these are exactly the complements of snowcaps
 /// (plus the all-Δ term, whose R-part is the empty snowcap).
 pub fn surviving_terms(pattern: &TreePattern) -> Vec<Term> {
-    all_terms(pattern)
-        .into_iter()
-        .filter(|t| t.is_delta_descendant_closed(pattern))
-        .collect()
+    all_terms(pattern).into_iter().filter(|t| t.is_delta_descendant_closed(pattern)).collect()
 }
 
 #[cfg(test)]

@@ -38,8 +38,12 @@ impl Lattice {
         assert!(k <= 16, "lattice construction is exponential; view too large");
         let mut subsets: Vec<BTreeSet<PatternNodeId>> = Vec::new();
         for mask in 1u32..(1 << k) {
-            let set: BTreeSet<PatternNodeId> =
-                all.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, &n)| n).collect();
+            let set: BTreeSet<PatternNodeId> = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &n)| n)
+                .collect();
             if is_connected(pattern, &set) {
                 subsets.push(set);
             }
@@ -144,8 +148,7 @@ mod tests {
     fn figure_6_lattice_snowcaps() {
         let p = parse_pattern("//a[//b//c]//d").unwrap();
         let lat = Lattice::build(&p);
-        let caps: Vec<String> =
-            lat.snowcaps().iter().map(|n| label_string(&p, &n.nodes)).collect();
+        let caps: Vec<String> = lat.snowcaps().iter().map(|n| label_string(&p, &n.nodes)).collect();
         assert_eq!(caps, vec!["a", "ab", "ad", "abc", "abd", "abcd"]);
         assert_eq!(lat.leaves().len(), 4);
     }

@@ -63,8 +63,7 @@ impl MultiViewEngine {
         // Find Target Nodes — once, shared by every view.
         let (pul, t_find) = timed(|| compute_pul(doc, stmt));
         // Per-view pre-update capture against the intact document.
-        let prepared: Vec<_> =
-            self.views.iter().map(|(_, e)| e.prepare(doc, &pul)).collect();
+        let prepared: Vec<_> = self.views.iter().map(|(_, e)| e.prepare(doc, &pul)).collect();
         // One document update.
         let (apply_res, t_apply) = timed(|| apply_pul(doc, &pul));
         let apply_res = apply_res?;

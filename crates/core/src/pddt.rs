@@ -113,11 +113,7 @@ mod tests {
     use xivm_update::{apply_pul, compute_pul, Pul, UpdateStatement};
     use xivm_xml::parse_document;
 
-    fn run_delete(
-        doc_xml: &str,
-        path: &str,
-        pattern: &str,
-    ) -> (Relation, PruneStats) {
+    fn run_delete(doc_xml: &str, path: &str, pattern: &str) -> (Relation, PruneStats) {
         let mut d = parse_document(doc_xml).unwrap();
         let p = parse_pattern(pattern).unwrap();
         let stmt = UpdateStatement::delete(path).unwrap();

@@ -10,7 +10,7 @@
 use crate::view_store::ViewStore;
 use std::sync::Arc;
 use xivm_pattern::TreePattern;
-use xivm_xml::{Document, DeweyForest, DeweyId};
+use xivm_xml::{DeweyForest, DeweyId, Document};
 
 /// Patches `val` / `cont` of surviving affected tuples from the
 /// (already updated) document. Returns the number of modified tuples.
@@ -77,11 +77,7 @@ mod tests {
         let mut store = ViewStore::from_counted(&p, view_tuples(&d, &p));
         let stmt = UpdateStatement::delete("//x").unwrap();
         let pul = compute_pul(&d, &stmt);
-        let roots: Vec<DeweyId> = pul
-            .ops
-            .iter()
-            .map(|o| o.target().clone())
-            .collect();
+        let roots: Vec<DeweyId> = pul.ops.iter().map(|o| o.target().clone()).collect();
         apply_pul(&mut d, &pul).unwrap();
         let n = propagate_delete_modifications(&mut store, &d, &p, &roots);
         assert_eq!(n, 1);

@@ -10,7 +10,7 @@
 use crate::view_store::ViewStore;
 use std::sync::Arc;
 use xivm_pattern::TreePattern;
-use xivm_xml::{Document, DeweyForest, DeweyId};
+use xivm_xml::{DeweyForest, DeweyId, Document};
 
 /// Patches the `val` / `cont` fields of affected tuples by re-reading
 /// the (already updated) document. Returns the number of modified

@@ -16,7 +16,7 @@ use xivm_algebra::Relation;
 use xivm_pattern::compile::{canonical_node_ids, relation_from_nodes};
 use xivm_pattern::{PatternNodeId, TreePattern};
 use xivm_update::DeltaPlus;
-use xivm_xml::{Document, DeweyId, NodeId};
+use xivm_xml::{DeweyId, Document, NodeId};
 
 /// Everything an insertion propagation needs to see.
 pub struct InsertContext<'a> {
@@ -158,8 +158,12 @@ mod tests {
     fn disjointness_no_double_count() {
         // Insert a whole a/b/c chain next to an existing one: terms
         // must count each new embedding exactly once.
-        let (d, p, dp, targets, inserted) =
-            setup("<r><a><b><c/></b></a><t/></r>", "//t", "<a><b><c/></b></a>", "//a{id}//b{id}//c{id}");
+        let (d, p, dp, targets, inserted) = setup(
+            "<r><a><b><c/></b></a><t/></r>",
+            "//t",
+            "<a><b><c/></b></a>",
+            "//a{id}//b{id}//c{id}",
+        );
         let ctx = InsertContext {
             doc: &d,
             pattern: &p,

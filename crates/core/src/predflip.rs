@@ -27,9 +27,7 @@ use crate::etins::eval_terms;
 use crate::term::Term;
 use std::collections::{HashMap, HashSet};
 use xivm_algebra::Relation;
-use xivm_pattern::compile::{
-    canonical_node_ids, relation_from_nodes, relation_from_nodes_raw,
-};
+use xivm_pattern::compile::{canonical_node_ids, relation_from_nodes, relation_from_nodes_raw};
 use xivm_pattern::{NodeTest, PatternNodeId, TreePattern};
 use xivm_update::Pul;
 use xivm_xml::{Document, NodeId, NodeKind};
@@ -205,11 +203,8 @@ fn bindings_by_flips(
     // partitioned by exactly which positions bind flipped nodes.
     let mut terms = Vec::new();
     for mask in 1u32..(1 << positions.len()) {
-        let subset = positions
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| mask & (1 << i) != 0)
-            .map(|(_, &p)| p);
+        let subset =
+            positions.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, &p)| p);
         terms.push(Term::from_iter(subset));
     }
     let order = pattern.preorder();

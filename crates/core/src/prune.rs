@@ -17,7 +17,7 @@ use crate::term::Term;
 use std::collections::BTreeSet;
 use xivm_pattern::{NodeTest, PatternNodeId, TreePattern};
 use xivm_update::{DeltaMinus, DeltaPlus};
-use xivm_xml::{Document, DeweyId};
+use xivm_xml::{DeweyId, Document};
 
 /// Statistics of a pruning pass, reported by the engine and checked in
 /// the experiments.
@@ -31,10 +31,7 @@ pub struct PruneStats {
 /// Proposition 3.6: keep terms whose Δ-nodes all have non-empty
 /// σ(Δ⁺).
 pub fn prune_insert_by_deltas(terms: Vec<Term>, deltas: &DeltaPlus) -> Vec<Term> {
-    terms
-        .into_iter()
-        .filter(|t| t.delta_nodes().iter().all(|&n| !deltas.is_empty(n)))
-        .collect()
+    terms.into_iter().filter(|t| t.delta_nodes().iter().all(|&n| !deltas.is_empty(n))).collect()
 }
 
 /// Proposition 3.8: keep terms whose every (R-ancestor, Δ-node) pair
@@ -62,9 +59,7 @@ pub fn prune_insert_by_target_ids(
                         NodeTest::Name(name) => match doc.label_id(name) {
                             // label never seen in the document: R_anc is empty
                             None => false,
-                            Some(l) => {
-                                targets.iter().any(|p| p.has_self_or_ancestor_labeled(l))
-                            }
+                            Some(l) => targets.iter().any(|p| p.has_self_or_ancestor_labeled(l)),
                         },
                     }
                 })
@@ -87,10 +82,7 @@ fn r_ancestors_in(
 /// Δ⁻ (the deletion analogue of Proposition 3.6, used implicitly in
 /// Example 4.5 when Δ⁻_a = ∅ removes the ΔaΔbΔc term).
 pub fn prune_delete_by_deltas(terms: Vec<Term>, deltas: &DeltaMinus) -> Vec<Term> {
-    terms
-        .into_iter()
-        .filter(|t| t.delta_nodes().iter().all(|&n| !deltas.is_empty(n)))
-        .collect()
+    terms.into_iter().filter(|t| t.delta_nodes().iter().all(|&n| !deltas.is_empty(n))).collect()
 }
 
 /// Proposition 4.7: keep deletion terms whose every (R-ancestor,
@@ -112,10 +104,9 @@ pub fn prune_delete_by_ids(
                         NodeTest::Wildcard => true,
                         NodeTest::Name(name) => match doc.label_id(name) {
                             None => false,
-                            Some(l) => deltas
-                                .ids(n)
-                                .iter()
-                                .any(|id| id.has_proper_ancestor_labeled(l)),
+                            Some(l) => {
+                                deltas.ids(n).iter().any(|id| id.has_proper_ancestor_labeled(l))
+                            }
                         },
                     }
                 })

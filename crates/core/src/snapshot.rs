@@ -98,8 +98,7 @@ pub fn decode_store(bytes: &[u8]) -> Result<ViewStore, SnapshotError> {
         let count = u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes"));
         let mut fields = Vec::with_capacity(arity);
         for _ in 0..arity {
-            let id = DeweyId::decode(r.bytes_field()?)
-                .ok_or(SnapshotError::Corrupt("dewey id"))?;
+            let id = DeweyId::decode(r.bytes_field()?).ok_or(SnapshotError::Corrupt("dewey id"))?;
             let val = read_opt_str(&mut r)?;
             let cont = read_opt_str(&mut r)?;
             fields.push(Field::new(id, val, cont));
@@ -202,10 +201,7 @@ mod tests {
         );
         let mut versioned = bytes.clone();
         versioned[4] = 99;
-        assert!(matches!(
-            decode_store(&versioned),
-            Err(SnapshotError::UnsupportedVersion(_))
-        ));
+        assert!(matches!(decode_store(&versioned), Err(SnapshotError::UnsupportedVersion(_))));
         let mut trailing = bytes.clone();
         trailing.push(0);
         assert_eq!(

@@ -29,8 +29,7 @@ pub fn is_snowcap(pattern: &TreePattern, set: &BTreeSet<PatternNodeId>) -> bool 
 /// snowcap of it.
 pub fn enumerate_snowcaps(pattern: &TreePattern) -> Vec<BTreeSet<PatternNodeId>> {
     fn rec(pattern: &TreePattern, node: PatternNodeId) -> Vec<BTreeSet<PatternNodeId>> {
-        let mut result: Vec<BTreeSet<PatternNodeId>> =
-            vec![BTreeSet::from([node])];
+        let mut result: Vec<BTreeSet<PatternNodeId>> = vec![BTreeSet::from([node])];
         for &c in &pattern.node(node).children {
             let child_caps = rec(pattern, c);
             let mut extended = Vec::with_capacity(result.len() * (child_caps.len() + 1));

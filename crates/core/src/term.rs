@@ -52,9 +52,7 @@ impl Term {
     /// Proposition 3.3 (insertions) / Proposition 4.2 (deletions),
     /// because XQuery updates add or remove whole subtrees.
     pub fn is_delta_descendant_closed(&self, pattern: &TreePattern) -> bool {
-        self.delta.iter().all(|&n| {
-            pattern.node(n).children.iter().all(|c| self.delta.contains(c))
-        })
+        self.delta.iter().all(|&n| pattern.node(n).children.iter().all(|c| self.delta.contains(c)))
     }
 
     /// Δ-nodes whose pattern parent is `R`-bound: the frontier along
@@ -72,11 +70,7 @@ impl Term {
     }
 
     /// `R`-bound proper ancestors of a Δ-node.
-    pub fn r_ancestors_of(
-        &self,
-        pattern: &TreePattern,
-        node: PatternNodeId,
-    ) -> Vec<PatternNodeId> {
+    pub fn r_ancestors_of(&self, pattern: &TreePattern, node: PatternNodeId) -> Vec<PatternNodeId> {
         let mut out = Vec::new();
         let mut cur = pattern.node(node).parent;
         while let Some(p) = cur {
@@ -138,8 +132,7 @@ mod tests {
     fn r_part_complements_delta_in_preorder() {
         let p = parse_pattern("//a[//b//c]//d").unwrap();
         let t = Term::new(ids(&[2, 3]));
-        let names: Vec<_> =
-            t.r_part(&p).iter().map(|&n| p.node(n).name.clone()).collect();
+        let names: Vec<_> = t.r_part(&p).iter().map(|&n| p.node(n).name.clone()).collect();
         assert_eq!(names, vec!["a", "b"]);
         assert_eq!(t.delta_count(), 2);
     }

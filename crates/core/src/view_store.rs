@@ -71,10 +71,7 @@ impl ViewStore {
     pub fn add(&mut self, tuple: Tuple, count: u64) {
         debug_assert_eq!(tuple.arity(), self.schema.arity());
         let key = tuple.id_key();
-        self.tuples
-            .entry(key)
-            .and_modify(|(_, c)| *c += count)
-            .or_insert((tuple, count));
+        self.tuples.entry(key).and_modify(|(_, c)| *c += count).or_insert((tuple, count));
     }
 
     /// Removes `count` derivations; the tuple disappears when its
@@ -162,10 +159,7 @@ mod tests {
     use xivm_xml::{dewey::Step, LabelId};
 
     fn tup(ord: u64) -> Tuple {
-        Tuple::new(vec![Field::id_only(DeweyId::from_steps(vec![Step::new(
-            LabelId(0),
-            ord,
-        )]))])
+        Tuple::new(vec![Field::id_only(DeweyId::from_steps(vec![Step::new(LabelId(0), ord)]))])
     }
 
     fn store() -> ViewStore {

@@ -20,11 +20,7 @@ pub fn mandatory_descendants(dtd: &Dtd) -> HashMap<String, BTreeSet<String>> {
     out
 }
 
-fn required_closure(
-    dtd: &Dtd,
-    symbol: &str,
-    visiting: &mut HashSet<String>,
-) -> BTreeSet<String> {
+fn required_closure(dtd: &Dtd, symbol: &str, visiting: &mut HashSet<String>) -> BTreeSet<String> {
     if !visiting.insert(symbol.to_owned()) {
         return BTreeSet::new(); // cycle: cut off
     }
@@ -83,8 +79,7 @@ mod tests {
         let g = cooccurrence_groups(&figure_5b());
         let groups = &g["d2"];
         assert_eq!(groups.len(), 1);
-        let expected: BTreeSet<String> =
-            ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let expected: BTreeSet<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
         assert_eq!(groups[0], expected);
     }
 

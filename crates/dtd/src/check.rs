@@ -75,10 +75,7 @@ pub fn implications(dtd: &Dtd) -> Vec<Implication> {
             for a in group {
                 for b in group {
                     if a != b {
-                        out.push(Implication {
-                            if_present: a.clone(),
-                            then_present: b.clone(),
-                        });
+                        out.push(Implication { if_present: a.clone(), then_present: b.clone() });
                     }
                 }
             }
@@ -194,9 +191,7 @@ mod tests {
     #[test]
     fn implications_match_the_examples() {
         let d1 = implications(&figure_5a());
-        assert!(d1
-            .iter()
-            .any(|i| i.if_present == "b" && i.then_present == "c"), "{d1:?}");
+        assert!(d1.iter().any(|i| i.if_present == "b" && i.then_present == "c"), "{d1:?}");
         let d2 = implications(&figure_5b());
         assert!(d2.iter().any(|i| i.if_present == "a" && i.then_present == "b"));
         assert!(d2.iter().any(|i| i.if_present == "a" && i.then_present == "c"));

@@ -76,10 +76,8 @@ pub fn parse_dtd(input: &str) -> Result<Dtd, DtdParseError> {
             message: "expected 'name -> rx'".into(),
         })?;
         let name = name.trim().to_owned();
-        let rx = parse_rx(rhs.trim()).map_err(|message| DtdParseError {
-            line: lineno + 1,
-            message,
-        })?;
+        let rx =
+            parse_rx(rhs.trim()).map_err(|message| DtdParseError { line: lineno + 1, message })?;
         if dtd.rules.insert(name.clone(), rx).is_none() {
             dtd.order.push(name);
         }
@@ -185,18 +183,13 @@ impl<'a> RxParser<'a> {
             return Ok(inner);
         }
         let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
-        {
+        while self.peek().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-') {
             self.pos += 1;
         }
         if self.pos == start {
             return Err(format!("expected a symbol at byte {}", self.pos));
         }
-        Ok(Rx::Symbol(
-            std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_owned(),
-        ))
+        Ok(Rx::Symbol(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_owned()))
     }
 }
 

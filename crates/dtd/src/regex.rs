@@ -60,9 +60,7 @@ impl Rx {
         match self {
             Rx::Epsilon => BTreeSet::new(),
             Rx::Symbol(s) => BTreeSet::from([s.clone()]),
-            Rx::Seq(parts) | Rx::Alt(parts) => {
-                parts.iter().flat_map(Rx::all_symbols).collect()
-            }
+            Rx::Seq(parts) | Rx::Alt(parts) => parts.iter().flat_map(Rx::all_symbols).collect(),
             Rx::Star(inner) | Rx::Plus(inner) | Rx::Opt(inner) => inner.all_symbols(),
         }
     }
@@ -157,10 +155,7 @@ mod tests {
         assert_eq!(seq.required_symbols(), set(&["a", "b"]));
         let alt = Rx::Alt(vec![Rx::sym("a"), Rx::sym("b")]);
         assert!(alt.required_symbols().is_empty());
-        let mixed = Rx::Alt(vec![
-            Rx::sym("a"),
-            Rx::Seq(vec![Rx::sym("a"), Rx::sym("b")]),
-        ]);
+        let mixed = Rx::Alt(vec![Rx::sym("a"), Rx::Seq(vec![Rx::sym("a"), Rx::sym("b")])]);
         assert_eq!(mixed.required_symbols(), set(&["a"]));
     }
 

@@ -151,8 +151,7 @@ impl IvmaView {
                 }
                 NodeKind::Text => {
                     let before = self.pred_truth_on_chain(doc, real_parent);
-                    let new =
-                        doc.append_text(real_parent, node.text.as_deref().unwrap_or(""))?;
+                    let new = doc.append_text(real_parent, node.text.as_deref().unwrap_or(""))?;
                     mapping[sn.index()] = Some(new);
                     self.apply_pred_flips(doc, real_parent, before);
                 }
@@ -322,11 +321,9 @@ impl IvmaView {
             let base = assignment[ppos].expect("parent assigned first");
             match self.pattern.node(pnode).edge {
                 xivm_algebra::Axis::Child => doc.children_of(base).to_vec(),
-                xivm_algebra::Axis::Descendant => doc
-                    .descendants_or_self(base)
-                    .into_iter()
-                    .filter(|&n| n != base)
-                    .collect(),
+                xivm_algebra::Axis::Descendant => {
+                    doc.descendants_or_self(base).into_iter().filter(|&n| n != base).collect()
+                }
             }
         };
         for c in candidates {
@@ -470,12 +467,7 @@ mod tests {
     #[test]
     fn one_call_per_inserted_node() {
         // the Figure 28 workload: a root with four children = 5 calls
-        let calls = check_insert(
-            "<a><b/></a>",
-            "//a{id}//b{id}",
-            "//a",
-            "<b><x/><x/><x/><x/></b>",
-        );
+        let calls = check_insert("<a><b/></a>", "//a{id}//b{id}", "//a", "<b><x/><x/><x/><x/></b>");
         assert_eq!(calls, 5);
     }
 

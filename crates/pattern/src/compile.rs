@@ -25,7 +25,11 @@ pub fn column_of(pattern: &TreePattern, node: PatternNodeId) -> usize {
 
 /// The document nodes a pattern node's test ranges over: the canonical
 /// relation `R_label` for name tests, all elements for wildcards.
-pub fn canonical_node_ids(doc: &Document, pattern: &TreePattern, node: PatternNodeId) -> Vec<NodeId> {
+pub fn canonical_node_ids(
+    doc: &Document,
+    pattern: &TreePattern,
+    node: PatternNodeId,
+) -> Vec<NodeId> {
     match &pattern.node(node).test {
         NodeTest::Name(name) => doc.canonical_nodes_named(name).to_vec(),
         NodeTest::Wildcard => match doc.root() {

@@ -91,7 +91,8 @@ fn parse_let(text: &str) -> Result<(String, &str), ViewParseError> {
     let body = body.trim_start();
     let var = parse_var_name(body)?;
     let after_var = body[var.len() + 1..].trim_start();
-    let after_assign = after_var.strip_prefix(":=").ok_or_else(|| err("expected ':='"))?.trim_start();
+    let after_assign =
+        after_var.strip_prefix(":=").ok_or_else(|| err("expected ':='"))?.trim_start();
     if !after_assign.starts_with("doc(") {
         return Err(err("let bindings must be doc(...) sources"));
     }
@@ -105,10 +106,8 @@ fn parse_var_name(text: &str) -> Result<String, ViewParseError> {
     if !text.starts_with('$') {
         return Err(err(format!("expected a variable, found: {text:.20}")));
     }
-    let name: String = text[1..]
-        .chars()
-        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-        .collect();
+    let name: String =
+        text[1..].chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
     if name.is_empty() {
         return Err(err("empty variable name"));
     }
@@ -138,8 +137,7 @@ fn split_keyword<'a>(text: &'a str, keywords: &[&str]) -> (String, &'a str) {
         if depth == 0 {
             for kw in keywords {
                 if text[i..].starts_with(kw) {
-                    let before = i == 0
-                        || bytes[i - 1].is_ascii_whitespace();
+                    let before = i == 0 || bytes[i - 1].is_ascii_whitespace();
                     let after_idx = i + kw.len();
                     let after = after_idx >= bytes.len()
                         || bytes[after_idx].is_ascii_whitespace()
@@ -233,10 +231,8 @@ impl Translator {
             if self.doc_vars.contains(&var) {
                 return Ok((None, rest)); // let-bound document variable
             }
-            let node = *self
-                .vars
-                .get(&var)
-                .ok_or_else(|| err(format!("unknown variable ${var}")))?;
+            let node =
+                *self.vars.get(&var).ok_or_else(|| err(format!("unknown variable ${var}")))?;
             return Ok((Some(node), rest));
         }
         Ok((None, text.trim().to_owned()))
@@ -267,9 +263,7 @@ impl Translator {
                     Some(p) => {
                         let root = p.root();
                         if p.node(root).test != test || p.node(root).edge != first.axis {
-                            return Err(err(
-                                "absolute variables must share the same first step",
-                            ));
+                            return Err(err("absolute variables must share the same first step"));
                         }
                     }
                 }
@@ -288,7 +282,8 @@ impl Translator {
                 continue;
             }
             let test = Self::step_test(&step.test)?;
-            let p = self.pattern.as_mut().ok_or_else(|| err("relative path before any absolute"))?;
+            let p =
+                self.pattern.as_mut().ok_or_else(|| err("relative path before any absolute"))?;
             let node = p.add_child(cur, step.axis, test);
             for pr in &step.preds {
                 self.translate_pred(node, pr)?;
@@ -309,24 +304,19 @@ impl Translator {
     }
 
     /// Predicates become existential branches (conjunctive only).
-    fn translate_pred(
-        &mut self,
-        node: PatternNodeId,
-        pred: &XPred,
-    ) -> Result<(), ViewParseError> {
+    fn translate_pred(&mut self, node: PatternNodeId, pred: &XPred) -> Result<(), ViewParseError> {
         match pred {
             XPred::Exists(path) => {
                 self.extend_with_path(Some(node), path, false)?;
                 Ok(())
             }
             XPred::ValEq(path, c) => {
-                let target = if path.steps.len() == 1
-                    && matches!(path.steps[0].test, XNodeTest::SelfNode)
-                {
-                    node
-                } else {
-                    self.extend_with_path(Some(node), path, false)?
-                };
+                let target =
+                    if path.steps.len() == 1 && matches!(path.steps[0].test, XNodeTest::SelfNode) {
+                        node
+                    } else {
+                        self.extend_with_path(Some(node), path, false)?
+                    };
                 self.pattern.as_mut().unwrap().set_val_pred(target, c.clone());
                 Ok(())
             }
@@ -556,10 +546,7 @@ mod tests {
              return ($i/name/text(), $i/description)",
         )
         .unwrap();
-        assert_eq!(
-            p.to_text(),
-            "/site/regions/namerica/item[/name{id,val}]/description{id,cont}"
-        );
+        assert_eq!(p.to_text(), "/site/regions/namerica/item[/name{id,val}]/description{id,cont}");
     }
 
     #[test]

@@ -135,9 +135,7 @@ fn apply_preds(doc: &Document, node: NodeId, preds: &[XPred]) -> bool {
 fn eval_pred(doc: &Document, node: NodeId, pred: &XPred) -> bool {
     match pred {
         XPred::Exists(path) => !eval_relative(doc, node, path).is_empty(),
-        XPred::ValEq(path, c) => {
-            eval_relative(doc, node, path).iter().any(|&n| doc.value(n) == *c)
-        }
+        XPred::ValEq(path, c) => eval_relative(doc, node, path).iter().any(|&n| doc.value(n) == *c),
         XPred::And(a, b) => eval_pred(doc, node, a) && eval_pred(doc, node, b),
         XPred::Or(a, b) => eval_pred(doc, node, a) || eval_pred(doc, node, b),
     }

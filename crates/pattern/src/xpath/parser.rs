@@ -291,10 +291,9 @@ mod tests {
     #[test]
     fn parse_and_or_nesting() {
         // A8_AO's shape: address and (phone or homepage) and (creditcard or profile)
-        let p = parse_xpath(
-            "//person[address and (phone or homepage) and (creditcard or profile)]",
-        )
-        .unwrap();
+        let p =
+            parse_xpath("//person[address and (phone or homepage) and (creditcard or profile)]")
+                .unwrap();
         match &p.steps[0].preds[0] {
             XPred::And(left, _right) => {
                 assert!(matches!(**left, XPred::And(_, _)));

@@ -1,0 +1,173 @@
+//! Unit tests for the compact pattern syntax: the six shapes the
+//! property suite relies on must parse to the expected trees, and
+//! malformed input must come back as `Err`, never a panic.
+
+use xivm_algebra::Axis;
+use xivm_pattern::{parse_pattern, Annotations, NodeTest, PatternNodeId, TreePattern};
+
+fn child_of(p: &TreePattern, node: PatternNodeId, idx: usize) -> PatternNodeId {
+    p.node(node).children[idx]
+}
+
+fn assert_node(
+    p: &TreePattern,
+    node: PatternNodeId,
+    name: &str,
+    edge: Axis,
+    ann: Annotations,
+    n_children: usize,
+) {
+    let n = p.node(node);
+    assert_eq!(n.test, NodeTest::Name(name.to_owned()), "name of {node:?}");
+    assert_eq!(n.edge, edge, "edge of {node:?}");
+    assert_eq!(n.ann, ann, "annotations of {node:?}");
+    assert_eq!(n.children.len(), n_children, "children of {node:?}");
+}
+
+const ID: Annotations = Annotations::ID;
+const NONE: Annotations = Annotations::NONE;
+
+#[test]
+fn shape_descendant_chain() {
+    // //a{id}//b{id}
+    let p = parse_pattern("//a{id}//b{id}").unwrap();
+    assert_eq!(p.len(), 2);
+    let a = p.root();
+    assert_node(&p, a, "a", Axis::Descendant, ID, 1);
+    let b = child_of(&p, a, 0);
+    assert_node(&p, b, "b", Axis::Descendant, ID, 0);
+    assert!(p.node(a).val_pred.is_none() && p.node(b).val_pred.is_none());
+}
+
+#[test]
+fn shape_predicate_branch() {
+    // //a{id}[//c{id}]//b{id} — branch first, then the main path.
+    let p = parse_pattern("//a{id}[//c{id}]//b{id}").unwrap();
+    assert_eq!(p.len(), 3);
+    let a = p.root();
+    assert_node(&p, a, "a", Axis::Descendant, ID, 2);
+    let c = child_of(&p, a, 0);
+    assert_node(&p, c, "c", Axis::Descendant, ID, 0);
+    let b = child_of(&p, a, 1);
+    assert_node(&p, b, "b", Axis::Descendant, ID, 0);
+}
+
+#[test]
+fn shape_three_level_chain() {
+    // //a{id}//b{id}//c{id}
+    let p = parse_pattern("//a{id}//b{id}//c{id}").unwrap();
+    assert_eq!(p.len(), 3);
+    let a = p.root();
+    let b = child_of(&p, a, 0);
+    let c = child_of(&p, b, 0);
+    assert_node(&p, a, "a", Axis::Descendant, ID, 1);
+    assert_node(&p, b, "b", Axis::Descendant, ID, 1);
+    assert_node(&p, c, "c", Axis::Descendant, ID, 0);
+}
+
+#[test]
+fn shape_multi_annotation() {
+    // //r{id}//d{id,val}
+    let p = parse_pattern("//r{id}//d{id,val}").unwrap();
+    assert_eq!(p.len(), 2);
+    let r = p.root();
+    let d = child_of(&p, r, 0);
+    assert_node(&p, r, "r", Axis::Descendant, ID, 1);
+    assert_node(&p, d, "d", Axis::Descendant, Annotations { id: true, val: true, cont: false }, 0);
+    assert!(p.node(d).ann.stores_text());
+}
+
+#[test]
+fn shape_value_predicate_branch() {
+    // //a{id}[//d[val="5"]]//b{id}
+    let p = parse_pattern("//a{id}[//d[val=\"5\"]]//b{id}").unwrap();
+    assert_eq!(p.len(), 3);
+    let a = p.root();
+    assert_node(&p, a, "a", Axis::Descendant, ID, 2);
+    let d = child_of(&p, a, 0);
+    assert_node(&p, d, "d", Axis::Descendant, NONE, 0);
+    assert_eq!(p.node(d).val_pred.as_deref(), Some("5"));
+    let b = child_of(&p, a, 1);
+    assert_node(&p, b, "b", Axis::Descendant, ID, 0);
+    assert!(p.node(b).val_pred.is_none());
+}
+
+#[test]
+fn shape_existential_branch_with_cont() {
+    // //a{id,cont}[//b]
+    let p = parse_pattern("//a{id,cont}[//b]").unwrap();
+    assert_eq!(p.len(), 2);
+    let a = p.root();
+    assert_node(&p, a, "a", Axis::Descendant, Annotations { id: true, val: false, cont: true }, 1);
+    let b = child_of(&p, a, 0);
+    assert_node(&p, b, "b", Axis::Descendant, NONE, 0);
+}
+
+#[test]
+fn child_axis_attributes_and_wildcards_parse() {
+    let p = parse_pattern("/site/people/person{id}[/@id]/name{id,val}").unwrap();
+    assert_eq!(p.len(), 5);
+    let site = p.root();
+    assert_node(&p, site, "site", Axis::Child, NONE, 1);
+    let person = child_of(&p, child_of(&p, site, 0), 0);
+    assert_eq!(p.node(person).children.len(), 2);
+    let attr = child_of(&p, person, 0);
+    assert_eq!(p.node(attr).test, NodeTest::Name("@id".to_owned()));
+    assert_eq!(p.node(attr).edge, Axis::Child);
+
+    let w = parse_pattern("//*{id}").unwrap();
+    assert_eq!(w.node(w.root()).test, NodeTest::Wildcard);
+}
+
+#[test]
+fn to_text_roundtrips_the_property_suite_shapes() {
+    // `to_text` normalizes a sole trailing branch (`a[//b]`) into
+    // main-path syntax (`a//b`) — same tree, one canonical rendering —
+    // so the expected text differs from the input for the last shape.
+    for (shape, canonical) in [
+        ("//a{id}//b{id}", "//a{id}//b{id}"),
+        ("//a{id}[//c{id}]//b{id}", "//a{id}[//c{id}]//b{id}"),
+        ("//a{id}//b{id}//c{id}", "//a{id}//b{id}//c{id}"),
+        ("//r{id}//d{id,val}", "//r{id}//d{id,val}"),
+        ("//a{id}[//d[val=\"5\"]]//b{id}", "//a{id}[//d[val=\"5\"]]//b{id}"),
+        ("//a{id,cont}[//b]", "//a{id,cont}//b"),
+    ] {
+        let parsed = parse_pattern(shape).unwrap();
+        assert_eq!(parsed.to_text(), canonical, "canonical rendering of {shape}");
+        // The canonical form is a fixpoint: reparsing yields the same
+        // tree and the same text.
+        let reparsed = parse_pattern(&parsed.to_text()).unwrap();
+        assert_eq!(reparsed.to_text(), canonical);
+        assert_eq!(reparsed.len(), parsed.len());
+    }
+}
+
+#[test]
+fn malformed_patterns_error_instead_of_panicking() {
+    let malformed = [
+        "",              // nothing at all
+        "a",             // missing leading axis
+        "//",            // axis without a label
+        "///a",          // empty step
+        "//a{",          // unterminated annotation list
+        "//a{}",         // empty annotation list
+        "//a{bogus}",    // unknown annotation item
+        "//a{id,}",      // dangling comma
+        "//a[",          // unterminated branch
+        "//a[//b",       // branch never closed
+        "//a[]",         // empty branch
+        "//a[val=5]",    // unquoted predicate value
+        "//a[val=\"5]",  // unterminated predicate string
+        "//a[val=\"5\"", // predicate missing ']'
+        "//a]]",         // stray closing brackets
+        "//a//b extra",  // trailing garbage
+        "//a{id}{id}",   // duplicate annotation block
+    ];
+    for input in malformed {
+        let result = std::panic::catch_unwind(|| parse_pattern(input));
+        match result {
+            Ok(parsed) => assert!(parsed.is_err(), "parser accepted malformed input {input:?}"),
+            Err(_) => panic!("parser panicked on malformed input {input:?}"),
+        }
+    }
+}

@@ -16,7 +16,7 @@
 //! al.'s full ID-projection.
 
 use xivm_update::{AtomicOp, Pul};
-use xivm_xml::{parse_document, serialize_node, Document, DeweyId};
+use xivm_xml::{parse_document, serialize_node, DeweyId, Document};
 
 /// What the aggregation did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,10 +32,8 @@ pub struct AggregationOutcome {
 /// whether a Δ2 target already exists (D6 applies only to
 /// forest-internal targets).
 pub fn aggregate(doc: &Document, first: &Pul, second: &Pul) -> (Pul, AggregationOutcome) {
-    let mut outcome = AggregationOutcome {
-        ops_before: first.len() + second.len(),
-        ..Default::default()
-    };
+    let mut outcome =
+        AggregationOutcome { ops_before: first.len() + second.len(), ..Default::default() };
     let mut merged: Vec<AtomicOp> = first.ops.clone();
     'second: for op2 in &second.ops {
         match op2 {
@@ -91,11 +89,9 @@ fn splice_into_forest(
     let mut cur = root;
     for step in rel_steps {
         let label_name = doc.labels().name(step.label).to_owned();
-        let next = scratch
-            .children_of(cur)
-            .iter()
-            .copied()
-            .find(|&c| scratch.node(c).is_element() && scratch.label_name(scratch.node(c).label) == label_name)?;
+        let next = scratch.children_of(cur).iter().copied().find(|&c| {
+            scratch.node(c).is_element() && scratch.label_name(scratch.node(c).label) == label_name
+        })?;
         cur = next;
     }
     xivm_xml::parser::parse_forest_into(&mut scratch, cur, addition).ok()?;
@@ -144,10 +140,7 @@ mod tests {
         let x_target = p1.ops[0].target().clone();
         let d_label = d.intern_label("d");
         let inner = x_target.child(d_label, xivm_xml::dewey::ORD_STRIDE);
-        let p2 = Pul::new(vec![AtomicOp::InsertInto {
-            target: inner,
-            forest: "<b/>".to_owned(),
-        }]);
+        let p2 = Pul::new(vec![AtomicOp::InsertInto { target: inner, forest: "<b/>".to_owned() }]);
         let (agg, out) = aggregate(&d, &p1, &p2);
         assert_eq!(out.d6_fired, 1);
         assert_eq!(agg.len(), 1);

@@ -108,11 +108,7 @@ pub fn find_conflicts(first: &Pul, second: &Pul) -> Vec<Conflict> {
 /// Integrates two parallel PULs into one, applying `policy` to every
 /// conflict. Returns the conflicts alongside `Err` under
 /// [`ConflictPolicy::Fail`].
-pub fn integrate(
-    first: &Pul,
-    second: &Pul,
-    policy: ConflictPolicy,
-) -> Result<Pul, Vec<Conflict>> {
+pub fn integrate(first: &Pul, second: &Pul, policy: ConflictPolicy) -> Result<Pul, Vec<Conflict>> {
     let conflicts = find_conflicts(first, second);
     if !conflicts.is_empty() && policy == ConflictPolicy::Fail {
         return Err(conflicts);
@@ -158,10 +154,8 @@ mod tests {
     #[test]
     fn all_three_conflict_kinds() {
         // IO: both insert into //z
-        let io = find_conflicts(
-            &pul(DOC, "insert <a/> into //z"),
-            &pul(DOC, "insert <b/> into //z"),
-        );
+        let io =
+            find_conflicts(&pul(DOC, "insert <a/> into //z"), &pul(DOC, "insert <b/> into //z"));
         assert_eq!(io.len(), 1);
         assert_eq!(io[0].kind, ConflictKind::InsertionOrder);
 

@@ -58,10 +58,9 @@ pub fn reduce(pul: &Pul) -> (Pul, ReductionTrace) {
     for op in keep {
         match op {
             AtomicOp::InsertInto { target, forest } => {
-                if let Some(AtomicOp::InsertInto { forest: existing, .. }) =
-                    merged.iter_mut().find(|m| {
-                        matches!(m, AtomicOp::InsertInto { target: t, .. } if *t == target)
-                    })
+                if let Some(AtomicOp::InsertInto { forest: existing, .. }) = merged
+                    .iter_mut()
+                    .find(|m| matches!(m, AtomicOp::InsertInto { target: t, .. } if *t == target))
                 {
                     existing.push_str(&forest);
                     trace.i5_fired += 1;

@@ -7,7 +7,7 @@
 //! node before detaching, which is what the Δ⁻ tables are built from.
 
 use crate::pul::{AtomicOp, Pul};
-use xivm_xml::{parser::parse_forest_into, Document, DeweyId, NodeId, NodeKind, XmlError};
+use xivm_xml::{parser::parse_forest_into, DeweyId, Document, NodeId, NodeKind, XmlError};
 
 /// A node removed by a deletion: everything Δ⁻ extraction needs.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use xivm_algebra::{Column, Field, Relation, Schema, Tuple};
 use xivm_pattern::compile::relation_from_nodes;
 use xivm_pattern::{NodeTest, PatternNodeId, TreePattern};
-use xivm_xml::{Document, DeweyId, NodeId, NodeKind};
+use xivm_xml::{DeweyId, Document, NodeId, NodeKind};
 
 /// Δ⁺ tables: one relation per pattern node.
 #[derive(Debug, Clone, Default)]
@@ -169,11 +169,8 @@ impl DeltaMinus {
     /// Δ⁻_n as a one-column, ID-only relation for structural joins.
     pub fn relation(&self, pattern: &TreePattern, n: PatternNodeId) -> Relation {
         let schema = Schema::new(vec![Column::id_only(&pattern.node(n).name)]);
-        let rows = self
-            .ids(n)
-            .iter()
-            .map(|id| Tuple::new(vec![Field::id_only(id.clone())]))
-            .collect();
+        let rows =
+            self.ids(n).iter().map(|id| Tuple::new(vec![Field::id_only(id.clone())])).collect();
         Relation::with_rows(schema, rows)
     }
 

@@ -7,7 +7,7 @@
 
 use crate::statement::UpdateStatement;
 use xivm_pattern::xpath::eval_path;
-use xivm_xml::{Document, DeweyId, NodeKind};
+use xivm_xml::{DeweyId, Document, NodeKind};
 
 /// An atomic update operation, addressed by structural ID so PULs are
 /// standalone values (they can be optimized away from the store,
@@ -86,10 +86,7 @@ pub fn compute_pul(doc: &Document, stmt: &UpdateStatement) -> Pul {
             }
             for n in eval_path(doc, target) {
                 if doc.node(n).kind == NodeKind::Element {
-                    ops.push(AtomicOp::InsertInto {
-                        target: doc.dewey(n),
-                        forest: forest.clone(),
-                    });
+                    ops.push(AtomicOp::InsertInto { target: doc.dewey(n), forest: forest.clone() });
                 }
             }
         }

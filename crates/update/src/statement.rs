@@ -63,7 +63,8 @@ pub fn parse_statement(input: &str) -> Result<UpdateStatement, StatementParseErr
     }
     if let Some(rest) = text.strip_prefix("for ") {
         // for $x in PATH insert XML into $x
-        let in_pos = rest.find(" in ").ok_or_else(|| StatementParseError::syntax("missing 'in'"))?;
+        let in_pos =
+            rest.find(" in ").ok_or_else(|| StatementParseError::syntax("missing 'in'"))?;
         let after_in = &rest[in_pos + 4..];
         let ins_pos = after_in
             .find(" insert ")
@@ -141,9 +142,8 @@ mod tests {
 
     #[test]
     fn parse_for_insert() {
-        let s =
-            parse_statement("for $x in //site/people/person insert <name>N</name> into $x")
-                .unwrap();
+        let s = parse_statement("for $x in //site/people/person insert <name>N</name> into $x")
+            .unwrap();
         match s {
             UpdateStatement::Insert { xml, target } => {
                 assert_eq!(xml, "<name>N</name>");

@@ -30,14 +30,34 @@ impl Default for XmarkConfig {
 const REGIONS: [&str; 6] = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
 
 const WORDS: [&str; 24] = [
-    "gold", "vintage", "rare", "auction", "preferred", "mint", "boxed", "classic", "large",
-    "small", "signed", "limited", "edition", "antique", "modern", "series", "original",
-    "replica", "premium", "standard", "deluxe", "compact", "heavy", "light",
+    "gold",
+    "vintage",
+    "rare",
+    "auction",
+    "preferred",
+    "mint",
+    "boxed",
+    "classic",
+    "large",
+    "small",
+    "signed",
+    "limited",
+    "edition",
+    "antique",
+    "modern",
+    "series",
+    "original",
+    "replica",
+    "premium",
+    "standard",
+    "deluxe",
+    "compact",
+    "heavy",
+    "light",
 ];
 
-const FIRST_NAMES: [&str; 12] = [
-    "Jim", "Ann", "Bob", "Eve", "Ida", "Max", "Ola", "Pia", "Rex", "Sue", "Tom", "Zoe",
-];
+const FIRST_NAMES: [&str; 12] =
+    ["Jim", "Ann", "Bob", "Eve", "Ida", "Max", "Ola", "Pia", "Rex", "Sue", "Tom", "Zoe"];
 
 const LAST_NAMES: [&str; 10] =
     ["Smith", "Jones", "Brown", "Diaz", "Kumar", "Lee", "Novak", "Okoro", "Park", "Weiss"];
@@ -112,7 +132,12 @@ fn text_child(doc: &mut Document, parent: NodeId, tag: &str, text: &str) -> Node
 fn gen_item(doc: &mut Document, rng: &mut StdRng, region: NodeId, idx: usize) {
     let item = doc.append_element(region, "item").unwrap();
     doc.append_attribute(item, "id", &format!("item{idx}")).unwrap();
-    text_child(doc, item, "location", if rng.random_bool(0.5) { "United States" } else { "Internal" });
+    text_child(
+        doc,
+        item,
+        "location",
+        if rng.random_bool(0.5) { "United States" } else { "Internal" },
+    );
     text_child(doc, item, "quantity", &format!("{}", 1 + rng.random_range(0..5)));
     let name = words(rng, 2);
     text_child(doc, item, "name", &name);
@@ -127,7 +152,12 @@ fn gen_item(doc: &mut Document, rng: &mut StdRng, region: NodeId, idx: usize) {
         let mb = doc.append_element(item, "mailbox").unwrap();
         for _ in 0..rng.random_range(0..3) {
             let mail = doc.append_element(mb, "mail").unwrap();
-            text_child(doc, mail, "from", &format!("{} {}", pick(rng, &FIRST_NAMES), pick(rng, &LAST_NAMES)));
+            text_child(
+                doc,
+                mail,
+                "from",
+                &format!("{} {}", pick(rng, &FIRST_NAMES), pick(rng, &LAST_NAMES)),
+            );
             text_child(doc, mail, "date", &gen_date(rng));
             text_child(doc, mail, "text", &words(rng, 5));
         }
@@ -141,11 +171,21 @@ fn gen_person(doc: &mut Document, rng: &mut StdRng, people: NodeId, idx: usize) 
     text_child(doc, p, "name", &name);
     text_child(doc, p, "emailaddress", &format!("mailto:p{idx}@example.org"));
     if rng.random_bool(0.4) {
-        text_child(doc, p, "phone", &format!("+1 ({}) {}", rng.random_range(100..999), rng.random_range(1000000..9999999)));
+        text_child(
+            doc,
+            p,
+            "phone",
+            &format!("+1 ({}) {}", rng.random_range(100..999), rng.random_range(1000000..9999999)),
+        );
     }
     if rng.random_bool(0.3) {
         let addr = doc.append_element(p, "address").unwrap();
-        text_child(doc, addr, "street", &format!("{} {} St", rng.random_range(1..99), pick(rng, &WORDS)));
+        text_child(
+            doc,
+            addr,
+            "street",
+            &format!("{} {} St", rng.random_range(1..99), pick(rng, &WORDS)),
+        );
         text_child(doc, addr, "city", pick(rng, &LAST_NAMES));
         text_child(doc, addr, "country", "United States");
         text_child(doc, addr, "zipcode", &format!("{}", rng.random_range(10000..99999)));
@@ -154,14 +194,27 @@ fn gen_person(doc: &mut Document, rng: &mut StdRng, people: NodeId, idx: usize) 
         text_child(doc, p, "homepage", &format!("http://www.example.org/~p{idx}"));
     }
     if rng.random_bool(0.25) {
-        text_child(doc, p, "creditcard", &format!("{} {} {} {}", rng.random_range(1000..9999), rng.random_range(1000..9999), rng.random_range(1000..9999), rng.random_range(1000..9999)));
+        text_child(
+            doc,
+            p,
+            "creditcard",
+            &format!(
+                "{} {} {} {}",
+                rng.random_range(1000..9999),
+                rng.random_range(1000..9999),
+                rng.random_range(1000..9999),
+                rng.random_range(1000..9999)
+            ),
+        );
     }
     if rng.random_bool(0.6) {
         let prof = doc.append_element(p, "profile").unwrap();
-        doc.append_attribute(prof, "income", &format!("{}", rng.random_range(20000..99999))).unwrap();
+        doc.append_attribute(prof, "income", &format!("{}", rng.random_range(20000..99999)))
+            .unwrap();
         for _ in 0..rng.random_range(0..3) {
             let i = doc.append_element(prof, "interest").unwrap();
-            doc.append_attribute(i, "category", &format!("category{}", rng.random_range(0..20))).unwrap();
+            doc.append_attribute(i, "category", &format!("category{}", rng.random_range(0..20)))
+                .unwrap();
         }
         if rng.random_bool(0.5) {
             text_child(doc, prof, "education", "Graduate School");
@@ -177,7 +230,12 @@ fn gen_person(doc: &mut Document, rng: &mut StdRng, people: NodeId, idx: usize) 
     let watches = doc.append_element(p, "watches").unwrap();
     for _ in 0..rng.random_range(0..3) {
         let w = doc.append_element(watches, "watch").unwrap();
-        doc.append_attribute(w, "open_auction", &format!("open_auction{}", rng.random_range(0..50))).unwrap();
+        doc.append_attribute(
+            w,
+            "open_auction",
+            &format!("open_auction{}", rng.random_range(0..50)),
+        )
+        .unwrap();
     }
 }
 
@@ -198,9 +256,20 @@ fn gen_open_auction(
     for _ in 0..rng.random_range(0..4) {
         let b = doc.append_element(a, "bidder").unwrap();
         text_child(doc, b, "date", &gen_date(rng));
-        text_child(doc, b, "time", &format!("{:02}:{:02}:{:02}", rng.random_range(0..24), rng.random_range(0..60), rng.random_range(0..60)));
+        text_child(
+            doc,
+            b,
+            "time",
+            &format!(
+                "{:02}:{:02}:{:02}",
+                rng.random_range(0..24),
+                rng.random_range(0..60),
+                rng.random_range(0..60)
+            ),
+        );
         let pr = doc.append_element(b, "personref").unwrap();
-        doc.append_attribute(pr, "person", &format!("person{}", rng.random_range(0..n_persons))).unwrap();
+        doc.append_attribute(pr, "person", &format!("person{}", rng.random_range(0..n_persons)))
+            .unwrap();
         text_child(doc, b, "increase", INCREASES[rng.random_range(0..INCREASES.len())]);
     }
     text_child(doc, a, "current", &format!("{}.00", rng.random_range(10..999)));
@@ -210,7 +279,8 @@ fn gen_open_auction(
     let ir = doc.append_element(a, "itemref").unwrap();
     doc.append_attribute(ir, "item", &format!("item{}", rng.random_range(0..n_items))).unwrap();
     let seller = doc.append_element(a, "seller").unwrap();
-    doc.append_attribute(seller, "person", &format!("person{}", rng.random_range(0..n_persons))).unwrap();
+    doc.append_attribute(seller, "person", &format!("person{}", rng.random_range(0..n_persons)))
+        .unwrap();
     let ann = doc.append_element(a, "annotation").unwrap();
     let d = doc.append_element(ann, "description").unwrap();
     doc.append_text(d, &words(rng, 4)).unwrap();
@@ -231,9 +301,11 @@ fn gen_closed_auction(
 ) {
     let a = doc.append_element(closeds, "closed_auction").unwrap();
     let seller = doc.append_element(a, "seller").unwrap();
-    doc.append_attribute(seller, "person", &format!("person{}", rng.random_range(0..n_persons))).unwrap();
+    doc.append_attribute(seller, "person", &format!("person{}", rng.random_range(0..n_persons)))
+        .unwrap();
     let buyer = doc.append_element(a, "buyer").unwrap();
-    doc.append_attribute(buyer, "person", &format!("person{}", rng.random_range(0..n_persons))).unwrap();
+    doc.append_attribute(buyer, "person", &format!("person{}", rng.random_range(0..n_persons)))
+        .unwrap();
     let ir = doc.append_element(a, "itemref").unwrap();
     doc.append_attribute(ir, "item", &format!("item{}", rng.random_range(0..n_items))).unwrap();
     text_child(doc, a, "price", &format!("{}.00", rng.random_range(10..999)));
@@ -246,7 +318,12 @@ fn gen_closed_auction(
 }
 
 fn gen_date(rng: &mut StdRng) -> String {
-    format!("{:02}/{:02}/{}", rng.random_range(1..13), rng.random_range(1..29), rng.random_range(1999..2011))
+    format!(
+        "{:02}/{:02}/{}",
+        rng.random_range(1..13),
+        rng.random_range(1..29),
+        rng.random_range(1999..2011)
+    )
 }
 
 fn pick<'a>(rng: &mut StdRng, xs: &[&'a str]) -> &'a str {
@@ -284,13 +361,21 @@ mod tests {
     fn schema_elements_are_present() {
         let d = generate_sized(100 * 1024);
         for label in [
-            "site", "regions", "namerica", "item", "people", "person", "name", "profile",
-            "open_auctions", "open_auction", "bidder", "increase", "closed_auctions",
+            "site",
+            "regions",
+            "namerica",
+            "item",
+            "people",
+            "person",
+            "name",
+            "profile",
+            "open_auctions",
+            "open_auction",
+            "bidder",
+            "increase",
+            "closed_auctions",
         ] {
-            assert!(
-                !d.canonical_nodes_named(label).is_empty(),
-                "expected at least one <{label}>"
-            );
+            assert!(!d.canonical_nodes_named(label).is_empty(), "expected at least one <{label}>");
         }
         d.check_invariants().unwrap();
     }
@@ -313,11 +398,8 @@ mod tests {
     fn q3_selectivity_nonzero() {
         // some increase must be exactly 4.50 for Q3 to be non-trivial
         let d = generate_sized(100 * 1024);
-        let hits = d
-            .canonical_nodes_named("increase")
-            .iter()
-            .filter(|&&n| d.value(n) == "4.50")
-            .count();
+        let hits =
+            d.canonical_nodes_named("increase").iter().filter(|&&n| d.value(n) == "4.50").count();
         assert!(hits > 0);
     }
 }

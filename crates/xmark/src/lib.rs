@@ -20,5 +20,8 @@ pub mod updates;
 pub mod views;
 
 pub use generator::{generate, generate_sized, XmarkConfig};
-pub use updates::{all_updates, update_by_name, updates_for_view, BenchUpdate, UpdateClass, DEPTH_LADDER, X1_L_PRED};
+pub use updates::{
+    all_updates, update_by_name, updates_for_view, BenchUpdate, UpdateClass, DEPTH_LADDER,
+    X1_L_PRED,
+};
 pub use views::{q1_variant, view_pattern, view_query, Q1Variant, VIEW_NAMES};

@@ -182,7 +182,8 @@ pub fn all_updates() -> Vec<BenchUpdate> {
         BenchUpdate {
             name: "A8_AO",
             class: AO,
-            path: "/site/people/person[address and (phone or homepage) and (creditcard or profile)]",
+            path:
+                "/site/people/person[address and (phone or homepage) and (creditcard or profile)]",
             insert_xml: NAME_XML,
         },
         BenchUpdate {
@@ -202,9 +203,10 @@ pub fn all_updates() -> Vec<BenchUpdate> {
 
 /// Looks up a catalog entry by name.
 pub fn update_by_name(name: &str) -> BenchUpdate {
-    all_updates().into_iter().find(|u| u.name == name).unwrap_or_else(|| {
-        panic!("unknown update {name}")
-    })
+    all_updates()
+        .into_iter()
+        .find(|u| u.name == name)
+        .unwrap_or_else(|| panic!("unknown update {name}"))
 }
 
 /// The (view, update) pairs of Figures 18–21: five updates per view,

@@ -102,8 +102,7 @@ pub fn q1_variant(variant: Q1Variant) -> TreePattern {
         Q1Variant::VcAllButRoot => (id, vc, vc, id, vc),
         Q1Variant::VcAll => (vc, vc, vc, id, vc),
     };
-    let text =
-        format!("/site{site}/people{people}/person{person}[/@id{at_id}]/name{name}");
+    let text = format!("/site{site}/people{people}/person{person}[/@id{at_id}]/name{name}");
     parse_pattern(&text).expect("variant syntax is valid")
 }
 

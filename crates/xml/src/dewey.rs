@@ -351,11 +351,8 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        let cases = [
-            DeweyId::empty(),
-            id(&[(0, ORD_STRIDE)]),
-            id(&[(0, 10), (1, 1 << 40), (700, 3)]),
-        ];
+        let cases =
+            [DeweyId::empty(), id(&[(0, ORD_STRIDE)]), id(&[(0, 10), (1, 1 << 40), (700, 3)])];
         for c in &cases {
             let enc = c.encode();
             assert_eq!(DeweyId::decode(&enc).as_ref(), Some(c));

@@ -104,11 +104,10 @@ impl Document {
     ) -> Result<NodeId, XmlError> {
         self.check_alive(parent)?;
         self.check_alive(before)?;
-        let pos = self.nodes[parent.index()]
-            .children
-            .iter()
-            .position(|&c| c == before)
-            .ok_or_else(|| XmlError::InvalidTarget("`before` is not a child of parent".into()))?;
+        let pos =
+            self.nodes[parent.index()].children.iter().position(|&c| c == before).ok_or_else(
+                || XmlError::InvalidTarget("`before` is not a child of parent".into()),
+            )?;
         let right = self.nodes[before.index()].ord;
         let left = if pos == 0 {
             0
@@ -259,9 +258,8 @@ impl Document {
         let mut cur = root;
         for step in &steps[1..] {
             let children = &self.nodes[cur.index()].children;
-            let found = children
-                .binary_search_by(|c| self.nodes[c.index()].ord.cmp(&step.ord))
-                .ok()?;
+            let found =
+                children.binary_search_by(|c| self.nodes[c.index()].ord.cmp(&step.ord)).ok()?;
             cur = children[found];
             if self.nodes[cur.index()].label != step.label {
                 return None; // stale ID from a different document era

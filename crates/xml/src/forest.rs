@@ -136,9 +136,8 @@ mod tests {
             id(&[(0, 1), (1, 7), (2, 8)]),
         ];
         for p in &probes {
-            let expected = roots
-                .iter()
-                .any(|r| p.is_ancestor_or_self_of(r) || r.is_ancestor_or_self_of(p));
+            let expected =
+                roots.iter().any(|r| p.is_ancestor_or_self_of(r) || r.is_ancestor_or_self_of(p));
             assert_eq!(f.intersects_subtree(p), expected, "{p}");
             let expected_proper = roots.iter().any(|r| p.is_ancestor_of(r));
             assert_eq!(f.has_proper_descendant_root(p), expected_proper, "{p}");

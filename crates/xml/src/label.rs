@@ -69,10 +69,7 @@ impl LabelInterner {
 
     /// Iterates over `(id, name)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
-        self.names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (LabelId(i as u32), n.as_str()))
+        self.names.iter().enumerate().map(|(i, n)| (LabelId(i as u32), n.as_str()))
     }
 }
 

@@ -202,8 +202,7 @@ impl<'a> Parser<'a> {
                         }
                         self.pos += 1;
                     }
-                    let raw =
-                        std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_owned();
+                    let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap().to_owned();
                     self.pos += 1;
                     doc.append_attribute(node, &name, &unescape(&raw))?;
                 }

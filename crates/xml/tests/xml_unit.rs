@@ -1,0 +1,229 @@
+//! Unit tests for the XML substrate: parser ⇄ serializer round-trips,
+//! the document-order laws of [`DeweyId`]'s `Ord`, and
+//! [`CanonicalIndex`] consistency across insertions and deletions.
+
+use xivm_xml::dewey::Step;
+use xivm_xml::node::{Node, NodeId, NodeKind};
+use xivm_xml::{parse_document, serialize_document, CanonicalIndex, DeweyId, LabelId};
+
+// ---------------------------------------------------------------------
+// Parser ⇄ serializer round-trip
+// ---------------------------------------------------------------------
+
+/// Fixtures already in the serializer's canonical form (self-closing
+/// empty elements, attributes before content, double-quoted values),
+/// so `serialize(parse(x)) == x` exactly.
+const CANONICAL_FIXTURES: [&str; 8] = [
+    "<r/>",
+    "<r>text</r>",
+    "<r><a/><b/><c/></r>",
+    "<site><people><person id=\"person0\"><name>Ada</name></person></people></site>",
+    "<r a=\"1\" b=\"2\"><c d=\"3\"/></r>",
+    "<r>before<mid/>after</r>",
+    "<r><a><b><c><d>deep</d></c></b></a></r>",
+    "<r>1 &lt; 2 &amp; 3 &gt; 2</r>",
+];
+
+#[test]
+fn parse_serialize_roundtrip_on_canonical_fixtures() {
+    for fixture in CANONICAL_FIXTURES {
+        let doc = parse_document(fixture).unwrap();
+        doc.check_invariants().unwrap();
+        assert_eq!(serialize_document(&doc), fixture, "round-trip of {fixture}");
+    }
+}
+
+#[test]
+fn serialize_reaches_fixpoint_after_one_parse() {
+    // Non-canonical input (whitespace between tags, single-quoted
+    // attributes) must stabilize after a single parse/serialize pass.
+    let messy = "<r>\n  <a x='1'>hi</a>\n  <b/>\n</r>";
+    let once = serialize_document(&parse_document(messy).unwrap());
+    let twice = serialize_document(&parse_document(&once).unwrap());
+    assert_eq!(once, twice);
+}
+
+#[test]
+fn parser_rejects_malformed_documents() {
+    for bad in ["", "<r>", "<r></s>", "</r>", "<r><a></r></a>", "<r", "text only", "<r/><r2/>"] {
+        assert!(parse_document(bad).is_err(), "parser accepted malformed input: {bad:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// DeweyId document-order `Ord` laws
+// ---------------------------------------------------------------------
+
+fn id(parts: &[(u32, u64)]) -> DeweyId {
+    DeweyId::from_steps(parts.iter().map(|&(l, o)| Step::new(LabelId(l), o)).collect())
+}
+
+/// A small universe of IDs covering roots, siblings, deep chains and
+/// label-only differences.
+fn universe() -> Vec<DeweyId> {
+    let mut ids = Vec::new();
+    for l0 in 0..2u32 {
+        for o0 in 1..3u64 {
+            ids.push(id(&[(l0, o0)]));
+            for l1 in 0..2u32 {
+                for o1 in 1..3u64 {
+                    ids.push(id(&[(l0, o0), (l1, o1)]));
+                    ids.push(id(&[(l0, o0), (l1, o1), (0, 1)]));
+                }
+            }
+        }
+    }
+    ids
+}
+
+#[test]
+fn ord_is_total_antisymmetric_and_transitive() {
+    let ids = universe();
+    for a in &ids {
+        assert!(a.cmp(a).is_eq(), "reflexivity: {a}");
+        for b in &ids {
+            // totality + antisymmetry
+            let ab = a.cmp(b);
+            let ba = b.cmp(a);
+            assert_eq!(ab, ba.reverse(), "antisymmetry: {a} vs {b}");
+            for c in &ids {
+                // transitivity
+                if ab.is_le() && b.cmp(c).is_le() {
+                    assert!(a.cmp(c).is_le(), "transitivity: {a} <= {b} <= {c}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ord_matches_doc_cmp_and_ancestors_precede_descendants() {
+    let ids = universe();
+    for a in &ids {
+        for b in &ids {
+            assert_eq!(a.cmp(b), a.doc_cmp(b), "Ord must be document order: {a} vs {b}");
+            if a.is_ancestor_of(b) {
+                assert!(a.doc_cmp(b).is_lt(), "ancestor {a} must precede descendant {b}");
+                assert!(!b.is_ancestor_of(a), "ancestry must be asymmetric: {a} vs {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sorting_yields_preorder_of_the_generating_tree() {
+    // Sorting shuffled IDs of a known tree must produce its preorder.
+    let preorder = [
+        id(&[(0, 1)]),
+        id(&[(0, 1), (1, 1)]),
+        id(&[(0, 1), (1, 1), (2, 1)]),
+        id(&[(0, 1), (1, 1), (2, 2)]),
+        id(&[(0, 1), (1, 2)]),
+        id(&[(0, 1), (2, 3)]),
+    ];
+    let mut shuffled = preorder.to_vec();
+    shuffled.reverse();
+    shuffled.swap(1, 4);
+    shuffled.sort();
+    assert_eq!(shuffled, preorder.to_vec());
+}
+
+// ---------------------------------------------------------------------
+// CanonicalIndex consistency under insert / delete
+// ---------------------------------------------------------------------
+
+/// Builds a throwaway arena directly (all `Node` fields are public) so
+/// the index can be exercised standalone: a root with `n` children,
+/// alternating labels A and B.
+fn arena_with_children(n: usize) -> Vec<Node> {
+    let mut nodes = vec![Node {
+        kind: NodeKind::Element,
+        label: LabelId(0),
+        ord: 1,
+        parent: None,
+        children: Vec::new(),
+        text: None,
+        alive: true,
+        max_child_ord: 0,
+    }];
+    for i in 0..n {
+        nodes.push(Node {
+            kind: NodeKind::Element,
+            label: LabelId(1 + (i as u32 % 2)),
+            ord: (i as u64 + 1) * 100,
+            parent: Some(NodeId(0)),
+            children: Vec::new(),
+            text: None,
+            alive: true,
+            max_child_ord: 0,
+        });
+        let child = NodeId(nodes.len() as u32 - 1);
+        nodes[0].children.push(child);
+    }
+    nodes
+}
+
+#[test]
+fn canonical_index_stays_sorted_under_out_of_order_inserts() {
+    let nodes = arena_with_children(8);
+    let mut index = CanonicalIndex::new();
+    index.insert(&nodes, LabelId(0), NodeId(0));
+    // Insert label-A children back to front: exercises the non-append
+    // binary-search path.
+    for i in (0..8).rev() {
+        let node = NodeId(1 + i as u32);
+        index.insert(&nodes, nodes[node.index()].label, node);
+    }
+    index.check_sorted(&nodes).unwrap();
+    assert_eq!(index.nodes(LabelId(1)).len(), 4);
+    assert_eq!(index.nodes(LabelId(2)).len(), 4);
+    for i in 0..8 {
+        assert!(index.contains(nodes[i + 1].label, NodeId(1 + i as u32)));
+    }
+}
+
+#[test]
+fn canonical_index_remove_deletes_exactly_the_target() {
+    let nodes = arena_with_children(6);
+    let mut index = CanonicalIndex::new();
+    for i in 0..6 {
+        let node = NodeId(1 + i as u32);
+        index.insert(&nodes, nodes[node.index()].label, node);
+    }
+    index.remove(LabelId(1), NodeId(3));
+    assert!(!index.contains(LabelId(1), NodeId(3)));
+    assert_eq!(index.nodes(LabelId(1)).len(), 2);
+    assert_eq!(index.nodes(LabelId(2)).len(), 3);
+    index.check_sorted(&nodes).unwrap();
+    // Removing an id that is absent must be a no-op, not a panic.
+    index.remove(LabelId(1), NodeId(3));
+    assert_eq!(index.nodes(LabelId(1)).len(), 2);
+}
+
+#[test]
+fn document_canonical_relations_track_inserts_and_deletes() {
+    let mut doc = parse_document("<r><a/><b/><a/></r>").unwrap();
+    assert_eq!(doc.canonical_nodes_named("a").len(), 2);
+
+    // Insert: a fresh <a> under <b> must appear, in document order.
+    let b = doc.canonical_nodes_named("b")[0];
+    let new_a = doc.append_element(b, "a").unwrap();
+    doc.check_invariants().unwrap();
+    let after_insert = doc.canonical_nodes_named("a").to_vec();
+    assert_eq!(after_insert.len(), 3);
+    assert!(after_insert.contains(&new_a));
+    let deweys: Vec<DeweyId> = after_insert.iter().map(|&n| doc.dewey(n)).collect();
+    let mut sorted = deweys.clone();
+    sorted.sort();
+    assert_eq!(deweys, sorted, "canonical relation must stay in document order");
+
+    // Delete: removing <b> drops its subtree (including the new <a>)
+    // from every canonical relation.
+    doc.remove_subtree(b).unwrap();
+    doc.check_invariants().unwrap();
+    assert_eq!(doc.canonical_nodes_named("b").len(), 0);
+    let after_delete = doc.canonical_nodes_named("a").to_vec();
+    assert_eq!(after_delete.len(), 2);
+    assert!(!after_delete.contains(&new_a));
+    assert_eq!(serialize_document(&doc), "<r><a/><a/></r>");
+}

@@ -43,18 +43,15 @@ fn main() {
     println!("insert <a><b><c/></b></a> → {:?} (accepted)", good);
 
     // --- 2. PUL reduction ---------------------------------------------------
-    let mut doc = parse_document(
-        "<r><x><w/></x><y/><z/></r>",
-    )
-    .expect("well-formed XML");
+    let mut doc = parse_document("<r><x><w/></x><y/><z/></r>").expect("well-formed XML");
     let view = parse_pattern("//r{id}//b{id}").expect("valid pattern");
     let mut engine = MaintenanceEngine::new(&doc, view, SnowcapStrategy::MinimalChain);
 
     // A sequence of statements, as an application would issue them.
     let statements = [
-        "insert <b/> into //w",  // pointless: //x is deleted below (rule O3)
-        "insert <b/> into //x",  // pointless: //x is deleted below (rule O1)
-        "delete //x",            //
+        "insert <b/> into //w",     // pointless: //x is deleted below (rule O3)
+        "insert <b/> into //x",     // pointless: //x is deleted below (rule O1)
+        "delete //x",               //
         "insert <b>1</b> into //z", // merged with the next (rule I5)
         "insert <b>2</b> into //z",
     ];

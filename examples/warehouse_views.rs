@@ -43,15 +43,11 @@ fn main() {
 
     // --- cost-based snowcap choice from a workload log ----------------
     let pattern = view_pattern("Q2");
-    let log =
-        vec![update_by_name("X2_L").insert_stmt(), update_by_name("X4_O").insert_stmt()];
+    let log = vec![update_by_name("X2_L").insert_stmt(), update_by_name("X4_O").insert_stmt()];
     let stats = DocStats::collect(&doc);
     let profile = UpdateProfile::from_log(&doc, &pattern, &log);
     let chosen = choose_snowcaps(&pattern, &stats, &profile);
-    println!(
-        "\ncost model chose {} snowcap(s) for Q2 under this workload profile",
-        chosen.len()
-    );
+    println!("\ncost model chose {} snowcap(s) for Q2 under this workload profile", chosen.len());
     let mut engine = MaintenanceEngine::new_cost_based(&doc, pattern, &profile);
     let report = engine
         .apply_statement(&mut doc, &update_by_name("X2_L").insert_stmt())

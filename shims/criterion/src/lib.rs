@@ -1,0 +1,158 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this crate
+//! implements the subset of criterion used by `crates/bench`:
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Instead of
+//! criterion's statistical machinery it runs a fixed warm-up, sizes
+//! the measurement loop to a wall-clock budget, and prints mean
+//! time per iteration — enough to compare runs of the same machine.
+
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark, tunable for CI.
+fn measure_budget() -> Duration {
+    match std::env::var("XIVM_BENCH_MS").ok().and_then(|v| v.parse::<u64>().ok()) {
+        Some(ms) => Duration::from_millis(ms.max(1)),
+        None => Duration::from_millis(200),
+    }
+}
+
+/// How a batched setup's cost relates to the routine (kept for API
+/// compatibility; the shim times each batch individually either way).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+/// Collects one benchmark's measurement.
+#[derive(Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a loop sized to the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-iteration estimate.
+        let warmup = Instant::now();
+        let mut probe_iters = 0u64;
+        while warmup.elapsed() < Duration::from_millis(20) && probe_iters < 1_000_000 {
+            std::hint::black_box(routine());
+            probe_iters += 1;
+        }
+        let per_iter = warmup.elapsed().checked_div(probe_iters as u32).unwrap_or_default();
+        let budget = measure_budget();
+        let iters = if per_iter.is_zero() {
+            1_000_000
+        } else {
+            (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine
+    /// is measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let budget = measure_budget();
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall = Instant::now();
+        while measured < budget && wall.elapsed() < budget * 4 {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.elapsed = measured;
+        self.iters = iters.max(1);
+    }
+
+    fn nanos_per_iter(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.iters.max(1) as f64
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// No-op in the shim; real criterion parses `--bench`/filters here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        let ns = b.nanos_per_iter();
+        if ns >= 1e6 {
+            println!("{id:<40} {:>12.3} ms/iter ({} iters)", ns / 1e6, b.iters);
+        } else if ns >= 1e3 {
+            println!("{id:<40} {:>12.3} us/iter ({} iters)", ns / 1e3, b.iters);
+        } else {
+            println!("{id:<40} {:>12.1} ns/iter ({} iters)", ns, b.iters);
+        }
+        self
+    }
+}
+
+/// Re-export so `criterion::black_box` callers work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        std::env::set_var("XIVM_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("shim/self_test", |b| b.iter(|| 1 + 1));
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,579 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this crate
+//! implements the subset of proptest that `tests/property.rs` uses:
+//! the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_recursive`, integer-range / tuple / `Just` / collection /
+//! bool strategies, the `proptest!` test macro with
+//! `#![proptest_config(..)]`, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from the real crate, by design:
+//! - **no shrinking** — a failing case reports its seed and case
+//!   number instead of a minimized input;
+//! - generation is **deterministic**: the base seed is fixed (or
+//!   taken from `PROPTEST_SEED`) so CI failures reproduce locally;
+//! - `PROPTEST_CASES` overrides the per-test case count globally,
+//!   which is how CI bounds total runtime.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic xoshiro256++ RNG used to drive generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            TestRng { s: [next(), next(), next(), next()] }
+        }
+
+        /// Base seed: `PROPTEST_SEED` env var, else a fixed default so
+        /// runs are reproducible.
+        pub fn default_seed() -> u64 {
+            std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0x1511_2011_edb7)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, bound)` (`bound > 0`).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        pub fn bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+
+    /// Mirror of `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+        /// Accepted for compatibility; the shim never shrinks.
+        pub max_shrink_iters: u32,
+        /// Accepted for compatibility; the shim never persists failures.
+        pub failure_persistence: Option<()>,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases, ..Config::default() }
+        }
+
+        /// `PROPTEST_CASES` overrides the configured count so CI can
+        /// bound runtime without editing tests.
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
+                .max(1)
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256, max_shrink_iters: 0, failure_persistence: None }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The property failed; the test as a whole fails.
+        Fail(String),
+        /// The input was rejected (unused by this workspace).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail<R: fmt::Display>(reason: R) -> Self {
+            TestCaseError::Fail(reason.to_string())
+        }
+
+        pub fn reject<R: fmt::Display>(reason: R) -> Self {
+            TestCaseError::Reject(reason.to_string())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type. Unlike the real
+    /// crate there is no value tree / shrinking: `generate` draws a
+    /// single value.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Builds a recursion tower of at most `depth` levels. The
+        /// `_desired_size`/`_expected_branch_size` hints are accepted
+        /// for signature compatibility and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + Clone + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut tower = self.clone().boxed();
+            for _ in 0..depth {
+                // Each level chooses leaf 1/4 of the time so the
+                // generated trees vary in depth, not only in width.
+                tower =
+                    Union::weighted(vec![(1, self.clone().boxed()), (3, recurse(tower).boxed())])
+                        .boxed();
+            }
+            tower
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Weighted choice between strategies of one value type; backs
+    /// `prop_oneof!` and the recursion tower.
+    pub struct Union<T> {
+        choices: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union { choices: self.choices.clone(), total_weight: self.total_weight }
+        }
+    }
+
+    impl<T> Union<T> {
+        pub fn new(choices: Vec<BoxedStrategy<T>>) -> Self {
+            Union::weighted(choices.into_iter().map(|c| (1, c)).collect())
+        }
+
+        pub fn weighted(choices: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!choices.is_empty(), "empty Union");
+            let total_weight = choices.iter().map(|&(w, _)| u64::from(w)).sum();
+            assert!(total_weight > 0, "Union with zero total weight");
+            Union { choices, total_weight }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total_weight);
+            for (weight, choice) in &self.choices {
+                if pick < u64::from(*weight) {
+                    return choice.generate(rng);
+                }
+                pick -= u64::from(*weight);
+            }
+            unreachable!("weights sum below total_weight")
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let hi = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (self.start as i128 + hi) as $ty
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose length is drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform `bool` strategy (`prop::bool::ANY`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.bool()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of the real prelude's `prop` module path.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. Each argument is drawn from its strategy
+/// `cases` times; the body runs once per drawn set. On failure the
+/// panic message names the case number and base seed so the run can
+/// be reproduced with `PROPTEST_SEED`.
+#[macro_export]
+macro_rules! proptest {
+    (@config ($config:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let cases = config.effective_cases();
+                let seed = $crate::test_runner::TestRng::default_seed();
+                let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                // A Reject does not count as a pass: the case is
+                // redrawn, and too many rejects fail the test instead
+                // of letting it pass vacuously (mirrors the real
+                // crate's max_global_rejects).
+                let max_rejects = cases.saturating_mul(16).max(256);
+                let mut rejects = 0u32;
+                let mut case = 0u32;
+                while case < cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    // Catch unwinds so a panicking `unwrap` in the body
+                    // still gets labeled with the case number and seed.
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })) {
+                            ::std::result::Result::Ok(result) => result,
+                            ::std::result::Result::Err(payload) => {
+                                eprintln!(
+                                    "proptest case {}/{} panicked (PROPTEST_SEED={})",
+                                    case + 1, cases, seed
+                                );
+                                ::std::panic::resume_unwind(payload);
+                            }
+                        };
+                    match outcome {
+                        ::std::result::Result::Ok(()) => case += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(reason)) => {
+                            rejects += 1;
+                            if rejects > max_rejects {
+                                panic!(
+                                    "proptest gave up after {} rejected inputs \
+                                     ({} cases passed, PROPTEST_SEED={}): {}",
+                                    rejects, case, seed, reason
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(reason)) => {
+                            panic!(
+                                "proptest case {}/{} failed (PROPTEST_SEED={}): {}",
+                                case + 1, cases, seed, reason
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@config ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Chooses uniformly (or per explicit weights) between strategies
+/// producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat),)+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_tuples(x in 1u64..10, (a, b) in (0u32..4, 0usize..3), flag in prop::bool::ANY) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(a < 4 && b < 3);
+            let _ = flag;
+        }
+
+        #[test]
+        fn recursive_strings_parse_shape(s in super::tests::arb_nested(3)) {
+            prop_assert!(s.starts_with('(') && s.ends_with(')'));
+            let depth: i64 = s.chars().map(|c| match c { '(' => 1, ')' => -1, _ => 0 }).sum();
+            prop_assert_eq!(depth, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn rejected_inputs_are_redrawn_not_counted(x in 0u32..100) {
+            if x % 2 == 0 {
+                return Err(TestCaseError::reject("want odd"));
+            }
+            prop_assert!(x % 2 == 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+        // Not a #[test] itself: driven by `all_rejects_fail_the_test`.
+        // The condition always holds; phrasing it as `if` keeps the
+        // macro's trailing Ok(()) statically reachable.
+        fn always_rejects(x in 0u32..10) {
+            if x < 10 {
+                return Err(TestCaseError::reject("never satisfiable"));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gave up after")]
+    fn all_rejects_fail_the_test() {
+        always_rejects();
+    }
+
+    pub fn arb_nested(depth: u32) -> impl Strategy<Value = String> {
+        let leaf = Just("()".to_owned());
+        leaf.prop_recursive(depth, 8, 3, |inner| {
+            crate::collection::vec(inner, 1..4).prop_map(|kids| format!("({})", kids.join("")))
+        })
+    }
+}

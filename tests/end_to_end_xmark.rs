@@ -8,11 +8,16 @@ use xivm::ivma::IvmaView;
 use xivm::pattern::compile::view_tuples;
 use xivm::xmark::{generate_sized, updates_for_view, view_pattern, VIEW_NAMES};
 
-const DOC_BYTES: usize = 40 * 1024;
+/// Source-document size for the oracle runs. `XIVM_TEST_DOC_BYTES`
+/// shrinks (or grows) it without editing the test, so CI can bound
+/// runtime the same way `PROPTEST_CASES` bounds the property suite.
+fn doc_bytes() -> usize {
+    std::env::var("XIVM_TEST_DOC_BYTES").ok().and_then(|v| v.parse().ok()).unwrap_or(40 * 1024)
+}
 
 #[test]
 fn engine_matches_recomputation_on_all_pairs_inserts() {
-    let doc0 = generate_sized(DOC_BYTES);
+    let doc0 = generate_sized(doc_bytes());
     for view in VIEW_NAMES {
         let pattern = view_pattern(view);
         for u in updates_for_view(view) {
@@ -33,7 +38,7 @@ fn engine_matches_recomputation_on_all_pairs_inserts() {
 
 #[test]
 fn engine_matches_recomputation_on_all_pairs_deletes() {
-    let doc0 = generate_sized(DOC_BYTES);
+    let doc0 = generate_sized(doc_bytes());
     for view in VIEW_NAMES {
         let pattern = view_pattern(view);
         for u in updates_for_view(view) {
@@ -54,7 +59,7 @@ fn engine_matches_recomputation_on_all_pairs_deletes() {
 
 #[test]
 fn strategies_agree_with_each_other() {
-    let doc0 = generate_sized(DOC_BYTES / 2);
+    let doc0 = generate_sized(doc_bytes() / 2);
     for view in ["Q1", "Q3", "Q6"] {
         let pattern = view_pattern(view);
         for u in updates_for_view(view).into_iter().take(2) {
@@ -66,8 +71,7 @@ fn strategies_agree_with_each_other() {
                     SnowcapStrategy::LeavesOnly,
                 ] {
                     let mut doc = doc0.clone();
-                    let mut engine =
-                        MaintenanceEngine::new(&doc, pattern.clone(), strategy);
+                    let mut engine = MaintenanceEngine::new(&doc, pattern.clone(), strategy);
                     engine.apply_statement(&mut doc, &stmt).unwrap();
                     stores.push((strategy, engine));
                 }
@@ -114,10 +118,9 @@ fn ivma_agrees_with_engine_on_small_workloads() {
 
 #[test]
 fn sequences_of_mixed_updates_stay_in_sync() {
-    let mut doc = generate_sized(DOC_BYTES / 2);
+    let mut doc = generate_sized(doc_bytes() / 2);
     let pattern = view_pattern("Q2");
-    let mut engine =
-        MaintenanceEngine::new(&doc, pattern.clone(), SnowcapStrategy::MinimalChain);
+    let mut engine = MaintenanceEngine::new(&doc, pattern.clone(), SnowcapStrategy::MinimalChain);
     let script = [
         updates_for_view("Q2")[0].insert_stmt(),
         updates_for_view("Q2")[1].delete_stmt(),
@@ -166,10 +169,8 @@ fn cost_based_engine_is_maintained_correctly() {
     let doc0 = generate_sized(20 * 1024);
     let pattern = view_pattern("Q2");
     // profile extracted from a representative statement log
-    let log = vec![
-        updates_for_view("Q2")[0].insert_stmt(),
-        updates_for_view("Q2")[1].insert_stmt(),
-    ];
+    let log =
+        vec![updates_for_view("Q2")[0].insert_stmt(), updates_for_view("Q2")[1].insert_stmt()];
     let profile = UpdateProfile::from_log(&doc0, &pattern, &log);
     let mut doc = doc0.clone();
     let mut engine = MaintenanceEngine::new_cost_based(&doc, pattern.clone(), &profile);

@@ -78,8 +78,7 @@ fn examples_3_1_and_3_2() {
 /// Example 3.14: an insertion that only modifies stored content.
 #[test]
 fn example_3_14() {
-    let mut doc =
-        parse_document("<a><b><c><d/></c></b></a>").unwrap();
+    let mut doc = parse_document("<a><b><c><d/></c></b></a>").unwrap();
     let view = parse_pattern("/a{id}/b{id}//c{id,cont}").unwrap();
     let mut engine = MaintenanceEngine::new(&doc, view.clone(), SnowcapStrategy::MinimalChain);
     let stmt = parse_statement("insert <extra>some value</extra> into //d").unwrap();

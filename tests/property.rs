@@ -20,7 +20,10 @@ fn arb_tree(depth: u32) -> impl Strategy<Value = String> {
         Just("x".to_owned()),
     ];
     leaf.prop_recursive(depth, 24, 4, |inner| {
-        (prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")], prop::collection::vec(inner, 0..4))
+        (
+            prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")],
+            prop::collection::vec(inner, 0..4),
+        )
             .prop_map(|(tag, kids)| {
                 if kids.is_empty() {
                     format!("<{tag}/>")
