@@ -1,7 +1,7 @@
 //! Holistic twig joins.
 //!
 //! The paper's complexity argument (Proposition 3.15) assumes
-//! "efficient join algorithms such as the holistic twig joins [that]
+//! "efficient join algorithms such as the holistic twig joins \[that\]
 //! allow evaluating a term in time proportional to the cumulated size
 //! of its inputs". This module provides them: **PathStack**
 //! [Bruno et al. 2002] for root-to-leaf chains — one coordinated sweep

@@ -1,0 +1,784 @@
+//! The `Database` façade: one owned document, many named views, and
+//! batched transactions through the PUL optimizer.
+//!
+//! The lower layers expose the paper's plumbing — callers thread a
+//! `&mut Document` through every [`MaintenanceEngine`] call and hold
+//! the view stores themselves. [`Database`] owns both sides: the
+//! document and every materialized view live inside it, updates go in
+//! as statement text, and each view is addressed through a typed
+//! [`ViewHandle`] or its name.
+//!
+//! ```
+//! use xivm_core::database::Database;
+//!
+//! let mut db = Database::builder()
+//!     .document("<a><c><b/><b/></c><f><c><b/></c><b/></f></a>")
+//!     .view("acb", "//a{id}[//c{id}]//b{id}")
+//!     .build()
+//!     .unwrap();
+//! let acb = db.view("acb").unwrap();
+//! assert_eq!(db.store(acb).len(), 8);
+//!
+//! db.apply("delete /a/f/c").unwrap();
+//! assert_eq!(db.store(acb).len(), 3);
+//!
+//! // Several statements batched through the Section 5 PUL optimizer:
+//! // one optimized PUL, one shared propagation pass over all views.
+//! let report = db
+//!     .transaction()
+//!     .statement("insert <b/> into /a/c")
+//!     .statement("delete /a/c")
+//!     .commit()
+//!     .unwrap();
+//! assert!(report.optimized_ops < report.naive_ops);
+//! ```
+
+use crate::costmodel::UpdateProfile;
+use crate::engine::{MaintenanceEngine, UpdateReport};
+use crate::error::Error;
+use crate::multiview::MultiViewEngine;
+use crate::strategy::SnowcapStrategy;
+use crate::view_store::ViewStore;
+use xivm_pattern::{parse_pattern, TreePattern};
+use xivm_pulopt::{aggregate, find_conflicts, integrate, reduce, ConflictPolicy, ReductionTrace};
+use xivm_update::statement::parse_statement;
+use xivm_update::{apply_pul, compute_pul, Pul, UpdateStatement};
+use xivm_xml::{parse_document, serialize_document, Document};
+
+// ---------------------------------------------------------------------
+// Deferred inputs: the builder accepts text or ready-made values and
+// parses at `build()` time, so chaining stays `?`-free.
+// ---------------------------------------------------------------------
+
+/// A document given to the builder: XML text or an already-parsed
+/// [`Document`] (e.g. from the XMark generator). Converts via
+/// `From<&str>`, `From<String>` and `From<Document>`.
+pub enum DocumentSource {
+    Xml(String),
+    Ready(Box<Document>),
+}
+
+impl From<&str> for DocumentSource {
+    fn from(xml: &str) -> Self {
+        DocumentSource::Xml(xml.to_owned())
+    }
+}
+
+impl From<String> for DocumentSource {
+    fn from(xml: String) -> Self {
+        DocumentSource::Xml(xml)
+    }
+}
+
+impl From<Document> for DocumentSource {
+    fn from(doc: Document) -> Self {
+        DocumentSource::Ready(Box::new(doc))
+    }
+}
+
+/// A view pattern given to the builder: pattern text (the
+/// [`parse_pattern()`] dialect) or a ready-made [`TreePattern`].
+/// Converts via `From<&str>`, `From<String>` and `From<TreePattern>`.
+pub enum PatternSource {
+    Text(String),
+    Ready(TreePattern),
+}
+
+impl From<&str> for PatternSource {
+    fn from(text: &str) -> Self {
+        PatternSource::Text(text.to_owned())
+    }
+}
+
+impl From<String> for PatternSource {
+    fn from(text: String) -> Self {
+        PatternSource::Text(text)
+    }
+}
+
+impl From<TreePattern> for PatternSource {
+    fn from(pattern: TreePattern) -> Self {
+        PatternSource::Ready(pattern)
+    }
+}
+
+/// A statement given to [`Database::apply`] or
+/// [`Transaction::statement`]: statement text (the [`parse_statement`]
+/// forms) or a ready-made [`UpdateStatement`]. Converts via
+/// `From<&str>`, `From<String>`, `From<UpdateStatement>` and
+/// `From<&UpdateStatement>`.
+pub enum StatementSource {
+    Text(String),
+    Ready(UpdateStatement),
+}
+
+impl From<&str> for StatementSource {
+    fn from(text: &str) -> Self {
+        StatementSource::Text(text.to_owned())
+    }
+}
+
+impl From<String> for StatementSource {
+    fn from(text: String) -> Self {
+        StatementSource::Text(text)
+    }
+}
+
+impl From<UpdateStatement> for StatementSource {
+    fn from(stmt: UpdateStatement) -> Self {
+        StatementSource::Ready(stmt)
+    }
+}
+
+impl From<&UpdateStatement> for StatementSource {
+    fn from(stmt: &UpdateStatement) -> Self {
+        StatementSource::Ready(stmt.clone())
+    }
+}
+
+fn resolve_statement(source: StatementSource) -> Result<UpdateStatement, Error> {
+    let stmt = match source {
+        StatementSource::Text(text) => parse_statement(&text)?,
+        StatementSource::Ready(stmt) => stmt,
+    };
+    // An insertion's forest is raw XML carried until apply time, and
+    // `apply-pul` is not atomic: a forest that fails to parse midway
+    // would leave the document mutated with no view maintained.
+    // Rejecting it here keeps the façade's no-drift guarantee on every
+    // path (`apply`, sequential and independent transactions).
+    if let UpdateStatement::Insert { xml, .. } = &stmt {
+        parse_document(&format!("<xivm-forest-check>{xml}</xivm-forest-check>"))?;
+    }
+    Ok(stmt)
+}
+
+// ---------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------
+
+/// How a view's auxiliary snowcaps are chosen at materialization time.
+enum ViewMode {
+    Strategy(SnowcapStrategy),
+    CostBased(UpdateProfile),
+}
+
+struct ViewSpec {
+    name: String,
+    pattern: PatternSource,
+    mode: ViewMode,
+}
+
+/// Builder for [`Database`] — see [`Database::builder`].
+///
+/// `strategy(..)` and `cost_based(..)` set the materialization mode
+/// for the views declared *after* them (like CLI flags); views
+/// declared before any mode call use [`SnowcapStrategy::MinimalChain`].
+pub struct DatabaseBuilder {
+    document: Option<DocumentSource>,
+    views: Vec<ViewSpec>,
+    default_strategy: SnowcapStrategy,
+    default_profile: Option<UpdateProfile>,
+}
+
+impl Default for DatabaseBuilder {
+    fn default() -> Self {
+        DatabaseBuilder {
+            document: None,
+            views: Vec::new(),
+            default_strategy: SnowcapStrategy::MinimalChain,
+            default_profile: None,
+        }
+    }
+}
+
+impl DatabaseBuilder {
+    /// Sets the document (XML text or a parsed [`Document`]). Required.
+    pub fn document(mut self, doc: impl Into<DocumentSource>) -> Self {
+        self.document = Some(doc.into());
+        self
+    }
+
+    /// Declares a named view using the current default materialization
+    /// mode. Pattern text errors surface at [`Self::build`].
+    pub fn view(mut self, name: impl Into<String>, pattern: impl Into<PatternSource>) -> Self {
+        let mode = match &self.default_profile {
+            Some(p) => ViewMode::CostBased(p.clone()),
+            None => ViewMode::Strategy(self.default_strategy),
+        };
+        self.views.push(ViewSpec { name: name.into(), pattern: pattern.into(), mode });
+        self
+    }
+
+    /// Declares a named view with an explicit snowcap strategy,
+    /// overriding the current default mode.
+    pub fn view_with_strategy(
+        mut self,
+        name: impl Into<String>,
+        pattern: impl Into<PatternSource>,
+        strategy: SnowcapStrategy,
+    ) -> Self {
+        self.views.push(ViewSpec {
+            name: name.into(),
+            pattern: pattern.into(),
+            mode: ViewMode::Strategy(strategy),
+        });
+        self
+    }
+
+    /// Sets the snowcap strategy for subsequently declared views
+    /// (and clears any cost-based profile).
+    pub fn strategy(mut self, strategy: SnowcapStrategy) -> Self {
+        self.default_strategy = strategy;
+        self.default_profile = None;
+        self
+    }
+
+    /// Makes subsequently declared views choose their snowcaps with
+    /// the Section 3.5 cost model under the given update profile.
+    pub fn cost_based(mut self, profile: UpdateProfile) -> Self {
+        self.default_profile = Some(profile);
+        self
+    }
+
+    /// Parses everything, materializes every view and hands back the
+    /// owning [`Database`].
+    pub fn build(self) -> Result<Database, Error> {
+        let doc = match self.document.ok_or(Error::NoDocument)? {
+            DocumentSource::Xml(text) => parse_document(&text)?,
+            DocumentSource::Ready(doc) => *doc,
+        };
+        let mut engines: Vec<(String, MaintenanceEngine)> = Vec::with_capacity(self.views.len());
+        for spec in self.views {
+            if engines.iter().any(|(n, _)| *n == spec.name) {
+                return Err(Error::DuplicateView(spec.name));
+            }
+            let pattern = match spec.pattern {
+                PatternSource::Text(text) => parse_pattern(&text)?,
+                PatternSource::Ready(p) => p,
+            };
+            let engine = match spec.mode {
+                ViewMode::Strategy(s) => MaintenanceEngine::new(&doc, pattern, s),
+                ViewMode::CostBased(profile) => {
+                    MaintenanceEngine::new_cost_based(&doc, pattern, &profile)
+                }
+            };
+            engines.push((spec.name, engine));
+        }
+        Ok(Database { views: MultiViewEngine::from_engines(engines), doc })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Database
+// ---------------------------------------------------------------------
+
+/// A typed, copyable reference to one view of a [`Database`].
+///
+/// Handles are only meaningful on the database that issued them
+/// (they index its declaration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ViewHandle(usize);
+
+/// An XML document plus a set of named materialized views, maintained
+/// incrementally under statement-level updates.
+pub struct Database {
+    doc: Document,
+    views: MultiViewEngine,
+}
+
+impl Database {
+    /// Starts building a database: `.document(..)`, `.view(..)`
+    /// declarations, then `.build()`.
+    pub fn builder() -> DatabaseBuilder {
+        DatabaseBuilder::default()
+    }
+
+    /// The owned document, read-only. All mutation goes through
+    /// [`Self::apply`] / [`Self::transaction`] so the views can never
+    /// drift from the document.
+    pub fn document(&self) -> &Document {
+        &self.doc
+    }
+
+    /// Serializes the current document.
+    pub fn serialize(&self) -> String {
+        serialize_document(&self.doc)
+    }
+
+    /// Number of views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Resolves a view name to its handle.
+    pub fn view(&self, name: &str) -> Result<ViewHandle, Error> {
+        self.views.position(name).map(ViewHandle).ok_or_else(|| Error::UnknownView(name.into()))
+    }
+
+    /// Handles of every view, in declaration order.
+    pub fn handles(&self) -> Vec<ViewHandle> {
+        (0..self.views.len()).map(ViewHandle).collect()
+    }
+
+    /// View names in declaration order.
+    pub fn view_names(&self) -> Vec<&str> {
+        self.views.names()
+    }
+
+    /// The name behind a handle.
+    pub fn name(&self, view: ViewHandle) -> &str {
+        self.views.get(view.0).expect("handle from this database").0
+    }
+
+    /// The materialized tuples of a view.
+    pub fn store(&self, view: ViewHandle) -> &ViewStore {
+        self.views.get(view.0).expect("handle from this database").1.store()
+    }
+
+    /// The pattern a view materializes.
+    pub fn pattern(&self, view: ViewHandle) -> &TreePattern {
+        self.views.get(view.0).expect("handle from this database").1.pattern()
+    }
+
+    /// Read-only access to a view's low-level maintenance engine
+    /// (timings, snowcaps, prune statistics).
+    pub fn engine(&self, view: ViewHandle) -> &MaintenanceEngine {
+        self.views.get(view.0).expect("handle from this database").1
+    }
+
+    /// Applies one update statement (text or [`UpdateStatement`]) and
+    /// propagates it to every view in one shared pass. Returns
+    /// per-view reports in declaration order.
+    pub fn apply(
+        &mut self,
+        statement: impl Into<StatementSource>,
+    ) -> Result<Vec<(String, UpdateReport)>, Error> {
+        let stmt = resolve_statement(statement.into())?;
+        self.views.apply_statement(&mut self.doc, &stmt)
+    }
+
+    /// Starts a batched transaction: statements are collected and, at
+    /// [`Transaction::commit`], funneled through the Section 5 PUL
+    /// optimizer into one optimized PUL, then propagated to all views
+    /// in a single shared pass.
+    pub fn transaction(&mut self) -> Transaction<'_> {
+        Transaction {
+            db: self,
+            statements: Vec::new(),
+            isolation: Isolation::Sequential,
+            policy: ConflictPolicy::Fail,
+        }
+    }
+
+    /// The report a handle addresses inside a per-view report list.
+    pub fn report_for<'r>(
+        &self,
+        reports: &'r [(String, UpdateReport)],
+        view: ViewHandle,
+    ) -> Option<&'r UpdateReport> {
+        let name = self.name(view);
+        reports.iter().find(|(n, _)| n == name).map(|(_, r)| r)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------
+
+/// How a transaction's statements compose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Isolation {
+    /// Statements compose in order: each sees the effects of the
+    /// previous ones, exactly as if they had been applied one by one.
+    Sequential,
+    /// Statements must be order-independent: every statement's PUL is
+    /// computed against the transaction's snapshot, and any IO / LO /
+    /// NLO conflict between two statements is resolved by the
+    /// transaction's [`ConflictPolicy`] (rejected under the default
+    /// [`ConflictPolicy::Fail`]).
+    Independent,
+}
+
+/// A batch of update statements committed as one optimized PUL.
+///
+/// Created by [`Database::transaction`]. Nothing touches the document
+/// or the views until [`Self::commit`]; a failed commit (parse error,
+/// conflict) leaves the database untouched.
+pub struct Transaction<'db> {
+    db: &'db mut Database,
+    statements: Vec<StatementSource>,
+    isolation: Isolation,
+    policy: ConflictPolicy,
+}
+
+/// What a committed transaction did.
+#[derive(Debug, Clone, Default)]
+pub struct TransactionReport {
+    /// Statements in the batch.
+    pub statements: usize,
+    /// Atomic operations the statements expanded to before
+    /// optimization.
+    pub naive_ops: usize,
+    /// Atomic operations actually propagated after reduction /
+    /// aggregation.
+    pub optimized_ops: usize,
+    /// Which reduction rules fired on the combined PUL.
+    pub reduction: ReductionTrace,
+    /// Per-view propagation reports, in declaration order.
+    pub per_view: Vec<(String, UpdateReport)>,
+}
+
+impl<'db> Transaction<'db> {
+    /// Adds a statement (text or [`UpdateStatement`]) to the batch.
+    /// Parse errors surface at [`Self::commit`].
+    pub fn statement(mut self, statement: impl Into<StatementSource>) -> Self {
+        self.statements.push(statement.into());
+        self
+    }
+
+    /// Declares the batch order-independent: all statements are
+    /// evaluated against the same snapshot and committing fails with
+    /// [`Error::Conflict`] if the Figure 15 rules (IO / LO / NLO) find
+    /// any order-dependence — unless [`Self::on_conflict`] installed a
+    /// resolving policy.
+    pub fn independent(mut self) -> Self {
+        self.isolation = Isolation::Independent;
+        self
+    }
+
+    /// Sets the conflict policy used in [`Self::independent`] mode
+    /// (default: [`ConflictPolicy::Fail`]).
+    pub fn on_conflict(mut self, policy: ConflictPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Number of statements batched so far.
+    pub fn len(&self) -> usize {
+        self.statements.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
+
+    /// Optimizes the batch into one PUL (reduce → aggregate →
+    /// conflict-check, Section 5) and propagates it to every view in a
+    /// single shared pass.
+    pub fn commit(self) -> Result<TransactionReport, Error> {
+        let Transaction { db, statements, isolation, policy } = self;
+        let parsed: Vec<UpdateStatement> =
+            statements.into_iter().map(resolve_statement).collect::<Result<_, _>>()?;
+        let mut report =
+            TransactionReport { statements: parsed.len(), ..TransactionReport::default() };
+        if parsed.is_empty() {
+            return Ok(report);
+        }
+
+        let combined = match isolation {
+            Isolation::Sequential => {
+                // Each statement's targets are found on a scratch copy
+                // that already reflects the previous statements, then
+                // the per-statement PULs are folded with the Figure 16
+                // aggregation rules (A1 merging, D6 forest splicing)
+                // into one PUL over the pre-transaction document. The
+                // scratch copy exists only to give *later* statements
+                // the evolved state, so it is cloned lazily and never
+                // advanced past the second-to-last statement.
+                let mut scratch: Option<Document> = None;
+                let mut combined: Option<Pul> = None;
+                for (i, stmt) in parsed.iter().enumerate() {
+                    let pul = compute_pul(scratch.as_ref().unwrap_or(&db.doc), stmt);
+                    if i + 1 < parsed.len() {
+                        apply_pul(scratch.get_or_insert_with(|| db.doc.clone()), &pul)?;
+                    }
+                    report.naive_ops += pul.len();
+                    combined = Some(match combined {
+                        None => pul,
+                        Some(prev) => aggregate(&db.doc, &prev, &pul).0,
+                    });
+                }
+                combined.unwrap_or_default()
+            }
+            Isolation::Independent => {
+                // All statements see the same snapshot; the Figure 15
+                // conflict rules decide whether the batch is
+                // order-independent enough to integrate.
+                let puls: Vec<Pul> = parsed.iter().map(|s| compute_pul(&db.doc, s)).collect();
+                report.naive_ops = puls.iter().map(Pul::len).sum();
+                if policy == ConflictPolicy::Fail {
+                    let mut conflicts = Vec::new();
+                    for i in 0..puls.len() {
+                        for j in i + 1..puls.len() {
+                            conflicts.extend(find_conflicts(&puls[i], &puls[j]));
+                        }
+                    }
+                    if !conflicts.is_empty() {
+                        return Err(Error::Conflict(conflicts));
+                    }
+                }
+                let mut iter = puls.into_iter();
+                let first = iter.next().unwrap_or_default();
+                iter.try_fold(first, |acc, next| {
+                    integrate(&acc, &next, policy).map_err(Error::Conflict)
+                })?
+            }
+        };
+
+        // Reduction (Figure 14) over the combined list: drop operations
+        // made useless by later deletions, merge repeated insertions.
+        let (optimized, trace) = reduce(&combined);
+        report.reduction = trace;
+        report.optimized_ops = optimized.len();
+
+        // One shared propagation pass across every view.
+        report.per_view = db.views.propagate_pul(&mut db.doc, &optimized)?;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xivm_pattern::compile::view_tuples;
+    use xivm_xml::XmlError;
+
+    const FIG12: &str = "<a><c><b/><b/></c><f><c><b/></c><b/></f></a>";
+
+    fn db() -> Database {
+        Database::builder()
+            .document(FIG12)
+            .view("ab", "//a{id}//b{id}")
+            .view("acb", "//a{id}[//c{id}]//b{id}")
+            .build()
+            .unwrap()
+    }
+
+    /// Oracle: every view equals its from-scratch evaluation.
+    fn check_consistent(db: &Database) {
+        for h in db.handles() {
+            let pattern = db.pattern(h).clone();
+            let expected = ViewStore::from_counted(&pattern, view_tuples(db.document(), &pattern));
+            assert!(
+                db.store(h).same_content_as(&expected),
+                "view {} diverged:\n{}",
+                db.name(h),
+                db.store(h).diff_description(&expected)
+            );
+        }
+    }
+
+    #[test]
+    fn builder_materializes_views() {
+        let db = db();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.view_names(), vec!["ab", "acb"]);
+        let acb = db.view("acb").unwrap();
+        assert_eq!(db.store(acb).len(), 8, "Figure 12 lists 8 embeddings");
+        assert_eq!(db.pattern(acb).to_text(), "//a{id}[//c{id}]//b{id}");
+        assert_eq!(db.name(acb), "acb");
+    }
+
+    #[test]
+    fn builder_errors() {
+        assert!(matches!(Database::builder().build(), Err(Error::NoDocument)));
+        assert!(matches!(
+            Database::builder().document("<a/>").view("v", "//a{id").build(),
+            Err(Error::Pattern(_))
+        ));
+        assert!(matches!(
+            Database::builder().document("<a><b").view("v", "//a{id}").build(),
+            Err(Error::Xml(XmlError::Parse { .. }))
+        ));
+        assert!(matches!(
+            Database::builder().document("<a/>").view("v", "//a{id}").view("v", "//a{id}").build(),
+            Err(Error::DuplicateView(_))
+        ));
+        let db = db();
+        assert!(matches!(db.view("nope"), Err(Error::UnknownView(_))));
+    }
+
+    #[test]
+    fn apply_propagates_to_all_views() {
+        let mut db = db();
+        let reports = db.apply("delete /a/f/c").unwrap();
+        assert_eq!(reports.len(), 2);
+        check_consistent(&db);
+        assert_eq!(db.store(db.view("acb").unwrap()).len(), 3, "Example 4.5");
+        // statement parse errors are typed
+        assert!(matches!(db.apply("frobnicate //a"), Err(Error::Statement(_))));
+    }
+
+    /// `apply-pul` is not atomic, so a malformed insert forest must be
+    /// rejected *before* anything touches the document — on every
+    /// mutation path.
+    #[test]
+    fn malformed_forest_is_rejected_before_touching_anything() {
+        let mut db = db();
+        let before = db.serialize();
+        assert!(matches!(db.apply("insert <b><x/> into /a/c"), Err(Error::Xml(_))));
+        assert_eq!(db.serialize(), before, "apply must not leave a half-applied forest");
+        check_consistent(&db);
+        for tx_mode in [false, true] {
+            let mut tx = db.transaction();
+            if tx_mode {
+                tx = tx.independent();
+            }
+            let err = tx
+                .statement("insert <ok/> into /a/c")
+                .statement("insert <b><x/> into /a/c")
+                .commit();
+            assert!(matches!(err, Err(Error::Xml(_))));
+            assert_eq!(db.serialize(), before, "failed commits must be no-ops");
+            check_consistent(&db);
+        }
+        // the same guard applies to pre-built statements
+        let stmt = UpdateStatement::insert("/a/c", "<broken>").unwrap();
+        assert!(matches!(db.apply(stmt), Err(Error::Xml(_))));
+        assert_eq!(db.serialize(), before);
+    }
+
+    #[test]
+    fn transaction_batches_through_the_optimizer() {
+        let mut db = Database::builder()
+            .document("<r><x><w/></x><y/><z/></r>")
+            .view("rb", "//r{id}//b{id}")
+            .build()
+            .unwrap();
+        let report = db
+            .transaction()
+            .statement("insert <b/> into //w") // killed by O3
+            .statement("insert <b/> into //x") // killed by O1
+            .statement("delete //x")
+            .statement("insert <b>1</b> into //z") // merged by I5/A1
+            .statement("insert <b>2</b> into //z")
+            .commit()
+            .unwrap();
+        assert_eq!(report.statements, 5);
+        assert!(
+            report.optimized_ops < report.naive_ops,
+            "optimizer must shrink the batch: {} -> {}",
+            report.naive_ops,
+            report.optimized_ops
+        );
+        assert!(report.optimized_ops < report.statements);
+        check_consistent(&db);
+    }
+
+    #[test]
+    fn sequential_transaction_equals_sequential_apply() {
+        let script = ["insert <c><b/></c> into /a/f", "delete //c//b", "insert <b/> into //f"];
+        let mut one_by_one = db();
+        for s in script {
+            one_by_one.apply(s).unwrap();
+        }
+        let mut batched = db();
+        let mut tx = batched.transaction();
+        for s in script {
+            tx = tx.statement(s);
+        }
+        tx.commit().unwrap();
+        assert_eq!(one_by_one.serialize(), batched.serialize());
+        for (h1, h2) in one_by_one.handles().into_iter().zip(batched.handles()) {
+            assert!(one_by_one.store(h1).same_content_as(batched.store(h2)));
+        }
+        check_consistent(&batched);
+    }
+
+    #[test]
+    fn later_statements_see_earlier_effects() {
+        // The second statement targets a node the first one inserts:
+        // only sequential composition can express this.
+        let mut db = Database::builder()
+            .document("<r><x/></r>")
+            .view("rq", "//r{id}//q{id}")
+            .build()
+            .unwrap();
+        db.transaction()
+            .statement("insert <p/> into //x")
+            .statement("insert <q/> into //p")
+            .commit()
+            .unwrap();
+        assert_eq!(db.serialize(), "<r><x><p><q/></p></x></r>");
+        check_consistent(&db);
+    }
+
+    #[test]
+    fn independent_transaction_rejects_conflicts() {
+        let mut db = db();
+        let err = db
+            .transaction()
+            .independent()
+            .statement("delete /a/f")
+            .statement("insert <b/> into /a/f")
+            .commit()
+            .unwrap_err();
+        let Error::Conflict(conflicts) = err else { panic!("expected a conflict") };
+        assert!(!conflicts.is_empty());
+        // a failed commit leaves everything untouched
+        assert_eq!(db.serialize(), FIG12);
+        check_consistent(&db);
+        // conflict-free independent batches commit fine
+        db.transaction()
+            .independent()
+            .statement("insert <b/> into /a/c")
+            .statement("delete /a/f")
+            .commit()
+            .unwrap();
+        check_consistent(&db);
+    }
+
+    #[test]
+    fn independent_transaction_with_resolving_policy() {
+        let mut db = db();
+        let report = db
+            .transaction()
+            .independent()
+            .on_conflict(ConflictPolicy::FirstWins)
+            .statement("delete /a/f")
+            .statement("insert <b/> into /a/f")
+            .commit()
+            .unwrap();
+        assert_eq!(report.optimized_ops, 1, "the overridden insertion is dropped");
+        check_consistent(&db);
+    }
+
+    #[test]
+    fn empty_transaction_is_a_noop() {
+        let mut db = db();
+        let report = db.transaction().commit().unwrap();
+        assert_eq!(report.statements, 0);
+        assert_eq!(report.per_view.len(), 0);
+        assert_eq!(db.serialize(), FIG12);
+    }
+
+    #[test]
+    fn cost_based_views_are_maintained() {
+        let doc = parse_document(FIG12).unwrap();
+        let pattern = parse_pattern("//a{id}[//c{id}]//b{id}").unwrap();
+        let log = vec![parse_statement("insert <b/> into //c").unwrap()];
+        let profile = UpdateProfile::from_log(&doc, &pattern, &log);
+        let mut db = Database::builder()
+            .document(doc)
+            .cost_based(profile)
+            .view("acb", pattern)
+            .build()
+            .unwrap();
+        db.apply("insert <c><b/></c> into /a/f").unwrap();
+        db.apply("delete /a/c").unwrap();
+        check_consistent(&db);
+    }
+
+    #[test]
+    fn report_lookup_by_handle() {
+        let mut db = db();
+        let ab = db.view("ab").unwrap();
+        let reports = db.apply("delete /a/f/c").unwrap();
+        let r = db.report_for(&reports, ab).unwrap();
+        assert!(r.tuples_removed > 0);
+    }
+}

@@ -9,6 +9,7 @@
 //! materialized snowcaps current. Each phase is timed, producing the
 //! breakdowns of the Section 6 experiments.
 
+use crate::error::Error;
 use crate::pddt::{delete_terms, eval_delete_terms, DeleteContext};
 use crate::pdmt::propagate_delete_modifications;
 use crate::pimt::propagate_insert_modifications;
@@ -22,7 +23,7 @@ use std::collections::{BTreeSet, HashSet};
 use xivm_pattern::compile::{canonical_relation, compile_plan_over, project_to_view, view_tuples};
 use xivm_pattern::{PatternNodeId, TreePattern};
 use xivm_update::{apply_pul, compute_pul, DeltaMinus, DeltaPlus, Pul, UpdateStatement};
-use xivm_xml::{Document, NodeId, XmlError};
+use xivm_xml::{Document, NodeId};
 
 /// What one propagated update did, and how long each phase took.
 #[derive(Debug, Clone, Default)]
@@ -167,7 +168,7 @@ impl MaintenanceEngine {
         &mut self,
         doc: &mut Document,
         stmt: &UpdateStatement,
-    ) -> Result<UpdateReport, XmlError> {
+    ) -> Result<UpdateReport, Error> {
         let (pul, t_find) = timed(|| compute_pul(doc, stmt));
         let mut report = self.propagate_pul(doc, &pul)?;
         report.timings.find_target_nodes = t_find;
@@ -188,11 +189,7 @@ impl MaintenanceEngine {
 
     /// Propagates an already-computed (possibly optimizer-reduced,
     /// Section 5) pending update list.
-    pub fn propagate_pul(
-        &mut self,
-        doc: &mut Document,
-        pul: &Pul,
-    ) -> Result<UpdateReport, XmlError> {
+    pub fn propagate_pul(&mut self, doc: &mut Document, pul: &Pul) -> Result<UpdateReport, Error> {
         let prepared = self.prepare(doc, pul);
         let (apply_res, t_apply) = timed(|| apply_pul(doc, pul));
         let apply_res = apply_res?;

@@ -1,0 +1,132 @@
+//! The workspace-wide error type.
+//!
+//! Historically every fallible engine entry point returned
+//! [`XmlError`], even for failures that had nothing to do with XML
+//! manipulation (unknown views, statement syntax, conflicting
+//! transactions). [`Error`] replaces that convention: each failure
+//! class keeps its own payload, and `From` impls let the lower-level
+//! errors bubble up through `?` unchanged.
+
+use std::fmt;
+use xivm_pattern::parse_pattern::PatternParseError;
+use xivm_pattern::xpath::XPathParseError;
+use xivm_pulopt::Conflict;
+use xivm_update::statement::StatementParseError;
+use xivm_xml::XmlError;
+
+/// Any failure the `xivm` façade can report.
+///
+/// Marked `#[non_exhaustive]`: new failure classes may be added
+/// without a breaking release, so downstream matches need a `_` arm.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// XML parsing or document manipulation failed.
+    Xml(XmlError),
+    /// A tree-pattern text could not be parsed.
+    Pattern(PatternParseError),
+    /// An update statement (or one of its XPath operands) could not be
+    /// parsed.
+    Statement(StatementParseError),
+    /// A transaction in independent mode contained order-dependent
+    /// operations (the IO / LO / NLO rules of Section 5.3) and the
+    /// conflict policy refused to reconcile them.
+    Conflict(Vec<Conflict>),
+    /// A view name was not declared on this database.
+    UnknownView(String),
+    /// The same view name was declared twice at build time.
+    DuplicateView(String),
+    /// `Database::builder()` was finished without a document.
+    NoDocument,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Xml(e) => write!(f, "{e}"),
+            Error::Pattern(e) => write!(f, "{e}"),
+            Error::Statement(e) => write!(f, "{e}"),
+            Error::Conflict(cs) => {
+                write!(f, "transaction statements conflict ({} conflict(s)", cs.len())?;
+                if let Some(first) = cs.first() {
+                    write!(f, ", first: {:?}", first.kind)?;
+                }
+                write!(f, ")")
+            }
+            Error::UnknownView(name) => write!(f, "no view named {name:?} on this database"),
+            Error::DuplicateView(name) => write!(f, "view {name:?} declared more than once"),
+            Error::NoDocument => write!(f, "database built without a document"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Xml(e) => Some(e),
+            Error::Pattern(e) => Some(e),
+            Error::Statement(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XmlError> for Error {
+    fn from(e: XmlError) -> Self {
+        Error::Xml(e)
+    }
+}
+
+impl From<PatternParseError> for Error {
+    fn from(e: PatternParseError) -> Self {
+        Error::Pattern(e)
+    }
+}
+
+impl From<StatementParseError> for Error {
+    fn from(e: StatementParseError) -> Self {
+        Error::Statement(e)
+    }
+}
+
+impl From<XPathParseError> for Error {
+    fn from(e: XPathParseError) -> Self {
+        Error::Statement(StatementParseError::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The compile-time contract every public error type must satisfy:
+    /// usable with `anyhow`-style dynamic error handling and across
+    /// threads.
+    fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
+
+    #[test]
+    fn public_error_types_are_std_errors() {
+        assert_error::<Error>();
+        assert_error::<XmlError>();
+        assert_error::<PatternParseError>();
+        assert_error::<StatementParseError>();
+        assert_error::<XPathParseError>();
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(Error::UnknownView("Q9".into()).to_string().contains("Q9"));
+        assert!(Error::DuplicateView("Q1".into()).to_string().contains("Q1"));
+        assert!(Error::Conflict(Vec::new()).to_string().contains("conflict"));
+        assert!(Error::NoDocument.to_string().contains("document"));
+        let xml = Error::from(XmlError::DeadNode);
+        assert_eq!(xml.to_string(), XmlError::DeadNode.to_string());
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error as _;
+        assert!(Error::from(XmlError::NoRoot).source().is_some());
+        assert!(Error::UnknownView("x".into()).source().is_none());
+    }
+}

@@ -20,10 +20,15 @@
 //!   algorithms (Algorithms 1, 4, 5, 6);
 //! * [`view_store`] — the materialized view with derivation counts;
 //! * [`engine`] — the end-to-end [`engine::MaintenanceEngine`] with the
-//!   per-phase [`timing::Timings`] breakdown reported in Section 6.
+//!   per-phase [`timing::Timings`] breakdown reported in Section 6;
+//! * [`database`] — the [`database::Database`] façade owning the
+//!   document and all named views, with batched
+//!   [`database::Transaction`]s through the Section 5 PUL optimizer.
 
 pub mod costmodel;
+pub mod database;
 pub mod engine;
+pub mod error;
 pub mod etins;
 pub mod expand;
 pub mod lattice;
@@ -41,7 +46,9 @@ pub mod term;
 pub mod timing;
 pub mod view_store;
 
+pub use database::{Database, DatabaseBuilder, Transaction, TransactionReport, ViewHandle};
 pub use engine::{MaintenanceEngine, PreparedUpdate, UpdateReport};
+pub use error::Error;
 pub use multiview::MultiViewEngine;
 pub use strategy::SnowcapStrategy;
 pub use term::Term;

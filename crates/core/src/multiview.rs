@@ -6,17 +6,29 @@
 //! sharing the per-update work that does not depend on the view: the
 //! PUL is computed once and the document is updated once; each view
 //! then runs only its own Δ-table extraction and term evaluation.
+//!
+//! [`MultiViewEngine`] is the low-level multi-view host; the
+//! [`crate::database::Database`] façade owns one (together with the
+//! document) and is the recommended entry point.
 
 use crate::engine::{MaintenanceEngine, UpdateReport};
+use crate::error::Error;
 use crate::strategy::SnowcapStrategy;
 use crate::timing::timed;
+use std::collections::HashMap;
 use xivm_pattern::TreePattern;
-use xivm_update::{apply_pul, compute_pul, UpdateStatement};
-use xivm_xml::{Document, XmlError};
+use xivm_update::{apply_pul, compute_pul, Pul, UpdateStatement};
+use xivm_xml::Document;
 
 /// A set of named views maintained together.
+///
+/// Views are looked up by name through an index map; iteration orders
+/// (`names()`, per-view reports) remain the declaration order.
 pub struct MultiViewEngine {
     views: Vec<(String, MaintenanceEngine)>,
+    /// Name → position in `views`. On duplicate names the first
+    /// declaration wins, matching the previous linear-scan behavior.
+    index: HashMap<String, usize>,
 }
 
 impl MultiViewEngine {
@@ -25,14 +37,24 @@ impl MultiViewEngine {
         doc: &Document,
         views: impl IntoIterator<Item = (String, TreePattern, SnowcapStrategy)>,
     ) -> Self {
-        MultiViewEngine {
-            views: views
+        Self::from_engines(
+            views
                 .into_iter()
                 .map(|(name, pattern, strategy)| {
                     (name, MaintenanceEngine::new(doc, pattern, strategy))
                 })
                 .collect(),
+        )
+    }
+
+    /// Wraps already-materialized engines (used by the `Database`
+    /// builder, whose views may mix strategies and cost-based choices).
+    pub fn from_engines(views: Vec<(String, MaintenanceEngine)>) -> Self {
+        let mut index = HashMap::with_capacity(views.len());
+        for (i, (name, _)) in views.iter().enumerate() {
+            index.entry(name.clone()).or_insert(i);
         }
+        MultiViewEngine { views, index }
     }
 
     pub fn len(&self) -> usize {
@@ -43,10 +65,26 @@ impl MultiViewEngine {
         self.views.is_empty()
     }
 
-    pub fn view(&self, name: &str) -> Option<&MaintenanceEngine> {
-        self.views.iter().find(|(n, _)| n == name).map(|(_, e)| e)
+    /// Position of a view in declaration order.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
     }
 
+    pub fn view(&self, name: &str) -> Option<&MaintenanceEngine> {
+        self.position(name).map(|i| &self.views[i].1)
+    }
+
+    pub fn view_mut(&mut self, name: &str) -> Option<&mut MaintenanceEngine> {
+        let i = self.position(name)?;
+        Some(&mut self.views[i].1)
+    }
+
+    /// The view at a declaration-order position.
+    pub fn get(&self, i: usize) -> Option<(&str, &MaintenanceEngine)> {
+        self.views.get(i).map(|(n, e)| (n.as_str(), e))
+    }
+
+    /// View names in declaration order.
     pub fn names(&self) -> Vec<&str> {
         self.views.iter().map(|(n, _)| n.as_str()).collect()
     }
@@ -59,19 +97,33 @@ impl MultiViewEngine {
         &mut self,
         doc: &mut Document,
         stmt: &UpdateStatement,
-    ) -> Result<Vec<(String, UpdateReport)>, XmlError> {
+    ) -> Result<Vec<(String, UpdateReport)>, Error> {
         // Find Target Nodes — once, shared by every view.
         let (pul, t_find) = timed(|| compute_pul(doc, stmt));
+        let mut out = self.propagate_pul(doc, &pul)?;
+        for (_, report) in &mut out {
+            report.timings.find_target_nodes = t_find;
+        }
+        Ok(out)
+    }
+
+    /// Propagates an already-computed (possibly optimizer-reduced,
+    /// Section 5) PUL to all views in one shared pass: per-view
+    /// pre-update capture, one document update, per-view Δ extraction.
+    pub fn propagate_pul(
+        &mut self,
+        doc: &mut Document,
+        pul: &Pul,
+    ) -> Result<Vec<(String, UpdateReport)>, Error> {
         // Per-view pre-update capture against the intact document.
-        let prepared: Vec<_> = self.views.iter().map(|(_, e)| e.prepare(doc, &pul)).collect();
+        let prepared: Vec<_> = self.views.iter().map(|(_, e)| e.prepare(doc, pul)).collect();
         // One document update.
-        let (apply_res, t_apply) = timed(|| apply_pul(doc, &pul));
+        let (apply_res, t_apply) = timed(|| apply_pul(doc, pul));
         let apply_res = apply_res?;
         // Per-view propagation.
         let mut out = Vec::with_capacity(self.views.len());
         for ((name, engine), prep) in self.views.iter_mut().zip(prepared) {
             let mut report = engine.finish(doc, &apply_res, prep);
-            report.timings.find_target_nodes = t_find;
             report.timings.apply_document = t_apply;
             out.push((name.clone(), report));
         }
@@ -143,9 +195,37 @@ mod tests {
 
     #[test]
     fn view_lookup() {
-        let (_, engine) = multi();
+        let (_, mut engine) = multi();
         assert!(engine.view("ab").is_some());
         assert!(engine.view("nope").is_none());
+        assert!(engine.view_mut("acb").is_some());
+        assert!(engine.view_mut("nope").is_none());
+        assert_eq!(engine.position("c_cont"), Some(2));
+        assert_eq!(engine.get(1).map(|(n, _)| n), Some("acb"));
         assert!(!engine.is_empty());
+    }
+
+    #[test]
+    fn declaration_order_is_preserved_by_names_and_reports() {
+        let (mut doc, mut engine) = multi();
+        assert_eq!(engine.names(), vec!["ab", "acb", "c_cont"]);
+        let stmt = parse_statement("insert <b/> into //c").unwrap();
+        let reports = engine.apply_statement(&mut doc, &stmt).unwrap();
+        let order: Vec<&str> = reports.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(order, vec!["ab", "acb", "c_cont"]);
+    }
+
+    #[test]
+    fn duplicate_names_keep_the_first_declaration() {
+        let doc = parse_document("<a><b/></a>").unwrap();
+        let engine = MultiViewEngine::new(
+            &doc,
+            [
+                ("v".to_owned(), parse_pattern("//a{id}").unwrap(), SnowcapStrategy::MinimalChain),
+                ("v".to_owned(), parse_pattern("//b{id}").unwrap(), SnowcapStrategy::MinimalChain),
+            ],
+        );
+        assert_eq!(engine.position("v"), Some(0));
+        assert_eq!(engine.view("v").unwrap().pattern().to_text(), "//a{id}");
     }
 }

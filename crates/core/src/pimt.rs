@@ -37,7 +37,10 @@ pub fn propagate_insert_modifications(
             })
         })
         .collect();
-    let forest = DeweyForest::new(targets.to_vec());
+    // Insertion targets may nest (`insert into //a` hits an `a` inside
+    // another `a`): keep every root, or tuples strictly between an
+    // outer and an inner target would never be refreshed.
+    let forest = DeweyForest::with_nested(targets.to_vec());
     let mut modified = 0;
     for key in store.keys() {
         let mut touched = false;
@@ -115,6 +118,26 @@ mod tests {
         let pul = compute_pul(&d, &stmt);
         let res = apply_pul(&mut d, &pul).unwrap();
         assert_eq!(propagate_insert_modifications(&mut store, &d, &p, &res.insert_targets), 0);
+    }
+
+    /// Targets of one statement can nest (`//a` hits an `a` inside an
+    /// `a`): the stored node between the two targets must be refreshed
+    /// too, not just the outermost one.
+    #[test]
+    fn nested_targets_refresh_intermediate_tuples() {
+        let mut d = parse_document("<r><a><a><b/></a></a></r>").unwrap();
+        let p = parse_pattern("//a{id,cont}[//b]").unwrap();
+        let mut store = ViewStore::from_counted(&p, view_tuples(&d, &p));
+        assert_eq!(store.len(), 2);
+        let stmt = UpdateStatement::insert("//a", "<d>5</d>").unwrap();
+        let pul = compute_pul(&d, &stmt);
+        let res = apply_pul(&mut d, &pul).unwrap();
+        let n = propagate_insert_modifications(&mut store, &d, &p, &res.insert_targets);
+        assert_eq!(n, 2, "both the outer and the inner a must refresh");
+        for (t, _) in store.sorted_tuples() {
+            let cont = t.field(0).cont.clone().unwrap();
+            assert!(cont.contains("<d>5</d>"), "stale cont {cont}");
+        }
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! IVMA — node-at-a-time incremental view maintenance, after Sawires
-//! et al. [2005].
+//! et al. \[2005\].
 //!
 //! IVMA propagates updates that add or delete *exactly one node* at a
 //! time. A statement-level update therefore turns into as many IVMA

@@ -5,7 +5,7 @@
 //! * the tree pattern dialect **P** of Section 2.2 ([`TreePattern`]),
 //!   with `/` and `//` edges, `ID` / `val` / `cont` stored-attribute
 //!   annotations and `[val = c]` predicates, plus a compact textual
-//!   syntax ([`parse_pattern`]);
+//!   syntax ([`fn@parse_pattern`]);
 //! * the `XPath{/,//,*,[]}` dialect used by updates and views
 //!   ([`xpath`]), including `and` / `or` predicates — evaluated
 //!   directly over the document store (this plays the role Saxon plays

@@ -211,7 +211,7 @@ impl TreePattern {
     }
 
     /// Renders the pattern in the compact textual syntax accepted by
-    /// [`crate::parse_pattern`].
+    /// [`crate::parse_pattern()`].
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         self.write_node(self.root(), &mut out);

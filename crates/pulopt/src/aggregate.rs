@@ -9,11 +9,19 @@
 //!   tree and drop the Δ2 operation.
 //!
 //! D6 resolution: a Δ2 target strictly below a Δ1 insertion target and
-//! absent from the current document can only refer to a node of the
-//! pending forest. We resolve the remaining label path against the
-//! forest (first match per label step) — sufficient for the paper's
-//! Example 5.3 and documented as an approximation of Cavalieri et
-//! al.'s full ID-projection.
+//! absent from the current document can only refer to a node of a
+//! pending forest. The remaining Dewey steps are resolved against Δ1's
+//! forest by *exact ordinal*: forests receive deterministic
+//! stride-multiple ordinals when parsed (offset, at the first level,
+//! by the ordinals the insertion target has already handed out), so an
+//! in-forest target is identified unambiguously and a target that
+//! lives elsewhere — under a real intermediate node, or in another
+//! operation's pending forest — finds no match. When the walk fails
+//! the rule simply does not fire and the Δ2 operation is kept verbatim
+//! (its structural ID still resolves once Δ1 has been applied), so
+//! aggregation never guesses. This covers the paper's Example 5.3 and
+//! implements the ID-projection of Cavalieri et al. for appended
+//! forests.
 
 use xivm_update::{AtomicOp, Pul};
 use xivm_xml::{parse_document, serialize_node, DeweyId, Document};
@@ -54,7 +62,7 @@ pub fn aggregate(doc: &Document, first: &Pul, second: &Pul) -> (Pul, Aggregation
                         let AtomicOp::InsertInto { target: t1, forest: f1 } = op1 else {
                             continue;
                         };
-                        if t1.is_ancestor_of(t2) {
+                        if t1.is_ancestor_of(t2) && chain_is_pending(doc, t1, t2) {
                             if let Some(spliced) = splice_into_forest(doc, f1, t1, t2, f2) {
                                 *f1 = spliced;
                                 outcome.d6_fired += 1;
@@ -72,8 +80,37 @@ pub fn aggregate(doc: &Document, first: &Pul, second: &Pul) -> (Pul, Aggregation
     (Pul::new(merged), outcome)
 }
 
-/// Splices `addition` under the forest node addressed by the label
-/// path `t1 → t2`, returning the re-serialized forest.
+/// True when every node strictly between `t1` and `t2` is absent from
+/// the current document. A live intermediate node means `t2` hangs off
+/// a *real* descendant of `t1`, not off the pending forest `t1` is
+/// about to receive — D6 must not fire there even though `t1` is an
+/// ancestor of `t2`.
+fn chain_is_pending(doc: &Document, t1: &DeweyId, t2: &DeweyId) -> bool {
+    let mut cur = t2.parent();
+    while let Some(p) = cur {
+        if p.depth() <= t1.depth() {
+            break;
+        }
+        if doc.find_node(&p).is_some() {
+            return false;
+        }
+        cur = p.parent();
+    }
+    true
+}
+
+/// Splices `addition` under the forest node the Dewey steps `t1 → t2`
+/// address, returning the re-serialized forest, or `None` when `t2`
+/// does not denote a node of this forest.
+///
+/// Appended forests receive deterministic ordinals: the j-th node
+/// parsed under a fresh parent carries ordinal `j · ORD_STRIDE`, and
+/// the forest roots themselves continue from `t1`'s highest
+/// already-allocated child ordinal. Re-parsing the forest under a
+/// scratch root therefore reproduces exactly the ordinals `apply-pul`
+/// will assign (modulo that first-level offset), and each step of
+/// `t2` can be resolved by ordinal equality — unambiguously, unlike a
+/// label-path walk.
 fn splice_into_forest(
     doc: &Document,
     forest: &str,
@@ -81,23 +118,31 @@ fn splice_into_forest(
     t2: &DeweyId,
     addition: &str,
 ) -> Option<String> {
+    // The first-level offset is only known for targets that exist in
+    // the pre-Δ1 document.
+    let offset = doc.max_child_ord(doc.find_node(t1)?);
     // Parse the forest under a scratch root.
     let mut scratch = parse_document(&format!("<scratch-root>{forest}</scratch-root>")).ok()?;
     let root = scratch.root()?;
-    // Walk the label path below t1 through the forest.
     let rel_steps = &t2.steps()[t1.depth()..];
     let mut cur = root;
-    for step in rel_steps {
-        let label_name = doc.labels().name(step.label).to_owned();
-        let next = scratch.children_of(cur).iter().copied().find(|&c| {
-            scratch.node(c).is_element() && scratch.label_name(scratch.node(c).label) == label_name
-        })?;
+    for (depth, step) in rel_steps.iter().enumerate() {
+        // The ordinal this node carries inside the scratch parse; a
+        // step that resolves to no forest node (a real sibling, or a
+        // node of some other operation's pending forest) refuses the
+        // splice.
+        let want = if depth == 0 { step.ord.checked_sub(offset)? } else { step.ord };
+        let next =
+            scratch.children_of(cur).iter().copied().find(|&c| scratch.node(c).ord == want)?;
+        if !scratch.node(next).is_element() {
+            return None;
+        }
         cur = next;
     }
     xivm_xml::parser::parse_forest_into(&mut scratch, cur, addition).ok()?;
     // Serialize children of the scratch root back into a forest.
     let out: String =
-        scratch.children_of(root).to_vec().iter().map(|&c| serialize_node(&scratch, c)).collect();
+        scratch.children_of(root).iter().map(|&c| serialize_node(&scratch, c)).collect();
     Some(out)
 }
 

@@ -1,15 +1,15 @@
 //! Optimizing the propagation of XML update sequences (Section 5).
 //!
 //! Re-implements, for the two fundamental operations `ins↘(v, P)` and
-//! `del(v)` (Section 5.2), the rule set of Cavalieri et al. [2011]:
+//! `del(v)` (Section 5.2), the rule set of Cavalieri et al. \[2011\]:
 //!
-//! * **Reduction rules** ([`reduce`]): O1, O3 and I5 (Figure 14) —
+//! * **Reduction rules** ([`mod@reduce`]): O1, O3 and I5 (Figure 14) —
 //!   simplify one PUL by dropping operations made useless by later
 //!   deletions and merging repeated insertions;
 //! * **Conflict rules** ([`conflict`]): IO, LO and NLO (Figure 15) —
 //!   detect order-dependence between two PULs to be run in parallel,
 //!   with pluggable resolution policies;
-//! * **Aggregation rules** ([`aggregate`]): A1, A2 and D6 (Figure 16)
+//! * **Aggregation rules** ([`mod@aggregate`]): A1, A2 and D6 (Figure 16)
 //!   — merge two PULs to be run sequentially into one.
 //!
 //! The optimized PUL is then handed to the maintenance engine instead

@@ -165,6 +165,14 @@ impl Document {
         Ok(id)
     }
 
+    /// Highest sibling ordinal ever allocated under `parent` (deleted
+    /// children included): appended children always receive ordinals
+    /// strictly beyond this value, in [`crate::dewey::ORD_STRIDE`]
+    /// increments.
+    pub fn max_child_ord(&self, parent: NodeId) -> u64 {
+        self.nodes[parent.index()].max_child_ord
+    }
+
     fn push_node(&mut self, node: Node) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(node);

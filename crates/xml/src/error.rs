@@ -3,7 +3,11 @@
 use std::fmt;
 
 /// Errors raised while parsing or manipulating XML documents.
+///
+/// Marked `#[non_exhaustive]`: new failure classes may be added
+/// without a breaking release, so downstream matches need a `_` arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum XmlError {
     /// The parser encountered malformed input at the given byte offset.
     Parse { offset: usize, message: String },
@@ -34,6 +38,13 @@ impl std::error::Error for XmlError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
+
+    #[test]
+    fn xml_error_is_a_std_error() {
+        assert_error::<XmlError>();
+    }
 
     #[test]
     fn display_is_informative() {

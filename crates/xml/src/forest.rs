@@ -10,16 +10,24 @@
 
 use crate::dewey::DeweyId;
 
-/// An immutable set of subtree roots, reduced to its maximal elements
-/// (roots nested under other roots are redundant for coverage).
+/// An immutable set of subtree roots in document order.
+///
+/// [`Self::new`] reduces the set to its maximal elements (roots nested
+/// under other roots are redundant for *coverage*); [`Self::with_nested`]
+/// keeps every root, which the subtree-containment queries need when
+/// roots may nest — e.g. insertion targets, where `insert into //a`
+/// legitimately targets both an `a` and an `a` inside it.
 #[derive(Debug, Clone, Default)]
 pub struct DeweyForest {
-    /// Maximal roots in document order; no element is an ancestor of
-    /// another.
+    /// Roots in document order; maximal (no element an ancestor of
+    /// another) iff `reduced`.
     roots: Vec<DeweyId>,
+    reduced: bool,
 }
 
 impl DeweyForest {
+    /// Builds the reduced (maximal-roots) form — the right shape for
+    /// [`Self::covers`].
     pub fn new(mut roots: Vec<DeweyId>) -> Self {
         roots.sort_by(|a, b| a.doc_cmp(b));
         let mut maximal: Vec<DeweyId> = Vec::with_capacity(roots.len());
@@ -29,7 +37,19 @@ impl DeweyForest {
                 _ => maximal.push(r),
             }
         }
-        DeweyForest { roots: maximal }
+        DeweyForest { roots: maximal, reduced: true }
+    }
+
+    /// Keeps every distinct root, including nested ones. Required for
+    /// [`Self::has_descendant_or_self_root`] /
+    /// [`Self::has_proper_descendant_root`] when roots may nest: the
+    /// maximal-roots reduction would hide an inner root from a probe
+    /// that lies strictly between it and an outer root. Not usable
+    /// with [`Self::covers`].
+    pub fn with_nested(mut roots: Vec<DeweyId>) -> Self {
+        roots.sort_by(|a, b| a.doc_cmp(b));
+        roots.dedup();
+        DeweyForest { roots, reduced: false }
     }
 
     pub fn is_empty(&self) -> bool {
@@ -47,8 +67,10 @@ impl DeweyForest {
     /// True iff `id` lies inside (or is) one of the subtrees.
     ///
     /// Because the maximal roots are disjoint subtrees in document
-    /// order, the only candidate is the last root ≤ `id`.
+    /// order, the only candidate is the last root ≤ `id`. Only valid
+    /// on the reduced form built by [`Self::new`].
     pub fn covers(&self, id: &DeweyId) -> bool {
+        debug_assert!(self.reduced, "covers requires the maximal-roots form");
         let pos = self.roots.partition_point(|r| r.doc_cmp(id).is_le());
         pos > 0 && self.roots[pos - 1].is_ancestor_or_self_of(id)
     }
@@ -142,6 +164,30 @@ mod tests {
             let expected_proper = roots.iter().any(|r| p.is_ancestor_of(r));
             assert_eq!(f.has_proper_descendant_root(p), expected_proper, "{p}");
         }
+    }
+
+    #[test]
+    fn nested_form_sees_inner_roots() {
+        // outer root a, inner root a.b.c — a probe at a.b lies strictly
+        // between them.
+        let outer = id(&[(0, 1)]);
+        let probe = id(&[(0, 1), (1, 2)]);
+        let inner = id(&[(0, 1), (1, 2), (2, 3)]);
+        let reduced = DeweyForest::new(vec![outer.clone(), inner.clone()]);
+        assert_eq!(reduced.len(), 1, "reduction keeps only the outer root");
+        assert!(!reduced.has_descendant_or_self_root(&probe), "inner root was hidden");
+        let nested = DeweyForest::with_nested(vec![outer, inner]);
+        assert_eq!(nested.len(), 2);
+        assert!(nested.has_descendant_or_self_root(&probe));
+        assert!(nested.has_proper_descendant_root(&probe));
+        assert!(!nested.has_descendant_or_self_root(&id(&[(0, 1), (1, 9)])));
+    }
+
+    #[test]
+    fn nested_form_dedups_exact_duplicates() {
+        let r = id(&[(0, 1), (1, 2)]);
+        let f = DeweyForest::with_nested(vec![r.clone(), r.clone(), r]);
+        assert_eq!(f.len(), 1);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Auction-site scenario: the paper's XMark workload end to end.
 //!
-//! Generates an auction document, materializes two of the paper's
-//! views (Q1: person names, Q6: all items), then streams a mix of
-//! catalog updates through the maintenance engine, comparing each
+//! Generates an auction document, builds a [`Database`] materializing
+//! two of the paper's views (Q1: person names, Q6: all items), then
+//! streams a mix of catalog updates through it, comparing each
 //! propagation against full recomputation.
 //!
 //! ```sh
@@ -10,11 +10,11 @@
 //! ```
 
 use std::time::Instant;
-use xivm::core::{MaintenanceEngine, SnowcapStrategy};
 use xivm::ivma::recompute_store;
+use xivm::prelude::*;
 use xivm::xmark::{generate_sized, update_by_name, view_pattern};
 
-fn main() {
+fn main() -> Result<(), Error> {
     let doc0 = generate_sized(200 * 1024);
     println!(
         "generated auction document: {} live nodes, {} persons, {} items",
@@ -24,11 +24,12 @@ fn main() {
     );
 
     for view_name in ["Q1", "Q6"] {
-        let pattern = view_pattern(view_name);
-        let mut doc = doc0.clone();
-        let mut engine =
-            MaintenanceEngine::new(&doc, pattern.clone(), SnowcapStrategy::MinimalChain);
-        println!("\n=== view {view_name}: {} tuples materialized ===", engine.store().len());
+        let mut db = Database::builder()
+            .document(doc0.clone())
+            .view(view_name, view_pattern(view_name))
+            .build()?;
+        let view = db.view(view_name)?;
+        println!("\n=== view {view_name}: {} tuples materialized ===", db.store(view).len());
 
         // a day in the life of the auction site
         let script = [
@@ -38,13 +39,14 @@ fn main() {
             ("privacy-conscious bidders bid", update_by_name("X4_O").insert_stmt()),
         ];
         for (what, stmt) in script {
-            let report = engine.apply_statement(&mut doc, &stmt).expect("propagation succeeds");
+            let reports = db.apply(stmt)?;
+            let report = db.report_for(&reports, view).expect("view was maintained");
             // sanity: full recomputation agrees
             let check = Instant::now();
-            let fresh = recompute_store(&doc, &pattern);
+            let fresh = recompute_store(db.document(), db.pattern(view));
             let recompute_ms = check.elapsed().as_secs_f64() * 1e3;
             assert!(
-                engine.store().same_content_as(&fresh),
+                db.store(view).same_content_as(&fresh),
                 "incremental and recomputed views diverged"
             );
             println!(
@@ -55,6 +57,7 @@ fn main() {
                 recompute_ms,
             );
         }
-        println!("  final view size: {} tuples", engine.store().len());
+        println!("  final view size: {} tuples", db.store(view).len());
     }
+    Ok(())
 }

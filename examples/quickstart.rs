@@ -1,45 +1,34 @@
-//! Quickstart: materialize a view over an XML document, run a
-//! statement-level update, and watch the view stay in sync without
-//! recomputation.
+//! Quickstart: build a [`Database`] over an XML document, run
+//! statement-level updates and batched transactions, and watch every
+//! view stay in sync without recomputation.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use xivm::core::{MaintenanceEngine, SnowcapStrategy};
-use xivm::pattern::parse_pattern;
-use xivm::update::statement::parse_statement;
-use xivm::xml::parse_document;
+use xivm::prelude::*;
 
-fn main() {
-    // 1. A document (the paper's Figure 12).
-    let mut doc = parse_document(
-        "<a>\
-           <c><b/><b/></c>\
-           <f><c><b/></c><b/></f>\
-         </a>",
-    )
-    .expect("well-formed XML");
+fn main() -> Result<(), Error> {
+    // 1. A database owning the paper's Figure 12 document and the
+    //    running-example view //a[//c]//b (Section 4), with IDs stored
+    //    for a, c and b.
+    let mut db = Database::builder()
+        .document(
+            "<a>\
+               <c><b/><b/></c>\
+               <f><c><b/></c><b/></f>\
+             </a>",
+        )
+        .view("acb", "//a{id}[//c{id}]//b{id}")
+        .build()?;
 
-    // 2. A view: //a[//c]//b with IDs stored for a, c and b
-    //    (the running example of Section 4).
-    let view = parse_pattern("//a{id}[//c{id}]//b{id}").expect("valid pattern");
+    let acb = db.view("acb")?;
+    println!("view has {} tuples (Figure 12 lists 8 embeddings)", db.store(acb).len());
+    print_tuples(&db, acb);
 
-    // 3. Materialize it, along with the auxiliary snowcap lattice.
-    let mut engine = MaintenanceEngine::new(&doc, view, SnowcapStrategy::MinimalChain);
-    println!("view has {} tuples (Figure 12 lists 8 embeddings)", engine.store().len());
-    for (tuple, count) in engine.store().sorted_tuples() {
-        let ids: Vec<String> = tuple
-            .fields()
-            .iter()
-            .map(|f| f.id.display_with(|l| doc.label_name(l).to_owned()))
-            .collect();
-        println!("  ({}) ×{count}", ids.join(", "));
-    }
-
-    // 4. The paper's Example 4.5: delete /a/f/c.
-    let stmt = parse_statement("delete /a/f/c").expect("valid statement");
-    let report = engine.apply_statement(&mut doc, &stmt).expect("update propagates");
+    // 2. The paper's Example 4.5: delete /a/f/c.
+    let reports = db.apply("delete /a/f/c")?;
+    let report = db.report_for(&reports, acb).expect("acb was maintained");
     println!(
         "\nafter `delete /a/f/c`: removed {} derivations in {:.3} ms \
          ({} terms survived pruning out of {})",
@@ -48,22 +37,46 @@ fn main() {
         report.delete_prune.after_id_reasoning,
         report.delete_prune.before,
     );
-    println!("view now has {} tuples:", engine.store().len());
-    for (tuple, count) in engine.store().sorted_tuples() {
-        let ids: Vec<String> = tuple
-            .fields()
-            .iter()
-            .map(|f| f.id.display_with(|l| doc.label_name(l).to_owned()))
-            .collect();
-        println!("  ({}) ×{count}", ids.join(", "));
-    }
+    println!("view now has {} tuples:", db.store(acb).len());
+    print_tuples(&db, acb);
 
-    // 5. Insertions are just as incremental.
-    let stmt = parse_statement("insert <c><b/></c> into /a/f").expect("valid statement");
-    let report = engine.apply_statement(&mut doc, &stmt).expect("update propagates");
+    // 3. Insertions are just as incremental.
+    let reports = db.apply("insert <c><b/></c> into /a/f")?;
+    let report = db.report_for(&reports, acb).expect("acb was maintained");
     println!(
         "\nafter `insert <c><b/></c> into /a/f`: +{} tuples, +{} derivations",
         report.tuples_added, report.derivations_added
     );
-    println!("view now has {} tuples", engine.store().len());
+
+    // 4. Statement batches go through the Section 5 PUL optimizer:
+    //    one optimized PUL, one shared propagation pass.
+    let report = db
+        .transaction()
+        .statement("insert <b/> into /a/c")
+        .statement("insert <b/> into /a/c")
+        .statement("delete /a/c")
+        .commit()?;
+    println!(
+        "\ntransaction of {} statements propagated as {} atomic op(s) \
+         (naively {}; O1 fired {}, O3 fired {}, I5 fired {})",
+        report.statements,
+        report.optimized_ops,
+        report.naive_ops,
+        report.reduction.o1_fired,
+        report.reduction.o3_fired,
+        report.reduction.i5_fired,
+    );
+    println!("view now has {} tuples", db.store(acb).len());
+    Ok(())
+}
+
+fn print_tuples(db: &Database, view: ViewHandle) {
+    for (tuple, count) in db.store(view).sorted_tuples() {
+        let ids: Vec<String> = tuple
+            .fields()
+            .iter()
+            .map(|f| f.id.display_with(|l| db.document().label_name(l).to_owned()))
+            .collect();
+        println!("  ({}) ×{count}", ids.join(", "));
+    }
 }

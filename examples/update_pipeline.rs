@@ -1,26 +1,23 @@
-//! Update-sequence pipeline: schema guarding and PUL optimization.
+//! Update-sequence pipeline: schema guarding and batched transactions.
 //!
 //! Shows the two companion facilities around the maintenance engine:
 //!
 //! 1. **DTD Δ⁺ checks** (Section 3.3) — rejecting an insertion that
 //!    would certainly violate the schema, before touching anything;
-//! 2. **PUL reduction** (Section 5) — collapsing a sequence of
-//!    statements into fewer atomic operations before propagating them
-//!    in one pass (Figure 13's CP → OR → PINT/PDDT pipeline).
+//! 2. **PUL optimization** (Section 5) — a [`Database`] transaction
+//!    collapsing a sequence of statements into fewer atomic operations
+//!    and propagating them in one pass (Figure 13's CP → OR →
+//!    PINT/PDDT pipeline), plus conflict detection for batches that
+//!    must be order-independent.
 //!
 //! ```sh
 //! cargo run --example update_pipeline
 //! ```
 
-use xivm::core::{MaintenanceEngine, SnowcapStrategy};
 use xivm::dtd::{check_insert, implications, parse_dtd};
-use xivm::pattern::parse_pattern;
-use xivm::pulopt::reduce;
-use xivm::update::statement::parse_statement;
-use xivm::update::{compute_pul, Pul};
-use xivm::xml::parse_document;
+use xivm::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
     // --- 1. schema guarding -------------------------------------------------
     // Figure 5(a): every b must contain a c.
     let dtd = parse_dtd(
@@ -42,37 +39,49 @@ fn main() {
     let good = check_insert(&dtd, "AS", "<a><b><c/></b></a>");
     println!("insert <a><b><c/></b></a> → {:?} (accepted)", good);
 
-    // --- 2. PUL reduction ---------------------------------------------------
-    let mut doc = parse_document("<r><x><w/></x><y/><z/></r>").expect("well-formed XML");
-    let view = parse_pattern("//r{id}//b{id}").expect("valid pattern");
-    let mut engine = MaintenanceEngine::new(&doc, view, SnowcapStrategy::MinimalChain);
+    // --- 2. batched transactions through the PUL optimizer ------------------
+    let mut db = Database::builder()
+        .document("<r><x><w/></x><y/><z/></r>")
+        .view("rb", "//r{id}//b{id}")
+        .build()?;
 
     // A sequence of statements, as an application would issue them.
-    let statements = [
-        "insert <b/> into //w",     // pointless: //x is deleted below (rule O3)
-        "insert <b/> into //x",     // pointless: //x is deleted below (rule O1)
-        "delete //x",               //
-        "insert <b>1</b> into //z", // merged with the next (rule I5)
-        "insert <b>2</b> into //z",
-    ];
-    let mut ops = Vec::new();
-    for s in statements {
-        let stmt = parse_statement(s).expect("valid statement");
-        ops.extend(compute_pul(&doc, &stmt).ops);
-    }
-    let pul = Pul::new(ops);
-    let (reduced, trace) = reduce(&pul);
+    let report = db
+        .transaction()
+        .statement("insert <b/> into //w") // pointless: //x is deleted below (rule O3)
+        .statement("insert <b/> into //x") // pointless: //x is deleted below (rule O1)
+        .statement("delete //x")
+        .statement("insert <b>1</b> into //z") // merged with the next (rules A1/I5)
+        .statement("insert <b>2</b> into //z")
+        .commit()?;
     println!(
-        "\nreduced the sequence from {} to {} atomic operations \
+        "\nreduced {} statements ({} atomic operations) to {} \
          (O1 fired {}, O3 fired {}, I5 fired {})",
-        trace.ops_before, trace.ops_after, trace.o1_fired, trace.o3_fired, trace.i5_fired
+        report.statements,
+        report.naive_ops,
+        report.optimized_ops,
+        report.reduction.o1_fired,
+        report.reduction.o3_fired,
+        report.reduction.i5_fired,
     );
-
-    let report = engine.propagate_pul(&mut doc, &reduced).expect("propagation succeeds");
+    let rb = db.view("rb")?;
+    let r = db.report_for(&report.per_view, rb).expect("rb was maintained");
     println!(
         "propagated in one pass: +{} tuples, -{} tuples, document now: {}",
-        report.tuples_added,
-        report.tuples_removed,
-        xivm::xml::serialize_document(&doc)
+        r.tuples_added,
+        r.tuples_removed,
+        db.serialize()
     );
+
+    // --- 3. order-independent batches are conflict-checked ------------------
+    let err = db
+        .transaction()
+        .independent()
+        .statement("delete //y")
+        .statement("insert <b/> into //y")
+        .commit()
+        .unwrap_err();
+    println!("\nconflicting independent batch rejected: {err}");
+    println!("document unchanged: {}", db.serialize());
+    Ok(())
 }

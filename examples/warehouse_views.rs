@@ -1,34 +1,35 @@
 //! Warehouse scenario: several views over one document, chosen
 //! auxiliary structures, and durable snapshots.
 //!
-//! Demonstrates the three extensions built on top of the paper's core
-//! (DESIGN.md §5b): the multi-view engine (one target-finding pass and
-//! one document update shared by all views), cost-based snowcap
-//! selection from a workload log, and binary view snapshots.
+//! Demonstrates the façade over the three extensions built on top of
+//! the paper's core: many named views maintained in one shared pass
+//! per update, cost-based snowcap selection from a workload log, and
+//! binary view snapshots.
 //!
 //! ```sh
 //! cargo run --release --example warehouse_views
 //! ```
 
-use xivm::core::costmodel::{choose_snowcaps, DocStats, UpdateProfile};
+use xivm::core::costmodel::{choose_snowcaps, DocStats};
 use xivm::core::snapshot::{decode_store, encode_store};
-use xivm::core::{MaintenanceEngine, MultiViewEngine, SnowcapStrategy};
+use xivm::prelude::*;
 use xivm::xmark::{generate_sized, update_by_name, view_pattern};
 
-fn main() {
-    let mut doc = generate_sized(150 * 1024);
+fn main() -> Result<(), Error> {
+    let doc = generate_sized(150 * 1024);
 
     // --- several views, one maintenance pass per update ---------------
-    let mut warehouse = MultiViewEngine::new(
-        &doc,
-        ["Q1", "Q2", "Q6", "Q17"]
-            .map(|v| (v.to_owned(), view_pattern(v), SnowcapStrategy::MinimalChain)),
-    );
+    let mut warehouse = Database::builder()
+        .document(doc.clone())
+        .view("Q1", view_pattern("Q1"))
+        .view("Q2", view_pattern("Q2"))
+        .view("Q6", view_pattern("Q6"))
+        .view("Q17", view_pattern("Q17"))
+        .build()?;
     println!("materialized {} views over one auction document", warehouse.len());
 
     for u in ["A6_A", "X4_O", "B5_LB"] {
-        let stmt = update_by_name(u).insert_stmt();
-        let reports = warehouse.apply_statement(&mut doc, &stmt).expect("propagates");
+        let reports = warehouse.apply(update_by_name(u).insert_stmt())?;
         let touched: Vec<String> = reports
             .iter()
             .filter(|(_, r)| r.tuples_added + r.tuples_removed + r.tuples_modified > 0)
@@ -48,10 +49,11 @@ fn main() {
     let profile = UpdateProfile::from_log(&doc, &pattern, &log);
     let chosen = choose_snowcaps(&pattern, &stats, &profile);
     println!("\ncost model chose {} snowcap(s) for Q2 under this workload profile", chosen.len());
-    let mut engine = MaintenanceEngine::new_cost_based(&doc, pattern, &profile);
-    let report = engine
-        .apply_statement(&mut doc, &update_by_name("X2_L").insert_stmt())
-        .expect("propagates");
+    let mut db =
+        Database::builder().document(doc).cost_based(profile).view("Q2", pattern).build()?;
+    let q2 = db.view("Q2")?;
+    let reports = db.apply(update_by_name("X2_L").insert_stmt())?;
+    let report = db.report_for(&reports, q2).expect("Q2 was maintained");
     println!(
         "  maintained Q2 in {:.3} ms (+{} tuples)",
         report.timings.maintenance_total().as_secs_f64() * 1e3,
@@ -59,13 +61,14 @@ fn main() {
     );
 
     // --- durable snapshots ---------------------------------------------
-    let bytes = encode_store(engine.store());
+    let bytes = encode_store(db.store(q2));
     let restored = decode_store(&bytes).expect("snapshot decodes");
-    assert!(engine.store().same_content_as(&restored));
+    assert!(db.store(q2).same_content_as(&restored));
     println!(
         "\nsnapshotted Q2: {} tuples in {} bytes ({} bytes/tuple), restored losslessly",
-        engine.store().len(),
+        db.store(q2).len(),
         bytes.len(),
-        bytes.len() / engine.store().len().max(1)
+        bytes.len() / db.store(q2).len().max(1)
     );
+    Ok(())
 }

@@ -1,9 +1,59 @@
-//! Umbrella crate re-exporting the full xivm public API.
+//! # xivm — incremental maintenance of XML materialized views
 //!
-//! See the individual crates for details:
-//! [`xivm_xml`], [`xivm_algebra`], [`xivm_pattern`], [`xivm_update`],
-//! [`xivm_core`], [`xivm_pulopt`], [`xivm_dtd`], [`xivm_xmark`],
-//! [`xivm_ivma`].
+//! A reproduction of the EDBT'11 algebraic view-maintenance engine,
+//! fronted by one owned façade: [`Database`] holds the document and
+//! every named view, and keeps them in sync under XQuery-Update
+//! statements without recomputation.
+//!
+//! ```
+//! use xivm::prelude::*;
+//!
+//! let mut db = Database::builder()
+//!     .document("<a><c><b/><b/></c><f><c><b/></c><b/></f></a>")
+//!     .view("acb", "//a{id}[//c{id}]//b{id}")
+//!     .build()?;
+//!
+//! let acb = db.view("acb")?;
+//! assert_eq!(db.store(acb).len(), 8);
+//!
+//! // One statement: parsed, propagated to every view incrementally.
+//! db.apply("delete /a/f/c")?;
+//! assert_eq!(db.store(acb).len(), 3);
+//!
+//! // Many statements: batched through the Section 5 PUL optimizer
+//! // into one optimized PUL and a single propagation pass.
+//! let report = db
+//!     .transaction()
+//!     .statement("insert <b/> into /a/c")
+//!     .statement("delete /a/c")
+//!     .commit()?;
+//! assert!(report.optimized_ops < report.naive_ops);
+//! # Ok::<(), xivm::Error>(())
+//! ```
+//!
+//! Everything the façade returns is typed: views are addressed by
+//! [`ViewHandle`], failures are the workspace-wide [`Error`] enum
+//! (`Xml`, `Pattern`, `Statement`, `Conflict`, `UnknownView`, …).
+//!
+//! ## Migrating from the low-level engine API
+//!
+//! The plumbing stays public (the bench targets and the paper's
+//! figure runners use it), but applications should not need it:
+//!
+//! | pre-`Database` call | façade equivalent |
+//! |---|---|
+//! | `parse_document(xml)?` + owning a `Document` | `Database::builder().document(xml)` |
+//! | `parse_pattern(p)?` + `MaintenanceEngine::new(&doc, p, strat)` | `.view(name, p)` / `.view_with_strategy(name, p, strat)` |
+//! | `MaintenanceEngine::new_cost_based(&doc, p, &profile)` | `.cost_based(profile).view(name, p)` |
+//! | `MultiViewEngine::new(&doc, views)` | one builder with several `.view(..)` calls |
+//! | `engine.apply_statement(&mut doc, &parse_statement(s)?)?` | `db.apply(s)?` |
+//! | `compute_pul` + `pulopt::reduce` + `propagate_pul` | `db.transaction().statement(..)...commit()?` |
+//! | `engine.store()` | `db.store(db.view(name)?)` |
+//! | `XmlError` for every failure | [`Error`] with per-class variants |
+//!
+//! The member crates remain available under their re-exported names:
+//! [`xml`], [`algebra`], [`pattern`], [`update`], [`core`],
+//! [`pulopt`], [`dtd`], [`xmark`], [`ivma`].
 
 pub use xivm_algebra as algebra;
 pub use xivm_core as core;
@@ -14,3 +64,25 @@ pub use xivm_pulopt as pulopt;
 pub use xivm_update as update;
 pub use xivm_xmark as xmark;
 pub use xivm_xml as xml;
+
+pub use xivm_core::{Database, DatabaseBuilder, Error, Transaction, TransactionReport, ViewHandle};
+
+/// One-stop imports for applications built on the [`Database`] façade.
+///
+/// ```
+/// use xivm::prelude::*;
+/// ```
+pub mod prelude {
+    pub use xivm_core::costmodel::UpdateProfile;
+    pub use xivm_core::database::{
+        Database, DatabaseBuilder, Transaction, TransactionReport, ViewHandle,
+    };
+    pub use xivm_core::{
+        Error, MaintenanceEngine, MultiViewEngine, SnowcapStrategy, UpdateReport, ViewStore,
+    };
+    pub use xivm_pattern::{parse_pattern, TreePattern};
+    pub use xivm_pulopt::ConflictPolicy;
+    pub use xivm_update::statement::parse_statement;
+    pub use xivm_update::UpdateStatement;
+    pub use xivm_xml::{parse_document, serialize_document, Document};
+}

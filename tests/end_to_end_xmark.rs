@@ -1,12 +1,12 @@
 //! Full-workload oracle: every catalog view × every paired catalog
 //! update, insertion and deletion, across materialization strategies —
-//! the incremental store must always equal the from-scratch
-//! evaluation, and the IVMA baseline must agree too.
+//! the incrementally maintained [`Database`] must always equal the
+//! from-scratch evaluation, and the IVMA baseline must agree too.
 
-use xivm::core::{MaintenanceEngine, SnowcapStrategy, ViewStore};
 use xivm::ivma::IvmaView;
 use xivm::pattern::compile::view_tuples;
-use xivm::xmark::{generate_sized, updates_for_view, view_pattern, VIEW_NAMES};
+use xivm::prelude::*;
+use xivm::xmark::{generate_sized, update_by_name, updates_for_view, view_pattern, VIEW_NAMES};
 
 /// Source-document size for the oracle runs. `XIVM_TEST_DOC_BYTES`
 /// shrinks (or grows) it without editing the test, so CI can bound
@@ -15,44 +15,75 @@ fn doc_bytes() -> usize {
     std::env::var("XIVM_TEST_DOC_BYTES").ok().and_then(|v| v.parse().ok()).unwrap_or(40 * 1024)
 }
 
+/// A label-name-rendered form of a view's tuples, for comparisons
+/// *across* databases: raw `LabelId`s are private to each document's
+/// interner, and two equivalent update orders (sequential vs batched)
+/// may intern the same names at different ids.
+fn fingerprint(db: &Database, h: xivm::ViewHandle) -> Vec<String> {
+    db.store(h)
+        .sorted_tuples()
+        .iter()
+        .map(|(t, c)| {
+            let fields: Vec<String> = t
+                .fields()
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{}|{:?}|{:?}",
+                        f.id.display_with(|l| db.document().label_name(l).to_owned()),
+                        f.val,
+                        f.cont
+                    )
+                })
+                .collect();
+            format!("({})x{c}", fields.join(","))
+        })
+        .collect()
+}
+
+/// Oracle: every view of `db` equals its from-scratch evaluation over
+/// the database's current document.
+fn assert_consistent(db: &Database, context: &str) {
+    for h in db.handles() {
+        let pattern = db.pattern(h).clone();
+        let expected = ViewStore::from_counted(&pattern, view_tuples(db.document(), &pattern));
+        assert!(
+            db.store(h).same_content_as(&expected),
+            "{context}: view {} diverged:\n{}",
+            db.name(h),
+            db.store(h).diff_description(&expected)
+        );
+    }
+}
+
 #[test]
-fn engine_matches_recomputation_on_all_pairs_inserts() {
+fn database_matches_recomputation_on_all_pairs_inserts() {
     let doc0 = generate_sized(doc_bytes());
     for view in VIEW_NAMES {
-        let pattern = view_pattern(view);
         for u in updates_for_view(view) {
-            let mut doc = doc0.clone();
-            let mut engine =
-                MaintenanceEngine::new(&doc, pattern.clone(), SnowcapStrategy::MinimalChain);
-            engine.apply_statement(&mut doc, &u.insert_stmt()).unwrap();
-            let expected = ViewStore::from_counted(&pattern, view_tuples(&doc, &pattern));
-            assert!(
-                engine.store().same_content_as(&expected),
-                "{view} + insert {}:\n{}",
-                u.name,
-                engine.store().diff_description(&expected)
-            );
+            let mut db = Database::builder()
+                .document(doc0.clone())
+                .view(view, view_pattern(view))
+                .build()
+                .unwrap();
+            db.apply(u.insert_stmt()).unwrap();
+            assert_consistent(&db, &format!("{view} + insert {}", u.name));
         }
     }
 }
 
 #[test]
-fn engine_matches_recomputation_on_all_pairs_deletes() {
+fn database_matches_recomputation_on_all_pairs_deletes() {
     let doc0 = generate_sized(doc_bytes());
     for view in VIEW_NAMES {
-        let pattern = view_pattern(view);
         for u in updates_for_view(view) {
-            let mut doc = doc0.clone();
-            let mut engine =
-                MaintenanceEngine::new(&doc, pattern.clone(), SnowcapStrategy::MinimalChain);
-            engine.apply_statement(&mut doc, &u.delete_stmt()).unwrap();
-            let expected = ViewStore::from_counted(&pattern, view_tuples(&doc, &pattern));
-            assert!(
-                engine.store().same_content_as(&expected),
-                "{view} + delete {}:\n{}",
-                u.name,
-                engine.store().diff_description(&expected)
-            );
+            let mut db = Database::builder()
+                .document(doc0.clone())
+                .view(view, view_pattern(view))
+                .build()
+                .unwrap();
+            db.apply(u.delete_stmt()).unwrap();
+            assert_consistent(&db, &format!("{view} + delete {}", u.name));
         }
     }
 }
@@ -64,24 +95,25 @@ fn strategies_agree_with_each_other() {
         let pattern = view_pattern(view);
         for u in updates_for_view(view).into_iter().take(2) {
             for stmt in [u.insert_stmt(), u.delete_stmt()] {
-                let mut stores = Vec::new();
-                for strategy in [
-                    SnowcapStrategy::MinimalChain,
-                    SnowcapStrategy::AllSnowcaps,
-                    SnowcapStrategy::LeavesOnly,
-                ] {
-                    let mut doc = doc0.clone();
-                    let mut engine = MaintenanceEngine::new(&doc, pattern.clone(), strategy);
-                    engine.apply_statement(&mut doc, &stmt).unwrap();
-                    stores.push((strategy, engine));
-                }
-                for w in stores.windows(2) {
+                // Same pattern under all three strategies in ONE
+                // database: one shared propagation pass must leave
+                // identical stores.
+                let mut db = Database::builder()
+                    .document(doc0.clone())
+                    .view_with_strategy("mc", pattern.clone(), SnowcapStrategy::MinimalChain)
+                    .view_with_strategy("all", pattern.clone(), SnowcapStrategy::AllSnowcaps)
+                    .view_with_strategy("leaves", pattern.clone(), SnowcapStrategy::LeavesOnly)
+                    .build()
+                    .unwrap();
+                db.apply(&stmt).unwrap();
+                let handles = db.handles();
+                for w in handles.windows(2) {
                     assert!(
-                        w[0].1.store().same_content_as(w[1].1.store()),
-                        "{view} {}: {:?} vs {:?} disagree",
+                        db.store(w[0]).same_content_as(db.store(w[1])),
+                        "{view} {}: {} vs {} disagree",
                         u.name,
-                        w[0].0,
-                        w[1].0
+                        db.name(w[0]),
+                        db.name(w[1])
                     );
                 }
             }
@@ -90,27 +122,30 @@ fn strategies_agree_with_each_other() {
 }
 
 #[test]
-fn ivma_agrees_with_engine_on_small_workloads() {
+fn ivma_agrees_with_database_on_small_workloads() {
     // IVMA is node-at-a-time; keep the workload small but real.
     let doc0 = generate_sized(20 * 1024);
     for view in ["Q1", "Q6"] {
         let pattern = view_pattern(view);
         for u in updates_for_view(view).into_iter().take(2) {
             // insertion
-            let mut d1 = doc0.clone();
-            let mut engine =
-                MaintenanceEngine::new(&d1, pattern.clone(), SnowcapStrategy::MinimalChain);
-            engine.apply_statement(&mut d1, &u.insert_stmt()).unwrap();
+            let mut db = Database::builder()
+                .document(doc0.clone())
+                .view(view, pattern.clone())
+                .build()
+                .unwrap();
+            db.apply(u.insert_stmt()).unwrap();
 
             let mut d2 = doc0.clone();
             let mut ivma = IvmaView::new(&d2, pattern.clone());
             ivma.apply_insert(&mut d2, &u.insert_stmt()).unwrap();
 
+            let h = db.view(view).unwrap();
             assert!(
-                engine.store().same_content_as(ivma.store()),
-                "{view} + insert {}: engine vs IVMA:\n{}",
+                db.store(h).same_content_as(ivma.store()),
+                "{view} + insert {}: database vs IVMA:\n{}",
                 u.name,
-                engine.store().diff_description(ivma.store())
+                db.store(h).diff_description(ivma.store())
             );
         }
     }
@@ -118,9 +153,11 @@ fn ivma_agrees_with_engine_on_small_workloads() {
 
 #[test]
 fn sequences_of_mixed_updates_stay_in_sync() {
-    let mut doc = generate_sized(doc_bytes() / 2);
-    let pattern = view_pattern("Q2");
-    let mut engine = MaintenanceEngine::new(&doc, pattern.clone(), SnowcapStrategy::MinimalChain);
+    let mut db = Database::builder()
+        .document(generate_sized(doc_bytes() / 2))
+        .view("Q2", view_pattern("Q2"))
+        .build()
+        .unwrap();
     let script = [
         updates_for_view("Q2")[0].insert_stmt(),
         updates_for_view("Q2")[1].delete_stmt(),
@@ -129,85 +166,105 @@ fn sequences_of_mixed_updates_stay_in_sync() {
         updates_for_view("Q2")[4].insert_stmt(),
     ];
     for (i, stmt) in script.iter().enumerate() {
-        engine.apply_statement(&mut doc, stmt).unwrap();
-        let expected = ViewStore::from_counted(&pattern, view_tuples(&doc, &pattern));
-        assert!(
-            engine.store().same_content_as(&expected),
-            "diverged at step {i}:\n{}",
-            engine.store().diff_description(&expected)
+        db.apply(stmt).unwrap();
+        assert_consistent(&db, &format!("step {i}"));
+    }
+    db.document().check_invariants().unwrap();
+}
+
+#[test]
+fn transactions_match_sequential_application_on_xmark() {
+    let doc0 = generate_sized(doc_bytes() / 2);
+    let script = [
+        updates_for_view("Q2")[0].insert_stmt(),
+        updates_for_view("Q2")[1].delete_stmt(),
+        updates_for_view("Q6")[0].insert_stmt(),
+        updates_for_view("Q2")[2].insert_stmt(),
+    ];
+    let build = || {
+        Database::builder()
+            .document(doc0.clone())
+            .view("Q2", view_pattern("Q2"))
+            .view("Q6", view_pattern("Q6"))
+            .build()
+            .unwrap()
+    };
+
+    let mut one_by_one = build();
+    for stmt in &script {
+        one_by_one.apply(stmt).unwrap();
+    }
+
+    let mut batched = build();
+    let mut tx = batched.transaction();
+    for stmt in &script {
+        tx = tx.statement(stmt);
+    }
+    let report = tx.commit().unwrap();
+    assert_eq!(report.statements, script.len());
+    assert!(report.optimized_ops <= report.naive_ops);
+
+    assert_eq!(one_by_one.serialize(), batched.serialize(), "documents diverged");
+    for (a, b) in one_by_one.handles().into_iter().zip(batched.handles()) {
+        assert_eq!(
+            fingerprint(&one_by_one, a),
+            fingerprint(&batched, b),
+            "view {} diverged between transaction and sequential apply",
+            one_by_one.name(a)
         );
     }
-    doc.check_invariants().unwrap();
+    assert_consistent(&batched, "post-transaction");
 }
 
 #[test]
 fn q1_annotation_variants_maintained_correctly() {
-    use xivm::update::statement::parse_statement;
     let doc0 = generate_sized(20 * 1024);
-    let del = parse_statement(&format!("delete {}", xivm::xmark::X1_L_PRED)).unwrap();
-    let ins = parse_statement("insert <phone>+1</phone> into /site/people/person").unwrap();
+    let del = format!("delete {}", xivm::xmark::X1_L_PRED);
+    let ins = "insert <phone>+1</phone> into /site/people/person";
     for variant in xivm::xmark::Q1Variant::ALL {
-        let pattern = xivm::xmark::q1_variant(variant);
-        let mut doc = doc0.clone();
-        let mut engine =
-            MaintenanceEngine::new(&doc, pattern.clone(), SnowcapStrategy::MinimalChain);
-        for stmt in [&ins, &del] {
-            engine.apply_statement(&mut doc, stmt).unwrap();
-            let expected = ViewStore::from_counted(&pattern, view_tuples(&doc, &pattern));
-            assert!(
-                engine.store().same_content_as(&expected),
-                "variant {} diverged",
-                variant.name()
-            );
+        let mut db = Database::builder()
+            .document(doc0.clone())
+            .view(variant.name(), xivm::xmark::q1_variant(variant))
+            .build()
+            .unwrap();
+        for stmt in [ins, del.as_str()] {
+            db.apply(stmt).unwrap();
+            assert_consistent(&db, &format!("variant {}", variant.name()));
         }
     }
 }
 
 #[test]
-fn cost_based_engine_is_maintained_correctly() {
-    use xivm::core::costmodel::UpdateProfile;
+fn cost_based_database_is_maintained_correctly() {
     let doc0 = generate_sized(20 * 1024);
     let pattern = view_pattern("Q2");
     // profile extracted from a representative statement log
     let log =
         vec![updates_for_view("Q2")[0].insert_stmt(), updates_for_view("Q2")[1].insert_stmt()];
     let profile = UpdateProfile::from_log(&doc0, &pattern, &log);
-    let mut doc = doc0.clone();
-    let mut engine = MaintenanceEngine::new_cost_based(&doc, pattern.clone(), &profile);
+    let mut db =
+        Database::builder().document(doc0).cost_based(profile).view("Q2", pattern).build().unwrap();
     for u in updates_for_view("Q2") {
         for stmt in [u.insert_stmt(), u.delete_stmt()] {
-            engine.apply_statement(&mut doc, &stmt).unwrap();
-            let expected = ViewStore::from_counted(&pattern, view_tuples(&doc, &pattern));
-            assert!(
-                engine.store().same_content_as(&expected),
-                "cost-based engine diverged on {}:\n{}",
-                u.name,
-                engine.store().diff_description(&expected)
-            );
+            db.apply(stmt).unwrap();
+            assert_consistent(&db, &format!("cost-based {}", u.name));
         }
     }
 }
 
 #[test]
-fn multi_view_engine_on_xmark_workload() {
-    use xivm::core::{MultiViewEngine, SnowcapStrategy};
-    let mut doc = generate_sized(20 * 1024);
-    let mut engine = MultiViewEngine::new(
-        &doc,
-        VIEW_NAMES.map(|v| (v.to_owned(), view_pattern(v), SnowcapStrategy::MinimalChain)),
-    );
+fn multi_view_database_on_xmark_workload() {
+    let mut builder = Database::builder().document(generate_sized(20 * 1024));
+    for v in VIEW_NAMES {
+        builder = builder.view(v, view_pattern(v));
+    }
+    let mut db = builder.build().unwrap();
+    assert_eq!(db.view_names(), VIEW_NAMES.to_vec());
     for u in ["X1_L", "E6_L", "X4_O"] {
-        let upd = xivm::xmark::update_by_name(u);
+        let upd = update_by_name(u);
         for stmt in [upd.insert_stmt(), upd.delete_stmt()] {
-            engine.apply_statement(&mut doc, &stmt).unwrap();
-            for name in VIEW_NAMES {
-                let pattern = view_pattern(name);
-                let expected = ViewStore::from_counted(&pattern, view_tuples(&doc, &pattern));
-                assert!(
-                    engine.view(name).unwrap().store().same_content_as(&expected),
-                    "multi-view {name} diverged after {u}"
-                );
-            }
+            db.apply(stmt).unwrap();
+            assert_consistent(&db, &format!("multi-view after {u}"));
         }
     }
 }

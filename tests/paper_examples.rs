@@ -1,38 +1,42 @@
 //! End-to-end walkthroughs of the paper's running examples, checked
-//! numerically.
+//! numerically against the [`Database`] façade.
 
-use xivm::core::{MaintenanceEngine, SnowcapStrategy, ViewStore};
 use xivm::pattern::compile::view_tuples;
-use xivm::pattern::parse_pattern;
-use xivm::update::statement::parse_statement;
-use xivm::xml::parse_document;
+use xivm::prelude::*;
+
+fn single_view(doc: &str, pattern: &str) -> Database {
+    Database::builder().document(doc).view("v", pattern).build().unwrap()
+}
+
+fn report_of(db: &Database, reports: &[(String, UpdateReport)]) -> UpdateReport {
+    db.report_for(reports, db.view("v").unwrap()).unwrap().clone()
+}
 
 /// Figure 2 / Figure 11: the sample document, and Example 4.1's
 /// deletion of //c//b from the view //a//b.
 #[test]
 fn example_4_1() {
-    let mut doc = parse_document("<a><c><b/></c><f><b/></f></a>").unwrap();
-    let view = parse_pattern("//a{id}//b{id}").unwrap();
-    let mut engine = MaintenanceEngine::new(&doc, view.clone(), SnowcapStrategy::MinimalChain);
-    assert_eq!(engine.store().len(), 2);
-    let stmt = parse_statement("delete //c//b").unwrap();
-    let report = engine.apply_statement(&mut doc, &stmt).unwrap();
+    let mut db = single_view("<a><c><b/></c><f><b/></f></a>", "//a{id}//b{id}");
+    let v = db.view("v").unwrap();
+    assert_eq!(db.store(v).len(), 2);
+    let reports = db.apply("delete //c//b").unwrap();
+    let report = report_of(&db, &reports);
     assert_eq!(report.tuples_removed, 1, "the tuple (a1, a1.c1.b1) must go");
-    assert_eq!(engine.store().len(), 1);
+    assert_eq!(db.store(v).len(), 1);
 }
 
 /// Figure 12 + Example 4.5: the 8-tuple view //a[//c]//b reduced to
 /// tuples 1, 2 and 4 by deleting //a/f/c.
 #[test]
 fn example_4_5() {
-    let mut doc = parse_document("<a><c><b/><b/></c><f><c><b/></c><b/></f></a>").unwrap();
-    let view = parse_pattern("//a{id}[//c{id}]//b{id}").unwrap();
-    let mut engine = MaintenanceEngine::new(&doc, view.clone(), SnowcapStrategy::MinimalChain);
-    assert_eq!(engine.store().len(), 8, "Figure 12 lists 8 tuples");
-    let stmt = parse_statement("delete /a/f/c").unwrap();
-    let report = engine.apply_statement(&mut doc, &stmt).unwrap();
+    let mut db =
+        single_view("<a><c><b/><b/></c><f><c><b/></c><b/></f></a>", "//a{id}[//c{id}]//b{id}");
+    let v = db.view("v").unwrap();
+    assert_eq!(db.store(v).len(), 8, "Figure 12 lists 8 tuples");
+    let reports = db.apply("delete /a/f/c").unwrap();
+    let report = report_of(&db, &reports);
     assert_eq!(report.derivations_removed, 5);
-    assert_eq!(engine.store().len(), 3, "tuples 1, 2 and 4 remain");
+    assert_eq!(db.store(v).len(), 3, "tuples 1, 2 and 4 remain");
     // Proposition 4.2 leaves 4 terms; Δ⁻_a = ∅ leaves 3.
     assert_eq!(report.delete_prune.before, 4);
     assert_eq!(report.delete_prune.after_delta_emptiness, 3);
@@ -42,50 +46,46 @@ fn example_4_5() {
 /// deletions.
 #[test]
 fn example_4_8() {
-    let mut doc = parse_document("<a><c><b/></c><f><b/></f></a>").unwrap();
-    let view = parse_pattern("//a{id}[//b]").unwrap();
-    let mut engine = MaintenanceEngine::new(&doc, view.clone(), SnowcapStrategy::MinimalChain);
-    let key = engine.store().sorted_tuples()[0].0.id_key();
-    assert_eq!(engine.store().count_of(&key), Some(2), "two b-witnesses");
+    let mut db = single_view("<a><c><b/></c><f><b/></f></a>", "//a{id}[//b]");
+    let v = db.view("v").unwrap();
+    let key = db.store(v).sorted_tuples()[0].0.id_key();
+    assert_eq!(db.store(v).count_of(&key), Some(2), "two b-witnesses");
 
-    let stmt = parse_statement("delete //c//b").unwrap();
-    engine.apply_statement(&mut doc, &stmt).unwrap();
-    assert_eq!(engine.store().count_of(&key), Some(1), "count drops to 1, tuple stays");
+    db.apply("delete //c//b").unwrap();
+    assert_eq!(db.store(v).count_of(&key), Some(1), "count drops to 1, tuple stays");
 
-    let stmt = parse_statement("delete //f//b").unwrap();
-    engine.apply_statement(&mut doc, &stmt).unwrap();
-    assert_eq!(engine.store().count_of(&key), None, "count reaches 0, tuple removed");
+    db.apply("delete //f//b").unwrap();
+    assert_eq!(db.store(v).count_of(&key), None, "count reaches 0, tuple removed");
 }
 
 /// Example 3.1 / 3.2: inserting xml1 into a document, only the three
 /// surviving terms contribute; the view gains the right tuples.
 #[test]
 fn examples_3_1_and_3_2() {
-    let mut doc = parse_document("<root><a><b><t/></b></a></root>").unwrap();
-    let view = parse_pattern("//a{id}//b{id}//c{id}").unwrap();
-    let mut engine = MaintenanceEngine::new(&doc, view.clone(), SnowcapStrategy::MinimalChain);
-    assert_eq!(engine.store().len(), 0);
+    let mut db = single_view("<root><a><b><t/></b></a></root>", "//a{id}//b{id}//c{id}");
+    let v = db.view("v").unwrap();
+    assert_eq!(db.store(v).len(), 0);
     // u1 inserts xml1 = <a><b/><b><c/></b></a> under //t
-    let stmt = parse_statement("insert <a><b/><b><c/></b></a> into //t").unwrap();
-    let report = engine.apply_statement(&mut doc, &stmt).unwrap();
+    let reports = db.apply("insert <a><b/><b><c/></b></a> into //t").unwrap();
+    let report = report_of(&db, &reports);
     assert_eq!(report.insert_prune.before, 3, "3 of 7 terms survive Prop 3.3");
     // new embeddings: outer a and b with new c, plus all-new chains
-    let expected = ViewStore::from_counted(&view, view_tuples(&doc, &view));
-    assert!(engine.store().same_content_as(&expected));
-    assert!(!engine.store().is_empty());
+    let pattern = db.pattern(v).clone();
+    let expected = ViewStore::from_counted(&pattern, view_tuples(db.document(), &pattern));
+    assert!(db.store(v).same_content_as(&expected));
+    assert!(!db.store(v).is_empty());
 }
 
 /// Example 3.14: an insertion that only modifies stored content.
 #[test]
 fn example_3_14() {
-    let mut doc = parse_document("<a><b><c><d/></c></b></a>").unwrap();
-    let view = parse_pattern("/a{id}/b{id}//c{id,cont}").unwrap();
-    let mut engine = MaintenanceEngine::new(&doc, view.clone(), SnowcapStrategy::MinimalChain);
-    let stmt = parse_statement("insert <extra>some value</extra> into //d").unwrap();
-    let report = engine.apply_statement(&mut doc, &stmt).unwrap();
+    let mut db = single_view("<a><b><c><d/></c></b></a>", "/a{id}/b{id}//c{id,cont}");
+    let v = db.view("v").unwrap();
+    let reports = db.apply("insert <extra>some value</extra> into //d").unwrap();
+    let report = report_of(&db, &reports);
     assert_eq!(report.tuples_added, 0, "no Δ⁺ relation affects the view");
     assert_eq!(report.tuples_modified, 1, "but c.cont changed");
-    let cont = engine.store().sorted_tuples()[0].0.field(2).cont.clone().unwrap();
+    let cont = db.store(v).sorted_tuples()[0].0.field(2).cont.clone().unwrap();
     assert!(cont.contains("some value"));
 }
 
@@ -100,12 +100,16 @@ fn figures_3_and_4() {
     )
     .unwrap();
     assert_eq!(pattern.to_text(), "//confs//paper{id}/affiliation{id,cont}");
-    let doc = parse_document(
-        "<confs><conf><paper><affiliation>X</affiliation></paper>\
-         <paper><affiliation>Y</affiliation><affiliation>Z</affiliation></paper></conf></confs>",
-    )
-    .unwrap();
-    let tuples = view_tuples(&doc, &pattern);
+    let db = Database::builder()
+        .document(
+            "<confs><conf><paper><affiliation>X</affiliation></paper>\
+             <paper><affiliation>Y</affiliation><affiliation>Z</affiliation></paper></conf></confs>",
+        )
+        .view("papers", pattern)
+        .build()
+        .unwrap();
+    let v = db.view("papers").unwrap();
+    let tuples = db.store(v).sorted_tuples();
     assert_eq!(tuples.len(), 3, "one row per (paper, affiliation) pair");
     assert_eq!(tuples[0].0.field(1).cont.as_deref(), Some("<affiliation>X</affiliation>"));
 }
@@ -120,46 +124,84 @@ fn figures_6_and_7_snowcaps() {
     assert_eq!(enumerate_snowcaps(&v2).len(), 8);
 }
 
-/// Section 5 / Example 5.1-shaped reduction feeding the engine: the
-/// reduced PUL must leave the view exactly as the original sequence.
+/// Section 5 / Example 5.1-shaped reduction feeding the engine: a
+/// transaction must leave the view exactly as the original statement
+/// sequence, while propagating strictly fewer atomic operations than
+/// the naive expansion.
 #[test]
-fn reduced_pul_preserves_view() {
+fn batched_transaction_preserves_view_and_shrinks_the_pul() {
     let src = "<r><x><w/></x><y><b/></y><z/></r>";
-    let view = parse_pattern("//r{id}//b{id}").unwrap();
+    let script = [
+        "insert <b/> into //w",
+        "delete //x",
+        "insert <b>1</b> into //z",
+        "insert <b>2</b> into //z",
+    ];
 
-    let build_pul = |doc: &xivm::xml::Document| {
-        let mut ops = Vec::new();
-        for s in [
-            "insert <b/> into //w",
-            "delete //x",
-            "insert <b>1</b> into //z",
-            "insert <b>2</b> into //z",
-        ] {
-            ops.extend(xivm::update::compute_pul(doc, &parse_statement(s).unwrap()).ops);
-        }
-        xivm::update::Pul::new(ops)
-    };
+    // plain sequential application
+    let mut plain = single_view(src, "//r{id}//b{id}");
+    for s in script {
+        plain.apply(s).unwrap();
+    }
 
-    // plain propagation
-    let mut d1 = parse_document(src).unwrap();
-    let pul = build_pul(&d1);
-    let mut e1 = MaintenanceEngine::new(&d1, view.clone(), SnowcapStrategy::MinimalChain);
-    e1.propagate_pul(&mut d1, &pul).unwrap();
-
-    // reduced propagation
-    let mut d2 = parse_document(src).unwrap();
-    let (reduced, trace) = xivm::pulopt::reduce(&pul);
-    assert!(trace.ops_after < trace.ops_before);
-    let mut e2 = MaintenanceEngine::new(&d2, view.clone(), SnowcapStrategy::MinimalChain);
-    e2.propagate_pul(&mut d2, &reduced).unwrap();
-
-    assert_eq!(
-        xivm::xml::serialize_document(&d1),
-        xivm::xml::serialize_document(&d2),
-        "documents agree"
+    // one batched transaction through the PUL optimizer
+    let mut batched = single_view(src, "//r{id}//b{id}");
+    let mut tx = batched.transaction();
+    for s in script {
+        tx = tx.statement(s);
+    }
+    let report = tx.commit().unwrap();
+    assert_eq!(report.statements, 4);
+    assert!(
+        report.optimized_ops < report.naive_ops,
+        "the optimizer must shrink the batch: {} -> {}",
+        report.naive_ops,
+        report.optimized_ops
     );
-    assert!(e1.store().same_content_as(e2.store()), "views agree");
+    assert!(
+        report.optimized_ops < report.statements,
+        "the reduced PUL must be smaller than the naive statement count"
+    );
+
+    assert_eq!(plain.serialize(), batched.serialize(), "documents agree");
+    let (pv, bv) = (plain.view("v").unwrap(), batched.view("v").unwrap());
+    // Compare across the two databases by label *names*: raw LabelIds
+    // are private to each document's interner, and the optimizer may
+    // reorder (or drop) the operations that intern them.
+    let render = |db: &Database, h: xivm::ViewHandle| -> Vec<String> {
+        db.store(h)
+            .sorted_tuples()
+            .iter()
+            .map(|(t, c)| {
+                let ids: Vec<String> = t
+                    .fields()
+                    .iter()
+                    .map(|f| f.id.display_with(|l| db.document().label_name(l).to_owned()))
+                    .collect();
+                format!("({})x{c}", ids.join(","))
+            })
+            .collect()
+    };
+    assert_eq!(render(&plain, pv), render(&batched, bv), "views agree");
     // and both agree with recomputation
-    let fresh = ViewStore::from_counted(&view, view_tuples(&d1, &view));
-    assert!(e1.store().same_content_as(&fresh));
+    let pattern = batched.pattern(bv).clone();
+    let fresh = ViewStore::from_counted(&pattern, view_tuples(batched.document(), &pattern));
+    assert!(batched.store(bv).same_content_as(&fresh));
+}
+
+/// Example 5.2's conflicting pair must be rejected when a batch is
+/// declared order-independent.
+#[test]
+fn independent_batches_reject_example_5_2_conflicts() {
+    let mut db = single_view("<r><x><y/></x><z/></r>", "//r{id}//b{id}");
+    let err = db
+        .transaction()
+        .independent()
+        .statement("delete //x")
+        .statement("insert <b/> into //x")
+        .commit()
+        .unwrap_err();
+    assert!(matches!(err, Error::Conflict(_)));
+    // the rejected batch left no trace
+    assert_eq!(db.serialize(), "<r><x><y/></x><z/></r>");
 }

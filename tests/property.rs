@@ -1,12 +1,10 @@
 //! Property-based tests over random documents, views and updates.
 
 use proptest::prelude::*;
-use xivm::core::{MaintenanceEngine, SnowcapStrategy, ViewStore};
 use xivm::pattern::compile::view_tuples;
-use xivm::pattern::parse_pattern;
-use xivm::update::UpdateStatement;
+use xivm::prelude::*;
 use xivm::xml::dewey::Step;
-use xivm::xml::{parse_document, DeweyId, LabelId};
+use xivm::xml::{DeweyId, LabelId};
 
 // ---------------------------------------------------------------------
 // Random document generation (small alphabets so patterns hit)
@@ -50,13 +48,69 @@ const PATTERNS: [&str; 6] = [
 const TARGETS: [&str; 4] = ["//a", "//b", "//a//c", "//d"];
 const FORESTS: [&str; 4] = ["<b/>", "<a><b/><c/></a>", "<c><b/></c>", "<d>5</d>"];
 
+const STRATEGIES: [SnowcapStrategy; 3] =
+    [SnowcapStrategy::MinimalChain, SnowcapStrategy::AllSnowcaps, SnowcapStrategy::LeavesOnly];
+
+fn script_statement(t: usize, f: usize, is_insert: bool) -> String {
+    if is_insert {
+        format!("insert {} into {}", FORESTS[f], TARGETS[t])
+    } else {
+        format!("delete {}", TARGETS[t])
+    }
+}
+
+/// A label-name-rendered, document-order form of a view's tuples.
+///
+/// Tuples store raw Dewey steps whose `LabelId`s are private to the
+/// owning document's interner; two databases that went through
+/// different (but equivalent) operation orders may intern the same
+/// label names at different ids. Comparing across databases therefore
+/// has to go through label *names*.
+fn fingerprint(db: &Database, h: ViewHandle) -> Vec<String> {
+    db.store(h)
+        .sorted_tuples()
+        .iter()
+        .map(|(t, c)| {
+            let fields: Vec<String> = t
+                .fields()
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{}|{:?}|{:?}",
+                        f.id.display_with(|l| db.document().label_name(l).to_owned()),
+                        f.val,
+                        f.cont
+                    )
+                })
+                .collect();
+            format!("({})x{c}", fields.join(","))
+        })
+        .collect()
+}
+
+/// Every view of `db` must equal its from-scratch evaluation.
+fn consistent(db: &Database) -> Result<(), TestCaseError> {
+    for h in db.handles() {
+        let pattern = db.pattern(h).clone();
+        let expected = ViewStore::from_counted(&pattern, view_tuples(db.document(), &pattern));
+        prop_assert!(
+            db.store(h).same_content_as(&expected),
+            "view {} diverged:\n{}",
+            db.name(h),
+            db.store(h).diff_description(&expected)
+        );
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
 
-    /// The central invariant: incrementally maintained view ==
-    /// from-scratch evaluation, for random docs and update sequences.
+    /// The central invariant: incrementally maintained views ==
+    /// from-scratch evaluation, for random docs and update sequences
+    /// streamed through the `Database` façade one statement at a time.
     #[test]
-    fn engine_equals_recompute(
+    fn database_equals_recompute(
         doc_xml in arb_doc(),
         pattern_idx in 0usize..PATTERNS.len(),
         script in prop::collection::vec(
@@ -65,30 +119,105 @@ proptest! {
         ),
         strategy_idx in 0usize..3,
     ) {
-        let strategy = [
-            SnowcapStrategy::MinimalChain,
-            SnowcapStrategy::AllSnowcaps,
-            SnowcapStrategy::LeavesOnly,
-        ][strategy_idx];
-        let mut doc = parse_document(&doc_xml).unwrap();
-        let pattern = parse_pattern(PATTERNS[pattern_idx]).unwrap();
-        let mut engine = MaintenanceEngine::new(&doc, pattern.clone(), strategy);
+        let mut db = Database::builder()
+            .document(doc_xml.as_str())
+            .view_with_strategy("v", PATTERNS[pattern_idx], STRATEGIES[strategy_idx])
+            .build()
+            .unwrap();
         for (t, f, is_insert) in script {
-            let stmt = if is_insert {
-                UpdateStatement::insert(TARGETS[t], FORESTS[f]).unwrap()
-            } else {
-                UpdateStatement::delete(TARGETS[t]).unwrap()
-            };
-            engine.apply_statement(&mut doc, &stmt).unwrap();
-            let expected = ViewStore::from_counted(&pattern, view_tuples(&doc, &pattern));
-            prop_assert!(
-                engine.store().same_content_as(&expected),
-                "doc={doc_xml} pattern={} stmt={stmt:?}\n{}",
-                PATTERNS[pattern_idx],
-                engine.store().diff_description(&expected),
-            );
-            doc.check_invariants().map_err(TestCaseError::fail)?;
+            let stmt = script_statement(t, f, is_insert);
+            db.apply(stmt.as_str()).unwrap();
+            consistent(&db)?;
+            db.document().check_invariants().map_err(TestCaseError::fail)?;
         }
+    }
+
+    /// Transaction semantics: a sequential transaction of N statements
+    /// leaves the document and every view's tuple set identical to
+    /// applying the N statements one by one via `apply`.
+    #[test]
+    fn transaction_equals_sequential_apply(
+        doc_xml in arb_doc(),
+        view_idx in 0usize..PATTERNS.len(),
+        script in prop::collection::vec(
+            (0usize..TARGETS.len(), 0usize..FORESTS.len(), prop::bool::ANY),
+            1..5
+        ),
+        strategy_idx in 0usize..3,
+    ) {
+        // two views so the shared propagation pass is exercised
+        let other = (view_idx + 1) % PATTERNS.len();
+        let build = || Database::builder()
+            .document(doc_xml.as_str())
+            .view_with_strategy("primary", PATTERNS[view_idx], STRATEGIES[strategy_idx])
+            .view("secondary", PATTERNS[other])
+            .build()
+            .unwrap();
+
+        let mut one_by_one = build();
+        for &(t, f, is_insert) in &script {
+            one_by_one.apply(script_statement(t, f, is_insert).as_str()).unwrap();
+        }
+
+        let mut batched = build();
+        let mut tx = batched.transaction();
+        for &(t, f, is_insert) in &script {
+            tx = tx.statement(script_statement(t, f, is_insert).as_str());
+        }
+        let report = tx.commit().unwrap();
+        prop_assert_eq!(report.statements, script.len());
+        prop_assert!(report.optimized_ops <= report.naive_ops);
+
+        prop_assert!(
+            one_by_one.serialize() == batched.serialize(),
+            "doc={doc_xml} script={script:?}\nseq={}\nbat={}",
+            one_by_one.serialize(),
+            batched.serialize()
+        );
+        for (a, b) in one_by_one.handles().into_iter().zip(batched.handles()) {
+            prop_assert!(
+                fingerprint(&one_by_one, a) == fingerprint(&batched, b),
+                "view {} diverged: doc={doc_xml} script={script:?}\nseq={:?}\nbat={:?}",
+                one_by_one.name(a),
+                fingerprint(&one_by_one, a),
+                fingerprint(&batched, b)
+            );
+        }
+        consistent(&batched)?;
+        batched.document().check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    /// Independent (order-independent) transactions either reject with
+    /// `Error::Conflict` — leaving the database untouched — or commit
+    /// to a state where every view equals recomputation.
+    #[test]
+    fn independent_transaction_rejects_or_commits_consistently(
+        doc_xml in arb_doc(),
+        view_idx in 0usize..PATTERNS.len(),
+        script in prop::collection::vec(
+            (0usize..TARGETS.len(), 0usize..FORESTS.len(), prop::bool::ANY),
+            1..4
+        ),
+    ) {
+        let mut db = Database::builder()
+            .document(doc_xml.as_str())
+            .view("v", PATTERNS[view_idx])
+            .build()
+            .unwrap();
+        let before = db.serialize();
+        let mut tx = db.transaction().independent();
+        for &(t, f, is_insert) in &script {
+            tx = tx.statement(script_statement(t, f, is_insert).as_str());
+        }
+        match tx.commit() {
+            Err(Error::Conflict(conflicts)) => {
+                prop_assert!(!conflicts.is_empty());
+                prop_assert_eq!(db.serialize(), before, "rejected batch must be a no-op");
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+            Ok(_) => {}
+        }
+        consistent(&db)?;
     }
 
     /// Algebraic evaluation == embedding semantics on random documents.
@@ -163,8 +292,8 @@ proptest! {
         let mut optimized = parse_document(&doc_xml).unwrap();
         xivm::update::apply_pul(&mut optimized, &reduced).unwrap();
         prop_assert_eq!(
-            xivm::xml::serialize_document(&plain),
-            xivm::xml::serialize_document(&optimized)
+            serialize_document(&plain),
+            serialize_document(&optimized)
         );
     }
 
@@ -185,8 +314,8 @@ proptest! {
     #[test]
     fn serializer_fixpoint(doc_xml in arb_doc()) {
         let d = parse_document(&doc_xml).unwrap();
-        let s1 = xivm::xml::serialize_document(&d);
+        let s1 = serialize_document(&d);
         let d2 = parse_document(&s1).unwrap();
-        prop_assert_eq!(s1, xivm::xml::serialize_document(&d2));
+        prop_assert_eq!(s1, serialize_document(&d2));
     }
 }
