@@ -10,6 +10,12 @@
 //! Relations are ordered bags of [`Tuple`]s over a [`Schema`] of view
 //! columns; each tuple field carries a structural ID and, when the view
 //! stores them, the node's value and/or serialized content.
+//!
+//! Module map: [`relation`] / [`mod@tuple`] (ordered bags over schemas),
+//! [`logical`] + [`ops`] + [`predicate`] (the algebra **A**),
+//! [`structjoin`] / [`twigjoin`] / [`pathops`] (physical operators).
+//! The workspace-wide picture, with this crate's row, lives in
+//! `ARCHITECTURE.md` at the repository root.
 
 pub mod logical;
 pub mod ops;

@@ -1,0 +1,98 @@
+//! Parallel multi-view propagation sweep: the full XMark view catalog
+//! maintained together under one shared update stream, at 1/2/4/8
+//! workers (`XIVM_WORKERS` at runtime picks the same knob).
+//!
+//! This is the fan-out the ROADMAP names on top of the Figures 18–28
+//! cost: the per-update work that does not depend on the view (target
+//! finding, the document mutation) is shared, and the per-view phases
+//! run on the `xivm_core::parallel` worker pool. The sweep reports
+//! wall time for the whole update stream per worker count and the
+//! speedup over the 1-worker (sequential) pass; views and document
+//! are rebuilt per repetition so every measurement starts cold.
+//!
+//! Worker counts beyond the machine's core count cannot speed
+//! anything up — on a single-core host every row measures scheduler
+//! overhead only, so the sweep prints the available parallelism
+//! alongside the results.
+
+use std::time::Instant;
+use xivm_bench::{figure_header, ms, repetitions, row};
+use xivm_core::{MultiViewEngine, SnowcapStrategy};
+use xivm_update::UpdateStatement;
+use xivm_xmark::sizes::reference_size;
+use xivm_xmark::{generate_sized, updates_for_view, view_pattern, VIEW_NAMES};
+use xivm_xml::Document;
+
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn catalog_engine(doc: &Document) -> MultiViewEngine {
+    MultiViewEngine::new(
+        doc,
+        VIEW_NAMES.iter().map(|v| (v.to_string(), view_pattern(v), SnowcapStrategy::MinimalChain)),
+    )
+}
+
+/// One insert and one delete per catalog view: a stream that touches
+/// every view at least once, so the per-view phases carry real work.
+fn update_stream() -> Vec<UpdateStatement> {
+    let mut stream = Vec::new();
+    for view in VIEW_NAMES {
+        if let Some(u) = updates_for_view(view).first() {
+            stream.push(u.insert_stmt());
+            stream.push(u.delete_stmt());
+        }
+    }
+    stream
+}
+
+fn main() {
+    let size = reference_size();
+    let doc = generate_sized(size.bytes);
+    let stream = update_stream();
+    let reps = repetitions();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    figure_header(
+        "Parallel sweep",
+        &format!(
+            "multi-view propagation, {} views x {} statements, {} document, {cores} core(s)",
+            VIEW_NAMES.len(),
+            stream.len(),
+            size.label
+        ),
+    );
+    row(&[
+        "workers".to_owned(),
+        "propagate_ms".to_owned(),
+        "speedup_vs_1_worker".to_owned(),
+        "groups_avg".to_owned(),
+    ]);
+
+    let mut baseline_ms = None;
+    for workers in WORKER_SWEEP {
+        let mut total = 0.0;
+        let mut groups_total = 0usize;
+        let mut group_samples = 0usize;
+        for _ in 0..reps {
+            let mut d = doc.clone();
+            let mut engine = catalog_engine(&d);
+            engine.set_workers(workers);
+            for stmt in &stream {
+                let pul = xivm_update::compute_pul(&d, stmt);
+                groups_total += engine.partition(&d, &pul).len();
+                group_samples += 1;
+                let start = Instant::now();
+                engine.propagate_pul(&mut d, &pul).expect("propagation succeeds");
+                total += ms(start.elapsed());
+            }
+        }
+        let avg = total / reps as f64;
+        let baseline = *baseline_ms.get_or_insert(avg);
+        row(&[
+            workers.to_string(),
+            format!("{avg:.3}"),
+            format!("{:.2}", baseline / avg),
+            format!("{:.1}", groups_total as f64 / group_samples as f64),
+        ]);
+    }
+}

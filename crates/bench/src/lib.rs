@@ -4,6 +4,20 @@
 //! `benches/` (plain `harness = false` binaries, so `cargo bench`
 //! regenerates every figure); this crate holds the measurement and
 //! table-printing helpers they share.
+//!
+//! Runner ↔ figure map: `fig18_19_breakdown` (phase breakdowns),
+//! `fig20_21_all_views` (all view/update pairs), `fig22_23_path_depth`
+//! (deletion path depth), `fig24_annotations` (annotation impact),
+//! `fig25_scalability` (document-size ladder), `fig26_27_vs_full`
+//! (vs. recomputation), `fig28_vs_ivma` (vs. node-at-a-time IVMA),
+//! `fig29_32_snowcaps` (snowcaps vs. leaves only), `fig33_35_pul_rules`
+//! (PUL reduction rules), `fig_parallel` (multi-view worker-pool
+//! sweep), plus `tablea_testset`, `ablation` and the `micro`
+//! criterion benches. Environment knobs (`XIVM_FULL`, `XIVM_BENCH_MS`,
+//! `XIVM_WORKERS`) and the committed-baseline workflow are documented
+//! in the README's **Benchmarks** section; the `xivm_bench` row of
+//! `ARCHITECTURE.md` (repository root) places the runners in the
+//! workspace-wide picture.
 
 use std::time::Duration;
 use xivm_core::{MaintenanceEngine, SnowcapStrategy, Timings, UpdateReport};

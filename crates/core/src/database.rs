@@ -178,6 +178,7 @@ pub struct DatabaseBuilder {
     views: Vec<ViewSpec>,
     default_strategy: SnowcapStrategy,
     default_profile: Option<UpdateProfile>,
+    workers: Option<usize>,
 }
 
 impl Default for DatabaseBuilder {
@@ -187,6 +188,7 @@ impl Default for DatabaseBuilder {
             views: Vec::new(),
             default_strategy: SnowcapStrategy::MinimalChain,
             default_profile: None,
+            workers: None,
         }
     }
 }
@@ -240,6 +242,16 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Sets the worker pool size for per-view propagation (see
+    /// [`crate::parallel`]). 1 means sequential; an explicit setting
+    /// overrides the `XIVM_WORKERS` environment variable, which is the
+    /// default when this is never called. Propagation results are
+    /// bit-identical at every worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
     /// Parses everything, materializes every view and hands back the
     /// owning [`Database`].
     pub fn build(self) -> Result<Database, Error> {
@@ -264,7 +276,9 @@ impl DatabaseBuilder {
             };
             engines.push((spec.name, engine));
         }
-        Ok(Database { views: MultiViewEngine::from_engines(engines), doc })
+        let mut views = MultiViewEngine::from_engines(engines);
+        views.set_workers(crate::parallel::effective_workers(self.workers));
+        Ok(Database { views, doc })
     }
 }
 
@@ -348,6 +362,12 @@ impl Database {
     /// (timings, snowcaps, prune statistics).
     pub fn engine(&self, view: ViewHandle) -> &MaintenanceEngine {
         self.views.get(view.0).expect("handle from this database").1
+    }
+
+    /// The worker pool size used for per-view propagation (builder's
+    /// `.workers(n)`, else `XIVM_WORKERS`, else 1).
+    pub fn workers(&self) -> usize {
+        self.views.workers()
     }
 
     /// Applies one update statement (text or [`UpdateStatement`]) and
@@ -771,6 +791,33 @@ mod tests {
         db.apply("insert <c><b/></c> into /a/f").unwrap();
         db.apply("delete /a/c").unwrap();
         check_consistent(&db);
+    }
+
+    #[test]
+    fn worker_knob_keeps_results_identical() {
+        let build = |workers: usize| {
+            Database::builder()
+                .document(FIG12)
+                .view("ab", "//a{id}//b{id}")
+                .view("acb", "//a{id}[//c{id}]//b{id}")
+                .view("c_cont", "//c{id,cont}")
+                .workers(workers)
+                .build()
+                .unwrap()
+        };
+        let mut seq = build(1);
+        assert_eq!(seq.workers(), 1);
+        let mut par = build(4);
+        assert_eq!(par.workers(), 4);
+        for script in ["insert <b/> into //c", "delete /a/f", "insert <c><b/></c> into /a"] {
+            seq.apply(script).unwrap();
+            par.apply(script).unwrap();
+        }
+        assert_eq!(seq.serialize(), par.serialize());
+        for (a, b) in seq.handles().into_iter().zip(par.handles()) {
+            assert!(seq.store(a).same_content_as(par.store(b)));
+        }
+        check_consistent(&par);
     }
 
     #[test]

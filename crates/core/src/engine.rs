@@ -200,9 +200,14 @@ impl MaintenanceEngine {
 
     /// Completes propagation after the PUL was applied to the document
     /// (the counterpart of [`Self::prepare`]).
+    ///
+    /// Takes the document read-only: this phase only mutates the
+    /// engine's own store and snowcaps, which is what lets a
+    /// multi-view host fan `finish` out across threads
+    /// (see [`crate::parallel`]).
     pub fn finish(
         &mut self,
-        doc: &mut Document,
+        doc: &Document,
         apply_res: &xivm_update::ApplyResult,
         prepared: PreparedUpdate,
     ) -> UpdateReport {

@@ -21,6 +21,11 @@
 //! * [`view_store`] — the materialized view with derivation counts;
 //! * [`engine`] — the end-to-end [`engine::MaintenanceEngine`] with the
 //!   per-phase [`timing::Timings`] breakdown reported in Section 6;
+//! * [`multiview`] / [`parallel`] — the shared multi-view pass
+//!   (Section 3.5) and its worker-pool fan-out: views are partitioned
+//!   into order-independent groups with the Figure 15 rules and the
+//!   per-view phases run on scoped threads, bit-identical to the
+//!   sequential pass;
 //! * [`database`] — the [`database::Database`] façade owning the
 //!   document and all named views, with batched
 //!   [`database::Transaction`]s through the Section 5 PUL optimizer.
@@ -33,6 +38,7 @@ pub mod etins;
 pub mod expand;
 pub mod lattice;
 pub mod multiview;
+pub mod parallel;
 pub mod pddt;
 pub mod pdmt;
 pub mod pimt;

@@ -13,6 +13,7 @@
 
 use crate::engine::{MaintenanceEngine, UpdateReport};
 use crate::error::Error;
+use crate::parallel::{self, PropagationPlan};
 use crate::strategy::SnowcapStrategy;
 use crate::timing::timed;
 use std::collections::HashMap;
@@ -24,11 +25,18 @@ use xivm_xml::Document;
 ///
 /// Views are looked up by name through an index map; iteration orders
 /// (`names()`, per-view reports) remain the declaration order.
+///
+/// The per-view propagation phases fan out across a worker pool when
+/// [`Self::set_workers`] (or the `XIVM_WORKERS` environment variable)
+/// asks for more than one worker — see [`crate::parallel`]. Results
+/// are bit-identical to the sequential pass either way.
 pub struct MultiViewEngine {
     views: Vec<(String, MaintenanceEngine)>,
     /// Name → position in `views`. On duplicate names the first
     /// declaration wins, matching the previous linear-scan behavior.
     index: HashMap<String, usize>,
+    /// Worker pool size for the per-view phases (1 = sequential).
+    workers: usize,
 }
 
 impl MultiViewEngine {
@@ -54,7 +62,19 @@ impl MultiViewEngine {
         for (i, (name, _)) in views.iter().enumerate() {
             index.entry(name.clone()).or_insert(i);
         }
-        MultiViewEngine { views, index }
+        MultiViewEngine { views, index, workers: parallel::effective_workers(None) }
+    }
+
+    /// Sets the worker pool size for the per-view propagation phases
+    /// (clamped to at least 1; 1 = sequential). Overrides the
+    /// `XIVM_WORKERS` default picked up at construction.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// The configured worker pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     pub fn len(&self) -> usize {
@@ -110,24 +130,52 @@ impl MultiViewEngine {
     /// Propagates an already-computed (possibly optimizer-reduced,
     /// Section 5) PUL to all views in one shared pass: per-view
     /// pre-update capture, one document update, per-view Δ extraction.
+    ///
+    /// With more than one configured worker the per-view phases fan
+    /// out across scoped threads grouped by the Figure 15 partition
+    /// ([`Self::partition`]); reports come back merged in declaration
+    /// order and every view's state is bit-identical to the
+    /// sequential pass.
     pub fn propagate_pul(
         &mut self,
         doc: &mut Document,
         pul: &Pul,
     ) -> Result<Vec<(String, UpdateReport)>, Error> {
+        let workers = self.workers.min(self.views.len()).max(1);
+        // Scheduling groups against the intact document (deletion
+        // footprints need the doomed subtrees still present).
+        let groups = if workers > 1 {
+            let patterns: Vec<&TreePattern> = self.views.iter().map(|(_, e)| e.pattern()).collect();
+            parallel::schedule_groups(doc, pul, &patterns)
+        } else {
+            PropagationPlan::single_group(self.views.len()).groups
+        };
         // Per-view pre-update capture against the intact document.
-        let prepared: Vec<_> = self.views.iter().map(|(_, e)| e.prepare(doc, pul)).collect();
+        let prepared = parallel::prepare_all(&self.views, doc, pul, workers);
         // One document update.
         let (apply_res, t_apply) = timed(|| apply_pul(doc, pul));
         let apply_res = apply_res?;
-        // Per-view propagation.
-        let mut out = Vec::with_capacity(self.views.len());
-        for ((name, engine), prep) in self.views.iter_mut().zip(prepared) {
-            let mut report = engine.finish(doc, &apply_res, prep);
+        // Per-view propagation, fanned out over the groups.
+        let mut out =
+            parallel::finish_all(&mut self.views, doc, &apply_res, prepared, &groups, workers);
+        for (_, report) in &mut out {
             report.timings.apply_document = t_apply;
-            out.push((name.clone(), report));
         }
         Ok(out)
+    }
+
+    /// The Figure 15 partition of the views under `pul`: views in
+    /// distinct groups have order-independent PUL projections (they
+    /// could live on different shards). Exactly the grouping a
+    /// multi-worker `propagate_pul` schedules — both go through
+    /// [`crate::parallel::schedule_groups`]; with one worker the
+    /// sequential pass runs all views as a single merged group
+    /// instead. For the per-view op projections themselves (the
+    /// shard-assignment detail), see
+    /// [`crate::parallel::PropagationPlan`].
+    pub fn partition(&self, doc: &Document, pul: &Pul) -> Vec<Vec<usize>> {
+        let patterns: Vec<&TreePattern> = self.views.iter().map(|(_, e)| e.pattern()).collect();
+        parallel::schedule_groups(doc, pul, &patterns)
     }
 }
 
@@ -213,6 +261,70 @@ mod tests {
         let reports = engine.apply_statement(&mut doc, &stmt).unwrap();
         let order: Vec<&str> = reports.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(order, vec!["ab", "acb", "c_cont"]);
+    }
+
+    #[test]
+    fn parallel_propagation_matches_sequential_exactly() {
+        // workers beyond the view count, equal to it, and degenerate 1
+        for workers in [1usize, 2, 3, 8] {
+            let (mut seq_doc, mut seq) = multi();
+            let (mut par_doc, mut par) = multi();
+            seq.set_workers(1);
+            par.set_workers(workers);
+            for stmt_text in [
+                "insert <b/> into //c",
+                "delete /a/f/c",
+                "insert <c><b/></c> into /a",
+                "delete //b",
+            ] {
+                let stmt = parse_statement(stmt_text).unwrap();
+                let seq_reports = seq.apply_statement(&mut seq_doc, &stmt).unwrap();
+                let par_reports = par.apply_statement(&mut par_doc, &stmt).unwrap();
+                assert_eq!(
+                    xivm_xml::serialize_document(&seq_doc),
+                    xivm_xml::serialize_document(&par_doc)
+                );
+                for ((n1, r1), (n2, r2)) in seq_reports.iter().zip(&par_reports) {
+                    assert_eq!(n1, n2, "report order must stay declaration order");
+                    assert_eq!(r1.tuples_added, r2.tuples_added, "{n1} after {stmt_text}");
+                    assert_eq!(r1.tuples_removed, r2.tuples_removed, "{n1} after {stmt_text}");
+                    assert_eq!(r1.tuples_modified, r2.tuples_modified, "{n1} after {stmt_text}");
+                    assert_eq!(r1.derivations_added, r2.derivations_added);
+                    assert_eq!(r1.derivations_removed, r2.derivations_removed);
+                }
+                for name in seq.names() {
+                    assert!(
+                        seq.view(name)
+                            .unwrap()
+                            .store()
+                            .same_content_as(par.view(name).unwrap().store()),
+                        "view {name} diverged under {workers} workers after {stmt_text}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workers_knob_clamps_and_reports() {
+        let (_, mut engine) = multi();
+        engine.set_workers(0);
+        assert_eq!(engine.workers(), 1);
+        engine.set_workers(4);
+        assert_eq!(engine.workers(), 4);
+    }
+
+    #[test]
+    fn partition_separates_label_disjoint_views() {
+        let (doc, engine) = multi();
+        // all three fixture views bind b or c → one shared group for a
+        // PUL with distinct conflicting ops is possible, but a plain
+        // insert has one op: no distinct conflicting pair, so every
+        // view is its own group.
+        let stmt = parse_statement("insert <b/> into //c").unwrap();
+        let pul = xivm_update::compute_pul(&doc, &stmt);
+        let groups = engine.partition(&doc, &pul);
+        assert_eq!(groups, vec![vec![0], vec![1], vec![2]]);
     }
 
     #[test]

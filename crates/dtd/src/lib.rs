@@ -9,6 +9,11 @@
 //! `Δ⁺_a ≠ ∅ ⇒ Δ⁺_b ≠ ∅ ∧ Δ⁺_c ≠ ∅` (siblings grouped under a
 //! repetition must be inserted together) — and check them before an
 //! update is applied.
+//!
+//! Module map: [`grammar`] (Figure 5 grammars), [`regex`] (rule
+//! right-hand sides), [`analysis`] (deriving Δ⁺ constraints),
+//! [`check`] (the runtime check of Section 3.3). See the
+//! `xivm_dtd` table in `ARCHITECTURE.md` at the repository root.
 
 pub mod analysis;
 pub mod check;

@@ -7,6 +7,10 @@
 //!   updates are applied one node at a time and each node is
 //!   propagated individually by navigating the document, with no
 //!   structural joins and no bulk Δ tables.
+//!
+//! Both baselines are driven by the Figure 26–28 runners in
+//! `xivm_bench`; their rows in `ARCHITECTURE.md` (repository root)
+//! place them in the workspace-wide picture.
 
 pub mod ivma;
 pub mod recompute;

@@ -44,61 +44,59 @@ pub enum ConflictPolicy {
     SecondWins,
 }
 
+/// The Figure 15 relation on a *single pair* of atomic operations:
+/// `Some((kind, left_overridden))` when running them in the two
+/// possible orders can produce different documents, `None` when the
+/// pair commutes.
+///
+/// * two `ins↘` on the same target → IO (symmetric, the flag is
+///   always `false`);
+/// * a `del` and an `ins↘` on the same target → LO, the deletion is
+///   the overridden operation (the paper marks op1 = `del` as
+///   overridden by op2);
+/// * a `del` whose target is a proper ancestor of the other's `ins↘`
+///   target → NLO.
+///
+/// [`find_conflicts`] applies this pairwise over two whole PULs;
+/// [`crate::partition`] applies it over op *projections* of one PUL.
+pub fn op_conflict(a: &AtomicOp, b: &AtomicOp) -> Option<(ConflictKind, bool)> {
+    match (a, b) {
+        (AtomicOp::InsertInto { target: ta, .. }, AtomicOp::InsertInto { target: tb, .. })
+            if ta == tb =>
+        {
+            Some((ConflictKind::InsertionOrder, false))
+        }
+        (AtomicOp::Delete { node }, AtomicOp::InsertInto { target, .. }) => {
+            if node == target {
+                // the deletion (left) is overridden: its effect hides
+                // the insertion — order-dependent.
+                Some((ConflictKind::LocalOverride, true))
+            } else if node.is_ancestor_of(target) {
+                Some((ConflictKind::NonLocalOverride, true))
+            } else {
+                None
+            }
+        }
+        (AtomicOp::InsertInto { target, .. }, AtomicOp::Delete { node }) => {
+            if node == target {
+                Some((ConflictKind::LocalOverride, false))
+            } else if node.is_ancestor_of(target) {
+                Some((ConflictKind::NonLocalOverride, false))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
 /// Detects all IO / LO / NLO conflicts between two PULs.
 pub fn find_conflicts(first: &Pul, second: &Pul) -> Vec<Conflict> {
     let mut out = Vec::new();
     for (i, a) in first.ops.iter().enumerate() {
         for (j, b) in second.ops.iter().enumerate() {
-            match (a, b) {
-                (
-                    AtomicOp::InsertInto { target: ta, .. },
-                    AtomicOp::InsertInto { target: tb, .. },
-                ) if ta == tb => {
-                    out.push(Conflict {
-                        kind: ConflictKind::InsertionOrder,
-                        left_idx: i,
-                        right_idx: j,
-                        left_overridden: false,
-                    });
-                }
-                (AtomicOp::Delete { node }, AtomicOp::InsertInto { target, .. }) => {
-                    if node == target {
-                        // the deletion (left) is overridden: its effect
-                        // hides the insertion — order-dependent; the
-                        // paper marks op1 (del) as overridden by op2.
-                        out.push(Conflict {
-                            kind: ConflictKind::LocalOverride,
-                            left_idx: i,
-                            right_idx: j,
-                            left_overridden: true,
-                        });
-                    } else if node.is_ancestor_of(target) {
-                        out.push(Conflict {
-                            kind: ConflictKind::NonLocalOverride,
-                            left_idx: i,
-                            right_idx: j,
-                            left_overridden: true,
-                        });
-                    }
-                }
-                (AtomicOp::InsertInto { target, .. }, AtomicOp::Delete { node }) => {
-                    if node == target {
-                        out.push(Conflict {
-                            kind: ConflictKind::LocalOverride,
-                            left_idx: i,
-                            right_idx: j,
-                            left_overridden: false,
-                        });
-                    } else if node.is_ancestor_of(target) {
-                        out.push(Conflict {
-                            kind: ConflictKind::NonLocalOverride,
-                            left_idx: i,
-                            right_idx: j,
-                            left_overridden: false,
-                        });
-                    }
-                }
-                _ => {}
+            if let Some((kind, left_overridden)) = op_conflict(a, b) {
+                out.push(Conflict { kind, left_idx: i, right_idx: j, left_overridden });
             }
         }
     }

@@ -9,6 +9,10 @@
 //! * **Conflict rules** ([`conflict`]): IO, LO and NLO (Figure 15) —
 //!   detect order-dependence between two PULs to be run in parallel,
 //!   with pluggable resolution policies;
+//! * **Partitioning** ([`partition`]): the Figure 15 rules lifted to
+//!   sets of PULs and to per-view op projections of one shared PUL —
+//!   the grouping the parallel propagation scheduler and the sharding
+//!   direction both use;
 //! * **Aggregation rules** ([`mod@aggregate`]): A1, A2 and D6 (Figure 16)
 //!   — merge two PULs to be run sequentially into one.
 //!
@@ -17,8 +21,15 @@
 
 pub mod aggregate;
 pub mod conflict;
+pub mod partition;
 pub mod reduce;
 
 pub use aggregate::{aggregate, AggregationOutcome};
-pub use conflict::{find_conflicts, integrate, Conflict, ConflictKind, ConflictPolicy};
+pub use conflict::{
+    find_conflicts, integrate, op_conflict, Conflict, ConflictKind, ConflictPolicy,
+};
+pub use partition::{
+    internal_conflict_pairs, partition_by, partition_projections, partition_puls,
+    projections_conflict,
+};
 pub use reduce::{reduce, ReductionTrace};

@@ -9,6 +9,12 @@
 //!   assigning Dewey IDs to the copied trees as a side effect;
 //! * [`delta`] — the Δ⁺ / Δ⁻ tables (Algorithm 2, CD+ and its deletion
 //!   counterpart CD−).
+//!
+//! A statement flows `statement` → [`compute_pul`] → (optionally the
+//! Section 5 optimizer in `xivm_pulopt`) → [`apply_pul`], with the
+//! [`delta`] tables extracted on both sides of the mutation — the
+//! apply → optimize → propagate pipeline drawn in `ARCHITECTURE.md`
+//! at the repository root.
 
 pub mod apply;
 pub mod delta;

@@ -13,6 +13,11 @@
 //! * [`updates`] — the update catalog of Appendix A (classes L, LB,
 //!   A, O, AO), each usable as an insertion or a deletion;
 //! * [`sizes`] — the document-size ladder of the experiments.
+//!
+//! Scale knobs: `XIVM_FULL=1` switches [`sizes`] to the paper's
+//! 100 KB – 50 MB ladder; the quick-mode defaults keep `cargo bench`
+//! in minutes. The `xivm_xmark` table in `ARCHITECTURE.md`
+//! (repository root) maps every module to its Appendix A anchor.
 
 pub mod generator;
 pub mod sizes;

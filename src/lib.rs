@@ -35,6 +35,13 @@
 //! [`ViewHandle`], failures are the workspace-wide [`Error`] enum
 //! (`Xml`, `Pattern`, `Statement`, `Conflict`, `UnknownView`, …).
 //!
+//! Propagation to many views fans out across a worker pool: set
+//! `.workers(n)` on the builder (or the `XIVM_WORKERS` environment
+//! variable) and the per-view phases run on scoped threads, grouped
+//! by the Figure 15 conflict partition — results are bit-identical to
+//! the sequential pass at every worker count (see
+//! [`core::parallel`]).
+//!
 //! ## Migrating from the low-level engine API
 //!
 //! The plumbing stays public (the bench targets and the paper's
