@@ -1,0 +1,135 @@
+//! Commit-report overhead: what does the delta-first API cost on top
+//! of plain propagation?
+//!
+//! The full XMark view catalog is maintained under one shared update
+//! stream three ways:
+//!
+//! * `plain` — `MultiViewEngine::propagate_pul` with Δ harvesting off
+//!   (`set_collect_deltas(false)`): the pre-delta-API behavior, views
+//!   are patched and the deltas thrown away;
+//! * `report` — the same engine with harvesting on: every propagation
+//!   additionally clones its store patches into the per-view
+//!   [`xivm_core::ViewDelta`]s a `Commit` carries;
+//! * `facade` — the whole `Database::apply` path with one subscriber
+//!   on every view, drained (and its deltas replayed onto replicas)
+//!   after each commit: the end-to-end changefeed cost.
+//!
+//! Reported: wall time per mode for the whole stream, overhead vs
+//! `plain`, and the total delta entries harvested — the O(|Δ|) a
+//! consumer processes instead of re-reading stores.
+
+use std::time::Instant;
+use xivm_bench::{figure_header, ms, repetitions, row};
+use xivm_core::database::Database;
+use xivm_core::{MultiViewEngine, SnowcapStrategy, ViewStore};
+use xivm_update::UpdateStatement;
+use xivm_xmark::sizes::reference_size;
+use xivm_xmark::{generate_sized, updates_for_view, view_pattern, VIEW_NAMES};
+use xivm_xml::Document;
+
+fn catalog_engine(doc: &Document) -> MultiViewEngine {
+    MultiViewEngine::new(
+        doc,
+        VIEW_NAMES.iter().map(|v| (v.to_string(), view_pattern(v), SnowcapStrategy::MinimalChain)),
+    )
+}
+
+fn catalog_database(doc: &Document) -> Database {
+    let mut b = Database::builder().document(doc.clone());
+    for v in VIEW_NAMES {
+        b = b.view(v, view_pattern(v));
+    }
+    b.build().expect("catalog database builds")
+}
+
+/// One insert and one delete per catalog view (the `fig_parallel`
+/// stream): every view sees real delta traffic.
+fn update_stream() -> Vec<UpdateStatement> {
+    let mut stream = Vec::new();
+    for view in VIEW_NAMES {
+        if let Some(u) = updates_for_view(view).first() {
+            stream.push(u.insert_stmt());
+            stream.push(u.delete_stmt());
+        }
+    }
+    stream
+}
+
+fn main() {
+    let size = reference_size();
+    let doc = generate_sized(size.bytes);
+    let stream = update_stream();
+    let reps = repetitions();
+
+    figure_header(
+        "Delta report overhead",
+        &format!(
+            "commit reports vs plain propagation, {} views x {} statements, {} document",
+            VIEW_NAMES.len(),
+            stream.len(),
+            size.label
+        ),
+    );
+    row(&[
+        "mode".to_owned(),
+        "total_ms".to_owned(),
+        "overhead_vs_plain".to_owned(),
+        "delta_entries".to_owned(),
+    ]);
+
+    let mut baseline_ms = None;
+    for mode in ["plain", "report", "facade"] {
+        let mut total = 0.0;
+        let mut delta_entries = 0usize;
+        for _ in 0..reps {
+            match mode {
+                "facade" => {
+                    let mut db = catalog_database(&doc);
+                    let handles = db.handles();
+                    let subs: Vec<_> = handles.iter().map(|&h| db.subscribe(h)).collect();
+                    let mut replicas: Vec<ViewStore> =
+                        handles.iter().map(|&h| db.store(h).clone()).collect();
+                    for stmt in &stream {
+                        let start = Instant::now();
+                        let commit = db.apply(stmt).expect("catalog updates apply");
+                        delta_entries +=
+                            handles.iter().map(|&h| commit.delta(h).len()).sum::<usize>();
+                        for (sub, replica) in subs.iter().zip(replicas.iter_mut()) {
+                            for event in db.drain(sub) {
+                                event.delta.replay(replica);
+                            }
+                        }
+                        total += ms(start.elapsed());
+                    }
+                    for (&h, replica) in handles.iter().zip(&replicas) {
+                        assert!(
+                            replica.identical_to(db.store(h)),
+                            "replayed replicas must track the live views"
+                        );
+                    }
+                }
+                _ => {
+                    let mut d = doc.clone();
+                    let mut engine = catalog_engine(&d);
+                    engine.set_collect_deltas(mode == "report");
+                    for stmt in &stream {
+                        let pul = xivm_update::compute_pul(&d, stmt);
+                        let start = Instant::now();
+                        let reports =
+                            engine.propagate_pul(&mut d, &pul).expect("propagation succeeds");
+                        total += ms(start.elapsed());
+                        delta_entries += reports.iter().map(|(_, r)| r.delta.len()).sum::<usize>();
+                    }
+                }
+            }
+        }
+        let avg = total / reps as f64;
+        let baseline = *baseline_ms.get_or_insert(avg);
+        row(&[
+            mode.to_owned(),
+            format!("{avg:.3}"),
+            format!("{:.3}x", avg / baseline),
+            (delta_entries / reps as usize).to_string(),
+        ]);
+    }
+}

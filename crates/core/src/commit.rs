@@ -1,0 +1,234 @@
+//! Commit reports: what one committed update did to every view, with
+//! the per-view Δ as a first-class value.
+//!
+//! Propagation computes per-view deltas (the Δ⁺/Δ⁻ tables of §3.4,
+//! Algorithms 1–6) instead of recomputing views — and the façade hands
+//! those deltas to the caller instead of dropping them at the commit
+//! boundary. Every successful [`Database::apply`] /
+//! [`Transaction::commit`] returns a [`Commit`]: a monotonically
+//! increasing sequence number, the optimizer counters, and one
+//! [`UpdateReport`] (carrying a [`ViewDelta`]) per view.
+//!
+//! A [`ViewDelta`] is *complete*: replaying it onto a snapshot of the
+//! pre-commit [`ViewStore`] reproduces the post-commit store exactly
+//! (keys, derivation counts and stored `val` / `cont` fields) — the
+//! property suite checks this for random documents, view sets and
+//! transactions at every worker count. Consumers therefore never need
+//! to re-read and diff whole stores; they read O(|Δ|) per commit.
+//!
+//! [`Database::apply`]: crate::database::Database::apply
+//! [`Transaction::commit`]: crate::database::Transaction::commit
+
+use crate::database::ViewHandle;
+use crate::engine::UpdateReport;
+use crate::view_store::{TupleKey, ViewStore};
+use xivm_algebra::Tuple;
+use xivm_pulopt::ReductionTrace;
+
+/// The net effect of one commit on one materialized view.
+///
+/// The three parts mirror how propagation patches the store: tuples
+/// (or additional derivations of existing tuples) inserted, derivation
+/// counts removed (dropping the tuple when its count reaches zero),
+/// and surviving tuples whose stored `val` / `cont` text changed
+/// (PIMT / PDMT). [`Self::replay`] applies them in that order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ViewDelta {
+    /// Tuples added with their derivation counts (Δ⁺ side: PINT).
+    pub inserted: Vec<(Tuple, u64)>,
+    /// Derivation counts removed per tuple key (Δ⁻ side: PDDT). A
+    /// tuple whose count reaches zero leaves the view.
+    pub removed: Vec<(TupleKey, u64)>,
+    /// Surviving tuples whose stored text changed (PIMT / PDMT), with
+    /// their post-commit contents.
+    pub modified: Vec<(TupleKey, Tuple)>,
+}
+
+impl ViewDelta {
+    /// True when the commit did not touch this view at all.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.removed.is_empty() && self.modified.is_empty()
+    }
+
+    /// Number of delta entries (insertions + removals + modifications)
+    /// — the O(|Δ|) a consumer processes instead of re-reading the
+    /// store.
+    pub fn len(&self) -> usize {
+        self.inserted.len() + self.removed.len() + self.modified.len()
+    }
+
+    /// Sorts every section into document order, making the delta a
+    /// canonical value: propagation walks hash stores, whose iteration
+    /// order differs between otherwise-identical databases, and the
+    /// façade promises bit-identical commits for equivalent updates
+    /// (sequential vs parallel, textual vs typed). Safe because replay
+    /// is order-insensitive within a section: removals for one key
+    /// commute (the count is a saturating sum) and same-key
+    /// insertions carry identical fields (all read the same
+    /// post-update document).
+    pub(crate) fn canonicalize(&mut self) {
+        self.inserted.sort_by(|a, b| crate::view_store::doc_order(&a.0, &b.0).then(a.1.cmp(&b.1)));
+        self.removed.sort_by(|a, b| doc_key_cmp(&a.0, &b.0).then(a.1.cmp(&b.1)));
+        self.modified.sort_by(|a, b| doc_key_cmp(&a.0, &b.0));
+    }
+
+    /// Applies the delta to a store. Replaying onto a snapshot of the
+    /// pre-commit store yields the post-commit store exactly; the
+    /// order (removals, then insertions, then modifications) matches
+    /// the order propagation patched the original.
+    pub fn replay(&self, store: &mut ViewStore) {
+        for (key, count) in &self.removed {
+            store.remove_derivations(key, *count);
+        }
+        for (tuple, count) in &self.inserted {
+            store.add(tuple.clone(), *count);
+        }
+        for (key, tuple) in &self.modified {
+            if let Some(stored) = store.tuple_mut(key) {
+                *stored = tuple.clone();
+            }
+        }
+    }
+}
+
+/// Document-order comparison of two tuple keys (lexicographic over
+/// their ID columns, shorter key first on a shared prefix).
+fn doc_key_cmp(a: &TupleKey, b: &TupleKey) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let c = x.doc_cmp(y);
+        if c.is_ne() {
+            return c;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+/// What one committed update (a single statement or a whole
+/// transaction) did: sequence number, optimizer counters, and the
+/// per-view reports with their deltas.
+#[derive(Debug, Clone, Default)]
+pub struct Commit {
+    /// Monotonically increasing commit sequence number, 1-based per
+    /// database. Subscriptions tag their events with it, so a consumer
+    /// can check it saw every commit (gapless sequence).
+    pub seq: u64,
+    /// Statements in the committed batch (1 for `apply`).
+    pub statements: usize,
+    /// Atomic operations the statements expanded to before
+    /// optimization.
+    pub naive_ops: usize,
+    /// Atomic operations actually propagated after reduction /
+    /// aggregation (equal to `naive_ops` for `apply`, which skips the
+    /// optimizer).
+    pub optimized_ops: usize,
+    /// Which reduction rules fired on the combined PUL.
+    pub reduction: ReductionTrace,
+    per_view: Vec<(String, UpdateReport)>,
+}
+
+impl Commit {
+    pub(crate) fn new(
+        seq: u64,
+        statements: usize,
+        naive_ops: usize,
+        optimized_ops: usize,
+        reduction: ReductionTrace,
+        per_view: Vec<(String, UpdateReport)>,
+    ) -> Self {
+        Commit { seq, statements, naive_ops, optimized_ops, reduction, per_view }
+    }
+
+    /// Number of views this commit reported on — every view of the
+    /// database, in declaration order (empty transactions included:
+    /// they report default, delta-free entries for every view).
+    pub fn len(&self) -> usize {
+        self.per_view.len()
+    }
+
+    /// True when the commit reported on no view (a database with no
+    /// views). For "did this commit change anything", use
+    /// [`Self::touched`] — `commit.touched().is_empty()`.
+    pub fn is_empty(&self) -> bool {
+        self.per_view.is_empty()
+    }
+
+    /// Per-view reports in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &UpdateReport)> {
+        self.per_view.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// The report of one view. Handles are only meaningful on the
+    /// database that issued this commit: a handle from a database with
+    /// more views panics (out of range); a same-shape foreign handle
+    /// cannot be detected and simply indexes by declaration order.
+    pub fn report(&self, view: ViewHandle) -> &UpdateReport {
+        &self.per_view[view.index()].1
+    }
+
+    /// The delta of one view (same addressing rules as
+    /// [`Self::report`]).
+    pub fn delta(&self, view: ViewHandle) -> &ViewDelta {
+        &self.report(view).delta
+    }
+
+    /// The report of a view looked up by name.
+    pub fn report_by_name(&self, name: &str) -> Option<&UpdateReport> {
+        self.per_view.iter().find(|(n, _)| n == name).map(|(_, r)| r)
+    }
+
+    /// Names of the views whose delta is non-empty, in declaration
+    /// order.
+    pub fn touched(&self) -> Vec<&str> {
+        self.per_view.iter().filter(|(_, r)| !r.delta.is_empty()).map(|(n, _)| n.as_str()).collect()
+    }
+
+    pub(crate) fn per_view(&self) -> &[(String, UpdateReport)] {
+        &self.per_view
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xivm_algebra::Field;
+    use xivm_pattern::parse_pattern;
+    use xivm_xml::dewey::Step;
+    use xivm_xml::{DeweyId, LabelId};
+
+    fn tup(ord: u64) -> Tuple {
+        Tuple::new(vec![Field::id_only(DeweyId::from_steps(vec![Step::new(LabelId(0), ord)]))])
+    }
+
+    #[test]
+    fn replay_applies_removals_insertions_and_modifications() {
+        let pattern = parse_pattern("//a{id}").unwrap();
+        let mut store = ViewStore::new(&pattern);
+        store.add(tup(1), 2);
+        store.add(tup(2), 1);
+
+        let mut patched = tup(2);
+        patched.field_mut(0).val = Some("new".into());
+        let delta = ViewDelta {
+            inserted: vec![(tup(3), 1), (tup(1), 1)],
+            removed: vec![(tup(1).id_key(), 2)],
+            modified: vec![(tup(2).id_key(), patched.clone())],
+        };
+        assert_eq!(delta.len(), 4);
+        assert!(!delta.is_empty());
+        delta.replay(&mut store);
+
+        assert_eq!(store.count_of(&tup(1).id_key()), Some(1), "2 removed, then 1 re-added");
+        assert_eq!(store.count_of(&tup(3).id_key()), Some(1));
+        assert_eq!(store.tuple(&tup(2).id_key()), Some(&patched));
+    }
+
+    #[test]
+    fn empty_delta_replays_to_identity() {
+        let pattern = parse_pattern("//a{id}").unwrap();
+        let mut store = ViewStore::new(&pattern);
+        store.add(tup(1), 1);
+        let snapshot = store.clone();
+        ViewDelta::default().replay(&mut store);
+        assert!(store.identical_to(&snapshot));
+    }
+}

@@ -95,22 +95,26 @@ impl UpdateProfile {
             if targets == 0.0 {
                 continue;
             }
-            match stmt {
-                UpdateStatement::Insert { xml, .. } => {
-                    for n in pattern.node_ids() {
-                        if let NodeTest::Name(name) = &pattern.node(n).test {
-                            if xml.contains(&format!("<{name}")) {
-                                *rates.get_mut(&n).expect("prefilled") += targets;
-                            }
+            // A `Replace` lowers to del + ins↘, so it contributes on
+            // both sides.
+            if let UpdateStatement::Insert { xml, .. } | UpdateStatement::Replace { xml, .. } = stmt
+            {
+                for n in pattern.node_ids() {
+                    if let NodeTest::Name(name) = &pattern.node(n).test {
+                        if xml.contains(&format!("<{name}")) {
+                            *rates.get_mut(&n).expect("prefilled") += targets;
                         }
                     }
                 }
-                UpdateStatement::Delete { .. } | UpdateStatement::InsertFrom { .. } => {
-                    // deletions can remove matches of any node at or
-                    // below the target label; approximate as uniform
-                    for n in pattern.node_ids() {
-                        *rates.get_mut(&n).expect("prefilled") += targets / pattern.len() as f64;
-                    }
+            }
+            if let UpdateStatement::Delete { .. }
+            | UpdateStatement::InsertFrom { .. }
+            | UpdateStatement::Replace { .. } = stmt
+            {
+                // deletions can remove matches of any node at or
+                // below the target label; approximate as uniform
+                for n in pattern.node_ids() {
+                    *rates.get_mut(&n).expect("prefilled") += targets / pattern.len() as f64;
                 }
             }
         }

@@ -1,15 +1,23 @@
-//! The `Database` façade: one owned document, many named views, and
-//! batched transactions through the PUL optimizer.
+//! The `Database` façade: one owned document, many named views,
+//! batched transactions through the PUL optimizer, and deltas as
+//! first-class outputs.
 //!
 //! The lower layers expose the paper's plumbing — callers thread a
 //! `&mut Document` through every [`MaintenanceEngine`] call and hold
 //! the view stores themselves. [`Database`] owns both sides: the
 //! document and every materialized view live inside it, updates go in
-//! as statement text, and each view is addressed through a typed
-//! [`ViewHandle`] or its name.
+//! as statement text or typed builders, and each view is addressed
+//! through a typed [`ViewHandle`] or its name.
+//!
+//! Every mutation returns a [`Commit`]: a sequence number plus, per
+//! view, the [`UpdateReport`] and the exact
+//! [`ViewDelta`](crate::commit::ViewDelta) propagation computed —
+//! consumers read O(|Δ|) per commit instead of re-diffing stores, and
+//! [`Database::subscribe`] turns that into a changefeed.
 //!
 //! ```
 //! use xivm_core::database::Database;
+//! use xivm_update::builder::{element, insert};
 //!
 //! let mut db = Database::builder()
 //!     .document("<a><c><b/><b/></c><f><c><b/></c><b/></f></a>")
@@ -19,28 +27,37 @@
 //! let acb = db.view("acb").unwrap();
 //! assert_eq!(db.store(acb).len(), 8);
 //!
-//! db.apply("delete /a/f/c").unwrap();
+//! let commit = db.apply("delete /a/f/c").unwrap();
+//! assert_eq!(commit.seq, 1);
+//! assert_eq!(commit.delta(acb).removed.len(), 5);
 //! assert_eq!(db.store(acb).len(), 3);
+//!
+//! // Typed statements skip the stringly round-trip entirely:
+//! db.apply(insert(element("b")).into("/a/c")).unwrap();
 //!
 //! // Several statements batched through the Section 5 PUL optimizer:
 //! // one optimized PUL, one shared propagation pass over all views.
-//! let report = db
+//! let commit = db
 //!     .transaction()
 //!     .statement("insert <b/> into /a/c")
 //!     .statement("delete /a/c")
 //!     .commit()
 //!     .unwrap();
-//! assert!(report.optimized_ops < report.naive_ops);
+//! assert!(commit.optimized_ops < commit.naive_ops);
+//! assert_eq!(commit.seq, 3);
 //! ```
 
+use crate::commit::Commit;
 use crate::costmodel::UpdateProfile;
 use crate::engine::{MaintenanceEngine, UpdateReport};
 use crate::error::Error;
 use crate::multiview::MultiViewEngine;
 use crate::strategy::SnowcapStrategy;
-use crate::view_store::ViewStore;
+use crate::subscribe::{DeltaEvent, Subscription, SubscriptionRegistry};
+use crate::view_store::{Cursor, ViewStore};
 use xivm_pattern::{parse_pattern, TreePattern};
 use xivm_pulopt::{aggregate, find_conflicts, integrate, reduce, ConflictPolicy, ReductionTrace};
+use xivm_update::builder::UpdateBuilder;
 use xivm_update::statement::parse_statement;
 use xivm_update::{apply_pul, compute_pul, Pul, UpdateStatement};
 use xivm_xml::{parse_document, serialize_document, Document};
@@ -104,12 +121,14 @@ impl From<TreePattern> for PatternSource {
 
 /// A statement given to [`Database::apply`] or
 /// [`Transaction::statement`]: statement text (the [`parse_statement`]
-/// forms) or a ready-made [`UpdateStatement`]. Converts via
-/// `From<&str>`, `From<String>`, `From<UpdateStatement>` and
-/// `From<&UpdateStatement>`.
+/// forms), a ready-made [`UpdateStatement`], or a typed
+/// [`UpdateBuilder`] from [`xivm_update::builder`]. Converts via
+/// `From<&str>`, `From<String>`, `From<UpdateStatement>`,
+/// `From<&UpdateStatement>` and `From<UpdateBuilder>`.
 pub enum StatementSource {
     Text(String),
     Ready(UpdateStatement),
+    Built(UpdateBuilder),
 }
 
 impl From<&str> for StatementSource {
@@ -136,17 +155,24 @@ impl From<&UpdateStatement> for StatementSource {
     }
 }
 
+impl From<UpdateBuilder> for StatementSource {
+    fn from(builder: UpdateBuilder) -> Self {
+        StatementSource::Built(builder)
+    }
+}
+
 fn resolve_statement(source: StatementSource) -> Result<UpdateStatement, Error> {
     let stmt = match source {
         StatementSource::Text(text) => parse_statement(&text)?,
         StatementSource::Ready(stmt) => stmt,
+        StatementSource::Built(builder) => builder.build()?,
     };
     // An insertion's forest is raw XML carried until apply time, and
     // `apply-pul` is not atomic: a forest that fails to parse midway
     // would leave the document mutated with no view maintained.
     // Rejecting it here keeps the façade's no-drift guarantee on every
     // path (`apply`, sequential and independent transactions).
-    if let UpdateStatement::Insert { xml, .. } = &stmt {
+    if let UpdateStatement::Insert { xml, .. } | UpdateStatement::Replace { xml, .. } = &stmt {
         parse_document(&format!("<xivm-forest-check>{xml}</xivm-forest-check>"))?;
     }
     Ok(stmt)
@@ -278,7 +304,7 @@ impl DatabaseBuilder {
         }
         let mut views = MultiViewEngine::from_engines(engines);
         views.set_workers(crate::parallel::effective_workers(self.workers));
-        Ok(Database { views, doc })
+        Ok(Database { views, doc, commits: 0, subs: SubscriptionRegistry::default() })
     }
 }
 
@@ -291,13 +317,25 @@ impl DatabaseBuilder {
 /// Handles are only meaningful on the database that issued them
 /// (they index its declaration order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ViewHandle(usize);
+pub struct ViewHandle(pub(crate) usize);
+
+impl ViewHandle {
+    /// Declaration-order position (shared with [`Commit`] and the
+    /// subscription registry).
+    pub(crate) fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// An XML document plus a set of named materialized views, maintained
 /// incrementally under statement-level updates.
 pub struct Database {
     doc: Document,
     views: MultiViewEngine,
+    /// Commits so far; the next commit gets `commits + 1` as its
+    /// sequence number.
+    commits: u64,
+    subs: SubscriptionRegistry,
 }
 
 impl Database {
@@ -370,15 +408,14 @@ impl Database {
         self.views.workers()
     }
 
-    /// Applies one update statement (text or [`UpdateStatement`]) and
-    /// propagates it to every view in one shared pass. Returns
-    /// per-view reports in declaration order.
-    pub fn apply(
-        &mut self,
-        statement: impl Into<StatementSource>,
-    ) -> Result<Vec<(String, UpdateReport)>, Error> {
+    /// Applies one update statement (text, an [`UpdateStatement`], or
+    /// a typed [`UpdateBuilder`]) and propagates it to every view in
+    /// one shared pass. Returns the [`Commit`] carrying each view's
+    /// report and exact delta.
+    pub fn apply(&mut self, statement: impl Into<StatementSource>) -> Result<Commit, Error> {
         let stmt = resolve_statement(statement.into())?;
-        self.views.apply_statement(&mut self.doc, &stmt)
+        let (ops, per_view) = self.views.apply_statement_counted(&mut self.doc, &stmt)?;
+        Ok(self.finish_commit(1, ops, ops, ReductionTrace::default(), per_view))
     }
 
     /// Starts a batched transaction: statements are collected and, at
@@ -394,14 +431,71 @@ impl Database {
         }
     }
 
-    /// The report a handle addresses inside a per-view report list.
-    pub fn report_for<'r>(
-        &self,
-        reports: &'r [(String, UpdateReport)],
-        view: ViewHandle,
-    ) -> Option<&'r UpdateReport> {
-        let name = self.name(view);
-        reports.iter().find(|(n, _)| n == name).map(|(_, r)| r)
+    /// Seals a successful mutation: assigns the next sequence number,
+    /// builds the [`Commit`] and fans its deltas out to the
+    /// subscriptions.
+    fn finish_commit(
+        &mut self,
+        statements: usize,
+        naive_ops: usize,
+        optimized_ops: usize,
+        reduction: ReductionTrace,
+        per_view: Vec<(String, UpdateReport)>,
+    ) -> Commit {
+        self.commits += 1;
+        let commit =
+            Commit::new(self.commits, statements, naive_ops, optimized_ops, reduction, per_view);
+        self.subs.record(&commit);
+        commit
+    }
+
+    /// The sequence number of the last successful commit (0 before the
+    /// first one).
+    pub fn last_seq(&self) -> u64 {
+        self.commits
+    }
+
+    // -----------------------------------------------------------------
+    // Change consumption: cursors and subscriptions
+    // -----------------------------------------------------------------
+
+    /// Borrowing document-order cursor over a view's tuples — the
+    /// cheap way to read a view (no tuple is cloned; see
+    /// [`ViewStore::cursor`]).
+    pub fn cursor(&self, view: ViewHandle) -> Cursor<'_> {
+        self.store(view).cursor()
+    }
+
+    /// Registers interest in one view's deltas. Every subsequent
+    /// commit appends a [`DeltaEvent`] (commit sequence number + the
+    /// view's delta, empty if the commit did not touch it) to the
+    /// subscription; read them with [`Self::drain`]. See
+    /// [`crate::subscribe`].
+    pub fn subscribe(&mut self, view: ViewHandle) -> Subscription {
+        assert!(view.index() < self.views.len(), "handle from this database");
+        self.subs.subscribe(view)
+    }
+
+    /// Takes every event accumulated since the last drain (oldest
+    /// first, consecutive sequence numbers). Panics on a handle from
+    /// another database or a cancelled subscription.
+    pub fn drain(&mut self, sub: &Subscription) -> Vec<DeltaEvent> {
+        self.subs.drain(sub)
+    }
+
+    /// Events currently queued on a subscription.
+    pub fn pending(&self, sub: &Subscription) -> usize {
+        self.subs.pending(sub)
+    }
+
+    /// The view a subscription watches.
+    pub fn subscription_view(&self, sub: &Subscription) -> ViewHandle {
+        ViewHandle(self.subs.view_of(sub))
+    }
+
+    /// Cancels a subscription and drops its queued events.
+    pub fn unsubscribe(&mut self, sub: Subscription) {
+        self.subs.unsubscribe(sub);
     }
 }
 
@@ -435,26 +529,10 @@ pub struct Transaction<'db> {
     policy: ConflictPolicy,
 }
 
-/// What a committed transaction did.
-#[derive(Debug, Clone, Default)]
-pub struct TransactionReport {
-    /// Statements in the batch.
-    pub statements: usize,
-    /// Atomic operations the statements expanded to before
-    /// optimization.
-    pub naive_ops: usize,
-    /// Atomic operations actually propagated after reduction /
-    /// aggregation.
-    pub optimized_ops: usize,
-    /// Which reduction rules fired on the combined PUL.
-    pub reduction: ReductionTrace,
-    /// Per-view propagation reports, in declaration order.
-    pub per_view: Vec<(String, UpdateReport)>,
-}
-
 impl<'db> Transaction<'db> {
-    /// Adds a statement (text or [`UpdateStatement`]) to the batch.
-    /// Parse errors surface at [`Self::commit`].
+    /// Adds a statement (text, an [`UpdateStatement`], or a typed
+    /// [`UpdateBuilder`]) to the batch. Parse errors surface at
+    /// [`Self::commit`].
     pub fn statement(mut self, statement: impl Into<StatementSource>) -> Self {
         self.statements.push(statement.into());
         self
@@ -487,17 +565,27 @@ impl<'db> Transaction<'db> {
     }
 
     /// Optimizes the batch into one PUL (reduce → aggregate →
-    /// conflict-check, Section 5) and propagates it to every view in a
-    /// single shared pass.
-    pub fn commit(self) -> Result<TransactionReport, Error> {
+    /// conflict-check, Section 5), propagates it to every view in a
+    /// single shared pass, and returns the [`Commit`] with each view's
+    /// report and delta. An empty batch still commits (and gets a
+    /// sequence number), so changefeeds stay gapless.
+    pub fn commit(self) -> Result<Commit, Error> {
         let Transaction { db, statements, isolation, policy } = self;
         let parsed: Vec<UpdateStatement> =
             statements.into_iter().map(resolve_statement).collect::<Result<_, _>>()?;
-        let mut report =
-            TransactionReport { statements: parsed.len(), ..TransactionReport::default() };
         if parsed.is_empty() {
-            return Ok(report);
+            // Even a no-op commit reports on every view (with default
+            // reports and empty deltas), so `Commit::report`/`delta`
+            // work uniformly on every successful commit.
+            let per_view: Vec<(String, UpdateReport)> = db
+                .views
+                .names()
+                .into_iter()
+                .map(|n| (n.to_owned(), UpdateReport::default()))
+                .collect();
+            return Ok(db.finish_commit(0, 0, 0, ReductionTrace::default(), per_view));
         }
+        let mut naive_ops = 0usize;
 
         let combined = match isolation {
             Isolation::Sequential => {
@@ -516,7 +604,7 @@ impl<'db> Transaction<'db> {
                     if i + 1 < parsed.len() {
                         apply_pul(scratch.get_or_insert_with(|| db.doc.clone()), &pul)?;
                     }
-                    report.naive_ops += pul.len();
+                    naive_ops += pul.len();
                     combined = Some(match combined {
                         None => pul,
                         Some(prev) => aggregate(&db.doc, &prev, &pul).0,
@@ -529,7 +617,7 @@ impl<'db> Transaction<'db> {
                 // conflict rules decide whether the batch is
                 // order-independent enough to integrate.
                 let puls: Vec<Pul> = parsed.iter().map(|s| compute_pul(&db.doc, s)).collect();
-                report.naive_ops = puls.iter().map(Pul::len).sum();
+                naive_ops = puls.iter().map(Pul::len).sum();
                 if policy == ConflictPolicy::Fail {
                     let mut conflicts = Vec::new();
                     for i in 0..puls.len() {
@@ -552,12 +640,10 @@ impl<'db> Transaction<'db> {
         // Reduction (Figure 14) over the combined list: drop operations
         // made useless by later deletions, merge repeated insertions.
         let (optimized, trace) = reduce(&combined);
-        report.reduction = trace;
-        report.optimized_ops = optimized.len();
 
         // One shared propagation pass across every view.
-        report.per_view = db.views.propagate_pul(&mut db.doc, &optimized)?;
-        Ok(report)
+        let per_view = db.views.propagate_pul(&mut db.doc, &optimized)?;
+        Ok(db.finish_commit(parsed.len(), naive_ops, optimized.len(), trace, per_view))
     }
 }
 
@@ -625,8 +711,10 @@ mod tests {
     #[test]
     fn apply_propagates_to_all_views() {
         let mut db = db();
-        let reports = db.apply("delete /a/f/c").unwrap();
-        assert_eq!(reports.len(), 2);
+        let commit = db.apply("delete /a/f/c").unwrap();
+        assert_eq!(commit.len(), 2);
+        assert_eq!(commit.seq, 1);
+        assert_eq!(db.last_seq(), 1);
         check_consistent(&db);
         assert_eq!(db.store(db.view("acb").unwrap()).len(), 3, "Example 4.5");
         // statement parse errors are typed
@@ -768,11 +856,18 @@ mod tests {
     }
 
     #[test]
-    fn empty_transaction_is_a_noop() {
+    fn empty_transaction_is_a_noop_but_still_sequences() {
         let mut db = db();
-        let report = db.transaction().commit().unwrap();
-        assert_eq!(report.statements, 0);
-        assert_eq!(report.per_view.len(), 0);
+        let commit = db.transaction().commit().unwrap();
+        assert_eq!(commit.statements, 0);
+        assert!(commit.touched().is_empty(), "no view was touched");
+        assert_eq!(commit.len(), 2, "but every view still gets a report entry");
+        assert!(!commit.is_empty(), "is_empty mirrors len, not touchedness");
+        assert_eq!(commit.seq, 1, "even a no-op commit gets a sequence number");
+        // the accessors work uniformly on no-op commits
+        let acb = db.view("acb").unwrap();
+        assert!(commit.delta(acb).is_empty());
+        assert_eq!(commit.report(acb).tuples_added, 0);
         assert_eq!(db.serialize(), FIG12);
     }
 
@@ -821,11 +916,121 @@ mod tests {
     }
 
     #[test]
-    fn report_lookup_by_handle() {
+    fn report_lookup_by_handle_and_name() {
         let mut db = db();
         let ab = db.view("ab").unwrap();
-        let reports = db.apply("delete /a/f/c").unwrap();
-        let r = db.report_for(&reports, ab).unwrap();
+        let commit = db.apply("delete /a/f/c").unwrap();
+        let r = commit.report(ab);
         assert!(r.tuples_removed > 0);
+        assert_eq!(commit.report_by_name("ab").unwrap().tuples_removed, r.tuples_removed);
+        assert!(commit.report_by_name("nope").is_none());
+        assert_eq!(commit.touched(), vec!["ab", "acb"]);
+        let order: Vec<&str> = commit.iter().map(|(n, _)| n).collect();
+        assert_eq!(order, vec!["ab", "acb"]);
+    }
+
+    #[test]
+    fn commit_sequence_numbers_are_monotonic_and_gapless() {
+        let mut db = db();
+        for expected in 1..=4u64 {
+            let commit = db.apply("insert <b/> into /a/c").unwrap();
+            assert_eq!(commit.seq, expected);
+        }
+        // a failed apply consumes no sequence number
+        assert!(db.apply("frobnicate //a").is_err());
+        let commit = db.transaction().statement("delete //b").commit().unwrap();
+        assert_eq!(commit.seq, 5);
+    }
+
+    #[test]
+    fn apply_returns_replayable_deltas() {
+        let mut db = db();
+        let acb = db.view("acb").unwrap();
+        let mut snapshot = db.store(acb).clone();
+        let commit = db.apply("delete /a/f/c").unwrap();
+        let delta = commit.delta(acb);
+        assert!(!delta.is_empty());
+        assert_eq!(delta.removed.iter().map(|(_, c)| *c).sum::<u64>(), 5, "Example 4.5");
+        delta.replay(&mut snapshot);
+        assert!(snapshot.identical_to(db.store(acb)), "snapshot + delta == post-commit store");
+    }
+
+    #[test]
+    fn typed_builder_statements_match_their_textual_equivalents() {
+        use xivm_update::builder::{delete, element, insert, replace};
+        let cases: [(UpdateBuilder, &str); 3] = [
+            (insert(element("b")).into("/a/c"), "insert <b/> into /a/c"),
+            (delete("/a/f/c"), "delete /a/f/c"),
+            (
+                replace("/a/c").with(element("g").child(element("b"))),
+                "replace /a/c with <g><b/></g>",
+            ),
+        ];
+        for (builder, text) in cases {
+            let mut typed = db();
+            let mut textual = db();
+            let ct = typed.apply(builder).unwrap();
+            let cx = textual.apply(text).unwrap();
+            assert_eq!(typed.serialize(), textual.serialize(), "{text}");
+            for (h1, h2) in typed.handles().into_iter().zip(textual.handles()) {
+                assert!(typed.store(h1).identical_to(textual.store(h2)), "{text}");
+                assert_eq!(ct.delta(h1), cx.delta(h2), "{text}: deltas must be bit-identical");
+            }
+            check_consistent(&typed);
+        }
+    }
+
+    #[test]
+    fn subscriptions_accumulate_deltas_across_commits() {
+        let mut db = db();
+        let acb = db.view("acb").unwrap();
+        let ab = db.view("ab").unwrap();
+        let sub = db.subscribe(acb);
+        assert_eq!(db.subscription_view(&sub), acb);
+        let mut snapshot = db.store(acb).clone();
+
+        db.apply("delete /a/f/c").unwrap();
+        db.transaction()
+            .statement("insert <b/> into /a/c")
+            .statement("insert <c><b/></c> into /a")
+            .commit()
+            .unwrap();
+        db.apply("delete //zz").unwrap(); // touches nothing
+
+        assert_eq!(db.pending(&sub), 3);
+        let events = db.drain(&sub);
+        assert_eq!(events.len(), 3);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3], "one event per commit, gapless");
+        assert!(events[2].delta.is_empty(), "no-op commits still appear, with empty deltas");
+        for e in &events {
+            e.delta.replay(&mut snapshot);
+        }
+        assert!(snapshot.identical_to(db.store(acb)));
+        assert_eq!(db.pending(&sub), 0, "drain empties the queue");
+
+        // a second, later subscription only sees later commits
+        let sub2 = db.subscribe(ab);
+        db.apply("delete //b").unwrap();
+        assert_eq!(db.drain(&sub).len(), 1);
+        let ev2 = db.drain(&sub2);
+        assert_eq!(ev2.len(), 1);
+        assert_eq!(ev2[0].seq, 4);
+        db.unsubscribe(sub);
+        db.unsubscribe(sub2);
+    }
+
+    #[test]
+    fn cursor_reads_sorted_without_cloning() {
+        let mut db = db();
+        let ab = db.view("ab").unwrap();
+        db.apply("insert <b/> into /a/c").unwrap();
+        let ords: Vec<_> = db.cursor(ab).map(|(t, c)| (t.id_key(), c)).collect();
+        let cloned: Vec<_> = db.store(ab).sorted_tuples();
+        assert_eq!(ords.len(), cloned.len());
+        for ((k, c), (t, c2)) in ords.iter().zip(cloned.iter()) {
+            assert_eq!(k, &t.id_key());
+            assert_eq!(c, c2);
+        }
     }
 }

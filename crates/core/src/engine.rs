@@ -9,6 +9,7 @@
 //! materialized snowcaps current. Each phase is timed, producing the
 //! breakdowns of the Section 6 experiments.
 
+use crate::commit::ViewDelta;
 use crate::error::Error;
 use crate::pddt::{delete_terms, eval_delete_terms, DeleteContext};
 use crate::pdmt::propagate_delete_modifications;
@@ -40,6 +41,12 @@ pub struct UpdateReport {
     /// Raw embeddings (derivations) added / removed.
     pub derivations_added: u64,
     pub derivations_removed: u64,
+    /// The view's Δ for this update: every store patch the engine made
+    /// (insertions, removals, text modifications), complete enough
+    /// that replaying it on a pre-update snapshot reproduces the
+    /// post-update store exactly. Empty when the engine's
+    /// `collect_deltas` switch is off.
+    pub delta: ViewDelta,
 }
 
 /// A materialized view plus the auxiliary structures needed to
@@ -55,6 +62,11 @@ pub struct MaintenanceEngine {
     /// Ablation switches for the dynamic prunings (Section 6.8).
     pub use_delta_pruning: bool,
     pub use_id_pruning: bool,
+    /// Whether [`Self::finish`] harvests the per-view [`ViewDelta`]
+    /// into its report (on by default; the `Database` façade relies on
+    /// it). Turning it off skips the tuple clones the report costs —
+    /// the `fig_delta` bench measures that overhead.
+    pub collect_deltas: bool,
 }
 
 impl MaintenanceEngine {
@@ -71,6 +83,7 @@ impl MaintenanceEngine {
             snowcaps,
             use_delta_pruning: true,
             use_id_pruning: true,
+            collect_deltas: true,
         }
     }
 
@@ -94,6 +107,7 @@ impl MaintenanceEngine {
             snowcaps,
             use_delta_pruning: true,
             use_id_pruning: true,
+            collect_deltas: true,
         }
     }
 
@@ -283,8 +297,14 @@ impl MaintenanceEngine {
         report.timings.get_update_expression = t_expr;
 
         // --- Execute Update: evaluate terms and patch the store.
+        // Every patch is mirrored into `report.delta` (when
+        // `collect_deltas` is on): all removal phases run before all
+        // insertion phases here, so replaying the delta's removals
+        // then insertions then modifications onto a pre-update
+        // snapshot reproduces the store exactly.
         let mut leaves = OldLeafCache::default();
         let no_snowcaps: [MaterializedSnowcap; 0] = [];
+        let mut modified_keys: Vec<crate::view_store::TupleKey> = Vec::new();
         let (_, t_exec) = timed(|| {
             if has_deletes {
                 // Under flips the R-parts must reflect *old* predicate
@@ -327,26 +347,36 @@ impl MaintenanceEngine {
                 };
                 if !removed.is_empty() {
                     for (t, c) in project_to_view(&self.pattern, &removed) {
+                        let key = t.id_key();
                         report.derivations_removed += c;
-                        if self.store.remove_derivations(&t.id_key(), c) {
+                        if self.store.remove_derivations(&key, c) {
                             report.tuples_removed += 1;
+                        }
+                        if self.collect_deltas {
+                            report.delta.removed.push((key, c));
                         }
                     }
                 }
-                report.tuples_modified += propagate_delete_modifications(
+                let patched = propagate_delete_modifications(
                     &mut self.store,
                     doc,
                     &self.pattern,
                     &delete_roots,
                 );
+                report.tuples_modified += patched.len();
+                modified_keys.extend(patched);
             }
             if flips_exist {
                 let lost = crate::predflip::removed_by_flips(doc, &self.pattern, &flips, &inserted);
                 if !lost.is_empty() {
                     for (t, c) in project_to_view(&self.pattern, &lost) {
+                        let key = t.id_key();
                         report.derivations_removed += c;
-                        if self.store.remove_derivations(&t.id_key(), c) {
+                        if self.store.remove_derivations(&key, c) {
                             report.tuples_removed += 1;
+                        }
+                        if self.collect_deltas {
+                            report.delta.removed.push((key, c));
                         }
                     }
                 }
@@ -356,6 +386,9 @@ impl MaintenanceEngine {
                         report.derivations_added += c;
                         if !self.store.contains(&t.id_key()) {
                             report.tuples_added += 1;
+                        }
+                        if self.collect_deltas {
+                            report.delta.inserted.push((t.clone(), c));
                         }
                         self.store.add(t, c);
                     }
@@ -371,18 +404,43 @@ impl MaintenanceEngine {
                         if !self.store.contains(&t.id_key()) {
                             report.tuples_added += 1;
                         }
+                        if self.collect_deltas {
+                            report.delta.inserted.push((t.clone(), c));
+                        }
                         self.store.add(t, c);
                     }
                 }
-                report.tuples_modified += propagate_insert_modifications(
+                let patched = propagate_insert_modifications(
                     &mut self.store,
                     doc,
                     &self.pattern,
                     &apply_res.insert_targets,
                 );
+                report.tuples_modified += patched.len();
+                modified_keys.extend(patched);
             }
         });
         report.timings.execute_update = t_exec;
+
+        // Text modifications enter the delta with their *final*
+        // contents (a key PDMT and PIMT both touched appears once).
+        // A modified tuple later removed by a predicate flip is
+        // already covered by the delta's `removed` entries.
+        if self.collect_deltas {
+            if !modified_keys.is_empty() {
+                let mut seen: HashSet<crate::view_store::TupleKey> = HashSet::new();
+                for key in modified_keys {
+                    if seen.insert(key.clone()) {
+                        if let Some(tuple) = self.store.tuple(&key) {
+                            report.delta.modified.push((key, tuple.clone()));
+                        }
+                    }
+                }
+            }
+            // Hash-store walk order differs between databases; the
+            // published delta is canonical (document order).
+            report.delta.canonicalize();
+        }
 
         // --- Update Lattice, part 2: add each snowcap's own new
         // bindings. All deltas are computed against the old-surviving

@@ -28,8 +28,14 @@
 //!   sequential pass;
 //! * [`database`] — the [`database::Database`] façade owning the
 //!   document and all named views, with batched
-//!   [`database::Transaction`]s through the Section 5 PUL optimizer.
+//!   [`database::Transaction`]s through the Section 5 PUL optimizer;
+//! * [`commit`] / [`subscribe`] — the delta-first client surface:
+//!   every apply / commit returns a [`commit::Commit`] carrying each
+//!   view's exact [`commit::ViewDelta`], and
+//!   [`database::Database::subscribe`] accumulates those deltas into a
+//!   changefeed with gapless commit sequence numbers.
 
+pub mod commit;
 pub mod costmodel;
 pub mod database;
 pub mod engine;
@@ -48,15 +54,18 @@ pub mod prune;
 pub mod snapshot;
 pub mod snowcap;
 pub mod strategy;
+pub mod subscribe;
 pub mod term;
 pub mod timing;
 pub mod view_store;
 
-pub use database::{Database, DatabaseBuilder, Transaction, TransactionReport, ViewHandle};
+pub use commit::{Commit, ViewDelta};
+pub use database::{Database, DatabaseBuilder, Transaction, ViewHandle};
 pub use engine::{MaintenanceEngine, PreparedUpdate, UpdateReport};
 pub use error::Error;
 pub use multiview::MultiViewEngine;
 pub use strategy::SnowcapStrategy;
+pub use subscribe::{DeltaEvent, Subscription};
 pub use term::Term;
 pub use timing::Timings;
-pub use view_store::ViewStore;
+pub use view_store::{Cursor, ViewStore};

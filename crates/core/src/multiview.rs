@@ -77,6 +77,15 @@ impl MultiViewEngine {
         self.workers
     }
 
+    /// Toggles per-view Δ harvesting on every hosted engine (see
+    /// [`MaintenanceEngine::collect_deltas`]). On by default; the
+    /// `fig_delta` bench turns it off to measure the report overhead.
+    pub fn set_collect_deltas(&mut self, collect: bool) {
+        for (_, engine) in &mut self.views {
+            engine.collect_deltas = collect;
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.views.len()
     }
@@ -118,13 +127,25 @@ impl MultiViewEngine {
         doc: &mut Document,
         stmt: &UpdateStatement,
     ) -> Result<Vec<(String, UpdateReport)>, Error> {
+        self.apply_statement_counted(doc, stmt).map(|(_, reports)| reports)
+    }
+
+    /// [`Self::apply_statement`] plus the statement's atomic-op count
+    /// — the single implementation behind both this engine's public
+    /// entry point and the `Database` façade (whose commit report
+    /// needs the count).
+    pub(crate) fn apply_statement_counted(
+        &mut self,
+        doc: &mut Document,
+        stmt: &UpdateStatement,
+    ) -> Result<(usize, Vec<(String, UpdateReport)>), Error> {
         // Find Target Nodes — once, shared by every view.
         let (pul, t_find) = timed(|| compute_pul(doc, stmt));
         let mut out = self.propagate_pul(doc, &pul)?;
         for (_, report) in &mut out {
             report.timings.find_target_nodes = t_find;
         }
-        Ok(out)
+        Ok((pul.len(), out))
     }
 
     /// Propagates an already-computed (possibly optimizer-reduced,

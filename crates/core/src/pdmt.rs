@@ -7,22 +7,24 @@
 //! subtree root (if it were the root itself or below it, the tuple
 //! would have been deleted by PDDT).
 
-use crate::view_store::ViewStore;
+use crate::view_store::{TupleKey, ViewStore};
 use std::sync::Arc;
 use xivm_pattern::TreePattern;
 use xivm_xml::{DeweyForest, DeweyId, Document};
 
 /// Patches `val` / `cont` of surviving affected tuples from the
-/// (already updated) document. Returns the number of modified tuples.
+/// (already updated) document. Returns the keys of the modified tuples
+/// (for the commit report's Δ), walking the store in place — no tuple
+/// is cloned and no key snapshot is taken.
 pub fn propagate_delete_modifications(
     store: &mut ViewStore,
     doc: &Document,
     pattern: &TreePattern,
     deleted_roots: &[DeweyId],
-) -> usize {
+) -> Vec<TupleKey> {
     let cvn = pattern.cvn();
     if cvn.is_empty() || deleted_roots.is_empty() {
-        return 0;
+        return Vec::new();
     }
     let stored = pattern.stored_nodes();
     let cvn_cols: Vec<(usize, bool, bool)> = cvn
@@ -35,17 +37,15 @@ pub fn propagate_delete_modifications(
         })
         .collect();
     let forest = DeweyForest::new(deleted_roots.to_vec());
-    let mut modified = 0;
-    for key in store.keys() {
+    let mut modified = Vec::new();
+    for (key, tuple) in store.tuples_mut() {
         let mut touched = false;
         for &(col, want_val, want_cont) in &cvn_cols {
-            let id = key[col].clone();
-            let affected = forest.has_proper_descendant_root(&id);
-            if !affected {
+            let id = &key[col];
+            if !forest.has_proper_descendant_root(id) {
                 continue;
             }
-            let Some(node) = doc.find_node(&id) else { continue };
-            let tuple = store.tuple_mut(&key).expect("key snapshot is current");
+            let Some(node) = doc.find_node(id) else { continue };
             let field = tuple.field_mut(col);
             if want_val {
                 field.val = Some(Arc::from(doc.value(node).as_str()));
@@ -56,7 +56,7 @@ pub fn propagate_delete_modifications(
             touched = true;
         }
         if touched {
-            modified += 1;
+            modified.push(key.clone());
         }
     }
     modified
@@ -80,7 +80,7 @@ mod tests {
         let roots: Vec<DeweyId> = pul.ops.iter().map(|o| o.target().clone()).collect();
         apply_pul(&mut d, &pul).unwrap();
         let n = propagate_delete_modifications(&mut store, &d, &p, &roots);
-        assert_eq!(n, 1);
+        assert_eq!(n.len(), 1);
         let cont = store.sorted_tuples()[0].0.field(0).cont.clone().unwrap();
         assert_eq!(cont.as_ref(), "<c><y>keep</y></c>");
     }
@@ -108,6 +108,6 @@ mod tests {
         let pul = compute_pul(&d, &stmt);
         let roots: Vec<DeweyId> = pul.ops.iter().map(|o| o.target().clone()).collect();
         apply_pul(&mut d, &pul).unwrap();
-        assert_eq!(propagate_delete_modifications(&mut store, &d, &p, &roots), 0);
+        assert!(propagate_delete_modifications(&mut store, &d, &p, &roots).is_empty());
     }
 }

@@ -7,25 +7,26 @@
 //! of an insertion target — a pure ID comparison, enabled by storing
 //! IDs alongside every `val` / `cont` (the algorithm's precondition).
 
-use crate::view_store::ViewStore;
+use crate::view_store::{TupleKey, ViewStore};
 use std::sync::Arc;
 use xivm_pattern::TreePattern;
 use xivm_xml::{DeweyForest, DeweyId, Document};
 
 /// Patches the `val` / `cont` fields of affected tuples by re-reading
-/// the (already updated) document. Returns the number of modified
-/// tuples.
+/// the (already updated) document. Returns the keys of the modified
+/// tuples (for the commit report's Δ), walking the store in place —
+/// no tuple is cloned and no key snapshot is taken.
 pub fn propagate_insert_modifications(
     store: &mut ViewStore,
     doc: &Document,
     pattern: &TreePattern,
     targets: &[DeweyId],
-) -> usize {
+) -> Vec<TupleKey> {
     let cvn = pattern.cvn();
     if cvn.is_empty() || targets.is_empty() {
         // If cvn is empty, insertions cannot modify view tuples
         // (Section 3.6).
-        return 0;
+        return Vec::new();
     }
     let stored = pattern.stored_nodes();
     let cvn_cols: Vec<(usize, bool, bool)> = cvn
@@ -41,17 +42,15 @@ pub fn propagate_insert_modifications(
     // another `a`): keep every root, or tuples strictly between an
     // outer and an inner target would never be refreshed.
     let forest = DeweyForest::with_nested(targets.to_vec());
-    let mut modified = 0;
-    for key in store.keys() {
+    let mut modified = Vec::new();
+    for (key, tuple) in store.tuples_mut() {
         let mut touched = false;
         for &(col, want_val, want_cont) in &cvn_cols {
-            let id = key[col].clone();
-            let affected = forest.has_descendant_or_self_root(&id);
-            if !affected {
+            let id = &key[col];
+            if !forest.has_descendant_or_self_root(id) {
                 continue;
             }
-            let Some(node) = doc.find_node(&id) else { continue };
-            let tuple = store.tuple_mut(&key).expect("key snapshot is current");
+            let Some(node) = doc.find_node(id) else { continue };
             let field = tuple.field_mut(col);
             if want_val {
                 field.val = Some(Arc::from(doc.value(node).as_str()));
@@ -62,7 +61,7 @@ pub fn propagate_insert_modifications(
             touched = true;
         }
         if touched {
-            modified += 1;
+            modified.push(key.clone());
         }
     }
     modified
@@ -91,7 +90,7 @@ mod tests {
         let pul = compute_pul(&d, &stmt);
         let res = apply_pul(&mut d, &pul).unwrap();
         let n = propagate_insert_modifications(&mut store, &d, &p, &res.insert_targets);
-        assert_eq!(n, 1);
+        assert_eq!(n.len(), 1);
         let after = store.sorted_tuples()[0].0.field(2).cont.clone().unwrap();
         assert_eq!(after.as_ref(), "<c><d><extra>some value</extra></d></c>");
     }
@@ -117,7 +116,7 @@ mod tests {
         let stmt = UpdateStatement::insert("//other", "<y>zzz</y>").unwrap();
         let pul = compute_pul(&d, &stmt);
         let res = apply_pul(&mut d, &pul).unwrap();
-        assert_eq!(propagate_insert_modifications(&mut store, &d, &p, &res.insert_targets), 0);
+        assert!(propagate_insert_modifications(&mut store, &d, &p, &res.insert_targets).is_empty());
     }
 
     /// Targets of one statement can nest (`//a` hits an `a` inside an
@@ -133,7 +132,7 @@ mod tests {
         let pul = compute_pul(&d, &stmt);
         let res = apply_pul(&mut d, &pul).unwrap();
         let n = propagate_insert_modifications(&mut store, &d, &p, &res.insert_targets);
-        assert_eq!(n, 2, "both the outer and the inner a must refresh");
+        assert_eq!(n.len(), 2, "both the outer and the inner a must refresh");
         for (t, _) in store.sorted_tuples() {
             let cont = t.field(0).cont.clone().unwrap();
             assert!(cont.contains("<d>5</d>"), "stale cont {cont}");
@@ -148,6 +147,6 @@ mod tests {
         let stmt = UpdateStatement::insert("//b", "<c/>").unwrap();
         let pul = compute_pul(&d, &stmt);
         let res = apply_pul(&mut d, &pul).unwrap();
-        assert_eq!(propagate_insert_modifications(&mut store, &d, &p, &res.insert_targets), 0);
+        assert!(propagate_insert_modifications(&mut store, &d, &p, &res.insert_targets).is_empty());
     }
 }

@@ -1,0 +1,110 @@
+//! View change subscriptions: the changefeed side of the delta-first
+//! API.
+//!
+//! [`Database::subscribe`] registers interest in one view and returns
+//! a [`Subscription`] handle. From then on every successful commit
+//! appends one [`DeltaEvent`] — the commit's sequence number plus the
+//! view's [`ViewDelta`] — to the subscription's queue, *including*
+//! commits that did not touch the view (their delta is empty), so a
+//! consumer can verify it saw every commit: the drained sequence
+//! numbers are consecutive.
+//!
+//! The queue is drained with [`Database::drain`]; each event costs
+//! O(|Δ|), never a store clone. A dropped interest is released with
+//! [`Database::unsubscribe`].
+//!
+//! [`Database::subscribe`]: crate::database::Database::subscribe
+//! [`Database::drain`]: crate::database::Database::drain
+//! [`Database::unsubscribe`]: crate::database::Database::unsubscribe
+//! [`ViewDelta`]: crate::commit::ViewDelta
+
+use crate::commit::{Commit, ViewDelta};
+use crate::database::ViewHandle;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A registered interest in one view's deltas. Only meaningful on the
+/// database that issued it.
+#[derive(Debug)]
+pub struct Subscription {
+    pub(crate) id: u64,
+}
+
+/// One commit as seen by a subscription: the commit's sequence number
+/// and the subscribed view's delta (empty when the commit did not
+/// touch the view). The delta is `Arc`-shared: all subscriptions of
+/// one view receive the same allocation, so fan-out to N subscribers
+/// costs one delta clone, not N.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaEvent {
+    pub seq: u64,
+    pub delta: Arc<ViewDelta>,
+}
+
+struct SubState {
+    view: usize,
+    pending: Vec<DeltaEvent>,
+}
+
+/// The subscriptions of one database. Owned by `Database`, which
+/// forwards every commit here. Cancelled subscriptions are removed
+/// outright — ids are never reused (monotonic counter), so a stale
+/// handle still panics instead of aliasing a newer subscription, and
+/// a long-lived database under subscribe/unsubscribe churn holds only
+/// the live entries.
+#[derive(Default)]
+pub(crate) struct SubscriptionRegistry {
+    next_id: u64,
+    subs: HashMap<u64, SubState>,
+}
+
+impl SubscriptionRegistry {
+    pub(crate) fn subscribe(&mut self, view: ViewHandle) -> Subscription {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.subs.insert(id, SubState { view: view.index(), pending: Vec::new() });
+        Subscription { id }
+    }
+
+    /// Appends one event per live subscription for a finished commit.
+    /// Every commit reports on every view (no-op commits carry empty
+    /// deltas), so sequence numbers stay gapless. Each distinct view's
+    /// delta is cloned once and shared across its subscribers.
+    pub(crate) fn record(&mut self, commit: &Commit) {
+        if self.subs.is_empty() {
+            return;
+        }
+        let per_view = commit.per_view();
+        let mut shared: HashMap<usize, Arc<ViewDelta>> = HashMap::new();
+        for sub in self.subs.values_mut() {
+            let delta = Arc::clone(shared.entry(sub.view).or_insert_with(|| {
+                Arc::new(per_view.get(sub.view).map(|(_, r)| r.delta.clone()).unwrap_or_default())
+            }));
+            sub.pending.push(DeltaEvent { seq: commit.seq, delta });
+        }
+    }
+
+    pub(crate) fn drain(&mut self, sub: &Subscription) -> Vec<DeltaEvent> {
+        std::mem::take(&mut self.state_mut(sub).pending)
+    }
+
+    pub(crate) fn pending(&self, sub: &Subscription) -> usize {
+        self.state(sub).pending.len()
+    }
+
+    pub(crate) fn view_of(&self, sub: &Subscription) -> usize {
+        self.state(sub).view
+    }
+
+    pub(crate) fn unsubscribe(&mut self, sub: Subscription) {
+        self.subs.remove(&sub.id).expect("subscription from this database, not yet cancelled");
+    }
+
+    fn state(&self, sub: &Subscription) -> &SubState {
+        self.subs.get(&sub.id).expect("subscription from this database, not yet cancelled")
+    }
+
+    fn state_mut(&mut self, sub: &Subscription) -> &mut SubState {
+        self.subs.get_mut(&sub.id).expect("subscription from this database, not yet cancelled")
+    }
+}

@@ -97,27 +97,47 @@ impl ViewStore {
         self.tuples.get_mut(key).map(|(t, _)| t)
     }
 
+    /// The stored tuple behind a key, if present.
+    pub fn tuple(&self, key: &TupleKey) -> Option<&Tuple> {
+        self.tuples.get(key).map(|(t, _)| t)
+    }
+
     /// All current keys (snapshot, so the store can be mutated while
-    /// iterating).
+    /// iterating). Prefer [`Self::iter`] / [`Self::tuples_mut`] when
+    /// no structural mutation happens mid-walk — they borrow instead
+    /// of cloning every key.
     pub fn keys(&self) -> Vec<TupleKey> {
         self.tuples.keys().cloned().collect()
     }
 
-    /// Tuples with counts, sorted by the document order of their ID
-    /// columns — the canonical external representation (`e_v` ends
-    /// with a sort).
+    /// Borrowing iterator over the stored tuples and their derivation
+    /// counts, in arbitrary order. Allocation-free.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, u64)> {
+        self.tuples.values().map(|(t, c)| (t, *c))
+    }
+
+    /// Borrowing mutable walk over the stored tuples (key + tuple),
+    /// for in-place `val` / `cont` patching (PIMT / PDMT). Derivation
+    /// counts and keys stay fixed — only tuple fields may change.
+    pub fn tuples_mut(&mut self) -> impl Iterator<Item = (&TupleKey, &mut Tuple)> {
+        self.tuples.iter_mut().map(|(k, (t, _))| (k, t))
+    }
+
+    /// Borrowing cursor over the tuples in document order — the
+    /// canonical external representation (`e_v` ends with a sort)
+    /// without cloning a single tuple. One `Vec` of references is
+    /// allocated for the sort; the yielded tuples are borrows.
+    pub fn cursor(&self) -> Cursor<'_> {
+        let mut refs: Vec<(&Tuple, u64)> = self.iter().collect();
+        refs.sort_by(|a, b| doc_order(a.0, b.0));
+        Cursor { inner: refs.into_iter() }
+    }
+
+    /// Tuples with counts, sorted by document order — the owning
+    /// (cloning) form of [`Self::cursor`], kept for callers that need
+    /// the data to outlive the store borrow.
     pub fn sorted_tuples(&self) -> Vec<(Tuple, u64)> {
-        let mut out: Vec<(Tuple, u64)> = self.tuples.values().cloned().collect();
-        out.sort_by(|a, b| {
-            for i in 0..a.0.arity() {
-                let c = a.0.field(i).id.doc_cmp(&b.0.field(i).id);
-                if c.is_ne() {
-                    return c;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
-        out
+        self.cursor().map(|(t, c)| (t.clone(), c)).collect()
     }
 
     /// Compares content (keys and counts) with another store — the
@@ -128,6 +148,17 @@ impl ViewStore {
                 .tuples
                 .iter()
                 .all(|(k, (_, c))| other.tuples.get(k).is_some_and(|(_, oc)| oc == c))
+    }
+
+    /// Strict equality: keys, derivation counts *and* every stored
+    /// `val` / `cont` field must match. The oracle for "snapshot plus
+    /// replayed deltas reproduces the post-commit store exactly".
+    pub fn identical_to(&self, other: &ViewStore) -> bool {
+        self.tuples.len() == other.tuples.len()
+            && self
+                .tuples
+                .iter()
+                .all(|(k, (t, c))| other.tuples.get(k).is_some_and(|(ot, oc)| oc == c && ot == t))
     }
 
     /// Detailed difference description for test failures.
@@ -150,6 +181,38 @@ impl ViewStore {
         out
     }
 }
+
+/// Document-order comparison of two same-arity tuples by their ID
+/// columns (shared with delta canonicalization in `crate::commit`).
+pub(crate) fn doc_order(a: &Tuple, b: &Tuple) -> std::cmp::Ordering {
+    for i in 0..a.arity() {
+        let c = a.field(i).id.doc_cmp(&b.field(i).id);
+        if c.is_ne() {
+            return c;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Borrowing document-order iterator over a [`ViewStore`] — see
+/// [`ViewStore::cursor`].
+pub struct Cursor<'a> {
+    inner: std::vec::IntoIter<(&'a Tuple, u64)>,
+}
+
+impl<'a> Iterator for Cursor<'a> {
+    type Item = (&'a Tuple, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Cursor<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -198,6 +261,48 @@ mod tests {
         let ords: Vec<u64> =
             s.sorted_tuples().iter().map(|(t, _)| t.field(0).id.steps()[0].ord).collect();
         assert_eq!(ords, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn cursor_borrows_in_doc_order_and_matches_sorted_tuples() {
+        let mut s = store();
+        s.add(tup(5), 1);
+        s.add(tup(1), 2);
+        s.add(tup(3), 1);
+        let cursor_ords: Vec<(u64, u64)> =
+            s.cursor().map(|(t, c)| (t.field(0).id.steps()[0].ord, c)).collect();
+        assert_eq!(cursor_ords, vec![(1, 2), (3, 1), (5, 1)]);
+        let cloned: Vec<(u64, u64)> =
+            s.sorted_tuples().iter().map(|(t, c)| (t.field(0).id.steps()[0].ord, *c)).collect();
+        assert_eq!(cursor_ords, cloned);
+        assert_eq!(s.cursor().len(), 3);
+        assert_eq!(s.iter().count(), 3);
+    }
+
+    #[test]
+    fn tuples_mut_patches_fields_in_place() {
+        let mut s = store();
+        s.add(tup(1), 1);
+        for (_, t) in s.tuples_mut() {
+            t.field_mut(0).val = Some("patched".into());
+        }
+        let key = tup(1).id_key();
+        assert_eq!(s.tuple(&key).unwrap().field(0).val.as_deref(), Some("patched"));
+        assert!(s.tuple(&tup(9).id_key()).is_none());
+    }
+
+    #[test]
+    fn identical_to_sees_field_differences_content_comparison_ignores() {
+        let mut a = store();
+        let mut b = store();
+        a.add(tup(1), 1);
+        b.add(tup(1), 1);
+        assert!(a.identical_to(&b));
+        for (_, t) in b.tuples_mut() {
+            t.field_mut(0).val = Some("changed".into());
+        }
+        assert!(a.same_content_as(&b), "keys and counts still agree");
+        assert!(!a.identical_to(&b), "but the stored fields differ");
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! Typed statement construction: build [`UpdateStatement`]s from XPath
+//! values and content trees instead of strings.
+//!
+//! The textual forms (`parse_statement`) stay the wire format, but an
+//! application composing updates programmatically should not have to
+//! print XPath and XML just to have the engine re-parse them. This
+//! module gives every statement form a constructor that accepts
+//! *either* text or an already-typed value:
+//!
+//! * targets are [`PathSource`]: `&str` / `String` XPath text, or a
+//!   parsed [`LocationPath`];
+//! * content is [`ContentSource`]: raw forest text, or an [`Element`]
+//!   tree built with [`element()`] (labels, attributes, text and
+//!   children — serialized with proper escaping);
+//! * the finished value is an [`UpdateBuilder`], resolved by
+//!   [`UpdateBuilder::build`] — or handed directly to
+//!   `Database::apply` / `Transaction::statement`, which accept it via
+//!   `Into<StatementSource>` and surface any parse error through their
+//!   own `Result`.
+//!
+//! ```
+//! use xivm_update::builder::{element, insert, UpdateBuilder};
+//!
+//! // insert <person id="p1"><name>Jim</name></person> into /site/people
+//! let stmt = insert(
+//!     element("person")
+//!         .attr("id", "p1")
+//!         .child(element("name").text("Jim")),
+//! )
+//! .into("/site/people")
+//! .build()
+//! .unwrap();
+//! assert!(stmt.is_insert());
+//!
+//! // the same statement, built from text — bit-identical
+//! let textual = xivm_update::statement::parse_statement(
+//!     "insert <person id=\"p1\"><name>Jim</name></person> into /site/people",
+//! )
+//! .unwrap();
+//! assert_eq!(stmt, textual);
+//! ```
+
+use crate::statement::{StatementParseError, UpdateStatement};
+use xivm_pattern::xpath::{parse_xpath, LocationPath};
+
+// ---------------------------------------------------------------------
+// Typed inputs
+// ---------------------------------------------------------------------
+
+/// An XPath target: text (parsed at [`UpdateBuilder::build`]) or an
+/// already-parsed [`LocationPath`]. Converts via `From<&str>`,
+/// `From<String>` and `From<LocationPath>`.
+#[derive(Debug, Clone)]
+pub enum PathSource {
+    Text(String),
+    Ready(LocationPath),
+}
+
+impl From<&str> for PathSource {
+    fn from(text: &str) -> Self {
+        PathSource::Text(text.to_owned())
+    }
+}
+
+impl From<String> for PathSource {
+    fn from(text: String) -> Self {
+        PathSource::Text(text)
+    }
+}
+
+impl From<LocationPath> for PathSource {
+    fn from(path: LocationPath) -> Self {
+        PathSource::Ready(path)
+    }
+}
+
+impl From<&LocationPath> for PathSource {
+    fn from(path: &LocationPath) -> Self {
+        PathSource::Ready(path.clone())
+    }
+}
+
+impl PathSource {
+    fn resolve(self) -> Result<LocationPath, StatementParseError> {
+        match self {
+            PathSource::Text(text) => parse_xpath(&text).map_err(StatementParseError::from),
+            PathSource::Ready(path) => Ok(path),
+        }
+    }
+}
+
+/// Inserted / replacement content: a raw XML forest, or a typed
+/// [`Element`] tree. Converts via `From<&str>`, `From<String>` and
+/// `From<Element>`.
+#[derive(Debug, Clone)]
+pub enum ContentSource {
+    Xml(String),
+    Tree(Element),
+}
+
+impl From<&str> for ContentSource {
+    fn from(xml: &str) -> Self {
+        ContentSource::Xml(xml.to_owned())
+    }
+}
+
+impl From<String> for ContentSource {
+    fn from(xml: String) -> Self {
+        ContentSource::Xml(xml)
+    }
+}
+
+impl From<Element> for ContentSource {
+    fn from(tree: Element) -> Self {
+        ContentSource::Tree(tree)
+    }
+}
+
+impl ContentSource {
+    fn resolve(self) -> String {
+        match self {
+            ContentSource::Xml(xml) => xml,
+            ContentSource::Tree(tree) => tree.to_xml(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Content trees
+// ---------------------------------------------------------------------
+
+/// A typed content node: one element with attributes and children,
+/// built by chaining on [`element()`]. Serializing with [`Self::to_xml`]
+/// escapes text and attribute values, so built content can never be
+/// malformed markup (element/attribute *names* are still validated by
+/// the XML parser at apply time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    name: String,
+    attrs: Vec<(String, String)>,
+    children: Vec<Content>,
+}
+
+/// One child of an [`Element`]: a nested element or a text run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Content {
+    Element(Element),
+    Text(String),
+}
+
+impl From<Element> for Content {
+    fn from(e: Element) -> Self {
+        Content::Element(e)
+    }
+}
+
+impl From<&str> for Content {
+    fn from(text: &str) -> Self {
+        Content::Text(text.to_owned())
+    }
+}
+
+impl From<String> for Content {
+    fn from(text: String) -> Self {
+        Content::Text(text)
+    }
+}
+
+/// Starts a typed content tree rooted at an element named `name`.
+pub fn element(name: impl Into<String>) -> Element {
+    Element { name: name.into(), attrs: Vec::new(), children: Vec::new() }
+}
+
+impl Element {
+    /// Adds an attribute.
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.push((name.into(), value.into()));
+        self
+    }
+
+    /// Appends a text child.
+    pub fn text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Content::Text(text.into()));
+        self
+    }
+
+    /// Appends a child (a nested [`Element`], or text via `From`).
+    pub fn child(mut self, child: impl Into<Content>) -> Self {
+        self.children.push(child.into());
+        self
+    }
+
+    /// Serializes the tree to markup, escaping text and attribute
+    /// values.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_into(v, true, out);
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        for child in &self.children {
+            match child {
+                Content::Element(e) => e.write(out),
+                Content::Text(t) => escape_into(t, false, out),
+            }
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push('>');
+    }
+}
+
+fn escape_into(s: &str, attribute: bool, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attribute => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Statement builders
+// ---------------------------------------------------------------------
+
+/// A fully specified statement whose inputs may still need parsing.
+/// Produced by [`delete`], [`insert`], [`replace`] and [`copy`];
+/// resolved by [`Self::build`] (or implicitly by the `Database`
+/// façade, which accepts `UpdateBuilder` wherever it accepts
+/// statement text).
+#[derive(Debug, Clone)]
+pub struct UpdateBuilder {
+    kind: BuilderKind,
+}
+
+#[derive(Debug, Clone)]
+enum BuilderKind {
+    Delete { target: PathSource },
+    Insert { content: ContentSource, target: PathSource },
+    Replace { target: PathSource, content: ContentSource },
+    Copy { source: PathSource, target: PathSource },
+}
+
+impl UpdateBuilder {
+    /// Parses any deferred text inputs and yields the typed statement.
+    pub fn build(self) -> Result<UpdateStatement, StatementParseError> {
+        Ok(match self.kind {
+            BuilderKind::Delete { target } => UpdateStatement::Delete { target: target.resolve()? },
+            BuilderKind::Insert { content, target } => {
+                UpdateStatement::Insert { target: target.resolve()?, xml: content.resolve() }
+            }
+            BuilderKind::Replace { target, content } => {
+                UpdateStatement::Replace { target: target.resolve()?, xml: content.resolve() }
+            }
+            BuilderKind::Copy { source, target } => {
+                UpdateStatement::InsertFrom { source: source.resolve()?, target: target.resolve()? }
+            }
+        })
+    }
+}
+
+/// `delete TARGET`.
+pub fn delete(target: impl Into<PathSource>) -> UpdateBuilder {
+    UpdateBuilder { kind: BuilderKind::Delete { target: target.into() } }
+}
+
+/// `insert CONTENT into TARGET` — finish with [`Insert::into`].
+pub fn insert(content: impl Into<ContentSource>) -> Insert {
+    Insert { content: content.into() }
+}
+
+/// Intermediate state of [`insert`]: content chosen, target pending.
+#[derive(Debug, Clone)]
+pub struct Insert {
+    content: ContentSource,
+}
+
+impl Insert {
+    /// Chooses the insertion target, completing the statement.
+    pub fn into(self, target: impl Into<PathSource>) -> UpdateBuilder {
+        UpdateBuilder { kind: BuilderKind::Insert { content: self.content, target: target.into() } }
+    }
+}
+
+/// `replace TARGET with CONTENT` — finish with [`Replace::with`].
+pub fn replace(target: impl Into<PathSource>) -> Replace {
+    Replace { target: target.into() }
+}
+
+/// Intermediate state of [`replace`]: target chosen, content pending.
+#[derive(Debug, Clone)]
+pub struct Replace {
+    target: PathSource,
+}
+
+impl Replace {
+    /// Chooses the replacement content, completing the statement.
+    pub fn with(self, content: impl Into<ContentSource>) -> UpdateBuilder {
+        UpdateBuilder {
+            kind: BuilderKind::Replace { target: self.target, content: content.into() },
+        }
+    }
+}
+
+/// `insert SOURCE into TARGET` (copy nodes already in the document) —
+/// finish with [`Copy::into`].
+pub fn copy(source: impl Into<PathSource>) -> Copy {
+    Copy { source: source.into() }
+}
+
+/// Intermediate state of [`copy`]: source chosen, target pending.
+#[derive(Debug, Clone)]
+pub struct Copy {
+    source: PathSource,
+}
+
+impl Copy {
+    /// Chooses the copy destination, completing the statement.
+    pub fn into(self, target: impl Into<PathSource>) -> UpdateBuilder {
+        UpdateBuilder { kind: BuilderKind::Copy { source: self.source, target: target.into() } }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statement::parse_statement;
+
+    #[test]
+    fn builders_equal_their_textual_forms() {
+        let cases: Vec<(UpdateBuilder, &str)> = vec![
+            (delete("//a//b"), "delete //a//b"),
+            (insert("<b/>").into("/a/c"), "insert <b/> into /a/c"),
+            (
+                insert(element("b").attr("k", "1").text("t")).into("/a/c"),
+                "insert <b k=\"1\">t</b> into /a/c",
+            ),
+            (replace("//c").with(element("g").child(element("h"))), "replace //c with <g><h/></g>"),
+            (copy("//tpl/i").into("//dst"), "insert //tpl/i into //dst"),
+        ];
+        for (builder, text) in cases {
+            assert_eq!(builder.build().unwrap(), parse_statement(text).unwrap(), "{text}");
+        }
+    }
+
+    #[test]
+    fn typed_paths_skip_the_parser() {
+        let path = parse_xpath("/a/c").unwrap();
+        let stmt = delete(&path).build().unwrap();
+        assert_eq!(stmt, UpdateStatement::Delete { target: path });
+    }
+
+    #[test]
+    fn content_trees_escape_text_and_attributes() {
+        let e = element("note").attr("k", "a\"b<c").text("1 < 2 & 3 > 2");
+        assert_eq!(e.to_xml(), "<note k=\"a&quot;b&lt;c\">1 &lt; 2 &amp; 3 &gt; 2</note>");
+    }
+
+    #[test]
+    fn bad_paths_surface_at_build_time() {
+        assert!(delete("//[").build().is_err());
+        assert!(insert("<b/>").into("//[").build().is_err());
+    }
+
+    #[test]
+    fn nested_content_serializes_depth_first() {
+        let e = element("r")
+            .child(element("x").child(element("y")))
+            .child("tail")
+            .child(element("z").text("v"));
+        assert_eq!(e.to_xml(), "<r><x><y/></x>tail<z>v</z></r>");
+    }
+}

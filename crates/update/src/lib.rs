@@ -1,8 +1,11 @@
 //! The XQuery Update subset of Section 2.3 and its runtime.
 //!
 //! * [`statement`] — statement-level updates: `delete q`,
-//!   `insert xml into q`, `for $x in q insert xml into $x`, and
-//!   `insert q1 into q2`;
+//!   `insert xml into q`, `for $x in q insert xml into $x`,
+//!   `insert q1 into q2`, and `replace q with xml`;
+//! * [`builder`] — typed statement construction: the same forms from
+//!   XPath values and [`builder::Element`] content trees instead of
+//!   strings;
 //! * [`pul`] — pending update lists (`compute-pul`, Section 3.4):
 //!   atomic `ins↘` / `del` operations over structural IDs;
 //! * [`apply`] — applying a PUL to the document (`apply-insert`),
@@ -17,11 +20,13 @@
 //! at the repository root.
 
 pub mod apply;
+pub mod builder;
 pub mod delta;
 pub mod pul;
 pub mod statement;
 
 pub use apply::{apply_pul, ApplyResult, DeletedNode};
+pub use builder::{element, UpdateBuilder};
 pub use delta::{DeltaMinus, DeltaPlus};
 pub use pul::{compute_pul, AtomicOp, Pul};
 pub use statement::UpdateStatement;

@@ -90,6 +90,21 @@ pub fn compute_pul(doc: &Document, stmt: &UpdateStatement) -> Pul {
                 }
             }
         }
+        UpdateStatement::Replace { target, xml } => {
+            // Lowered to the two fundamental operations: `del(n)` plus
+            // `ins↘(parent(n), forest)`. The root has no parent and is
+            // skipped; for nested targets the inner ops become no-ops
+            // at apply time (their context vanishes with the outer
+            // subtree), so only the outermost occurrence is replaced.
+            for n in eval_path(doc, target) {
+                let Some(parent) = doc.parent_of(n) else { continue };
+                if doc.node(parent).kind != NodeKind::Element {
+                    continue;
+                }
+                ops.push(AtomicOp::Delete { node: doc.dewey(n) });
+                ops.push(AtomicOp::InsertInto { target: doc.dewey(parent), forest: xml.clone() });
+            }
+        }
     }
     Pul::new(ops)
 }
@@ -145,5 +160,39 @@ mod tests {
         let d = doc();
         let stmt = UpdateStatement::insert_from("//nothing", "//c").unwrap();
         assert!(compute_pul(&d, &stmt).is_empty());
+    }
+
+    #[test]
+    fn replace_lowers_to_delete_plus_insert_at_parent() {
+        let d = doc();
+        let stmt = UpdateStatement::replace("//c//b", "<x/>").unwrap();
+        let pul = compute_pul(&d, &stmt);
+        assert_eq!(pul.len(), 2);
+        let AtomicOp::Delete { node } = &pul.ops[0] else { panic!("expected del first") };
+        let AtomicOp::InsertInto { target, forest } = &pul.ops[1] else {
+            panic!("expected ins second")
+        };
+        assert_eq!(forest, "<x/>");
+        assert!(target.is_parent_of(node), "insert goes to the deleted node's parent");
+    }
+
+    #[test]
+    fn replace_of_root_is_skipped() {
+        let d = doc();
+        let stmt = UpdateStatement::replace("/a", "<z/>").unwrap();
+        assert!(compute_pul(&d, &stmt).is_empty());
+    }
+
+    #[test]
+    fn replace_applies_end_to_end() {
+        let mut d = parse_document("<a><c><b/></c><f><b/></f></a>").unwrap();
+        let stmt = UpdateStatement::replace("//c", "<g><h/></g>").unwrap();
+        let pul = compute_pul(&d, &stmt);
+        crate::apply::apply_pul(&mut d, &pul).unwrap();
+        assert_eq!(
+            xivm_xml::serialize_document(&d),
+            "<a><f><b/></f><g><h/></g></a>",
+            "old subtree removed, replacement appended under the parent"
+        );
     }
 }

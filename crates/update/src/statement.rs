@@ -8,7 +8,10 @@ use xivm_pattern::xpath::{parse_xpath, LocationPath, XPathParseError};
 /// `for $x in q insert xml into $x` and `insert xml into q` coincide
 /// here: both insert the forest under every node returned by `q`.
 /// `insert q1 into q2` copies the forests rooted at `q1`'s results
-/// under every `q2` result.
+/// under every `q2` result. `replace q with xml` removes each `q`
+/// result's subtree and appends the forest under its parent (the root
+/// cannot be replaced; nested targets are replaced at the outermost
+/// occurrence only).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UpdateStatement {
     /// `delete q`.
@@ -17,6 +20,9 @@ pub enum UpdateStatement {
     Insert { target: LocationPath, xml: String },
     /// `insert q1 into q2` — both paths over the same document.
     InsertFrom { source: LocationPath, target: LocationPath },
+    /// `replace q with xml` — `del(n)` + `ins↘(parent(n), xml)` for
+    /// every `q` result `n`.
+    Replace { target: LocationPath, xml: String },
 }
 
 impl UpdateStatement {
@@ -38,7 +44,13 @@ impl UpdateStatement {
         })
     }
 
-    /// True for the insertion variants.
+    /// `replace <path> with <xml>`.
+    pub fn replace(path: &str, xml: impl Into<String>) -> Result<Self, XPathParseError> {
+        Ok(UpdateStatement::Replace { target: parse_xpath(path)?, xml: xml.into() })
+    }
+
+    /// True for the statements that insert content (`Replace` both
+    /// deletes and inserts, so it counts).
     pub fn is_insert(&self) -> bool {
         !matches!(self, UpdateStatement::Delete { .. })
     }
@@ -48,18 +60,32 @@ impl UpdateStatement {
         match self {
             UpdateStatement::Delete { target }
             | UpdateStatement::Insert { target, .. }
-            | UpdateStatement::InsertFrom { target, .. } => target,
+            | UpdateStatement::InsertFrom { target, .. }
+            | UpdateStatement::Replace { target, .. } => target,
         }
     }
 }
 
 /// Parses the textual statement forms used in the paper's test set:
 /// `delete PATH`, `insert XML into PATH`,
-/// `for $x in PATH insert XML into $x`, `insert PATH1 into PATH2`.
+/// `for $x in PATH insert XML into $x`, `insert PATH1 into PATH2`,
+/// `replace PATH with XML`.
 pub fn parse_statement(input: &str) -> Result<UpdateStatement, StatementParseError> {
     let text = input.trim();
     if let Some(rest) = text.strip_prefix("delete ") {
         return UpdateStatement::delete(rest.trim()).map_err(StatementParseError::from);
+    }
+    if let Some(rest) = text.strip_prefix("replace ") {
+        // The path may itself contain " with " inside a quoted value
+        // predicate (`//order[sku = "tea with milk"]`), so take the
+        // first separator that sits *outside* any quoted literal and
+        // whose right-hand side is an XML forest.
+        let with_pos = replace_split_pos(rest).ok_or_else(|| {
+            StatementParseError::syntax("missing 'with' followed by an XML forest")
+        })?;
+        let path = rest[..with_pos].trim();
+        let xml = rest[with_pos + " with ".len()..].trim();
+        return UpdateStatement::replace(path, xml).map_err(StatementParseError::from);
     }
     if let Some(rest) = text.strip_prefix("for ") {
         // for $x in PATH insert XML into $x
@@ -88,6 +114,28 @@ pub fn parse_statement(input: &str) -> Result<UpdateStatement, StatementParseErr
         return UpdateStatement::insert_from(what, target).map_err(StatementParseError::from);
     }
     Err(StatementParseError::syntax("expected 'delete', 'insert' or 'for'"))
+}
+
+/// Position of the `" with "` separating a replace statement's path
+/// from its content: the first occurrence at quote depth 0 whose
+/// right-hand side starts an XML forest. Quoted string literals in
+/// value predicates may contain anything (including `" with <"`)
+/// without confusing the split.
+fn replace_split_pos(rest: &str) -> Option<usize> {
+    let mut in_quotes = false;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            ' ' if !in_quotes
+                && rest[i..].starts_with(" with ")
+                && rest[i + " with ".len()..].trim_start().starts_with('<') =>
+            {
+                return Some(i);
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Statement parse error.
@@ -160,9 +208,42 @@ mod tests {
     }
 
     #[test]
+    fn parse_replace() {
+        let s = parse_statement("replace //a/b with <c>1</c>").unwrap();
+        match s {
+            UpdateStatement::Replace { xml, target } => {
+                assert_eq!(xml, "<c>1</c>");
+                assert_eq!(target.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_replace_with_quoted_with_in_the_predicate() {
+        let s = parse_statement(r#"replace //order[sku = "tea with milk"] with <order/>"#).unwrap();
+        match s {
+            UpdateStatement::Replace { xml, target } => {
+                assert_eq!(xml, "<order/>");
+                assert_eq!(target.len(), 1, "the quoted ' with ' stays inside the path");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // even a quoted literal containing " with <" cannot fake the
+        // separator
+        let s = parse_statement(r#"replace //order[sku = " with <tea"] with <order/>"#).unwrap();
+        match s {
+            UpdateStatement::Replace { xml, .. } => assert_eq!(xml, "<order/>"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
-        assert!(parse_statement("replace //a with <b/>").is_err());
+        assert!(parse_statement("rename //a as b").is_err());
         assert!(parse_statement("insert <a/> //x").is_err());
         assert!(parse_statement("for $x insert <a/> into $x").is_err());
+        assert!(parse_statement("replace //a <b/>").is_err());
+        assert!(parse_statement("replace //a with //b").is_err());
     }
 }

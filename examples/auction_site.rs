@@ -39,8 +39,8 @@ fn main() -> Result<(), Error> {
             ("privacy-conscious bidders bid", update_by_name("X4_O").insert_stmt()),
         ];
         for (what, stmt) in script {
-            let reports = db.apply(stmt)?;
-            let report = db.report_for(&reports, view).expect("view was maintained");
+            let commit = db.apply(stmt)?;
+            let report = commit.report(view);
             // sanity: full recomputation agrees
             let check = Instant::now();
             let fresh = recompute_store(db.document(), db.pattern(view));

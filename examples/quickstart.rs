@@ -7,6 +7,7 @@
 //! ```
 
 use xivm::prelude::*;
+use xivm::update::builder::insert;
 
 fn main() -> Result<(), Error> {
     // 1. A database owning the paper's Figure 12 document and the
@@ -26,13 +27,16 @@ fn main() -> Result<(), Error> {
     println!("view has {} tuples (Figure 12 lists 8 embeddings)", db.store(acb).len());
     print_tuples(&db, acb);
 
-    // 2. The paper's Example 4.5: delete /a/f/c.
-    let reports = db.apply("delete /a/f/c")?;
-    let report = db.report_for(&reports, acb).expect("acb was maintained");
+    // 2. The paper's Example 4.5: delete /a/f/c. The returned Commit
+    //    carries the view's exact delta alongside the usual report.
+    let commit = db.apply("delete /a/f/c")?;
+    let report = commit.report(acb);
     println!(
-        "\nafter `delete /a/f/c`: removed {} derivations in {:.3} ms \
-         ({} terms survived pruning out of {})",
+        "\nafter `delete /a/f/c` (commit #{}): removed {} derivations \
+         ({} delta entries) in {:.3} ms ({} terms survived pruning out of {})",
+        commit.seq,
         report.derivations_removed,
+        commit.delta(acb).len(),
         report.timings.maintenance_total().as_secs_f64() * 1e3,
         report.delete_prune.after_id_reasoning,
         report.delete_prune.before,
@@ -40,17 +44,18 @@ fn main() -> Result<(), Error> {
     println!("view now has {} tuples:", db.store(acb).len());
     print_tuples(&db, acb);
 
-    // 3. Insertions are just as incremental.
-    let reports = db.apply("insert <c><b/></c> into /a/f")?;
-    let report = db.report_for(&reports, acb).expect("acb was maintained");
+    // 3. Insertions are just as incremental — and statements can be
+    //    built as typed values instead of strings.
+    let commit = db.apply(insert(element("c").child(element("b"))).into("/a/f"))?;
+    let report = commit.report(acb);
     println!(
-        "\nafter `insert <c><b/></c> into /a/f`: +{} tuples, +{} derivations",
+        "\nafter inserting a typed <c><b/></c> under /a/f: +{} tuples, +{} derivations",
         report.tuples_added, report.derivations_added
     );
 
     // 4. Statement batches go through the Section 5 PUL optimizer:
     //    one optimized PUL, one shared propagation pass.
-    let report = db
+    let commit = db
         .transaction()
         .statement("insert <b/> into /a/c")
         .statement("insert <b/> into /a/c")
@@ -59,19 +64,20 @@ fn main() -> Result<(), Error> {
     println!(
         "\ntransaction of {} statements propagated as {} atomic op(s) \
          (naively {}; O1 fired {}, O3 fired {}, I5 fired {})",
-        report.statements,
-        report.optimized_ops,
-        report.naive_ops,
-        report.reduction.o1_fired,
-        report.reduction.o3_fired,
-        report.reduction.i5_fired,
+        commit.statements,
+        commit.optimized_ops,
+        commit.naive_ops,
+        commit.reduction.o1_fired,
+        commit.reduction.o3_fired,
+        commit.reduction.i5_fired,
     );
     println!("view now has {} tuples", db.store(acb).len());
     Ok(())
 }
 
 fn print_tuples(db: &Database, view: ViewHandle) {
-    for (tuple, count) in db.store(view).sorted_tuples() {
+    // `cursor` iterates the tuples in document order without cloning.
+    for (tuple, count) in db.cursor(view) {
         let ids: Vec<String> = tuple
             .fields()
             .iter()

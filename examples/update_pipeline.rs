@@ -46,7 +46,7 @@ fn main() -> Result<(), Error> {
         .build()?;
 
     // A sequence of statements, as an application would issue them.
-    let report = db
+    let commit = db
         .transaction()
         .statement("insert <b/> into //w") // pointless: //x is deleted below (rule O3)
         .statement("insert <b/> into //x") // pointless: //x is deleted below (rule O1)
@@ -57,19 +57,20 @@ fn main() -> Result<(), Error> {
     println!(
         "\nreduced {} statements ({} atomic operations) to {} \
          (O1 fired {}, O3 fired {}, I5 fired {})",
-        report.statements,
-        report.naive_ops,
-        report.optimized_ops,
-        report.reduction.o1_fired,
-        report.reduction.o3_fired,
-        report.reduction.i5_fired,
+        commit.statements,
+        commit.naive_ops,
+        commit.optimized_ops,
+        commit.reduction.o1_fired,
+        commit.reduction.o3_fired,
+        commit.reduction.i5_fired,
     );
     let rb = db.view("rb")?;
-    let r = db.report_for(&report.per_view, rb).expect("rb was maintained");
+    let r = commit.report(rb);
     println!(
-        "propagated in one pass: +{} tuples, -{} tuples, document now: {}",
+        "propagated in one pass: +{} tuples, -{} tuples ({} delta entries), document now: {}",
         r.tuples_added,
         r.tuples_removed,
+        commit.delta(rb).len(),
         db.serialize()
     );
 

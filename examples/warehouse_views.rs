@@ -29,15 +29,16 @@ fn main() -> Result<(), Error> {
     println!("materialized {} views over one auction document", warehouse.len());
 
     for u in ["A6_A", "X4_O", "B5_LB"] {
-        let reports = warehouse.apply(update_by_name(u).insert_stmt())?;
-        let touched: Vec<String> = reports
+        let commit = warehouse.apply(update_by_name(u).insert_stmt())?;
+        let touched: Vec<String> = commit
             .iter()
-            .filter(|(_, r)| r.tuples_added + r.tuples_removed + r.tuples_modified > 0)
+            .filter(|(_, r)| !r.delta.is_empty())
             .map(|(n, r)| format!("{n}(+{})", r.tuples_added))
             .collect();
+        let (_, first) = commit.iter().next().expect("views were maintained");
         println!(
             "  {u:<6} found targets once ({:>7.3} ms), affected: {}",
-            reports[0].1.timings.find_target_nodes.as_secs_f64() * 1e3,
+            first.timings.find_target_nodes.as_secs_f64() * 1e3,
             if touched.is_empty() { "none".to_owned() } else { touched.join(" ") },
         );
     }
@@ -52,8 +53,8 @@ fn main() -> Result<(), Error> {
     let mut db =
         Database::builder().document(doc).cost_based(profile).view("Q2", pattern).build()?;
     let q2 = db.view("Q2")?;
-    let reports = db.apply(update_by_name("X2_L").insert_stmt())?;
-    let report = db.report_for(&reports, q2).expect("Q2 was maintained");
+    let commit = db.apply(update_by_name("X2_L").insert_stmt())?;
+    let report = commit.report(q2);
     println!(
         "  maintained Q2 in {:.3} ms (+{} tuples)",
         report.timings.maintenance_total().as_secs_f64() * 1e3,

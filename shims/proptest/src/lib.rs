@@ -8,20 +8,40 @@
 //! `#![proptest_config(..)]`, and `prop_assert!` / `prop_assert_eq!`.
 //!
 //! Differences from the real crate, by design:
-//! - **no shrinking** — a failing case reports its seed and case
-//!   number instead of a minimized input;
+//! - **greedy choice-sequence shrinking** instead of value trees: the
+//!   shim records the raw RNG draws behind a failing case and
+//!   minimizes *that sequence* (deleting blocks, binary-searching
+//!   individual draws toward zero), re-running generation + body on
+//!   each candidate. Generation is a deterministic function of the
+//!   draw stream, so any strategy shrinks for free — `Map`ped,
+//!   recursive and unioned strategies included (the technique
+//!   Hypothesis uses internally);
 //! - generation is **deterministic**: the base seed is fixed (or
 //!   taken from `PROPTEST_SEED`) so CI failures reproduce locally;
 //! - `PROPTEST_CASES` overrides the per-test case count globally,
-//!   which is how CI bounds total runtime.
+//!   which is how CI bounds total runtime; `PROPTEST_MAX_SHRINK_ITERS`
+//!   does the same for the shrink budget (0 disables shrinking).
 
 pub mod test_runner {
     use std::fmt;
 
-    /// Deterministic xoshiro256++ RNG used to drive generation.
+    /// How a [`TestRng`] produces draws: live generation (optionally
+    /// recorded) or replay of a captured choice sequence.
+    #[derive(Clone, Debug)]
+    enum Mode {
+        Random,
+        Recording(Vec<u64>),
+        Replay { draws: Vec<u64>, pos: usize },
+    }
+
+    /// Deterministic xoshiro256++ RNG used to drive generation, with a
+    /// record / replay layer for shrinking: every `next_u64` can be
+    /// captured, and a captured sequence can be played back (padding
+    /// with zeros — the minimal draw — once exhausted).
     #[derive(Clone, Debug)]
     pub struct TestRng {
         s: [u64; 4],
+        mode: Mode,
     }
 
     impl TestRng {
@@ -34,7 +54,31 @@ pub mod test_runner {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
                 z ^ (z >> 31)
             };
-            TestRng { s: [next(), next(), next(), next()] }
+            TestRng { s: [next(), next(), next(), next()], mode: Mode::Random }
+        }
+
+        /// An rng that replays a recorded choice sequence, yielding 0
+        /// for every draw past its end.
+        pub fn replaying(draws: Vec<u64>) -> Self {
+            TestRng { s: [0; 4], mode: Mode::Replay { draws, pos: 0 } }
+        }
+
+        /// Starts capturing draws (replacing any previous capture).
+        /// The underlying generator state is unaffected.
+        pub fn start_recording(&mut self) {
+            self.mode = Mode::Recording(Vec::new());
+        }
+
+        /// Stops capturing and returns the draws made since
+        /// [`Self::start_recording`].
+        pub fn take_recording(&mut self) -> Vec<u64> {
+            match std::mem::replace(&mut self.mode, Mode::Random) {
+                Mode::Recording(draws) => draws,
+                other => {
+                    self.mode = other;
+                    Vec::new()
+                }
+            }
         }
 
         /// Base seed: `PROPTEST_SEED` env var, else a fixed default so
@@ -47,6 +91,11 @@ pub mod test_runner {
         }
 
         pub fn next_u64(&mut self) -> u64 {
+            if let Mode::Replay { draws, pos } = &mut self.mode {
+                let value = draws.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                return value;
+            }
             let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
             let t = self.s[1] << 17;
             self.s[2] ^= self.s[0];
@@ -55,10 +104,15 @@ pub mod test_runner {
             self.s[0] ^= self.s[3];
             self.s[2] ^= t;
             self.s[3] = self.s[3].rotate_left(45);
+            if let Mode::Recording(draws) = &mut self.mode {
+                draws.push(result);
+            }
             result
         }
 
-        /// Uniform draw from `[0, bound)` (`bound > 0`).
+        /// Uniform draw from `[0, bound)` (`bound > 0`). Monotone in
+        /// the raw draw, which is what makes draw-level minimization
+        /// shrink the produced values too.
         pub fn below(&mut self, bound: u64) -> u64 {
             debug_assert!(bound > 0);
             ((self.next_u64() as u128 * bound as u128) >> 64) as u64
@@ -74,7 +128,8 @@ pub mod test_runner {
     pub struct Config {
         /// Number of successful cases required per property.
         pub cases: u32,
-        /// Accepted for compatibility; the shim never shrinks.
+        /// Budget for shrink attempts (candidate re-executions) after
+        /// a failure. 0 disables shrinking.
         pub max_shrink_iters: u32,
         /// Accepted for compatibility; the shim never persists failures.
         pub failure_persistence: Option<()>,
@@ -94,11 +149,20 @@ pub mod test_runner {
                 .unwrap_or(self.cases)
                 .max(1)
         }
+
+        /// `PROPTEST_MAX_SHRINK_ITERS` overrides the shrink budget
+        /// (0 disables shrinking).
+        pub fn effective_max_shrink_iters(&self) -> u32 {
+            std::env::var("PROPTEST_MAX_SHRINK_ITERS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.max_shrink_iters)
+        }
     }
 
     impl Default for Config {
         fn default() -> Self {
-            Config { cases: 256, max_shrink_iters: 0, failure_persistence: None }
+            Config { cases: 256, max_shrink_iters: 1024, failure_persistence: None }
         }
     }
 
@@ -131,6 +195,151 @@ pub mod test_runner {
     }
 
     impl std::error::Error for TestCaseError {}
+
+    /// Renders a caught panic payload as the failure message.
+    pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_owned()
+        }
+    }
+
+    /// Runs `f` with a no-op panic hook, so the hundreds of caught
+    /// panics a shrink search may trigger don't flood stderr. The
+    /// previous hook is restored by a drop guard, so it comes back
+    /// even if `f` unwinds. Caveat: the hook is process-global, so a
+    /// test failing on *another* thread while a shrink search runs
+    /// prints nothing until the search ends — its failure itself is
+    /// still reported by the harness.
+    pub fn with_silent_panics<T>(f: impl FnOnce() -> T) -> T {
+        type Hook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+        struct RestoreHook(Option<Hook>);
+        impl Drop for RestoreHook {
+            fn drop(&mut self) {
+                if let Some(hook) = self.0.take() {
+                    std::panic::set_hook(hook);
+                }
+            }
+        }
+        let guard = RestoreHook(Some(std::panic::take_hook()));
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        drop(guard);
+        out
+    }
+}
+
+pub mod shrink {
+    //! Greedy minimization of a failing case's choice sequence.
+    //!
+    //! A test case is fully determined by the `u64` draws its
+    //! strategies consumed. Shrinking therefore never needs to invert
+    //! a strategy: it edits the draw sequence — shorter first (block
+    //! deletion makes collections smaller and recursive strategies
+    //! bottom out), then smaller (binary search per draw; `below` is
+    //! monotone in the raw draw) — and keeps any edit under which the
+    //! property still fails. Every candidate execution counts against
+    //! the `max_shrink_iters` budget.
+
+    /// Outcome of one greedy minimization.
+    pub struct Minimized {
+        /// The smallest failing choice sequence found.
+        pub draws: Vec<u64>,
+        /// The failure message of that sequence.
+        pub reason: String,
+        /// Candidate executions spent.
+        pub iters: u32,
+    }
+
+    /// Greedily minimizes `draws` (a known-failing choice sequence
+    /// with failure message `reason`). `still_fails` re-runs the
+    /// property on a candidate sequence and returns the failure
+    /// message if it still fails (a rejected or passing candidate
+    /// returns `None`).
+    pub fn minimize(
+        draws: Vec<u64>,
+        reason: String,
+        max_iters: u32,
+        still_fails: &mut dyn FnMut(&[u64]) -> Option<String>,
+    ) -> Minimized {
+        let mut best = Minimized { draws, reason, iters: 0 };
+        if max_iters == 0 {
+            return best;
+        }
+        loop {
+            let mut improved = false;
+
+            // Pass 1: delete blocks of draws, largest first. Removing
+            // draws shortens generated collections and flattens
+            // recursive structures.
+            let mut size = best.draws.len() / 2;
+            while size >= 1 {
+                let mut start = 0;
+                while start + size <= best.draws.len() {
+                    if best.iters >= max_iters {
+                        return best;
+                    }
+                    let mut candidate = best.draws.clone();
+                    candidate.drain(start..start + size);
+                    best.iters += 1;
+                    match still_fails(&candidate) {
+                        Some(msg) => {
+                            best.draws = candidate;
+                            best.reason = msg;
+                            improved = true;
+                            // retry the same position at this size
+                        }
+                        None => start += size,
+                    }
+                }
+                size /= 2;
+            }
+
+            // Pass 2: minimize each draw value. Try zero outright,
+            // then binary-search the smallest still-failing value
+            // (greedy: assumes failing values form an upward-closed
+            // set per position, which holds for threshold-style
+            // properties and is harmless otherwise).
+            for i in 0..best.draws.len() {
+                if best.draws[i] == 0 || best.iters >= max_iters {
+                    continue;
+                }
+                let mut candidate = best.draws.clone();
+                candidate[i] = 0;
+                best.iters += 1;
+                if let Some(msg) = still_fails(&candidate) {
+                    best.draws = candidate;
+                    best.reason = msg;
+                    improved = true;
+                    continue;
+                }
+                // 0 passes, best.draws[i] fails: bisect between them.
+                let (mut lo, mut hi) = (0u64, best.draws[i]);
+                while hi - lo > 1 && best.iters < max_iters {
+                    let mid = lo + (hi - lo) / 2;
+                    let mut candidate = best.draws.clone();
+                    candidate[i] = mid;
+                    best.iters += 1;
+                    match still_fails(&candidate) {
+                        Some(msg) => {
+                            hi = mid;
+                            best.draws = candidate;
+                            best.reason = msg;
+                            improved = true;
+                        }
+                        None => lo = mid,
+                    }
+                }
+            }
+
+            if !improved || best.iters >= max_iters {
+                return best;
+            }
+        }
+    }
 }
 
 pub mod strategy {
@@ -377,8 +586,10 @@ pub mod prelude {
 
 /// Defines property tests. Each argument is drawn from its strategy
 /// `cases` times; the body runs once per drawn set. On failure the
-/// panic message names the case number and base seed so the run can
-/// be reproduced with `PROPTEST_SEED`.
+/// case's choice sequence is greedily minimized (see [`shrink`]) and
+/// the panic message reports both the original and the minimized
+/// failure, plus the base seed so the run reproduces with
+/// `PROPTEST_SEED`.
 #[macro_export]
 macro_rules! proptest {
     (@config ($config:expr)
@@ -392,8 +603,35 @@ macro_rules! proptest {
             fn $name() {
                 let config: $crate::test_runner::Config = $config;
                 let cases = config.effective_cases();
+                let max_shrink = config.effective_max_shrink_iters();
                 let seed = $crate::test_runner::TestRng::default_seed();
                 let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                // One case, start to finish, on whatever rng it is
+                // handed: generate every argument, run the body. Both
+                // happen inside catch_unwind — a panicking `unwrap` in
+                // the body behaves like a failed assertion, and a
+                // strategy that panics on a shrunk (zero-padded) draw
+                // sequence cannot unwind out of the shrink search.
+                // Reused verbatim by the shrinker on replay rngs —
+                // generation is a pure function of the draw stream.
+                // (`mut` because a body may capture outer state
+                // mutably, making this FnMut.)
+                #[allow(unused_mut)]
+                let mut run_case = |rng: &mut $crate::test_runner::TestRng|
+                    -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut *rng);)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })) {
+                        ::std::result::Result::Ok(result) => result,
+                        ::std::result::Result::Err(payload) => {
+                            ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                                $crate::test_runner::panic_message(payload),
+                            ))
+                        }
+                    }
+                };
                 // A Reject does not count as a pass: the case is
                 // redrawn, and too many rejects fail the test instead
                 // of letting it pass vacuously (mirrors the real
@@ -402,23 +640,9 @@ macro_rules! proptest {
                 let mut rejects = 0u32;
                 let mut case = 0u32;
                 while case < cases {
-                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
-                    // Catch unwinds so a panicking `unwrap` in the body
-                    // still gets labeled with the case number and seed.
-                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                        match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
-                            $body
-                            ::std::result::Result::Ok(())
-                        })) {
-                            ::std::result::Result::Ok(result) => result,
-                            ::std::result::Result::Err(payload) => {
-                                eprintln!(
-                                    "proptest case {}/{} panicked (PROPTEST_SEED={})",
-                                    case + 1, cases, seed
-                                );
-                                ::std::panic::resume_unwind(payload);
-                            }
-                        };
+                    rng.start_recording();
+                    let outcome = run_case(&mut rng);
+                    let draws = rng.take_recording();
                     match outcome {
                         ::std::result::Result::Ok(()) => case += 1,
                         ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(reason)) => {
@@ -432,9 +656,38 @@ macro_rules! proptest {
                             }
                         }
                         ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(reason)) => {
+                            let original_len = draws.len();
+                            let minimized = $crate::test_runner::with_silent_panics(|| {
+                                $crate::shrink::minimize(
+                                    draws,
+                                    reason.clone(),
+                                    max_shrink,
+                                    &mut |candidate| {
+                                        let mut replay = $crate::test_runner::TestRng::replaying(
+                                            candidate.to_vec(),
+                                        );
+                                        match run_case(&mut replay) {
+                                            ::std::result::Result::Err(
+                                                $crate::test_runner::TestCaseError::Fail(msg),
+                                            ) => ::std::option::Option::Some(msg),
+                                            _ => ::std::option::Option::None,
+                                        }
+                                    },
+                                )
+                            });
+                            if minimized.iters == 0 {
+                                panic!(
+                                    "proptest case {}/{} failed (PROPTEST_SEED={}): {}",
+                                    case + 1, cases, seed, reason
+                                );
+                            }
                             panic!(
-                                "proptest case {}/{} failed (PROPTEST_SEED={}): {}",
-                                case + 1, cases, seed, reason
+                                "proptest case {}/{} failed (PROPTEST_SEED={}): {}\n\
+                                 minimized after {} shrink iteration(s) \
+                                 ({} -> {} draws): {}",
+                                case + 1, cases, seed, reason,
+                                minimized.iters, original_len, minimized.draws.len(),
+                                minimized.reason
                             );
                         }
                     }
@@ -568,6 +821,70 @@ mod tests {
     #[should_panic(expected = "gave up after")]
     fn all_rejects_fail_the_test() {
         always_rejects();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        // Driven by `shrinking_minimizes_scalars_to_the_boundary`: the
+        // per-draw binary search must land exactly on the smallest
+        // failing value, not merely a smaller one.
+        fn fails_at_seventeen(x in 0u64..1000) {
+            prop_assert!(x < 17, "x={}", x);
+        }
+
+        // Driven by `shrinking_minimizes_collections`: block deletion
+        // must shorten the vector to the minimal failing length.
+        fn fails_at_len_three(v in crate::collection::vec(0u64..100, 0..20)) {
+            prop_assert!(v.len() < 3, "len={}", v.len());
+        }
+
+        // Driven by `shrinking_handles_panicking_bodies`: a panicking
+        // `assert!` shrinks exactly like a `prop_assert!`.
+        fn panics_past_fifty(x in 0u64..1000) {
+            assert!(x <= 50, "boundary=51 x={}", x);
+            let _ = x;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "x=17")]
+    fn shrinking_minimizes_scalars_to_the_boundary() {
+        fails_at_seventeen();
+    }
+
+    #[test]
+    #[should_panic(expected = "len=3")]
+    fn shrinking_minimizes_collections() {
+        fails_at_len_three();
+    }
+
+    #[test]
+    #[should_panic(expected = "boundary=51 x=51")]
+    fn shrinking_handles_panicking_bodies() {
+        panics_past_fifty();
+    }
+
+    #[test]
+    fn replay_reproduces_and_pads_with_zeros() {
+        let mut live = TestRng::from_seed(42);
+        live.start_recording();
+        let drawn: Vec<u64> = (0..5).map(|_| live.next_u64()).collect();
+        let recorded = live.take_recording();
+        assert_eq!(drawn, recorded);
+        let mut replay = TestRng::replaying(recorded);
+        let replayed: Vec<u64> = (0..7).map(|_| replay.next_u64()).collect();
+        assert_eq!(&replayed[..5], &drawn[..]);
+        assert_eq!(&replayed[5..], &[0, 0], "exhausted replay yields minimal draws");
+    }
+
+    #[test]
+    fn minimize_respects_a_zero_budget() {
+        let out = crate::shrink::minimize(vec![7, 8, 9], "orig".into(), 0, &mut |_| {
+            panic!("must not be called with a zero budget")
+        });
+        assert_eq!(out.draws, vec![7, 8, 9]);
+        assert_eq!(out.iters, 0);
     }
 
     pub fn arb_nested(depth: u32) -> impl Strategy<Value = String> {

@@ -7,6 +7,7 @@
 //!
 //! ```
 //! use xivm::prelude::*;
+//! use xivm::update::builder::{element, insert};
 //!
 //! let mut db = Database::builder()
 //!     .document("<a><c><b/><b/></c><f><c><b/></c><b/></f></a>")
@@ -16,31 +17,48 @@
 //! let acb = db.view("acb")?;
 //! assert_eq!(db.store(acb).len(), 8);
 //!
+//! // Subscribe before committing: every commit appends this view's
+//! // delta (tagged with the commit sequence number) to the feed.
+//! let feed = db.subscribe(acb);
+//!
 //! // One statement: parsed, propagated to every view incrementally.
-//! db.apply("delete /a/f/c")?;
+//! // The returned `Commit` carries the exact per-view delta.
+//! let commit = db.apply("delete /a/f/c")?;
+//! assert_eq!(commit.seq, 1);
+//! assert_eq!(commit.delta(acb).removed.len(), 5);
 //! assert_eq!(db.store(acb).len(), 3);
+//!
+//! // Typed statements: no stringly-typed round-trip.
+//! db.apply(insert(element("b")).into("/a/c"))?;
 //!
 //! // Many statements: batched through the Section 5 PUL optimizer
 //! // into one optimized PUL and a single propagation pass.
-//! let report = db
+//! let commit = db
 //!     .transaction()
 //!     .statement("insert <b/> into /a/c")
 //!     .statement("delete /a/c")
 //!     .commit()?;
-//! assert!(report.optimized_ops < report.naive_ops);
+//! assert!(commit.optimized_ops < commit.naive_ops);
+//!
+//! // The changefeed: one event per commit, gapless sequence numbers,
+//! // O(|delta|) per event — never a store clone.
+//! let events = db.drain(&feed);
+//! assert_eq!(events.len(), 3);
+//! assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1, 2, 3]);
 //! # Ok::<(), xivm::Error>(())
 //! ```
 //!
 //! Everything the façade returns is typed: views are addressed by
-//! [`ViewHandle`], failures are the workspace-wide [`Error`] enum
+//! [`ViewHandle`], mutations report as [`Commit`]s carrying per-view
+//! [`ViewDelta`]s, failures are the workspace-wide [`Error`] enum
 //! (`Xml`, `Pattern`, `Statement`, `Conflict`, `UnknownView`, …).
 //!
 //! Propagation to many views fans out across a worker pool: set
 //! `.workers(n)` on the builder (or the `XIVM_WORKERS` environment
 //! variable) and the per-view phases run on scoped threads, grouped
-//! by the Figure 15 conflict partition — results are bit-identical to
-//! the sequential pass at every worker count (see
-//! [`core::parallel`]).
+//! by the Figure 15 conflict partition — results (including every
+//! commit's deltas) are bit-identical to the sequential pass at every
+//! worker count (see [`core::parallel`]).
 //!
 //! ## Migrating from the low-level engine API
 //!
@@ -58,6 +76,18 @@
 //! | `engine.store()` | `db.store(db.view(name)?)` |
 //! | `XmlError` for every failure | [`Error`] with per-class variants |
 //!
+//! ## Migrating from the string-first façade (pre-delta API)
+//!
+//! | pre-delta call | delta-first equivalent |
+//! |---|---|
+//! | `db.apply(s)? : Vec<(String, UpdateReport)>` | `db.apply(s)? : Commit` — per-view reports via `commit.report(h)` / `commit.iter()` |
+//! | `db.report_for(&reports, h)` | `commit.report(h)` / `commit.report_by_name(name)` |
+//! | `tx.commit()? : TransactionReport` | `tx.commit()? : Commit` (same counters, plus `seq` and per-view deltas) |
+//! | re-reading `db.store(h)` and diffing after a commit | `commit.delta(h)` — replayable, O(\|Δ\|) |
+//! | polling stores for changes | `db.subscribe(h)` + `db.drain(&sub)` |
+//! | `db.store(h).sorted_tuples()` (clones every tuple) | `db.cursor(h)` (borrowing, document order) |
+//! | `format!("insert {xml} into {path}")` | `insert(element(..)).into(path)` — see [`update::builder`] |
+//!
 //! The member crates remain available under their re-exported names:
 //! [`xml`], [`algebra`], [`pattern`], [`update`], [`core`],
 //! [`pulopt`], [`dtd`], [`xmark`], [`ivma`].
@@ -72,7 +102,10 @@ pub use xivm_update as update;
 pub use xivm_xmark as xmark;
 pub use xivm_xml as xml;
 
-pub use xivm_core::{Database, DatabaseBuilder, Error, Transaction, TransactionReport, ViewHandle};
+pub use xivm_core::{
+    Commit, Database, DatabaseBuilder, DeltaEvent, Error, Subscription, Transaction, ViewDelta,
+    ViewHandle,
+};
 
 /// One-stop imports for applications built on the [`Database`] façade.
 ///
@@ -81,14 +114,14 @@ pub use xivm_core::{Database, DatabaseBuilder, Error, Transaction, TransactionRe
 /// ```
 pub mod prelude {
     pub use xivm_core::costmodel::UpdateProfile;
-    pub use xivm_core::database::{
-        Database, DatabaseBuilder, Transaction, TransactionReport, ViewHandle,
-    };
+    pub use xivm_core::database::{Database, DatabaseBuilder, Transaction, ViewHandle};
     pub use xivm_core::{
-        Error, MaintenanceEngine, MultiViewEngine, SnowcapStrategy, UpdateReport, ViewStore,
+        Commit, DeltaEvent, Error, MaintenanceEngine, MultiViewEngine, SnowcapStrategy,
+        Subscription, UpdateReport, ViewDelta, ViewStore,
     };
     pub use xivm_pattern::{parse_pattern, TreePattern};
     pub use xivm_pulopt::ConflictPolicy;
+    pub use xivm_update::builder::{element, UpdateBuilder};
     pub use xivm_update::statement::parse_statement;
     pub use xivm_update::UpdateStatement;
     pub use xivm_xml::{parse_document, serialize_document, Document};

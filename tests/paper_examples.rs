@@ -8,8 +8,8 @@ fn single_view(doc: &str, pattern: &str) -> Database {
     Database::builder().document(doc).view("v", pattern).build().unwrap()
 }
 
-fn report_of(db: &Database, reports: &[(String, UpdateReport)]) -> UpdateReport {
-    db.report_for(reports, db.view("v").unwrap()).unwrap().clone()
+fn report_of(db: &Database, commit: &Commit) -> UpdateReport {
+    commit.report(db.view("v").unwrap()).clone()
 }
 
 /// Figure 2 / Figure 11: the sample document, and Example 4.1's
@@ -19,8 +19,8 @@ fn example_4_1() {
     let mut db = single_view("<a><c><b/></c><f><b/></f></a>", "//a{id}//b{id}");
     let v = db.view("v").unwrap();
     assert_eq!(db.store(v).len(), 2);
-    let reports = db.apply("delete //c//b").unwrap();
-    let report = report_of(&db, &reports);
+    let commit = db.apply("delete //c//b").unwrap();
+    let report = report_of(&db, &commit);
     assert_eq!(report.tuples_removed, 1, "the tuple (a1, a1.c1.b1) must go");
     assert_eq!(db.store(v).len(), 1);
 }
@@ -33,8 +33,8 @@ fn example_4_5() {
         single_view("<a><c><b/><b/></c><f><c><b/></c><b/></f></a>", "//a{id}[//c{id}]//b{id}");
     let v = db.view("v").unwrap();
     assert_eq!(db.store(v).len(), 8, "Figure 12 lists 8 tuples");
-    let reports = db.apply("delete /a/f/c").unwrap();
-    let report = report_of(&db, &reports);
+    let commit = db.apply("delete /a/f/c").unwrap();
+    let report = report_of(&db, &commit);
     assert_eq!(report.derivations_removed, 5);
     assert_eq!(db.store(v).len(), 3, "tuples 1, 2 and 4 remain");
     // Proposition 4.2 leaves 4 terms; Δ⁻_a = ∅ leaves 3.
@@ -66,8 +66,8 @@ fn examples_3_1_and_3_2() {
     let v = db.view("v").unwrap();
     assert_eq!(db.store(v).len(), 0);
     // u1 inserts xml1 = <a><b/><b><c/></b></a> under //t
-    let reports = db.apply("insert <a><b/><b><c/></b></a> into //t").unwrap();
-    let report = report_of(&db, &reports);
+    let commit = db.apply("insert <a><b/><b><c/></b></a> into //t").unwrap();
+    let report = report_of(&db, &commit);
     assert_eq!(report.insert_prune.before, 3, "3 of 7 terms survive Prop 3.3");
     // new embeddings: outer a and b with new c, plus all-new chains
     let pattern = db.pattern(v).clone();
@@ -81,8 +81,8 @@ fn examples_3_1_and_3_2() {
 fn example_3_14() {
     let mut db = single_view("<a><b><c><d/></c></b></a>", "/a{id}/b{id}//c{id,cont}");
     let v = db.view("v").unwrap();
-    let reports = db.apply("insert <extra>some value</extra> into //d").unwrap();
-    let report = report_of(&db, &reports);
+    let commit = db.apply("insert <extra>some value</extra> into //d").unwrap();
+    let report = report_of(&db, &commit);
     assert_eq!(report.tuples_added, 0, "no Δ⁺ relation affects the view");
     assert_eq!(report.tuples_modified, 1, "but c.cont changed");
     let cont = db.store(v).sorted_tuples()[0].0.field(2).cont.clone().unwrap();

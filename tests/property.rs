@@ -228,14 +228,15 @@ proptest! {
                 let seq_reports = seq.apply(stmt.as_str()).unwrap();
                 let par_reports = par.apply(stmt.as_str()).unwrap();
                 // reports come back in declaration order with equal
-                // counters (timings legitimately differ)
-                for ((n1, r1), (n2, r2)) in seq_reports.iter().zip(&par_reports) {
+                // counters and deltas (timings legitimately differ)
+                for ((n1, r1), (n2, r2)) in seq_reports.iter().zip(par_reports.iter()) {
                     prop_assert_eq!(n1, n2);
                     prop_assert_eq!(r1.tuples_added, r2.tuples_added);
                     prop_assert_eq!(r1.tuples_removed, r2.tuples_removed);
                     prop_assert_eq!(r1.tuples_modified, r2.tuples_modified);
                     prop_assert_eq!(r1.derivations_added, r2.derivations_added);
                     prop_assert_eq!(r1.derivations_removed, r2.derivations_removed);
+                    prop_assert_eq!(&r1.delta, &r2.delta, "deltas must be bit-identical");
                 }
             }
         }
@@ -248,6 +249,115 @@ proptest! {
             );
         }
         consistent(&par)?;
+    }
+
+    /// The delta-first contract: for random documents, view sets and
+    /// update scripts — applied one by one or batched, at any worker
+    /// count — replaying each commit's per-view deltas onto snapshots
+    /// of the pre-commit stores reproduces the post-commit stores
+    /// *exactly* (keys, derivation counts and stored text), and the
+    /// commit sequence numbers are gapless.
+    #[test]
+    fn deltas_replay_to_store(
+        doc_xml in arb_doc(),
+        view_idxs in prop::collection::vec(0usize..PATTERNS.len(), 1..4),
+        script in prop::collection::vec(
+            (0usize..TARGETS.len(), 0usize..FORESTS.len(), prop::bool::ANY),
+            1..4
+        ),
+        workers in 1usize..5,
+        batched in prop::bool::ANY,
+    ) {
+        let mut b = Database::builder().document(doc_xml.as_str()).workers(workers);
+        for (i, &p) in view_idxs.iter().enumerate() {
+            b = b.view(format!("v{i}"), PATTERNS[p]);
+        }
+        let mut db = b.build().unwrap();
+        // replicas start as snapshots; from here on only deltas flow
+        let mut replicas: Vec<ViewStore> =
+            db.handles().into_iter().map(|h| db.store(h).clone()).collect();
+        let subs: Vec<Subscription> =
+            db.handles().into_iter().map(|h| db.subscribe(h)).collect();
+
+        let mut expected_commits = 0u64;
+        if batched {
+            let mut tx = db.transaction();
+            for &(t, f, is_insert) in &script {
+                tx = tx.statement(script_statement(t, f, is_insert).as_str());
+            }
+            let commit = tx.commit().unwrap();
+            expected_commits += 1;
+            prop_assert_eq!(commit.seq, expected_commits);
+        } else {
+            for &(t, f, is_insert) in &script {
+                let commit = db.apply(script_statement(t, f, is_insert).as_str()).unwrap();
+                expected_commits += 1;
+                prop_assert_eq!(commit.seq, expected_commits, "gapless sequence numbers");
+                // per-commit replay of the commit's own deltas
+                for (replica, h) in replicas.iter_mut().zip(db.handles()) {
+                    commit.delta(h).replay(replica);
+                }
+            }
+        }
+        // In batched mode the single commit's deltas are replayed from
+        // the subscription feed below, exercising that path too.
+        for ((replica, h), sub) in replicas.iter_mut().zip(db.handles()).zip(&subs) {
+            let events = db.drain(sub);
+            prop_assert_eq!(events.len() as u64, expected_commits, "one event per commit");
+            let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+            prop_assert_eq!(seqs, (1..=expected_commits).collect::<Vec<u64>>(), "gapless");
+            if batched {
+                for event in &events {
+                    event.delta.replay(replica);
+                }
+            }
+            prop_assert!(
+                replica.identical_to(db.store(h)),
+                "snapshot + Σ deltas must equal the final store exactly \
+                 (doc={doc_xml} script={script:?} workers={workers} batched={batched})"
+            );
+        }
+        consistent(&db)?;
+    }
+
+    /// A typed-builder statement must produce bit-identical results to
+    /// its textual equivalent: same document, same stores, same
+    /// commit deltas.
+    #[test]
+    fn typed_builders_equal_text(
+        doc_xml in arb_doc(),
+        view_idx in 0usize..PATTERNS.len(),
+        t in 0usize..TARGETS.len(),
+        f in 0usize..FORESTS.len(),
+        kind in 0usize..3,
+    ) {
+        use xivm::update::builder::{delete, insert, replace, UpdateBuilder};
+        let build = || Database::builder()
+            .document(doc_xml.as_str())
+            .view("v", PATTERNS[view_idx])
+            .build()
+            .unwrap();
+        let (builder, text): (UpdateBuilder, String) = match kind {
+            0 => (delete(TARGETS[t]), format!("delete {}", TARGETS[t])),
+            1 => (
+                insert(FORESTS[f]).into(TARGETS[t]),
+                format!("insert {} into {}", FORESTS[f], TARGETS[t]),
+            ),
+            _ => (
+                replace(TARGETS[t]).with(FORESTS[f]),
+                format!("replace {} with {}", TARGETS[t], FORESTS[f]),
+            ),
+        };
+        let mut typed = build();
+        let mut textual = build();
+        let ct = typed.apply(builder).unwrap();
+        let cx = textual.apply(text.as_str()).unwrap();
+        prop_assert_eq!(typed.serialize(), textual.serialize());
+        let (h1, h2) = (typed.view("v").unwrap(), textual.view("v").unwrap());
+        prop_assert!(typed.store(h1).identical_to(textual.store(h2)), "{}", text);
+        prop_assert_eq!(ct.delta(h1), cx.delta(h2), "deltas must be bit-identical: {}", text);
+        consistent(&typed)?;
+        consistent(&textual)?;
     }
 
     /// Independent (order-independent) transactions either reject with
@@ -381,4 +491,59 @@ proptest! {
         let d2 = parse_document(&s1).unwrap();
         prop_assert_eq!(s1, serialize_document(&d2));
     }
+}
+
+/// Subscriptions across `independent()` transactions: a rejected
+/// batch consumes no sequence number and emits no event; committed
+/// batches (conflict-free, or resolved by policy) stream replayable
+/// deltas with consecutive sequence numbers.
+#[test]
+fn deltas_subscription_across_independent_transactions() {
+    let mut db = Database::builder()
+        .document("<a><c><b/><b/></c><f><c><b/></c><b/></f></a>")
+        .view("acb", "//a{id}[//c{id}]//b{id}")
+        .view("ab", "//a{id}//b{id}")
+        .build()
+        .unwrap();
+    let acb = db.view("acb").unwrap();
+    let feed = db.subscribe(acb);
+    let mut replica = db.store(acb).clone();
+
+    // 1. a conflict-free independent batch commits and streams
+    db.transaction()
+        .independent()
+        .statement("insert <b/> into /a/c")
+        .statement("delete /a/f")
+        .commit()
+        .unwrap();
+
+    // 2. a conflicting batch is rejected: no commit, no event
+    let err = db
+        .transaction()
+        .independent()
+        .statement("delete /a/c")
+        .statement("insert <b/> into /a/c")
+        .commit()
+        .unwrap_err();
+    assert!(matches!(err, Error::Conflict(_)));
+    assert_eq!(db.pending(&feed), 1, "rejected batches must not emit events");
+    assert_eq!(db.last_seq(), 1, "rejected batches must not consume sequence numbers");
+
+    // 3. the same conflict under a resolving policy commits
+    db.transaction()
+        .independent()
+        .on_conflict(ConflictPolicy::FirstWins)
+        .statement("delete /a/c")
+        .statement("insert <b/> into /a/c")
+        .commit()
+        .unwrap();
+
+    let events = db.drain(&feed);
+    let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+    assert_eq!(seqs, vec![1, 2], "gapless across the rejected batch");
+    for event in &events {
+        event.delta.replay(&mut replica);
+    }
+    assert!(replica.identical_to(db.store(acb)), "snapshot + Σ deltas == final store");
+    db.unsubscribe(feed);
 }
