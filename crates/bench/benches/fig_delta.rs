@@ -12,7 +12,11 @@
 //!   [`xivm_core::ViewDelta`]s a `Commit` carries;
 //! * `facade` — the whole `Database::apply` path with one subscriber
 //!   on every view, drained (and its deltas replayed onto replicas)
-//!   after each commit: the end-to-end changefeed cost.
+//!   after each commit: the end-to-end changefeed cost;
+//! * `pipelined` — the same facade workload through
+//!   `Database::apply_pipelined` at depth 2 on a 2-worker pool: the
+//!   finish of each commit overlaps the prepare of the next, and the
+//!   drained streams must still replay to the exact stores.
 //!
 //! Reported: wall time per mode for the whole stream, overhead vs
 //! `plain`, and the total delta entries harvested — the O(|Δ|) a
@@ -34,8 +38,11 @@ fn catalog_engine(doc: &Document) -> MultiViewEngine {
     )
 }
 
-fn catalog_database(doc: &Document) -> Database {
+fn catalog_database(doc: &Document, pipelined: bool) -> Database {
     let mut b = Database::builder().document(doc.clone());
+    if pipelined {
+        b = b.workers(2).pipeline(2);
+    }
     for v in VIEW_NAMES {
         b = b.view(v, view_pattern(v));
     }
@@ -78,30 +85,52 @@ fn main() {
     ]);
 
     let mut baseline_ms = None;
-    for mode in ["plain", "report", "facade"] {
+    for mode in ["plain", "report", "facade", "pipelined"] {
         let mut total = 0.0;
         let mut delta_entries = 0usize;
         for _ in 0..reps {
             match mode {
-                "facade" => {
-                    let mut db = catalog_database(&doc);
+                "facade" | "pipelined" => {
+                    let mut db = catalog_database(&doc, mode == "pipelined");
                     let handles = db.handles();
                     let subs: Vec<_> = handles.iter().map(|&h| db.subscribe(h)).collect();
                     let mut replicas: Vec<ViewStore> =
                         handles.iter().map(|&h| db.store(h).clone()).collect();
-                    for stmt in &stream {
+                    if mode == "pipelined" {
+                        // Timed region matches the facade mode: apply
+                        // + delta counting + drain + replica replay
+                        // (the statement clone stays outside it).
+                        let batch = stream.clone();
                         let start = Instant::now();
-                        let commit = db.apply(stmt).expect("catalog updates apply");
-                        delta_entries +=
-                            handles.iter().map(|&h| commit.delta(h).len()).sum::<usize>();
+                        let commits = db.apply_pipelined(batch).expect("catalog updates apply");
+                        for commit in &commits {
+                            delta_entries +=
+                                handles.iter().map(|&h| commit.delta(h).len()).sum::<usize>();
+                        }
                         for (sub, replica) in subs.iter().zip(replicas.iter_mut()) {
                             for event in db.drain(sub) {
                                 event.delta.replay(replica);
                             }
                         }
                         total += ms(start.elapsed());
+                    } else {
+                        for stmt in &stream {
+                            let start = Instant::now();
+                            let commit = db.apply(stmt).expect("catalog updates apply");
+                            delta_entries +=
+                                handles.iter().map(|&h| commit.delta(h).len()).sum::<usize>();
+                            for (sub, replica) in subs.iter().zip(replicas.iter_mut()) {
+                                for event in db.drain(sub) {
+                                    event.delta.replay(replica);
+                                }
+                            }
+                            total += ms(start.elapsed());
+                        }
                     }
-                    for (&h, replica) in handles.iter().zip(&replicas) {
+                    for ((&h, replica), sub) in handles.iter().zip(replicas.iter_mut()).zip(&subs) {
+                        for event in db.drain(sub) {
+                            event.delta.replay(replica);
+                        }
                         assert!(
                             replica.identical_to(db.store(h)),
                             "replayed replicas must track the live views"

@@ -2,13 +2,21 @@
 //! maintained together under one shared update stream, at 1/2/4/8
 //! workers (`XIVM_WORKERS` at runtime picks the same knob).
 //!
-//! This is the fan-out the ROADMAP names on top of the Figures 18–28
-//! cost: the per-update work that does not depend on the view (target
-//! finding, the document mutation) is shared, and the per-view phases
-//! run on the `xivm_core::parallel` worker pool. The sweep reports
-//! wall time for the whole update stream per worker count and the
-//! speedup over the 1-worker (sequential) pass; views and document
-//! are rebuilt per repetition so every measurement starts cold.
+//! Two pool disciplines are measured per worker count:
+//!
+//! * **warm** — the persistent `xivm_core::runtime::Runtime` pool:
+//!   threads come up on the first propagation and are reused for the
+//!   rest of the stream (steady state spawns nothing);
+//! * **cold** — `MultiViewEngine::shutdown_runtime()` before every
+//!   propagation, so each one pays the full spawn/join round-trip:
+//!   the PR 3 per-propagation `thread::scope` discipline, kept
+//!   measurable as a series.
+//!
+//! The catalog sweep carries a lot of per-view work, so spawn cost
+//! amortizes; the **tiny-update** sweep that follows is the workload
+//! the pool exists for — single-statement commits, measured per
+//! update in microseconds, where the warm-vs-cold gap *is* the
+//! per-propagation spawn overhead.
 //!
 //! Worker counts beyond the machine's core count cannot speed
 //! anything up — on a single-core host every row measures scheduler
@@ -45,6 +53,55 @@ fn update_stream() -> Vec<UpdateStatement> {
     stream
 }
 
+/// The tiny-update workload: one single-statement commit at a time
+/// (an insert, then the matching delete, repeated), the shape that
+/// dominates heavy-traffic streams and where per-propagation spawn
+/// overhead is pure loss.
+fn tiny_stream(rounds: usize) -> Vec<UpdateStatement> {
+    let u = updates_for_view(VIEW_NAMES[0]).into_iter().next().expect("catalog has updates");
+    let mut stream = Vec::with_capacity(rounds * 2);
+    for _ in 0..rounds {
+        stream.push(u.insert_stmt());
+        stream.push(u.delete_stmt());
+    }
+    stream
+}
+
+/// Runs `stream` through a fresh catalog engine at `workers`,
+/// returning (total propagate ms, avg groups per statement). `cold`
+/// retires the pool after every propagation *inside the timed
+/// region*, so each update pays the full spawn **and** join
+/// round-trip — exactly what the per-propagation `thread::scope`
+/// discipline paid.
+fn run_stream(
+    doc: &Document,
+    stream: &[UpdateStatement],
+    workers: usize,
+    cold: bool,
+) -> (f64, f64) {
+    let mut d = doc.clone();
+    let mut engine = catalog_engine(&d);
+    engine.set_workers(workers);
+    if cold {
+        engine.shutdown_runtime(); // first update starts cold too
+    }
+    let mut total = 0.0;
+    let mut groups_total = 0usize;
+    for stmt in stream {
+        let pul = xivm_update::compute_pul(&d, stmt);
+        groups_total += engine.partition(&d, &pul).len();
+        let start = Instant::now();
+        engine.propagate_pul(&mut d, &pul).expect("propagation succeeds");
+        if cold {
+            // pay the join half of the round-trip in the window, and
+            // leave the pool down for the next update's cold start
+            engine.shutdown_runtime();
+        }
+        total += ms(start.elapsed());
+    }
+    (total, groups_total as f64 / stream.len() as f64)
+}
+
 fn main() {
     let size = reference_size();
     let doc = generate_sized(size.bytes);
@@ -53,7 +110,7 @@ fn main() {
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     figure_header(
-        "Parallel sweep",
+        "Parallel sweep (warm pool vs cold spawn)",
         &format!(
             "multi-view propagation, {} views x {} statements, {} document, {cores} core(s)",
             VIEW_NAMES.len(),
@@ -63,36 +120,74 @@ fn main() {
     );
     row(&[
         "workers".to_owned(),
-        "propagate_ms".to_owned(),
+        "warm_ms".to_owned(),
+        "cold_ms".to_owned(),
+        "cold_over_warm".to_owned(),
         "speedup_vs_1_worker".to_owned(),
         "groups_avg".to_owned(),
     ]);
 
     let mut baseline_ms = None;
     for workers in WORKER_SWEEP {
-        let mut total = 0.0;
-        let mut groups_total = 0usize;
-        let mut group_samples = 0usize;
+        let (mut warm, mut cold) = (0.0, 0.0);
+        let mut groups_avg = 0.0;
         for _ in 0..reps {
-            let mut d = doc.clone();
-            let mut engine = catalog_engine(&d);
-            engine.set_workers(workers);
-            for stmt in &stream {
-                let pul = xivm_update::compute_pul(&d, stmt);
-                groups_total += engine.partition(&d, &pul).len();
-                group_samples += 1;
-                let start = Instant::now();
-                engine.propagate_pul(&mut d, &pul).expect("propagation succeeds");
-                total += ms(start.elapsed());
-            }
+            let (w, g) = run_stream(&doc, &stream, workers, false);
+            warm += w;
+            groups_avg = g;
+            let (c, _) = run_stream(&doc, &stream, workers, true);
+            cold += c;
         }
-        let avg = total / reps as f64;
-        let baseline = *baseline_ms.get_or_insert(avg);
+        let warm_avg = warm / reps as f64;
+        let cold_avg = cold / reps as f64;
+        let baseline = *baseline_ms.get_or_insert(warm_avg);
         row(&[
             workers.to_string(),
-            format!("{avg:.3}"),
-            format!("{:.2}", baseline / avg),
-            format!("{:.1}", groups_total as f64 / group_samples as f64),
+            format!("{warm_avg:.3}"),
+            format!("{cold_avg:.3}"),
+            format!("{:.2}", cold_avg / warm_avg),
+            format!("{:.2}", baseline / warm_avg),
+            format!("{groups_avg:.1}"),
+        ]);
+    }
+
+    // --- tiny updates: the workload the persistent pool exists for.
+    // A small document keeps per-update propagation in the tens of
+    // microseconds, so the warm-vs-cold gap is the spawn overhead
+    // itself rather than noise on top of heavy per-view work.
+    let tiny_doc_bytes = 32 * 1024;
+    let tiny_doc = generate_sized(tiny_doc_bytes);
+    let rounds = 200;
+    let tiny = tiny_stream(rounds);
+    figure_header(
+        "Tiny updates (1-statement commits)",
+        &format!(
+            "per-update propagation cost, warm pool vs cold spawn, {} single-statement \
+             updates, {}KB document",
+            tiny.len(),
+            tiny_doc_bytes / 1024
+        ),
+    );
+    row(&[
+        "workers".to_owned(),
+        "warm_us_per_update".to_owned(),
+        "cold_us_per_update".to_owned(),
+        "cold_over_warm".to_owned(),
+    ]);
+    for workers in WORKER_SWEEP {
+        let (mut warm, mut cold) = (0.0, 0.0);
+        for _ in 0..reps {
+            warm += run_stream(&tiny_doc, &tiny, workers, false).0;
+            cold += run_stream(&tiny_doc, &tiny, workers, true).0;
+        }
+        let per_update = 1000.0 / (reps * tiny.len()) as f64;
+        let warm_us = warm * per_update;
+        let cold_us = cold * per_update;
+        row(&[
+            workers.to_string(),
+            format!("{warm_us:.1}"),
+            format!("{cold_us:.1}"),
+            format!("{:.2}", cold_us / warm_us),
         ]);
     }
 }

@@ -182,6 +182,28 @@ impl Commit {
         self.per_view.iter().filter(|(_, r)| !r.delta.is_empty()).map(|(n, _)| n.as_str()).collect()
     }
 
+    /// True when two commits describe the same observable outcome:
+    /// equal sequencing, statement and optimizer counters, reduction
+    /// trace, and per-view reports (names in order, tuple /
+    /// derivation counters, bit-identical deltas). Timings are
+    /// ignored — they legitimately differ between runs. This is the
+    /// commit-level comparison of the differential soak harness:
+    /// sequential, pooled and pipelined executions of the same
+    /// statement stream must produce pairwise `same_outcome` commits.
+    pub fn same_outcome(&self, other: &Commit) -> bool {
+        self.seq == other.seq
+            && self.statements == other.statements
+            && self.naive_ops == other.naive_ops
+            && self.optimized_ops == other.optimized_ops
+            && self.reduction == other.reduction
+            && self.per_view.len() == other.per_view.len()
+            && self
+                .per_view
+                .iter()
+                .zip(&other.per_view)
+                .all(|((n1, r1), (n2, r2))| n1 == n2 && r1.same_outcome(r2))
+    }
+
     pub(crate) fn per_view(&self) -> &[(String, UpdateReport)] {
         &self.per_view
     }

@@ -205,6 +205,7 @@ pub struct DatabaseBuilder {
     default_strategy: SnowcapStrategy,
     default_profile: Option<UpdateProfile>,
     workers: Option<usize>,
+    pipeline: Option<usize>,
 }
 
 impl Default for DatabaseBuilder {
@@ -215,6 +216,7 @@ impl Default for DatabaseBuilder {
             default_strategy: SnowcapStrategy::MinimalChain,
             default_profile: None,
             workers: None,
+            pipeline: None,
         }
     }
 }
@@ -278,6 +280,19 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Sets the pipeline depth for [`Database::apply_pipelined`]: the
+    /// number of commits allowed in flight. 1 (the default) disables
+    /// pipelining; any depth >= 2 overlaps the `finish` phase of each
+    /// commit with the `prepare` phase of the next one, per Figure 15
+    /// conflict group. An explicit setting overrides the
+    /// `XIVM_PIPELINE` environment variable. Results — commits,
+    /// stores, subscription streams — are bit-identical at every
+    /// depth.
+    pub fn pipeline(mut self, depth: usize) -> Self {
+        self.pipeline = Some(depth);
+        self
+    }
+
     /// Parses everything, materializes every view and hands back the
     /// owning [`Database`].
     pub fn build(self) -> Result<Database, Error> {
@@ -303,8 +318,14 @@ impl DatabaseBuilder {
             engines.push((spec.name, engine));
         }
         let mut views = MultiViewEngine::from_engines(engines);
-        views.set_workers(crate::parallel::effective_workers(self.workers));
-        Ok(Database { views, doc, commits: 0, subs: SubscriptionRegistry::default() })
+        views.set_workers(crate::runtime::effective_workers(self.workers));
+        Ok(Database {
+            views,
+            doc,
+            commits: 0,
+            subs: SubscriptionRegistry::default(),
+            pipeline: crate::runtime::effective_pipeline(self.pipeline),
+        })
     }
 }
 
@@ -336,6 +357,8 @@ pub struct Database {
     /// sequence number.
     commits: u64,
     subs: SubscriptionRegistry,
+    /// Pipeline depth for [`Self::apply_pipelined`] (1 = off).
+    pipeline: usize,
 }
 
 impl Database {
@@ -408,6 +431,32 @@ impl Database {
         self.views.workers()
     }
 
+    /// The pipeline depth [`Self::apply_pipelined`] runs at (builder's
+    /// `.pipeline(depth)`, else `XIVM_PIPELINE`, else 1 = off).
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline
+    }
+
+    /// Changes the pipeline depth (clamped to at least 1). Purely a
+    /// scheduling knob: results are bit-identical at every depth.
+    pub fn set_pipeline(&mut self, depth: usize) {
+        self.pipeline = depth.max(1);
+    }
+
+    /// Threads ever spawned by this database's propagation runtime —
+    /// monotonic, and flat across steady-state propagations (the
+    /// persistent pool spawns on first use only; see
+    /// [`crate::runtime`]). 0 for sequential databases.
+    pub fn threads_spawned(&self) -> u64 {
+        self.views.threads_spawned()
+    }
+
+    /// Number of live subscriptions (every commit fans its deltas out
+    /// to exactly these).
+    pub fn subscriptions(&self) -> usize {
+        self.subs.live()
+    }
+
     /// Applies one update statement (text, an [`UpdateStatement`], or
     /// a typed [`UpdateBuilder`]) and propagates it to every view in
     /// one shared pass. Returns the [`Commit`] carrying each view's
@@ -431,6 +480,66 @@ impl Database {
         }
     }
 
+    /// Applies a stream of statements as *individual commits* — one
+    /// [`Commit`] per statement, exactly as a loop of [`Self::apply`]
+    /// would produce — with consecutive commits overlapped when the
+    /// pipeline depth ([`DatabaseBuilder::pipeline`] /
+    /// `XIVM_PIPELINE`) is at least 2: while one Figure 15 conflict
+    /// group still runs the `finish` phase of commit *k*, disjoint
+    /// groups already run the `prepare` phase of commit *k+1* on the
+    /// worker pool (see [`crate::runtime`] and
+    /// [`crate::multiview::MultiViewEngine`]).
+    ///
+    /// Pipelining is purely a scheduling mode: commits (sequence
+    /// numbers, counters, per-view deltas), stores and subscription
+    /// streams are bit-identical to the sequential pass — commits are
+    /// sealed strictly in order, so changefeeds stay gapless. It
+    /// degenerates to the sequential loop when the depth is 1, the
+    /// batch has fewer than two statements, the pool has one worker,
+    /// or the schedule has a single conflict group.
+    ///
+    /// The whole batch is parsed and validated up front: a malformed
+    /// statement rejects everything before anything is applied (no
+    /// commit, no event). An apply error mid-stream (not reachable
+    /// through the validated statement forms, but the document layer
+    /// is fallible) stops the pipeline: commits sealed before the
+    /// failure *remain applied* — their sequence numbers are consumed
+    /// and their events already fanned out, observable via
+    /// [`Self::last_seq`] and any subscription feed — but their
+    /// `Commit` values are not carried by the `Err`, so callers that
+    /// need per-commit reports under that failure mode should drain a
+    /// subscription rather than rely on the returned `Vec`.
+    pub fn apply_pipelined<I>(&mut self, statements: I) -> Result<Vec<Commit>, Error>
+    where
+        I: IntoIterator,
+        I::Item: Into<StatementSource>,
+    {
+        let stmts: Vec<UpdateStatement> = statements
+            .into_iter()
+            .map(|s| resolve_statement(s.into()))
+            .collect::<Result<_, _>>()?;
+        let mut commits = Vec::with_capacity(stmts.len());
+        let seq = &mut self.commits;
+        let subs = &mut self.subs;
+        self.views.propagate_pipelined(
+            &mut self.doc,
+            &stmts,
+            self.pipeline,
+            |_, ops, per_view| {
+                commits.push(seal_commit(
+                    seq,
+                    subs,
+                    1,
+                    ops,
+                    ops,
+                    ReductionTrace::default(),
+                    per_view,
+                ));
+            },
+        )?;
+        Ok(commits)
+    }
+
     /// Seals a successful mutation: assigns the next sequence number,
     /// builds the [`Commit`] and fans its deltas out to the
     /// subscriptions.
@@ -442,11 +551,15 @@ impl Database {
         reduction: ReductionTrace,
         per_view: Vec<(String, UpdateReport)>,
     ) -> Commit {
-        self.commits += 1;
-        let commit =
-            Commit::new(self.commits, statements, naive_ops, optimized_ops, reduction, per_view);
-        self.subs.record(&commit);
-        commit
+        seal_commit(
+            &mut self.commits,
+            &mut self.subs,
+            statements,
+            naive_ops,
+            optimized_ops,
+            reduction,
+            per_view,
+        )
     }
 
     /// The sequence number of the last successful commit (0 before the
@@ -497,6 +610,27 @@ impl Database {
     pub fn unsubscribe(&mut self, sub: Subscription) {
         self.subs.unsubscribe(sub);
     }
+}
+
+/// Seals one successful commit: bumps the sequence counter, builds
+/// the [`Commit`] and fans its deltas out to the subscriptions. A
+/// free function over the fields (rather than a `&mut Database`
+/// method) so the pipelined driver can seal commit *k* while the
+/// engine still holds the views — sealing strictly in commit order is
+/// what keeps subscription streams gapless under overlap.
+fn seal_commit(
+    commits: &mut u64,
+    subs: &mut SubscriptionRegistry,
+    statements: usize,
+    naive_ops: usize,
+    optimized_ops: usize,
+    reduction: ReductionTrace,
+    per_view: Vec<(String, UpdateReport)>,
+) -> Commit {
+    *commits += 1;
+    let commit = Commit::new(*commits, statements, naive_ops, optimized_ops, reduction, per_view);
+    subs.record(&commit);
+    commit
 }
 
 // ---------------------------------------------------------------------

@@ -49,6 +49,26 @@ pub struct UpdateReport {
     pub delta: ViewDelta,
 }
 
+impl UpdateReport {
+    /// True when two reports describe the same propagation outcome:
+    /// equal tuple / derivation counters and bit-identical deltas.
+    /// Timings and prune statistics are ignored — they legitimately
+    /// differ between runs (and between scheduling modes). This is
+    /// the per-view half of [`Commit::same_outcome`], the comparison
+    /// the differential soak harness makes between sequential, pooled
+    /// and pipelined executions.
+    ///
+    /// [`Commit::same_outcome`]: crate::commit::Commit::same_outcome
+    pub fn same_outcome(&self, other: &UpdateReport) -> bool {
+        self.tuples_added == other.tuples_added
+            && self.tuples_removed == other.tuples_removed
+            && self.tuples_modified == other.tuples_modified
+            && self.derivations_added == other.derivations_added
+            && self.derivations_removed == other.derivations_removed
+            && self.delta == other.delta
+    }
+}
+
 /// A materialized view plus the auxiliary structures needed to
 /// maintain it incrementally.
 pub struct MaintenanceEngine {

@@ -21,11 +21,14 @@
 //! * [`view_store`] — the materialized view with derivation counts;
 //! * [`engine`] — the end-to-end [`engine::MaintenanceEngine`] with the
 //!   per-phase [`timing::Timings`] breakdown reported in Section 6;
-//! * [`multiview`] / [`parallel`] — the shared multi-view pass
-//!   (Section 3.5) and its worker-pool fan-out: views are partitioned
-//!   into order-independent groups with the Figure 15 rules and the
-//!   per-view phases run on scoped threads, bit-identical to the
-//!   sequential pass;
+//! * [`multiview`] / [`parallel`] / [`runtime`] — the shared
+//!   multi-view pass (Section 3.5) and its worker-pool fan-out: views
+//!   are partitioned into order-independent groups with the Figure 15
+//!   rules and the per-view phases run on the persistent
+//!   [`runtime::Runtime`] pool (lazy-started, zero spawns in steady
+//!   state), bit-identical to the sequential pass — including the
+//!   pipelined commit mode that overlaps the `finish` of one commit
+//!   with the `prepare` of the next;
 //! * [`database`] — the [`database::Database`] façade owning the
 //!   document and all named views, with batched
 //!   [`database::Transaction`]s through the Section 5 PUL optimizer;
@@ -51,6 +54,7 @@ pub mod pimt;
 pub mod pint;
 pub mod predflip;
 pub mod prune;
+pub mod runtime;
 pub mod snapshot;
 pub mod snowcap;
 pub mod strategy;
@@ -64,6 +68,7 @@ pub use database::{Database, DatabaseBuilder, Transaction, ViewHandle};
 pub use engine::{MaintenanceEngine, PreparedUpdate, UpdateReport};
 pub use error::Error;
 pub use multiview::MultiViewEngine;
+pub use runtime::Runtime;
 pub use strategy::SnowcapStrategy;
 pub use subscribe::{DeltaEvent, Subscription};
 pub use term::Term;

@@ -14,6 +14,7 @@
 use crate::engine::{MaintenanceEngine, UpdateReport};
 use crate::error::Error;
 use crate::parallel::{self, PropagationPlan};
+use crate::runtime::Runtime;
 use crate::strategy::SnowcapStrategy;
 use crate::timing::timed;
 use std::collections::HashMap;
@@ -26,9 +27,13 @@ use xivm_xml::Document;
 /// Views are looked up by name through an index map; iteration orders
 /// (`names()`, per-view reports) remain the declaration order.
 ///
-/// The per-view propagation phases fan out across a worker pool when
-/// [`Self::set_workers`] (or the `XIVM_WORKERS` environment variable)
-/// asks for more than one worker — see [`crate::parallel`]. Results
+/// The per-view propagation phases fan out across the persistent
+/// [`Runtime`] worker pool when [`Self::set_workers`] (or the
+/// `XIVM_WORKERS` environment variable) asks for more than one worker
+/// — see [`crate::parallel`] and [`crate::runtime`]. The pool is
+/// lazy-started on the first propagation that needs it and lives
+/// until the engine is dropped (or [`Self::shutdown_runtime`] retires
+/// it), so steady-state propagation spawns zero new threads. Results
 /// are bit-identical to the sequential pass either way.
 pub struct MultiViewEngine {
     views: Vec<(String, MaintenanceEngine)>,
@@ -37,6 +42,13 @@ pub struct MultiViewEngine {
     index: HashMap<String, usize>,
     /// Worker pool size for the per-view phases (1 = sequential).
     workers: usize,
+    /// The persistent worker pool, created lazily at the configured
+    /// size by [`Self::ensure_runtime`] and replaced when
+    /// [`Self::set_workers`] changes the size.
+    runtime: Option<Runtime>,
+    /// Threads spawned by runtimes this engine has already retired
+    /// (resize, shutdown) — keeps [`Self::threads_spawned`] monotonic.
+    retired_spawns: u64,
 }
 
 impl MultiViewEngine {
@@ -62,19 +74,69 @@ impl MultiViewEngine {
         for (i, (name, _)) in views.iter().enumerate() {
             index.entry(name.clone()).or_insert(i);
         }
-        MultiViewEngine { views, index, workers: parallel::effective_workers(None) }
+        MultiViewEngine {
+            views,
+            index,
+            workers: parallel::effective_workers(None),
+            runtime: None,
+            retired_spawns: 0,
+        }
     }
 
     /// Sets the worker pool size for the per-view propagation phases
     /// (clamped to at least 1; 1 = sequential). Overrides the
-    /// `XIVM_WORKERS` default picked up at construction.
+    /// `XIVM_WORKERS` default picked up at construction. A live pool
+    /// of a different size is retired (its threads joined) and a new
+    /// one lazy-starts on the next propagation.
     pub fn set_workers(&mut self, workers: usize) {
         self.workers = workers.max(1);
+        if self.runtime.as_ref().is_some_and(|r| r.size() != self.workers) {
+            self.shutdown_runtime();
+        }
     }
 
     /// The configured worker pool size.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The live worker pool, if one has been started.
+    pub fn runtime(&self) -> Option<&Runtime> {
+        self.runtime.as_ref()
+    }
+
+    /// Retires the worker pool: shutdown is flagged, every worker is
+    /// joined, and the next propagation lazy-starts a fresh pool. The
+    /// `fig_parallel` bench uses this to measure cold-spawn cost; a
+    /// long-idle host can use it to release its threads.
+    pub fn shutdown_runtime(&mut self) {
+        if let Some(old) = self.runtime.take() {
+            self.retired_spawns += old.threads_spawned();
+        }
+    }
+
+    /// Threads ever spawned by this engine's pools (current and
+    /// retired) — monotonic. Flat across steady-state propagations:
+    /// the pool spawns on first use only.
+    pub fn threads_spawned(&self) -> u64 {
+        self.retired_spawns + self.runtime.as_ref().map_or(0, Runtime::threads_spawned)
+    }
+
+    /// Lazy-starts (or resizes) the pool to the configured worker
+    /// count. A free function over the fields so callers can keep
+    /// disjoint borrows of `self.views` alive.
+    fn ensure_runtime<'rt>(
+        runtime: &'rt mut Option<Runtime>,
+        retired_spawns: &mut u64,
+        workers: usize,
+    ) -> &'rt Runtime {
+        if runtime.as_ref().is_none_or(|r| r.size() != workers) {
+            if let Some(old) = runtime.take() {
+                *retired_spawns += old.threads_spawned();
+            }
+            *runtime = Some(Runtime::new(workers));
+        }
+        runtime.as_ref().expect("runtime just ensured")
     }
 
     /// Toggles per-view Δ harvesting on every hosted engine (see
@@ -162,27 +224,115 @@ impl MultiViewEngine {
         doc: &mut Document,
         pul: &Pul,
     ) -> Result<Vec<(String, UpdateReport)>, Error> {
-        let workers = self.workers.min(self.views.len()).max(1);
+        let runtime =
+            Self::ensure_runtime(&mut self.runtime, &mut self.retired_spawns, self.workers);
         // Scheduling groups against the intact document (deletion
         // footprints need the doomed subtrees still present).
-        let groups = if workers > 1 {
-            let patterns: Vec<&TreePattern> = self.views.iter().map(|(_, e)| e.pattern()).collect();
-            parallel::schedule_groups(doc, pul, &patterns)
-        } else {
-            PropagationPlan::single_group(self.views.len()).groups
-        };
+        let groups = schedule(&self.views, self.workers, doc, pul);
         // Per-view pre-update capture against the intact document.
-        let prepared = parallel::prepare_all(&self.views, doc, pul, workers);
+        let prepared = parallel::prepare_all(&self.views, doc, pul, runtime);
         // One document update.
         let (apply_res, t_apply) = timed(|| apply_pul(doc, pul));
         let apply_res = apply_res?;
         // Per-view propagation, fanned out over the groups.
         let mut out =
-            parallel::finish_all(&mut self.views, doc, &apply_res, prepared, &groups, workers);
+            parallel::finish_all(&mut self.views, doc, &apply_res, prepared, &groups, runtime);
         for (_, report) in &mut out {
             report.timings.apply_document = t_apply;
         }
         Ok(out)
+    }
+
+    /// Propagates a stream of statements as *individual commits* with
+    /// the phases of consecutive commits overlapped (the pipelined
+    /// mode behind [`Database::apply_pipelined`]): once commit *k*'s
+    /// PUL has been applied, the document is stable until commit
+    /// *k+1*'s apply — so commit *k*'s per-group `finish` jobs each
+    /// run commit *k+1*'s `prepare` for their own views right after
+    /// their finish, overlapping with the finish of every disjoint
+    /// group (see [`parallel::finish_and_prepare_all`]). Commit *k+1*'s
+    /// PUL and schedule are computed on the submitting thread in the
+    /// same window.
+    ///
+    /// `on_commit(k, ops, reports)` fires for each statement in order,
+    /// strictly before commit *k+1* finishes — callers seal sequence
+    /// numbers and fan out subscription events there, which is what
+    /// keeps changefeeds gapless and bit-identical to the sequential
+    /// pass. With `depth <= 1` or fewer than two statements this is
+    /// exactly a sequential loop of [`Self::apply_statement_counted`];
+    /// deeper lookahead than one commit would need document snapshots,
+    /// so any `depth >= 2` currently pipelines one commit ahead.
+    ///
+    /// On an apply error the loop stops: earlier commits stand (their
+    /// `on_commit` already fired), exactly like a sequential loop that
+    /// stops at the first failing statement.
+    ///
+    /// [`Database::apply_pipelined`]: crate::database::Database::apply_pipelined
+    pub(crate) fn propagate_pipelined<F>(
+        &mut self,
+        doc: &mut Document,
+        stmts: &[UpdateStatement],
+        depth: usize,
+        mut on_commit: F,
+    ) -> Result<(), Error>
+    where
+        F: FnMut(usize, usize, Vec<(String, UpdateReport)>),
+    {
+        if depth <= 1 || stmts.len() <= 1 {
+            for (k, stmt) in stmts.iter().enumerate() {
+                let (ops, reports) = self.apply_statement_counted(doc, stmt)?;
+                on_commit(k, ops, reports);
+            }
+            return Ok(());
+        }
+        let runtime =
+            Self::ensure_runtime(&mut self.runtime, &mut self.retired_spawns, self.workers);
+
+        // Bootstrap: commit 0's PUL, schedule and prepare against the
+        // initial document (no previous finish to overlap with).
+        let (mut pul, mut t_find) = timed(|| compute_pul(doc, &stmts[0]));
+        let mut groups = schedule(&self.views, self.workers, doc, &pul);
+        let mut prepared = parallel::prepare_all(&self.views, doc, &pul, runtime);
+
+        for k in 0.. {
+            let (apply_res, t_apply) = timed(|| apply_pul(doc, &pul));
+            let apply_res = apply_res?;
+            // The document is now at version k and stays immutable for
+            // the rest of the window: compute commit k+1's PUL and
+            // schedule here (submitting thread), its prepare inside
+            // the finish jobs below (pool).
+            let next = if k + 1 < stmts.len() {
+                let (next_pul, next_t_find) = timed(|| compute_pul(doc, &stmts[k + 1]));
+                let next_groups = schedule(&self.views, self.workers, doc, &next_pul);
+                Some((next_pul, next_groups, next_t_find))
+            } else {
+                None
+            };
+            let (mut reports, next_prepared) = parallel::finish_and_prepare_all(
+                &mut self.views,
+                doc,
+                &apply_res,
+                prepared,
+                &groups,
+                next.as_ref().map(|(p, _, _)| p),
+                runtime,
+            );
+            for (_, report) in &mut reports {
+                report.timings.find_target_nodes = t_find;
+                report.timings.apply_document = t_apply;
+            }
+            on_commit(k, pul.len(), reports);
+            match next {
+                Some((next_pul, next_groups, next_t_find)) => {
+                    pul = next_pul;
+                    groups = next_groups;
+                    t_find = next_t_find;
+                    prepared = next_prepared.expect("prepared alongside next_pul");
+                }
+                None => break,
+            }
+        }
+        Ok(())
     }
 
     /// The Figure 15 partition of the views under `pul`: views in
@@ -197,6 +347,24 @@ impl MultiViewEngine {
     pub fn partition(&self, doc: &Document, pul: &Pul) -> Vec<Vec<usize>> {
         let patterns: Vec<&TreePattern> = self.views.iter().map(|(_, e)| e.pattern()).collect();
         parallel::schedule_groups(doc, pul, &patterns)
+    }
+}
+
+/// The scheduling groups for one propagation: the Figure 15 partition
+/// with more than one worker, a single merged group otherwise (the
+/// sequential pass skips all footprint work). A free function so
+/// callers can hold disjoint borrows of the engine's other fields.
+fn schedule(
+    views: &[(String, MaintenanceEngine)],
+    workers: usize,
+    doc: &Document,
+    pul: &Pul,
+) -> Vec<Vec<usize>> {
+    if workers.min(views.len()) > 1 {
+        let patterns: Vec<&TreePattern> = views.iter().map(|(_, e)| e.pattern()).collect();
+        parallel::schedule_groups(doc, pul, &patterns)
+    } else {
+        PropagationPlan::single_group(views.len()).groups
     }
 }
 

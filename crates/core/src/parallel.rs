@@ -8,9 +8,9 @@
 //! That makes the per-view phases embarrassingly parallel, and this
 //! module supplies the scheduler:
 //!
-//! * [`effective_workers`] resolves the worker count from the
-//!   `Database` builder knob and the `XIVM_WORKERS` environment
-//!   variable;
+//! * [`effective_workers`] (re-exported from [`crate::runtime`])
+//!   resolves the worker count from the `Database` builder knob and
+//!   the `XIVM_WORKERS` environment variable;
 //! * [`PropagationPlan`] partitions the views into order-independent
 //!   groups with the Figure 15 conflict rules
 //!   ([`xivm_pulopt::partition`]): each view is projected to the PUL
@@ -20,14 +20,18 @@
 //!   shard-assignment function of the ROADMAP's sharding direction —
 //!   views in different groups could apply their projections on
 //!   different document replicas in any order;
-//! * `prepare_all` / `finish_all` (crate-internal) run the two
-//!   per-view phases on a
-//!   work-stealing-lite pool of `std::thread::scope` workers: group
-//!   jobs sit behind a shared atomic cursor and an idle worker claims
-//!   ("steals") the next unclaimed group instead of owning a fixed
-//!   slice. Results are merged back by declaration-order index, so the
-//!   outcome is bit-identical to the sequential pass no matter how the
-//!   groups were interleaved.
+//! * `prepare_all` / `finish_all` / `finish_and_prepare_all`
+//!   (crate-internal) run the per-view phases on the persistent
+//!   [`Runtime`] pool: jobs sit behind a shared atomic cursor and an
+//!   idle worker claims ("steals") the next unclaimed one instead of
+//!   owning a fixed slice. Results are merged back by
+//!   declaration-order index, so the outcome is bit-identical to the
+//!   sequential pass no matter how the jobs were interleaved.
+//!   `finish_and_prepare_all` is the pipelined-commit composite: one
+//!   job per Figure 15 group finishes commit *k* for its views and
+//!   then runs commit *k+1*'s `prepare` for the same views, so the
+//!   finish of one group overlaps the prepare of every *other*
+//!   (disjoint) group.
 //!
 //! Determinism does not *depend* on the plan: every view writes only
 //! its own state. The plan bounds scheduling (co-locating views that
@@ -35,25 +39,14 @@
 //! must do) and the merge restores declaration order unconditionally.
 
 use crate::engine::{MaintenanceEngine, PreparedUpdate, UpdateReport};
+use crate::runtime::{Job, Runtime};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use xivm_pattern::TreePattern;
 use xivm_update::{ApplyResult, AtomicOp, Pul};
 use xivm_xml::{Document, LabelId};
 
-/// Resolves the effective worker count: an explicit configuration
-/// (the `Database` builder's `.workers(n)`) wins, otherwise the
-/// `XIVM_WORKERS` environment variable, otherwise 1 (sequential).
-/// Zero is clamped to 1.
-pub fn effective_workers(configured: Option<usize>) -> usize {
-    configured.or_else(env_workers).unwrap_or(1).max(1)
-}
-
-/// The `XIVM_WORKERS` environment override, when set and parseable.
-pub fn env_workers() -> Option<usize> {
-    std::env::var("XIVM_WORKERS").ok().and_then(|v| v.parse().ok())
-}
+pub use crate::runtime::{effective_workers, env_workers};
 
 /// Caps the subtree walk when computing a deletion's label footprint;
 /// a larger subtree falls back to "touches everything" so plan
@@ -224,60 +217,71 @@ pub fn schedule_groups(doc: &Document, pul: &Pul, patterns: &[&TreePattern]) -> 
 }
 
 /// Runs [`MaintenanceEngine::prepare`] for every view against the
-/// intact document, fanning out across `workers` scoped threads when
-/// more than one is available. Returns the prepared states in
-/// declaration order.
+/// intact document, one pool job per view. Returns the prepared
+/// states in declaration order.
 pub(crate) fn prepare_all(
     views: &[(String, MaintenanceEngine)],
     doc: &Document,
     pul: &Pul,
-    workers: usize,
+    runtime: &Runtime,
 ) -> Vec<PreparedUpdate> {
-    let workers = workers.min(views.len()).max(1);
-    if workers <= 1 {
+    if runtime.size() <= 1 || views.len() <= 1 {
         return views.iter().map(|(_, e)| e.prepare(doc, pul)).collect();
     }
-    let cursor = AtomicUsize::new(0);
-    let mut merged: Vec<Option<PreparedUpdate>> = Vec::new();
-    merged.resize_with(views.len(), || None);
-    let chunks: Vec<Vec<(usize, PreparedUpdate)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= views.len() {
-                            break;
-                        }
-                        out.push((i, views[i].1.prepare(doc, pul)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("prepare worker panicked")).collect()
-    });
-    for (i, prep) in chunks.into_iter().flatten() {
-        merged[i] = Some(prep);
-    }
-    merged.into_iter().map(|p| p.expect("every view prepared")).collect()
+    let slots: Vec<Mutex<Option<PreparedUpdate>>> =
+        views.iter().map(|_| Mutex::new(None)).collect();
+    let jobs: Vec<Job<'_>> = views
+        .iter()
+        .zip(&slots)
+        .map(|((_, engine), slot)| {
+            Box::new(move || {
+                *slot.lock().expect("prepare slot unpoisoned") = Some(engine.prepare(doc, pul));
+            }) as Job<'_>
+        })
+        .collect();
+    runtime.run(jobs);
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("prepare slot unpoisoned").expect("every view prepared"))
+        .collect()
 }
 
 /// Runs [`MaintenanceEngine::finish`] for every view against the
-/// updated document, fanning the plan's groups out across `workers`
-/// scoped threads. An idle worker claims the next unclaimed group
-/// from a shared cursor (work-stealing-lite); per-view reports are
-/// merged back by declaration-order index, so the result is
-/// bit-identical to the sequential pass.
+/// updated document, one pool job per Figure 15 group. Per-view
+/// reports are merged back by declaration-order index, so the result
+/// is bit-identical to the sequential pass.
 pub(crate) fn finish_all(
     views: &mut [(String, MaintenanceEngine)],
     doc: &Document,
     apply_res: &ApplyResult,
     prepared: Vec<PreparedUpdate>,
     groups: &[Vec<usize>],
-    workers: usize,
+    runtime: &Runtime,
 ) -> Vec<(String, UpdateReport)> {
+    finish_and_prepare_all(views, doc, apply_res, prepared, groups, None, runtime).0
+}
+
+/// The pipelined-commit composite pass: one pool job per Figure 15
+/// group of commit *k*'s schedule, each finishing commit *k* for its
+/// views and then — when `next_pul` is given — running commit *k+1*'s
+/// [`MaintenanceEngine::prepare`] for the same views against the same
+/// (already updated, now read-only) document. Because a view's
+/// prepare runs strictly after its own finish, yet in the same job,
+/// the finish of one group overlaps the prepare of every *disjoint*
+/// group — with a single conflict group there is exactly one job and
+/// pipelining degenerates to the sequential order.
+///
+/// Returns the per-view reports (declaration order) and, when
+/// `next_pul` was given, the prepared states for commit *k+1*.
+pub(crate) fn finish_and_prepare_all(
+    views: &mut [(String, MaintenanceEngine)],
+    doc: &Document,
+    apply_res: &ApplyResult,
+    prepared: Vec<PreparedUpdate>,
+    groups: &[Vec<usize>],
+    next_pul: Option<&Pul>,
+    runtime: &Runtime,
+) -> (Vec<(String, UpdateReport)>, Option<Vec<PreparedUpdate>>) {
     let n = views.len();
     debug_assert_eq!(prepared.len(), n);
     debug_assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), n);
@@ -285,61 +289,65 @@ pub(crate) fn finish_all(
     // Hand each group exclusive access to its views: the declaration-
     // order slots are taken out once, so the borrow checker sees the
     // per-group &mut engines as disjoint.
-    let mut slots: Vec<Option<(&mut (String, MaintenanceEngine), PreparedUpdate)>> =
-        views.iter_mut().zip(prepared).map(Some).collect();
-    type Job<'a> = Vec<(usize, (&'a mut (String, MaintenanceEngine), PreparedUpdate))>;
-    let jobs: Vec<Mutex<Job<'_>>> = groups
+    type Slot<'a> = (&'a mut (String, MaintenanceEngine), PreparedUpdate);
+    let mut slots: Vec<Option<Slot<'_>>> = views.iter_mut().zip(prepared).map(Some).collect();
+    let group_views: Vec<Vec<(usize, Slot<'_>)>> = groups
         .iter()
-        .map(|g| {
-            Mutex::new(
-                g.iter().map(|&i| (i, slots[i].take().expect("view in one group"))).collect(),
-            )
-        })
+        .map(|g| g.iter().map(|&i| (i, slots[i].take().expect("view in one group"))).collect())
         .collect();
 
-    let workers = workers.min(jobs.len()).max(1);
-    let mut merged: Vec<Option<(String, UpdateReport)>> = Vec::new();
-    merged.resize_with(n, || None);
-
-    let run_job = |job: &mut Job<'_>, out: &mut Vec<(usize, String, UpdateReport)>| {
-        for (idx, (entry, prep)) in job.drain(..) {
-            let report = entry.1.finish(doc, apply_res, prep);
-            out.push((idx, entry.0.clone(), report));
-        }
+    let finished: Vec<Mutex<Option<(String, UpdateReport)>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    // Plain (non-pipelined) propagations never touch the prepare
+    // slots, so they stay unallocated on that hot path.
+    let next_prepared: Vec<Mutex<Option<PreparedUpdate>>> = match next_pul {
+        Some(_) => (0..n).map(|_| Mutex::new(None)).collect(),
+        None => Vec::new(),
     };
 
-    let chunks: Vec<Vec<(usize, String, UpdateReport)>> = if workers <= 1 {
-        let mut out = Vec::with_capacity(n);
-        for job in &jobs {
-            run_job(&mut job.lock().expect("unshared job"), &mut out);
-        }
-        vec![out]
-    } else {
-        let cursor = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(|| {
-                        let mut out = Vec::new();
-                        loop {
-                            let k = cursor.fetch_add(1, Ordering::Relaxed);
-                            if k >= jobs.len() {
-                                break;
-                            }
-                            run_job(&mut jobs[k].lock().expect("claimed exactly once"), &mut out);
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("finish worker panicked")).collect()
+    let jobs: Vec<Job<'_>> = group_views
+        .into_iter()
+        .map(|mut group| {
+            let finished = &finished;
+            let next_prepared = &next_prepared;
+            Box::new(move || {
+                // Finish commit k for the whole group first…
+                let mut entries = Vec::new();
+                if next_pul.is_some() {
+                    entries.reserve(group.len());
+                }
+                for (idx, (entry, prep)) in group.drain(..) {
+                    let report = entry.1.finish(doc, apply_res, prep);
+                    *finished[idx].lock().expect("finish slot unpoisoned") =
+                        Some((entry.0.clone(), report));
+                    if next_pul.is_some() {
+                        entries.push((idx, entry));
+                    }
+                }
+                // …then prepare commit k+1 for the same views, while
+                // other groups may still be finishing commit k.
+                if let Some(pul) = next_pul {
+                    for (idx, entry) in entries {
+                        *next_prepared[idx].lock().expect("prepare slot unpoisoned") =
+                            Some(entry.1.prepare(doc, pul));
+                    }
+                }
+            }) as Job<'_>
         })
-    };
+        .collect();
+    runtime.run(jobs);
 
-    for (idx, name, report) in chunks.into_iter().flatten() {
-        merged[idx] = Some((name, report));
-    }
-    merged.into_iter().map(|r| r.expect("every view finished")).collect()
+    let reports = finished
+        .into_iter()
+        .map(|s| s.into_inner().expect("finish slot unpoisoned").expect("every view finished"))
+        .collect();
+    let preps = next_pul.map(|_| {
+        next_prepared
+            .into_iter()
+            .map(|s| s.into_inner().expect("prepare slot unpoisoned").expect("every view prepared"))
+            .collect()
+    });
+    (reports, preps)
 }
 
 #[cfg(test)]

@@ -88,6 +88,16 @@ impl SubscriptionRegistry {
         std::mem::take(&mut self.state_mut(sub).pending)
     }
 
+    /// Number of live (not yet cancelled) subscriptions. Cancelled
+    /// entries are removed outright, so this is exactly the fan-out
+    /// every commit pays — a pipelined host records commits strictly
+    /// in sequence order, so an unsubscribe between two overlapped
+    /// commits takes effect at the next sealed commit, never
+    /// mid-stream.
+    pub(crate) fn live(&self) -> usize {
+        self.subs.len()
+    }
+
     pub(crate) fn pending(&self, sub: &Subscription) -> usize {
         self.state(sub).pending.len()
     }

@@ -40,11 +40,17 @@
 //!     .commit()?;
 //! assert!(commit.optimized_ops < commit.naive_ops);
 //!
+//! // Or one commit per statement with consecutive commits pipelined
+//! // (finish of commit k overlaps prepare of commit k+1 on the
+//! // worker pool) — bit-identical to a loop of `apply`.
+//! let commits = db.apply_pipelined(["insert <b/> into /a/f", "delete /a/f"])?;
+//! assert_eq!(commits.len(), 2);
+//!
 //! // The changefeed: one event per commit, gapless sequence numbers,
 //! // O(|delta|) per event — never a store clone.
 //! let events = db.drain(&feed);
-//! assert_eq!(events.len(), 3);
-//! assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1, 2, 3]);
+//! assert_eq!(events.len(), 5);
+//! assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
 //! # Ok::<(), xivm::Error>(())
 //! ```
 //!
@@ -53,12 +59,20 @@
 //! [`ViewDelta`]s, failures are the workspace-wide [`Error`] enum
 //! (`Xml`, `Pattern`, `Statement`, `Conflict`, `UnknownView`, …).
 //!
-//! Propagation to many views fans out across a worker pool: set
-//! `.workers(n)` on the builder (or the `XIVM_WORKERS` environment
-//! variable) and the per-view phases run on scoped threads, grouped
-//! by the Figure 15 conflict partition — results (including every
-//! commit's deltas) are bit-identical to the sequential pass at every
-//! worker count (see [`core::parallel`]).
+//! Propagation to many views fans out across a *persistent* worker
+//! pool: set `.workers(n)` on the builder (or the `XIVM_WORKERS`
+//! environment variable) and the per-view phases run on long-lived
+//! pool threads (lazy-started, zero spawns in steady state, joined on
+//! drop), grouped by the Figure 15 conflict partition. With
+//! `.pipeline(depth)` (or `XIVM_PIPELINE`) at 2 or more,
+//! [`Database::apply_pipelined`] additionally overlaps consecutive
+//! commits: while one conflict group finishes commit *k*, disjoint
+//! groups already prepare commit *k+1*. Both are pure scheduling
+//! modes — results (including every commit's deltas and subscription
+//! streams) are bit-identical to the sequential pass at every worker
+//! count and depth, which the differential soak harness
+//! (`tests/soak.rs`) verifies (see [`core::parallel`] and
+//! [`core::runtime`]).
 //!
 //! ## Migrating from the low-level engine API
 //!

@@ -547,3 +547,127 @@ fn deltas_subscription_across_independent_transactions() {
     assert!(replica.identical_to(db.store(acb)), "snapshot + Σ deltas == final store");
     db.unsubscribe(feed);
 }
+
+/// Unsubscribing between two *overlapped* (pipelined) batches: the
+/// cancelled feed stops cleanly at a commit boundary, the surviving
+/// feed keeps a gapless, replayable stream across both batches, and
+/// a subscriber added between batches sees exactly the later commits.
+#[test]
+fn unsubscribe_between_overlapped_commits() {
+    let mut db = Database::builder()
+        .document("<a><c><b/><b/></c><f><c><b/></c><b/></f></a>")
+        .view("ab", "//a{id}//b{id}")
+        .view("acb", "//a{id}[//c{id}]//b{id}")
+        .view("c_cont", "//c{id,cont}")
+        .workers(3)
+        .pipeline(3)
+        .build()
+        .unwrap();
+    let ab = db.view("ab").unwrap();
+    let early = db.subscribe(ab);
+    let survivor = db.subscribe(ab);
+    assert_eq!(db.subscriptions(), 2);
+    let mut replica = db.store(ab).clone();
+
+    db.apply_pipelined(["insert <b/> into /a/c", "delete /a/f/c", "insert <c><b/></c> into /a"])
+        .unwrap();
+
+    // drop one feed between the overlapped batches: its events are
+    // discarded with it, the other feed is untouched
+    let drained_early = db.drain(&early);
+    assert_eq!(drained_early.len(), 3);
+    db.unsubscribe(early);
+    assert_eq!(db.subscriptions(), 1);
+
+    let late = db.subscribe(ab);
+    db.apply_pipelined(["insert <b/> into //c", "delete //c//b"]).unwrap();
+
+    let events = db.drain(&survivor);
+    let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+    assert_eq!(seqs, vec![1, 2, 3, 4, 5], "gapless across both overlapped batches");
+    for e in &events {
+        e.delta.replay(&mut replica);
+    }
+    assert!(replica.identical_to(db.store(ab)), "snapshot + Σ deltas == final store");
+
+    let late_events = db.drain(&late);
+    let late_seqs: Vec<u64> = late_events.iter().map(|e| e.seq).collect();
+    assert_eq!(late_seqs, vec![4, 5], "a mid-stream subscriber sees exactly the later commits");
+    db.unsubscribe(survivor);
+    db.unsubscribe(late);
+    assert_eq!(db.subscriptions(), 0);
+}
+
+/// N subscribers of one view cost one delta allocation per commit
+/// (`Arc`-shared), on the plain path and on the pipelined path alike
+/// — and subscribers of *different* views never alias.
+#[test]
+fn multiple_subscribers_on_one_view_share_the_delta_allocation() {
+    let mut db = Database::builder()
+        .document("<a><c><b/><b/></c><f><b/></f></a>")
+        .view("ab", "//a{id}//b{id}")
+        .view("ac", "//a{id}//c{id}")
+        .workers(2)
+        .pipeline(2)
+        .build()
+        .unwrap();
+    let ab = db.view("ab").unwrap();
+    let ac = db.view("ac").unwrap();
+    let s1 = db.subscribe(ab);
+    let s2 = db.subscribe(ab);
+    let other = db.subscribe(ac);
+
+    db.apply("insert <b/> into /a/c").unwrap();
+    db.apply_pipelined(["insert <c><b/></c> into /a", "delete /a/f/b"]).unwrap();
+
+    let (e1, e2, eo) = (db.drain(&s1), db.drain(&s2), db.drain(&other));
+    assert_eq!(e1.len(), 3);
+    assert_eq!(e2.len(), 3);
+    for (a, b) in e1.iter().zip(&e2) {
+        assert_eq!(a.seq, b.seq);
+        assert!(
+            std::sync::Arc::ptr_eq(&a.delta, &b.delta),
+            "same-view subscribers must share one allocation per commit"
+        );
+    }
+    for (a, o) in e1.iter().zip(&eo) {
+        assert!(!std::sync::Arc::ptr_eq(&a.delta, &o.delta), "different views never share a delta");
+    }
+    db.unsubscribe(s1);
+    db.unsubscribe(s2);
+    db.unsubscribe(other);
+}
+
+/// A rejected pipelined batch is a perfect no-op: a malformed
+/// statement (parse error or unparseable insert forest) rejects the
+/// *whole* batch before anything is applied — no commit, no sequence
+/// number, no event, no document or view change.
+#[test]
+fn rejected_pipelined_batch_emits_nothing() {
+    let mut db = Database::builder()
+        .document("<a><c><b/><b/></c><f><c><b/></c><b/></f></a>")
+        .view("acb", "//a{id}[//c{id}]//b{id}")
+        .workers(2)
+        .pipeline(2)
+        .build()
+        .unwrap();
+    let acb = db.view("acb").unwrap();
+    let feed = db.subscribe(acb);
+    let before = db.serialize();
+
+    let parse_err = db.apply_pipelined(["insert <b/> into /a/c", "frobnicate //a", "delete /a/f"]);
+    assert!(matches!(parse_err, Err(Error::Statement(_))));
+    let forest_err = db.apply_pipelined(["delete /a/f", "insert <b><broken> into /a/c"]);
+    assert!(matches!(forest_err, Err(Error::Xml(_))));
+
+    assert_eq!(db.serialize(), before, "rejected batches must touch nothing");
+    assert_eq!(db.last_seq(), 0, "no sequence number is consumed");
+    assert_eq!(db.pending(&feed), 0, "no event is emitted");
+
+    // and the database still works afterwards
+    let commits = db.apply_pipelined(["insert <b/> into /a/c", "delete /a/f"]).unwrap();
+    assert_eq!(commits.len(), 2);
+    let events = db.drain(&feed);
+    assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1, 2]);
+    db.unsubscribe(feed);
+}
