@@ -21,10 +21,14 @@
 //! Worker counts beyond the machine's core count cannot speed
 //! anything up — on a single-core host every row measures scheduler
 //! overhead only, so the sweep prints the available parallelism
-//! alongside the results.
+//! alongside the results, reports the per-repetition spread
+//! (min/median/stddev, not a bare mean), and on a 1-core host
+//! **refuses to print a `speedup_vs_1_worker` column at all**: OS
+//! time-slicing cannot produce wall-clock speedup, so that label
+//! would be a lie — the column degrades to `relative_vs_1_worker`.
 
 use std::time::Instant;
-use xivm_bench::{figure_header, ms, repetitions, row};
+use xivm_bench::{figure_header, ms, rep_stats, repetitions, row};
 use xivm_core::{MultiViewEngine, SnowcapStrategy};
 use xivm_update::UpdateStatement;
 use xivm_xmark::sizes::reference_size;
@@ -118,35 +122,51 @@ fn main() {
             size.label
         ),
     );
+    // On a single-core host a "speedup" column would be a lie — OS
+    // time-slicing cannot produce wall-clock speedup, so the ratio
+    // only measures scheduler overhead. Refuse the label there.
+    let ratio_label = if cores > 1 { "speedup_vs_1_worker" } else { "relative_vs_1_worker" };
+    if cores == 1 {
+        println!(
+            "# single-core host: refusing the speedup_vs_1_worker label; \
+             the ratio column below measures scheduler overhead only"
+        );
+    }
     row(&[
         "workers".to_owned(),
         "warm_ms".to_owned(),
+        "warm_min_ms".to_owned(),
+        "warm_median_ms".to_owned(),
+        "warm_stddev_ms".to_owned(),
         "cold_ms".to_owned(),
         "cold_over_warm".to_owned(),
-        "speedup_vs_1_worker".to_owned(),
+        ratio_label.to_owned(),
         "groups_avg".to_owned(),
     ]);
 
     let mut baseline_ms = None;
     for workers in WORKER_SWEEP {
-        let (mut warm, mut cold) = (0.0, 0.0);
+        let (mut warm_runs, mut cold_runs) = (Vec::new(), Vec::new());
         let mut groups_avg = 0.0;
         for _ in 0..reps {
             let (w, g) = run_stream(&doc, &stream, workers, false);
-            warm += w;
+            warm_runs.push(w);
             groups_avg = g;
             let (c, _) = run_stream(&doc, &stream, workers, true);
-            cold += c;
+            cold_runs.push(c);
         }
-        let warm_avg = warm / reps as f64;
-        let cold_avg = cold / reps as f64;
-        let baseline = *baseline_ms.get_or_insert(warm_avg);
+        let warm = rep_stats(&warm_runs);
+        let cold = rep_stats(&cold_runs);
+        let baseline = *baseline_ms.get_or_insert(warm.mean);
         row(&[
             workers.to_string(),
-            format!("{warm_avg:.3}"),
-            format!("{cold_avg:.3}"),
-            format!("{:.2}", cold_avg / warm_avg),
-            format!("{:.2}", baseline / warm_avg),
+            format!("{:.3}", warm.mean),
+            format!("{:.3}", warm.min),
+            format!("{:.3}", warm.median),
+            format!("{:.3}", warm.stddev),
+            format!("{:.3}", cold.mean),
+            format!("{:.2}", cold.mean / warm.mean),
+            format!("{:.2}", baseline / warm.mean),
             format!("{groups_avg:.1}"),
         ]);
     }
@@ -171,23 +191,29 @@ fn main() {
     row(&[
         "workers".to_owned(),
         "warm_us_per_update".to_owned(),
+        "warm_min_us".to_owned(),
+        "warm_median_us".to_owned(),
+        "warm_stddev_us".to_owned(),
         "cold_us_per_update".to_owned(),
         "cold_over_warm".to_owned(),
     ]);
     for workers in WORKER_SWEEP {
-        let (mut warm, mut cold) = (0.0, 0.0);
+        let per_update = 1000.0 / tiny.len() as f64;
+        let (mut warm_runs, mut cold_runs) = (Vec::new(), Vec::new());
         for _ in 0..reps {
-            warm += run_stream(&tiny_doc, &tiny, workers, false).0;
-            cold += run_stream(&tiny_doc, &tiny, workers, true).0;
+            warm_runs.push(run_stream(&tiny_doc, &tiny, workers, false).0 * per_update);
+            cold_runs.push(run_stream(&tiny_doc, &tiny, workers, true).0 * per_update);
         }
-        let per_update = 1000.0 / (reps * tiny.len()) as f64;
-        let warm_us = warm * per_update;
-        let cold_us = cold * per_update;
+        let warm = rep_stats(&warm_runs);
+        let cold = rep_stats(&cold_runs);
         row(&[
             workers.to_string(),
-            format!("{warm_us:.1}"),
-            format!("{cold_us:.1}"),
-            format!("{:.2}", cold_us / warm_us),
+            format!("{:.1}", warm.mean),
+            format!("{:.1}", warm.min),
+            format!("{:.1}", warm.median),
+            format!("{:.1}", warm.stddev),
+            format!("{:.1}", cold.mean),
+            format!("{:.2}", cold.mean / warm.mean),
         ]);
     }
 }

@@ -95,6 +95,31 @@ pub fn averaged<F: FnMut() -> Timings>(n: usize, mut f: F) -> Timings {
     }
 }
 
+/// Summary statistics over one measurement's repetitions. A mean
+/// alone hides warm-up spikes and scheduler noise; the sweep runners
+/// report the spread alongside it.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RepStats {
+    pub mean: f64,
+    pub min: f64,
+    pub median: f64,
+    pub stddev: f64,
+}
+
+/// Mean/min/median/population-stddev of the per-repetition values.
+pub fn rep_stats(values: &[f64]) -> RepStats {
+    if values.is_empty() {
+        return RepStats::default();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len();
+    let mean = sorted.iter().sum::<f64>() / n as f64;
+    let median = if n % 2 == 1 { sorted[n / 2] } else { (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0 };
+    let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    RepStats { mean, min: sorted[0], median, stddev: var.sqrt() }
+}
+
 /// Number of repetitions per measurement (5 in the paper; 3 in quick
 /// mode to keep `cargo bench` short).
 pub fn repetitions() -> usize {
@@ -121,6 +146,18 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(t.execute_update, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn rep_stats_summarize() {
+        assert_eq!(rep_stats(&[]), RepStats::default());
+        let s = rep_stats(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 2.0);
+        assert!((s.stddev - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        let even = rep_stats(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(even.median, 2.5);
     }
 
     #[test]

@@ -52,9 +52,10 @@ use crate::costmodel::UpdateProfile;
 use crate::engine::{MaintenanceEngine, UpdateReport};
 use crate::error::Error;
 use crate::multiview::MultiViewEngine;
+use crate::snapshot::DatabaseSnapshot;
 use crate::strategy::SnowcapStrategy;
 use crate::subscribe::{DeltaEvent, Subscription, SubscriptionRegistry};
-use crate::view_store::{Cursor, ViewStore};
+use crate::view_store::{Cursor, ShardedStores, ViewStore};
 use xivm_pattern::{parse_pattern, TreePattern};
 use xivm_pulopt::{aggregate, find_conflicts, integrate, reduce, ConflictPolicy, ReductionTrace};
 use xivm_update::builder::UpdateBuilder;
@@ -282,12 +283,16 @@ impl DatabaseBuilder {
 
     /// Sets the pipeline depth for [`Database::apply_pipelined`]: the
     /// number of commits allowed in flight. 1 (the default) disables
-    /// pipelining; any depth >= 2 overlaps the `finish` phase of each
-    /// commit with the `prepare` phase of the next one, per Figure 15
-    /// conflict group. An explicit setting overrides the
-    /// `XIVM_PIPELINE` environment variable. Results — commits,
-    /// stores, subscription streams — are bit-identical at every
-    /// depth.
+    /// pipelining; any depth >= 2 runs windows of up to `depth`
+    /// commits on copy-on-write document snapshots, overlapping each
+    /// commit's propagation with up to `depth - 1` successors per
+    /// Figure 15 shard. An explicit setting overrides the
+    /// `XIVM_PIPELINE` environment variable; the value is clamped
+    /// into `1..=`[`crate::runtime::MAX_PIPELINE_DEPTH`] (see
+    /// [`crate::runtime::clamp_pipeline`]) and
+    /// [`Database::pipeline_depth`] reports the clamped, effective
+    /// depth. Results — commits, stores, subscription streams — are
+    /// bit-identical at every depth.
     pub fn pipeline(mut self, depth: usize) -> Self {
         self.pipeline = Some(depth);
         self
@@ -431,16 +436,22 @@ impl Database {
         self.views.workers()
     }
 
-    /// The pipeline depth [`Self::apply_pipelined`] runs at (builder's
-    /// `.pipeline(depth)`, else `XIVM_PIPELINE`, else 1 = off).
+    /// The *effective* pipeline depth [`Self::apply_pipelined`] runs
+    /// at (builder's `.pipeline(depth)`, else `XIVM_PIPELINE`, else
+    /// 1 = off — clamped into
+    /// `1..=`[`crate::runtime::MAX_PIPELINE_DEPTH`]). What this
+    /// reports is exactly what runs: an unachievable request is
+    /// clamped at configuration time, never silently ignored later.
     pub fn pipeline_depth(&self) -> usize {
         self.pipeline
     }
 
-    /// Changes the pipeline depth (clamped to at least 1). Purely a
-    /// scheduling knob: results are bit-identical at every depth.
+    /// Changes the pipeline depth (clamped into
+    /// `1..=`[`crate::runtime::MAX_PIPELINE_DEPTH`], see
+    /// [`crate::runtime::clamp_pipeline`]). Purely a scheduling knob:
+    /// results are bit-identical at every depth.
     pub fn set_pipeline(&mut self, depth: usize) {
-        self.pipeline = depth.max(1);
+        self.pipeline = crate::runtime::clamp_pipeline(depth);
     }
 
     /// Threads ever spawned by this database's propagation runtime —
@@ -482,21 +493,25 @@ impl Database {
 
     /// Applies a stream of statements as *individual commits* — one
     /// [`Commit`] per statement, exactly as a loop of [`Self::apply`]
-    /// would produce — with consecutive commits overlapped when the
-    /// pipeline depth ([`DatabaseBuilder::pipeline`] /
-    /// `XIVM_PIPELINE`) is at least 2: while one Figure 15 conflict
-    /// group still runs the `finish` phase of commit *k*, disjoint
-    /// groups already run the `prepare` phase of commit *k+1* on the
-    /// worker pool (see [`crate::runtime`] and
-    /// [`crate::multiview::MultiViewEngine`]).
+    /// would produce — with up to [`Self::pipeline_depth`] consecutive
+    /// commits in flight ([`DatabaseBuilder::pipeline`] /
+    /// `XIVM_PIPELINE`): the document advances commit by commit on
+    /// the calling thread, freezing cheap copy-on-write snapshots
+    /// around every apply, and the window's propagations drain on the
+    /// worker pool as one chained job per write-disjoint Figure 15
+    /// shard — commit *k + depth − 1*'s `prepare` overlaps commit
+    /// *k*'s `finish` on every disjoint shard (see [`crate::runtime`]
+    /// and [`crate::multiview::MultiViewEngine`]).
     ///
     /// Pipelining is purely a scheduling mode: commits (sequence
     /// numbers, counters, per-view deltas), stores and subscription
     /// streams are bit-identical to the sequential pass — commits are
     /// sealed strictly in order, so changefeeds stay gapless. It
-    /// degenerates to the sequential loop when the depth is 1, the
-    /// batch has fewer than two statements, the pool has one worker,
-    /// or the schedule has a single conflict group.
+    /// degenerates to the sequential loop when the depth is 1 or the
+    /// batch has fewer than two statements, and within a window two
+    /// views ever co-grouped by a commit's schedule share one chain
+    /// (no overlap between them, exactly the ordering Figure 15
+    /// demands).
     ///
     /// The whole batch is parsed and validated up front: a malformed
     /// statement rejects everything before anything is applied (no
@@ -566,6 +581,53 @@ impl Database {
     /// first one).
     pub fn last_seq(&self) -> u64 {
         self.commits
+    }
+
+    // -----------------------------------------------------------------
+    // MVCC snapshots and sharding
+    // -----------------------------------------------------------------
+
+    /// Freezes the current state into a [`DatabaseSnapshot`]: the
+    /// document (copy-on-write clone, O(chunks)) plus every view store
+    /// behind its `Arc`, stamped with [`Self::last_seq`]. No tuple and
+    /// no node is copied.
+    ///
+    /// The snapshot is a gapless image of commits `1..=seq`: reads
+    /// through it (stores, cursors, XPath) are unaffected by any
+    /// commit applied afterwards, and those commits never wait for the
+    /// snapshot — the first write to a shared chunk or store copies it
+    /// on the writer's side.
+    pub fn snapshot(&self) -> DatabaseSnapshot {
+        DatabaseSnapshot::new(self.commits, self.doc.clone(), self.views.store_arcs())
+    }
+
+    /// The Figure 15 shard plan a statement induces on the views:
+    /// declaration-order indices partitioned into order-independent
+    /// groups ([`crate::multiview::MultiViewEngine::partition`], built
+    /// on [`xivm_pulopt::partition`]). Views in distinct groups can be
+    /// maintained on different shards in any order; the pipelined
+    /// propagation uses exactly this partition to hand each shard to
+    /// one worker job. Read-only: the statement's PUL is computed
+    /// against the current document and discarded.
+    pub fn shard_plan(
+        &self,
+        statement: impl Into<StatementSource>,
+    ) -> Result<Vec<Vec<usize>>, Error> {
+        let stmt = resolve_statement(statement.into())?;
+        let pul = compute_pul(&self.doc, &stmt);
+        Ok(self.views.partition(&self.doc, &pul))
+    }
+
+    /// The view stores grouped by [`Self::shard_plan`] — see
+    /// [`ShardedStores`]. O(views): the current store `Arc`s are
+    /// captured, not copied, so this composes with [`Self::snapshot`]
+    /// as a zero-copy read path per shard.
+    pub fn sharded_stores(
+        &self,
+        statement: impl Into<StatementSource>,
+    ) -> Result<ShardedStores, Error> {
+        let plan = self.shard_plan(statement)?;
+        Ok(ShardedStores::new(plan, self.views.store_arcs()))
     }
 
     // -----------------------------------------------------------------

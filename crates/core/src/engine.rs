@@ -21,6 +21,7 @@ use crate::strategy::SnowcapStrategy;
 use crate::timing::{timed, Timings};
 use crate::view_store::ViewStore;
 use std::collections::{BTreeSet, HashSet};
+use std::sync::Arc;
 use xivm_pattern::compile::{canonical_relation, compile_plan_over, project_to_view, view_tuples};
 use xivm_pattern::{PatternNodeId, TreePattern};
 use xivm_update::{apply_pul, compute_pul, DeltaMinus, DeltaPlus, Pul, UpdateStatement};
@@ -77,7 +78,11 @@ pub struct MaintenanceEngine {
     /// Cost-model-chosen sets overriding the strategy's default
     /// (see [`crate::costmodel`]).
     custom_sets: Option<Vec<BTreeSet<PatternNodeId>>>,
-    store: ViewStore,
+    /// The materialized view, behind an `Arc` so a database snapshot
+    /// can hold it for free: `finish` mutates through
+    /// [`Arc::make_mut`], copying the store once iff a snapshot still
+    /// holds the previous version (readers never block a commit).
+    store: Arc<ViewStore>,
     snowcaps: Vec<MaterializedSnowcap>,
     /// Ablation switches for the dynamic prunings (Section 6.8).
     pub use_delta_pruning: bool,
@@ -92,7 +97,7 @@ pub struct MaintenanceEngine {
 impl MaintenanceEngine {
     /// Materializes the view and its auxiliary snowcaps over `doc`.
     pub fn new(doc: &Document, pattern: TreePattern, strategy: SnowcapStrategy) -> Self {
-        let store = ViewStore::from_counted(&pattern, view_tuples(doc, &pattern));
+        let store = Arc::new(ViewStore::from_counted(&pattern, view_tuples(doc, &pattern)));
         let snowcaps =
             Self::materialize_sets(doc, &pattern, Self::default_sets(&pattern, strategy));
         MaintenanceEngine {
@@ -117,7 +122,7 @@ impl MaintenanceEngine {
     ) -> Self {
         let stats = crate::costmodel::DocStats::collect(doc);
         let sets = crate::costmodel::choose_snowcaps(&pattern, &stats, profile);
-        let store = ViewStore::from_counted(&pattern, view_tuples(doc, &pattern));
+        let store = Arc::new(ViewStore::from_counted(&pattern, view_tuples(doc, &pattern)));
         let snowcaps = Self::materialize_sets(doc, &pattern, sets.clone());
         MaintenanceEngine {
             pattern,
@@ -184,6 +189,14 @@ impl MaintenanceEngine {
         &self.store
     }
 
+    /// A shared handle to the materialized view, as held by database
+    /// snapshots and store shards: cloning is O(1) and the engine's
+    /// next mutation copies the store out from under it instead of
+    /// blocking (see [`crate::snapshot::DatabaseSnapshot`]).
+    pub(crate) fn store_arc(&self) -> Arc<ViewStore> {
+        Arc::clone(&self.store)
+    }
+
     pub fn snowcaps(&self) -> &[MaterializedSnowcap] {
         &self.snowcaps
     }
@@ -191,7 +204,8 @@ impl MaintenanceEngine {
     /// Full recomputation (the baseline of Section 6.5); also used to
     /// re-sync in tests.
     pub fn recompute(&mut self, doc: &Document) {
-        self.store = ViewStore::from_counted(&self.pattern, view_tuples(doc, &self.pattern));
+        self.store =
+            Arc::new(ViewStore::from_counted(&self.pattern, view_tuples(doc, &self.pattern)));
         self.snowcaps = Self::materialize_sets(doc, &self.pattern, self.current_sets());
     }
 
@@ -247,6 +261,10 @@ impl MaintenanceEngine {
     ) -> UpdateReport {
         let PreparedUpdate { dminus, delete_roots, pred_capture, prep_time: t_dm } = prepared;
         let mut report = UpdateReport::default();
+        // Copy-on-write split: if a snapshot still holds this store,
+        // clone it now and patch the copy — the snapshot keeps the
+        // frozen version, and this commit never waits for readers.
+        let store = Arc::make_mut(&mut self.store);
 
         // --- Compute Delta Tables, part 2: CD+.
         let (dplus, t_dp) = timed(|| DeltaPlus::compute(doc, &self.pattern, &apply_res.inserted));
@@ -369,7 +387,7 @@ impl MaintenanceEngine {
                     for (t, c) in project_to_view(&self.pattern, &removed) {
                         let key = t.id_key();
                         report.derivations_removed += c;
-                        if self.store.remove_derivations(&key, c) {
+                        if store.remove_derivations(&key, c) {
                             report.tuples_removed += 1;
                         }
                         if self.collect_deltas {
@@ -377,12 +395,8 @@ impl MaintenanceEngine {
                         }
                     }
                 }
-                let patched = propagate_delete_modifications(
-                    &mut self.store,
-                    doc,
-                    &self.pattern,
-                    &delete_roots,
-                );
+                let patched =
+                    propagate_delete_modifications(store, doc, &self.pattern, &delete_roots);
                 report.tuples_modified += patched.len();
                 modified_keys.extend(patched);
             }
@@ -392,7 +406,7 @@ impl MaintenanceEngine {
                     for (t, c) in project_to_view(&self.pattern, &lost) {
                         let key = t.id_key();
                         report.derivations_removed += c;
-                        if self.store.remove_derivations(&key, c) {
+                        if store.remove_derivations(&key, c) {
                             report.tuples_removed += 1;
                         }
                         if self.collect_deltas {
@@ -404,13 +418,13 @@ impl MaintenanceEngine {
                 if !gained.is_empty() {
                     for (t, c) in project_to_view(&self.pattern, &gained) {
                         report.derivations_added += c;
-                        if !self.store.contains(&t.id_key()) {
+                        if !store.contains(&t.id_key()) {
                             report.tuples_added += 1;
                         }
                         if self.collect_deltas {
                             report.delta.inserted.push((t.clone(), c));
                         }
-                        self.store.add(t, c);
+                        store.add(t, c);
                     }
                 }
             }
@@ -421,17 +435,17 @@ impl MaintenanceEngine {
                 if !added.is_empty() {
                     for (t, c) in project_to_view(&self.pattern, &added) {
                         report.derivations_added += c;
-                        if !self.store.contains(&t.id_key()) {
+                        if !store.contains(&t.id_key()) {
                             report.tuples_added += 1;
                         }
                         if self.collect_deltas {
                             report.delta.inserted.push((t.clone(), c));
                         }
-                        self.store.add(t, c);
+                        store.add(t, c);
                     }
                 }
                 let patched = propagate_insert_modifications(
-                    &mut self.store,
+                    store,
                     doc,
                     &self.pattern,
                     &apply_res.insert_targets,
@@ -451,7 +465,7 @@ impl MaintenanceEngine {
                 let mut seen: HashSet<crate::view_store::TupleKey> = HashSet::new();
                 for key in modified_keys {
                     if seen.insert(key.clone()) {
-                        if let Some(tuple) = self.store.tuple(&key) {
+                        if let Some(tuple) = store.tuple(&key) {
                             report.delta.modified.push((key, tuple.clone()));
                         }
                     }

@@ -69,8 +69,9 @@ pub use engine::{MaintenanceEngine, PreparedUpdate, UpdateReport};
 pub use error::Error;
 pub use multiview::MultiViewEngine;
 pub use runtime::Runtime;
+pub use snapshot::DatabaseSnapshot;
 pub use strategy::SnowcapStrategy;
 pub use subscribe::{DeltaEvent, Subscription};
 pub use term::Term;
 pub use timing::Timings;
-pub use view_store::{Cursor, ViewStore};
+pub use view_store::{Cursor, ShardedStores, ViewStore};

@@ -180,6 +180,14 @@ impl MultiViewEngine {
         self.views.iter().map(|(n, _)| n.as_str()).collect()
     }
 
+    /// Every view's store behind its `Arc`, in declaration order —
+    /// the capture step of [`crate::snapshot::DatabaseSnapshot`] and
+    /// [`crate::view_store::ShardedStores`]. O(views): no tuple is
+    /// copied.
+    pub(crate) fn store_arcs(&self) -> Vec<(String, std::sync::Arc<crate::view_store::ViewStore>)> {
+        self.views.iter().map(|(n, e)| (n.clone(), e.store_arc())).collect()
+    }
+
     /// Propagates one statement to *all* views: the target path is
     /// evaluated once, the document updated once, and each view
     /// finishes its own propagation. Returns per-view reports in
@@ -244,28 +252,30 @@ impl MultiViewEngine {
     }
 
     /// Propagates a stream of statements as *individual commits* with
-    /// the phases of consecutive commits overlapped (the pipelined
-    /// mode behind [`Database::apply_pipelined`]): once commit *k*'s
-    /// PUL has been applied, the document is stable until commit
-    /// *k+1*'s apply — so commit *k*'s per-group `finish` jobs each
-    /// run commit *k+1*'s `prepare` for their own views right after
-    /// their finish, overlapping with the finish of every disjoint
-    /// group (see [`parallel::finish_and_prepare_all`]). Commit *k+1*'s
-    /// PUL and schedule are computed on the submitting thread in the
-    /// same window.
+    /// up to `depth` consecutive commits in flight (the pipelined mode
+    /// behind [`Database::apply_pipelined`]), built on copy-on-write
+    /// document snapshots: the submitting thread walks a window of
+    /// `depth` statements computing each commit's PUL, applying it,
+    /// and freezing the document *before* and *after* the apply
+    /// (cheap O(chunks) clones, see [`xivm_xml::Arena`]). The whole
+    /// window then drains through [`crate::parallel`]'s `run_window`:
+    /// the per-commit Figure 15 partitions are merged into
+    /// window-wide shards and one pool job per shard chains
+    /// `prepare`/`finish` through all commits — so commit *k+depth−1*
+    /// overlaps commit *k* on every disjoint shard, at any depth, not
+    /// just one commit ahead.
     ///
-    /// `on_commit(k, ops, reports)` fires for each statement in order,
-    /// strictly before commit *k+1* finishes — callers seal sequence
-    /// numbers and fan out subscription events there, which is what
-    /// keeps changefeeds gapless and bit-identical to the sequential
-    /// pass. With `depth <= 1` or fewer than two statements this is
-    /// exactly a sequential loop of [`Self::apply_statement_counted`];
-    /// deeper lookahead than one commit would need document snapshots,
-    /// so any `depth >= 2` currently pipelines one commit ahead.
+    /// `on_commit(k, ops, reports)` fires for each statement in order
+    /// as its window drains — callers seal sequence numbers and fan
+    /// out subscription events there, which is what keeps changefeeds
+    /// gapless and bit-identical to the sequential pass. With
+    /// `depth <= 1` or fewer than two statements this is exactly a
+    /// sequential loop of [`Self::apply_statement_counted`].
     ///
-    /// On an apply error the loop stops: earlier commits stand (their
-    /// `on_commit` already fired), exactly like a sequential loop that
-    /// stops at the first failing statement.
+    /// On an apply error the pipeline stops: the window's commits that
+    /// applied *before* the failure still drain (their `on_commit`
+    /// fires), then the error is returned — exactly like a sequential
+    /// loop that stops at the first failing statement.
     ///
     /// [`Database::apply_pipelined`]: crate::database::Database::apply_pipelined
     pub(crate) fn propagate_pipelined<F>(
@@ -288,49 +298,51 @@ impl MultiViewEngine {
         let runtime =
             Self::ensure_runtime(&mut self.runtime, &mut self.retired_spawns, self.workers);
 
-        // Bootstrap: commit 0's PUL, schedule and prepare against the
-        // initial document (no previous finish to overlap with).
-        let (mut pul, mut t_find) = timed(|| compute_pul(doc, &stmts[0]));
-        let mut groups = schedule(&self.views, self.workers, doc, &pul);
-        let mut prepared = parallel::prepare_all(&self.views, doc, &pul, runtime);
-
-        for k in 0.. {
-            let (apply_res, t_apply) = timed(|| apply_pul(doc, &pul));
-            let apply_res = apply_res?;
-            // The document is now at version k and stays immutable for
-            // the rest of the window: compute commit k+1's PUL and
-            // schedule here (submitting thread), its prepare inside
-            // the finish jobs below (pool).
-            let next = if k + 1 < stmts.len() {
-                let (next_pul, next_t_find) = timed(|| compute_pul(doc, &stmts[k + 1]));
-                let next_groups = schedule(&self.views, self.workers, doc, &next_pul);
-                Some((next_pul, next_groups, next_t_find))
-            } else {
-                None
-            };
-            let (mut reports, next_prepared) = parallel::finish_and_prepare_all(
-                &mut self.views,
-                doc,
-                &apply_res,
-                prepared,
-                &groups,
-                next.as_ref().map(|(p, _, _)| p),
-                runtime,
-            );
-            for (_, report) in &mut reports {
-                report.timings.find_target_nodes = t_find;
-                report.timings.apply_document = t_apply;
+        let mut k0 = 0usize;
+        while k0 < stmts.len() {
+            let window = depth.min(stmts.len() - k0);
+            // Phase A (submitting thread): apply the window's PULs one
+            // after another, freezing a snapshot around every apply.
+            // Each step's prepare must read the document *before* its
+            // own apply and its finish the document *after* — both
+            // versions stay alive (and frozen) for the pool below.
+            let mut steps: Vec<parallel::WindowStep> = Vec::with_capacity(window);
+            let mut failure: Option<Error> = None;
+            for stmt in &stmts[k0..k0 + window] {
+                let (pul, t_find) = timed(|| compute_pul(doc, stmt));
+                let groups = schedule(&self.views, self.workers, doc, &pul);
+                let pre = doc.clone();
+                let (apply_res, t_apply) = timed(|| apply_pul(doc, &pul));
+                let apply_res = match apply_res {
+                    Ok(res) => res,
+                    Err(e) => {
+                        failure = Some(e.into());
+                        break;
+                    }
+                };
+                let post = doc.clone();
+                steps.push(parallel::WindowStep {
+                    pul,
+                    groups,
+                    pre,
+                    post,
+                    apply_res,
+                    t_find,
+                    t_apply,
+                });
             }
-            on_commit(k, pul.len(), reports);
-            match next {
-                Some((next_pul, next_groups, next_t_find)) => {
-                    pul = next_pul;
-                    groups = next_groups;
-                    t_find = next_t_find;
-                    prepared = next_prepared.expect("prepared alongside next_pul");
+            // Phase B (pool): drain the window — one chained job per
+            // merged shard. Phase C: seal strictly in commit order.
+            if !steps.is_empty() {
+                let reports = parallel::run_window(&mut self.views, &steps, runtime);
+                for (j, (step, per_view)) in steps.iter().zip(reports).enumerate() {
+                    on_commit(k0 + j, step.pul.len(), per_view);
                 }
-                None => break,
             }
+            if let Some(e) = failure {
+                return Err(e);
+            }
+            k0 += window;
         }
         Ok(())
     }

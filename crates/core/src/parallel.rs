@@ -20,18 +20,27 @@
 //!   shard-assignment function of the ROADMAP's sharding direction —
 //!   views in different groups could apply their projections on
 //!   different document replicas in any order;
-//! * `prepare_all` / `finish_all` / `finish_and_prepare_all`
-//!   (crate-internal) run the per-view phases on the persistent
-//!   [`Runtime`] pool: jobs sit behind a shared atomic cursor and an
-//!   idle worker claims ("steals") the next unclaimed one instead of
-//!   owning a fixed slice. Results are merged back by
-//!   declaration-order index, so the outcome is bit-identical to the
-//!   sequential pass no matter how the jobs were interleaved.
-//!   `finish_and_prepare_all` is the pipelined-commit composite: one
-//!   job per Figure 15 group finishes commit *k* for its views and
-//!   then runs commit *k+1*'s `prepare` for the same views, so the
-//!   finish of one group overlaps the prepare of every *other*
-//!   (disjoint) group.
+//! * `prepare_all` / `finish_all` (crate-internal) run the per-view
+//!   phases on the persistent [`Runtime`] pool: jobs sit behind a
+//!   shared atomic cursor and an idle worker claims ("steals") the
+//!   next unclaimed one instead of owning a fixed slice. Results are
+//!   merged back by declaration-order index, so the outcome is
+//!   bit-identical to the sequential pass no matter how the jobs were
+//!   interleaved.
+//! * `run_window` (crate-internal) is the deep-pipelined composite
+//!   behind [`MultiViewEngine::propagate_pipelined`]: a window of up
+//!   to `depth` consecutive commits is propagated at once, each
+//!   commit carrying copy-on-write document snapshots from before and
+//!   after its apply (`WindowStep`). The per-commit Figure 15
+//!   partitions are merged (union-find) into window-wide *shards*;
+//!   one job per shard walks the commits in order running
+//!   `prepare(pre₍ⱼ₎)` then `finish(post₍ⱼ₎)` for its views, so
+//!   commit *k+d*'s prepare overlaps commit *k*'s finish on every
+//!   disjoint shard — for any window depth, not just one commit
+//!   ahead. Within a shard each view's store is written by exactly
+//!   one job, so shards need no synchronization at all.
+//!
+//! [`MultiViewEngine::propagate_pipelined`]: crate::multiview::MultiViewEngine
 //!
 //! Determinism does not *depend* on the plan: every view writes only
 //! its own state. The plan bounds scheduling (co-locating views that
@@ -258,30 +267,6 @@ pub(crate) fn finish_all(
     groups: &[Vec<usize>],
     runtime: &Runtime,
 ) -> Vec<(String, UpdateReport)> {
-    finish_and_prepare_all(views, doc, apply_res, prepared, groups, None, runtime).0
-}
-
-/// The pipelined-commit composite pass: one pool job per Figure 15
-/// group of commit *k*'s schedule, each finishing commit *k* for its
-/// views and then — when `next_pul` is given — running commit *k+1*'s
-/// [`MaintenanceEngine::prepare`] for the same views against the same
-/// (already updated, now read-only) document. Because a view's
-/// prepare runs strictly after its own finish, yet in the same job,
-/// the finish of one group overlaps the prepare of every *disjoint*
-/// group — with a single conflict group there is exactly one job and
-/// pipelining degenerates to the sequential order.
-///
-/// Returns the per-view reports (declaration order) and, when
-/// `next_pul` was given, the prepared states for commit *k+1*.
-pub(crate) fn finish_and_prepare_all(
-    views: &mut [(String, MaintenanceEngine)],
-    doc: &Document,
-    apply_res: &ApplyResult,
-    prepared: Vec<PreparedUpdate>,
-    groups: &[Vec<usize>],
-    next_pul: Option<&Pul>,
-    runtime: &Runtime,
-) -> (Vec<(String, UpdateReport)>, Option<Vec<PreparedUpdate>>) {
     let n = views.len();
     debug_assert_eq!(prepared.len(), n);
     debug_assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), n);
@@ -298,38 +283,124 @@ pub(crate) fn finish_and_prepare_all(
 
     let finished: Vec<Mutex<Option<(String, UpdateReport)>>> =
         (0..n).map(|_| Mutex::new(None)).collect();
-    // Plain (non-pipelined) propagations never touch the prepare
-    // slots, so they stay unallocated on that hot path.
-    let next_prepared: Vec<Mutex<Option<PreparedUpdate>>> = match next_pul {
-        Some(_) => (0..n).map(|_| Mutex::new(None)).collect(),
-        None => Vec::new(),
-    };
 
     let jobs: Vec<Job<'_>> = group_views
         .into_iter()
         .map(|mut group| {
             let finished = &finished;
-            let next_prepared = &next_prepared;
             Box::new(move || {
-                // Finish commit k for the whole group first…
-                let mut entries = Vec::new();
-                if next_pul.is_some() {
-                    entries.reserve(group.len());
-                }
                 for (idx, (entry, prep)) in group.drain(..) {
                     let report = entry.1.finish(doc, apply_res, prep);
                     *finished[idx].lock().expect("finish slot unpoisoned") =
                         Some((entry.0.clone(), report));
-                    if next_pul.is_some() {
-                        entries.push((idx, entry));
-                    }
                 }
-                // …then prepare commit k+1 for the same views, while
-                // other groups may still be finishing commit k.
-                if let Some(pul) = next_pul {
-                    for (idx, entry) in entries {
-                        *next_prepared[idx].lock().expect("prepare slot unpoisoned") =
-                            Some(entry.1.prepare(doc, pul));
+            }) as Job<'_>
+        })
+        .collect();
+    runtime.run(jobs);
+
+    finished
+        .into_iter()
+        .map(|s| s.into_inner().expect("finish slot unpoisoned").expect("every view finished"))
+        .collect()
+}
+
+/// One commit of a pipelined window: its PUL and schedule, the frozen
+/// copy-on-write document snapshots from *before* and *after* its
+/// apply, the apply result, and the submitting thread's timings
+/// (stamped onto every per-view report when the window drains).
+pub(crate) struct WindowStep {
+    pub(crate) pul: Pul,
+    /// The commit's own Figure 15 partition (view indices).
+    pub(crate) groups: Vec<Vec<usize>>,
+    /// The document version the commit's `prepare` phase reads.
+    pub(crate) pre: Document,
+    /// The document version the commit's `finish` phase reads.
+    pub(crate) post: Document,
+    pub(crate) apply_res: ApplyResult,
+    pub(crate) t_find: std::time::Duration,
+    pub(crate) t_apply: std::time::Duration,
+}
+
+/// Merges every commit's Figure 15 partition into one window-wide
+/// shard assignment (union-find): two views share a shard iff *some*
+/// commit in the window co-groups them. A shard's views can then be
+/// chained through all commits by a single job with no cross-job
+/// ordering constraint — the per-view constraint (finish commit *j*
+/// before commit *j+1*) holds inside the chain, and any two views a
+/// commit declared order-dependent sit in the same chain.
+fn merge_window_shards(steps: &[WindowStep], n: usize) -> Vec<Vec<usize>> {
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+    for step in steps {
+        for group in &step.groups {
+            for pair in group.windows(2) {
+                let (a, b) = (find(&mut parent, pair[0]), find(&mut parent, pair[1]));
+                if a != b {
+                    parent[a.max(b)] = a.min(b);
+                }
+            }
+        }
+    }
+    // Canonical order: shards by smallest member, members ascending —
+    // the same convention as `partition_projections`.
+    let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for v in 0..n {
+        by_root.entry(find(&mut parent, v)).or_default().push(v);
+    }
+    by_root.into_values().collect()
+}
+
+/// Propagates a whole window of consecutive commits: one pool job per
+/// merged shard (see [`merge_window_shards`]), each chaining
+/// `prepare(pre₍ⱼ₎)` → `finish(post₍ⱼ₎)` for its views through every
+/// commit *j* in order. Because each chain holds its views' engines
+/// exclusively and reads only frozen snapshots, shards proceed fully
+/// independently: commit *k+depth−1*'s prepare on one shard overlaps
+/// commit *k*'s finish on another, and nothing blocks on anything but
+/// job completion.
+///
+/// Returns per-commit, declaration-ordered reports with the steps'
+/// timings already stamped. Bit-identical to the sequential pass: a
+/// view's `prepare` reads only the pre-apply document and its pattern,
+/// and its `finish` calls happen in commit order within its chain.
+pub(crate) fn run_window(
+    views: &mut [(String, MaintenanceEngine)],
+    steps: &[WindowStep],
+    runtime: &Runtime,
+) -> Vec<Vec<(String, UpdateReport)>> {
+    let n = views.len();
+    let w = steps.len();
+    let shards = merge_window_shards(steps, n);
+
+    let mut slots: Vec<Option<&mut (String, MaintenanceEngine)>> =
+        views.iter_mut().map(Some).collect();
+    let shard_views: Vec<Vec<(usize, &mut (String, MaintenanceEngine))>> = shards
+        .iter()
+        .map(|g| g.iter().map(|&i| (i, slots[i].take().expect("view in one shard"))).collect())
+        .collect();
+
+    // One slot per (commit, view), commit-major.
+    let reports: Vec<Mutex<Option<(String, UpdateReport)>>> =
+        (0..n * w).map(|_| Mutex::new(None)).collect();
+
+    let jobs: Vec<Job<'_>> = shard_views
+        .into_iter()
+        .map(|mut shard| {
+            let reports = &reports;
+            Box::new(move || {
+                for (j, step) in steps.iter().enumerate() {
+                    for (idx, entry) in shard.iter_mut() {
+                        let prep = entry.1.prepare(&step.pre, &step.pul);
+                        let report = entry.1.finish(&step.post, &step.apply_res, prep);
+                        *reports[j * n + *idx].lock().expect("report slot unpoisoned") =
+                            Some((entry.0.clone(), report));
                     }
                 }
             }) as Job<'_>
@@ -337,17 +408,25 @@ pub(crate) fn finish_and_prepare_all(
         .collect();
     runtime.run(jobs);
 
-    let reports = finished
-        .into_iter()
-        .map(|s| s.into_inner().expect("finish slot unpoisoned").expect("every view finished"))
-        .collect();
-    let preps = next_pul.map(|_| {
-        next_prepared
-            .into_iter()
-            .map(|s| s.into_inner().expect("prepare slot unpoisoned").expect("every view prepared"))
-            .collect()
-    });
-    (reports, preps)
+    let mut slot_iter = reports.into_iter();
+    steps
+        .iter()
+        .map(|step| {
+            (0..n)
+                .map(|_| {
+                    let (name, mut report) = slot_iter
+                        .next()
+                        .expect("n * w slots")
+                        .into_inner()
+                        .expect("report slot unpoisoned")
+                        .expect("every view finished every commit");
+                    report.timings.find_target_nodes = step.t_find;
+                    report.timings.apply_document = step.t_apply;
+                    (name, report)
+                })
+                .collect()
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,11 +1,22 @@
-//! Binary snapshots of materialized views.
+//! Snapshots: frozen in-memory database images and binary view images.
 //!
-//! Section 7 contrasts the approach with Galax's algebra-based
-//! maintenance precisely on this point: "our approach requires
-//! manipulating only tuples of IDs, that may be stored on disk … and
-//! read as needed". This module provides the on-disk image: a compact
-//! self-describing encoding of a [`ViewStore`] built on the
-//! variable-length Dewey ID encoding.
+//! Two layers share this module:
+//!
+//! * [`DatabaseSnapshot`] — a cheap MVCC snapshot of a whole
+//!   [`Database`](crate::database::Database): the document (a
+//!   copy-on-write [`Document`] clone, O(chunks)) plus every view
+//!   store behind an `Arc`, stamped with the sequence number of the
+//!   last sealed commit. Readers iterate, cursor and evaluate XPath
+//!   against the frozen image while commits keep landing on the live
+//!   database; a commit that must mutate a store still held by a
+//!   snapshot copies it first (`Arc::make_mut`), so neither side ever
+//!   blocks the other.
+//! * [`encode_store`] / [`decode_store`] — the on-disk image. Section
+//!   7 contrasts the approach with Galax's algebra-based maintenance
+//!   precisely on this point: "our approach requires manipulating only
+//!   tuples of IDs, that may be stored on disk … and read as needed".
+//!   The encoding is a compact self-describing image of a
+//!   [`ViewStore`] built on the variable-length Dewey ID encoding.
 //!
 //! Layout (all integers little-endian):
 //!
@@ -19,10 +30,13 @@
 //!                         cont (0u32 or len-prefixed utf-8)
 //! ```
 
-use crate::view_store::ViewStore;
+use crate::database::ViewHandle;
+use crate::error::Error;
+use crate::view_store::{Cursor, ViewStore};
 use std::sync::Arc;
 use xivm_algebra::{Column, Field, Schema, Tuple};
-use xivm_xml::DeweyId;
+use xivm_pattern::xpath::{eval_path, parse_xpath};
+use xivm_xml::{serialize_document, DeweyId, Document, NodeId};
 
 const MAGIC: &[u8; 4] = b"XIVM";
 const VERSION: u16 = 1;
@@ -152,6 +166,111 @@ fn read_opt_str(r: &mut Reader<'_>) -> Result<Option<Arc<str>>, SnapshotError> {
     let s = std::str::from_utf8(r.take(len as usize)?)
         .map_err(|_| SnapshotError::Corrupt("utf-8 string"))?;
     Ok(Some(Arc::from(s)))
+}
+
+// ---------------------------------------------------------------------
+// In-memory MVCC snapshots
+// ---------------------------------------------------------------------
+
+/// A frozen image of a whole database at one commit boundary.
+///
+/// Produced by [`Database::snapshot`]: the document is a copy-on-write
+/// clone (chunk pointers only, see [`xivm_xml::Arena`]) and every view
+/// store is the live `Arc` at capture time, so taking a snapshot is
+/// O(views + document chunks) — no tuple and no node is copied. The
+/// image is gapless: it reflects exactly the commits `1..=seq()`,
+/// never a half-propagated state, because [`Database`] only exposes
+/// `&self` between commits.
+///
+/// Later commits never show through: the first mutation of any chunk,
+/// canonical-relation list or store still shared with this snapshot
+/// copies it on the writer's side (`Arc::make_mut`), so readers keep
+/// the frozen originals without ever blocking a commit.
+///
+/// [`Database`]: crate::database::Database
+/// [`Database::snapshot`]: crate::database::Database::snapshot
+pub struct DatabaseSnapshot {
+    seq: u64,
+    doc: Document,
+    views: Vec<(String, Arc<ViewStore>)>,
+}
+
+impl DatabaseSnapshot {
+    /// Captures an image (called by `Database::snapshot` with its
+    /// current commit counter, document and store `Arc`s).
+    pub(crate) fn new(seq: u64, doc: Document, views: Vec<(String, Arc<ViewStore>)>) -> Self {
+        DatabaseSnapshot { seq, doc, views }
+    }
+
+    /// The sequence number of the last commit this snapshot reflects
+    /// (0 for a snapshot of a fresh database).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The frozen document.
+    pub fn document(&self) -> &Document {
+        &self.doc
+    }
+
+    /// Serializes the frozen document.
+    pub fn serialize(&self) -> String {
+        serialize_document(&self.doc)
+    }
+
+    /// Number of views in the image.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Resolves a view name to its handle. Handles are interchangeable
+    /// with the originating database's: both index declaration order.
+    pub fn view(&self, name: &str) -> Result<ViewHandle, Error> {
+        self.views
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(ViewHandle)
+            .ok_or_else(|| Error::UnknownView(name.into()))
+    }
+
+    /// View names in declaration order.
+    pub fn view_names(&self) -> Vec<&str> {
+        self.views.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// The name behind a handle.
+    pub fn name(&self, view: ViewHandle) -> &str {
+        &self.views.get(view.index()).expect("handle from this snapshot").0
+    }
+
+    /// The frozen tuples of a view.
+    pub fn store(&self, view: ViewHandle) -> &ViewStore {
+        &self.views.get(view.index()).expect("handle from this snapshot").1
+    }
+
+    /// Document-order cursor over a view's frozen tuples.
+    pub fn cursor(&self, view: ViewHandle) -> Cursor<'_> {
+        self.store(view).cursor()
+    }
+
+    /// Evaluates an XPath location path against the frozen document —
+    /// reads see exactly the state at [`Self::seq`], no matter how many
+    /// commits have landed on the live database since.
+    pub fn xpath(&self, path: &str) -> Result<Vec<NodeId>, Error> {
+        let parsed = parse_xpath(path)?;
+        Ok(eval_path(&self.doc, &parsed))
+    }
+
+    /// Binary image of one view ([`encode_store`]): snapshots are the
+    /// natural producer of on-disk images, being immutable by
+    /// construction.
+    pub fn encode_view(&self, view: ViewHandle) -> Vec<u8> {
+        encode_store(self.store(view))
+    }
 }
 
 #[cfg(test)]

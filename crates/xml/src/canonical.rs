@@ -6,21 +6,29 @@
 //! module maintains the node-id backbone of those relations
 //! incrementally under updates; `val` / `cont` are materialized lazily
 //! by the algebra layer when a view actually stores them.
+//!
+//! Like the node [`Arena`], the index is copy-on-write: each per-label
+//! list sits behind an [`Arc`], so cloning the index for a snapshot
+//! copies only the list pointers, and a later insert or remove copies
+//! exactly the one list it touches ([`Arc::make_mut`]) — the spine of
+//! the PUL, never the whole index.
 
+use crate::arena::Arena;
 use crate::label::LabelId;
-use crate::node::{Node, NodeId};
+use crate::node::NodeId;
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Per-label lists of live nodes in document order.
 #[derive(Debug, Default, Clone)]
 pub struct CanonicalIndex {
-    map: HashMap<LabelId, Vec<NodeId>>,
+    map: HashMap<LabelId, Arc<Vec<NodeId>>>,
 }
 
 /// Compares two arena nodes in document order by climbing to the root
 /// (cheaper than materializing both Dewey IDs).
-fn doc_cmp(nodes: &[Node], a: NodeId, b: NodeId) -> Ordering {
+fn doc_cmp(nodes: &Arena, a: NodeId, b: NodeId) -> Ordering {
     if a == b {
         return Ordering::Equal;
     }
@@ -47,9 +55,10 @@ impl CanonicalIndex {
     }
 
     /// Registers a (new) node under its label, preserving document
-    /// order via binary search.
-    pub fn insert(&mut self, nodes: &[Node], label: LabelId, id: NodeId) {
-        let list = self.map.entry(label).or_default();
+    /// order via binary search. Copy-on-write: a list shared with a
+    /// snapshot is copied before the edit.
+    pub fn insert(&mut self, nodes: &Arena, label: LabelId, id: NodeId) {
+        let list = Arc::make_mut(self.map.entry(label).or_default());
         // Fast path: appends at document end are the common case when
         // bulk-loading or running XQuery-Update style insertions.
         if list.last().is_some_and(|&l| doc_cmp(nodes, l, id) == Ordering::Less) || list.is_empty()
@@ -61,11 +70,15 @@ impl CanonicalIndex {
         list.insert(pos, id);
     }
 
-    /// Removes a node from its label's relation.
+    /// Removes a node from its label's relation (copy-on-write, like
+    /// [`Self::insert`]).
     pub fn remove(&mut self, label: LabelId, id: NodeId) {
         if let Some(list) = self.map.get_mut(&label) {
-            if let Some(pos) = list.iter().position(|&n| n == id) {
-                list.remove(pos);
+            if list.contains(&id) {
+                let list = Arc::make_mut(list);
+                if let Some(pos) = list.iter().position(|&n| n == id) {
+                    list.remove(pos);
+                }
             }
         }
     }
@@ -79,8 +92,18 @@ impl CanonicalIndex {
         self.map.get(&label).is_some_and(|v| v.contains(&id))
     }
 
+    /// How many per-label lists two indexes physically share (same
+    /// `Arc`) — the copy-on-write diagnostic mirroring
+    /// [`Arena::shared_chunks_with`].
+    pub fn shared_lists_with(&self, other: &CanonicalIndex) -> usize {
+        self.map
+            .iter()
+            .filter(|(label, list)| other.map.get(label).is_some_and(|o| Arc::ptr_eq(list, o)))
+            .count()
+    }
+
     /// Validates that every relation is sorted in document order.
-    pub fn check_sorted(&self, nodes: &[Node]) -> Result<(), String> {
+    pub fn check_sorted(&self, nodes: &Arena) -> Result<(), String> {
         for (label, list) in &self.map {
             for w in list.windows(2) {
                 if doc_cmp(nodes, w[0], w[1]) != Ordering::Less {
@@ -134,5 +157,21 @@ mod tests {
         let idx = CanonicalIndex::new();
         assert!(idx.nodes(LabelId(42)).is_empty());
         assert!(!idx.contains(LabelId(42), NodeId(0)));
+    }
+
+    #[test]
+    fn clone_shares_lists_until_written() {
+        let mut d = Document::new();
+        let r = d.set_root("a").unwrap();
+        d.append_element(r, "x").unwrap();
+        d.append_element(r, "y").unwrap();
+        let mut live = d.clone();
+        // The snapshot shares every per-label list with the original…
+        let shared_before = live.canonical_index().shared_lists_with(d.canonical_index());
+        assert!(shared_before >= 3, "a, x, y lists all shared, got {shared_before}");
+        // …and inserting one more x copies only the x list.
+        live.append_element(live.root().unwrap(), "x").unwrap();
+        let shared_after = live.canonical_index().shared_lists_with(d.canonical_index());
+        assert_eq!(shared_after, shared_before - 1);
     }
 }

@@ -1,11 +1,13 @@
 //! The arena-based XML document store.
 
+use crate::arena::Arena;
 use crate::canonical::CanonicalIndex;
 use crate::dewey::{between_ord, next_sibling_ord, DeweyId};
 use crate::error::XmlError;
 use crate::label::{attribute_label, LabelId, LabelInterner, TEXT_LABEL};
 use crate::node::{Node, NodeId, NodeKind};
 use crate::serializer::serialize_node;
+use std::sync::Arc;
 
 /// An ordered labeled tree of element, attribute and text nodes, with
 /// update-stable Dewey identifiers and per-label canonical relations.
@@ -13,11 +15,18 @@ use crate::serializer::serialize_node;
 /// Deletion marks nodes dead rather than reclaiming arena slots, so
 /// `NodeId`s held by in-flight operations never dangle; all traversal
 /// APIs skip dead nodes.
+///
+/// `Clone` is a cheap copy-on-write snapshot, not a deep copy: the
+/// node [`Arena`] shares its chunks and the [`CanonicalIndex`] its
+/// per-label lists via `Arc`, so cloning is O(chunks + labels) and a
+/// later mutation copies only the chunks and lists it touches. A held
+/// clone is a frozen, immutable image of the document at clone time —
+/// the MVCC substrate behind database snapshots and deep pipelining.
 #[derive(Debug, Default, Clone)]
 pub struct Document {
-    nodes: Vec<Node>,
+    nodes: Arena,
     root: Option<NodeId>,
-    labels: LabelInterner,
+    labels: Arc<LabelInterner>,
     canonical: CanonicalIndex,
 }
 
@@ -34,8 +43,28 @@ impl Document {
         &self.labels
     }
 
+    /// The canonical index itself, read-only (per-label node lists in
+    /// document order). Exposed for the copy-on-write diagnostics.
+    pub fn canonical_index(&self) -> &CanonicalIndex {
+        &self.canonical
+    }
+
+    /// How many node-arena chunks this document physically shares with
+    /// `other`: a fresh clone shares every chunk; each chunk a
+    /// mutation touched after the clone drops out. See
+    /// [`Arena::shared_chunks_with`].
+    pub fn shared_chunks_with(&self, other: &Document) -> usize {
+        self.nodes.shared_chunks_with(&other.nodes)
+    }
+
+    /// Total arena chunk count — the cost of one [`Clone`] in pointer
+    /// copies.
+    pub fn chunk_count(&self) -> usize {
+        self.nodes.chunk_count()
+    }
+
     pub fn intern_label(&mut self, name: &str) -> LabelId {
-        self.labels.intern(name)
+        Arc::make_mut(&mut self.labels).intern(name)
     }
 
     pub fn label_id(&self, name: &str) -> Option<LabelId> {
@@ -55,7 +84,7 @@ impl Document {
         if self.root.is_some() {
             return Err(XmlError::InvalidTarget("document already has a root".into()));
         }
-        let label = self.labels.intern(tag);
+        let label = self.intern_label(tag);
         let id = self.push_node(Node {
             kind: NodeKind::Element,
             label,
@@ -73,7 +102,7 @@ impl Document {
 
     /// Appends a new element child after the current last child.
     pub fn append_element(&mut self, parent: NodeId, tag: &str) -> Result<NodeId, XmlError> {
-        let label = self.labels.intern(tag);
+        let label = self.intern_label(tag);
         self.append_node(parent, NodeKind::Element, label, None)
     }
 
@@ -84,13 +113,13 @@ impl Document {
         name: &str,
         value: &str,
     ) -> Result<NodeId, XmlError> {
-        let label = self.labels.intern(&attribute_label(name));
+        let label = self.intern_label(&attribute_label(name));
         self.append_node(parent, NodeKind::Attribute, label, Some(value.to_owned()))
     }
 
     /// Appends a text node.
     pub fn append_text(&mut self, parent: NodeId, text: &str) -> Result<NodeId, XmlError> {
-        let label = self.labels.intern(TEXT_LABEL);
+        let label = self.intern_label(TEXT_LABEL);
         self.append_node(parent, NodeKind::Text, label, Some(text.to_owned()))
     }
 
@@ -117,7 +146,7 @@ impl Document {
         };
         let ord = between_ord(left, right)
             .ok_or_else(|| XmlError::InvalidTarget("sibling ordinal gap exhausted".into()))?;
-        let label = self.labels.intern(tag);
+        let label = self.intern_label(tag);
         let id = self.push_node(Node {
             kind: NodeKind::Element,
             label,
@@ -128,7 +157,7 @@ impl Document {
             alive: true,
             max_child_ord: 0,
         });
-        self.nodes[parent.index()].children.insert(pos, id);
+        self.nodes.get_mut(parent.index()).children.insert(pos, id);
         self.canonical.insert(&self.nodes, label, id);
         Ok(id)
     }
@@ -159,8 +188,9 @@ impl Document {
             alive: true,
             max_child_ord: 0,
         });
-        self.nodes[parent.index()].children.push(id);
-        self.nodes[parent.index()].max_child_ord = ord;
+        let pnode = self.nodes.get_mut(parent.index());
+        pnode.children.push(id);
+        pnode.max_child_ord = ord;
         self.canonical.insert(&self.nodes, label, id);
         Ok(id)
     }
@@ -174,9 +204,7 @@ impl Document {
     }
 
     fn push_node(&mut self, node: Node) -> NodeId {
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(node);
-        id
+        self.nodes.push(node)
     }
 
     // ------------------------------------------------------------------
@@ -192,13 +220,13 @@ impl Document {
             self.root = None;
         }
         if let Some(p) = self.nodes[node.index()].parent {
-            self.nodes[p.index()].children.retain(|&c| c != node);
+            self.nodes.get_mut(p.index()).children.retain(|&c| c != node);
         }
         let removed = self.descendants_or_self(node);
         for &n in &removed {
             let label = self.nodes[n.index()].label;
             self.canonical.remove(label, n);
-            self.nodes[n.index()].alive = false;
+            self.nodes.get_mut(n.index()).alive = false;
         }
         Ok(removed)
     }

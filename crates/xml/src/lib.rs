@@ -6,7 +6,14 @@
 //! Compact Dynamic Dewey IDs ([`DeweyId`]), per-label canonical
 //! relations kept in document order ([`CanonicalIndex`]), and a small
 //! XML parser / serializer pair.
+//!
+//! Documents are copy-on-write: nodes live in a chunked [`Arena`] and
+//! canonical relations behind per-label `Arc`s, so `Document::clone`
+//! is a cheap frozen snapshot and mutations copy only the chunks and
+//! lists they touch — the substrate for MVCC snapshots and deep
+//! commit pipelining in the layers above.
 
+pub mod arena;
 pub mod canonical;
 pub mod dewey;
 pub mod document;
@@ -17,6 +24,7 @@ pub mod node;
 pub mod parser;
 pub mod serializer;
 
+pub use arena::Arena;
 pub use canonical::CanonicalIndex;
 pub use dewey::{DeweyId, Step};
 pub use document::Document;

@@ -4,7 +4,7 @@
 
 use xivm_xml::dewey::Step;
 use xivm_xml::node::{Node, NodeId, NodeKind};
-use xivm_xml::{parse_document, serialize_document, CanonicalIndex, DeweyId, LabelId};
+use xivm_xml::{parse_document, serialize_document, Arena, CanonicalIndex, DeweyId, LabelId};
 
 // ---------------------------------------------------------------------
 // Parser ⇄ serializer round-trip
@@ -135,7 +135,7 @@ fn sorting_yields_preorder_of_the_generating_tree() {
 /// Builds a throwaway arena directly (all `Node` fields are public) so
 /// the index can be exercised standalone: a root with `n` children,
 /// alternating labels A and B.
-fn arena_with_children(n: usize) -> Vec<Node> {
+fn arena_with_children(n: usize) -> Arena {
     let mut nodes = vec![Node {
         kind: NodeKind::Element,
         label: LabelId(0),
@@ -160,7 +160,7 @@ fn arena_with_children(n: usize) -> Vec<Node> {
         let child = NodeId(nodes.len() as u32 - 1);
         nodes[0].children.push(child);
     }
-    nodes
+    nodes.into_iter().collect()
 }
 
 #[test]

@@ -65,14 +65,20 @@
 //! pool threads (lazy-started, zero spawns in steady state, joined on
 //! drop), grouped by the Figure 15 conflict partition. With
 //! `.pipeline(depth)` (or `XIVM_PIPELINE`) at 2 or more,
-//! [`Database::apply_pipelined`] additionally overlaps consecutive
-//! commits: while one conflict group finishes commit *k*, disjoint
-//! groups already prepare commit *k+1*. Both are pure scheduling
-//! modes — results (including every commit's deltas and subscription
-//! streams) are bit-identical to the sequential pass at every worker
-//! count and depth, which the differential soak harness
-//! (`tests/soak.rs`) verifies (see [`core::parallel`] and
-//! [`core::runtime`]).
+//! [`Database::apply_pipelined`] additionally keeps up to `depth`
+//! consecutive commits in flight on copy-on-write document snapshots:
+//! the conflict partitions of a window are merged into write-disjoint
+//! shards and one job per shard chains `prepare`/`finish` through the
+//! window, so commit *k+depth−1* overlaps commit *k* on every
+//! disjoint shard. Both are pure scheduling modes — results
+//! (including every commit's deltas and subscription streams) are
+//! bit-identical to the sequential pass at every worker count and
+//! depth, which the differential soak harness (`tests/soak.rs`)
+//! verifies (see [`core::parallel`] and [`core::runtime`]).
+//! [`Database::snapshot`] freezes the same copy-on-write images into
+//! a [`DatabaseSnapshot`] readers can hold — cursors, stores and
+//! XPath against a gapless commit boundary — without ever blocking a
+//! commit.
 //!
 //! ## Migrating from the low-level engine API
 //!
@@ -117,8 +123,8 @@ pub use xivm_xmark as xmark;
 pub use xivm_xml as xml;
 
 pub use xivm_core::{
-    Commit, Database, DatabaseBuilder, DeltaEvent, Error, Subscription, Transaction, ViewDelta,
-    ViewHandle,
+    Commit, Database, DatabaseBuilder, DatabaseSnapshot, DeltaEvent, Error, ShardedStores,
+    Subscription, Transaction, ViewDelta, ViewHandle,
 };
 
 /// One-stop imports for applications built on the [`Database`] façade.
@@ -130,8 +136,8 @@ pub mod prelude {
     pub use xivm_core::costmodel::UpdateProfile;
     pub use xivm_core::database::{Database, DatabaseBuilder, Transaction, ViewHandle};
     pub use xivm_core::{
-        Commit, DeltaEvent, Error, MaintenanceEngine, MultiViewEngine, SnowcapStrategy,
-        Subscription, UpdateReport, ViewDelta, ViewStore,
+        Commit, DatabaseSnapshot, DeltaEvent, Error, MaintenanceEngine, MultiViewEngine,
+        ShardedStores, SnowcapStrategy, Subscription, UpdateReport, ViewDelta, ViewStore,
     };
     pub use xivm_pattern::{parse_pattern, TreePattern};
     pub use xivm_pulopt::ConflictPolicy;
