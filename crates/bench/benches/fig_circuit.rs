@@ -1,0 +1,183 @@
+//! Derived-view maintenance: circuit sync vs full recomputation.
+//!
+//! The claim behind `xivm_circuit` mirrors the paper's claim for base
+//! views: maintaining a derived result under a commit should cost
+//! O(|Δ|), not O(store). Two sweeps over the `derived_views` circuit
+//! shape (sellers ⋈ per-auction bid counts → per-seller sums over the
+//! XMark open-auction subtree) measure exactly that:
+//!
+//! * **Δ sweep** — fixed reference document, one commit inserting k
+//!   auctions (k = 1, 8, 64): `Circuit::sync` time must grow with k
+//!   while `Circuit::recompute` stays flat at its O(store) cost;
+//! * **store sweep** — fixed k = 8 commit against growing documents:
+//!   sync must stay (nearly) flat while recompute grows with the
+//!   document.
+//!
+//! Reported per point: delta rows entering the circuit, source store
+//! rows, and mean/min/median/stddev over the repetitions for both
+//! paths (PR 6 statistics — a bare mean hides scheduler noise).
+
+use std::time::Instant;
+use xivm_bench::{figure_header, ms, rep_stats, repetitions, row};
+use xivm_circuit::{Circuit, CircuitExt, Node};
+use xivm_core::database::Database;
+use xivm_xmark::sizes::{reference_size, DocSize, KB, MB};
+use xivm_xmark::{generate_sized, sizes};
+
+fn auction_database(bytes: usize) -> Database {
+    Database::builder()
+        .document(generate_sized(bytes))
+        .view("sellers", "/site/open_auctions/open_auction{id}/seller/@person{id,val}")
+        .view("bidders", "/site/open_auctions/open_auction{id}/bidder{id}")
+        .build()
+        .expect("auction database builds")
+}
+
+/// The `derived_views` example's circuit: project → count → join →
+/// sum. Returns the circuit and its source nodes (for store sizing).
+fn seller_circuit(db: &mut Database) -> (Circuit, Vec<Node>) {
+    let mut b = db.circuit();
+    let sellers = b.source("sellers").expect("sellers view");
+    let bidders = b.source("bidders").expect("bidders view");
+    let seller_of = b.project(sellers, vec![0, 2]);
+    let _by_seller = b.count(seller_of, |r| r.project(&[1]));
+    let bids_per_auction = b.count(bidders, |r| r.project(&[0]));
+    let joined = b.join(seller_of, bids_per_auction, |r| r.project(&[0]), |r| r.project(&[0]));
+    let _bids_per_seller = b.sum(joined, |r| r.project(&[1]), |r| r.datum(3).as_int().unwrap_or(0));
+    (b.build(), vec![sellers, bidders])
+}
+
+fn insert_stmt(i: usize) -> String {
+    format!(
+        "insert <open_auction id=\"bench{i}\">\
+           <seller person=\"person0\"/>\
+           <bidder><personref person=\"person1\"/><increase>1.50</increase></bidder>\
+           <bidder><personref person=\"person2\"/><increase>4.50</increase></bidder>\
+         </open_auction> into /site/open_auctions"
+    )
+}
+
+fn delete_stmt(i: usize) -> String {
+    format!("delete /site/open_auctions/open_auction[@id = \"bench{i}\"]")
+}
+
+/// One measured point: a single commit inserting `k` auctions, synced
+/// through the circuit and recomputed from scratch; then reverted so
+/// the next repetition sees the same store. Returns per-repetition
+/// (delta_rows, sync_ms, recompute_ms).
+fn measure(
+    db: &mut Database,
+    circuit: &mut Circuit,
+    k: usize,
+    reps: usize,
+) -> (usize, Vec<f64>, Vec<f64>) {
+    let handles = db.handles();
+    let mut delta_rows = 0usize;
+    let mut sync_ms = Vec::with_capacity(reps);
+    let mut recompute_ms = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut tx = db.transaction();
+        for i in 0..k {
+            tx = tx.statement(insert_stmt(i).as_str());
+        }
+        let commit = tx.commit().expect("insert batch commits");
+        delta_rows = handles.iter().map(|&h| commit.delta(h).len()).sum();
+
+        let start = Instant::now();
+        circuit.sync(db);
+        sync_ms.push(ms(start.elapsed()));
+
+        let start = Instant::now();
+        let stores = circuit.recompute(db);
+        recompute_ms.push(ms(start.elapsed()));
+        assert_eq!(stores.len(), circuit.len(), "recompute covers every node");
+
+        // Revert, and keep the circuit in step so the next repetition
+        // starts from the same state.
+        let mut tx = db.transaction();
+        for i in 0..k {
+            tx = tx.statement(delete_stmt(i).as_str());
+        }
+        tx.commit().expect("delete batch commits");
+        circuit.sync(db);
+    }
+    (delta_rows, sync_ms, recompute_ms)
+}
+
+fn stat_cells(values: &[f64]) -> Vec<String> {
+    let s = rep_stats(values);
+    vec![
+        format!("{:.3}", s.mean),
+        format!("{:.3}", s.min),
+        format!("{:.3}", s.median),
+        format!("{:.3}", s.stddev),
+    ]
+}
+
+const COLUMNS: [&str; 12] = [
+    "doc",
+    "delta_k",
+    "store_rows",
+    "delta_rows",
+    "sync_mean_ms",
+    "sync_min_ms",
+    "sync_median_ms",
+    "sync_stddev_ms",
+    "recompute_mean_ms",
+    "recompute_min_ms",
+    "recompute_median_ms",
+    "recompute_stddev_ms",
+];
+
+fn run_point(size: DocSize, k: usize, reps: usize) {
+    let mut db = auction_database(size.bytes);
+    let (mut circuit, sources) = seller_circuit(&mut db);
+    let store_rows: usize = sources.iter().map(|&s| circuit.store(s).len()).sum();
+    let (delta_rows, sync_ms, recompute_ms) = measure(&mut db, &mut circuit, k, reps);
+    let mut cells =
+        vec![size.label.to_owned(), k.to_string(), store_rows.to_string(), delta_rows.to_string()];
+    cells.extend(stat_cells(&sync_ms));
+    cells.extend(stat_cells(&recompute_ms));
+    row(&cells);
+    circuit.detach(&mut db);
+}
+
+fn main() {
+    let reps = repetitions();
+    let reference = reference_size();
+
+    figure_header(
+        "Circuit maintenance vs recomputation (delta sweep)",
+        &format!(
+            "derived-view circuit over the open-auction subtree, {} document, \
+             one commit of k auction inserts, {} repetitions",
+            reference.label, reps
+        ),
+    );
+    row(&COLUMNS.map(str::to_owned));
+    for k in [1usize, 8, 64] {
+        run_point(reference, k, reps);
+    }
+
+    figure_header(
+        "Circuit maintenance vs recomputation (store sweep)",
+        &format!("same circuit, fixed k=8 commit, growing documents, {reps} repetitions"),
+    );
+    row(&COLUMNS.map(str::to_owned));
+    let store_ladder: &[DocSize] = if sizes::full_scale() {
+        &[
+            DocSize { label: "100KB", bytes: 100 * KB },
+            DocSize { label: "1MB", bytes: MB },
+            DocSize { label: "10MB", bytes: 10 * MB },
+        ]
+    } else {
+        &[
+            DocSize { label: "100KB", bytes: 100 * KB },
+            DocSize { label: "500KB", bytes: 500 * KB },
+            DocSize { label: "1MB", bytes: MB },
+        ]
+    };
+    for &size in store_ladder {
+        run_point(size, 8, reps);
+    }
+}

@@ -57,6 +57,28 @@ impl ViewDelta {
         self.inserted.len() + self.removed.len() + self.modified.len()
     }
 
+    /// The delta as a stream of weighted changes in the Z-set weight
+    /// algebra: an insertion weighs `+count` (the derivations added),
+    /// a removal weighs `−count` (the derivations dropped), and a
+    /// modification weighs `0` — the tuple's membership is unchanged,
+    /// only its stored text moved. Entries come in replay order
+    /// (removals, then insertions, then modifications), so a consumer
+    /// folding them over a replica sees exactly what [`Self::replay`]
+    /// would do, without hand-matching the three-way split.
+    pub fn weights(&self) -> impl Iterator<Item = (i64, WeightedChange<'_>)> {
+        let removed = self
+            .removed
+            .iter()
+            .map(|(key, count)| (-(*count as i64), WeightedChange::Remove { key, count: *count }));
+        let inserted = self
+            .inserted
+            .iter()
+            .map(|(tuple, count)| (*count as i64, WeightedChange::Insert { tuple, count: *count }));
+        let modified =
+            self.modified.iter().map(|(key, tuple)| (0, WeightedChange::Modify { key, tuple }));
+        removed.chain(inserted).chain(modified)
+    }
+
     /// Sorts every section into document order, making the delta a
     /// canonical value: propagation walks hash stores, whose iteration
     /// order differs between otherwise-identical databases, and the
@@ -87,6 +109,57 @@ impl ViewDelta {
             if let Some(stored) = store.tuple_mut(key) {
                 *stored = tuple.clone();
             }
+        }
+    }
+}
+
+/// One entry of [`ViewDelta::weights`]: a view change with its Z-set
+/// weight (insert `+count`, delete `−count`, modify `0`). Borrows from
+/// the delta, so iterating a delta allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightedChange<'a> {
+    /// `count` derivations of `tuple` entered the view (weight
+    /// `+count`).
+    Insert { tuple: &'a Tuple, count: u64 },
+    /// `count` derivations left the tuple behind `key` (weight
+    /// `−count`); the tuple disappears when its derivation count hits
+    /// zero.
+    Remove { key: &'a TupleKey, count: u64 },
+    /// The tuple behind `key` survived with changed stored text
+    /// (weight `0`); `tuple` is its post-commit contents.
+    Modify { key: &'a TupleKey, tuple: &'a Tuple },
+}
+
+impl WeightedChange<'_> {
+    /// The Z-set weight of this change (also the first element of the
+    /// [`ViewDelta::weights`] pair, duplicated here for call sites
+    /// holding only the change).
+    pub fn weight(&self) -> i64 {
+        match self {
+            WeightedChange::Insert { count, .. } => *count as i64,
+            WeightedChange::Remove { count, .. } => -(*count as i64),
+            WeightedChange::Modify { .. } => 0,
+        }
+    }
+
+    /// The key of the view tuple this change touches (computed from
+    /// the tuple's ID columns for insertions).
+    pub fn key(&self) -> TupleKey {
+        match self {
+            WeightedChange::Insert { tuple, .. } => tuple.id_key(),
+            WeightedChange::Remove { key, .. } => (*key).clone(),
+            WeightedChange::Modify { key, .. } => (*key).clone(),
+        }
+    }
+
+    /// The tuple contents carried by this change — the inserted tuple
+    /// or a modification's post-commit contents; removals carry only a
+    /// key.
+    pub fn tuple(&self) -> Option<&Tuple> {
+        match self {
+            WeightedChange::Insert { tuple, .. } => Some(tuple),
+            WeightedChange::Remove { .. } => None,
+            WeightedChange::Modify { tuple, .. } => Some(tuple),
         }
     }
 }
@@ -242,6 +315,39 @@ mod tests {
         assert_eq!(store.count_of(&tup(1).id_key()), Some(1), "2 removed, then 1 re-added");
         assert_eq!(store.count_of(&tup(3).id_key()), Some(1));
         assert_eq!(store.tuple(&tup(2).id_key()), Some(&patched));
+    }
+
+    #[test]
+    fn weights_follow_the_snippet_algebra_in_replay_order() {
+        let mut patched = tup(2);
+        patched.field_mut(0).val = Some("new".into());
+        let delta = ViewDelta {
+            inserted: vec![(tup(3), 1), (tup(1), 2)],
+            removed: vec![(tup(4).id_key(), 3)],
+            modified: vec![(tup(2).id_key(), patched.clone())],
+        };
+
+        let entries: Vec<(i64, WeightedChange<'_>)> = delta.weights().collect();
+        assert_eq!(entries.len(), delta.len());
+        assert_eq!(
+            entries.iter().map(|(w, _)| *w).collect::<Vec<_>>(),
+            vec![-3, 1, 2, 0],
+            "removals first, then insertions, then modifications"
+        );
+        for (w, change) in &entries {
+            assert_eq!(*w, change.weight(), "pair weight matches the change's own");
+        }
+
+        assert_eq!(entries[0].1.key(), tup(4).id_key());
+        assert_eq!(entries[0].1.tuple(), None, "removals carry only a key");
+        assert_eq!(entries[1].1.tuple(), Some(&tup(3)));
+        assert_eq!(entries[2].1.key(), tup(1).id_key());
+        assert_eq!(entries[3].1.tuple(), Some(&patched));
+        assert_eq!(entries[3].1.key(), tup(2).id_key());
+
+        // The weights sum to the store's net derivation change.
+        assert_eq!(entries.iter().map(|(w, _)| *w).sum::<i64>(), 0);
+        assert!(ViewDelta::default().weights().next().is_none());
     }
 
     #[test]

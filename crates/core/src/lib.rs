@@ -63,7 +63,7 @@ pub mod term;
 pub mod timing;
 pub mod view_store;
 
-pub use commit::{Commit, ViewDelta};
+pub use commit::{Commit, ViewDelta, WeightedChange};
 pub use database::{Database, DatabaseBuilder, Transaction, ViewHandle};
 pub use engine::{MaintenanceEngine, PreparedUpdate, UpdateReport};
 pub use error::Error;

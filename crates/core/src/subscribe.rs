@@ -35,6 +35,22 @@ pub struct Subscription {
 /// touch the view). The delta is `Arc`-shared: all subscriptions of
 /// one view receive the same allocation, so fan-out to N subscribers
 /// costs one delta clone, not N.
+///
+/// # The gapless-seq contract
+///
+/// Every successful commit appends exactly one event to every live
+/// subscription — commits that did not touch the view included (their
+/// delta is empty), and rejected commits emit nothing and consume no
+/// sequence number. The `seq` values a consumer drains are therefore
+/// *consecutive*: the first event of a subscription carries the seq
+/// after [`Database::last_seq`] at subscribe time, and each following
+/// event carries the previous seq plus one, with no reordering across
+/// drains. This holds at every worker count and pipeline depth
+/// (pipelined hosts seal commits strictly in order), so a consumer
+/// that folds events in drain order reconstructs every intermediate
+/// store state exactly — circuit sources and replicas rely on it.
+///
+/// [`Database::last_seq`]: crate::database::Database::last_seq
 #[derive(Debug, Clone, Default)]
 pub struct DeltaEvent {
     pub seq: u64,
@@ -84,8 +100,15 @@ impl SubscriptionRegistry {
         }
     }
 
+    /// Takes the queued events, leaving a queue pre-sized from
+    /// [`Self::pending`]: a steady-state consumer drains about as many
+    /// events per cycle as the last one, so the fresh queue starts at
+    /// the drained length instead of regrowing from zero on every
+    /// commit in between.
     pub(crate) fn drain(&mut self, sub: &Subscription) -> Vec<DeltaEvent> {
-        std::mem::take(&mut self.state_mut(sub).pending)
+        let pending = &mut self.state_mut(sub).pending;
+        let expected = pending.len();
+        std::mem::replace(pending, Vec::with_capacity(expected))
     }
 
     /// Number of live (not yet cancelled) subscriptions. Cancelled

@@ -102,6 +102,12 @@ impl ViewStore {
         self.tuples.get(key).map(|(t, _)| t)
     }
 
+    /// The stored tuple *and* its derivation count behind a key — one
+    /// lookup where [`Self::tuple`] + [`Self::count_of`] would pay two.
+    pub fn get(&self, key: &TupleKey) -> Option<(&Tuple, u64)> {
+        self.tuples.get(key).map(|(t, c)| (t, *c))
+    }
+
     /// All current keys (snapshot, so the store can be mutated while
     /// iterating). Prefer [`Self::iter`] / [`Self::tuples_mut`] when
     /// no structural mutation happens mid-walk — they borrow instead
@@ -316,6 +322,16 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s.count_of(&tup(1).id_key()), Some(5));
         assert_eq!(s.total_derivations(), 6);
+    }
+
+    #[test]
+    fn get_returns_tuple_and_count_together() {
+        let mut s = store();
+        s.add(tup(1), 2);
+        let (t, c) = s.get(&tup(1).id_key()).unwrap();
+        assert_eq!(t, &tup(1));
+        assert_eq!(c, 2);
+        assert!(s.get(&tup(9).id_key()).is_none());
     }
 
     #[test]

@@ -52,19 +52,32 @@ fn main() -> Result<(), Error> {
     db.apply(delete(r#"//order[sku = "spam"]"#))?;
     db.apply(insert(element("order").child(element("sku").text("juice"))).into("//orders"))?;
 
-    // The consumer catches up whenever it likes.
+    // The consumer catches up whenever it likes. Each delta is also a
+    // stream of weighted changes (insert +count, delete −count, modify
+    // 0), so one pass over `weights()` replaces hand-matching the
+    // three-way insert/remove/modify split.
     let events = db.drain(&feed);
     println!("drained {} events (one per commit, gapless):", events.len());
     let mut expected_seq = 0;
     for event in &events {
         expected_seq += 1;
         assert_eq!(event.seq, expected_seq, "sequence numbers are gapless");
+        let (mut added, mut dropped, mut patched) = (0i64, 0i64, 0usize);
+        for (weight, change) in event.delta.weights() {
+            match change {
+                WeightedChange::Modify { .. } => patched += 1,
+                WeightedChange::Insert { .. } => added += weight,
+                WeightedChange::Remove { .. } => dropped -= weight,
+            }
+        }
+        let net: i64 = event.delta.weights().map(|(weight, _)| weight).sum();
         println!(
-            "  commit #{}: +{} tuples, -{} removals, ~{} modifications{}",
+            "  commit #{}: net weight {:+} ({} derivations in, {} out, {} patched){}",
             event.seq,
-            event.delta.inserted.len(),
-            event.delta.removed.len(),
-            event.delta.modified.len(),
+            net,
+            added,
+            dropped,
+            patched,
             if event.delta.is_empty() { "  (did not touch the view)" } else { "" },
         );
         event.delta.replay(&mut replica);

@@ -1,0 +1,156 @@
+//! Derived views: XMark "open auctions by seller, with bid counts",
+//! maintained purely from deltas.
+//!
+//! Three base views over the auction document feed a circuit —
+//! project → count → join → sum — whose derived stores answer a query
+//! none of the base views holds: per seller, how many open auctions
+//! they run and how many bids those auctions have collected. After
+//! every commit the derived stores are asserted equal to an XPath
+//! recomputation over the whole document, so the O(|Δ|) maintenance
+//! path is checked against the O(document) one it replaces.
+//!
+//! ```sh
+//! cargo run --release --example derived_views
+//! ```
+
+use xivm::circuit::Node;
+use xivm::pattern::xpath::eval::eval_relative;
+use xivm::pattern::xpath::parse_xpath;
+use xivm::prelude::*;
+use xivm::xmark::generate_sized;
+
+/// The XPath oracle: walks every open auction in the frozen snapshot
+/// and rebuilds both per-seller tables from scratch.
+fn recompute_by_xpath(snap: &DatabaseSnapshot) -> (DerivedStore, DerivedStore) {
+    let doc = snap.document();
+    let seller_of = parse_xpath("seller/@person").expect("static path");
+    let bidders = parse_xpath("bidder").expect("static path");
+
+    let mut auctions: Vec<(String, i64)> = Vec::new();
+    for auction in snap.xpath("/site/open_auctions/open_auction").expect("static path") {
+        let Some(&seller) = eval_relative(doc, auction, &seller_of).first() else {
+            continue;
+        };
+        let bids = eval_relative(doc, auction, &bidders).len() as i64;
+        auctions.push((doc.value(seller), bids));
+    }
+
+    // auctions per seller: every auction counts…
+    let mut auction_counts: std::collections::BTreeMap<String, i64> = Default::default();
+    // …bids per seller: only auctions with at least one bid produce a
+    // count row upstream, so zero-bid auctions contribute no group.
+    let mut bid_totals: std::collections::BTreeMap<String, i64> = Default::default();
+    for (seller, bids) in &auctions {
+        *auction_counts.entry(seller.clone()).or_insert(0) += 1;
+        if *bids > 0 {
+            *bid_totals.entry(seller.clone()).or_insert(0) += bids;
+        }
+    }
+
+    let to_store = |m: &std::collections::BTreeMap<String, i64>| {
+        let mut s = DerivedStore::new();
+        s.apply(&RowDelta::new(
+            m.iter()
+                .map(|(seller, n)| {
+                    (Row::new(vec![Datum::Str(seller.as_str().into()), Datum::Int(*n)]), 1)
+                })
+                .collect(),
+        ));
+        s
+    };
+    (to_store(&auction_counts), to_store(&bid_totals))
+}
+
+fn assert_matches_oracle(circuit: &Circuit, db: &Database, by_seller: Node, bids: Node) {
+    let (want_auctions, want_bids) = recompute_by_xpath(&db.snapshot());
+    assert!(
+        circuit.store(by_seller).same_content_as(&want_auctions),
+        "auctions-per-seller drifted from the XPath recomputation:\n{}",
+        circuit.store(by_seller).diff_description(&want_auctions)
+    );
+    assert!(
+        circuit.store(bids).same_content_as(&want_bids),
+        "bids-per-seller drifted from the XPath recomputation:\n{}",
+        circuit.store(bids).diff_description(&want_bids)
+    );
+}
+
+fn main() -> Result<(), Error> {
+    // A small auction site; three base views the engine maintains
+    // incrementally under updates.
+    let mut db = Database::builder()
+        .document(generate_sized(30 * 1024))
+        .view("sellers", "/site/open_auctions/open_auction{id}/seller/@person{id,val}")
+        .view("bidders", "/site/open_auctions/open_auction{id}/bidder{id}")
+        .build()?;
+
+    // The circuit: who sells, joined with how much bidding.
+    //
+    //   sellers ─ project ──────────┬─ count ─► auctions per seller
+    //   bidders ─ count per auction ┴─ join ─ sum ─► bids per seller
+    let mut b = db.circuit();
+    let sellers = b.source("sellers")?; // [auction, @person, seller]
+    let bidders = b.source("bidders")?; // [auction, bidder]
+    let seller_of = b.project(sellers, vec![0, 2]); // [auction, seller]
+    let by_seller = b.count(seller_of, |r| r.project(&[1])); // [seller, n]
+    let bids_per_auction = b.count(bidders, |r| r.project(&[0])); // [auction, n]
+    let joined = b.join(seller_of, bids_per_auction, |r| r.project(&[0]), |r| r.project(&[0])); // [auction, seller, auction, n]
+    let bids_per_seller = b.sum(joined, |r| r.project(&[1]), |r| r.datum(3).as_int().unwrap_or(0)); // [seller, total bids]
+    let mut circuit = b.build();
+
+    println!("circuit:\n{}", circuit.describe());
+    assert_matches_oracle(&circuit, &db, by_seller, bids_per_seller);
+    println!(
+        "seeded: {} sellers, {} with bids",
+        circuit.store(by_seller).len(),
+        circuit.store(bids_per_seller).len()
+    );
+
+    // The site keeps trading: a new auction appears with two bids, a
+    // bidding war erupts on it, one seller hands an auction over to
+    // another, and an auction closes. After every commit the circuit
+    // syncs in O(|Δ|) and must agree with the full XPath recomputation.
+    let new_auction = "<open_auction id=\"oa_demo\">\
+                         <seller person=\"person0\"/>\
+                         <bidder><personref person=\"person1\"/><increase>1.50</increase></bidder>\
+                         <bidder><personref person=\"person2\"/><increase>3.00</increase></bidder>\
+                       </open_auction>";
+    let statements = [
+        format!("insert {new_auction} into /site/open_auctions"),
+        "insert <bidder><personref person=\"person3\"/><increase>4.50</increase></bidder> \
+         into /site/open_auctions/open_auction[@id = \"oa_demo\"]"
+            .to_owned(),
+        "replace /site/open_auctions/open_auction[@id = \"open_auction0\"]/seller \
+         with <seller person=\"person0\"/>"
+            .to_owned(),
+        "delete /site/open_auctions/open_auction[@id = \"oa_demo\"]".to_owned(),
+    ];
+    for stmt in &statements {
+        let commit = db.apply(stmt.as_str())?;
+        circuit.sync(&mut db);
+        assert_matches_oracle(&circuit, &db, by_seller, bids_per_seller);
+        let p0 = Row::new(vec![Datum::Str("person0".into())]);
+        let stats = |store: &DerivedStore| {
+            store
+                .iter()
+                .find(|(r, _)| r.project(&[0]) == p0)
+                .and_then(|(r, _)| r.datum(1).as_int())
+                .unwrap_or(0)
+        };
+        println!(
+            "commit #{}: person0 runs {} auction(s) holding {} bid(s)   [{}]",
+            commit.seq,
+            stats(circuit.store(by_seller)),
+            stats(circuit.store(bids_per_seller)),
+            &stmt[..stmt.len().min(48)],
+        );
+    }
+
+    println!(
+        "\nevery commit matched the XPath recomputation ({} sellers tracked, seq {})",
+        circuit.store(by_seller).len(),
+        db.last_seq()
+    );
+    circuit.detach(&mut db);
+    Ok(())
+}

@@ -113,6 +113,7 @@
 //! [`pulopt`], [`dtd`], [`xmark`], [`ivma`].
 
 pub use xivm_algebra as algebra;
+pub use xivm_circuit as circuit;
 pub use xivm_core as core;
 pub use xivm_dtd as dtd;
 pub use xivm_ivma as ivma;
@@ -124,7 +125,7 @@ pub use xivm_xml as xml;
 
 pub use xivm_core::{
     Commit, Database, DatabaseBuilder, DatabaseSnapshot, DeltaEvent, Error, ShardedStores,
-    Subscription, Transaction, ViewDelta, ViewHandle,
+    Subscription, Transaction, ViewDelta, ViewHandle, WeightedChange,
 };
 
 /// One-stop imports for applications built on the [`Database`] façade.
@@ -133,11 +134,15 @@ pub use xivm_core::{
 /// use xivm::prelude::*;
 /// ```
 pub mod prelude {
+    pub use xivm_circuit::{
+        Circuit, CircuitBuilder, CircuitExt, Datum, DerivedStore, Row, RowDelta,
+    };
     pub use xivm_core::costmodel::UpdateProfile;
     pub use xivm_core::database::{Database, DatabaseBuilder, Transaction, ViewHandle};
     pub use xivm_core::{
         Commit, DatabaseSnapshot, DeltaEvent, Error, MaintenanceEngine, MultiViewEngine,
         ShardedStores, SnowcapStrategy, Subscription, UpdateReport, ViewDelta, ViewStore,
+        WeightedChange,
     };
     pub use xivm_pattern::{parse_pattern, TreePattern};
     pub use xivm_pulopt::ConflictPolicy;
