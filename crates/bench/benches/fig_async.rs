@@ -1,0 +1,199 @@
+//! Async commit service: what does a producer *wait on* per commit?
+//!
+//! A sustained stream of small single-statement commits (insert/delete
+//! pairs cycling through the XMark view catalog, so the document stays
+//! bounded) is pushed through the full `Database` facade with 100
+//! subscribers fanned out across the views, two ways:
+//!
+//! * `apply (full seal)` — the caller blocks until the commit is
+//!   sealed and every feed has its event: the per-commit latency IS
+//!   the seal latency;
+//! * `apply_async (submit)` — the caller only validates and enqueues;
+//!   sealing happens on the service thread behind the submission, and
+//!   one `flush()` at the end waits for the tail.
+//!
+//! Reported per mode: per-commit latency statistics (mean/min via
+//! `xivm_bench::rep_stats`, p50/p99 via the criterion shim's
+//! [`criterion::percentile`]), the wall time of the whole stream, and
+//! the sealed-commit throughput. The async submit row should sit far
+//! below the full-seal row — that gap is the latency the service hides
+//! from producers — while its end-to-end wall time (submission plus
+//! the final flush) stays in the same regime as the synchronous run.
+//!
+//! Differential anchor: both modes must leave bit-identical documents,
+//! and one replica per view, fed only by drained feed events, must
+//! match the live store.
+
+use std::time::{Duration, Instant};
+
+use criterion::percentile;
+use xivm_bench::{figure_header, ms, rep_stats, row};
+use xivm_core::database::Database;
+use xivm_core::{Subscription, ViewStore};
+use xivm_update::UpdateStatement;
+use xivm_xmark::{generate_sized, updates_for_view, view_pattern, VIEW_NAMES};
+
+/// Feeds fanned out across the catalog views (round-robin).
+const SUBSCRIBERS: usize = 100;
+
+/// Insert/delete rounds through the catalog; each round is
+/// `2 x |views-with-updates|` single-statement commits.
+fn rounds() -> usize {
+    if xivm_xmark::sizes::full_scale() {
+        30
+    } else {
+        10
+    }
+}
+
+/// The sustained stream: one insert and one delete per catalog view,
+/// repeated, so every view sees steady delta traffic and the document
+/// returns to its original shape after every round.
+fn stream() -> Vec<UpdateStatement> {
+    let mut out = Vec::new();
+    for _ in 0..rounds() {
+        for view in VIEW_NAMES {
+            if let Some(u) = updates_for_view(view).first() {
+                out.push(u.insert_stmt());
+                out.push(u.delete_stmt());
+            }
+        }
+    }
+    out
+}
+
+fn build_db(doc: &xivm_xml::Document) -> Database {
+    let mut b = Database::builder().document(doc.clone()).workers(2).pipeline(4);
+    for v in VIEW_NAMES {
+        b = b.view(v, view_pattern(v));
+    }
+    b.build().expect("catalog database builds")
+}
+
+/// 100 subscriptions round-robin over the views, plus one replica per
+/// view (cloned at subscribe time, before any commit) for the
+/// feed-replay check.
+fn subscribe_fleet(db: &mut Database) -> (Vec<Subscription>, Vec<ViewStore>) {
+    let handles = db.handles();
+    let subs: Vec<Subscription> =
+        (0..SUBSCRIBERS).map(|i| db.subscribe(handles[i % handles.len()])).collect();
+    let replicas: Vec<ViewStore> = handles.iter().map(|&h| db.store(h).clone()).collect();
+    (subs, replicas)
+}
+
+/// Drains every feed, replays the first per-view subscriber onto its
+/// replica, and checks order and convergence. Returns the total events
+/// fanned out.
+fn drain_and_check(db: &mut Database, subs: &[Subscription], replicas: &mut [ViewStore]) -> usize {
+    let handles = db.handles();
+    let mut events = 0usize;
+    for (i, sub) in subs.iter().enumerate() {
+        let drained = db.drain(sub);
+        let mut last = 0u64;
+        for e in &drained {
+            assert!(e.seq > last, "feed events must arrive in commit order");
+            last = e.seq;
+            if i < handles.len() {
+                e.delta.replay(&mut replicas[i]);
+            }
+        }
+        events += drained.len();
+    }
+    for (&h, replica) in handles.iter().zip(replicas.iter()) {
+        assert!(
+            replica.identical_to(db.store(h)),
+            "feed-replayed replica must track the live view"
+        );
+    }
+    events
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// One result row: per-commit latency statistics plus stream totals.
+fn report(mode: &str, lat_us: &[f64], wall_ms: f64, events: usize) {
+    let s = rep_stats(lat_us);
+    let mut sorted = lat_us.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    row(&[
+        mode.to_owned(),
+        lat_us.len().to_string(),
+        format!("{:.2}", s.mean),
+        format!("{:.2}", s.min),
+        format!("{:.2}", percentile(&sorted, 0.5)),
+        format!("{:.2}", percentile(&sorted, 0.99)),
+        format!("{:.2}", s.stddev),
+        format!("{wall_ms:.3}"),
+        format!("{:.0}", lat_us.len() as f64 / (wall_ms / 1e3)),
+        events.to_string(),
+    ]);
+}
+
+fn main() {
+    let doc = generate_sized(32 * 1024);
+    let stream = stream();
+
+    figure_header(
+        "Async commit service",
+        &format!(
+            "submit vs full-seal latency, {} single-statement commits, {} views, {} subscribers, 32KB document",
+            stream.len(),
+            VIEW_NAMES.len(),
+            SUBSCRIBERS
+        ),
+    );
+    row(&[
+        "mode".to_owned(),
+        "commits".to_owned(),
+        "mean_us".to_owned(),
+        "min_us".to_owned(),
+        "p50_us".to_owned(),
+        "p99_us".to_owned(),
+        "stddev_us".to_owned(),
+        "wall_ms".to_owned(),
+        "commits_per_s".to_owned(),
+        "feed_events".to_owned(),
+    ]);
+
+    // Synchronous reference: each apply() seals before returning.
+    let mut db = build_db(&doc);
+    let (subs, mut replicas) = subscribe_fleet(&mut db);
+    let mut lat = Vec::with_capacity(stream.len());
+    let wall = Instant::now();
+    for stmt in &stream {
+        let t = Instant::now();
+        db.apply(stmt).expect("catalog update applies");
+        lat.push(us(t.elapsed()));
+    }
+    let sync_wall = ms(wall.elapsed());
+    let events = drain_and_check(&mut db, &subs, &mut replicas);
+    let sync_doc = db.serialize();
+    report("apply (full seal)", &lat, sync_wall, events);
+
+    // Async service: each apply_async() only validates and enqueues.
+    let mut db = build_db(&doc);
+    let (subs, mut replicas) = subscribe_fleet(&mut db);
+    let mut lat = Vec::with_capacity(stream.len());
+    let mut tickets = Vec::with_capacity(stream.len());
+    let wall = Instant::now();
+    for stmt in &stream {
+        let t = Instant::now();
+        tickets.push(db.apply_async([stmt]).expect("submission accepted"));
+        lat.push(us(t.elapsed()));
+    }
+    let submit_wall = ms(wall.elapsed());
+    db.flush().expect("stream seals");
+    let async_wall = ms(wall.elapsed());
+    for t in &tickets {
+        t.wait().expect("every submitted commit seals");
+    }
+    let events = drain_and_check(&mut db, &subs, &mut replicas);
+    assert_eq!(db.serialize(), sync_doc, "async stream must equal the synchronous run");
+    report("apply_async (submit)", &lat, submit_wall, events);
+    println!(
+        "# async end-to-end: {async_wall:.3} ms submit+flush ({:.0} sealed commits/s)",
+        stream.len() as f64 / (async_wall / 1e3)
+    );
+}

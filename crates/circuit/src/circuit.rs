@@ -17,7 +17,7 @@ use crate::row::Row;
 use crate::zset::{DerivedStore, RowDelta};
 use std::collections::HashMap;
 use std::sync::Arc;
-use xivm_core::{Database, DatabaseSnapshot, Error, ViewHandle, ViewStore};
+use xivm_core::{Database, DatabaseSnapshot, Error, FeedEvent, ViewHandle, ViewStore};
 
 /// A reference to one node of a [`Circuit`] (or a circuit under
 /// construction). Like [`ViewHandle`], a node is only meaningful on
@@ -323,12 +323,30 @@ impl Circuit {
     /// `apply_pipelined` a barrier at any intermediate seq reproduces
     /// exactly that prefix. Returns the new [`Self::synced`] (which
     /// never exceeds [`Database::last_seq`], nor moves backwards).
+    ///
+    /// If any source subscription *lagged* (bounded queue under
+    /// [`SlowConsumerPolicy::DropAndMark`](xivm_core::SlowConsumerPolicy):
+    /// some events were dropped), the incremental replay is
+    /// impossible, so the whole circuit re-seeds from a fresh
+    /// [`Database::snapshot`] instead: every mirror and derived store
+    /// is rebuilt at the snapshot boundary, and the returned
+    /// [`Self::synced`] is the snapshot's seq — which may *overshoot*
+    /// the requested `seq`, the price of the dropped prefix.
     pub fn sync_to(&mut self, db: &mut Database, seq: u64) -> u64 {
+        let mut lagged = false;
         for slot in &mut self.nodes {
             if let OpState::Source(src) = &mut slot.op {
                 let sub = src.sub.as_ref().expect("circuit not detached");
-                src.buffer.extend(db.drain(sub));
+                for event in sub.drain() {
+                    match event {
+                        FeedEvent::Delta(e) => src.buffer.push_back(e),
+                        FeedEvent::Lagged(_) => lagged = true,
+                    }
+                }
             }
+        }
+        if lagged {
+            return self.reseed_from_snapshot(db);
         }
         let target = seq.min(db.last_seq());
         while self.synced < target {
@@ -352,6 +370,47 @@ impl Circuit {
             self.propagate(seeds);
             self.synced = next;
         }
+        self.synced
+    }
+
+    /// Lag recovery: rebuilds the whole circuit at a fresh snapshot
+    /// boundary. Incremental state and derived stores are discarded,
+    /// every source mirror is reset to the snapshot's (gapless) view
+    /// stores, and the seeds run through the same incremental step
+    /// functions as [`CircuitBuilder::build`] — so the recovered
+    /// circuit is bit-identical to one built at that seq.
+    fn reseed_from_snapshot(&mut self, db: &mut Database) -> u64 {
+        let snap = db.snapshot();
+        for slot in &mut self.nodes {
+            slot.store = DerivedStore::new();
+            slot.op.reset();
+            if let OpState::Source(src) = &mut slot.op {
+                src.buffer.clear();
+                src.mirror = snap.store(src.view).clone();
+                // Anything still queued at or below the snapshot seq
+                // is already inside the snapshot; a second Lagged
+                // marker is subsumed by the reseed.
+                if let Some(sub) = src.sub.as_ref() {
+                    for event in sub.drain() {
+                        if let FeedEvent::Delta(e) = event {
+                            if e.seq > snap.seq() {
+                                src.buffer.push_back(e);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let seeds = self
+            .nodes
+            .iter()
+            .map(|slot| match &slot.op {
+                OpState::Source(src) => Some(src.seed_delta()),
+                _ => None,
+            })
+            .collect();
+        self.propagate(seeds);
+        self.synced = snap.seq();
         self.synced
     }
 

@@ -268,6 +268,26 @@ impl OpState {
             _ => None,
         }
     }
+
+    /// Discards all incremental state so the node can be re-seeded
+    /// from scratch — the snapshot-recovery path a [`Lagged`] source
+    /// triggers. Source mirrors/buffers are reset by the circuit (it
+    /// holds the snapshot); the `rescans` odometer survives, it counts
+    /// work actually paid.
+    ///
+    /// [`Lagged`]: xivm_core::Lagged
+    pub(crate) fn reset(&mut self) {
+        match self {
+            OpState::Source(_) | OpState::Filter { .. } | OpState::Map { .. } => {}
+            OpState::Join(j) => {
+                j.left_index.clear();
+                j.right_index.clear();
+            }
+            OpState::Count { groups, .. } => groups.clear(),
+            OpState::Sum { groups, .. } => groups.clear(),
+            OpState::Extreme { groups, .. } => groups.clear(),
+        }
+    }
 }
 
 fn step_count(groups: &mut HashMap<Row, i64>, key: &RowFn, delta: &RowDelta) -> RowDelta {

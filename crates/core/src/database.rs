@@ -52,10 +52,12 @@ use crate::costmodel::UpdateProfile;
 use crate::engine::{MaintenanceEngine, UpdateReport};
 use crate::error::Error;
 use crate::multiview::MultiViewEngine;
+use crate::service::{ServiceHandle, Ticket};
 use crate::snapshot::DatabaseSnapshot;
 use crate::strategy::SnowcapStrategy;
-use crate::subscribe::{DeltaEvent, Subscription, SubscriptionRegistry};
+use crate::subscribe::{DeltaEvent, SlowConsumerPolicy, Subscription, SubscriptionRegistry};
 use crate::view_store::{Cursor, ShardedStores, ViewStore};
+use std::ops::{Deref, DerefMut};
 use xivm_pattern::{parse_pattern, TreePattern};
 use xivm_pulopt::{aggregate, find_conflicts, integrate, reduce, ConflictPolicy, ReductionTrace};
 use xivm_update::builder::UpdateBuilder;
@@ -207,6 +209,7 @@ pub struct DatabaseBuilder {
     default_profile: Option<UpdateProfile>,
     workers: Option<usize>,
     pipeline: Option<usize>,
+    sub_capacity: Option<usize>,
 }
 
 impl Default for DatabaseBuilder {
@@ -218,6 +221,7 @@ impl Default for DatabaseBuilder {
             default_profile: None,
             workers: None,
             pipeline: None,
+            sub_capacity: None,
         }
     }
 }
@@ -298,6 +302,20 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Sets the default queue capacity for [`Database::subscribe`]:
+    /// every subscription opened without an explicit capacity
+    /// ([`Database::subscribe_with`]) gets a queue bounded to `n`
+    /// events, and a full queue triggers its
+    /// [`SlowConsumerPolicy`] (the default, `Block`, backpressures
+    /// the commit path). `0` means explicitly unbounded. An explicit
+    /// setting overrides the `XIVM_SUB_CAPACITY` environment
+    /// variable, which is the default when this is never called
+    /// (`0` / unset / unparsable = unbounded).
+    pub fn subscription_capacity(mut self, n: usize) -> Self {
+        self.sub_capacity = Some(n);
+        self
+    }
+
     /// Parses everything, materializes every view and hands back the
     /// owning [`Database`].
     pub fn build(self) -> Result<Database, Error> {
@@ -325,13 +343,29 @@ impl DatabaseBuilder {
         let mut views = MultiViewEngine::from_engines(engines);
         views.set_workers(crate::runtime::effective_workers(self.workers));
         Ok(Database {
-            views,
-            doc,
-            commits: 0,
-            subs: SubscriptionRegistry::default(),
-            pipeline: crate::runtime::effective_pipeline(self.pipeline),
+            service: ServiceHandle::new(),
+            inner: Box::new(DbInner {
+                views,
+                doc,
+                commits: 0,
+                subs: SubscriptionRegistry::default(),
+                pipeline: crate::runtime::effective_pipeline(self.pipeline),
+                sub_capacity: effective_sub_capacity(self.sub_capacity),
+            }),
         })
     }
+}
+
+/// `XIVM_SUB_CAPACITY`, if set and parsable.
+fn env_sub_capacity() -> Option<usize> {
+    std::env::var("XIVM_SUB_CAPACITY").ok()?.trim().parse().ok()
+}
+
+/// Default subscription queue bound: the builder's explicit setting
+/// wins (0 = explicitly unbounded), else `XIVM_SUB_CAPACITY`, else
+/// unbounded.
+fn effective_sub_capacity(configured: Option<usize>) -> Option<usize> {
+    configured.or_else(env_sub_capacity).filter(|&n| n > 0)
 }
 
 // ---------------------------------------------------------------------
@@ -353,17 +387,63 @@ impl ViewHandle {
     }
 }
 
-/// An XML document plus a set of named materialized views, maintained
-/// incrementally under statement-level updates.
-pub struct Database {
-    doc: Document,
-    views: MultiViewEngine,
+/// The synchronous core of a [`Database`]: the document, the view
+/// engines, the commit counter and the subscription registry.
+///
+/// [`Database`] derefs here after *quiescing* its async commit
+/// service, so every method below is reachable directly on a
+/// `Database` and always observes a fully sealed state. The service
+/// thread borrows this struct (behind a stable `Box` address) while
+/// it drains queued [`Database::apply_async`] submissions; the
+/// deref-time quiesce is what makes that loan and the synchronous
+/// API mutually exclusive.
+pub struct DbInner {
+    pub(crate) doc: Document,
+    pub(crate) views: MultiViewEngine,
     /// Commits so far; the next commit gets `commits + 1` as its
     /// sequence number.
-    commits: u64,
-    subs: SubscriptionRegistry,
+    pub(crate) commits: u64,
+    pub(crate) subs: SubscriptionRegistry,
     /// Pipeline depth for [`Self::apply_pipelined`] (1 = off).
-    pipeline: usize,
+    pub(crate) pipeline: usize,
+    /// Default queue bound for [`Database::subscribe`] (`None` =
+    /// unbounded), from `subscription_capacity` / `XIVM_SUB_CAPACITY`.
+    pub(crate) sub_capacity: Option<usize>,
+}
+
+/// An XML document plus a set of named materialized views, maintained
+/// incrementally under statement-level updates.
+///
+/// All synchronous methods live on [`DbInner`] and are reached
+/// through `Deref`; the deref first waits for any in-flight
+/// [`Self::apply_async`] work to seal (*quiescing*), so synchronous
+/// and asynchronous mutation can never interleave mid-commit. Methods
+/// defined directly on `Database` ([`Self::drain`],
+/// [`Self::pending`], [`Self::subscription_view`]) deliberately skip
+/// that wait: they only touch the subscription's own queue, which is
+/// exactly what lets a consumer drain while the service is sealing.
+pub struct Database {
+    // Field order is load-bearing: dropping the service first joins
+    // its thread while `inner` (which that thread borrows) is still
+    // alive.
+    service: ServiceHandle,
+    inner: Box<DbInner>,
+}
+
+impl Deref for Database {
+    type Target = DbInner;
+
+    fn deref(&self) -> &DbInner {
+        self.service.quiesce();
+        &self.inner
+    }
+}
+
+impl DerefMut for Database {
+    fn deref_mut(&mut self) -> &mut DbInner {
+        self.service.quiesce();
+        &mut self.inner
+    }
 }
 
 impl Database {
@@ -373,6 +453,140 @@ impl Database {
         DatabaseBuilder::default()
     }
 
+    // -----------------------------------------------------------------
+    // Async commits: submission decoupled from sealing
+    // -----------------------------------------------------------------
+
+    /// Validates a batch of statements and schedules it as **one
+    /// commit**, returning a [`Ticket`] immediately — before any
+    /// propagation runs. The commit seals in the background, strictly
+    /// in submission order: single-statement submissions drain through
+    /// the same windowed copy-on-write pipeline as
+    /// [`DbInner::apply_pipelined`] (up to [`DbInner::pipeline_depth`]
+    /// in flight), multi-statement submissions commit like a
+    /// sequential [`DbInner::transaction`].
+    ///
+    /// The ticket carries the reserved sequence number; await the
+    /// sealed [`Commit`] with [`Ticket::wait`], or everything at once
+    /// with [`Self::flush`]. Parse/validation errors surface here
+    /// synchronously (no ticket, no sequence number consumed); errors
+    /// during background sealing surface on `wait()`/`flush()`, and
+    /// submissions queued behind a failed one abort with
+    /// [`Error::Aborted`] so sequence numbers stay gapless.
+    ///
+    /// Subscriptions observe async commits exactly as synchronous
+    /// ones — same events, same order. With a bounded queue under
+    /// [`SlowConsumerPolicy::Block`] the *service thread* (not this
+    /// call) waits for the consumer; drain from another thread via
+    /// [`Subscription::drain`] or the non-quiescing [`Self::drain`].
+    pub fn apply_async<I>(&mut self, statements: I) -> Result<Ticket, Error>
+    where
+        I: IntoIterator,
+        I::Item: Into<StatementSource>,
+    {
+        let stmts: Vec<UpdateStatement> = statements
+            .into_iter()
+            .map(|s| resolve_statement(s.into()))
+            .collect::<Result<_, _>>()?;
+        let ptr: *mut DbInner = &mut *self.inner;
+        Ok(self.service.submit(ptr, stmts))
+    }
+
+    /// Waits until every queued [`Self::apply_async`] submission has
+    /// sealed, then reports the **first** background failure since the
+    /// last `flush()` (later submissions in that queue aborted with
+    /// [`Error::Aborted`]; their tickets carry the details). `Ok(())`
+    /// means the database, its views and every subscription feed
+    /// reflect all submitted commits.
+    pub fn flush(&mut self) -> Result<(), Error> {
+        self.service.flush()
+    }
+
+    /// Waits until commit `seq` has sealed, or until it becomes known
+    /// that it never will (its submission failed or was aborted, or no
+    /// such submission exists). Returns the sealed high-water mark: a
+    /// value `>= seq` means commit `seq` (and everything before it) is
+    /// visible to reads and subscriptions; a smaller value means `seq`
+    /// was never reached.
+    pub fn commit_barrier(&self, seq: u64) -> u64 {
+        let sealed = self.service.barrier(seq);
+        if sealed >= seq {
+            return sealed;
+        }
+        // Not sealed by the service: either it was sealed
+        // synchronously before the service ever ran, or it failed.
+        // `last_seq` quiesces, so this is the authoritative answer.
+        self.last_seq()
+    }
+
+    // -----------------------------------------------------------------
+    // Subscriptions (the non-quiescing surface)
+    // -----------------------------------------------------------------
+
+    /// Registers interest in one view's deltas. Every subsequent
+    /// commit appends a [`DeltaEvent`] (commit sequence number + the
+    /// view's delta, empty if the commit did not touch it) to the
+    /// subscription; read them with [`Self::drain`] or
+    /// [`Subscription::drain`]. The queue is bounded by the builder's
+    /// [`DatabaseBuilder::subscription_capacity`] / `XIVM_SUB_CAPACITY`
+    /// default (unbounded if neither is set) with
+    /// [`SlowConsumerPolicy::Block`]; use [`Self::subscribe_with`] to
+    /// choose per subscription. See [`crate::subscribe`].
+    pub fn subscribe(&mut self, view: ViewHandle) -> Subscription {
+        self.service.quiesce();
+        let cap = self.inner.sub_capacity;
+        self.subscribe_with(view, cap, SlowConsumerPolicy::Block)
+    }
+
+    /// [`Self::subscribe`] with an explicit queue bound (`None` =
+    /// unbounded) and slow-consumer policy for this subscription.
+    pub fn subscribe_with(
+        &mut self,
+        view: ViewHandle,
+        capacity: Option<usize>,
+        policy: SlowConsumerPolicy,
+    ) -> Subscription {
+        let inner = &mut **self;
+        assert!(view.index() < inner.views.len(), "handle from this database");
+        inner.subs.subscribe(view, capacity, policy)
+    }
+
+    /// Takes every delta event accumulated since the last drain
+    /// (oldest first, consecutive sequence numbers) and wakes a
+    /// producer blocked on a full queue. Does **not** wait for
+    /// in-flight async commits — this is the call that releases a
+    /// [`SlowConsumerPolicy::Block`] backpressure stall, so it must
+    /// stay reachable while the service is mid-seal. Panics if the
+    /// subscription lagged ([`SlowConsumerPolicy::DropAndMark`]);
+    /// lag-aware consumers use [`Subscription::drain`], which yields
+    /// the [`crate::subscribe::Lagged`] marker instead.
+    pub fn drain(&mut self, sub: &Subscription) -> Vec<DeltaEvent> {
+        sub.queue.drain_deltas()
+    }
+
+    /// Events currently queued on a subscription (non-quiescing:
+    /// counts what has been sealed and fanned out so far).
+    pub fn pending(&self, sub: &Subscription) -> usize {
+        sub.queue.pending()
+    }
+
+    /// The view a subscription watches.
+    pub fn subscription_view(&self, sub: &Subscription) -> ViewHandle {
+        ViewHandle(sub.queue.view)
+    }
+
+    /// Cancels a subscription and drops its queued events.
+    pub fn unsubscribe(&mut self, sub: Subscription) {
+        // Disconnect first: this wakes a service thread blocked on the
+        // subscription's full queue, which must happen *before* the
+        // quiescing deref below can wait for that same thread.
+        sub.queue.disconnect();
+        let inner = &mut **self;
+        inner.subs.unsubscribe(sub);
+    }
+}
+
+impl DbInner {
     /// The owned document, read-only. All mutation goes through
     /// [`Self::apply`] / [`Self::transaction`] so the views can never
     /// drift from the document.
@@ -641,36 +855,90 @@ impl Database {
         self.store(view).cursor()
     }
 
-    /// Registers interest in one view's deltas. Every subsequent
-    /// commit appends a [`DeltaEvent`] (commit sequence number + the
-    /// view's delta, empty if the commit did not touch it) to the
-    /// subscription; read them with [`Self::drain`]. See
-    /// [`crate::subscribe`].
-    pub fn subscribe(&mut self, view: ViewHandle) -> Subscription {
-        assert!(view.index() < self.views.len(), "handle from this database");
-        self.subs.subscribe(view)
+    /// Seals an **empty** commit: no view is touched, but the commit
+    /// still gets a sequence number and a (default) report per view,
+    /// so changefeeds stay gapless and `Commit::report`/`delta` work
+    /// uniformly.
+    fn noop_commit(&mut self) -> Commit {
+        let per_view: Vec<(String, UpdateReport)> = self
+            .views
+            .names()
+            .into_iter()
+            .map(|n| (n.to_owned(), UpdateReport::default()))
+            .collect();
+        self.finish_commit(0, 0, 0, ReductionTrace::default(), per_view)
     }
 
-    /// Takes every event accumulated since the last drain (oldest
-    /// first, consecutive sequence numbers). Panics on a handle from
-    /// another database or a cancelled subscription.
-    pub fn drain(&mut self, sub: &Subscription) -> Vec<DeltaEvent> {
-        self.subs.drain(sub)
+    /// Commits a pre-parsed batch with sequential composition: each
+    /// statement's targets are found on a scratch copy reflecting the
+    /// previous statements, the per-statement PULs are folded with the
+    /// Figure 16 aggregation rules into one PUL over the
+    /// pre-transaction document, reduced (Figure 14), and propagated
+    /// to every view in one shared pass. The core of
+    /// [`Transaction::commit`]'s default mode, also used by the async
+    /// service for multi-statement submissions.
+    pub(crate) fn commit_sequential(
+        &mut self,
+        parsed: &[UpdateStatement],
+    ) -> Result<Commit, Error> {
+        if parsed.is_empty() {
+            return Ok(self.noop_commit());
+        }
+        // The scratch copy exists only to give *later* statements the
+        // evolved state, so it is cloned lazily and never advanced
+        // past the second-to-last statement.
+        let mut naive_ops = 0usize;
+        let mut scratch: Option<Document> = None;
+        let mut combined: Option<Pul> = None;
+        for (i, stmt) in parsed.iter().enumerate() {
+            let pul = compute_pul(scratch.as_ref().unwrap_or(&self.doc), stmt);
+            if i + 1 < parsed.len() {
+                apply_pul(scratch.get_or_insert_with(|| self.doc.clone()), &pul)?;
+            }
+            naive_ops += pul.len();
+            combined = Some(match combined {
+                None => pul,
+                Some(prev) => aggregate(&self.doc, &prev, &pul).0,
+            });
+        }
+        let combined = combined.unwrap_or_default();
+        let (optimized, trace) = reduce(&combined);
+        let per_view = self.views.propagate_pul(&mut self.doc, &optimized)?;
+        Ok(self.finish_commit(parsed.len(), naive_ops, optimized.len(), trace, per_view))
     }
 
-    /// Events currently queued on a subscription.
-    pub fn pending(&self, sub: &Subscription) -> usize {
-        self.subs.pending(sub)
-    }
-
-    /// The view a subscription watches.
-    pub fn subscription_view(&self, sub: &Subscription) -> ViewHandle {
-        ViewHandle(self.subs.view_of(sub))
-    }
-
-    /// Cancels a subscription and drops its queued events.
-    pub fn unsubscribe(&mut self, sub: Subscription) {
-        self.subs.unsubscribe(sub);
+    /// Commits a pre-parsed batch in independent mode: every
+    /// statement's PUL is computed against the same snapshot, the
+    /// Figure 15 conflict rules (IO / LO / NLO) are checked under
+    /// `policy`, and the surviving operations integrate into one PUL.
+    fn commit_independent(
+        &mut self,
+        parsed: &[UpdateStatement],
+        policy: ConflictPolicy,
+    ) -> Result<Commit, Error> {
+        if parsed.is_empty() {
+            return Ok(self.noop_commit());
+        }
+        let puls: Vec<Pul> = parsed.iter().map(|s| compute_pul(&self.doc, s)).collect();
+        let naive_ops = puls.iter().map(Pul::len).sum();
+        if policy == ConflictPolicy::Fail {
+            let mut conflicts = Vec::new();
+            for i in 0..puls.len() {
+                for j in i + 1..puls.len() {
+                    conflicts.extend(find_conflicts(&puls[i], &puls[j]));
+                }
+            }
+            if !conflicts.is_empty() {
+                return Err(Error::Conflict(conflicts));
+            }
+        }
+        let mut iter = puls.into_iter();
+        let first = iter.next().unwrap_or_default();
+        let combined = iter
+            .try_fold(first, |acc, next| integrate(&acc, &next, policy).map_err(Error::Conflict))?;
+        let (optimized, trace) = reduce(&combined);
+        let per_view = self.views.propagate_pul(&mut self.doc, &optimized)?;
+        Ok(self.finish_commit(parsed.len(), naive_ops, optimized.len(), trace, per_view))
     }
 }
 
@@ -680,7 +948,7 @@ impl Database {
 /// method) so the pipelined driver can seal commit *k* while the
 /// engine still holds the views — sealing strictly in commit order is
 /// what keeps subscription streams gapless under overlap.
-fn seal_commit(
+pub(crate) fn seal_commit(
     commits: &mut u64,
     subs: &mut SubscriptionRegistry,
     statements: usize,
@@ -719,7 +987,7 @@ enum Isolation {
 /// or the views until [`Self::commit`]; a failed commit (parse error,
 /// conflict) leaves the database untouched.
 pub struct Transaction<'db> {
-    db: &'db mut Database,
+    db: &'db mut DbInner,
     statements: Vec<StatementSource>,
     isolation: Isolation,
     policy: ConflictPolicy,
@@ -769,77 +1037,10 @@ impl<'db> Transaction<'db> {
         let Transaction { db, statements, isolation, policy } = self;
         let parsed: Vec<UpdateStatement> =
             statements.into_iter().map(resolve_statement).collect::<Result<_, _>>()?;
-        if parsed.is_empty() {
-            // Even a no-op commit reports on every view (with default
-            // reports and empty deltas), so `Commit::report`/`delta`
-            // work uniformly on every successful commit.
-            let per_view: Vec<(String, UpdateReport)> = db
-                .views
-                .names()
-                .into_iter()
-                .map(|n| (n.to_owned(), UpdateReport::default()))
-                .collect();
-            return Ok(db.finish_commit(0, 0, 0, ReductionTrace::default(), per_view));
+        match isolation {
+            Isolation::Sequential => db.commit_sequential(&parsed),
+            Isolation::Independent => db.commit_independent(&parsed, policy),
         }
-        let mut naive_ops = 0usize;
-
-        let combined = match isolation {
-            Isolation::Sequential => {
-                // Each statement's targets are found on a scratch copy
-                // that already reflects the previous statements, then
-                // the per-statement PULs are folded with the Figure 16
-                // aggregation rules (A1 merging, D6 forest splicing)
-                // into one PUL over the pre-transaction document. The
-                // scratch copy exists only to give *later* statements
-                // the evolved state, so it is cloned lazily and never
-                // advanced past the second-to-last statement.
-                let mut scratch: Option<Document> = None;
-                let mut combined: Option<Pul> = None;
-                for (i, stmt) in parsed.iter().enumerate() {
-                    let pul = compute_pul(scratch.as_ref().unwrap_or(&db.doc), stmt);
-                    if i + 1 < parsed.len() {
-                        apply_pul(scratch.get_or_insert_with(|| db.doc.clone()), &pul)?;
-                    }
-                    naive_ops += pul.len();
-                    combined = Some(match combined {
-                        None => pul,
-                        Some(prev) => aggregate(&db.doc, &prev, &pul).0,
-                    });
-                }
-                combined.unwrap_or_default()
-            }
-            Isolation::Independent => {
-                // All statements see the same snapshot; the Figure 15
-                // conflict rules decide whether the batch is
-                // order-independent enough to integrate.
-                let puls: Vec<Pul> = parsed.iter().map(|s| compute_pul(&db.doc, s)).collect();
-                naive_ops = puls.iter().map(Pul::len).sum();
-                if policy == ConflictPolicy::Fail {
-                    let mut conflicts = Vec::new();
-                    for i in 0..puls.len() {
-                        for j in i + 1..puls.len() {
-                            conflicts.extend(find_conflicts(&puls[i], &puls[j]));
-                        }
-                    }
-                    if !conflicts.is_empty() {
-                        return Err(Error::Conflict(conflicts));
-                    }
-                }
-                let mut iter = puls.into_iter();
-                let first = iter.next().unwrap_or_default();
-                iter.try_fold(first, |acc, next| {
-                    integrate(&acc, &next, policy).map_err(Error::Conflict)
-                })?
-            }
-        };
-
-        // Reduction (Figure 14) over the combined list: drop operations
-        // made useless by later deletions, merge repeated insertions.
-        let (optimized, trace) = reduce(&combined);
-
-        // One shared propagation pass across every view.
-        let per_view = db.views.propagate_pul(&mut db.doc, &optimized)?;
-        Ok(db.finish_commit(parsed.len(), naive_ops, optimized.len(), trace, per_view))
     }
 }
 

@@ -229,6 +229,8 @@ impl MaintenanceEngine {
     /// consumed by [`Self::finish`]; a multi-view host prepares every
     /// view, applies the PUL once, then finishes every view.
     pub fn prepare(&self, doc: &Document, pul: &Pul) -> PreparedUpdate {
+        #[cfg(any(test, feature = "fault-inject"))]
+        crate::fault::prepare_point();
         let start = std::time::Instant::now();
         let (dminus, delete_roots) = DeltaMinus::collect(doc, &self.pattern, pul);
         let pred_capture = crate::predflip::capture(doc, &self.pattern, pul);
@@ -259,6 +261,8 @@ impl MaintenanceEngine {
         apply_res: &xivm_update::ApplyResult,
         prepared: PreparedUpdate,
     ) -> UpdateReport {
+        #[cfg(any(test, feature = "fault-inject"))]
+        crate::fault::finish_point();
         let PreparedUpdate { dminus, delete_roots, pred_capture, prep_time: t_dm } = prepared;
         let mut report = UpdateReport::default();
         // Copy-on-write split: if a snapshot still holds this store,

@@ -38,6 +38,16 @@ pub enum Error {
     DuplicateView(String),
     /// `Database::builder()` was finished without a document.
     NoDocument,
+    /// Propagation panicked mid-commit (a worker died or a fault was
+    /// injected). The database rolled back to the last sealed commit
+    /// and recomputed every view, so it remains consistent; the
+    /// payload is the panic message.
+    Panic(String),
+    /// An async submission was abandoned because an *earlier*
+    /// submission in the queue failed: its reserved sequence number
+    /// could no longer be honored. The document was not touched by
+    /// this submission — resubmit it to get a fresh ticket.
+    Aborted,
 }
 
 impl fmt::Display for Error {
@@ -56,6 +66,12 @@ impl fmt::Display for Error {
             Error::UnknownView(name) => write!(f, "no view named {name:?} on this database"),
             Error::DuplicateView(name) => write!(f, "view {name:?} declared more than once"),
             Error::NoDocument => write!(f, "database built without a document"),
+            Error::Panic(msg) => {
+                write!(f, "propagation panicked mid-commit (database recovered): {msg}")
+            }
+            Error::Aborted => {
+                write!(f, "async submission aborted: an earlier queued submission failed")
+            }
         }
     }
 }
@@ -119,6 +135,8 @@ mod tests {
         assert!(Error::DuplicateView("Q1".into()).to_string().contains("Q1"));
         assert!(Error::Conflict(Vec::new()).to_string().contains("conflict"));
         assert!(Error::NoDocument.to_string().contains("document"));
+        assert!(Error::Panic("boom".into()).to_string().contains("boom"));
+        assert!(Error::Aborted.to_string().contains("aborted"));
         let xml = Error::from(XmlError::DeadNode);
         assert_eq!(xml.to_string(), XmlError::DeadNode.to_string());
     }

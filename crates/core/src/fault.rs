@@ -1,0 +1,144 @@
+//! Fault-injection failpoints for the propagation and commit paths.
+//!
+//! Compiled only under `cfg(test)` or the `fault-inject` feature, so
+//! release builds carry no trace of it. Three points exist, mirroring
+//! the places a production deployment can die mid-commit:
+//!
+//! * [`PREPARE_PANIC`] — panic inside [`MaintenanceEngine::prepare`]
+//!   (a worker dies while reading the pre-apply snapshot);
+//! * [`FINISH_PANIC`] — panic inside [`MaintenanceEngine::finish`]
+//!   (a worker dies while patching its store);
+//! * [`SEAL_DELAY`] — sleep before the async service seals a window
+//!   (a slow seal, for observing submit-vs-seal latency).
+//!
+//! Points are **one-shot**: arming sets a bit, the first propagation
+//! that reaches the point trips it (exactly one worker, atomically)
+//! and the bit clears — so the recovery path that follows runs clean.
+//! Arm programmatically with [`arm`] or through the environment
+//! (`XIVM_FAULT=prepare_panic,finish_panic,seal_delay`, read once at
+//! first use). Tests that arm faults must serialize on [`exclusive`]:
+//! the armed set is process-global.
+//!
+//! `tests/fault_injection.rs` uses these to prove the async service's
+//! containment guarantees: a panicking window drains cleanly, the
+//! error surfaces on `Ticket::wait()` / `flush()`, the database equals
+//! a sequential replay of the committed prefix, and surviving
+//! subscriptions stay gapless.
+//!
+//! [`MaintenanceEngine::prepare`]: crate::engine::MaintenanceEngine::prepare
+//! [`MaintenanceEngine::finish`]: crate::engine::MaintenanceEngine::finish
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard, Once, PoisonError};
+
+/// Panic at the start of `MaintenanceEngine::prepare`.
+pub const PREPARE_PANIC: u32 = 1 << 0;
+/// Panic at the start of `MaintenanceEngine::finish`.
+pub const FINISH_PANIC: u32 = 1 << 1;
+/// Sleep ~40ms before the async service seals a window.
+pub const SEAL_DELAY: u32 = 1 << 2;
+
+static ARMED: AtomicU32 = AtomicU32::new(0);
+static ENV_INIT: Once = Once::new();
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+/// How long [`SEAL_DELAY`] sleeps.
+pub const SEAL_DELAY_MS: u64 = 40;
+
+fn ensure_env() {
+    ENV_INIT.call_once(|| {
+        if let Ok(spec) = std::env::var("XIVM_FAULT") {
+            let mut bits = 0u32;
+            for part in spec.split(',') {
+                bits |= match part.trim() {
+                    "prepare_panic" => PREPARE_PANIC,
+                    "finish_panic" => FINISH_PANIC,
+                    "seal_delay" => SEAL_DELAY,
+                    _ => 0,
+                };
+            }
+            ARMED.fetch_or(bits, Ordering::SeqCst);
+        }
+    });
+}
+
+/// Serializes fault-arming tests: the armed set is process-global, so
+/// two tests arming concurrently would see each other's faults. Hold
+/// the guard for the whole test (a poisoned guard — a previous test
+/// panicked while holding it, which injection tests do by design — is
+/// recovered, not propagated).
+pub fn exclusive() -> MutexGuard<'static, ()> {
+    EXCLUSIVE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arms the given failpoint bits (OR-ed into the armed set). Each
+/// armed point trips exactly once, then disarms itself.
+pub fn arm(bits: u32) {
+    ensure_env();
+    ARMED.fetch_or(bits, Ordering::SeqCst);
+}
+
+/// Clears every armed failpoint (tests call this on their way out so
+/// a failed assertion cannot leak an armed fault into another test).
+pub fn disarm_all() {
+    ensure_env();
+    ARMED.store(0, Ordering::SeqCst);
+}
+
+/// True while any failpoint is armed.
+pub fn any_armed() -> bool {
+    ensure_env();
+    ARMED.load(Ordering::SeqCst) != 0
+}
+
+/// Atomically claims `bit`: returns true for exactly one caller per
+/// arming, clearing the bit — several pool workers can race through a
+/// point, but only one trips it.
+fn trip(bit: u32) -> bool {
+    ensure_env();
+    if ARMED.load(Ordering::Relaxed) & bit == 0 {
+        return false;
+    }
+    ARMED.fetch_and(!bit, Ordering::SeqCst) & bit != 0
+}
+
+/// The failpoint inside `MaintenanceEngine::prepare`.
+pub(crate) fn prepare_point() {
+    if trip(PREPARE_PANIC) {
+        panic!("injected fault: panic in prepare");
+    }
+}
+
+/// The failpoint inside `MaintenanceEngine::finish`.
+pub(crate) fn finish_point() {
+    if trip(FINISH_PANIC) {
+        panic!("injected fault: panic in finish");
+    }
+}
+
+/// The failpoint before the async service seals a window.
+pub(crate) fn seal_point() {
+    if trip(SEAL_DELAY) {
+        std::thread::sleep(std::time::Duration::from_millis(SEAL_DELAY_MS));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_points_trip_exactly_once() {
+        let _guard = exclusive();
+        disarm_all();
+        assert!(!trip(PREPARE_PANIC), "disarmed points never trip");
+        arm(PREPARE_PANIC | SEAL_DELAY);
+        assert!(any_armed());
+        assert!(trip(PREPARE_PANIC));
+        assert!(!trip(PREPARE_PANIC), "one-shot: the first trip disarms");
+        assert!(!trip(FINISH_PANIC), "unarmed bits stay untripped");
+        assert!(trip(SEAL_DELAY));
+        assert!(!any_armed());
+        disarm_all();
+    }
+}

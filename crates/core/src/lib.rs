@@ -36,7 +36,13 @@
 //!   every apply / commit returns a [`commit::Commit`] carrying each
 //!   view's exact [`commit::ViewDelta`], and
 //!   [`database::Database::subscribe`] accumulates those deltas into a
-//!   changefeed with gapless commit sequence numbers.
+//!   changefeed with gapless commit sequence numbers, bounded queues
+//!   and per-subscription [`subscribe::SlowConsumerPolicy`]s;
+//! * [`service`] — the async commit service behind
+//!   [`database::Database::apply_async`]: submission decoupled from
+//!   sealing, with [`service::Ticket`]s, `flush()` barriers and
+//!   panic containment (and, under `cfg(test)` / the `fault-inject`
+//!   feature, the [`fault`] failpoints that prove it).
 
 pub mod commit;
 pub mod costmodel;
@@ -45,6 +51,8 @@ pub mod engine;
 pub mod error;
 pub mod etins;
 pub mod expand;
+#[cfg(any(test, feature = "fault-inject"))]
+pub mod fault;
 pub mod lattice;
 pub mod multiview;
 pub mod parallel;
@@ -55,6 +63,7 @@ pub mod pint;
 pub mod predflip;
 pub mod prune;
 pub mod runtime;
+pub mod service;
 pub mod snapshot;
 pub mod snowcap;
 pub mod strategy;
@@ -69,9 +78,10 @@ pub use engine::{MaintenanceEngine, PreparedUpdate, UpdateReport};
 pub use error::Error;
 pub use multiview::MultiViewEngine;
 pub use runtime::Runtime;
+pub use service::Ticket;
 pub use snapshot::DatabaseSnapshot;
 pub use strategy::SnowcapStrategy;
-pub use subscribe::{DeltaEvent, Subscription};
+pub use subscribe::{DeltaEvent, FeedEvent, Lagged, SlowConsumerPolicy, Subscription};
 pub use term::Term;
 pub use timing::Timings;
 pub use view_store::{Cursor, ShardedStores, ViewStore};

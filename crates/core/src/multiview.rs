@@ -188,6 +188,17 @@ impl MultiViewEngine {
         self.views.iter().map(|(n, e)| (n.clone(), e.store_arc())).collect()
     }
 
+    /// Rebuilds every view's store and snowcaps from scratch against
+    /// `doc`. This is the recovery path of last resort: after a panic
+    /// mid-window the per-view stores may hold a mix of pre- and
+    /// post-fault states, so the async service rolls the document back
+    /// to the last sealed commit and recomputes everything.
+    pub(crate) fn recompute_all(&mut self, doc: &Document) {
+        for (_, engine) in &mut self.views {
+            engine.recompute(doc);
+        }
+    }
+
     /// Propagates one statement to *all* views: the target path is
     /// evaluated once, the document updated once, and each view
     /// finishes its own propagation. Returns per-view reports in

@@ -1,5 +1,5 @@
 //! View change subscriptions: the changefeed side of the delta-first
-//! API.
+//! API, with bounded queues and slow-consumer policies.
 //!
 //! [`Database::subscribe`] registers interest in one view and returns
 //! a [`Subscription`] handle. From then on every successful commit
@@ -9,25 +9,103 @@
 //! consumer can verify it saw every commit: the drained sequence
 //! numbers are consecutive.
 //!
-//! The queue is drained with [`Database::drain`]; each event costs
-//! O(|Δ|), never a store clone. A dropped interest is released with
-//! [`Database::unsubscribe`].
+//! Queues are bounded when the database was built with
+//! `builder().subscription_capacity(n)` (or `XIVM_SUB_CAPACITY`), or
+//! when the subscription was opened with
+//! [`Database::subscribe_with`]. A full queue triggers the
+//! subscription's [`SlowConsumerPolicy`]:
+//!
+//! * [`Block`](SlowConsumerPolicy::Block) — the commit path waits
+//!   until the consumer drains (backpressure; nothing is ever lost).
+//! * [`DropAndMark`](SlowConsumerPolicy::DropAndMark) — the oldest
+//!   queued event is discarded and the gap is reported as one
+//!   [`Lagged`] marker carrying the exact `missed_range`; the
+//!   consumer re-seeds from [`Database::snapshot`] and resumes at a
+//!   gapless seq.
+//! * [`Disconnect`](SlowConsumerPolicy::Disconnect) — the
+//!   subscription is dropped outright; later commits pay nothing for
+//!   it.
+//!
+//! The queue lives behind an `Arc` shared by the registry and the
+//! handle, so [`Subscription::drain`] needs no database access — a
+//! consumer thread can drain (and thereby release a `Block`ed
+//! producer) while the commit path is mid-seal. [`Database::drain`]
+//! remains the plain-delta entry point for never-lagging feeds; a
+//! dropped interest is released with [`Database::unsubscribe`].
 //!
 //! [`Database::subscribe`]: crate::database::Database::subscribe
+//! [`Database::subscribe_with`]: crate::database::Database::subscribe_with
+//! [`Database::snapshot`]: crate::database::Database::snapshot
 //! [`Database::drain`]: crate::database::Database::drain
 //! [`Database::unsubscribe`]: crate::database::Database::unsubscribe
 //! [`ViewDelta`]: crate::commit::ViewDelta
 
 use crate::commit::{Commit, ViewDelta};
 use crate::database::ViewHandle;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::ops::RangeInclusive;
+use std::sync::{Arc, Condvar, Mutex};
 
-/// A registered interest in one view's deltas. Only meaningful on the
-/// database that issued it.
-#[derive(Debug)]
-pub struct Subscription {
-    pub(crate) id: u64,
+/// What the commit path does when a bounded subscription queue is
+/// full. Unbounded subscriptions (the default) never consult this.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SlowConsumerPolicy {
+    /// Wait for the consumer to drain. Nothing is ever lost, but a
+    /// consumer that never drains stalls the commit path — only use
+    /// this when a dedicated thread owns the [`Subscription`] handle
+    /// (handle-level [`Subscription::drain`] takes no database lock,
+    /// so the drain can always proceed).
+    #[default]
+    Block,
+    /// Discard the oldest queued event and mark the stream with one
+    /// [`Lagged`] event carrying the exact contiguous `missed_range`.
+    /// The commit path never waits; the consumer re-seeds from a
+    /// [`Database::snapshot`](crate::database::Database::snapshot)
+    /// and resumes gapless at `snapshot.seq() + 1`.
+    DropAndMark,
+    /// Drop the subscription entirely: the queue is cleared, the
+    /// registry prunes the entry at the next commit, and later
+    /// commits pay nothing for it. The handle observes
+    /// [`Subscription::is_disconnected`].
+    Disconnect,
+}
+
+/// The gap marker a `DropAndMark` subscription receives in place of
+/// the events its queue could not hold: the *exact* contiguous range
+/// of commit sequence numbers that were discarded. Dropped events are
+/// always the oldest queued, so the marker sits at the stream
+/// position of the first missed commit and the events that follow it
+/// resume at `missed_range.end() + 1` — the stream stays ordered,
+/// just annotated with its hole.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lagged {
+    /// Sequence numbers of the commits whose events were discarded,
+    /// inclusive on both ends.
+    pub missed_range: RangeInclusive<u64>,
+}
+
+/// One element of a subscription feed as drained by
+/// [`Subscription::drain`]: either a commit's delta or a [`Lagged`]
+/// gap marker.
+#[derive(Debug, Clone)]
+pub enum FeedEvent {
+    /// One commit's delta for the subscribed view.
+    Delta(DeltaEvent),
+    /// The queue overflowed under
+    /// [`SlowConsumerPolicy::DropAndMark`]; the carried range is
+    /// exactly the commits this consumer missed.
+    Lagged(Lagged),
+}
+
+impl FeedEvent {
+    /// The delta payload, if this element is one.
+    pub fn delta(&self) -> Option<&DeltaEvent> {
+        match self {
+            FeedEvent::Delta(e) => Some(e),
+            FeedEvent::Lagged(_) => None,
+        }
+    }
 }
 
 /// One commit as seen by a subscription: the commit's sequence number
@@ -46,9 +124,12 @@ pub struct Subscription {
 /// after [`Database::last_seq`] at subscribe time, and each following
 /// event carries the previous seq plus one, with no reordering across
 /// drains. This holds at every worker count and pipeline depth
-/// (pipelined hosts seal commits strictly in order), so a consumer
-/// that folds events in drain order reconstructs every intermediate
-/// store state exactly — circuit sources and replicas rely on it.
+/// (pipelined and async hosts seal commits strictly in order), so a
+/// consumer that folds events in drain order reconstructs every
+/// intermediate store state exactly — circuit sources and replicas
+/// rely on it. The one permitted hole is an explicit [`Lagged`]
+/// marker under [`SlowConsumerPolicy::DropAndMark`], which names the
+/// missing seqs exactly; around it the contract still holds.
 ///
 /// [`Database::last_seq`]: crate::database::Database::last_seq
 #[derive(Debug, Clone, Default)]
@@ -57,9 +138,179 @@ pub struct DeltaEvent {
     pub delta: Arc<ViewDelta>,
 }
 
-struct SubState {
-    view: usize,
-    pending: Vec<DeltaEvent>,
+/// A registered interest in one view's deltas. Only meaningful on the
+/// database that issued it.
+///
+/// The handle owns a shared reference to its queue, so
+/// [`Subscription::drain`] and [`Subscription::pending`] work without
+/// any database access — move the handle into a consumer thread and
+/// drain there while the owning thread keeps committing. The handle
+/// is deliberately not `Clone`: exactly one consumer owns a feed.
+#[derive(Debug)]
+pub struct Subscription {
+    pub(crate) id: u64,
+    pub(crate) queue: Arc<SubQueue>,
+}
+
+impl Subscription {
+    /// Takes every queued element — [`Lagged`] marker first if the
+    /// queue overflowed, then the surviving deltas in seq order — and
+    /// wakes a producer blocked on a full queue. Needs no database
+    /// access: this is the call a dedicated consumer thread makes.
+    pub fn drain(&self) -> Vec<FeedEvent> {
+        self.queue.drain_feed()
+    }
+
+    /// Number of queued delta events (a pending [`Lagged`] marker is
+    /// not counted).
+    pub fn pending(&self) -> usize {
+        self.queue.pending()
+    }
+
+    /// True once the queue overflowed under
+    /// [`SlowConsumerPolicy::Disconnect`] (or the subscription was
+    /// cancelled): no further events will arrive.
+    pub fn is_disconnected(&self) -> bool {
+        self.queue.disconnected()
+    }
+
+    /// The queue bound this subscription was opened with; `None` is
+    /// unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.queue.capacity
+    }
+
+    /// The overflow policy this subscription was opened with.
+    pub fn policy(&self) -> SlowConsumerPolicy {
+        self.queue.policy
+    }
+}
+
+/// The queue shared between the registry (producer side) and the
+/// [`Subscription`] handle (consumer side).
+#[derive(Debug)]
+pub(crate) struct SubQueue {
+    pub(crate) view: usize,
+    capacity: Option<usize>,
+    policy: SlowConsumerPolicy,
+    state: Mutex<QueueState>,
+    /// Signalled on drain and on disconnect: releases a producer
+    /// waiting under [`SlowConsumerPolicy::Block`].
+    space: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    events: VecDeque<DeltaEvent>,
+    /// Contiguous run of dropped seqs, oldest-first. Drops always pop
+    /// the queue front, so the run can never fragment: its end is
+    /// always exactly one below the oldest surviving event.
+    lag: Option<(u64, u64)>,
+    disconnected: bool,
+}
+
+impl SubQueue {
+    fn new(view: usize, capacity: Option<usize>, policy: SlowConsumerPolicy) -> Self {
+        SubQueue {
+            view,
+            // A zero capacity could never hold an event; treat it as 1
+            // so `Block` stays drainable and `DropAndMark` keeps the
+            // newest event.
+            capacity: capacity.map(|c| c.max(1)),
+            policy,
+            state: Mutex::new(QueueState::default()),
+            space: Condvar::new(),
+        }
+    }
+
+    /// Appends one event, applying the overflow policy if the queue
+    /// is full. Returns `false` when the subscription is (or becomes)
+    /// disconnected and should be pruned.
+    pub(crate) fn push(&self, event: DeltaEvent) -> bool {
+        let mut st = self.state.lock().unwrap();
+        if st.disconnected {
+            return false;
+        }
+        if let Some(cap) = self.capacity {
+            while st.events.len() >= cap {
+                match self.policy {
+                    SlowConsumerPolicy::Block => {
+                        st = self.space.wait(st).unwrap();
+                        if st.disconnected {
+                            return false;
+                        }
+                    }
+                    SlowConsumerPolicy::DropAndMark => {
+                        let dropped = st.events.pop_front().expect("cap >= 1");
+                        st.lag = Some(match st.lag {
+                            Some((lo, _)) => (lo, dropped.seq),
+                            None => (dropped.seq, dropped.seq),
+                        });
+                    }
+                    SlowConsumerPolicy::Disconnect => {
+                        st.events.clear();
+                        st.lag = None;
+                        st.disconnected = true;
+                        return false;
+                    }
+                }
+            }
+        }
+        st.events.push_back(event);
+        true
+    }
+
+    pub(crate) fn drain_feed(&self) -> Vec<FeedEvent> {
+        let mut st = self.state.lock().unwrap();
+        let extra = usize::from(st.lag.is_some());
+        let mut out = Vec::with_capacity(st.events.len() + extra);
+        if let Some((lo, hi)) = st.lag.take() {
+            out.push(FeedEvent::Lagged(Lagged { missed_range: lo..=hi }));
+        }
+        out.extend(st.events.drain(..).map(FeedEvent::Delta));
+        drop(st);
+        self.space.notify_all();
+        out
+    }
+
+    /// Plain-delta drain for feeds that can never lag (unbounded or
+    /// `Block`). Panics if a [`Lagged`] marker is queued — losing the
+    /// marker silently would forfeit the gapless-seq contract.
+    pub(crate) fn drain_deltas(&self) -> Vec<DeltaEvent> {
+        let mut st = self.state.lock().unwrap();
+        if let Some((lo, hi)) = st.lag {
+            panic!(
+                "subscription lagged (missed commits {lo}..={hi}): drain the feed with \
+                 Subscription::drain and re-seed from Database::snapshot"
+            );
+        }
+        let expected = st.events.len();
+        let out = std::mem::replace(&mut st.events, VecDeque::with_capacity(expected));
+        drop(st);
+        self.space.notify_all();
+        out.into()
+    }
+
+    pub(crate) fn pending(&self) -> usize {
+        self.state.lock().unwrap().events.len()
+    }
+
+    pub(crate) fn disconnected(&self) -> bool {
+        self.state.lock().unwrap().disconnected
+    }
+
+    /// Marks the queue dead and wakes any producer blocked on it —
+    /// called from `unsubscribe` *before* the registry entry goes
+    /// away, so cancelling a `Block`ed subscription can never wedge
+    /// the commit path.
+    pub(crate) fn disconnect(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.events.clear();
+        st.lag = None;
+        st.disconnected = true;
+        drop(st);
+        self.space.notify_all();
+    }
 }
 
 /// The subscriptions of one database. Owned by `Database`, which
@@ -67,77 +318,63 @@ struct SubState {
 /// outright — ids are never reused (monotonic counter), so a stale
 /// handle still panics instead of aliasing a newer subscription, and
 /// a long-lived database under subscribe/unsubscribe churn holds only
-/// the live entries.
+/// the live entries. Policy-disconnected entries are pruned lazily at
+/// the next commit.
 #[derive(Default)]
 pub(crate) struct SubscriptionRegistry {
     next_id: u64,
-    subs: HashMap<u64, SubState>,
+    subs: HashMap<u64, Arc<SubQueue>>,
 }
 
 impl SubscriptionRegistry {
-    pub(crate) fn subscribe(&mut self, view: ViewHandle) -> Subscription {
+    pub(crate) fn subscribe(
+        &mut self,
+        view: ViewHandle,
+        capacity: Option<usize>,
+        policy: SlowConsumerPolicy,
+    ) -> Subscription {
         let id = self.next_id;
         self.next_id += 1;
-        self.subs.insert(id, SubState { view: view.index(), pending: Vec::new() });
-        Subscription { id }
+        let queue = Arc::new(SubQueue::new(view.index(), capacity, policy));
+        self.subs.insert(id, Arc::clone(&queue));
+        Subscription { id, queue }
     }
 
     /// Appends one event per live subscription for a finished commit.
     /// Every commit reports on every view (no-op commits carry empty
     /// deltas), so sequence numbers stay gapless. Each distinct view's
-    /// delta is cloned once and shared across its subscribers.
+    /// delta is cloned once and shared across its subscribers. A full
+    /// `Block` queue makes this call wait for its consumer; the other
+    /// policies never wait, so a stalled reader cannot wedge the
+    /// commit path unless it explicitly opted into backpressure.
     pub(crate) fn record(&mut self, commit: &Commit) {
+        self.subs.retain(|_, q| !q.disconnected());
         if self.subs.is_empty() {
             return;
         }
         let per_view = commit.per_view();
         let mut shared: HashMap<usize, Arc<ViewDelta>> = HashMap::new();
-        for sub in self.subs.values_mut() {
-            let delta = Arc::clone(shared.entry(sub.view).or_insert_with(|| {
-                Arc::new(per_view.get(sub.view).map(|(_, r)| r.delta.clone()).unwrap_or_default())
+        for queue in self.subs.values() {
+            let delta = Arc::clone(shared.entry(queue.view).or_insert_with(|| {
+                Arc::new(per_view.get(queue.view).map(|(_, r)| r.delta.clone()).unwrap_or_default())
             }));
-            sub.pending.push(DeltaEvent { seq: commit.seq, delta });
+            queue.push(DeltaEvent { seq: commit.seq, delta });
         }
     }
 
-    /// Takes the queued events, leaving a queue pre-sized from
-    /// [`Self::pending`]: a steady-state consumer drains about as many
-    /// events per cycle as the last one, so the fresh queue starts at
-    /// the drained length instead of regrowing from zero on every
-    /// commit in between.
-    pub(crate) fn drain(&mut self, sub: &Subscription) -> Vec<DeltaEvent> {
-        let pending = &mut self.state_mut(sub).pending;
-        let expected = pending.len();
-        std::mem::replace(pending, Vec::with_capacity(expected))
-    }
-
-    /// Number of live (not yet cancelled) subscriptions. Cancelled
-    /// entries are removed outright, so this is exactly the fan-out
-    /// every commit pays — a pipelined host records commits strictly
-    /// in sequence order, so an unsubscribe between two overlapped
-    /// commits takes effect at the next sealed commit, never
-    /// mid-stream.
+    /// Number of live (not yet cancelled or policy-disconnected)
+    /// subscriptions. This is exactly the fan-out the next commit
+    /// pays — a pipelined host records commits strictly in sequence
+    /// order, so an unsubscribe between two overlapped commits takes
+    /// effect at the next sealed commit, never mid-stream.
     pub(crate) fn live(&self) -> usize {
-        self.subs.len()
-    }
-
-    pub(crate) fn pending(&self, sub: &Subscription) -> usize {
-        self.state(sub).pending.len()
-    }
-
-    pub(crate) fn view_of(&self, sub: &Subscription) -> usize {
-        self.state(sub).view
+        self.subs.values().filter(|q| !q.disconnected()).count()
     }
 
     pub(crate) fn unsubscribe(&mut self, sub: Subscription) {
-        self.subs.remove(&sub.id).expect("subscription from this database, not yet cancelled");
-    }
-
-    fn state(&self, sub: &Subscription) -> &SubState {
-        self.subs.get(&sub.id).expect("subscription from this database, not yet cancelled")
-    }
-
-    fn state_mut(&mut self, sub: &Subscription) -> &mut SubState {
-        self.subs.get_mut(&sub.id).expect("subscription from this database, not yet cancelled")
+        let was_disconnected = sub.queue.disconnected();
+        sub.queue.disconnect();
+        let existed = self.subs.remove(&sub.id).is_some();
+        assert!(existed || was_disconnected, "subscription from this database, not yet cancelled");
     }
 }

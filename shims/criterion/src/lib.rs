@@ -46,6 +46,9 @@ pub struct Stats {
     pub min_ns: f64,
     /// Median ns/iter across the kept samples.
     pub median_ns: f64,
+    /// 99th-percentile ns/iter across the kept samples — the tail a
+    /// latency-sensitive caller actually waits on.
+    pub p99_ns: f64,
     /// Population standard deviation of the kept samples, ns/iter.
     pub stddev_ns: f64,
     /// Samples kept after trimming.
@@ -81,6 +84,7 @@ impl Stats {
             mean_ns: mean,
             min_ns: kept_ns[0],
             median_ns: percentile(&kept_ns, 0.5),
+            p99_ns: percentile(&kept_ns, 0.99),
             stddev_ns: var.sqrt(),
             samples: kept.len(),
             trimmed: raw.len() - kept.len(),
@@ -89,8 +93,11 @@ impl Stats {
     }
 }
 
-/// Linear-interpolated percentile of an ascending-sorted slice.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
+/// Linear-interpolated percentile of an ascending-sorted slice. Public
+/// so latency-style bench runners (e.g. `fig_async`) can report
+/// p50/p99 over their own per-event samples with the same estimator
+/// the shim uses internally.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -196,11 +203,12 @@ impl Criterion {
         f(&mut b);
         let s = b.stats();
         println!(
-            "{id:<40} mean {:>12}/iter  min {:>12}  median {:>12}  stddev {:>10}  \
+            "{id:<40} mean {:>12}/iter  min {:>12}  median {:>12}  p99 {:>12}  stddev {:>10}  \
              ({} samples, {} trimmed, {} iters)",
             fmt_ns(s.mean_ns),
             fmt_ns(s.min_ns),
             fmt_ns(s.median_ns),
+            fmt_ns(s.p99_ns),
             fmt_ns(s.stddev_ns),
             s.samples,
             s.trimmed,
@@ -260,6 +268,7 @@ mod tests {
         assert_eq!(s.iters, 190);
         assert_eq!(s.min_ns, 100.0);
         assert_eq!(s.median_ns, 109.0);
+        assert!((s.p99_ns - 117.82).abs() < 1e-9);
         assert!((s.mean_ns - 109.0).abs() < 1e-9);
         assert!(s.stddev_ns > 0.0 && s.stddev_ns < 10.0);
     }

@@ -10,12 +10,18 @@
 //! Differences from the real crate, by design:
 //! - **greedy choice-sequence shrinking** instead of value trees: the
 //!   shim records the raw RNG draws behind a failing case and
-//!   minimizes *that sequence* (deleting blocks, binary-searching
-//!   individual draws toward zero), re-running generation + body on
-//!   each candidate. Generation is a deterministic function of the
-//!   draw stream, so any strategy shrinks for free — `Map`ped,
-//!   recursive and unioned strategies included (the technique
-//!   Hypothesis uses internally);
+//!   minimizes *that sequence*, re-running generation + body on each
+//!   candidate. Generation is a deterministic function of the draw
+//!   stream, so any strategy shrinks for free — `Map`ped, recursive
+//!   and unioned strategies included (the technique Hypothesis uses
+//!   internally). Collection strategies additionally record a
+//!   [`VecSpan`](test_runner::VecSpan) per generated element, giving
+//!   the shrinker a value-tree-ish *structured* first pass: whole
+//!   elements are deleted (their draws removed, the collection's
+//!   length draw decremented in lockstep), outermost collections
+//!   first — a failing soak workload loses whole commits before whole
+//!   statements before any draw-level editing (deleting blocks,
+//!   binary-searching individual draws toward zero) begins;
 //! - generation is **deterministic**: the base seed is fixed (or
 //!   taken from `PROPTEST_SEED`) so CI failures reproduce locally;
 //! - `PROPTEST_CASES` overrides the per-test case count globally,
@@ -25,12 +31,31 @@
 pub mod test_runner {
     use std::fmt;
 
+    /// The structural trace of one collection generation: where its
+    /// length draw sits in the recorded sequence, the bound that draw
+    /// was taken under, and the draw-index range each element
+    /// consumed. Recorded by `collection::vec` so the shrinker can
+    /// delete *whole elements* — removing an element's draws and
+    /// decrementing the length draw together — instead of discovering
+    /// the same edit through blind block deletion.
+    #[derive(Clone, Debug)]
+    pub struct VecSpan {
+        /// Index (into the recorded draws) of the length draw.
+        pub len_index: usize,
+        /// The bound the length draw was taken under (`below` bound).
+        pub len_bound: u64,
+        /// Half-open draw-index range of each generated element, in
+        /// order. Nested collections record their own spans too;
+        /// ranges nest but never partially overlap.
+        pub elements: Vec<(usize, usize)>,
+    }
+
     /// How a [`TestRng`] produces draws: live generation (optionally
     /// recorded) or replay of a captured choice sequence.
     #[derive(Clone, Debug)]
     enum Mode {
         Random,
-        Recording(Vec<u64>),
+        Recording { draws: Vec<u64>, spans: Vec<VecSpan> },
         Replay { draws: Vec<u64>, pos: usize },
     }
 
@@ -66,18 +91,48 @@ pub mod test_runner {
         /// Starts capturing draws (replacing any previous capture).
         /// The underlying generator state is unaffected.
         pub fn start_recording(&mut self) {
-            self.mode = Mode::Recording(Vec::new());
+            self.mode = Mode::Recording { draws: Vec::new(), spans: Vec::new() };
         }
 
         /// Stops capturing and returns the draws made since
         /// [`Self::start_recording`].
         pub fn take_recording(&mut self) -> Vec<u64> {
+            self.take_recording_with_spans().0
+        }
+
+        /// Stops capturing and returns the draws made since
+        /// [`Self::start_recording`] together with the collection
+        /// spans recorded over them.
+        pub fn take_recording_with_spans(&mut self) -> (Vec<u64>, Vec<VecSpan>) {
             match std::mem::replace(&mut self.mode, Mode::Random) {
-                Mode::Recording(draws) => draws,
+                Mode::Recording { draws, spans } => (draws, spans),
                 other => {
                     self.mode = other;
-                    Vec::new()
+                    (Vec::new(), Vec::new())
                 }
+            }
+        }
+
+        /// True while draws are being captured (spans are only worth
+        /// assembling then).
+        pub fn is_recording(&self) -> bool {
+            matches!(self.mode, Mode::Recording { .. })
+        }
+
+        /// Number of draws captured so far — the index the *next*
+        /// draw will land at. `0` outside recording mode.
+        pub fn recorded(&self) -> usize {
+            match &self.mode {
+                Mode::Recording { draws, .. } => draws.len(),
+                _ => 0,
+            }
+        }
+
+        /// Attaches a collection span to the current capture (no-op
+        /// outside recording mode).
+        pub fn record_vec_span(&mut self, span: VecSpan) {
+            if let Mode::Recording { spans, .. } = &mut self.mode {
+                spans.push(span);
             }
         }
 
@@ -104,7 +159,7 @@ pub mod test_runner {
             self.s[0] ^= self.s[3];
             self.s[2] ^= t;
             self.s[3] = self.s[3].rotate_left(45);
-            if let Mode::Recording(draws) = &mut self.mode {
+            if let Mode::Recording { draws, .. } = &mut self.mode {
                 draws.push(result);
             }
             result
@@ -237,12 +292,18 @@ pub mod shrink {
     //!
     //! A test case is fully determined by the `u64` draws its
     //! strategies consumed. Shrinking therefore never needs to invert
-    //! a strategy: it edits the draw sequence — shorter first (block
+    //! a strategy: it edits the draw sequence — structured first
+    //! (whole collection elements deleted via their recorded
+    //! [`VecSpan`]s, outermost collections first, with the length
+    //! draw decremented in lockstep — a failing soak script loses
+    //! whole commits, then whole statements), then shorter (block
     //! deletion makes collections smaller and recursive strategies
     //! bottom out), then smaller (binary search per draw; `below` is
     //! monotone in the raw draw) — and keeps any edit under which the
     //! property still fails. Every candidate execution counts against
     //! the `max_shrink_iters` budget.
+
+    use crate::test_runner::VecSpan;
 
     /// Outcome of one greedy minimization.
     pub struct Minimized {
@@ -254,13 +315,63 @@ pub mod shrink {
         pub iters: u32,
     }
 
-    /// Greedily minimizes `draws` (a known-failing choice sequence
-    /// with failure message `reason`). `still_fails` re-runs the
-    /// property on a candidate sequence and returns the failure
-    /// message if it still fails (a rejected or passing candidate
-    /// returns `None`).
+    /// [`minimize_with_spans`] without structural information — only
+    /// the draw-level passes run.
     pub fn minimize(
         draws: Vec<u64>,
+        reason: String,
+        max_iters: u32,
+        still_fails: &mut dyn FnMut(&[u64]) -> Option<String>,
+    ) -> Minimized {
+        minimize_with_spans(draws, Vec::new(), reason, max_iters, still_fails)
+    }
+
+    /// The raw draw producing `value` under `below(bound)` that is
+    /// smallest, i.e. the inverse of the monotone multiply-high map.
+    fn raw_for(value: u64, bound: u64) -> u64 {
+        if value == 0 {
+            return 0;
+        }
+        (((value as u128) << 64).div_ceil(bound as u128)) as u64
+    }
+
+    fn below_value(raw: u64, bound: u64) -> u64 {
+        ((raw as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Re-anchors every span after `del_len` draws were removed at
+    /// `del_start`. Spans whose length draw (or elements wholly
+    /// contained in the hole) vanish with it; ranges past the hole
+    /// shift left; ranges enclosing it shorten. Deletions always
+    /// happen on element boundaries, so partial overlap cannot occur.
+    fn shift_spans(spans: &mut Vec<VecSpan>, del_start: usize, del_len: usize) {
+        let del_end = del_start + del_len;
+        spans.retain(|g| !(del_start..del_end).contains(&g.len_index));
+        for g in spans.iter_mut() {
+            if g.len_index >= del_end {
+                g.len_index -= del_len;
+            }
+            g.elements.retain(|&(s, e)| !(s >= del_start && e <= del_end));
+            for (s, e) in g.elements.iter_mut() {
+                if *s >= del_end {
+                    *s -= del_len;
+                    *e -= del_len;
+                } else if *e >= del_end && *s <= del_start {
+                    *e -= del_len;
+                }
+            }
+        }
+    }
+
+    /// Greedily minimizes `draws` (a known-failing choice sequence
+    /// with failure message `reason`), guided by the collection
+    /// `spans` recorded during the failing run. `still_fails` re-runs
+    /// the property on a candidate sequence and returns the failure
+    /// message if it still fails (a rejected or passing candidate
+    /// returns `None`).
+    pub fn minimize_with_spans(
+        draws: Vec<u64>,
+        spans: Vec<VecSpan>,
         reason: String,
         max_iters: u32,
         still_fails: &mut dyn FnMut(&[u64]) -> Option<String>,
@@ -269,6 +380,55 @@ pub mod shrink {
         if max_iters == 0 {
             return best;
         }
+
+        // Pass 0: structured element deletion. Walk the recorded
+        // collections outermost first (spans are pushed innermost
+        // first, so iterate in reverse), deleting one element at a
+        // time: drop its draws and decrement the collection's length
+        // draw to match. Spans are re-anchored after every accepted
+        // edit, so this pass works on exact structure throughout; the
+        // draw-level passes below then start from a structurally
+        // minimal sequence.
+        let mut spans = spans;
+        'structured: loop {
+            for gi in (0..spans.len()).rev() {
+                for ei in (0..spans[gi].elements.len()).rev() {
+                    if best.iters >= max_iters {
+                        return best;
+                    }
+                    let g = &spans[gi];
+                    let len_raw = match best.draws.get(g.len_index) {
+                        Some(&raw) => raw,
+                        None => continue,
+                    };
+                    let len_value = below_value(len_raw, g.len_bound);
+                    if len_value == 0 {
+                        // already at the strategy's minimum length
+                        break;
+                    }
+                    let (start, end) = g.elements[ei];
+                    if end < start || end > best.draws.len() {
+                        continue;
+                    }
+                    let mut candidate = best.draws.clone();
+                    candidate[g.len_index] = raw_for(len_value - 1, g.len_bound);
+                    candidate.drain(start..end);
+                    best.iters += 1;
+                    if let Some(msg) = still_fails(&candidate) {
+                        best.draws = candidate;
+                        best.reason = msg;
+                        spans[gi].elements.remove(ei);
+                        if end > start {
+                            shift_spans(&mut spans, start, end - start);
+                        }
+                        // retained groups may have moved: rescan
+                        continue 'structured;
+                    }
+                }
+            }
+            break;
+        }
+
         loop {
             let mut improved = false;
 
@@ -546,9 +706,31 @@ pub mod collection {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
-            let span = (self.size.end - self.size.start) as u64;
-            let len = self.size.start + rng.below(span.max(1)) as usize;
-            (0..len).map(|_| self.element.generate(rng)).collect()
+            let bound = ((self.size.end - self.size.start) as u64).max(1);
+            // Trace the length draw and each element's draw range so
+            // the shrinker can delete whole elements (see VecSpan).
+            let recording = rng.is_recording();
+            let len_index = rng.recorded();
+            let len = self.size.start + rng.below(bound) as usize;
+            let mut elements = Vec::new();
+            let out = (0..len)
+                .map(|_| {
+                    let start = rng.recorded();
+                    let value = self.element.generate(rng);
+                    if recording {
+                        elements.push((start, rng.recorded()));
+                    }
+                    value
+                })
+                .collect();
+            if recording {
+                rng.record_vec_span(crate::test_runner::VecSpan {
+                    len_index,
+                    len_bound: bound,
+                    elements,
+                });
+            }
+            out
         }
     }
 }
@@ -642,7 +824,7 @@ macro_rules! proptest {
                 while case < cases {
                     rng.start_recording();
                     let outcome = run_case(&mut rng);
-                    let draws = rng.take_recording();
+                    let (draws, spans) = rng.take_recording_with_spans();
                     match outcome {
                         ::std::result::Result::Ok(()) => case += 1,
                         ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(reason)) => {
@@ -658,8 +840,9 @@ macro_rules! proptest {
                         ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(reason)) => {
                             let original_len = draws.len();
                             let minimized = $crate::test_runner::with_silent_panics(|| {
-                                $crate::shrink::minimize(
+                                $crate::shrink::minimize_with_spans(
                                     draws,
+                                    spans,
                                     reason.clone(),
                                     max_shrink,
                                     &mut |candidate| {
@@ -876,6 +1059,69 @@ mod tests {
         let replayed: Vec<u64> = (0..7).map(|_| replay.next_u64()).collect();
         assert_eq!(&replayed[..5], &drawn[..]);
         assert_eq!(&replayed[5..], &[0, 0], "exhausted replay yields minimal draws");
+    }
+
+    /// The structured pass deletes *whole elements*: a failing vec
+    /// whose failure hinges on one element shrinks to exactly that
+    /// element — draws of the others removed, the length draw
+    /// decremented in lockstep, never a misaligned half-element.
+    #[test]
+    fn span_deletion_drops_whole_elements() {
+        let strat = crate::collection::vec(0u64..100, 0..10);
+        let mut rng = TestRng::from_seed(7);
+        let (draws, spans, value) = loop {
+            rng.start_recording();
+            let v = crate::strategy::Strategy::generate(&strat, &mut rng);
+            let (draws, spans) = rng.take_recording_with_spans();
+            if v.len() >= 4 && v[2] != 0 {
+                break (draws, spans, v);
+            }
+        };
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].elements.len(), value.len());
+        let target = value[2];
+
+        let mut still_fails = |candidate: &[u64]| {
+            let mut replay = TestRng::replaying(candidate.to_vec());
+            let v = crate::strategy::Strategy::generate(&strat, &mut replay);
+            v.contains(&target).then(|| format!("len={}", v.len()))
+        };
+        let out = crate::shrink::minimize_with_spans(
+            draws,
+            spans,
+            "orig".into(),
+            10_000,
+            &mut still_fails,
+        );
+        let mut replay = TestRng::replaying(out.draws.clone());
+        let v = crate::strategy::Strategy::generate(&strat, &mut replay);
+        assert_eq!(v, vec![target], "minimal failing case is the one pinned element");
+    }
+
+    /// Span recording survives nesting: the recursive string strategy
+    /// (vecs inside vecs) records hierarchically consistent spans and
+    /// still minimizes to the boundary.
+    #[test]
+    fn nested_spans_are_hierarchically_consistent() {
+        let strat = arb_nested(3);
+        let mut rng = TestRng::from_seed(11);
+        let (draws, spans) = loop {
+            rng.start_recording();
+            let s = crate::strategy::Strategy::generate(&strat, &mut rng);
+            let (draws, spans) = rng.take_recording_with_spans();
+            if s.len() >= 8 {
+                break (draws, spans);
+            }
+        };
+        for g in &spans {
+            assert!(g.len_index < draws.len());
+            for &(s, e) in &g.elements {
+                assert!(s <= e && e <= draws.len(), "range ({s}, {e}) out of bounds");
+            }
+            for pair in g.elements.windows(2) {
+                assert!(pair[0].1 <= pair[1].0, "sibling element ranges must not overlap");
+            }
+        }
     }
 
     #[test]

@@ -80,6 +80,19 @@
 //! XPath against a gapless commit boundary — without ever blocking a
 //! commit.
 //!
+//! For a server front-end, `Database::apply_async` decouples
+//! submission from sealing: it validates, reserves a sequence number
+//! and returns a [`Ticket`] immediately while a background service
+//! thread seals commits strictly in order through the same pipelined
+//! machinery. Await one commit with [`Ticket::wait`], everything with
+//! `Database::flush`, or a specific seq with
+//! `Database::commit_barrier`. Subscription queues can be bounded
+//! (`.subscription_capacity(n)` / `XIVM_SUB_CAPACITY`) with a
+//! per-subscription [`SlowConsumerPolicy`] — block the producer, drop
+//! oldest and mark the stream with an exact [`Lagged`] range, or
+//! disconnect — so a stalled reader never wedges the commit path
+//! (see [`core::service`] and [`core::subscribe`]).
+//!
 //! ## Migrating from the low-level engine API
 //!
 //! The plumbing stays public (the bench targets and the paper's
@@ -124,8 +137,9 @@ pub use xivm_xmark as xmark;
 pub use xivm_xml as xml;
 
 pub use xivm_core::{
-    Commit, Database, DatabaseBuilder, DatabaseSnapshot, DeltaEvent, Error, ShardedStores,
-    Subscription, Transaction, ViewDelta, ViewHandle, WeightedChange,
+    Commit, Database, DatabaseBuilder, DatabaseSnapshot, DeltaEvent, Error, FeedEvent, Lagged,
+    ShardedStores, SlowConsumerPolicy, Subscription, Ticket, Transaction, ViewDelta, ViewHandle,
+    WeightedChange,
 };
 
 /// One-stop imports for applications built on the [`Database`] façade.
@@ -140,9 +154,9 @@ pub mod prelude {
     pub use xivm_core::costmodel::UpdateProfile;
     pub use xivm_core::database::{Database, DatabaseBuilder, Transaction, ViewHandle};
     pub use xivm_core::{
-        Commit, DatabaseSnapshot, DeltaEvent, Error, MaintenanceEngine, MultiViewEngine,
-        ShardedStores, SnowcapStrategy, Subscription, UpdateReport, ViewDelta, ViewStore,
-        WeightedChange,
+        Commit, DatabaseSnapshot, DeltaEvent, Error, FeedEvent, Lagged, MaintenanceEngine,
+        MultiViewEngine, ShardedStores, SlowConsumerPolicy, SnowcapStrategy, Subscription, Ticket,
+        UpdateReport, ViewDelta, ViewStore, WeightedChange,
     };
     pub use xivm_pattern::{parse_pattern, TreePattern};
     pub use xivm_pulopt::ConflictPolicy;

@@ -1,0 +1,371 @@
+//! Fault-injection harness for the async commit service.
+//!
+//! Arms the one-shot failpoints in `xivm_core::fault` (compiled in via
+//! the `fault-inject` feature) and proves the containment guarantees
+//! `crates/core/src/service.rs` documents:
+//!
+//! * a panicking window drains cleanly — the service survives, later
+//!   submissions seal, and `Database` drop still joins everything;
+//! * the failure surfaces on the failing ticket's `wait()` as
+//!   [`Error::Panic`], on everything queued behind it as
+//!   [`Error::Aborted`], and exactly once on `flush()`;
+//! * after the failure the database equals a *sequential replay of the
+//!   committed prefix* — same serialized document, same stores, same
+//!   commit counter — checked against a fresh database;
+//! * subscription feeds stay gapless: consumers see exactly the sealed
+//!   commits, in order, with consecutive sequence numbers;
+//! * [`fault::SEAL_DELAY`] shows submission returning well before the
+//!   seal completes (the latency decoupling `fig_async` measures).
+//!
+//! Every test holds [`fault::exclusive`] for its whole body: the armed
+//! set is process-global and the test runner is multi-threaded.
+
+use std::time::{Duration, Instant};
+
+use xivm::pattern::compile::view_tuples;
+use xivm::prelude::*;
+use xivm_core::fault;
+
+/// The doctest document: two views with overlapping matches so every
+/// insert below touches both stores.
+const DOC: &str = "<a><c><b/><b/></c><f><c><b/></c><b/></f></a>";
+const VIEWS: [(&str, &str); 2] = [("acb", "//a{id}[//c{id}]//b{id}"), ("cb", "//c{id}//b{id}")];
+
+/// Always-valid statements for async batches (an insert cannot fail,
+/// so the only failures in these tests are the injected ones).
+fn stmt(i: usize) -> String {
+    if i % 2 == 0 {
+        "insert <b/> into /a/c".to_owned()
+    } else {
+        "insert <c><b/></c> into /a/f".to_owned()
+    }
+}
+
+fn build_db(workers: usize, pipeline: usize) -> Database {
+    let mut b = Database::builder().document(DOC).workers(workers).pipeline(pipeline);
+    for (name, pattern) in VIEWS {
+        b = b.view(name, pattern);
+    }
+    b.build().expect("fixture database")
+}
+
+/// Every store equals a from-scratch recount of its pattern against
+/// the current document (the same oracle the soak harness uses).
+fn assert_consistent(db: &Database, context: &str) {
+    for (name, _) in VIEWS {
+        let h = db.view(name).expect("known view");
+        let pattern = db.pattern(h).clone();
+        let expected = ViewStore::from_counted(&pattern, view_tuples(db.document(), &pattern));
+        assert!(
+            db.store(h).same_content_as(&expected),
+            "{context}: view {name} diverged from recount oracle"
+        );
+    }
+}
+
+/// The database must equal a fresh one sequentially replaying exactly
+/// the statements whose commits sealed.
+fn assert_equals_replay(db: &Database, sealed_stmts: &[String], context: &str) {
+    let mut replay = build_db(1, 1);
+    for s in sealed_stmts {
+        replay.apply(s.as_str()).expect("replay statement");
+    }
+    assert_eq!(db.last_seq(), replay.last_seq(), "{context}: commit counter");
+    assert_eq!(db.serialize(), replay.serialize(), "{context}: document");
+    for (name, _) in VIEWS {
+        let h = db.view(name).expect("known view");
+        let rh = replay.view(name).expect("known view");
+        assert!(
+            db.store(h).same_content_as(replay.store(rh)),
+            "{context}: view {name} differs from sequential replay"
+        );
+    }
+}
+
+/// Drains a feed and asserts its delta events are gapless, returning
+/// the sequence numbers seen.
+fn drained_seqs(sub: &Subscription) -> Vec<u64> {
+    let seqs: Vec<u64> = sub
+        .drain()
+        .into_iter()
+        .map(|ev| match ev {
+            FeedEvent::Delta(d) => d.seq,
+            FeedEvent::Lagged(lag) => {
+                panic!("unexpected lag marker (missed {:?})", lag.missed_range)
+            }
+        })
+        .collect();
+    for pair in seqs.windows(2) {
+        assert_eq!(pair[1], pair[0] + 1, "feed has a sequence gap: {seqs:?}");
+    }
+    seqs
+}
+
+/// A panic in `prepare` during an async window: the first queued
+/// ticket carries `Error::Panic`, everything behind it aborts, and the
+/// database rolls back to the last sealed commit.
+#[test]
+fn prepare_panic_fails_window_and_database_recovers() {
+    let _guard = fault::exclusive();
+    fault::disarm_all();
+
+    let mut db = build_db(2, 4);
+    let h = db.view("acb").expect("view");
+    let feed = db.subscribe(h);
+    let base: Vec<String> = (0..2).map(stmt).collect();
+    // Drain after every commit: under the CI async matrix
+    // (XIVM_SUB_CAPACITY=1) the feed is a capacity-1 Block queue, so
+    // an undrained event would stall the next commit's fan-out.
+    let mut feed_seqs = Vec::new();
+    for s in &base {
+        db.apply(s.as_str()).expect("base commit");
+        feed_seqs.extend(drained_seqs(&feed));
+    }
+
+    // SEAL_DELAY makes the schedule deterministic: whatever prefix of
+    // the submissions lands in the service's first batch, the 40ms
+    // sleep before its first window lets the remaining apply_async
+    // calls enqueue — so every ticket is in flight when the armed
+    // prepare panics, and none can slip into a clean later batch.
+    fault::arm(fault::PREPARE_PANIC | fault::SEAL_DELAY);
+    let tickets: Vec<Ticket> = (0..4).map(|i| db.apply_async([stmt(i)]).expect("submit")).collect();
+
+    let flushed = db.flush();
+    match &flushed {
+        Err(Error::Panic(msg)) => {
+            assert!(msg.contains("injected fault: panic in prepare"), "panic message: {msg}")
+        }
+        other => panic!("flush should surface the injected panic, got {other:?}"),
+    }
+    assert!(db.flush().is_ok(), "flush reports each failure exactly once");
+
+    // The first submission was at the head of the panicking window
+    // (zero commits seal when a pipelined window dies), so it carries
+    // the panic; everything behind it aborted.
+    let first = tickets[0].wait();
+    assert!(matches!(first, Err(Error::Panic(_))), "first ticket: {first:?}");
+    assert_eq!(
+        tickets[0].wait().map(|c| c.seq).unwrap_err().to_string(),
+        first.map(|c| c.seq).unwrap_err().to_string(),
+        "wait() is idempotent"
+    );
+    assert!(tickets[0].try_result().is_some(), "resolved tickets answer try_result");
+    for t in &tickets[1..] {
+        assert!(matches!(t.wait(), Err(Error::Aborted)), "queued-behind tickets abort");
+    }
+
+    // Rollback: only the two base commits exist, bit-identical to a
+    // sequential replay, and the feed saw exactly them (the failed
+    // window fanned out nothing).
+    assert_equals_replay(&db, &base, "after prepare panic");
+    assert_consistent(&db, "after prepare panic");
+    feed_seqs.extend(drained_seqs(&feed));
+    assert_eq!(feed_seqs, vec![1, 2]);
+
+    // The service survived: both the sync and async paths keep working
+    // and the feed continues gaplessly.
+    let c3 = db.apply(stmt(2).as_str()).expect("sync after failure");
+    assert_eq!(c3.seq, 3);
+    let mut tail = drained_seqs(&feed);
+    let t4 = db.apply_async([stmt(3)]).expect("async after failure");
+    let c4 = t4.wait().expect("async seals after failure");
+    assert_eq!(c4.seq, 4);
+    tail.extend(drained_seqs(&feed));
+    assert_eq!(tail, vec![3, 4]);
+    assert_consistent(&db, "after post-failure commits");
+
+    fault::disarm_all();
+}
+
+/// A panic in `finish` after earlier async commits sealed: the sealed
+/// prefix survives exactly, the failed seq is reclaimed by the next
+/// submission, and `commit_barrier` reports the failed seq as never
+/// reached.
+#[test]
+fn finish_panic_preserves_sealed_prefix() {
+    let _guard = fault::exclusive();
+    fault::disarm_all();
+
+    let mut db = build_db(2, 1);
+    let h = db.view("cb").expect("view");
+    let feed = db.subscribe(h);
+    db.apply(stmt(0).as_str()).expect("base commit");
+    // Drained after every seal so a capacity-1 env default
+    // (XIVM_SUB_CAPACITY=1, Block) cannot stall the next one.
+    let mut feed_seqs = drained_seqs(&feed);
+
+    let ta = db.apply_async([stmt(1)]).expect("submit A");
+    db.flush().expect("A seals cleanly");
+    assert_eq!(ta.wait().expect("A sealed").seq, 2);
+    feed_seqs.extend(drained_seqs(&feed));
+
+    fault::arm(fault::FINISH_PANIC | fault::SEAL_DELAY);
+    let tb = db.apply_async([stmt(2)]).expect("submit B");
+    let tc = db.apply_async([stmt(3)]).expect("submit C");
+    assert_eq!(tb.seq, 3);
+    assert_eq!(tc.seq, 4);
+
+    match tb.wait() {
+        Err(Error::Panic(msg)) => {
+            assert!(msg.contains("injected fault: panic in finish"), "panic message: {msg}")
+        }
+        other => panic!("B should carry the injected panic, got {other:?}"),
+    }
+    assert!(matches!(tc.wait(), Err(Error::Aborted)));
+    assert!(matches!(db.flush(), Err(Error::Panic(_))));
+
+    // B's seq was promised but never sealed: the barrier comes back
+    // below it instead of waiting forever.
+    assert_eq!(db.commit_barrier(tb.seq), 2);
+
+    let sealed: Vec<String> = vec![stmt(0), stmt(1)];
+    assert_equals_replay(&db, &sealed, "after finish panic");
+    assert_consistent(&db, "after finish panic");
+    feed_seqs.extend(drained_seqs(&feed));
+    assert_eq!(feed_seqs, vec![1, 2]);
+
+    // Reservations restarted from the sealed prefix: the next
+    // submission reclaims B's number and the stream stays gapless.
+    let td = db.apply_async([stmt(2)]).expect("resubmit");
+    assert_eq!(td.seq, 3, "failed seq is reclaimed, not leaked as a gap");
+    assert_eq!(td.wait().expect("resubmission seals").seq, 3);
+    assert_eq!(db.commit_barrier(3), 3);
+    assert_eq!(drained_seqs(&feed), vec![3]);
+
+    fault::disarm_all();
+}
+
+/// A panic inside a multi-statement async submission (the sequential
+/// transaction path): the whole transaction rolls back and the same
+/// statements succeed once the fault is spent.
+#[test]
+fn panic_in_async_transaction_rolls_back_whole_batch() {
+    let _guard = fault::exclusive();
+    fault::disarm_all();
+
+    let mut db = build_db(1, 1);
+    let base = stmt(0);
+    db.apply(base.as_str()).expect("base commit");
+
+    fault::arm(fault::PREPARE_PANIC);
+    let t = db.apply_async([stmt(1), stmt(2)]).expect("submit transaction");
+    assert!(matches!(t.wait(), Err(Error::Panic(_))));
+    assert!(matches!(db.flush(), Err(Error::Panic(_))));
+
+    assert_equals_replay(&db, std::slice::from_ref(&base), "after transaction panic");
+    assert_consistent(&db, "after transaction panic");
+
+    // The fault is one-shot: the identical resubmission seals as one
+    // commit, equal to a sequential transaction replay.
+    let t2 = db.apply_async([stmt(1), stmt(2)]).expect("resubmit transaction");
+    let commit = t2.wait().expect("transaction seals");
+    assert_eq!(commit.seq, 2);
+    let mut replay = build_db(1, 1);
+    replay.apply(base.as_str()).expect("replay base");
+    replay
+        .transaction()
+        .statement(stmt(1).as_str())
+        .statement(stmt(2).as_str())
+        .commit()
+        .expect("replay transaction");
+    assert_eq!(db.serialize(), replay.serialize());
+    assert_consistent(&db, "after transaction resubmit");
+
+    fault::disarm_all();
+}
+
+/// A panicking window drains cleanly even while a capacity-1 `Block`
+/// subscription is being drained from another thread: the service
+/// never wedges, and the consumer sees exactly the sealed commits with
+/// no gaps.
+#[test]
+fn blocked_consumer_survives_panicking_window() {
+    let _guard = fault::exclusive();
+    fault::disarm_all();
+
+    let mut db = build_db(2, 2);
+    let h = db.view("acb").expect("view");
+    let feed = db.subscribe_with(h, Some(1), SlowConsumerPolicy::Block);
+
+    // Five commits will seal in total; the consumer drains the
+    // capacity-1 queue until it has seen them all.
+    let consumer = std::thread::spawn(move || {
+        let mut seqs = Vec::new();
+        while seqs.len() < 5 {
+            for ev in feed.drain() {
+                match ev {
+                    FeedEvent::Delta(d) => seqs.push(d.seq),
+                    FeedEvent::Lagged(lag) => {
+                        panic!("Block policy never lags (missed {:?})", lag.missed_range)
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        seqs
+    });
+
+    let mut sealed: Vec<String> = Vec::new();
+    for i in 0..3 {
+        let t = db.apply_async([stmt(i)]).expect("submit");
+        sealed.push(stmt(i));
+        // flush() waits for the seal, which itself waits on the full
+        // queue — progress proves the consumer thread releases the
+        // backpressure stall while the service is mid-seal.
+        db.flush().expect("clean commit");
+        assert_eq!(t.wait().expect("sealed").seq, (i + 1) as u64);
+    }
+
+    fault::arm(fault::FINISH_PANIC);
+    let failing = db.apply_async([stmt(3)]).expect("submit failing");
+    assert!(matches!(failing.wait(), Err(Error::Panic(_))));
+    assert!(matches!(db.flush(), Err(Error::Panic(_))));
+
+    for i in 4..6 {
+        let t = db.apply_async([stmt(i)]).expect("submit after failure");
+        sealed.push(stmt(i));
+        assert!(t.wait().is_ok());
+    }
+    db.flush().expect("clean tail");
+
+    let seen = consumer.join().expect("consumer thread");
+    assert_eq!(seen, vec![1, 2, 3, 4, 5], "gapless despite the failed commit in between");
+    assert_equals_replay(&db, &sealed, "after blocked-consumer run");
+    assert_consistent(&db, "after blocked-consumer run");
+
+    fault::disarm_all();
+}
+
+/// `SEAL_DELAY` separates submission latency from seal latency:
+/// `apply_async` returns while the service still sleeps, and the
+/// ticket only resolves once the delayed seal completes.
+#[test]
+fn submission_returns_before_delayed_seal() {
+    let _guard = fault::exclusive();
+    fault::disarm_all();
+
+    let mut db = build_db(1, 1);
+    fault::arm(fault::SEAL_DELAY);
+
+    let start = Instant::now();
+    let ticket = db.apply_async([stmt(0)]).expect("submit");
+    let submitted = start.elapsed();
+    assert!(
+        ticket.try_result().is_none() || submitted >= Duration::from_millis(fault::SEAL_DELAY_MS)
+    );
+
+    let commit = ticket.wait().expect("delayed seal completes");
+    let sealed = start.elapsed();
+    assert_eq!(commit.seq, 1);
+    assert!(
+        sealed >= Duration::from_millis(fault::SEAL_DELAY_MS),
+        "seal paid the injected delay ({sealed:?})"
+    );
+    assert!(
+        submitted < Duration::from_millis(fault::SEAL_DELAY_MS),
+        "apply_async returned before the seal ({submitted:?})"
+    );
+    assert_consistent(&db, "after delayed seal");
+
+    fault::disarm_all();
+}

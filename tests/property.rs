@@ -671,3 +671,167 @@ fn rejected_pipelined_batch_emits_nothing() {
     assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1, 2]);
     db.unsubscribe(feed);
 }
+
+// ---------------------------------------------------------------------
+// Slow-consumer policies (bounded subscription queues)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// [`SlowConsumerPolicy::DropAndMark`]: overflowing a capacity-k
+    /// queue by n commits drops the n *oldest* events and marks the
+    /// stream with the exact missed range `1..=n`; the documented
+    /// recovery recipe — re-seed a mirror from [`Database::snapshot`]
+    /// and replay only events newer than the snapshot — reconverges
+    /// bit-identically with the live store.
+    #[test]
+    fn drop_and_mark_reports_exact_lag_and_snapshot_reseed_reconverges(
+        capacity in 1usize..4,
+        overflow in 1usize..5,
+        workers in 1usize..4,
+    ) {
+        let mut db = Database::builder()
+            .document("<r><a><b/></a><a><c/></a></r>")
+            .view("ab", PATTERNS[0])
+            .workers(workers)
+            .build()
+            .unwrap();
+        let h = db.view("ab").unwrap();
+        let sub = db.subscribe_with(h, Some(capacity), SlowConsumerPolicy::DropAndMark);
+
+        let total = capacity + overflow;
+        for i in 0..total {
+            db.apply(script_statement(i % 2, i % FORESTS.len(), true).as_str()).unwrap();
+        }
+
+        let events = sub.drain();
+        prop_assert_eq!(events.len(), capacity + 1, "lag marker + the retained tail");
+        match &events[0] {
+            FeedEvent::Lagged(lag) => prop_assert_eq!(
+                lag.missed_range.clone(),
+                1..=(overflow as u64),
+                "the missed range names exactly the dropped commits"
+            ),
+            other => prop_assert!(false, "expected the lag marker first, got {:?}", other),
+        }
+        let tail: Vec<u64> = events[1..].iter().filter_map(|e| e.delta()).map(|d| d.seq).collect();
+        prop_assert_eq!(
+            tail,
+            ((overflow as u64 + 1)..=total as u64).collect::<Vec<u64>>(),
+            "the retained tail is the newest `capacity` events, gapless"
+        );
+
+        // The recovery recipe: freeze a snapshot, seed the mirror from
+        // it, and from here on replay only events newer than its seq.
+        let snap = db.snapshot();
+        let resume = snap.seq();
+        let mut mirror = snap.store(h).clone();
+        for i in 0..2 {
+            db.apply(script_statement(i % 2, (i + 1) % FORESTS.len(), true).as_str()).unwrap();
+            // a keeping-up consumer: drained every commit, so even a
+            // capacity-1 queue never drops again
+            for ev in sub.drain() {
+                match ev {
+                    FeedEvent::Delta(d) => {
+                        prop_assert!(d.seq > resume, "post-reseed events resume gaplessly");
+                        d.delta.replay(&mut mirror);
+                    }
+                    FeedEvent::Lagged(lag) => {
+                        prop_assert!(false, "a drained queue never lags: {:?}", lag.missed_range)
+                    }
+                }
+            }
+        }
+        prop_assert!(
+            mirror.identical_to(db.store(h)),
+            "snapshot re-seed + replayed tail must equal the live store"
+        );
+        db.unsubscribe(sub);
+    }
+}
+
+/// [`SlowConsumerPolicy::Block`]: a full queue makes the *producer*
+/// (the async service sealing commits, not the submitting thread)
+/// wait for the consumer — observably, via the flush that cannot
+/// complete before the sleeping consumer starts draining — and not a
+/// single event is lost or reordered.
+#[test]
+fn block_policy_backpressure_waits_and_loses_nothing() {
+    use std::time::{Duration, Instant};
+
+    const PAUSE: Duration = Duration::from_millis(50);
+    let mut db = Database::builder()
+        .document("<r><a><b/></a></r>")
+        .view("ab", PATTERNS[0])
+        .workers(2)
+        .pipeline(2)
+        .build()
+        .unwrap();
+    let h = db.view("ab").unwrap();
+    let sub = db.subscribe_with(h, Some(1), SlowConsumerPolicy::Block);
+
+    let consumer = std::thread::spawn(move || {
+        std::thread::sleep(PAUSE);
+        let mut seqs: Vec<u64> = Vec::new();
+        while seqs.len() < 4 {
+            for ev in sub.drain() {
+                match ev {
+                    FeedEvent::Delta(d) => seqs.push(d.seq),
+                    FeedEvent::Lagged(lag) => {
+                        panic!("Block never drops (missed {:?})", lag.missed_range)
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        (seqs, sub)
+    });
+
+    let start = Instant::now();
+    let tickets: Vec<Ticket> =
+        (0..4).map(|_| db.apply_async(["insert <b/> into //a"]).unwrap()).collect();
+    let submitted = start.elapsed();
+    db.flush().unwrap();
+    let flushed = start.elapsed();
+
+    assert!(submitted < PAUSE, "submission never blocks on backpressure ({submitted:?})");
+    assert!(flushed >= PAUSE, "sealing had to wait for the sleeping consumer ({flushed:?})");
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    let (seqs, sub) = consumer.join().unwrap();
+    assert_eq!(seqs, vec![1, 2, 3, 4], "nothing lost, nothing reordered");
+    db.unsubscribe(sub);
+}
+
+/// [`SlowConsumerPolicy::Disconnect`]: overflowing the queue drops the
+/// subscription — its queue empties, the registry forgets it at the
+/// next commit (so later commits stop paying for it), and surviving
+/// subscriptions are untouched.
+#[test]
+fn disconnect_policy_drops_the_subscription() {
+    let mut db =
+        Database::builder().document("<r><a><b/></a></r>").view("ab", PATTERNS[0]).build().unwrap();
+    let h = db.view("ab").unwrap();
+    let keeper = db.subscribe(h);
+    let fragile = db.subscribe_with(h, Some(1), SlowConsumerPolicy::Disconnect);
+    assert_eq!(db.subscriptions(), 2);
+
+    db.apply("insert <b/> into //a").unwrap(); // fills the queue
+    db.apply("insert <b/> into //a").unwrap(); // overflows: disconnect
+    assert!(fragile.is_disconnected());
+    assert_eq!(fragile.pending(), 0, "the queue is emptied on disconnect");
+    assert!(fragile.drain().is_empty(), "no events and no lag marker survive");
+
+    db.apply("insert <b/> into //a").unwrap(); // registry sweep
+    assert_eq!(db.subscriptions(), 1, "later commits do not pay for the dead feed");
+    assert!(fragile.drain().is_empty(), "nothing is delivered after the disconnect");
+
+    let seqs: Vec<u64> = db.drain(&keeper).iter().map(|e| e.seq).collect();
+    assert_eq!(seqs, vec![1, 2, 3], "survivors keep a gapless stream");
+
+    db.unsubscribe(fragile); // tolerated: already swept
+    db.unsubscribe(keeper);
+    assert_eq!(db.subscriptions(), 0);
+}
