@@ -1,0 +1,195 @@
+//! DTD-derived label relations consumed by the shape analyses.
+//!
+//! [`SchemaInfo`] precomputes, once per analysis run, everything the
+//! path walker asks of the grammar: the start label, the direct-child
+//! alphabet of every label ([`xivm_dtd::child_label_map`]), the
+//! strict-descendant reachability closure
+//! ([`xivm_dtd::reachable_label_map`]), and the labels whose language
+//! is empty because their required-closure runs through a cycle
+//! ([`xivm_dtd::mandatory_descendants_checked`], satellite of
+//! Example 3.9).
+
+use crate::labels::Labels;
+use std::collections::{BTreeSet, HashMap};
+use xivm_dtd::{child_label_map, mandatory_descendants_checked, reachable_label_map, Dtd};
+
+/// Precomputed label relations of one DTD.
+#[derive(Debug, Clone)]
+pub struct SchemaInfo {
+    start: String,
+    children: HashMap<String, BTreeSet<String>>,
+    reach: HashMap<String, BTreeSet<String>>,
+    empty_language: BTreeSet<String>,
+    known: BTreeSet<String>,
+}
+
+impl SchemaInfo {
+    /// Builds the relations from a parsed DTD. Returns `None` when the
+    /// grammar has no start symbol (an empty DTD constrains nothing,
+    /// so the analyses degrade to their schema-less forms).
+    pub fn from_dtd(dtd: &Dtd) -> Option<SchemaInfo> {
+        let start = dtd.start()?.to_owned();
+        let children = child_label_map(dtd);
+        let reach = reachable_label_map(dtd);
+        let empty_language = mandatory_descendants_checked(dtd).empty_language;
+        let mut known: BTreeSet<String> =
+            dtd.element_labels().into_iter().map(str::to_owned).collect();
+        // Labels mentioned only on a right-hand side (leaves without a
+        // rule of their own) are still part of the alphabet.
+        for kids in children.values() {
+            known.extend(kids.iter().cloned());
+        }
+        Some(SchemaInfo { start, children, reach, empty_language, known })
+    }
+
+    /// The document-root label (the grammar's start symbol).
+    pub fn start(&self) -> &str {
+        &self.start
+    }
+
+    /// Is `label` part of the grammar's alphabet at all?
+    pub fn is_known(&self, label: &str) -> bool {
+        self.known.contains(label)
+    }
+
+    /// Does `label` have an empty language (required-closure cycle)?
+    /// An element that can have no finite valid subtree can never
+    /// appear in a conforming document.
+    pub fn is_empty_language(&self, label: &str) -> bool {
+        self.empty_language.contains(label)
+    }
+
+    /// Is `label` satisfiable: known to the grammar and possessed of at
+    /// least one finite valid subtree?
+    pub fn is_satisfiable(&self, label: &str) -> bool {
+        self.is_known(label) && !self.is_empty_language(label)
+    }
+
+    /// The direct-child element alphabet of `label` (empty for
+    /// leaves), with unsatisfiable children filtered out.
+    pub fn children_of(&self, label: &str) -> BTreeSet<String> {
+        self.filtered(self.children.get(label))
+    }
+
+    /// Labels that can occur as strict descendants of `label`,
+    /// unsatisfiable ones filtered out.
+    pub fn strict_descendants(&self, label: &str) -> BTreeSet<String> {
+        self.filtered(self.reach.get(label))
+    }
+
+    /// `label` itself plus everything reachable below it.
+    pub fn descendants_or_self(&self, label: &str) -> BTreeSet<String> {
+        let mut out = self.strict_descendants(label);
+        if self.is_satisfiable(label) {
+            out.insert(label.to_owned());
+        }
+        out
+    }
+
+    /// Can `target` be the start label or a descendant of it — i.e.
+    /// can it occur *anywhere* in a valid document?
+    pub fn occurs_in_documents(&self, target: &str) -> bool {
+        self.descendants_or_self(&self.start).contains(target)
+    }
+
+    /// Labels that can appear as proper ancestors of `target` in a
+    /// valid document: every satisfiable label whose strict-descendant
+    /// closure contains `target`.
+    pub fn possible_ancestors(&self, target: &str) -> BTreeSet<String> {
+        self.reach
+            .iter()
+            .filter(|(anc, below)| self.is_satisfiable(anc) && below.contains(target))
+            .map(|(anc, _)| anc.clone())
+            .collect()
+    }
+
+    /// Labels that can appear as the *direct parent* of `target` in a
+    /// valid document.
+    pub fn possible_parents(&self, target: &str) -> BTreeSet<String> {
+        self.children
+            .iter()
+            .filter(|(p, kids)| self.is_satisfiable(p) && kids.contains(target))
+            .map(|(p, _)| p.clone())
+            .collect()
+    }
+
+    /// Union of [`Self::children_of`] over a label set; `Any` parents
+    /// can have any child.
+    pub fn children_of_set(&self, parents: &Labels) -> Labels {
+        match parents.as_set() {
+            None => Labels::Any,
+            Some(set) => {
+                let mut out = BTreeSet::new();
+                for p in set {
+                    out.extend(self.children_of(p));
+                }
+                Labels::Set(out)
+            }
+        }
+    }
+
+    /// Union of [`Self::strict_descendants`] over a label set.
+    pub fn strict_descendants_of_set(&self, parents: &Labels) -> Labels {
+        match parents.as_set() {
+            None => Labels::Any,
+            Some(set) => {
+                let mut out = BTreeSet::new();
+                for p in set {
+                    out.extend(self.strict_descendants(p));
+                }
+                Labels::Set(out)
+            }
+        }
+    }
+
+    fn filtered(&self, set: Option<&BTreeSet<String>>) -> BTreeSet<String> {
+        set.into_iter().flatten().filter(|l| !self.empty_language.contains(*l)).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xivm_dtd::grammar::figure_5a;
+    use xivm_dtd::parse_dtd;
+
+    #[test]
+    fn figure_5a_relations() {
+        let s = SchemaInfo::from_dtd(&figure_5a()).unwrap();
+        assert_eq!(s.start(), "d1");
+        assert_eq!(s.children_of("d1"), ["a".to_owned()].into());
+        assert!(s.strict_descendants("d1").contains("c"));
+        assert!(s.occurs_in_documents("c"));
+        assert!(!s.occurs_in_documents("zzz"));
+        let anc = s.possible_ancestors("c");
+        assert!(anc.contains("b") && anc.contains("a") && anc.contains("d1"));
+        assert!(!anc.contains("c"));
+        assert_eq!(s.possible_parents("c"), ["b".to_owned()].into());
+    }
+
+    #[test]
+    fn empty_language_labels_are_unsatisfiable_everywhere() {
+        let dtd = parse_dtd("r -> a | c\na -> b\nb -> a\nc -> ()").unwrap();
+        let s = SchemaInfo::from_dtd(&dtd).unwrap();
+        assert!(!s.is_satisfiable("a"));
+        assert!(!s.is_satisfiable("b"));
+        assert!(s.is_satisfiable("c"));
+        // The dead labels are filtered out of alphabets and closures.
+        assert!(!s.children_of("r").contains("a"));
+        assert!(s.children_of("r").contains("c"));
+        assert!(!s.occurs_in_documents("a"));
+    }
+
+    #[test]
+    fn set_lifted_queries_widen_on_any() {
+        let s = SchemaInfo::from_dtd(&figure_5a()).unwrap();
+        assert!(s.children_of_set(&Labels::Any).is_any());
+        let kids = s.children_of_set(&Labels::one("d1"));
+        assert_eq!(kids, Labels::one("a"));
+    }
+
+    #[test]
+    fn empty_dtd_yields_no_schema() {
+        assert!(SchemaInfo::from_dtd(&Dtd::default()).is_none());
+    }
+}

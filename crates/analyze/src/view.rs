@@ -1,0 +1,142 @@
+//! Label summaries of view tree patterns.
+//!
+//! A [`ViewSummary`] is everything the relevance check needs to know
+//! about one view: which labels its pattern nodes can bind
+//! (`labels`), which of those carry text sensitivity — `val` / `cont`
+//! annotations or `[val = c]` predicates — (`text_labels`), whether an
+//! attribute node hangs off a `//` edge (`desc_attr`, see
+//! [`mod@crate::relevance`]), and whether the pattern is *dead*: no
+//! DTD-conforming document embeds it, so the view is always empty
+//! (the lint gate's main finding).
+
+use crate::labels::Labels;
+use crate::schema::SchemaInfo;
+use crate::shape::{reachable_targets, root_targets};
+use xivm_algebra::Axis;
+use xivm_pattern::{PatternNodeId, TreePattern};
+
+/// Label abstraction of one view pattern.
+#[derive(Debug, Clone)]
+pub struct ViewSummary {
+    pub name: String,
+    /// Labels the pattern's nodes can bind; `Any` when a wildcard node
+    /// makes every label bindable.
+    pub labels: Labels,
+    /// Labels of nodes whose *text* the view depends on (`val` /
+    /// `cont` annotations, `[val = c]` predicates).
+    pub text_labels: Labels,
+    /// The pattern has an attribute node behind a `//` edge: the
+    /// attribute's owner element is unconstrained, so deletions must
+    /// be treated as potentially relevant whatever their label
+    /// footprint (the owner may be a label the pattern never names).
+    pub desc_attr: bool,
+    /// No conforming document embeds the pattern: the view is always
+    /// empty.
+    pub dead: bool,
+}
+
+impl ViewSummary {
+    /// Summarizes `pattern` against the schema, if one is given.
+    pub fn from_pattern(
+        name: impl Into<String>,
+        pattern: &TreePattern,
+        schema: Option<&SchemaInfo>,
+    ) -> ViewSummary {
+        let mut labels = Labels::none();
+        let mut text_labels = Labels::none();
+        let mut desc_attr = false;
+        for id in pattern.node_ids() {
+            let node = pattern.node(id);
+            let label = node.test.name();
+            match label {
+                Some(l) => labels.insert(l),
+                None => labels = Labels::Any,
+            }
+            if node.ann.stores_text() || node.val_pred.is_some() {
+                match label {
+                    Some(l) => text_labels.insert(l),
+                    None => text_labels = Labels::Any,
+                }
+            }
+            if node.edge == Axis::Descendant
+                && label.is_some_and(|l| l.starts_with('@'))
+                && node.parent.is_some()
+            {
+                desc_attr = true;
+            }
+        }
+        let dead = !embeds(pattern, pattern.root(), None, schema);
+        ViewSummary { name: name.into(), labels, text_labels, desc_attr, dead }
+    }
+}
+
+/// Can the pattern subtree rooted at `node` embed into some conforming
+/// document, given the feasible labels of its parent's matches
+/// (`None` for the root, which matches from the document scope)?
+/// Patterns are conjunctive: one infeasible node kills the whole view.
+fn embeds(
+    pattern: &TreePattern,
+    node: PatternNodeId,
+    parent_labels: Option<&Labels>,
+    schema: Option<&SchemaInfo>,
+) -> bool {
+    let n = pattern.node(node);
+    let feasible = match parent_labels {
+        None => root_targets(schema, n.edge, n.test.name()),
+        Some(p) => reachable_targets(schema, p, n.edge, n.test.name()),
+    };
+    if feasible.is_none() {
+        return false;
+    }
+    n.children.iter().all(|&c| embeds(pattern, c, Some(&feasible), schema))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xivm_dtd::grammar::figure_5a;
+    use xivm_pattern::parse_pattern;
+
+    fn schema() -> SchemaInfo {
+        SchemaInfo::from_dtd(&figure_5a()).unwrap()
+    }
+
+    fn summary(text: &str, s: Option<&SchemaInfo>) -> ViewSummary {
+        ViewSummary::from_pattern("v", &parse_pattern(text).unwrap(), s)
+    }
+
+    #[test]
+    fn labels_and_text_labels() {
+        let v = summary("//a[//b{val}]//c{id}[val=\"x\"]", None);
+        assert_eq!(v.labels, Labels::from_iter(["a".to_owned(), "b".to_owned(), "c".to_owned()]));
+        assert_eq!(v.text_labels, Labels::from_iter(["b".to_owned(), "c".to_owned()]));
+        assert!(!v.desc_attr);
+        assert!(!v.dead);
+    }
+
+    #[test]
+    fn wildcards_widen_to_any() {
+        let v = summary("//a//*{val}", None);
+        assert!(v.labels.is_any());
+        assert!(v.text_labels.is_any());
+    }
+
+    #[test]
+    fn descendant_attributes_are_flagged() {
+        assert!(summary("//a//@id{val}", None).desc_attr);
+        assert!(!summary("//a/@id{val}", None).desc_attr);
+    }
+
+    #[test]
+    fn deadness_against_the_schema() {
+        let s = schema();
+        assert!(!summary("/d1//b{id}", Some(&s)).dead);
+        assert!(summary("/d1/b{id}", Some(&s)).dead, "b is not a child of d1");
+        assert!(summary("//zzz{id}", Some(&s)).dead, "unknown label");
+        assert!(summary("//c//b{id}", Some(&s)).dead, "nothing below c");
+        assert!(!summary("/d1/b{id}", None).dead, "no schema, no verdict");
+        // Branching: every branch must embed.
+        assert!(summary("//a[/zzz]//b{id}", Some(&s)).dead);
+        assert!(!summary("//a[/b]//b{id}", Some(&s)).dead);
+    }
+}

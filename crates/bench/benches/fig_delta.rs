@@ -13,22 +13,28 @@
 //! * `facade` — the whole `Database::apply` path with one subscriber
 //!   on every view, drained (and its deltas replayed onto replicas)
 //!   after each commit: the end-to-end changefeed cost;
+//! * `analyzed` — the facade workload with the static analyzer armed
+//!   (`.dtd(XMARK_DTD).analyze(Warn)`): views the relevance matrix
+//!   proves irrelevant to a statement skip maintenance entirely;
 //! * `pipelined` — the same facade workload through
 //!   `Database::apply_pipelined` at depth 2 on a 2-worker pool: the
 //!   finish of each commit overlaps the prepare of the next, and the
 //!   drained streams must still replay to the exact stores.
 //!
 //! Reported: wall time per mode for the whole stream, overhead vs
-//! `plain`, and the total delta entries harvested — the O(|Δ|) a
-//! consumer processes instead of re-reading stores.
+//! `plain`, the total delta entries harvested — the O(|Δ|) a consumer
+//! processes instead of re-reading stores — and the static skips
+//! taken. A second table records the static skip *rate* on skewed
+//! streams (all statements drawn from one view's update set), where
+//! most of the catalog is provably untouched per commit.
 
 use std::time::Instant;
 use xivm_bench::{figure_header, ms, repetitions, row};
 use xivm_core::database::Database;
-use xivm_core::{MultiViewEngine, SnowcapStrategy, ViewStore};
+use xivm_core::{AnalyzeMode, MultiViewEngine, SnowcapStrategy, ViewStore};
 use xivm_update::UpdateStatement;
 use xivm_xmark::sizes::reference_size;
-use xivm_xmark::{generate_sized, updates_for_view, view_pattern, VIEW_NAMES};
+use xivm_xmark::{generate_sized, updates_for_view, view_pattern, VIEW_NAMES, XMARK_DTD};
 use xivm_xml::Document;
 
 fn catalog_engine(doc: &Document) -> MultiViewEngine {
@@ -38,10 +44,13 @@ fn catalog_engine(doc: &Document) -> MultiViewEngine {
     )
 }
 
-fn catalog_database(doc: &Document, pipelined: bool) -> Database {
+fn catalog_database(doc: &Document, pipelined: bool, analyzed: bool) -> Database {
     let mut b = Database::builder().document(doc.clone());
     if pipelined {
         b = b.workers(2).pipeline(2);
+    }
+    if analyzed {
+        b = b.dtd(XMARK_DTD).analyze(AnalyzeMode::Warn);
     }
     for v in VIEW_NAMES {
         b = b.view(v, view_pattern(v));
@@ -82,16 +91,18 @@ fn main() {
         "total_ms".to_owned(),
         "overhead_vs_plain".to_owned(),
         "delta_entries".to_owned(),
+        "static_skips".to_owned(),
     ]);
 
     let mut baseline_ms = None;
-    for mode in ["plain", "report", "facade", "pipelined"] {
+    for mode in ["plain", "report", "facade", "analyzed", "pipelined"] {
         let mut total = 0.0;
         let mut delta_entries = 0usize;
+        let mut static_skips = 0usize;
         for _ in 0..reps {
             match mode {
-                "facade" | "pipelined" => {
-                    let mut db = catalog_database(&doc, mode == "pipelined");
+                "facade" | "analyzed" | "pipelined" => {
+                    let mut db = catalog_database(&doc, mode == "pipelined", mode == "analyzed");
                     let handles = db.handles();
                     let subs: Vec<_> = handles.iter().map(|&h| db.subscribe(h)).collect();
                     let mut replicas: Vec<ViewStore> =
@@ -106,6 +117,7 @@ fn main() {
                         for commit in &commits {
                             delta_entries +=
                                 handles.iter().map(|&h| commit.delta(h).len()).sum::<usize>();
+                            static_skips += commit.static_skips();
                         }
                         for (sub, replica) in subs.iter().zip(replicas.iter_mut()) {
                             for event in db.drain(sub) {
@@ -119,6 +131,7 @@ fn main() {
                             let commit = db.apply(stmt).expect("catalog updates apply");
                             delta_entries +=
                                 handles.iter().map(|&h| commit.delta(h).len()).sum::<usize>();
+                            static_skips += commit.static_skips();
                             for (sub, replica) in subs.iter().zip(replicas.iter_mut()) {
                                 for event in db.drain(sub) {
                                     event.delta.replay(replica);
@@ -159,6 +172,68 @@ fn main() {
             format!("{avg:.3}"),
             format!("{:.3}x", avg / baseline),
             (delta_entries / reps as usize).to_string(),
+            (static_skips / reps as usize).to_string(),
+        ]);
+    }
+
+    // ------------------------------------------------------------------
+    // Static skip rate on skewed streams: every statement of a stream
+    // targets one view's update set, so the rest of the catalog is
+    // provably irrelevant commit after commit. Reported per stream:
+    // wall time without and with analysis, the skips taken and the
+    // skip rate over all (commit, view) propagations.
+    // ------------------------------------------------------------------
+    figure_header(
+        "Static skip rate",
+        &format!(
+            "skewed single-view streams over the {}-view catalog, {} document",
+            VIEW_NAMES.len(),
+            size.label
+        ),
+    );
+    row(&[
+        "stream".to_owned(),
+        "commits".to_owned(),
+        "plain_ms".to_owned(),
+        "analyzed_ms".to_owned(),
+        "static_skips".to_owned(),
+        "skip_rate".to_owned(),
+    ]);
+    for view in ["Q1", "Q4", "Q17"] {
+        let skewed: Vec<UpdateStatement> = updates_for_view(view)
+            .iter()
+            .flat_map(|u| [u.insert_stmt(), u.delete_stmt()])
+            .collect();
+        let mut plain_ms = 0.0;
+        let mut analyzed_ms = 0.0;
+        let mut static_skips = 0usize;
+        for _ in 0..reps {
+            for analyzed in [false, true] {
+                let mut db = catalog_database(&doc, false, analyzed);
+                let start = Instant::now();
+                for stmt in &skewed {
+                    let commit = db.apply(stmt).expect("catalog updates apply");
+                    if analyzed {
+                        static_skips += commit.static_skips();
+                    }
+                }
+                let elapsed = ms(start.elapsed());
+                if analyzed {
+                    analyzed_ms += elapsed;
+                } else {
+                    plain_ms += elapsed;
+                }
+            }
+        }
+        let propagations = skewed.len() * VIEW_NAMES.len();
+        let skips = static_skips / reps as usize;
+        row(&[
+            format!("{view}-only"),
+            skewed.len().to_string(),
+            format!("{:.3}", plain_ms / reps as f64),
+            format!("{:.3}", analyzed_ms / reps as f64),
+            skips.to_string(),
+            format!("{:.3}", skips as f64 / propagations as f64),
         ]);
     }
 }

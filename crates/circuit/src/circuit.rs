@@ -211,7 +211,8 @@ impl<'db> CircuitBuilder<'db> {
 
     /// Subscribes every source, seeds every derived store from the
     /// views' current contents, and returns the running circuit,
-    /// synced to [`Database::last_seq`].
+    /// synced to
+    /// [`Database::last_seq`](xivm_core::database::DbInner::last_seq).
     pub fn build(self) -> Circuit {
         let CircuitBuilder { db, mut nodes } = self;
         for slot in &mut nodes {
@@ -322,13 +323,16 @@ impl Circuit {
     /// Pipelined commits seal strictly in order, so after
     /// `apply_pipelined` a barrier at any intermediate seq reproduces
     /// exactly that prefix. Returns the new [`Self::synced`] (which
-    /// never exceeds [`Database::last_seq`], nor moves backwards).
+    /// never exceeds
+    /// [`Database::last_seq`](xivm_core::database::DbInner::last_seq),
+    /// nor moves backwards).
     ///
     /// If any source subscription *lagged* (bounded queue under
     /// [`SlowConsumerPolicy::DropAndMark`](xivm_core::SlowConsumerPolicy):
     /// some events were dropped), the incremental replay is
     /// impossible, so the whole circuit re-seeds from a fresh
-    /// [`Database::snapshot`] instead: every mirror and derived store
+    /// [`Database::snapshot`](xivm_core::database::DbInner::snapshot)
+    /// instead: every mirror and derived store
     /// is rebuilt at the snapshot boundary, and the returned
     /// [`Self::synced`] is the snapshot's seq — which may *overshoot*
     /// the requested `seq`, the price of the dropped prefix.

@@ -16,7 +16,7 @@
 //! transactions at every worker count. Consumers therefore never need
 //! to re-read and diff whole stores; they read O(|Δ|) per commit.
 //!
-//! [`Database::apply`]: crate::database::Database::apply
+//! [`Database::apply`]: crate::database::DbInner::apply
 //! [`Transaction::commit`]: crate::database::Transaction::commit
 
 use crate::database::ViewHandle;
@@ -253,6 +253,29 @@ impl Commit {
     /// order.
     pub fn touched(&self) -> Vec<&str> {
         self.per_view.iter().filter(|(_, r)| !r.delta.is_empty()).map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Number of views the static analyzer let this commit skip
+    /// entirely (their reports carry
+    /// [`UpdateReport::statically_skipped`]): no footprint work, no Δ
+    /// extraction, no delta harvest. 0 on databases built without
+    /// `analyze(..)`.
+    pub fn static_skips(&self) -> usize {
+        self.per_view.iter().filter(|(_, r)| r.statically_skipped).count()
+    }
+
+    /// The per-view pruning statistics summed over every view —
+    /// `(insert side, delete side)`. Benches and tests use this to
+    /// assert the Section 3/4 prunings actually fired on a workload
+    /// without walking per-view reports.
+    pub fn prune_totals(&self) -> (crate::prune::PruneStats, crate::prune::PruneStats) {
+        let mut ins = crate::prune::PruneStats::default();
+        let mut del = crate::prune::PruneStats::default();
+        for (_, r) in &self.per_view {
+            ins.absorb(&r.insert_prune);
+            del.absorb(&r.delete_prune);
+        }
+        (ins, del)
     }
 
     /// True when two commits describe the same observable outcome:

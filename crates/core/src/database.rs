@@ -58,6 +58,8 @@ use crate::strategy::SnowcapStrategy;
 use crate::subscribe::{DeltaEvent, SlowConsumerPolicy, Subscription, SubscriptionRegistry};
 use crate::view_store::{Cursor, ShardedStores, ViewStore};
 use std::ops::{Deref, DerefMut};
+use xivm_analyze::{AnalysisReport, AnalyzeMode, Analyzer};
+use xivm_dtd::{parse_dtd, Dtd};
 use xivm_pattern::{parse_pattern, TreePattern};
 use xivm_pulopt::{aggregate, find_conflicts, integrate, reduce, ConflictPolicy, ReductionTrace};
 use xivm_update::builder::UpdateBuilder;
@@ -96,6 +98,32 @@ impl From<Document> for DocumentSource {
     }
 }
 
+/// A DTD given to the builder: grammar text (the [`parse_dtd`] rule
+/// dialect) or an already-parsed [`Dtd`]. Converts via `From<&str>`,
+/// `From<String>` and `From<Dtd>`.
+pub enum DtdSource {
+    Text(String),
+    Ready(Box<Dtd>),
+}
+
+impl From<&str> for DtdSource {
+    fn from(text: &str) -> Self {
+        DtdSource::Text(text.to_owned())
+    }
+}
+
+impl From<String> for DtdSource {
+    fn from(text: String) -> Self {
+        DtdSource::Text(text)
+    }
+}
+
+impl From<Dtd> for DtdSource {
+    fn from(dtd: Dtd) -> Self {
+        DtdSource::Ready(Box::new(dtd))
+    }
+}
+
 /// A view pattern given to the builder: pattern text (the
 /// [`parse_pattern()`] dialect) or a ready-made [`TreePattern`].
 /// Converts via `From<&str>`, `From<String>` and `From<TreePattern>`.
@@ -122,7 +150,7 @@ impl From<TreePattern> for PatternSource {
     }
 }
 
-/// A statement given to [`Database::apply`] or
+/// A statement given to [`Database::apply`](DbInner::apply) or
 /// [`Transaction::statement`]: statement text (the [`parse_statement`]
 /// forms), a ready-made [`UpdateStatement`], or a typed
 /// [`UpdateBuilder`] from [`xivm_update::builder`]. Converts via
@@ -210,6 +238,8 @@ pub struct DatabaseBuilder {
     workers: Option<usize>,
     pipeline: Option<usize>,
     sub_capacity: Option<usize>,
+    dtd: Option<DtdSource>,
+    analyze: AnalyzeMode,
 }
 
 impl Default for DatabaseBuilder {
@@ -222,6 +252,8 @@ impl Default for DatabaseBuilder {
             workers: None,
             pipeline: None,
             sub_capacity: None,
+            dtd: None,
+            analyze: AnalyzeMode::Off,
         }
     }
 }
@@ -230,6 +262,37 @@ impl DatabaseBuilder {
     /// Sets the document (XML text or a parsed [`Document`]). Required.
     pub fn document(mut self, doc: impl Into<DocumentSource>) -> Self {
         self.document = Some(doc.into());
+        self
+    }
+
+    /// Declares the DTD the documents conform to (grammar text or a
+    /// parsed [`Dtd`]). Optional; it sharpens every static analysis
+    /// [`Self::analyze`] enables — satisfiability of view patterns and
+    /// statement targets, relevance verdicts, independence — but the
+    /// analyzer degrades gracefully to label-alphabet reasoning
+    /// without one. Parse errors surface at [`Self::build`].
+    pub fn dtd(mut self, dtd: impl Into<DtdSource>) -> Self {
+        self.dtd = Some(dtd.into());
+        self
+    }
+
+    /// Turns on static analysis over the (DTD, view catalog) pair —
+    /// see [`xivm_analyze`]. Under [`AnalyzeMode::Warn`] findings are
+    /// recorded on [`DbInner::analysis_report`] and the engine uses
+    /// the relevance matrix to *skip* maintenance of views a
+    /// statement provably cannot touch, plus the lifted Figure 15
+    /// rules to skip the runtime conflict scan of provably-independent
+    /// transactions. [`AnalyzeMode::Strict`] additionally fails
+    /// [`Self::build`] with [`Error::Analysis`] on error-severity
+    /// findings (views that can never hold a tuple). The default is
+    /// [`AnalyzeMode::Off`]: no analysis, no static fast paths.
+    ///
+    /// Every static verdict is conservative for DTD-conforming
+    /// documents: skipped work is work whose result is provably
+    /// empty, so commits, stores and subscription streams are
+    /// bit-identical with analysis on and off.
+    pub fn analyze(mut self, mode: AnalyzeMode) -> Self {
+        self.analyze = mode;
         self
     }
 
@@ -285,7 +348,8 @@ impl DatabaseBuilder {
         self
     }
 
-    /// Sets the pipeline depth for [`Database::apply_pipelined`]: the
+    /// Sets the pipeline depth for
+    /// [`Database::apply_pipelined`](DbInner::apply_pipelined): the
     /// number of commits allowed in flight. 1 (the default) disables
     /// pipelining; any depth >= 2 runs windows of up to `depth`
     /// commits on copy-on-write document snapshots, overlapping each
@@ -294,7 +358,8 @@ impl DatabaseBuilder {
     /// `XIVM_PIPELINE` environment variable; the value is clamped
     /// into `1..=`[`crate::runtime::MAX_PIPELINE_DEPTH`] (see
     /// [`crate::runtime::clamp_pipeline`]) and
-    /// [`Database::pipeline_depth`] reports the clamped, effective
+    /// [`Database::pipeline_depth`](DbInner::pipeline_depth) reports
+    /// the clamped, effective
     /// depth. Results — commits, stores, subscription streams — are
     /// bit-identical at every depth.
     pub fn pipeline(mut self, depth: usize) -> Self {
@@ -340,6 +405,24 @@ impl DatabaseBuilder {
             };
             engines.push((spec.name, engine));
         }
+        // The DTD is validated whenever supplied (catching grammar
+        // typos early), the analyzer built only when analysis is on.
+        let dtd = match self.dtd {
+            Some(DtdSource::Text(text)) => Some(parse_dtd(&text)?),
+            Some(DtdSource::Ready(dtd)) => Some(*dtd),
+            None => None,
+        };
+        let statics = if self.analyze == AnalyzeMode::Off {
+            None
+        } else {
+            let analyzer =
+                Analyzer::new(dtd.as_ref(), engines.iter().map(|(n, e)| (n.as_str(), e.pattern())));
+            let report = analyzer.report(std::iter::empty::<(&str, &UpdateStatement)>());
+            if self.analyze == AnalyzeMode::Strict && report.has_errors() {
+                return Err(Error::Analysis(report.errors().cloned().collect()));
+            }
+            Some(Statics { analyzer, report, mode: self.analyze, conflict_scans_skipped: 0 })
+        };
         let mut views = MultiViewEngine::from_engines(engines);
         views.set_workers(crate::runtime::effective_workers(self.workers));
         Ok(Database {
@@ -351,6 +434,7 @@ impl DatabaseBuilder {
                 subs: SubscriptionRegistry::default(),
                 pipeline: crate::runtime::effective_pipeline(self.pipeline),
                 sub_capacity: effective_sub_capacity(self.sub_capacity),
+                statics,
             }),
         })
     }
@@ -409,6 +493,22 @@ pub struct DbInner {
     /// Default queue bound for [`Database::subscribe`] (`None` =
     /// unbounded), from `subscription_capacity` / `XIVM_SUB_CAPACITY`.
     pub(crate) sub_capacity: Option<usize>,
+    /// The static analyzer and its build-time report, when the builder
+    /// enabled analysis (`None` = [`AnalyzeMode::Off`]).
+    pub(crate) statics: Option<Statics>,
+}
+
+/// Everything [`DatabaseBuilder::analyze`] sets up: the analyzer over
+/// the (DTD, catalog) pair, its build-time report, and the counters
+/// the static fast paths maintain.
+pub(crate) struct Statics {
+    pub(crate) analyzer: Analyzer,
+    pub(crate) report: AnalysisReport,
+    pub(crate) mode: AnalyzeMode,
+    /// Independent-mode batches whose runtime pairwise conflict scan
+    /// was skipped because the statement shapes were provably
+    /// pairwise independent (lifted Figure 15).
+    pub(crate) conflict_scans_skipped: u64,
 }
 
 /// An XML document plus a set of named materialized views, maintained
@@ -682,13 +782,50 @@ impl DbInner {
         self.subs.live()
     }
 
+    /// The effective [`AnalyzeMode`] this database was built with.
+    pub fn analyze_mode(&self) -> AnalyzeMode {
+        self.statics.as_ref().map_or(AnalyzeMode::Off, |s| s.mode)
+    }
+
+    /// The build-time static analysis report (dead-view findings and
+    /// the relevance matrix over an empty workload), when the builder
+    /// enabled [`DatabaseBuilder::analyze`].
+    pub fn analysis_report(&self) -> Option<&AnalysisReport> {
+        self.statics.as_ref().map(|s| &s.report)
+    }
+
+    /// Independent-mode transactions whose runtime pairwise conflict
+    /// scan was skipped because static analysis proved the batch
+    /// pairwise independent. 0 with analysis off.
+    pub fn conflict_scans_skipped(&self) -> u64 {
+        self.statics.as_ref().map_or(0, |s| s.conflict_scans_skipped)
+    }
+
+    /// The static skip mask for one statement: `Some(mask)` with
+    /// `mask[i] == true` for every view the statement provably cannot
+    /// touch, or `None` when analysis is off or nothing is skippable.
+    pub(crate) fn static_mask(&self, stmt: &UpdateStatement) -> Option<Vec<bool>> {
+        let st = self.statics.as_ref()?;
+        let mask = st.analyzer.skip_mask(&st.analyzer.statement_shape(stmt));
+        mask.iter().any(|&b| b).then_some(mask)
+    }
+
+    /// Per-statement skip masks for a pipelined batch (`None` when
+    /// analysis is off).
+    pub(crate) fn static_masks(&self, stmts: &[UpdateStatement]) -> Option<Vec<Vec<bool>>> {
+        let st = self.statics.as_ref()?;
+        Some(stmts.iter().map(|s| st.analyzer.skip_mask(&st.analyzer.statement_shape(s))).collect())
+    }
+
     /// Applies one update statement (text, an [`UpdateStatement`], or
     /// a typed [`UpdateBuilder`]) and propagates it to every view in
     /// one shared pass. Returns the [`Commit`] carrying each view's
     /// report and exact delta.
     pub fn apply(&mut self, statement: impl Into<StatementSource>) -> Result<Commit, Error> {
         let stmt = resolve_statement(statement.into())?;
-        let (ops, per_view) = self.views.apply_statement_counted(&mut self.doc, &stmt)?;
+        let skip = self.static_mask(&stmt);
+        let (ops, per_view) =
+            self.views.apply_statement_counted(&mut self.doc, &stmt, skip.as_deref())?;
         Ok(self.finish_commit(1, ops, ops, ReductionTrace::default(), per_view))
     }
 
@@ -747,6 +884,7 @@ impl DbInner {
             .into_iter()
             .map(|s| resolve_statement(s.into()))
             .collect::<Result<_, _>>()?;
+        let masks = self.static_masks(&stmts);
         let mut commits = Vec::with_capacity(stmts.len());
         let seq = &mut self.commits;
         let subs = &mut self.subs;
@@ -754,6 +892,7 @@ impl DbInner {
             &mut self.doc,
             &stmts,
             self.pipeline,
+            masks.as_deref(),
             |_, ops, per_view| {
                 commits.push(seal_commit(
                     seq,
@@ -903,7 +1042,14 @@ impl DbInner {
         }
         let combined = combined.unwrap_or_default();
         let (optimized, trace) = reduce(&combined);
-        let per_view = self.views.propagate_pul(&mut self.doc, &optimized)?;
+        // Static skipping is sound per *statement shape*; a
+        // multi-statement sequential batch can evolve the document
+        // through non-conforming intermediate states (statement 1 may
+        // create the very context statement 2 targets), so only
+        // single-statement batches consult the matrix.
+        let skip = if parsed.len() == 1 { self.static_mask(&parsed[0]) } else { None };
+        let per_view =
+            self.views.propagate_pul_masked(&mut self.doc, &optimized, skip.as_deref())?;
         Ok(self.finish_commit(parsed.len(), naive_ops, optimized.len(), trace, per_view))
     }
 
@@ -922,14 +1068,25 @@ impl DbInner {
         let puls: Vec<Pul> = parsed.iter().map(|s| compute_pul(&self.doc, s)).collect();
         let naive_ops = puls.iter().map(Pul::len).sum();
         if policy == ConflictPolicy::Fail {
-            let mut conflicts = Vec::new();
-            for i in 0..puls.len() {
-                for j in i + 1..puls.len() {
-                    conflicts.extend(find_conflicts(&puls[i], &puls[j]));
+            // Static independence fast path (lifted Figure 15): if no
+            // IO / LO / NLO rule can fire for any target pair in any
+            // conforming document, the pairwise scan would provably
+            // find nothing — skip it.
+            let statically_independent =
+                self.statics.as_ref().is_some_and(|st| st.analyzer.batch_independent(parsed));
+            if statically_independent {
+                let st = self.statics.as_mut().expect("checked above");
+                st.conflict_scans_skipped += 1;
+            } else {
+                let mut conflicts = Vec::new();
+                for i in 0..puls.len() {
+                    for j in i + 1..puls.len() {
+                        conflicts.extend(find_conflicts(&puls[i], &puls[j]));
+                    }
                 }
-            }
-            if !conflicts.is_empty() {
-                return Err(Error::Conflict(conflicts));
+                if !conflicts.is_empty() {
+                    return Err(Error::Conflict(conflicts));
+                }
             }
         }
         let mut iter = puls.into_iter();
@@ -937,7 +1094,23 @@ impl DbInner {
         let combined = iter
             .try_fold(first, |acc, next| integrate(&acc, &next, policy).map_err(Error::Conflict))?;
         let (optimized, trace) = reduce(&combined);
-        let per_view = self.views.propagate_pul(&mut self.doc, &optimized)?;
+        // In independent mode every statement's PUL is computed
+        // against the same (conforming) snapshot and the combined
+        // effect is a subset of the union of per-statement effects, so
+        // a view is skippable iff *every* statement is irrelevant to
+        // it — the element-wise AND of the per-statement masks.
+        let skip: Option<Vec<bool>> = self.statics.as_ref().and_then(|st| {
+            let mut acc = vec![true; self.views.len()];
+            for stmt in parsed {
+                let mask = st.analyzer.skip_mask(&st.analyzer.statement_shape(stmt));
+                for (a, b) in acc.iter_mut().zip(mask) {
+                    *a &= b;
+                }
+            }
+            acc.iter().any(|&b| b).then_some(acc)
+        });
+        let per_view =
+            self.views.propagate_pul_masked(&mut self.doc, &optimized, skip.as_deref())?;
         Ok(self.finish_commit(parsed.len(), naive_ops, optimized.len(), trace, per_view))
     }
 }
@@ -983,7 +1156,8 @@ enum Isolation {
 
 /// A batch of update statements committed as one optimized PUL.
 ///
-/// Created by [`Database::transaction`]. Nothing touches the document
+/// Created by [`Database::transaction`](DbInner::transaction).
+/// Nothing touches the document
 /// or the views until [`Self::commit`]; a failed commit (parse error,
 /// conflict) leaves the database untouched.
 pub struct Transaction<'db> {
@@ -1415,6 +1589,147 @@ mod tests {
         assert_eq!(ev2[0].seq, 4);
         db.unsubscribe(sub);
         db.unsubscribe(sub2);
+    }
+
+    /// A DTD the `FIG12` document conforms to (all-star content
+    /// models, so the test scripts stay conformance-preserving).
+    const FIG12_DTD: &str = "a -> (c | f | b)*\nc -> b*\nf -> (c | b)*\nb -> ()";
+
+    fn analyzing_db(mode: AnalyzeMode) -> Database {
+        Database::builder()
+            .document(FIG12)
+            .dtd(FIG12_DTD)
+            .analyze(mode)
+            .view("ab", "//a{id}//b{id}")
+            .view("f_only", "//f{id}")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn analyze_strict_rejects_dead_views_and_warn_records_them() {
+        let strict = Database::builder()
+            .document(FIG12)
+            .dtd(FIG12_DTD)
+            .analyze(AnalyzeMode::Strict)
+            .view("dead", "//zzz{id}")
+            .build();
+        assert!(matches!(strict, Err(Error::Analysis(ref f)) if f.len() == 1));
+        let warn = Database::builder()
+            .document(FIG12)
+            .dtd(FIG12_DTD)
+            .analyze(AnalyzeMode::Warn)
+            .view("dead", "//zzz{id}")
+            .build()
+            .unwrap();
+        assert!(warn.analysis_report().unwrap().has_errors());
+        assert_eq!(warn.analyze_mode(), AnalyzeMode::Warn);
+        // a live catalog passes Strict
+        let ok = analyzing_db(AnalyzeMode::Strict);
+        assert!(!ok.analysis_report().unwrap().has_errors());
+        // no analysis by default
+        assert_eq!(db().analyze_mode(), AnalyzeMode::Off);
+        assert!(db().analysis_report().is_none());
+        // a malformed DTD errors regardless of mode
+        assert!(matches!(
+            Database::builder().document(FIG12).dtd("nonsense").view("v", "//a{id}").build(),
+            Err(Error::Dtd(_))
+        ));
+    }
+
+    #[test]
+    fn static_skips_are_outcome_identical_to_the_dynamic_path() {
+        let mut on = analyzing_db(AnalyzeMode::Warn);
+        let mut off = Database::builder()
+            .document(FIG12)
+            .view("ab", "//a{id}//b{id}")
+            .view("f_only", "//f{id}")
+            .build()
+            .unwrap();
+        let mut saw_skip = false;
+        for script in ["insert <b/> into /a/c", "delete /a/f/c", "delete //b"] {
+            let c_on = on.apply(script).unwrap();
+            let c_off = off.apply(script).unwrap();
+            assert!(c_on.same_outcome(&c_off), "outcomes diverged under {script}");
+            saw_skip |= c_on.static_skips() > 0;
+            assert_eq!(c_off.static_skips(), 0, "no skips without analyze(..)");
+            check_consistent(&on);
+        }
+        assert!(saw_skip, "the f_only view is statically irrelevant to every script statement");
+        assert_eq!(on.serialize(), off.serialize());
+    }
+
+    #[test]
+    fn pipelined_static_skips_stay_bit_identical() {
+        let build = |mode: AnalyzeMode| {
+            Database::builder()
+                .document(FIG12)
+                .dtd(FIG12_DTD)
+                .analyze(mode)
+                .view("ab", "//a{id}//b{id}")
+                .view("f_only", "//f{id}")
+                .workers(2)
+                .pipeline(3)
+                .build()
+                .unwrap()
+        };
+        let mut on = build(AnalyzeMode::Warn);
+        let mut off = build(AnalyzeMode::Off);
+        let script =
+            ["insert <b/> into /a/c", "delete /a/f/c", "insert <c><b/></c> into /a", "delete //b"];
+        let cs_on = on.apply_pipelined(script).unwrap();
+        let cs_off = off.apply_pipelined(script).unwrap();
+        assert_eq!(cs_on.len(), cs_off.len());
+        let mut skips = 0;
+        for (a, b) in cs_on.iter().zip(&cs_off) {
+            assert!(a.same_outcome(b), "pipelined outcomes diverged at seq {}", a.seq);
+            skips += a.static_skips();
+        }
+        assert!(skips > 0, "pipelined windows must honor the skip masks");
+        assert_eq!(on.serialize(), off.serialize());
+        check_consistent(&on);
+    }
+
+    #[test]
+    fn independent_transactions_skip_the_conflict_scan_when_provable() {
+        let mut db = analyzing_db(AnalyzeMode::Warn);
+        assert_eq!(db.conflict_scans_skipped(), 0);
+        // insert-into-c vs delete-of-b: no IO / LO / NLO rule can fire
+        // for any label pair, so the pairwise scan is skipped.
+        db.transaction()
+            .independent()
+            .statement("insert <b/> into /a/c")
+            .statement("delete //f/b")
+            .commit()
+            .unwrap();
+        assert_eq!(db.conflict_scans_skipped(), 1);
+        check_consistent(&db);
+        // a genuinely conflicting batch still fails: the static check
+        // returns Unknown and the dynamic scan runs.
+        let err = db
+            .transaction()
+            .independent()
+            .statement("delete /a/f")
+            .statement("insert <b/> into /a/f")
+            .commit()
+            .unwrap_err();
+        assert!(matches!(err, Error::Conflict(_)));
+        assert_eq!(db.conflict_scans_skipped(), 1, "unknown batches fall back to the scan");
+        check_consistent(&db);
+    }
+
+    #[test]
+    fn prune_totals_aggregate_per_view_statistics() {
+        let mut db = db();
+        let commit = db.apply("insert <b/> into /a/c").unwrap();
+        let (ins, del) = commit.prune_totals();
+        assert!(ins.before > 0, "insertion terms were expanded");
+        assert!(
+            ins.after_id_reasoning <= ins.before && del.after_id_reasoning <= del.before,
+            "pruning never adds terms"
+        );
+        let per_view_before: usize = commit.iter().map(|(_, r)| r.insert_prune.before).sum();
+        assert_eq!(ins.before, per_view_before, "totals are the per-view sums");
     }
 
     #[test]

@@ -42,6 +42,12 @@ pub struct UpdateReport {
     /// Raw embeddings (derivations) added / removed.
     pub derivations_added: u64,
     pub derivations_removed: u64,
+    /// True when the static analyzer proved the update irrelevant to
+    /// this view and the engine skipped its maintenance entirely (no
+    /// prepare, no Δ extraction, no delta harvest). Excluded from
+    /// [`Self::same_outcome`], like timings: a skipped propagation and
+    /// a dynamic one that found nothing report the same outcome.
+    pub statically_skipped: bool,
     /// The view's Δ for this update: every store patch the engine made
     /// (insertions, removals, text modifications), complete enough
     /// that replaying it on a pre-update snapshot reproduces the
@@ -51,6 +57,12 @@ pub struct UpdateReport {
 }
 
 impl UpdateReport {
+    /// The report of a statically-skipped propagation: default
+    /// counters, empty delta, [`Self::statically_skipped`] set.
+    pub fn skipped() -> UpdateReport {
+        UpdateReport { statically_skipped: true, ..UpdateReport::default() }
+    }
+
     /// True when two reports describe the same propagation outcome:
     /// equal tuple / derivation counters and bit-identical deltas.
     /// Timings and prune statistics are ignored — they legitimately

@@ -48,6 +48,12 @@ pub enum Error {
     /// could no longer be honored. The document was not touched by
     /// this submission — resubmit it to get a fresh ticket.
     Aborted,
+    /// The builder's DTD text could not be parsed.
+    Dtd(xivm_dtd::DtdParseError),
+    /// `Database::builder().analyze(AnalyzeMode::Strict)` found
+    /// error-severity findings (e.g. a view that can never hold a
+    /// tuple under the DTD); the payload lists them.
+    Analysis(Vec<xivm_analyze::Finding>),
 }
 
 impl fmt::Display for Error {
@@ -72,6 +78,14 @@ impl fmt::Display for Error {
             Error::Aborted => {
                 write!(f, "async submission aborted: an earlier queued submission failed")
             }
+            Error::Dtd(e) => write!(f, "{e}"),
+            Error::Analysis(findings) => {
+                write!(f, "static analysis rejected the catalog ({} finding(s)", findings.len())?;
+                if let Some(first) = findings.first() {
+                    write!(f, ", first: {first}")?;
+                }
+                write!(f, ")")
+            }
         }
     }
 }
@@ -82,6 +96,7 @@ impl std::error::Error for Error {
             Error::Xml(e) => Some(e),
             Error::Pattern(e) => Some(e),
             Error::Statement(e) => Some(e),
+            Error::Dtd(e) => Some(e),
             _ => None,
         }
     }
@@ -108,6 +123,12 @@ impl From<StatementParseError> for Error {
 impl From<XPathParseError> for Error {
     fn from(e: XPathParseError) -> Self {
         Error::Statement(StatementParseError::from(e))
+    }
+}
+
+impl From<xivm_dtd::DtdParseError> for Error {
+    fn from(e: xivm_dtd::DtdParseError) -> Self {
+        Error::Dtd(e)
     }
 }
 

@@ -42,7 +42,7 @@
 //!   [`database::Database::apply_async`]: submission decoupled from
 //!   sealing, with [`service::Ticket`]s, `flush()` barriers and
 //!   panic containment (and, under `cfg(test)` / the `fault-inject`
-//!   feature, the [`fault`] failpoints that prove it).
+//!   feature, the `fault` failpoints that prove it).
 
 pub mod commit;
 pub mod costmodel;
@@ -74,6 +74,8 @@ pub mod view_store;
 
 pub use commit::{Commit, ViewDelta, WeightedChange};
 pub use database::{Database, DatabaseBuilder, Transaction, ViewHandle};
+// The static-analysis surface the `analyze(..)` builder knob exposes
+// (the analyses themselves live in `xivm_analyze`).
 pub use engine::{MaintenanceEngine, PreparedUpdate, UpdateReport};
 pub use error::Error;
 pub use multiview::MultiViewEngine;
@@ -85,3 +87,4 @@ pub use subscribe::{DeltaEvent, FeedEvent, Lagged, SlowConsumerPolicy, Subscript
 pub use term::Term;
 pub use timing::Timings;
 pub use view_store::{Cursor, ShardedStores, ViewStore};
+pub use xivm_analyze::{AnalysisReport, AnalyzeMode, Analyzer};

@@ -208,21 +208,24 @@ impl MultiViewEngine {
         doc: &mut Document,
         stmt: &UpdateStatement,
     ) -> Result<Vec<(String, UpdateReport)>, Error> {
-        self.apply_statement_counted(doc, stmt).map(|(_, reports)| reports)
+        self.apply_statement_counted(doc, stmt, None).map(|(_, reports)| reports)
     }
 
     /// [`Self::apply_statement`] plus the statement's atomic-op count
     /// — the single implementation behind both this engine's public
     /// entry point and the `Database` façade (whose commit report
-    /// needs the count).
+    /// needs the count). `skip[i]` marks view `i` statically
+    /// irrelevant: its maintenance is skipped entirely and its report
+    /// comes back as [`UpdateReport::skipped`].
     pub(crate) fn apply_statement_counted(
         &mut self,
         doc: &mut Document,
         stmt: &UpdateStatement,
+        skip: Option<&[bool]>,
     ) -> Result<(usize, Vec<(String, UpdateReport)>), Error> {
         // Find Target Nodes — once, shared by every view.
         let (pul, t_find) = timed(|| compute_pul(doc, stmt));
-        let mut out = self.propagate_pul(doc, &pul)?;
+        let mut out = self.propagate_pul_masked(doc, &pul, skip)?;
         for (_, report) in &mut out {
             report.timings.find_target_nodes = t_find;
         }
@@ -243,13 +246,27 @@ impl MultiViewEngine {
         doc: &mut Document,
         pul: &Pul,
     ) -> Result<Vec<(String, UpdateReport)>, Error> {
+        self.propagate_pul_masked(doc, pul, None)
+    }
+
+    /// [`Self::propagate_pul`] under a static skip mask: `skip[i]`
+    /// marks view `i` provably untouched by the PUL's statement (the
+    /// analyzer's relevance verdict), so its prepare/finish phases are
+    /// never run and it reports [`UpdateReport::skipped`]. `None`
+    /// disables masking (the public entry point).
+    pub(crate) fn propagate_pul_masked(
+        &mut self,
+        doc: &mut Document,
+        pul: &Pul,
+        skip: Option<&[bool]>,
+    ) -> Result<Vec<(String, UpdateReport)>, Error> {
         let runtime =
             Self::ensure_runtime(&mut self.runtime, &mut self.retired_spawns, self.workers);
         // Scheduling groups against the intact document (deletion
         // footprints need the doomed subtrees still present).
         let groups = schedule(&self.views, self.workers, doc, pul);
         // Per-view pre-update capture against the intact document.
-        let prepared = parallel::prepare_all(&self.views, doc, pul, runtime);
+        let prepared = parallel::prepare_all(&self.views, doc, pul, skip, runtime);
         // One document update.
         let (apply_res, t_apply) = timed(|| apply_pul(doc, pul));
         let apply_res = apply_res?;
@@ -288,20 +305,28 @@ impl MultiViewEngine {
     /// fires), then the error is returned — exactly like a sequential
     /// loop that stops at the first failing statement.
     ///
+    /// `masks`, when present, carries one static skip mask per
+    /// statement (`masks[k][i]` = view `i` is provably untouched by
+    /// statement `k`): masked views skip their prepare/finish for that
+    /// commit and report [`UpdateReport::skipped`].
+    ///
     /// [`Database::apply_pipelined`]: crate::database::Database::apply_pipelined
     pub(crate) fn propagate_pipelined<F>(
         &mut self,
         doc: &mut Document,
         stmts: &[UpdateStatement],
         depth: usize,
+        masks: Option<&[Vec<bool>]>,
         mut on_commit: F,
     ) -> Result<(), Error>
     where
         F: FnMut(usize, usize, Vec<(String, UpdateReport)>),
     {
+        debug_assert!(masks.is_none_or(|m| m.len() == stmts.len()));
+        let mask_of = |k: usize| masks.map(|m| m[k].as_slice());
         if depth <= 1 || stmts.len() <= 1 {
             for (k, stmt) in stmts.iter().enumerate() {
-                let (ops, reports) = self.apply_statement_counted(doc, stmt)?;
+                let (ops, reports) = self.apply_statement_counted(doc, stmt, mask_of(k))?;
                 on_commit(k, ops, reports);
             }
             return Ok(());
@@ -319,7 +344,7 @@ impl MultiViewEngine {
             // versions stay alive (and frozen) for the pool below.
             let mut steps: Vec<parallel::WindowStep> = Vec::with_capacity(window);
             let mut failure: Option<Error> = None;
-            for stmt in &stmts[k0..k0 + window] {
+            for (j, stmt) in stmts[k0..k0 + window].iter().enumerate() {
                 let (pul, t_find) = timed(|| compute_pul(doc, stmt));
                 let groups = schedule(&self.views, self.workers, doc, &pul);
                 let pre = doc.clone();
@@ -335,6 +360,7 @@ impl MultiViewEngine {
                 steps.push(parallel::WindowStep {
                     pul,
                     groups,
+                    skip: mask_of(k0 + j).map(<[bool]>::to_vec).unwrap_or_default(),
                     pre,
                     post,
                     apply_res,

@@ -225,24 +225,38 @@ pub fn schedule_groups(doc: &Document, pul: &Pul, patterns: &[&TreePattern]) -> 
     xivm_pulopt::partition_projections(pul, &projections)
 }
 
+/// Is view `i` statically skipped under `skip` (`None` = no mask)?
+fn masked(skip: Option<&[bool]>, i: usize) -> bool {
+    skip.is_some_and(|m| m.get(i).copied().unwrap_or(false))
+}
+
 /// Runs [`MaintenanceEngine::prepare`] for every view against the
 /// intact document, one pool job per view. Returns the prepared
-/// states in declaration order.
+/// states in declaration order; a `None` entry is a view the static
+/// analyzer proved irrelevant (`skip[i]`), whose prepare was never
+/// run and whose finish must be skipped too.
 pub(crate) fn prepare_all(
     views: &[(String, MaintenanceEngine)],
     doc: &Document,
     pul: &Pul,
+    skip: Option<&[bool]>,
     runtime: &Runtime,
-) -> Vec<PreparedUpdate> {
+) -> Vec<Option<PreparedUpdate>> {
     if runtime.size() <= 1 || views.len() <= 1 {
-        return views.iter().map(|(_, e)| e.prepare(doc, pul)).collect();
+        return views
+            .iter()
+            .enumerate()
+            .map(|(i, (_, e))| (!masked(skip, i)).then(|| e.prepare(doc, pul)))
+            .collect();
     }
     let slots: Vec<Mutex<Option<PreparedUpdate>>> =
         views.iter().map(|_| Mutex::new(None)).collect();
     let jobs: Vec<Job<'_>> = views
         .iter()
         .zip(&slots)
-        .map(|((_, engine), slot)| {
+        .enumerate()
+        .filter(|(i, _)| !masked(skip, *i))
+        .map(|(_, ((_, engine), slot))| {
             Box::new(move || {
                 *slot.lock().expect("prepare slot unpoisoned") = Some(engine.prepare(doc, pul));
             }) as Job<'_>
@@ -251,19 +265,26 @@ pub(crate) fn prepare_all(
     runtime.run(jobs);
     slots
         .into_iter()
-        .map(|s| s.into_inner().expect("prepare slot unpoisoned").expect("every view prepared"))
+        .enumerate()
+        .map(|(i, s)| {
+            let prep = s.into_inner().expect("prepare slot unpoisoned");
+            debug_assert_eq!(prep.is_none(), masked(skip, i), "every unmasked view prepared");
+            prep
+        })
         .collect()
 }
 
 /// Runs [`MaintenanceEngine::finish`] for every view against the
 /// updated document, one pool job per Figure 15 group. Per-view
 /// reports are merged back by declaration-order index, so the result
-/// is bit-identical to the sequential pass.
+/// is bit-identical to the sequential pass. A view whose prepared
+/// state is `None` was statically skipped: its engine is not touched
+/// and it reports [`UpdateReport::skipped`].
 pub(crate) fn finish_all(
     views: &mut [(String, MaintenanceEngine)],
     doc: &Document,
     apply_res: &ApplyResult,
-    prepared: Vec<PreparedUpdate>,
+    prepared: Vec<Option<PreparedUpdate>>,
     groups: &[Vec<usize>],
     runtime: &Runtime,
 ) -> Vec<(String, UpdateReport)> {
@@ -274,7 +295,7 @@ pub(crate) fn finish_all(
     // Hand each group exclusive access to its views: the declaration-
     // order slots are taken out once, so the borrow checker sees the
     // per-group &mut engines as disjoint.
-    type Slot<'a> = (&'a mut (String, MaintenanceEngine), PreparedUpdate);
+    type Slot<'a> = (&'a mut (String, MaintenanceEngine), Option<PreparedUpdate>);
     let mut slots: Vec<Option<Slot<'_>>> = views.iter_mut().zip(prepared).map(Some).collect();
     let group_views: Vec<Vec<(usize, Slot<'_>)>> = groups
         .iter()
@@ -290,7 +311,10 @@ pub(crate) fn finish_all(
             let finished = &finished;
             Box::new(move || {
                 for (idx, (entry, prep)) in group.drain(..) {
-                    let report = entry.1.finish(doc, apply_res, prep);
+                    let report = match prep {
+                        Some(prep) => entry.1.finish(doc, apply_res, prep),
+                        None => UpdateReport::skipped(),
+                    };
                     *finished[idx].lock().expect("finish slot unpoisoned") =
                         Some((entry.0.clone(), report));
                 }
@@ -313,6 +337,10 @@ pub(crate) struct WindowStep {
     pub(crate) pul: Pul,
     /// The commit's own Figure 15 partition (view indices).
     pub(crate) groups: Vec<Vec<usize>>,
+    /// Static skip mask for this commit (`skip[i]` = view `i` is
+    /// provably untouched and its prepare/finish are never run).
+    /// Empty when no analyzer is installed.
+    pub(crate) skip: Vec<bool>,
     /// The document version the commit's `prepare` phase reads.
     pub(crate) pre: Document,
     /// The document version the commit's `finish` phase reads.
@@ -397,8 +425,12 @@ pub(crate) fn run_window(
             Box::new(move || {
                 for (j, step) in steps.iter().enumerate() {
                     for (idx, entry) in shard.iter_mut() {
-                        let prep = entry.1.prepare(&step.pre, &step.pul);
-                        let report = entry.1.finish(&step.post, &step.apply_res, prep);
+                        let report = if step.skip.get(*idx).copied().unwrap_or(false) {
+                            UpdateReport::skipped()
+                        } else {
+                            let prep = entry.1.prepare(&step.pre, &step.pul);
+                            entry.1.finish(&step.post, &step.apply_res, prep)
+                        };
                         *reports[j * n + *idx].lock().expect("report slot unpoisoned") =
                             Some((entry.0.clone(), report));
                     }

@@ -28,6 +28,24 @@ pub struct PruneStats {
     pub after_id_reasoning: usize,
 }
 
+impl PruneStats {
+    /// Terms the two prunings dropped together (Propositions 3.6 / 3.8
+    /// on the insertion side, 4.2 / 4.7 on the deletion side).
+    pub fn pruned(&self) -> usize {
+        self.before.saturating_sub(self.after_id_reasoning)
+    }
+
+    /// Accumulates another pass's counters — the per-commit aggregation
+    /// behind [`Commit::prune_totals`].
+    ///
+    /// [`Commit::prune_totals`]: crate::commit::Commit::prune_totals
+    pub fn absorb(&mut self, other: &PruneStats) {
+        self.before += other.before;
+        self.after_delta_emptiness += other.after_delta_emptiness;
+        self.after_id_reasoning += other.after_id_reasoning;
+    }
+}
+
 /// Proposition 3.6: keep terms whose Δ-nodes all have non-empty
 /// σ(Δ⁺).
 pub fn prune_insert_by_deltas(terms: Vec<Term>, deltas: &DeltaPlus) -> Vec<Term> {

@@ -27,7 +27,7 @@
 //! * an [`Error`] from the engine (e.g. a fallible document apply) —
 //!   the failing ticket carries it;
 //! * a **panic** mid-propagation (a worker died, or a
-//!   [`crate::fault`] failpoint fired) — the service catches it,
+//!   `crate::fault` failpoint fired) — the service catches it,
 //!   rolls the document back to the last *sealed* commit, replays the
 //!   sealed prefix of the window, recomputes every view from scratch
 //!   and seals nothing else from that window; the failing ticket
@@ -379,13 +379,14 @@ fn seal_window(db: &mut DbInner, window: &[Submission]) -> Result<(), Error> {
     crate::fault::seal_point();
     let stmts: Vec<UpdateStatement> = window.iter().map(|s| s.stmts[0].clone()).collect();
     let pre = db.doc.clone();
+    let masks = db.static_masks(&stmts);
     let sealed = std::cell::Cell::new(0usize);
     let depth = db.pipeline;
     let outcome = {
         let DbInner { doc, views, commits, subs, .. } = db;
         let sealed = &sealed;
         catch_unwind(AssertUnwindSafe(|| {
-            views.propagate_pipelined(doc, &stmts, depth, |k, ops, per_view| {
+            views.propagate_pipelined(doc, &stmts, depth, masks.as_deref(), |k, ops, per_view| {
                 let commit =
                     seal_commit(commits, subs, 1, ops, ops, ReductionTrace::default(), per_view);
                 window[k].ticket.fulfill(Ok(commit));

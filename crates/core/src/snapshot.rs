@@ -188,7 +188,7 @@ fn read_opt_str(r: &mut Reader<'_>) -> Result<Option<Arc<str>>, SnapshotError> {
 /// the frozen originals without ever blocking a commit.
 ///
 /// [`Database`]: crate::database::Database
-/// [`Database::snapshot`]: crate::database::Database::snapshot
+/// [`Database::snapshot`]: crate::database::DbInner::snapshot
 pub struct DatabaseSnapshot {
     seq: u64,
     doc: Document,

@@ -35,7 +35,7 @@
 //!
 //! [`Database::subscribe`]: crate::database::Database::subscribe
 //! [`Database::subscribe_with`]: crate::database::Database::subscribe_with
-//! [`Database::snapshot`]: crate::database::Database::snapshot
+//! [`Database::snapshot`]: crate::database::DbInner::snapshot
 //! [`Database::drain`]: crate::database::Database::drain
 //! [`Database::unsubscribe`]: crate::database::Database::unsubscribe
 //! [`ViewDelta`]: crate::commit::ViewDelta
@@ -61,7 +61,7 @@ pub enum SlowConsumerPolicy {
     /// Discard the oldest queued event and mark the stream with one
     /// [`Lagged`] event carrying the exact contiguous `missed_range`.
     /// The commit path never waits; the consumer re-seeds from a
-    /// [`Database::snapshot`](crate::database::Database::snapshot)
+    /// [`Database::snapshot`](crate::database::DbInner::snapshot)
     /// and resumes gapless at `snapshot.seq() + 1`.
     DropAndMark,
     /// Drop the subscription entirely: the queue is cleared, the
@@ -131,7 +131,7 @@ impl FeedEvent {
 /// marker under [`SlowConsumerPolicy::DropAndMark`], which names the
 /// missing seqs exactly; around it the contract still holds.
 ///
-/// [`Database::last_seq`]: crate::database::Database::last_seq
+/// [`Database::last_seq`]: crate::database::DbInner::last_seq
 #[derive(Debug, Clone, Default)]
 pub struct DeltaEvent {
     pub seq: u64,

@@ -235,7 +235,7 @@ impl ExactSizeIterator for Cursor<'_> {}
 /// live ones at capture time, so constructing the sharding is
 /// O(views).
 ///
-/// [`Database::sharded_stores`]: crate::database::Database::sharded_stores
+/// [`Database::sharded_stores`]: crate::database::DbInner::sharded_stores
 pub struct ShardedStores {
     /// Per shard: `(declaration-order index, name, store)` triples,
     /// shards ordered by smallest member, members ascending (the

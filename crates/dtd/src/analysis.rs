@@ -3,31 +3,70 @@
 use crate::grammar::Dtd;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
+/// [`mandatory_descendants`] plus an explicit record of where the
+/// required-closure had to cut a cycle.
+///
+/// A cycle through *required* positions (`a` must contain `b`, `b`
+/// must contain `a`) forces infinite nesting: no finite subtree rooted
+/// at any symbol on such a cycle is valid, so those symbols have an
+/// empty language. The closure cuts the recursion there; instead of
+/// doing so silently it records every symbol on the cut path in
+/// [`Self::empty_language`], so callers (the static analyzer, schema
+/// lints) can flag the labels as unsatisfiable rather than mistaking
+/// "empty requirement set" for "no constraints".
+#[derive(Debug, Clone, Default)]
+pub struct MandatoryReport {
+    /// For every rule symbol, the element labels that must occur
+    /// somewhere inside any valid subtree rooted at it.
+    pub descendants: HashMap<String, BTreeSet<String>>,
+    /// Symbols whose required-closure was cut by a cycle — their
+    /// language is empty (no finite valid subtree exists).
+    pub empty_language: BTreeSet<String>,
+}
+
 /// For every element label, the set of element labels that *must*
 /// occur somewhere inside any valid subtree rooted at it.
 ///
 /// Non-terminals are spliced transparently (their required symbols are
 /// inherited by whoever requires them). Cycles through required
-/// positions would make the language empty; they are cut off
-/// conservatively.
+/// positions make the language empty; they are cut off conservatively
+/// — use [`mandatory_descendants_checked`] to learn *where* the cut
+/// happened.
 pub fn mandatory_descendants(dtd: &Dtd) -> HashMap<String, BTreeSet<String>> {
-    let mut out = HashMap::new();
-    for label in dtd.order.iter() {
-        let mut visiting = HashSet::new();
-        let set = required_closure(dtd, label, &mut visiting);
-        out.insert(label.clone(), set);
-    }
-    out
+    mandatory_descendants_checked(dtd).descendants
 }
 
-fn required_closure(dtd: &Dtd, symbol: &str, visiting: &mut HashSet<String>) -> BTreeSet<String> {
+/// [`mandatory_descendants`] with the cycle cuts reported instead of
+/// swallowed — see [`MandatoryReport`].
+pub fn mandatory_descendants_checked(dtd: &Dtd) -> MandatoryReport {
+    let mut report = MandatoryReport::default();
+    for label in dtd.order.iter() {
+        let mut visiting = HashSet::new();
+        let set = required_closure(dtd, label, &mut visiting, &mut report.empty_language);
+        report.descendants.insert(label.clone(), set);
+    }
+    report
+}
+
+fn required_closure(
+    dtd: &Dtd,
+    symbol: &str,
+    visiting: &mut HashSet<String>,
+    empty: &mut BTreeSet<String>,
+) -> BTreeSet<String> {
     if !visiting.insert(symbol.to_owned()) {
-        return BTreeSet::new(); // cycle: cut off
+        // Cycle through required positions: `symbol` transitively
+        // requires itself, so no finite subtree satisfies it — and
+        // every symbol on the path requires `symbol`, so their
+        // languages are empty too. Record the cut instead of silently
+        // returning "no requirements".
+        empty.extend(visiting.iter().cloned());
+        return BTreeSet::new();
     }
     let mut out = BTreeSet::new();
     if let Some(rx) = dtd.rule(symbol) {
         for req in rx.required_symbols() {
-            let sub = required_closure(dtd, &req, visiting);
+            let sub = required_closure(dtd, &req, visiting, empty);
             if dtd.is_nonterminal(&req) {
                 // splice the non-terminal: only its own requirements
                 out.extend(sub);
@@ -58,10 +97,92 @@ pub fn cooccurrence_groups(dtd: &Dtd) -> HashMap<String, Vec<BTreeSet<String>>> 
     out
 }
 
+/// For every element label, the element labels that can occur as its
+/// *direct children* in some valid document — the rule's symbols with
+/// non-terminals spliced transparently (a non-terminal contributes the
+/// labels it can expand to, not itself).
+pub fn child_label_map(dtd: &Dtd) -> HashMap<String, BTreeSet<String>> {
+    // Labels one non-terminal can expand to, memoized across rules.
+    fn expand(
+        dtd: &Dtd,
+        symbol: &str,
+        cache: &mut HashMap<String, BTreeSet<String>>,
+        visiting: &mut HashSet<String>,
+    ) -> BTreeSet<String> {
+        if let Some(done) = cache.get(symbol) {
+            return done.clone();
+        }
+        if !visiting.insert(symbol.to_owned()) {
+            return BTreeSet::new(); // non-terminal cycle: nothing new
+        }
+        let mut out = BTreeSet::new();
+        if let Some(rx) = dtd.rule(symbol) {
+            for sym in rx.all_symbols() {
+                if dtd.is_nonterminal(&sym) {
+                    out.extend(expand(dtd, &sym, cache, visiting));
+                } else {
+                    out.insert(sym);
+                }
+            }
+        }
+        visiting.remove(symbol);
+        cache.insert(symbol.to_owned(), out.clone());
+        out
+    }
+
+    let mut cache = HashMap::new();
+    let mut out = HashMap::new();
+    for label in dtd.order.iter().filter(|s| !dtd.is_nonterminal(s)) {
+        let mut children = BTreeSet::new();
+        if let Some(rx) = dtd.rule(label) {
+            for sym in rx.all_symbols() {
+                if dtd.is_nonterminal(&sym) {
+                    let mut visiting = HashSet::new();
+                    children.extend(expand(dtd, &sym, &mut cache, &mut visiting));
+                } else {
+                    children.insert(sym);
+                }
+            }
+        }
+        out.insert(label.clone(), children);
+    }
+    out
+}
+
+/// For every element label, the element labels reachable as *strict
+/// descendants* in some valid document: the transitive closure of
+/// [`child_label_map`]. Labels without a rule (mentioned on a
+/// right-hand side only) are leaves — they appear in other labels'
+/// closures but have an empty closure of their own.
+pub fn reachable_label_map(dtd: &Dtd) -> HashMap<String, BTreeSet<String>> {
+    let children = child_label_map(dtd);
+    let mut out: HashMap<String, BTreeSet<String>> = children.clone();
+    // Fixpoint: union each label's closure with its children's.
+    loop {
+        let mut changed = false;
+        for label in dtd.order.iter().filter(|s| !dtd.is_nonterminal(s)) {
+            let mut next = out.get(label).cloned().unwrap_or_default();
+            let before = next.len();
+            for child in children.get(label).into_iter().flatten() {
+                if let Some(sub) = out.get(child) {
+                    next.extend(sub.iter().cloned());
+                }
+            }
+            if next.len() > before {
+                out.insert(label.clone(), next);
+                changed = true;
+            }
+        }
+        if !changed {
+            return out;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::grammar::{figure_5a, figure_5b};
+    use crate::grammar::{figure_5a, figure_5b, parse_dtd};
 
     /// Example 3.9: in d1, every b must contain a c.
     #[test]
@@ -95,5 +216,48 @@ mod tests {
         // x → x |  (recursive, nullable): the analysis must not loop.
         let m = mandatory_descendants(&figure_5b());
         assert!(m["x"].is_empty());
+    }
+
+    /// A cycle through *required* positions is reported, not silently
+    /// cut: `a` must contain `b` and `b` must contain `a`, so neither
+    /// has a finite valid subtree.
+    #[test]
+    fn required_cycle_is_reported_as_empty_language() {
+        let dtd = parse_dtd("r -> a | c\na -> b\nb -> a\nc -> ()").unwrap();
+        let report = mandatory_descendants_checked(&dtd);
+        assert!(report.empty_language.contains("a"), "a requires b requires a");
+        assert!(report.empty_language.contains("b"));
+        assert!(!report.empty_language.contains("c"), "c is plain");
+        assert!(!report.empty_language.contains("r"), "r -> a | c requires neither");
+        // The legacy entry point still terminates and stays
+        // conservative (no spurious requirements on the cyclic labels).
+        let m = mandatory_descendants(&dtd);
+        assert_eq!(m["c"], BTreeSet::new());
+    }
+
+    /// Nullable recursion (x → x | ε) is *not* a required cycle: the
+    /// empty expansion always exists.
+    #[test]
+    fn nullable_recursion_is_not_empty_language() {
+        let report = mandatory_descendants_checked(&figure_5b());
+        assert!(report.empty_language.is_empty());
+    }
+
+    #[test]
+    fn child_labels_splice_nonterminals() {
+        let c = child_label_map(&figure_5a());
+        // d1 -> AS, AS -> a AS | a: d1's direct children are a's.
+        assert_eq!(c["d1"], ["a"].iter().map(|s| s.to_string()).collect());
+        assert!(c["b"].contains("c"));
+        assert!(c["c"].is_empty());
+    }
+
+    #[test]
+    fn reachability_is_transitive() {
+        let r = reachable_label_map(&figure_5a());
+        assert!(r["d1"].contains("a"));
+        assert!(r["d1"].contains("b"), "through a");
+        assert!(r["d1"].contains("c"), "through a and b");
+        assert!(!r["c"].contains("d1"), "no cycle back to the root");
     }
 }

@@ -20,7 +20,10 @@ pub mod check;
 pub mod grammar;
 pub mod regex;
 
-pub use analysis::{cooccurrence_groups, mandatory_descendants};
+pub use analysis::{
+    child_label_map, cooccurrence_groups, mandatory_descendants, mandatory_descendants_checked,
+    reachable_label_map, MandatoryReport,
+};
 pub use check::{check_insert, implications, Implication, SchemaViolation};
-pub use grammar::{parse_dtd, Dtd};
+pub use grammar::{parse_dtd, Dtd, DtdParseError};
 pub use regex::Rx;

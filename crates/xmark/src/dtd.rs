@@ -1,0 +1,148 @@
+//! The XMark auction schema as a [`xivm_dtd`] grammar.
+//!
+//! [`XMARK_DTD`] transcribes exactly the element hierarchy
+//! [`crate::generator`] emits (the auction-site subset of the XMark
+//! schema the Appendix A views and updates touch), in the Figure 5
+//! rule dialect: one `label -> content-model` rule per line, `?` / `*`
+//! for optional / repeated children, `()` for text-only leaves.
+//! Attributes (`@id`, `@person`, …) are not part of the grammar — the
+//! rule dialect models element content only — so schema-aware passes
+//! (the `xivm_analyze` crate) treat `@`-labels as unconstrained.
+//!
+//! Every document [`crate::generate_sized`] produces conforms to this
+//! grammar, which is what licenses the static analyzer's DTD-derived
+//! verdicts (deadness, delete-closure, ancestor alphabets) on the
+//! XMark workload.
+
+use xivm_dtd::{parse_dtd, Dtd};
+
+/// The XMark auction grammar, rule per line (start symbol: `site`).
+pub const XMARK_DTD: &str = "\
+# XMark auction site (generator subset), Figure 5 dialect.
+site -> regions, people, open_auctions, closed_auctions
+regions -> africa, asia, australia, europe, namerica, samerica
+africa -> item*
+asia -> item*
+australia -> item*
+europe -> item*
+namerica -> item*
+samerica -> item*
+item -> location, quantity, name, payment, description?, mailbox?
+# item descriptions wrap a parlist; auction annotations hold bare text.
+description -> parlist |
+parlist -> ()
+mailbox -> mail*
+mail -> from, date, text
+from -> ()
+date -> ()
+text -> ()
+people -> person*
+person -> name, emailaddress, phone?, address?, homepage?, creditcard?, profile?, watches
+address -> street, city, country, zipcode
+street -> ()
+city -> ()
+country -> ()
+zipcode -> ()
+profile -> interest*, education?, gender?, business, age?
+interest -> ()
+watches -> watch*
+watch -> ()
+open_auctions -> open_auction*
+open_auction -> initial, reserve?, bidder*, current, privacy?, itemref, seller, annotation, quantity, type, interval
+bidder -> date, time, personref, increase
+personref -> ()
+itemref -> ()
+seller -> ()
+annotation -> description
+interval -> start, end
+closed_auctions -> closed_auction*
+closed_auction -> seller, buyer, itemref, price, date, quantity, type, annotation
+buyer -> ()
+location -> ()
+quantity -> ()
+name -> ()
+payment -> ()
+emailaddress -> ()
+phone -> ()
+homepage -> ()
+creditcard -> ()
+education -> ()
+gender -> ()
+business -> ()
+age -> ()
+initial -> ()
+reserve -> ()
+current -> ()
+privacy -> ()
+time -> ()
+increase -> ()
+price -> ()
+start -> ()
+end -> ()
+type -> ()
+";
+
+/// Parses [`XMARK_DTD`]. The text is a compile-time constant checked
+/// by this crate's tests, so the parse cannot fail at runtime.
+pub fn xmark_dtd() -> Dtd {
+    parse_dtd(XMARK_DTD).expect("XMARK_DTD constant parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xivm_dtd::{mandatory_descendants_checked, reachable_label_map};
+
+    #[test]
+    fn grammar_parses_with_site_as_start() {
+        let dtd = xmark_dtd();
+        assert_eq!(dtd.start(), Some("site"));
+        assert!(dtd.rule("open_auction").is_some());
+    }
+
+    #[test]
+    fn no_required_cycles() {
+        let report = mandatory_descendants_checked(&xmark_dtd());
+        assert!(report.empty_language.is_empty(), "auction grammar has finite models");
+        assert!(report.descendants["person"].contains("name"));
+        assert!(report.descendants["bidder"].contains("increase"));
+    }
+
+    #[test]
+    fn every_generated_label_is_reachable_from_site() {
+        let dtd = xmark_dtd();
+        let reach = reachable_label_map(&dtd);
+        let from_site = &reach["site"];
+        for label in dtd.element_labels() {
+            if label != "site" {
+                assert!(from_site.contains(label), "{label} unreachable from site");
+            }
+        }
+    }
+
+    /// The grammar matches what the generator actually emits: every
+    /// parent→child element edge in a generated document is licensed
+    /// by the corresponding rule's alphabet.
+    #[test]
+    fn generated_documents_use_only_licensed_edges() {
+        let dtd = xmark_dtd();
+        let children = xivm_dtd::child_label_map(&dtd);
+        let doc = crate::generate_sized(60_000);
+        let mut stack = vec![doc.root().expect("generated document has a root")];
+        while let Some(n) = stack.pop() {
+            let parent_label = doc.label_name(doc.node(n).label).to_owned();
+            for &c in doc.children_of(n) {
+                let label = doc.label_name(doc.node(c).label);
+                if label.starts_with('@') || label.starts_with('#') {
+                    continue; // attributes and text are outside the grammar
+                }
+                let allowed = children.get(&parent_label);
+                assert!(
+                    allowed.is_some_and(|set| set.contains(label)),
+                    "generator emits {label} under {parent_label}, grammar does not license it"
+                );
+                stack.push(c);
+            }
+        }
+    }
+}

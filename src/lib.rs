@@ -65,7 +65,8 @@
 //! pool threads (lazy-started, zero spawns in steady state, joined on
 //! drop), grouped by the Figure 15 conflict partition. With
 //! `.pipeline(depth)` (or `XIVM_PIPELINE`) at 2 or more,
-//! [`Database::apply_pipelined`] additionally keeps up to `depth`
+//! [`Database::apply_pipelined`](xivm_core::database::DbInner::apply_pipelined)
+//! additionally keeps up to `depth`
 //! consecutive commits in flight on copy-on-write document snapshots:
 //! the conflict partitions of a window are merged into write-disjoint
 //! shards and one job per shard chains `prepare`/`finish` through the
@@ -75,7 +76,8 @@
 //! bit-identical to the sequential pass at every worker count and
 //! depth, which the differential soak harness (`tests/soak.rs`)
 //! verifies (see [`core::parallel`] and [`core::runtime`]).
-//! [`Database::snapshot`] freezes the same copy-on-write images into
+//! [`Database::snapshot`](xivm_core::database::DbInner::snapshot)
+//! freezes the same copy-on-write images into
 //! a [`DatabaseSnapshot`] readers can hold — cursors, stores and
 //! XPath against a gapless commit boundary — without ever blocking a
 //! commit.
@@ -121,11 +123,26 @@
 //! | `db.store(h).sorted_tuples()` (clones every tuple) | `db.cursor(h)` (borrowing, document order) |
 //! | `format!("insert {xml} into {path}")` | `insert(element(..)).into(path)` — see [`update::builder`] |
 //!
+//! ## Static analysis
+//!
+//! With a DTD on the builder (`.dtd(text)`) and `.analyze(mode)`,
+//! [`analyze`] checks the catalog once at `build()` — dead views
+//! (unsatisfiable against the schema) become findings that fail
+//! `AnalyzeMode::Strict` builds — and derives a static relevance
+//! matrix the engine consults on every commit to skip provably
+//! unaffected views, plus Figure 15 independence labels that let
+//! provably disjoint `transaction().independent()` batches skip the
+//! pairwise conflict scan. Both fast paths are pure scheduling:
+//! commits are bit-identical with analysis on or off (verified by
+//! `tests/analyze_soundness.rs`). `cargo run --example analyze_lint`
+//! runs the same checks as a CI gate over the XMark catalog.
+//!
 //! The member crates remain available under their re-exported names:
 //! [`xml`], [`algebra`], [`pattern`], [`update`], [`core`],
-//! [`pulopt`], [`dtd`], [`xmark`], [`ivma`].
+//! [`pulopt`], [`dtd`], [`xmark`], [`ivma`], [`analyze`].
 
 pub use xivm_algebra as algebra;
+pub use xivm_analyze as analyze;
 pub use xivm_circuit as circuit;
 pub use xivm_core as core;
 pub use xivm_dtd as dtd;
@@ -137,9 +154,9 @@ pub use xivm_xmark as xmark;
 pub use xivm_xml as xml;
 
 pub use xivm_core::{
-    Commit, Database, DatabaseBuilder, DatabaseSnapshot, DeltaEvent, Error, FeedEvent, Lagged,
-    ShardedStores, SlowConsumerPolicy, Subscription, Ticket, Transaction, ViewDelta, ViewHandle,
-    WeightedChange,
+    AnalysisReport, AnalyzeMode, Analyzer, Commit, Database, DatabaseBuilder, DatabaseSnapshot,
+    DeltaEvent, Error, FeedEvent, Lagged, ShardedStores, SlowConsumerPolicy, Subscription, Ticket,
+    Transaction, ViewDelta, ViewHandle, WeightedChange,
 };
 
 /// One-stop imports for applications built on the [`Database`] façade.
@@ -154,9 +171,9 @@ pub mod prelude {
     pub use xivm_core::costmodel::UpdateProfile;
     pub use xivm_core::database::{Database, DatabaseBuilder, Transaction, ViewHandle};
     pub use xivm_core::{
-        Commit, DatabaseSnapshot, DeltaEvent, Error, FeedEvent, Lagged, MaintenanceEngine,
-        MultiViewEngine, ShardedStores, SlowConsumerPolicy, SnowcapStrategy, Subscription, Ticket,
-        UpdateReport, ViewDelta, ViewStore, WeightedChange,
+        AnalysisReport, AnalyzeMode, Analyzer, Commit, DatabaseSnapshot, DeltaEvent, Error,
+        FeedEvent, Lagged, MaintenanceEngine, MultiViewEngine, ShardedStores, SlowConsumerPolicy,
+        SnowcapStrategy, Subscription, Ticket, UpdateReport, ViewDelta, ViewStore, WeightedChange,
     };
     pub use xivm_pattern::{parse_pattern, TreePattern};
     pub use xivm_pulopt::ConflictPolicy;
