@@ -1,0 +1,196 @@
+//! Deferred maintenance and socket replication: what does a commit
+//! *pay* when a view is off the seal path, and what does a remote
+//! replica cost per commit?
+//!
+//! The same sustained stream of small single-statement commits as
+//! `fig_async` (insert/delete pairs cycling the XMark view catalog,
+//! so the document stays bounded) runs three ways:
+//!
+//! * `immediate (full seal)` — every view maintained inside the
+//!   commit: the per-commit latency carries all view maintenance;
+//! * `deferred (seal)` — every view declared `view_deferred`: the
+//!   commit only applies the PUL to the document and folds it into
+//!   the per-view pending batch; one `refresh_all()` at the end pays
+//!   the maintenance debt in a single propagation per view (timed
+//!   separately);
+//! * `replicated (pump+sync)` — the immediate stream again, with one
+//!   view served over a localhost socket by a [`FeedServer`] and a
+//!   [`ReplicaClient`] syncing after every commit; the timed step is
+//!   the replication overhead alone (pump + frame + replay), and the
+//!   replica is asserted byte-identical at every commit.
+//!
+//! Differential anchor: after `refresh_all()`, every deferred store
+//! must be bit-identical to the immediate run's, and the replica must
+//! re-encode identically to the served view at every commit.
+
+use std::time::{Duration, Instant};
+
+use criterion::percentile;
+use xivm_bench::{figure_header, ms, rep_stats, row};
+use xivm_core::database::Database;
+use xivm_feed::{FeedServer, ReplicaClient};
+use xivm_update::UpdateStatement;
+use xivm_xmark::{generate_sized, updates_for_view, view_pattern, VIEW_NAMES};
+
+/// Insert/delete rounds through the catalog; each round is
+/// `2 x |views-with-updates|` single-statement commits.
+fn rounds() -> usize {
+    if xivm_xmark::sizes::full_scale() {
+        30
+    } else {
+        10
+    }
+}
+
+/// The sustained stream: one insert and one delete per catalog view,
+/// repeated, so every view sees steady delta traffic and the document
+/// returns to its original shape after every round.
+fn stream() -> Vec<UpdateStatement> {
+    let mut out = Vec::new();
+    for _ in 0..rounds() {
+        for view in VIEW_NAMES {
+            if let Some(u) = updates_for_view(view).first() {
+                out.push(u.insert_stmt());
+                out.push(u.delete_stmt());
+            }
+        }
+    }
+    out
+}
+
+fn build_db(doc: &xivm_xml::Document, deferred: bool) -> Database {
+    let mut b = Database::builder().document(doc.clone()).workers(2);
+    for v in VIEW_NAMES {
+        if deferred {
+            b = b.view_deferred(v, view_pattern(v));
+        } else {
+            b = b.view(v, view_pattern(v));
+        }
+    }
+    b.build().expect("catalog database builds")
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// One result row: per-step latency statistics plus stream totals.
+fn report(mode: &str, lat_us: &[f64], wall_ms: f64) {
+    let s = rep_stats(lat_us);
+    let mut sorted = lat_us.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    row(&[
+        mode.to_owned(),
+        lat_us.len().to_string(),
+        format!("{:.2}", s.mean),
+        format!("{:.2}", s.min),
+        format!("{:.2}", percentile(&sorted, 0.5)),
+        format!("{:.2}", percentile(&sorted, 0.99)),
+        format!("{:.2}", s.stddev),
+        format!("{wall_ms:.3}"),
+        format!("{:.0}", lat_us.len() as f64 / (wall_ms / 1e3)),
+    ]);
+}
+
+fn main() {
+    let doc = generate_sized(32 * 1024);
+    let stream = stream();
+
+    figure_header(
+        "Deferred maintenance & socket replication",
+        &format!(
+            "seal latency with views on vs off the commit path, {} single-statement commits, {} views, 32KB document",
+            stream.len(),
+            VIEW_NAMES.len()
+        ),
+    );
+    row(&[
+        "mode".to_owned(),
+        "commits".to_owned(),
+        "mean_us".to_owned(),
+        "min_us".to_owned(),
+        "p50_us".to_owned(),
+        "p99_us".to_owned(),
+        "stddev_us".to_owned(),
+        "wall_ms".to_owned(),
+        "commits_per_s".to_owned(),
+    ]);
+
+    // Immediate reference: every commit seals every view.
+    let mut immediate = build_db(&doc, false);
+    let mut lat = Vec::with_capacity(stream.len());
+    let wall = Instant::now();
+    for stmt in &stream {
+        let t = Instant::now();
+        immediate.apply(stmt).expect("catalog update applies");
+        lat.push(us(t.elapsed()));
+    }
+    let immediate_wall = ms(wall.elapsed());
+    let immediate_mean = rep_stats(&lat).mean;
+    report("immediate (full seal)", &lat, immediate_wall);
+
+    // Deferred: the commit applies the PUL to the document and folds
+    // it into each view's pending batch; no view store moves.
+    let mut deferred = build_db(&doc, true);
+    let mut lat = Vec::with_capacity(stream.len());
+    let wall = Instant::now();
+    for stmt in &stream {
+        let t = Instant::now();
+        deferred.apply(stmt).expect("catalog update applies");
+        lat.push(us(t.elapsed()));
+    }
+    let deferred_wall = ms(wall.elapsed());
+    let deferred_mean = rep_stats(&lat).mean;
+    report("deferred (seal)", &lat, deferred_wall);
+
+    // Pay the maintenance debt: one propagation per view over the
+    // whole folded batch, sealed as one refresh commit each.
+    let t = Instant::now();
+    let refreshes = deferred.refresh_all().expect("refresh seals");
+    let refresh_ms = ms(t.elapsed());
+
+    // Differential anchor: deferred-then-refreshed == immediate.
+    for (a, b) in immediate.handles().into_iter().zip(deferred.handles()) {
+        assert!(
+            immediate.store(a).identical_to(deferred.store(b)),
+            "view {} diverged between immediate and deferred runs",
+            immediate.name(a)
+        );
+    }
+    assert_eq!(immediate.serialize(), deferred.serialize(), "documents must agree");
+
+    // Replication: the immediate stream with one view served over a
+    // localhost socket; the timed step is pump + frame + replay only.
+    let mut db = build_db(&doc, false);
+    let served = db.view(VIEW_NAMES[0]).expect("served view exists");
+    let mut server =
+        FeedServer::bind("127.0.0.1:0", &mut db, served, stream.len() + 1).expect("bind server");
+    let mut replica = ReplicaClient::connect(server.local_addr(), VIEW_NAMES[0]).expect("connect");
+    replica.sync_to(0).expect("bootstrap snapshot");
+    let mut lat = Vec::with_capacity(stream.len());
+    let wall = Instant::now();
+    for stmt in &stream {
+        db.apply(stmt).expect("catalog update applies");
+        let t = Instant::now();
+        server.pump(&db);
+        replica.sync_to(db.last_seq()).expect("replica syncs");
+        lat.push(us(t.elapsed()));
+        assert!(replica.identical_to(db.store(served)), "replica must stay byte-identical");
+    }
+    let replicated_wall = ms(wall.elapsed());
+    report("replicated (pump+sync)", &lat, replicated_wall);
+    server.close(&mut db);
+
+    println!(
+        "# deferred refresh_all: {refresh_ms:.3} ms for {} views ({} refresh commits); \
+         seal mean {deferred_mean:.2} us vs immediate {immediate_mean:.2} us ({:.1}x lower)",
+        VIEW_NAMES.len(),
+        refreshes.len(),
+        immediate_mean / deferred_mean
+    );
+    println!(
+        "# replication end-to-end: {replicated_wall:.3} ms commit+replicate for {} commits, replica seq {}",
+        stream.len(),
+        replica.seq()
+    );
+}

@@ -223,6 +223,48 @@ struct ViewSpec {
     name: String,
     pattern: PatternSource,
     mode: ViewMode,
+    deferred: bool,
+}
+
+/// When a view's maintenance runs relative to the commit that changes
+/// the document — see [`DbInner::set_maintenance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaintenanceMode {
+    /// The view is maintained inside the committing transaction: its
+    /// store reflects every commit the moment the commit seals. The
+    /// default.
+    #[default]
+    Immediate,
+    /// The view's maintenance is *deferred*: commits leave its store
+    /// untouched (their events carry an empty delta for it, honestly —
+    /// the store did not change) while the per-commit PULs accumulate
+    /// through the Figure 16 aggregation rules. A later
+    /// [`DbInner::refresh`] folds the whole batch in **one**
+    /// propagation pass and seals it as its own commit, whose single
+    /// [`DeltaEvent`] carries the coalesced delta plus
+    /// [`DeltaEvent::folded`] naming exactly the commits it covers.
+    /// Commit latency drops because the view leaves the seal window;
+    /// reads of its store are stale until the next refresh.
+    Deferred,
+}
+
+/// The accumulated state of one deferred view between refreshes: the
+/// document version its last-maintained store corresponds to, plus
+/// the aggregated PUL (Figure 16) that replays every commit since.
+pub(crate) struct DeferredPending {
+    /// The document as of the last commit this view was maintained
+    /// against (copy-on-write clone — O(chunks), shares all nodes).
+    base: Document,
+    /// Aggregation of every deferred commit's PUL over `base`.
+    pul: Pul,
+    /// Sum of the folded commits' optimized op counts (becomes the
+    /// refresh commit's `naive_ops`, so its reduction ratio is
+    /// honest).
+    naive_ops: usize,
+    /// Sequence number of the first commit in the batch.
+    pub(crate) first_seq: u64,
+    /// Commits folded so far (drives the `refresh_every` policy).
+    commits: u64,
 }
 
 /// Builder for [`Database`] — see [`Database::builder`].
@@ -240,6 +282,7 @@ pub struct DatabaseBuilder {
     sub_capacity: Option<usize>,
     dtd: Option<DtdSource>,
     analyze: AnalyzeMode,
+    refresh_every: Option<u64>,
 }
 
 impl Default for DatabaseBuilder {
@@ -254,6 +297,7 @@ impl Default for DatabaseBuilder {
             sub_capacity: None,
             dtd: None,
             analyze: AnalyzeMode::Off,
+            refresh_every: None,
         }
     }
 }
@@ -303,7 +347,36 @@ impl DatabaseBuilder {
             Some(p) => ViewMode::CostBased(p.clone()),
             None => ViewMode::Strategy(self.default_strategy),
         };
-        self.views.push(ViewSpec { name: name.into(), pattern: pattern.into(), mode });
+        self.views.push(ViewSpec {
+            name: name.into(),
+            pattern: pattern.into(),
+            mode,
+            deferred: false,
+        });
+        self
+    }
+
+    /// Declares a named view that starts in
+    /// [`MaintenanceMode::Deferred`]: commits accumulate its PULs
+    /// instead of maintaining it, and [`DbInner::refresh`] (or the
+    /// [`Self::refresh_every`] policy) folds the batch in one pass.
+    /// Equivalent to `.view(..)` followed by
+    /// [`DbInner::set_maintenance`] before the first commit.
+    pub fn view_deferred(
+        mut self,
+        name: impl Into<String>,
+        pattern: impl Into<PatternSource>,
+    ) -> Self {
+        let mode = match &self.default_profile {
+            Some(p) => ViewMode::CostBased(p.clone()),
+            None => ViewMode::Strategy(self.default_strategy),
+        };
+        self.views.push(ViewSpec {
+            name: name.into(),
+            pattern: pattern.into(),
+            mode,
+            deferred: true,
+        });
         self
     }
 
@@ -319,7 +392,19 @@ impl DatabaseBuilder {
             name: name.into(),
             pattern: pattern.into(),
             mode: ViewMode::Strategy(strategy),
+            deferred: false,
         });
+        self
+    }
+
+    /// Auto-refresh policy for deferred views: after a view has
+    /// accumulated `n` deferred commits, the next commit boundary (or
+    /// the async service, between batches) refreshes it
+    /// automatically. `0` disables the policy (the default): deferred
+    /// views refresh only on explicit [`DbInner::refresh`] /
+    /// [`DbInner::refresh_all`].
+    pub fn refresh_every(mut self, n: u64) -> Self {
+        self.refresh_every = (n > 0).then_some(n);
         self
     }
 
@@ -389,10 +474,16 @@ impl DatabaseBuilder {
             DocumentSource::Ready(doc) => *doc,
         };
         let mut engines: Vec<(String, MaintenanceEngine)> = Vec::with_capacity(self.views.len());
+        let mut modes: Vec<MaintenanceMode> = Vec::with_capacity(self.views.len());
         for spec in self.views {
             if engines.iter().any(|(n, _)| *n == spec.name) {
                 return Err(Error::DuplicateView(spec.name));
             }
+            modes.push(if spec.deferred {
+                MaintenanceMode::Deferred
+            } else {
+                MaintenanceMode::Immediate
+            });
             let pattern = match spec.pattern {
                 PatternSource::Text(text) => parse_pattern(&text)?,
                 PatternSource::Ready(p) => p,
@@ -425,6 +516,7 @@ impl DatabaseBuilder {
         };
         let mut views = MultiViewEngine::from_engines(engines);
         views.set_workers(crate::runtime::effective_workers(self.workers));
+        let pending = modes.iter().map(|_| None).collect();
         Ok(Database {
             service: ServiceHandle::new(),
             inner: Box::new(DbInner {
@@ -435,6 +527,9 @@ impl DatabaseBuilder {
                 pipeline: crate::runtime::effective_pipeline(self.pipeline),
                 sub_capacity: effective_sub_capacity(self.sub_capacity),
                 statics,
+                modes,
+                pending,
+                refresh_every: self.refresh_every,
             }),
         })
     }
@@ -496,6 +591,14 @@ pub struct DbInner {
     /// The static analyzer and its build-time report, when the builder
     /// enabled analysis (`None` = [`AnalyzeMode::Off`]).
     pub(crate) statics: Option<Statics>,
+    /// Per-view maintenance mode, declaration order.
+    pub(crate) modes: Vec<MaintenanceMode>,
+    /// Per-view accumulated deferred batch (`None` = nothing pending;
+    /// always `None` for [`MaintenanceMode::Immediate`] views).
+    pub(crate) pending: Vec<Option<DeferredPending>>,
+    /// Auto-refresh threshold from [`DatabaseBuilder::refresh_every`]
+    /// (`None` = manual refresh only).
+    pub(crate) refresh_every: Option<u64>,
 }
 
 /// Everything [`DatabaseBuilder::analyze`] sets up: the analyzer over
@@ -823,10 +926,17 @@ impl DbInner {
     /// report and exact delta.
     pub fn apply(&mut self, statement: impl Into<StatementSource>) -> Result<Commit, Error> {
         let stmt = resolve_statement(statement.into())?;
-        let skip = self.static_mask(&stmt);
-        let (ops, per_view) =
+        let defer = self.defer_mask();
+        let skip = merge_skip(self.static_mask(&stmt), defer.clone());
+        let pre = defer.is_some().then(|| self.doc.clone());
+        let (pul, mut per_view) =
             self.views.apply_statement_counted(&mut self.doc, &stmt, skip.as_deref())?;
-        Ok(self.finish_commit(1, ops, ops, ReductionTrace::default(), per_view))
+        fold_pending(&mut self.pending, &self.modes, pre.as_ref(), &pul, self.commits + 1);
+        mark_deferred(&mut per_view, &self.modes);
+        let ops = pul.len();
+        let commit = self.finish_commit(1, ops, ops, ReductionTrace::default(), per_view);
+        self.maybe_auto_refresh()?;
+        Ok(commit)
     }
 
     /// Starts a batched transaction: statements are collected and, at
@@ -884,27 +994,49 @@ impl DbInner {
             .into_iter()
             .map(|s| resolve_statement(s.into()))
             .collect::<Result<_, _>>()?;
-        let masks = self.static_masks(&stmts);
+        let statik = self.static_masks(&stmts);
+        let defer = self.defer_mask();
+        let masks: Option<Vec<Vec<bool>>> = match (&statik, &defer) {
+            (None, None) => None,
+            _ => {
+                let blank = vec![false; self.views.len()];
+                Some(
+                    (0..stmts.len())
+                        .map(|k| {
+                            let s = statik.as_ref().map(|m| m[k].clone());
+                            merge_skip(s, defer.clone()).unwrap_or_else(|| blank.clone())
+                        })
+                        .collect(),
+                )
+            }
+        };
+        let want_pre = defer.is_some();
         let mut commits = Vec::with_capacity(stmts.len());
         let seq = &mut self.commits;
         let subs = &mut self.subs;
+        let pending = &mut self.pending;
+        let modes = &self.modes;
         self.views.propagate_pipelined(
             &mut self.doc,
             &stmts,
             self.pipeline,
             masks.as_deref(),
-            |_, ops, per_view| {
+            want_pre,
+            |_, pul, pre, mut per_view| {
+                fold_pending(pending, modes, pre, pul, *seq + 1);
+                mark_deferred(&mut per_view, modes);
                 commits.push(seal_commit(
                     seq,
                     subs,
                     1,
-                    ops,
-                    ops,
+                    pul.len(),
+                    pul.len(),
                     ReductionTrace::default(),
                     per_view,
                 ));
             },
         )?;
+        self.maybe_auto_refresh()?;
         Ok(commits)
     }
 
@@ -1048,9 +1180,16 @@ impl DbInner {
         // create the very context statement 2 targets), so only
         // single-statement batches consult the matrix.
         let skip = if parsed.len() == 1 { self.static_mask(&parsed[0]) } else { None };
-        let per_view =
+        let defer = self.defer_mask();
+        let skip = merge_skip(skip, defer.clone());
+        let pre = defer.is_some().then(|| self.doc.clone());
+        let mut per_view =
             self.views.propagate_pul_masked(&mut self.doc, &optimized, skip.as_deref())?;
-        Ok(self.finish_commit(parsed.len(), naive_ops, optimized.len(), trace, per_view))
+        fold_pending(&mut self.pending, &self.modes, pre.as_ref(), &optimized, self.commits + 1);
+        mark_deferred(&mut per_view, &self.modes);
+        let commit = self.finish_commit(parsed.len(), naive_ops, optimized.len(), trace, per_view);
+        self.maybe_auto_refresh()?;
+        Ok(commit)
     }
 
     /// Commits a pre-parsed batch in independent mode: every
@@ -1109,9 +1248,199 @@ impl DbInner {
             }
             acc.iter().any(|&b| b).then_some(acc)
         });
-        let per_view =
+        let defer = self.defer_mask();
+        let skip = merge_skip(skip, defer.clone());
+        let pre = defer.is_some().then(|| self.doc.clone());
+        let mut per_view =
             self.views.propagate_pul_masked(&mut self.doc, &optimized, skip.as_deref())?;
-        Ok(self.finish_commit(parsed.len(), naive_ops, optimized.len(), trace, per_view))
+        fold_pending(&mut self.pending, &self.modes, pre.as_ref(), &optimized, self.commits + 1);
+        mark_deferred(&mut per_view, &self.modes);
+        let commit = self.finish_commit(parsed.len(), naive_ops, optimized.len(), trace, per_view);
+        self.maybe_auto_refresh()?;
+        Ok(commit)
+    }
+
+    // -----------------------------------------------------------------
+    // Deferred maintenance
+    // -----------------------------------------------------------------
+
+    /// The maintenance mode of a view.
+    pub fn maintenance(&self, view: ViewHandle) -> MaintenanceMode {
+        self.modes[view.index()]
+    }
+
+    /// Switches a view's [`MaintenanceMode`]. Entering `Deferred`
+    /// takes effect at the next commit. Leaving it refreshes first —
+    /// the returned commit, if any, is that refresh — so an
+    /// `Immediate` view is never stale.
+    pub fn set_maintenance(
+        &mut self,
+        view: ViewHandle,
+        mode: MaintenanceMode,
+    ) -> Result<Option<Commit>, Error> {
+        assert!(view.index() < self.views.len(), "handle from this database");
+        let commit = if mode == MaintenanceMode::Immediate { self.refresh(view)? } else { None };
+        self.modes[view.index()] = mode;
+        Ok(commit)
+    }
+
+    /// Commits accumulated against a deferred view since its last
+    /// refresh (0 = the view is current).
+    pub fn deferred_commits(&self, view: ViewHandle) -> u64 {
+        self.pending[view.index()].as_ref().map_or(0, |p| p.commits)
+    }
+
+    /// Folds a deferred view's accumulated batch in **one**
+    /// propagation pass and seals it as its own commit (0 statements,
+    /// like an empty transaction): the batched PULs are reduced
+    /// (Figure 14), the view maintained from its last-refreshed base
+    /// to the live document, and the commit's [`DeltaEvent`] carries
+    /// the whole coalesced delta with [`DeltaEvent::folded`] naming
+    /// exactly the commit range it covers — so changefeeds stay
+    /// gapless and replicas can fold the batch atomically.
+    ///
+    /// Returns `Ok(None)` when nothing is pending (also for
+    /// `Immediate` views): no commit, no sequence number.
+    pub fn refresh(&mut self, view: ViewHandle) -> Result<Option<Commit>, Error> {
+        let i = view.index();
+        assert!(i < self.views.len(), "handle from this database");
+        let Some(p) = self.pending[i].take() else {
+            return Ok(None);
+        };
+        let (optimized, trace) = reduce(&p.pul);
+        let mut post = p.base.clone();
+        let apply_res = match apply_pul(&mut post, &optimized) {
+            Ok(res) => res,
+            Err(e) => {
+                // Nothing was propagated; keep the batch so a later
+                // refresh (or recompute) can still converge the view.
+                self.pending[i] = Some(p);
+                return Err(e.into());
+            }
+        };
+        // Transaction equivalence (Section 5): replaying the
+        // aggregated batch over the base must reconstruct the live
+        // document bit-identically, Dewey assignment included.
+        debug_assert_eq!(
+            serialize_document(&post),
+            serialize_document(&self.doc),
+            "aggregated deferred batch must reconstruct the live document"
+        );
+        let mut report = self.views.refresh_view(i, &p.base, &post, &optimized, &apply_res);
+        report.coalesced = Some(p.first_seq..=self.commits);
+        let per_view: Vec<(String, UpdateReport)> = self
+            .views
+            .names()
+            .into_iter()
+            .enumerate()
+            .map(|(j, n)| {
+                let r = if j == i { std::mem::take(&mut report) } else { UpdateReport::default() };
+                (n.to_owned(), r)
+            })
+            .collect();
+        Ok(Some(self.finish_commit(0, p.naive_ops, optimized.len(), trace, per_view)))
+    }
+
+    /// [`Self::refresh`] for every view with a pending batch, in
+    /// declaration order — one commit per refreshed view.
+    pub fn refresh_all(&mut self) -> Result<Vec<Commit>, Error> {
+        let mut out = Vec::new();
+        for i in 0..self.views.len() {
+            if let Some(commit) = self.refresh(ViewHandle(i))? {
+                out.push(commit);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fires the [`DatabaseBuilder::refresh_every`] policy: refreshes
+    /// every deferred view whose batch has reached the threshold.
+    /// Called at every synchronous commit boundary and by the async
+    /// service between batches.
+    pub(crate) fn maybe_auto_refresh(&mut self) -> Result<(), Error> {
+        let Some(every) = self.refresh_every else {
+            return Ok(());
+        };
+        for i in 0..self.views.len() {
+            if self.pending[i].as_ref().is_some_and(|p| p.commits >= every) {
+                self.refresh(ViewHandle(i))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Skip mask covering exactly the deferred views (`None` when
+    /// every view is immediate — the common case pays nothing).
+    pub(crate) fn defer_mask(&self) -> Option<Vec<bool>> {
+        self.modes
+            .contains(&MaintenanceMode::Deferred)
+            .then(|| self.modes.iter().map(|m| *m == MaintenanceMode::Deferred).collect())
+    }
+}
+
+/// Element-wise OR of two optional skip masks (static irrelevance and
+/// deferral compose: a view is left out of the pass if either says
+/// so).
+pub(crate) fn merge_skip(a: Option<Vec<bool>>, b: Option<Vec<bool>>) -> Option<Vec<bool>> {
+    match (a, b) {
+        (None, m) | (m, None) => m,
+        (Some(mut a), Some(b)) => {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x |= y;
+            }
+            Some(a)
+        }
+    }
+}
+
+/// Folds one sealed commit's PUL into every deferred view's pending
+/// batch (Figure 16 aggregation over the batch's base document).
+/// `pre` is the document *before* this commit's PUL applied; `seq`
+/// the sequence number the commit is sealing as. A free function over
+/// the fields so the pipelined driver can fold while the engine still
+/// holds the views.
+pub(crate) fn fold_pending(
+    pending: &mut [Option<DeferredPending>],
+    modes: &[MaintenanceMode],
+    pre: Option<&Document>,
+    pul: &Pul,
+    seq: u64,
+) {
+    if pul.is_empty() {
+        return; // nothing to replay; the view's store is already right
+    }
+    for (i, mode) in modes.iter().enumerate() {
+        if *mode != MaintenanceMode::Deferred {
+            continue;
+        }
+        let pre = pre.expect("defer_mask set => pre-document captured");
+        match &mut pending[i] {
+            Some(p) => {
+                p.pul = aggregate(&p.base, &p.pul, pul).0;
+                p.naive_ops += pul.len();
+                p.commits += 1;
+            }
+            slot @ None => {
+                *slot = Some(DeferredPending {
+                    base: pre.clone(),
+                    pul: pul.clone(),
+                    naive_ops: pul.len(),
+                    first_seq: seq,
+                    commits: 1,
+                });
+            }
+        }
+    }
+}
+
+/// Replaces deferred views' reports (the propagation pass saw them as
+/// skipped) with the honest [`UpdateReport::deferred_marker`]: store
+/// untouched, delta empty, maintenance postponed.
+pub(crate) fn mark_deferred(per_view: &mut [(String, UpdateReport)], modes: &[MaintenanceMode]) {
+    for (i, mode) in modes.iter().enumerate() {
+        if *mode == MaintenanceMode::Deferred {
+            per_view[i].1 = UpdateReport::deferred_marker();
+        }
     }
 }
 
@@ -1744,5 +2073,157 @@ mod tests {
             assert_eq!(k, &t.id_key());
             assert_eq!(c, c2);
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Deferred maintenance
+    // -----------------------------------------------------------------
+
+    fn deferred_db() -> Database {
+        Database::builder()
+            .document(FIG12)
+            .view("ab", "//a{id}//b{id}")
+            .view_deferred("acb", "//a{id}[//c{id}]//b{id}")
+            .build()
+            .unwrap()
+    }
+
+    const SCRIPT: [&str; 4] = [
+        "insert <b/> into /a/c",
+        "insert <c><b/></c> into /a/f",
+        "delete /a/f/c/b",
+        "insert <b>x</b> into /a",
+    ];
+
+    #[test]
+    fn deferred_view_is_left_out_of_the_seal_and_refresh_converges() {
+        let mut immediate = db();
+        let mut deferred = deferred_db();
+        let acb = deferred.view("acb").unwrap();
+        let ab = deferred.view("ab").unwrap();
+        assert_eq!(deferred.maintenance(acb), MaintenanceMode::Deferred);
+        assert_eq!(deferred.maintenance(ab), MaintenanceMode::Immediate);
+        let stale = deferred.store(acb).clone();
+
+        for s in SCRIPT {
+            let ci = immediate.apply(s).unwrap();
+            let cd = deferred.apply(s).unwrap();
+            assert_eq!(cd.seq, ci.seq);
+            // The deferred view's report is the honest marker: store
+            // untouched, delta empty.
+            assert!(cd.report(acb).deferred);
+            assert!(cd.delta(acb).is_empty());
+            // The immediate view is maintained as always.
+            assert!(!cd.report(ab).deferred);
+            assert!(deferred
+                .store(ab)
+                .identical_to(immediate.store(immediate.view("ab").unwrap())));
+        }
+        assert!(deferred.store(acb).identical_to(&stale), "deferred store must not move");
+        assert_eq!(deferred.deferred_commits(acb), SCRIPT.len() as u64);
+
+        // The refresh seals its own commit with the coalesced range.
+        let seq_before = deferred.last_seq();
+        let refresh = deferred.refresh(acb).unwrap().expect("batch pending");
+        assert_eq!(refresh.seq, seq_before + 1);
+        assert_eq!(refresh.statements, 0, "a refresh commits no statements");
+        assert_eq!(refresh.report(acb).coalesced, Some(1..=seq_before));
+        assert!(!refresh.delta(acb).is_empty());
+        assert_eq!(deferred.deferred_commits(acb), 0);
+        check_consistent(&deferred);
+        assert!(
+            deferred.store(acb).identical_to(immediate.store(immediate.view("acb").unwrap())),
+            "refresh must be bit-identical to immediate maintenance"
+        );
+
+        // Nothing pending: refresh is a no-op, no commit.
+        assert!(deferred.refresh(acb).unwrap().is_none());
+        assert_eq!(deferred.last_seq(), seq_before + 1);
+    }
+
+    #[test]
+    fn deferred_events_stay_gapless_and_fold_metadata_marks_the_refresh() {
+        let mut db = deferred_db();
+        let acb = db.view("acb").unwrap();
+        let sub = db.subscribe(acb);
+        for s in SCRIPT {
+            db.apply(s).unwrap();
+        }
+        db.refresh_all().unwrap();
+        let events = db.drain(&sub);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4, 5], "one event per seq, refresh included");
+        for e in &events[..4] {
+            assert!(e.folded.is_none());
+            assert!(e.delta.is_empty(), "deferred commits carry empty deltas");
+        }
+        assert_eq!(events[4].folded, Some(1..=4));
+        assert!(!events[4].delta.is_empty());
+        db.unsubscribe(sub);
+    }
+
+    #[test]
+    fn transactions_and_pipelined_applies_defer_identically() {
+        for pipeline in [1, 4] {
+            let mut immediate = db();
+            let mut deferred = Database::builder()
+                .document(FIG12)
+                .view("ab", "//a{id}//b{id}")
+                .view_deferred("acb", "//a{id}[//c{id}]//b{id}")
+                .pipeline(pipeline)
+                .build()
+                .unwrap();
+            let acb = deferred.view("acb").unwrap();
+            deferred.apply_pipelined(SCRIPT).unwrap();
+            for s in SCRIPT {
+                immediate.apply(s).unwrap();
+            }
+            let tx = ["insert <b/> into /a/c", "delete //f//b"];
+            immediate.transaction().statement(tx[0]).statement(tx[1]).commit().unwrap();
+            deferred.transaction().statement(tx[0]).statement(tx[1]).commit().unwrap();
+
+            deferred.refresh(acb).unwrap().expect("pending");
+            check_consistent(&deferred);
+            assert!(deferred
+                .store(acb)
+                .identical_to(immediate.store(immediate.view("acb").unwrap())));
+        }
+    }
+
+    #[test]
+    fn set_maintenance_back_to_immediate_refreshes_first() {
+        let mut db = deferred_db();
+        let acb = db.view("acb").unwrap();
+        db.apply(SCRIPT[0]).unwrap();
+        let commit = db.set_maintenance(acb, MaintenanceMode::Immediate).unwrap();
+        assert!(commit.is_some(), "leaving Deferred folds the batch");
+        assert_eq!(db.maintenance(acb), MaintenanceMode::Immediate);
+        check_consistent(&db);
+        // Subsequent commits maintain immediately again.
+        let c = db.apply(SCRIPT[1]).unwrap();
+        assert!(!c.report(acb).deferred);
+        check_consistent(&db);
+        // Entering Deferred never commits.
+        assert!(db.set_maintenance(acb, MaintenanceMode::Deferred).unwrap().is_none());
+    }
+
+    #[test]
+    fn refresh_every_policy_fires_at_the_threshold() {
+        let mut db = Database::builder()
+            .document(FIG12)
+            .view_deferred("acb", "//a{id}[//c{id}]//b{id}")
+            .refresh_every(3)
+            .build()
+            .unwrap();
+        let acb = db.view("acb").unwrap();
+        db.apply(SCRIPT[0]).unwrap();
+        db.apply(SCRIPT[1]).unwrap();
+        assert_eq!(db.deferred_commits(acb), 2);
+        db.apply(SCRIPT[2]).unwrap();
+        // The third deferred commit crossed the threshold: the
+        // refresh sealed as commit 4 on the way out of apply().
+        assert_eq!(db.deferred_commits(acb), 0);
+        assert_eq!(db.last_seq(), 4);
+        check_consistent(&db);
     }
 }

@@ -48,6 +48,17 @@ pub struct UpdateReport {
     /// [`Self::same_outcome`], like timings: a skipped propagation and
     /// a dynamic one that found nothing report the same outcome.
     pub statically_skipped: bool,
+    /// True when the view is under deferred maintenance and this
+    /// commit batched its PUL instead of propagating: the store is
+    /// untouched, the delta is empty, and the change lands later as a
+    /// refresh commit. Excluded from [`Self::same_outcome`], like
+    /// `statically_skipped`.
+    pub deferred: bool,
+    /// `Some(lo..=hi)` on the report a refresh commit makes for its
+    /// deferred view: this delta folds the document changes of commits
+    /// `lo..=hi` into one propagation. Forwarded onto the view's
+    /// [`DeltaEvent::folded`](crate::subscribe::DeltaEvent::folded).
+    pub coalesced: Option<std::ops::RangeInclusive<u64>>,
     /// The view's Δ for this update: every store patch the engine made
     /// (insertions, removals, text modifications), complete enough
     /// that replaying it on a pre-update snapshot reproduces the
@@ -61,6 +72,12 @@ impl UpdateReport {
     /// counters, empty delta, [`Self::statically_skipped`] set.
     pub fn skipped() -> UpdateReport {
         UpdateReport { statically_skipped: true, ..UpdateReport::default() }
+    }
+
+    /// The report of a deferred (batched, not propagated) view for one
+    /// commit: default counters, empty delta, [`Self::deferred`] set.
+    pub fn deferred_marker() -> UpdateReport {
+        UpdateReport { deferred: true, ..UpdateReport::default() }
     }
 
     /// True when two reports describe the same propagation outcome:

@@ -73,7 +73,7 @@ pub mod timing;
 pub mod view_store;
 
 pub use commit::{Commit, ViewDelta, WeightedChange};
-pub use database::{Database, DatabaseBuilder, Transaction, ViewHandle};
+pub use database::{Database, DatabaseBuilder, MaintenanceMode, Transaction, ViewHandle};
 // The static-analysis surface the `analyze(..)` builder knob exposes
 // (the analyses themselves live in `xivm_analyze`).
 pub use engine::{MaintenanceEngine, PreparedUpdate, UpdateReport};

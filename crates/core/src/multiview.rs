@@ -211,10 +211,11 @@ impl MultiViewEngine {
         self.apply_statement_counted(doc, stmt, None).map(|(_, reports)| reports)
     }
 
-    /// [`Self::apply_statement`] plus the statement's atomic-op count
-    /// — the single implementation behind both this engine's public
+    /// [`Self::apply_statement`] plus the statement's computed PUL —
+    /// the single implementation behind both this engine's public
     /// entry point and the `Database` façade (whose commit report
-    /// needs the count). `skip[i]` marks view `i` statically
+    /// needs the op count, and whose deferred-maintenance batching
+    /// needs the PUL itself). `skip[i]` marks view `i` statically
     /// irrelevant: its maintenance is skipped entirely and its report
     /// comes back as [`UpdateReport::skipped`].
     pub(crate) fn apply_statement_counted(
@@ -222,14 +223,32 @@ impl MultiViewEngine {
         doc: &mut Document,
         stmt: &UpdateStatement,
         skip: Option<&[bool]>,
-    ) -> Result<(usize, Vec<(String, UpdateReport)>), Error> {
+    ) -> Result<(Pul, Vec<(String, UpdateReport)>), Error> {
         // Find Target Nodes — once, shared by every view.
         let (pul, t_find) = timed(|| compute_pul(doc, stmt));
         let mut out = self.propagate_pul_masked(doc, &pul, skip)?;
         for (_, report) in &mut out {
             report.timings.find_target_nodes = t_find;
         }
-        Ok((pul.len(), out))
+        Ok((pul, out))
+    }
+
+    /// One-view refresh propagation for deferred maintenance: folds an
+    /// aggregated multi-commit PUL into view `i` through the same
+    /// `prepare`/`finish` split a live commit uses, reading the
+    /// pre-batch document for the delete side and the post-batch
+    /// document for the insert side. The other views are untouched.
+    pub(crate) fn refresh_view(
+        &mut self,
+        i: usize,
+        pre: &Document,
+        post: &Document,
+        pul: &Pul,
+        apply_res: &xivm_update::ApplyResult,
+    ) -> UpdateReport {
+        let engine = &mut self.views[i].1;
+        let prepared = engine.prepare(pre, pul);
+        engine.finish(post, apply_res, prepared)
     }
 
     /// Propagates an already-computed (possibly optimizer-reduced,
@@ -293,12 +312,18 @@ impl MultiViewEngine {
     /// overlaps commit *k* on every disjoint shard, at any depth, not
     /// just one commit ahead.
     ///
-    /// `on_commit(k, ops, reports)` fires for each statement in order
-    /// as its window drains — callers seal sequence numbers and fan
-    /// out subscription events there, which is what keeps changefeeds
-    /// gapless and bit-identical to the sequential pass. With
-    /// `depth <= 1` or fewer than two statements this is exactly a
-    /// sequential loop of [`Self::apply_statement_counted`].
+    /// `on_commit(k, pul, pre, reports)` fires for each statement in
+    /// order as its window drains — callers seal sequence numbers and
+    /// fan out subscription events there, which is what keeps
+    /// changefeeds gapless and bit-identical to the sequential pass.
+    /// `pul` is the commit's computed PUL and `pre` the document
+    /// *before* that commit's apply — `Some` only when the caller
+    /// asked for it with `want_pre` (deferred-view batching folds the
+    /// PUL against exactly that document); the windowed path has the
+    /// pre-images anyway, the degenerate sequential path clones one
+    /// per commit only on request. With `depth <= 1` or fewer than two
+    /// statements this is exactly a sequential loop of
+    /// [`Self::apply_statement_counted`].
     ///
     /// On an apply error the pipeline stops: the window's commits that
     /// applied *before* the failure still drain (their `on_commit`
@@ -317,17 +342,19 @@ impl MultiViewEngine {
         stmts: &[UpdateStatement],
         depth: usize,
         masks: Option<&[Vec<bool>]>,
+        want_pre: bool,
         mut on_commit: F,
     ) -> Result<(), Error>
     where
-        F: FnMut(usize, usize, Vec<(String, UpdateReport)>),
+        F: FnMut(usize, &Pul, Option<&Document>, Vec<(String, UpdateReport)>),
     {
         debug_assert!(masks.is_none_or(|m| m.len() == stmts.len()));
         let mask_of = |k: usize| masks.map(|m| m[k].as_slice());
         if depth <= 1 || stmts.len() <= 1 {
             for (k, stmt) in stmts.iter().enumerate() {
-                let (ops, reports) = self.apply_statement_counted(doc, stmt, mask_of(k))?;
-                on_commit(k, ops, reports);
+                let pre = want_pre.then(|| doc.clone());
+                let (pul, reports) = self.apply_statement_counted(doc, stmt, mask_of(k))?;
+                on_commit(k, &pul, pre.as_ref(), reports);
             }
             return Ok(());
         }
@@ -373,7 +400,7 @@ impl MultiViewEngine {
             if !steps.is_empty() {
                 let reports = parallel::run_window(&mut self.views, &steps, runtime);
                 for (j, (step, per_view)) in steps.iter().zip(reports).enumerate() {
-                    on_commit(k0 + j, step.pul.len(), per_view);
+                    on_commit(k0 + j, &step.pul, want_pre.then_some(&step.pre), per_view);
                 }
             }
             if let Some(e) = failure {

@@ -46,7 +46,7 @@
 //! [`Runtime`]: crate::runtime::Runtime
 
 use crate::commit::Commit;
-use crate::database::{seal_commit, DbInner};
+use crate::database::{fold_pending, mark_deferred, merge_skip, seal_commit, DbInner};
 use crate::error::Error;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -344,7 +344,10 @@ fn drain_batch(db: &mut DbInner, batch: &[Submission], shared: &Shared) -> Optio
                 run_end += 1;
             }
             let end = run_end.min(i + db.pipeline.max(1));
-            let r = seal_window(db, &batch[i..end]);
+            // The refresh-interval policy fires on the service thread
+            // between windows, so deferred views refresh off the
+            // submitters' critical path.
+            let r = seal_window(db, &batch[i..end]).and_then(|()| db.maybe_auto_refresh());
             i = end;
             r
         } else {
@@ -379,19 +382,51 @@ fn seal_window(db: &mut DbInner, window: &[Submission]) -> Result<(), Error> {
     crate::fault::seal_point();
     let stmts: Vec<UpdateStatement> = window.iter().map(|s| s.stmts[0].clone()).collect();
     let pre = db.doc.clone();
-    let masks = db.static_masks(&stmts);
+    let statik = db.static_masks(&stmts);
+    let defer = db.defer_mask();
+    let masks: Option<Vec<Vec<bool>>> = match (&statik, &defer) {
+        (None, None) => None,
+        _ => {
+            let blank = vec![false; db.views.len()];
+            Some(
+                (0..stmts.len())
+                    .map(|k| {
+                        let s = statik.as_ref().map(|m| m[k].clone());
+                        merge_skip(s, defer.clone()).unwrap_or_else(|| blank.clone())
+                    })
+                    .collect(),
+            )
+        }
+    };
+    let want_pre = defer.is_some();
     let sealed = std::cell::Cell::new(0usize);
     let depth = db.pipeline;
     let outcome = {
-        let DbInner { doc, views, commits, subs, .. } = db;
+        let DbInner { doc, views, commits, subs, pending, modes, .. } = db;
         let sealed = &sealed;
         catch_unwind(AssertUnwindSafe(|| {
-            views.propagate_pipelined(doc, &stmts, depth, masks.as_deref(), |k, ops, per_view| {
-                let commit =
-                    seal_commit(commits, subs, 1, ops, ops, ReductionTrace::default(), per_view);
-                window[k].ticket.fulfill(Ok(commit));
-                sealed.set(sealed.get() + 1);
-            })
+            views.propagate_pipelined(
+                doc,
+                &stmts,
+                depth,
+                masks.as_deref(),
+                want_pre,
+                |k, pul, pre, mut per_view| {
+                    fold_pending(pending, modes, pre, pul, *commits + 1);
+                    mark_deferred(&mut per_view, modes);
+                    let commit = seal_commit(
+                        commits,
+                        subs,
+                        1,
+                        pul.len(),
+                        pul.len(),
+                        ReductionTrace::default(),
+                        per_view,
+                    );
+                    window[k].ticket.fulfill(Ok(commit));
+                    sealed.set(sealed.get() + 1);
+                },
+            )
         }))
     };
     match outcome {
@@ -464,6 +499,17 @@ fn recover(db: &mut DbInner, pre: Document, sealed_stmts: &[UpdateStatement]) {
     }
     db.doc = doc;
     db.views.recompute_all(&db.doc);
+    // `recompute_all` rebuilt deferred stores against the live
+    // document, silently absorbing any accumulated batch — the
+    // coalesced refresh event those subscribers were promised can no
+    // longer be produced. Discard the batches and force a `Lagged`
+    // marker over exactly the folded range, so feed consumers reseed
+    // from a snapshot instead of diverging.
+    for i in 0..db.pending.len() {
+        if let Some(p) = db.pending[i].take() {
+            db.subs.force_lag(i, p.first_seq, db.commits);
+        }
+    }
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {

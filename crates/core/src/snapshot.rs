@@ -30,9 +30,11 @@
 //!                         cont (0u32 or len-prefixed utf-8)
 //! ```
 
+use crate::commit::ViewDelta;
 use crate::database::ViewHandle;
 use crate::error::Error;
-use crate::view_store::{Cursor, ViewStore};
+use crate::subscribe::{DeltaEvent, FeedEvent, Lagged};
+use crate::view_store::{Cursor, TupleKey, ViewStore};
 use std::sync::Arc;
 use xivm_algebra::{Column, Field, Schema, Tuple};
 use xivm_pattern::xpath::{eval_path, parse_xpath};
@@ -41,13 +43,25 @@ use xivm_xml::{serialize_document, DeweyId, Document, NodeId};
 const MAGIC: &[u8; 4] = b"XIVM";
 const VERSION: u16 = 1;
 
-/// Snapshot decoding errors.
+/// Magic for framed feed events ([`encode_event`] / [`decode_event`]):
+/// same family as the store image, distinct so a store image fed to the
+/// event decoder (or vice versa) fails loudly at the first four bytes.
+const EVENT_MAGIC: &[u8; 4] = b"XIVE";
+const EVENT_VERSION: u16 = 1;
+
+/// Snapshot and wire-frame decoding errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SnapshotError {
     BadMagic,
     UnsupportedVersion(u16),
     Truncated,
-    Corrupt(&'static str),
+    /// Structurally invalid input: `what` names the field, `pos` is the
+    /// byte offset the decoder had reached — enough to diagnose which
+    /// frame of a wire stream went bad.
+    Corrupt {
+        what: &'static str,
+        pos: usize,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -56,7 +70,9 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::BadMagic => write!(f, "not a xivm snapshot"),
             SnapshotError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
             SnapshotError::Truncated => write!(f, "snapshot truncated"),
-            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapshotError::Corrupt { what, pos } => {
+                write!(f, "corrupt snapshot: {what} at byte {pos}")
+            }
         }
     }
 }
@@ -100,8 +116,9 @@ pub fn decode_store(bytes: &[u8]) -> Result<ViewStore, SnapshotError> {
     let arity = u16::from_le_bytes(r.take(2)?.try_into().expect("2 bytes")) as usize;
     let mut columns = Vec::with_capacity(arity);
     for _ in 0..arity {
+        let pos = r.pos;
         let name = String::from_utf8(r.bytes_field()?.to_vec())
-            .map_err(|_| SnapshotError::Corrupt("column name"))?;
+            .map_err(|_| SnapshotError::Corrupt { what: "column name", pos })?;
         let flags = r.take(1)?[0];
         columns.push(Column::with(name, flags & 1 != 0, flags & 2 != 0));
     }
@@ -112,15 +129,12 @@ pub fn decode_store(bytes: &[u8]) -> Result<ViewStore, SnapshotError> {
         let count = u64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes"));
         let mut fields = Vec::with_capacity(arity);
         for _ in 0..arity {
-            let id = DeweyId::decode(r.bytes_field()?).ok_or(SnapshotError::Corrupt("dewey id"))?;
-            let val = read_opt_str(&mut r)?;
-            let cont = read_opt_str(&mut r)?;
-            fields.push(Field::new(id, val, cont));
+            fields.push(read_field(&mut r)?);
         }
         store.add(Tuple::new(fields), count);
     }
     if r.pos != bytes.len() {
-        return Err(SnapshotError::Corrupt("trailing bytes"));
+        return Err(SnapshotError::Corrupt { what: "trailing bytes", pos: r.pos });
     }
     Ok(store)
 }
@@ -144,12 +158,23 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
-        if self.pos + n > self.bytes.len() {
+        // Bound against the *remaining* bytes, never `pos + n`: a
+        // length prefix near usize::MAX must read as Truncated, not
+        // wrap the addition and hand out a bogus slice.
+        if n > self.bytes.len() - self.pos {
             return Err(SnapshotError::Truncated);
         }
         let out = &self.bytes[self.pos..self.pos + n];
         self.pos += n;
         Ok(out)
+    }
+
+    fn u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
     fn bytes_field(&mut self) -> Result<&'a [u8], SnapshotError> {
@@ -159,13 +184,192 @@ impl<'a> Reader<'a> {
 }
 
 fn read_opt_str(r: &mut Reader<'_>) -> Result<Option<Arc<str>>, SnapshotError> {
+    let pos = r.pos;
     let len = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"));
     if len == u32::MAX {
         return Ok(None);
     }
     let s = std::str::from_utf8(r.take(len as usize)?)
-        .map_err(|_| SnapshotError::Corrupt("utf-8 string"))?;
+        .map_err(|_| SnapshotError::Corrupt { what: "utf-8 string", pos })?;
     Ok(Some(Arc::from(s)))
+}
+
+fn read_dewey(r: &mut Reader<'_>) -> Result<DeweyId, SnapshotError> {
+    let pos = r.pos;
+    DeweyId::decode(r.bytes_field()?).ok_or(SnapshotError::Corrupt { what: "dewey id", pos })
+}
+
+fn write_field(out: &mut Vec<u8>, field: &Field) {
+    write_bytes(out, &field.id.encode());
+    write_opt_str(out, field.val.as_deref());
+    write_opt_str(out, field.cont.as_deref());
+}
+
+fn read_field(r: &mut Reader<'_>) -> Result<Field, SnapshotError> {
+    let id = read_dewey(r)?;
+    let val = read_opt_str(r)?;
+    let cont = read_opt_str(r)?;
+    Ok(Field::new(id, val, cont))
+}
+
+// ---------------------------------------------------------------------
+// Feed-event wire frames
+// ---------------------------------------------------------------------
+
+fn write_tuple(out: &mut Vec<u8>, tuple: &Tuple) {
+    out.extend_from_slice(&(tuple.arity() as u16).to_le_bytes());
+    for field in tuple.fields() {
+        write_field(out, field);
+    }
+}
+
+fn read_tuple(r: &mut Reader<'_>) -> Result<Tuple, SnapshotError> {
+    let arity = r.u16()? as usize;
+    let mut fields = Vec::with_capacity(arity.min(256));
+    for _ in 0..arity {
+        fields.push(read_field(r)?);
+    }
+    Ok(Tuple::new(fields))
+}
+
+fn write_key(out: &mut Vec<u8>, key: &TupleKey) {
+    out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    for id in key {
+        write_bytes(out, &id.encode());
+    }
+}
+
+fn read_key(r: &mut Reader<'_>) -> Result<TupleKey, SnapshotError> {
+    let n = r.u16()? as usize;
+    let mut key = Vec::with_capacity(n.min(256));
+    for _ in 0..n {
+        key.push(read_dewey(r)?);
+    }
+    Ok(key)
+}
+
+const EVENT_KIND_DELTA: u8 = 0;
+const EVENT_KIND_LAGGED: u8 = 1;
+
+/// Serializes one feed element — a commit's [`DeltaEvent`] or a
+/// [`Lagged`] gap marker — as one self-describing frame, in the same
+/// magic/version/length-prefixed style as [`encode_store`]:
+///
+/// ```text
+/// magic "XIVE" · version u16 · kind u8
+/// kind 0 (delta):  seq u64 · folded u8 (0|1) [· lo u64 · hi u64]
+///                  inserted u64 · per: count u64 · tuple
+///                  removed  u64 · per: key · count u64
+///                  modified u64 · per: key · tuple
+/// kind 1 (lagged): lo u64 · hi u64
+/// tuple: arity u16 · per field: dewey · val · cont   (as encode_store)
+/// key:   len u16 · per id: dewey (len-prefixed)
+/// ```
+pub fn encode_event(event: &FeedEvent) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(EVENT_MAGIC);
+    out.extend_from_slice(&EVENT_VERSION.to_le_bytes());
+    match event {
+        FeedEvent::Delta(e) => {
+            out.push(EVENT_KIND_DELTA);
+            out.extend_from_slice(&e.seq.to_le_bytes());
+            match &e.folded {
+                None => out.push(0),
+                Some(range) => {
+                    out.push(1);
+                    out.extend_from_slice(&range.start().to_le_bytes());
+                    out.extend_from_slice(&range.end().to_le_bytes());
+                }
+            }
+            let d = &e.delta;
+            out.extend_from_slice(&(d.inserted.len() as u64).to_le_bytes());
+            for (tuple, count) in &d.inserted {
+                out.extend_from_slice(&count.to_le_bytes());
+                write_tuple(&mut out, tuple);
+            }
+            out.extend_from_slice(&(d.removed.len() as u64).to_le_bytes());
+            for (key, count) in &d.removed {
+                write_key(&mut out, key);
+                out.extend_from_slice(&count.to_le_bytes());
+            }
+            out.extend_from_slice(&(d.modified.len() as u64).to_le_bytes());
+            for (key, tuple) in &d.modified {
+                write_key(&mut out, key);
+                write_tuple(&mut out, tuple);
+            }
+        }
+        FeedEvent::Lagged(lag) => {
+            out.push(EVENT_KIND_LAGGED);
+            out.extend_from_slice(&lag.missed_range.start().to_le_bytes());
+            out.extend_from_slice(&lag.missed_range.end().to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Reconstructs a feed element from [`encode_event`]'s output. All the
+/// [`decode_store`] hardening guarantees apply: corrupt or truncated
+/// frames yield a typed [`SnapshotError`] (with the byte position for
+/// `Corrupt`), never a panic or an attacker-sized allocation.
+pub fn decode_event(bytes: &[u8]) -> Result<FeedEvent, SnapshotError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != EVENT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != EVENT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let kind_pos = r.pos;
+    let kind = r.take(1)?[0];
+    let event = match kind {
+        EVENT_KIND_DELTA => {
+            let seq = r.u64()?;
+            let folded_pos = r.pos;
+            let folded = match r.take(1)?[0] {
+                0 => None,
+                1 => {
+                    let lo = r.u64()?;
+                    let hi = r.u64()?;
+                    if lo > hi || hi > seq {
+                        return Err(SnapshotError::Corrupt {
+                            what: "folded range",
+                            pos: folded_pos,
+                        });
+                    }
+                    Some(lo..=hi)
+                }
+                _ => return Err(SnapshotError::Corrupt { what: "folded flag", pos: folded_pos }),
+            };
+            let mut delta = ViewDelta::default();
+            for _ in 0..r.u64()? {
+                let count = r.u64()?;
+                delta.inserted.push((read_tuple(&mut r)?, count));
+            }
+            for _ in 0..r.u64()? {
+                let key = read_key(&mut r)?;
+                delta.removed.push((key, r.u64()?));
+            }
+            for _ in 0..r.u64()? {
+                let key = read_key(&mut r)?;
+                delta.modified.push((key, read_tuple(&mut r)?));
+            }
+            FeedEvent::Delta(DeltaEvent { seq, folded, delta: Arc::new(delta) })
+        }
+        EVENT_KIND_LAGGED => {
+            let lo = r.u64()?;
+            let hi = r.u64()?;
+            if lo > hi {
+                return Err(SnapshotError::Corrupt { what: "lag range", pos: kind_pos });
+            }
+            FeedEvent::Lagged(Lagged { missed_range: lo..=hi })
+        }
+        _ => return Err(SnapshotError::Corrupt { what: "event kind", pos: kind_pos }),
+    };
+    if r.pos != bytes.len() {
+        return Err(SnapshotError::Corrupt { what: "trailing bytes", pos: r.pos });
+    }
+    Ok(event)
 }
 
 // ---------------------------------------------------------------------
@@ -321,13 +525,94 @@ mod tests {
         trailing.push(0);
         assert_eq!(
             decode_store(&trailing).map(|_| ()).unwrap_err(),
-            SnapshotError::Corrupt("trailing bytes")
+            SnapshotError::Corrupt { what: "trailing bytes", pos: bytes.len() }
         );
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_truncated_not_allocated() {
+        // A frame whose first length prefix claims u32::MAX-ish bytes
+        // must fail as Truncated without reserving that much: overwrite
+        // the first column-name length field of a valid image.
+        let bytes = encode_store(&sample_store());
+        let mut hostile = bytes.clone();
+        hostile[8..12].copy_from_slice(&(u32::MAX - 1).to_le_bytes());
+        assert_eq!(decode_store(&hostile).map(|_| ()).unwrap_err(), SnapshotError::Truncated);
     }
 
     #[test]
     fn errors_display() {
         assert!(SnapshotError::BadMagic.to_string().contains("snapshot"));
-        assert!(SnapshotError::Corrupt("x").to_string().contains("x"));
+        let c = SnapshotError::Corrupt { what: "x", pos: 7 };
+        assert!(c.to_string().contains('x') && c.to_string().contains('7'));
+    }
+
+    #[test]
+    fn event_frames_roundtrip() {
+        use crate::subscribe::{DeltaEvent, FeedEvent, Lagged};
+
+        let store = sample_store();
+        let tuples: Vec<(Tuple, u64)> = store.cursor().map(|(t, c)| (t.clone(), c)).collect();
+        let mut delta = ViewDelta::default();
+        delta.inserted.push(tuples[0].clone());
+        delta.removed.push((tuples[1].0.id_key(), 2));
+        delta.modified.push((tuples[2].0.id_key(), tuples[2].0.clone()));
+
+        for event in [
+            FeedEvent::Delta(DeltaEvent { seq: 42, folded: None, delta: Arc::new(delta.clone()) }),
+            FeedEvent::Delta(DeltaEvent {
+                seq: 9,
+                folded: Some(3..=9),
+                delta: Arc::new(delta.clone()),
+            }),
+            FeedEvent::Delta(DeltaEvent { seq: 1, folded: None, delta: Arc::default() }),
+            FeedEvent::Lagged(Lagged { missed_range: 4..=17 }),
+        ] {
+            let bytes = encode_event(&event);
+            let back = decode_event(&bytes).unwrap();
+            // re-encoding the decoded event must reproduce the frame
+            // byte for byte — the replica path depends on it
+            assert_eq!(encode_event(&back), bytes);
+            match (&event, &back) {
+                (FeedEvent::Delta(a), FeedEvent::Delta(b)) => {
+                    assert_eq!(a.seq, b.seq);
+                    assert_eq!(a.folded, b.folded);
+                    assert_eq!(a.delta.inserted, b.delta.inserted);
+                    assert_eq!(a.delta.removed, b.delta.removed);
+                    assert_eq!(a.delta.modified, b.delta.modified);
+                }
+                (FeedEvent::Lagged(a), FeedEvent::Lagged(b)) => {
+                    assert_eq!(a.missed_range, b.missed_range);
+                }
+                _ => panic!("event kind changed in flight"),
+            }
+        }
+    }
+
+    #[test]
+    fn event_frame_corruption_is_detected() {
+        use crate::subscribe::{FeedEvent, Lagged};
+
+        assert!(matches!(decode_event(b"nope"), Err(SnapshotError::BadMagic)));
+        let bytes = encode_event(&FeedEvent::Lagged(Lagged { missed_range: 4..=17 }));
+        // store magic into the event decoder: BadMagic, not a misparse
+        assert!(matches!(
+            decode_event(&encode_store(&sample_store())),
+            Err(SnapshotError::BadMagic)
+        ));
+        assert!(decode_event(&bytes[..bytes.len() - 1]).is_err());
+        let mut kind = bytes.clone();
+        kind[6] = 9;
+        assert!(matches!(
+            decode_event(&kind),
+            Err(SnapshotError::Corrupt { what: "event kind", .. })
+        ));
+        // inverted lag range
+        let mut inv = bytes.clone();
+        inv[7..15].copy_from_slice(&99u64.to_le_bytes());
+        assert!(matches!(
+            decode_event(&inv),
+            Err(SnapshotError::Corrupt { what: "lag range", .. })
+        ));
     }
 }

@@ -131,10 +131,26 @@ impl FeedEvent {
 /// marker under [`SlowConsumerPolicy::DropAndMark`], which names the
 /// missing seqs exactly; around it the contract still holds.
 ///
+/// # Deferred views and coalesced events
+///
+/// A view under deferred maintenance still receives one event per
+/// commit — its store genuinely does not change while changes batch,
+/// so those events are empty. The refresh that folds the batch seals
+/// its own commit, and that commit's event carries the whole batched
+/// delta plus [`folded`](Self::folded): the exact range of earlier
+/// seqs whose document changes it coalesces. Seqs therefore stay
+/// consecutive even across a refresh; `folded` is metadata, never a
+/// hole.
+///
 /// [`Database::last_seq`]: crate::database::DbInner::last_seq
 #[derive(Debug, Clone, Default)]
 pub struct DeltaEvent {
     pub seq: u64,
+    /// `Some(lo..=hi)` when this event is the coalesced refresh of a
+    /// deferred view: its delta folds the document changes of commits
+    /// `lo..=hi` (whose own events for this view were empty) into one
+    /// propagation. `None` for ordinary immediate-maintenance events.
+    pub folded: Option<RangeInclusive<u64>>,
     pub delta: Arc<ViewDelta>,
 }
 
@@ -291,6 +307,35 @@ impl SubQueue {
         out.into()
     }
 
+    /// See [`SubscriptionRegistry::force_lag`]. Extends (or starts) the
+    /// lag run to cover `lo..=hi` and drops any queued event the run
+    /// would otherwise leapfrog, so drains still deliver the marker
+    /// first and only events with seq strictly beyond it after.
+    pub(crate) fn force_lag(&self, lo: u64, hi: u64) {
+        let mut st = self.state.lock().unwrap();
+        if st.disconnected {
+            return;
+        }
+        let start = match st.lag.take() {
+            // An older hole exists: events between it and `lo` would
+            // sit *after* the merged marker, breaking resume-at-end+1.
+            // Drop them all; the merged range covers everything.
+            Some((l, _)) => {
+                st.events.clear();
+                l.min(lo)
+            }
+            None => {
+                while st.events.back().is_some_and(|e| e.seq >= lo) {
+                    st.events.pop_back();
+                }
+                lo
+            }
+        };
+        st.lag = Some((start, hi));
+        drop(st);
+        self.space.notify_all();
+    }
+
     pub(crate) fn pending(&self) -> usize {
         self.state.lock().unwrap().events.len()
     }
@@ -358,7 +403,25 @@ impl SubscriptionRegistry {
             let delta = Arc::clone(shared.entry(queue.view).or_insert_with(|| {
                 Arc::new(per_view.get(queue.view).map(|(_, r)| r.delta.clone()).unwrap_or_default())
             }));
-            queue.push(DeltaEvent { seq: commit.seq, delta });
+            let folded = per_view.get(queue.view).and_then(|(_, r)| r.coalesced.clone());
+            queue.push(DeltaEvent { seq: commit.seq, folded, delta });
+        }
+    }
+
+    /// Forces a [`Lagged`] marker into every subscription of `view`,
+    /// covering `lo..=hi`. This is the crash-recovery escape hatch:
+    /// when the service thread recovers a panicked window by
+    /// recomputing stores, a deferred view's batched-but-unrefreshed
+    /// changes land without a refresh commit, so its feeds are told
+    /// explicitly which seqs they can no longer reconstruct and
+    /// re-seed from a snapshot. Queued events that the forced range
+    /// touches (or that follow an earlier lag run) are dropped so the
+    /// stream stays marker-first, then strictly beyond the marker.
+    pub(crate) fn force_lag(&mut self, view: usize, lo: u64, hi: u64) {
+        for queue in self.subs.values() {
+            if queue.view == view {
+                queue.force_lag(lo, hi);
+            }
         }
     }
 

@@ -1,0 +1,191 @@
+//! The replica side: a TCP client that maintains a byte-identical
+//! copy of one served view by replaying its event stream.
+
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use xivm_core::snapshot::{decode_event, decode_store, encode_store};
+use xivm_core::subscribe::FeedEvent;
+use xivm_core::view_store::ViewStore;
+
+use crate::wire::{self, FeedError, FrameKind};
+
+/// How long a blocking read in [`ReplicaClient::sync_to`] waits for
+/// the next frame before surfacing an [`FeedError::Io`] timeout —
+/// a protocol bug fails the caller instead of hanging it.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A remote replica of one view — see the crate docs for the
+/// protocol and [`crate::FeedServer`] for the serving side.
+///
+/// The client tracks a high-water mark (the last applied commit
+/// sequence number) and a [`ViewStore`]. [`Self::sync_to`] reads
+/// frames until the mark reaches a target: delta events must arrive
+/// strictly gapless (`seq == mark + 1` — anything else is a
+/// [`FeedError::Protocol`]), snapshots replace the store wholesale,
+/// and a `Lagged` marker triggers an automatic reconnect whose
+/// handshake recovers through replay-or-snapshot. After
+/// `sync_to(server_seq)`, [`Self::store`] re-encodes byte-identically
+/// to the source view.
+pub struct ReplicaClient {
+    addr: SocketAddr,
+    view: String,
+    stream: TcpStream,
+    store: Option<ViewStore>,
+    seq: u64,
+    reconnects: u64,
+}
+
+impl ReplicaClient {
+    /// Connects a fresh replica (no state): the server answers the
+    /// handshake with a full snapshot at its current sequence number.
+    pub fn connect(addr: impl ToSocketAddrs, view: &str) -> Result<ReplicaClient, FeedError> {
+        let addr = resolve(addr)?;
+        let stream = dial(addr, view, false, 0)?;
+        Ok(ReplicaClient {
+            addr,
+            view: view.to_owned(),
+            stream,
+            store: None,
+            seq: 0,
+            reconnects: 0,
+        })
+    }
+
+    /// Reconnects a replica that already holds state through `seq`
+    /// (e.g. after a crash with the store persisted): the server
+    /// replays the missing events from its retained window, or sends
+    /// a snapshot when the gap outruns it.
+    pub fn resume(
+        addr: impl ToSocketAddrs,
+        view: &str,
+        store: ViewStore,
+        seq: u64,
+    ) -> Result<ReplicaClient, FeedError> {
+        let addr = resolve(addr)?;
+        let stream = dial(addr, view, true, seq)?;
+        Ok(ReplicaClient {
+            addr,
+            view: view.to_owned(),
+            stream,
+            store: Some(store),
+            seq,
+            reconnects: 0,
+        })
+    }
+
+    /// The replicated store, once the first snapshot or resume state
+    /// is in place.
+    pub fn store(&self) -> Option<&ViewStore> {
+        self.store.as_ref()
+    }
+
+    /// Last applied commit sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Times the connection was re-established (lag recovery or
+    /// explicit [`Self::reconnect`]).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// True iff the replica's bytes equal `source`'s bytes — the
+    /// replication acceptance check ([`encode_store`] is canonical:
+    /// document order, deterministic layout).
+    pub fn identical_to(&self, source: &ViewStore) -> bool {
+        self.store.as_ref().is_some_and(|s| encode_store(s) == encode_store(source))
+    }
+
+    /// Reads frames until the replica reflects commit `target` (and
+    /// has a store). Delta events beyond the mark must be exactly
+    /// `mark + 1`; events at or below it (possible right after a
+    /// snapshot recovery) are skipped.
+    pub fn sync_to(&mut self, target: u64) -> Result<(), FeedError> {
+        while self.seq < target || self.store.is_none() {
+            let (kind, payload) = wire::read_frame(&mut self.stream)?;
+            match kind {
+                FrameKind::Event => match decode_event(&payload)? {
+                    FeedEvent::Delta(ev) => {
+                        if ev.seq <= self.seq && self.store.is_some() {
+                            continue;
+                        }
+                        let store = self.store.as_mut().ok_or_else(|| {
+                            FeedError::Protocol("delta before first snapshot".into())
+                        })?;
+                        if ev.seq != self.seq + 1 {
+                            return Err(FeedError::Protocol(format!(
+                                "sequence gap: replica at {}, event is {}",
+                                self.seq, ev.seq
+                            )));
+                        }
+                        ev.delta.replay(store);
+                        self.seq = ev.seq;
+                    }
+                    FeedEvent::Lagged(_) => {
+                        // The server can no longer replay the gap for
+                        // anyone: recover through a fresh handshake
+                        // (replay-or-snapshot against our mark).
+                        self.reconnect()?;
+                    }
+                },
+                FrameKind::Snapshot => {
+                    let (seq, bytes) = wire::parse_snapshot(&payload)?;
+                    self.store = Some(decode_store(bytes)?);
+                    self.seq = seq;
+                }
+                FrameKind::Deny => {
+                    return Err(FeedError::Denied(String::from_utf8_lossy(&payload).into_owned()))
+                }
+                FrameKind::Hello => {
+                    return Err(FeedError::Protocol("unexpected hello from server".into()))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-establishes the connection, offering the current state as
+    /// the resume point. Used internally on `Lagged` markers and by
+    /// crash/reconnect tests after [`Self::kill`].
+    pub fn reconnect(&mut self) -> Result<(), FeedError> {
+        self.stream = dial(self.addr, &self.view, self.store.is_some(), self.seq)?;
+        self.reconnects += 1;
+        Ok(())
+    }
+
+    /// Test helper: severs the connection abruptly (both directions),
+    /// simulating a crash mid-stream. The replica's state survives;
+    /// [`Self::reconnect`] resumes from the high-water mark.
+    pub fn kill(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+fn resolve(addr: impl ToSocketAddrs) -> Result<SocketAddr, FeedError> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| FeedError::Protocol("address resolved to nothing".into()))
+}
+
+/// Dials and runs the client half of the handshake; catch-up frames
+/// (replay or snapshot) arrive on the returned stream.
+fn dial(
+    addr: SocketAddr,
+    view: &str,
+    has_state: bool,
+    high_water: u64,
+) -> Result<TcpStream, FeedError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    wire::write_stream_header(&mut stream)?;
+    wire::read_stream_header(&mut stream)?;
+    wire::write_frame(
+        &mut stream,
+        FrameKind::Hello,
+        &wire::hello_payload(has_state, high_water, view),
+    )?;
+    Ok(stream)
+}

@@ -1,0 +1,288 @@
+//! The feed wire protocol: a length-prefixed frame stream over any
+//! byte pipe, carrying the event frames of
+//! [`xivm_core::snapshot::encode_event`] plus the handshake and
+//! snapshot frames replication needs.
+//!
+//! # Stream layout
+//!
+//! Each direction starts with a fixed 10-byte header — the magic
+//! `b"XIVMFEED"` and a little-endian `u16` protocol version — then
+//! carries frames:
+//!
+//! | bytes | meaning |
+//! |-------|---------|
+//! | 1     | frame kind |
+//! | 4     | payload length, `u32` LE |
+//! | n     | payload |
+//!
+//! Kinds:
+//!
+//! | kind | name     | payload |
+//! |------|----------|---------|
+//! | 0    | hello    | `has_state u8` · `high_water u64` · view name (UTF-8, rest of frame) |
+//! | 1    | event    | one [`encode_event`] frame (delta or lagged marker) |
+//! | 2    | snapshot | `seq u64` · one [`encode_store`] image |
+//! | 3    | deny     | UTF-8 reason |
+//!
+//! [`encode_event`]: xivm_core::snapshot::encode_event
+//! [`encode_store`]: xivm_core::snapshot::encode_store
+//!
+//! Every multi-byte integer is little-endian, matching the snapshot
+//! codec. Length prefixes are bounded by [`MAX_FRAME`] **before** any
+//! allocation, mirroring the hardened snapshot reader: a corrupt or
+//! adversarial peer costs at most one bounded read, never a multi-GB
+//! `Vec::with_capacity`.
+
+use std::io::{self, Read, Write};
+
+use xivm_core::snapshot::SnapshotError;
+
+/// Per-direction stream header magic.
+pub const STREAM_MAGIC: &[u8; 8] = b"XIVMFEED";
+
+/// Protocol version; bumped on any incompatible frame change.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on a frame payload (64 MiB). A length prefix beyond
+/// this is a protocol error, not an allocation.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Frame kinds (the one-byte tag ahead of every payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server: resume point and view name.
+    Hello,
+    /// Server → client: one encoded [`FeedEvent`](xivm_core::subscribe::FeedEvent)
+    /// ([`xivm_core::FeedEvent`]) — a delta or a lagged marker.
+    Event,
+    /// Server → client: a full store image plus the sequence number
+    /// it reflects; replaces the replica wholesale.
+    Snapshot,
+    /// Server → client: the handshake was rejected (unknown view,
+    /// version mismatch); the reason is human-readable.
+    Deny,
+}
+
+impl FrameKind {
+    fn code(self) -> u8 {
+        match self {
+            FrameKind::Hello => 0,
+            FrameKind::Event => 1,
+            FrameKind::Snapshot => 2,
+            FrameKind::Deny => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<FrameKind> {
+        match code {
+            0 => Some(FrameKind::Hello),
+            1 => Some(FrameKind::Event),
+            2 => Some(FrameKind::Snapshot),
+            3 => Some(FrameKind::Deny),
+            _ => None,
+        }
+    }
+}
+
+/// Everything that can go wrong on the feed path.
+#[derive(Debug)]
+pub enum FeedError {
+    /// The underlying transport failed (includes read timeouts).
+    Io(io::Error),
+    /// A snapshot or event frame failed to decode.
+    Snapshot(SnapshotError),
+    /// The peer violated the protocol (bad magic, unknown frame kind,
+    /// a sequence gap the contract forbids).
+    Protocol(String),
+    /// The server rejected the handshake.
+    Denied(String),
+}
+
+impl std::fmt::Display for FeedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeedError::Io(e) => write!(f, "feed transport: {e}"),
+            FeedError::Snapshot(e) => write!(f, "feed payload: {e}"),
+            FeedError::Protocol(what) => write!(f, "feed protocol violation: {what}"),
+            FeedError::Denied(reason) => write!(f, "feed handshake denied: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FeedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FeedError::Io(e) => Some(e),
+            FeedError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FeedError {
+    fn from(e: io::Error) -> Self {
+        FeedError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for FeedError {
+    fn from(e: SnapshotError) -> Self {
+        FeedError::Snapshot(e)
+    }
+}
+
+/// Writes the per-direction stream header.
+pub fn write_stream_header(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(STREAM_MAGIC)?;
+    w.write_all(&PROTOCOL_VERSION.to_le_bytes())
+}
+
+/// Reads and validates the peer's stream header.
+pub fn read_stream_header(r: &mut impl Read) -> Result<(), FeedError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != STREAM_MAGIC {
+        return Err(FeedError::Protocol("bad stream magic".into()));
+    }
+    let mut ver = [0u8; 2];
+    r.read_exact(&mut ver)?;
+    let ver = u16::from_le_bytes(ver);
+    if ver != PROTOCOL_VERSION {
+        return Err(FeedError::Protocol(format!(
+            "protocol version {ver}, expected {PROTOCOL_VERSION}"
+        )));
+    }
+    Ok(())
+}
+
+/// Writes one frame (kind, length, payload). The payload must fit in
+/// [`MAX_FRAME`]; oversized payloads are a caller bug surfaced as
+/// `InvalidInput` rather than a malformed stream.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> io::Result<()> {
+    if payload.len() as u64 > MAX_FRAME as u64 {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds MAX_FRAME"));
+    }
+    w.write_all(&[kind.code()])?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame. The length prefix is validated against
+/// [`MAX_FRAME`] before the payload buffer is allocated.
+pub fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>), FeedError> {
+    let mut head = [0u8; 5];
+    r.read_exact(&mut head)?;
+    let kind = FrameKind::from_code(head[0])
+        .ok_or_else(|| FeedError::Protocol(format!("unknown frame kind {}", head[0])))?;
+    let len = u32::from_le_bytes([head[1], head[2], head[3], head[4]]);
+    if len > MAX_FRAME {
+        return Err(FeedError::Protocol(format!("frame length {len} exceeds bound {MAX_FRAME}")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok((kind, payload))
+}
+
+/// Encodes a hello payload: resume point plus the view name.
+pub fn hello_payload(has_state: bool, high_water: u64, view: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + view.len());
+    out.push(has_state as u8);
+    out.extend_from_slice(&high_water.to_le_bytes());
+    out.extend_from_slice(view.as_bytes());
+    out
+}
+
+/// Decodes a hello payload.
+pub fn parse_hello(payload: &[u8]) -> Result<(bool, u64, String), FeedError> {
+    if payload.len() < 9 {
+        return Err(FeedError::Protocol("short hello frame".into()));
+    }
+    let has_state = match payload[0] {
+        0 => false,
+        1 => true,
+        b => return Err(FeedError::Protocol(format!("hello state flag {b}"))),
+    };
+    let high_water = u64::from_le_bytes(payload[1..9].try_into().expect("checked length"));
+    let view = std::str::from_utf8(&payload[9..])
+        .map_err(|_| FeedError::Protocol("hello view name is not UTF-8".into()))?
+        .to_owned();
+    Ok((has_state, high_water, view))
+}
+
+/// Encodes a snapshot payload: the sequence number the image
+/// reflects, then the [`xivm_core::snapshot::encode_store`] bytes.
+pub fn snapshot_payload(seq: u64, store_bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + store_bytes.len());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(store_bytes);
+    out
+}
+
+/// Splits a snapshot payload into (seq, store bytes).
+pub fn parse_snapshot(payload: &[u8]) -> Result<(u64, &[u8]), FeedError> {
+    if payload.len() < 8 {
+        return Err(FeedError::Protocol("short snapshot frame".into()));
+    }
+    let seq = u64::from_le_bytes(payload[..8].try_into().expect("checked length"));
+    Ok((seq, &payload[8..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_stream_header(&mut buf).unwrap();
+        write_frame(&mut buf, FrameKind::Hello, &hello_payload(true, 42, "acb")).unwrap();
+        write_frame(&mut buf, FrameKind::Deny, b"nope").unwrap();
+
+        let mut r = &buf[..];
+        read_stream_header(&mut r).unwrap();
+        let (kind, payload) = read_frame(&mut r).unwrap();
+        assert_eq!(kind, FrameKind::Hello);
+        assert_eq!(parse_hello(&payload).unwrap(), (true, 42, "acb".to_owned()));
+        let (kind, payload) = read_frame(&mut r).unwrap();
+        assert_eq!(kind, FrameKind::Deny);
+        assert_eq!(payload, b"nope");
+    }
+
+    #[test]
+    fn hostile_frame_length_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.push(1u8); // event
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, FeedError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"XIVMFEET");
+        buf.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        assert!(matches!(read_stream_header(&mut &buf[..]), Err(FeedError::Protocol(_))));
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(STREAM_MAGIC);
+        buf.extend_from_slice(&7u16.to_le_bytes());
+        assert!(matches!(read_stream_header(&mut &buf[..]), Err(FeedError::Protocol(_))));
+    }
+
+    #[test]
+    fn unknown_frame_kind_is_a_protocol_error() {
+        let mut buf = vec![9u8];
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(read_frame(&mut &buf[..]), Err(FeedError::Protocol(_))));
+    }
+
+    #[test]
+    fn snapshot_payload_roundtrip() {
+        let payload = snapshot_payload(7, b"STORE");
+        let (seq, bytes) = parse_snapshot(&payload).unwrap();
+        assert_eq!(seq, 7);
+        assert_eq!(bytes, b"STORE");
+        assert!(matches!(parse_snapshot(&payload[..4]), Err(FeedError::Protocol(_))));
+    }
+}

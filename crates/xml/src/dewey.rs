@@ -176,6 +176,14 @@ impl DeweyId {
     /// Inverse of [`DeweyId::encode`]. Returns `None` on malformed input.
     pub fn decode(mut bytes: &[u8]) -> Option<DeweyId> {
         let n = read_varint(&mut bytes)? as usize;
+        // Every step costs at least two bytes (one per varint), so a
+        // count that exceeds the remaining input is malformed. Check
+        // *before* reserving: the count is attacker-controlled on the
+        // wire path, and `with_capacity` on a bare varint would turn a
+        // 10-byte frame into a multi-GB allocation.
+        if n > bytes.len() / 2 {
+            return None;
+        }
         let mut steps = Vec::with_capacity(n);
         for _ in 0..n {
             let label = read_varint(&mut bytes)?;
@@ -366,6 +374,19 @@ mod tests {
         let mut enc = id(&[(1, 2)]).encode().to_vec();
         enc.push(0);
         assert_eq!(DeweyId::decode(&enc), None);
+    }
+
+    #[test]
+    fn decode_bounds_step_count_against_remaining_bytes() {
+        // A step count larger than the input could possibly hold must
+        // fail fast instead of reserving a huge Vec: this 10-byte frame
+        // declares ~2^60 steps.
+        let huge = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f, 0x00];
+        assert_eq!(DeweyId::decode(&huge), None);
+        // u64::MAX-ish count with no payload at all
+        assert_eq!(DeweyId::decode(&[0xff, 0xff, 0xff, 0x7f]), None);
+        // count 2 but only one step's worth of bytes
+        assert_eq!(DeweyId::decode(&[2, 1, 1]), None);
     }
 
     #[test]

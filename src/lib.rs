@@ -137,15 +137,31 @@
 //! `tests/analyze_soundness.rs`). `cargo run --example analyze_lint`
 //! runs the same checks as a CI gate over the XMark catalog.
 //!
+//! ## Replication & deferred views
+//!
+//! [`feed`] replicates a view's changefeed over a socket: a
+//! [`FeedServer`] frames every commit's [`DeltaEvent`] with the
+//! snapshot codec and a [`ReplicaClient`] in another process
+//! maintains a byte-identical copy of the store, resuming after
+//! disconnects from its high-water mark (bounded replay window, full
+//! snapshot fallback). Views declared with `.view_deferred(..)` (or
+//! switched with `set_maintenance`) batch their maintenance out of
+//! the commit path entirely: `db.refresh(view)` folds the
+//! accumulated PULs in one propagation pass sealed as its own
+//! commit, whose event carries the coalesced delta plus the exact
+//! [`DeltaEvent::folded`] commit range — feeds, circuits and
+//! replicas stay gapless throughout.
+//!
 //! The member crates remain available under their re-exported names:
 //! [`xml`], [`algebra`], [`pattern`], [`update`], [`core`],
-//! [`pulopt`], [`dtd`], [`xmark`], [`ivma`], [`analyze`].
+//! [`pulopt`], [`dtd`], [`xmark`], [`ivma`], [`analyze`], [`feed`].
 
 pub use xivm_algebra as algebra;
 pub use xivm_analyze as analyze;
 pub use xivm_circuit as circuit;
 pub use xivm_core as core;
 pub use xivm_dtd as dtd;
+pub use xivm_feed as feed;
 pub use xivm_ivma as ivma;
 pub use xivm_pattern as pattern;
 pub use xivm_pulopt as pulopt;
@@ -155,9 +171,10 @@ pub use xivm_xml as xml;
 
 pub use xivm_core::{
     AnalysisReport, AnalyzeMode, Analyzer, Commit, Database, DatabaseBuilder, DatabaseSnapshot,
-    DeltaEvent, Error, FeedEvent, Lagged, ShardedStores, SlowConsumerPolicy, Subscription, Ticket,
-    Transaction, ViewDelta, ViewHandle, WeightedChange,
+    DeltaEvent, Error, FeedEvent, Lagged, MaintenanceMode, ShardedStores, SlowConsumerPolicy,
+    Subscription, Ticket, Transaction, ViewDelta, ViewHandle, WeightedChange,
 };
+pub use xivm_feed::{FeedServer, ReplicaClient};
 
 /// One-stop imports for applications built on the [`Database`] façade.
 ///
@@ -172,9 +189,11 @@ pub mod prelude {
     pub use xivm_core::database::{Database, DatabaseBuilder, Transaction, ViewHandle};
     pub use xivm_core::{
         AnalysisReport, AnalyzeMode, Analyzer, Commit, DatabaseSnapshot, DeltaEvent, Error,
-        FeedEvent, Lagged, MaintenanceEngine, MultiViewEngine, ShardedStores, SlowConsumerPolicy,
-        SnowcapStrategy, Subscription, Ticket, UpdateReport, ViewDelta, ViewStore, WeightedChange,
+        FeedEvent, Lagged, MaintenanceEngine, MaintenanceMode, MultiViewEngine, ShardedStores,
+        SlowConsumerPolicy, SnowcapStrategy, Subscription, Ticket, UpdateReport, ViewDelta,
+        ViewStore, WeightedChange,
     };
+    pub use xivm_feed::{FeedError, FeedServer, ReplicaClient};
     pub use xivm_pattern::{parse_pattern, TreePattern};
     pub use xivm_pulopt::ConflictPolicy;
     pub use xivm_update::builder::{element, UpdateBuilder};

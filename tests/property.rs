@@ -835,3 +835,220 @@ fn disconnect_policy_drops_the_subscription() {
     db.unsubscribe(keeper);
     assert_eq!(db.subscriptions(), 0);
 }
+
+// ---------------------------------------------------------------------
+// Lagged resume contract across sealing modes (feed wire depends on it)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The resume contract the socket replication layer builds on:
+    /// whatever sealed the commits — the pipelined window path or the
+    /// async service thread — a [`DropAndMark`] overflow delivers the
+    /// `Lagged` marker first, the very next delta's `seq` is exactly
+    /// `missed_range.end() + 1`, and the tail runs gapless to the last
+    /// commit. A consumer that re-seeds at the marker never replays a
+    /// hole and never skips a live event.
+    #[test]
+    fn lagged_marker_resumes_exactly_past_the_missed_range(
+        capacity in 1usize..4,
+        overflow in 2usize..6,
+        pipeline in 1usize..5,
+        use_async in prop::bool::ANY,
+    ) {
+        let mut db = Database::builder()
+            .document("<r><a><b/></a><a><c/></a></r>")
+            .view("ab", PATTERNS[0])
+            .workers(2)
+            .pipeline(pipeline)
+            .build()
+            .unwrap();
+        let h = db.view("ab").unwrap();
+        let sub = db.subscribe_with(h, Some(capacity), SlowConsumerPolicy::DropAndMark);
+
+        let total = capacity + overflow;
+        let stmts: Vec<String> =
+            (0..total).map(|i| script_statement(i % 2, i % FORESTS.len(), true)).collect();
+        if use_async {
+            for s in &stmts {
+                db.apply_async([s.as_str()]).unwrap();
+            }
+            db.flush().unwrap();
+        } else {
+            db.apply_pipelined(stmts.iter().map(|s| s.as_str())).unwrap();
+        }
+        prop_assert_eq!(db.last_seq(), total as u64);
+
+        let events = sub.drain();
+        let lag = match &events[0] {
+            FeedEvent::Lagged(lag) => lag.missed_range.clone(),
+            other => return Err(TestCaseError::fail(format!("expected marker first, got {other:?}"))),
+        };
+        let tail: Vec<u64> = events[1..].iter().filter_map(|e| e.delta()).map(|d| d.seq).collect();
+        prop_assert_eq!(
+            tail.first().copied(),
+            Some(lag.end() + 1),
+            "first delta after the marker resumes exactly past the missed range"
+        );
+        prop_assert_eq!(
+            tail,
+            (lag.end() + 1..=total as u64).collect::<Vec<u64>>(),
+            "the retained tail is gapless through the last commit"
+        );
+        db.unsubscribe(sub);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot / event codec hardening (adversarial single-byte corruption)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Flipping any single byte of an encoded store or event frame
+    /// must never panic or over-allocate: `decode_*` either rejects
+    /// the blob, or accepts it into a value whose canonical
+    /// re-encoding is a decode fixpoint (decode → encode → decode is
+    /// stable). This is the property the feed's `read_frame` +
+    /// `decode_event` path relies on against a corrupted peer.
+    #[test]
+    fn single_byte_corruption_is_rejected_or_decodes_stably(
+        doc_xml in arb_doc(),
+        pattern_idx in 0usize..PATTERNS.len(),
+        pos_seed in 0usize..65536,
+        xor in 1u8..255,
+    ) {
+        use xivm::core::snapshot::{decode_event, decode_store, encode_event, encode_store};
+
+        let mut db = Database::builder()
+            .document(doc_xml.as_str())
+            .view("v", PATTERNS[pattern_idx])
+            .build()
+            .unwrap();
+        let h = db.view("v").unwrap();
+        let sub = db.subscribe(h);
+        db.apply("insert <a><b/><d>5</d></a> into /r").unwrap();
+        let event = sub.drain().into_iter().next().unwrap();
+        db.unsubscribe(sub);
+
+        // Store blob: corrupt one byte, decode, check the contract.
+        let store_bytes = encode_store(db.store(h));
+        let mut corrupt = store_bytes.clone();
+        let pos = pos_seed % corrupt.len();
+        corrupt[pos] ^= xor;
+        if let Ok(decoded) = decode_store(&corrupt) {
+            let re = encode_store(&decoded);
+            let again = decode_store(&re).map_err(|e| {
+                TestCaseError::fail(format!("accepted store must re-decode: {e:?}"))
+            })?;
+            prop_assert_eq!(encode_store(&again), re, "decode→encode must reach a fixpoint");
+        }
+
+        // Event frame: same contract on the feed path.
+        let event_bytes = encode_event(&event);
+        let mut corrupt = event_bytes.clone();
+        let pos = pos_seed % corrupt.len();
+        corrupt[pos] ^= xor;
+        if let Ok(decoded) = decode_event(&corrupt) {
+            let re = encode_event(&decoded);
+            let again = decode_event(&re).map_err(|e| {
+                TestCaseError::fail(format!("accepted event must re-decode: {e:?}"))
+            })?;
+            prop_assert_eq!(encode_event(&again), re, "decode→encode must reach a fixpoint");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deferred maintenance ≡ immediate maintenance (random refresh points)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Differential proof for deferred views: the same random script
+    /// with refreshes interleaved at random points converges to the
+    /// immediately-maintained store, the changefeed stays gapless
+    /// (deferred commits carry empty deltas, each refresh commit folds
+    /// exactly the batch since the previous refresh), and replaying
+    /// the whole stream on a mirror reproduces the store byte for
+    /// byte.
+    #[test]
+    fn deferred_refresh_at_random_points_equals_immediate(
+        doc_xml in arb_doc(),
+        pattern_idx in 0usize..PATTERNS.len(),
+        script in prop::collection::vec(
+            (0usize..TARGETS.len(), 0usize..FORESTS.len(), prop::bool::ANY),
+            1..8
+        ),
+        refresh_mask in prop::collection::vec(prop::bool::ANY, 8..9),
+    ) {
+        let mut immediate = Database::builder()
+            .document(doc_xml.as_str())
+            .view("v", PATTERNS[pattern_idx])
+            .view("anchor", PATTERNS[0])
+            .build()
+            .unwrap();
+        let mut deferred = Database::builder()
+            .document(doc_xml.as_str())
+            .view_deferred("v", PATTERNS[pattern_idx])
+            .view("anchor", PATTERNS[0])
+            .build()
+            .unwrap();
+        let hv = deferred.view("v").unwrap();
+        let sub = deferred.subscribe_with(hv, None, SlowConsumerPolicy::Block);
+        let mut mirror = deferred.store(hv).clone();
+
+        for (k, (t, f, is_insert)) in script.iter().enumerate() {
+            let stmt = script_statement(*t, *f, *is_insert);
+            let a = immediate.apply(stmt.as_str());
+            let b = deferred.apply(stmt.as_str());
+            prop_assert_eq!(a.is_ok(), b.is_ok(), "both modes accept/reject identically");
+            if refresh_mask[k] {
+                deferred.refresh(hv).unwrap();
+            }
+        }
+        deferred.refresh(hv).unwrap();
+        prop_assert_eq!(deferred.deferred_commits(hv), 0, "nothing left pending after refresh");
+        consistent(&deferred)?;
+        prop_assert_eq!(
+            fingerprint(&deferred, hv),
+            fingerprint(&immediate, immediate.view("v").unwrap()),
+            "deferred-then-refreshed must equal immediate maintenance"
+        );
+
+        // The stream: gapless seqs, refresh events carry the exact
+        // folded range, and a replayed mirror lands byte-identical.
+        let mut next_fold_start = 1u64;
+        for (expect, ev) in (1u64..).zip(sub.drain()) {
+            let d = match ev {
+                FeedEvent::Delta(d) => d,
+                FeedEvent::Lagged(lag) => {
+                    return Err(TestCaseError::fail(format!(
+                        "unbounded feed never lags: {:?}", lag.missed_range
+                    )))
+                }
+            };
+            prop_assert_eq!(d.seq, expect, "deferred commits never leave a hole");
+            if let Some(folded) = &d.folded {
+                // Empty-PUL commits fold nothing, so a range may start
+                // after the previous refresh — but never before it.
+                prop_assert!(*folded.start() >= next_fold_start, "fold ranges never overlap");
+                prop_assert_eq!(*folded.end() + 1, d.seq, "a refresh folds everything before it");
+                next_fold_start = d.seq + 1;
+            }
+            d.delta.replay(&mut mirror);
+        }
+        prop_assert!(
+            mirror.identical_to(deferred.store(hv)),
+            "replaying the stream (folds included) reproduces the store"
+        );
+        db_cleanup(deferred, sub);
+    }
+}
+
+fn db_cleanup(mut db: Database, sub: Subscription) {
+    db.unsubscribe(sub);
+}
